@@ -1,0 +1,219 @@
+/**
+ * @file
+ * ABL — design-choice ablations from DESIGN.md:
+ *
+ *  1. PDM on vs off (fixed reference): without modulation the
+ *     reflection clips at ~2 sigma. Rank-order similarity survives
+ *     clipping, but voltage fidelity and the E_xy tamper contrast —
+ *     which the 5e-7 threshold depends on — degrade badly.
+ *  2. Trigger policy: clock lane vs data lane (1->0 FIFO trigger) —
+ *     ~4x measurement time plus Vernier-sampling noise from random
+ *     per-bin level weights.
+ *  3. Reflection backend: Born vs exact lattice — fidelity vs speed.
+ *  4. Trials per bin K: accuracy/latency trade-off.
+ */
+
+#include <chrono>
+
+#include "bench_common.hh"
+#include "fingerprint/study.hh"
+#include "itdr/budget.hh"
+#include "fingerprint/fingerprint.hh"
+#include "txline/born.hh"
+#include "txline/lattice.hh"
+#include "txline/tamper.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace divot;
+
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+StudyResult
+runStudy(const bench::Options &opt, ItdrConfig itdr)
+{
+    StudyConfig cfg;
+    cfg.lines = 4;
+    cfg.lineLength = 0.25;
+    cfg.enrollReps = 8;
+    cfg.genuinePerLine = opt.full ? 128 : 48;
+    cfg.impostorPerPair = opt.full ? 32 : 12;
+    cfg.itdr = itdr;
+    return GenuineImpostorStudy(cfg, Rng(opt.seed)).run();
+}
+
+void
+studyRow(Table &table, const char *name, const StudyResult &res)
+{
+    RunningStats g, im;
+    g.addAll(res.genuine);
+    im.addAll(res.impostor);
+    table.addRow({name, Table::num(g.mean(), 4),
+                  Table::num(im.mean(), 4),
+                  Table::num(res.roc.eer, 5),
+                  Table::num(res.decidability, 2),
+                  std::to_string(res.totalBusCycles)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::banner("ABL", "design-choice ablations", opt);
+
+    // --- 1 + 2: PDM and trigger policy ---
+    Table study_table("Ablation: PDM and trigger policy");
+    study_table.setHeader({"variant", "genuine mean", "impostor mean",
+                           "EER", "d'", "bus cycles"});
+
+    ItdrConfig base;
+    studyRow(study_table, "default (PDM on, clock lane)",
+             runStudy(opt, base));
+
+    ItdrConfig no_pdm = base;
+    no_pdm.pdm.enabled = false;
+    no_pdm.pdm.fixedReference = 0.0;
+    studyRow(study_table, "PDM off (fixed Vref)",
+             runStudy(opt, no_pdm));
+
+    ItdrConfig data_lane = base;
+    data_lane.triggerMode = TriggerMode::DataLane;
+    studyRow(study_table, "data-lane trigger (1->0)",
+             runStudy(opt, data_lane));
+
+    ItdrConfig encoded = base;
+    encoded.triggerMode = TriggerMode::Encoded8b10b;
+    studyRow(study_table, "8b/10b-encoded data lane",
+             runStudy(opt, encoded));
+    study_table.print(std::cout);
+    std::printf("\nnote: similarity scoring is clip-tolerant, so "
+                "PDM-off can still rank-order lines;\nthe fidelity "
+                "table below shows what modulation actually buys. The "
+                "data lane pays\n~4x cycles plus Vernier-sampling "
+                "noise (random level weights per bin).\n\n");
+
+    // --- IIP fidelity + tamper contrast per variant ---
+    {
+        ProcessParams fparams;
+        ManufacturingProcess ffab(fparams, Rng(opt.seed ^ 0xf1de));
+        auto fz = ffab.drawImpedanceProfile(0.25, 0.5e-3);
+        TransmissionLine fline(std::move(fz), 0.5e-3,
+                               fparams.velocity, 50.0, 50.2,
+                               fparams.lossNeperPerMeter, "fid");
+        LoadModification swap(55.0);
+        const TransmissionLine attacked = swap.apply(fline);
+
+        Table fid("Ablation: IIP fidelity and tamper contrast");
+        fid.setHeader({"variant", "corr(meas, ideal)",
+                       "rms err (mV)", "load-mod E contrast"});
+        struct Variant
+        {
+            const char *name;
+            ItdrConfig cfg;
+        };
+        const Variant variants[] = {
+            {"default (PDM on)", base},
+            {"PDM off (fixed Vref)", no_pdm},
+            {"data-lane trigger", data_lane},
+        };
+        for (const auto &v : variants) {
+            ITdr itdr(v.cfg, Rng(opt.seed ^ 0xfe));
+            const Waveform ideal = itdr.idealIip(fline);
+            const IipMeasurement m = itdr.measure(fline);
+            double err = 0.0;
+            for (std::size_t i = 0; i < ideal.size(); ++i)
+                err += (m.iip[i] - ideal[i]) * (m.iip[i] - ideal[i]);
+            err = std::sqrt(err / static_cast<double>(ideal.size()));
+
+            // Tamper contrast: averaged E peak attack vs ambient.
+            auto avg = [&](const TransmissionLine &l) {
+                std::vector<IipMeasurement> reps;
+                for (int r = 0; r < 8; ++r)
+                    reps.push_back(itdr.measure(l));
+                const Waveform none;
+                return Fingerprint::enroll(reps, none, "x");
+            };
+            const Fingerprint enr = avg(fline);
+            const Fingerprint benign = avg(fline);
+            const Fingerprint hit = avg(attacked);
+            const double contrast = peakError(enr, hit) /
+                std::max(peakError(enr, benign), 1e-300);
+            fid.addRow({v.name,
+                        Table::num(normalizedInnerProduct(m.iip,
+                                                          ideal), 4),
+                        Table::num(err * 1e3, 3),
+                        Table::num(contrast, 3) + "x"});
+        }
+        fid.print(std::cout);
+        std::printf("\nexpected: PDM off clips the trace (usable "
+                    "range ~2 sigma), destroying voltage\nfidelity "
+                    "and compressing the tamper contrast the E_xy "
+                    "threshold depends on.\n\n");
+    }
+
+    // --- 3: Born vs lattice backend ---
+    ProcessParams params;
+    ManufacturingProcess fab(params, Rng(opt.seed ^ 0xab1));
+    auto z = fab.drawImpedanceProfile(0.25, 0.5e-3);
+    TransmissionLine line(std::move(z), 0.5e-3, params.velocity, 50.0,
+                          50.4, params.lossNeperPerMeter, "abl");
+    const EdgeShape edge(0.8, 25e-12);
+
+    const int reps = opt.full ? 200 : 40;
+    LatticeSimulator lattice(line);
+    BornTdrModel born(line);
+    double t0 = nowSeconds();
+    Waveform exact;
+    for (int i = 0; i < reps; ++i)
+        exact = lattice.probe(edge).reflection;
+    const double t_lattice = (nowSeconds() - t0) / reps;
+    t0 = nowSeconds();
+    Waveform approx;
+    for (int i = 0; i < reps; ++i)
+        approx = born.probe(edge);
+    const double t_born = (nowSeconds() - t0) / reps;
+
+    double dot = 0.0, ee = 0.0, aa = 0.0;
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+        const double a = approx.valueAt(exact.timeAt(i));
+        dot += exact[i] * a;
+        ee += exact[i] * exact[i];
+        aa += a * a;
+    }
+    Table backend("Ablation: reflection backend (25 cm line)");
+    backend.setHeader({"backend", "time per probe (ms)", "fidelity"});
+    backend.addRow({"lattice (exact)", Table::num(t_lattice * 1e3, 4),
+                    "reference"});
+    backend.addRow({"Born (first order)", Table::num(t_born * 1e3, 4),
+                    "corr=" + Table::num(dot / std::sqrt(ee * aa), 6)});
+    backend.print(std::cout);
+    std::printf("speedup: %.1fx\n\n", t_lattice / t_born);
+
+    // --- 4: trials per bin ---
+    Table ktable("Ablation: trials per bin (accuracy vs latency)");
+    ktable.setHeader({"K", "EER", "d'", "meas. duration (us)"});
+    for (unsigned k : {17u, 51u, 170u, 510u}) {
+        ItdrConfig c = base;
+        c.trialsPerPhase = k;
+        const StudyResult res = runStudy(opt, c);
+        const MeasurementBudget b =
+            predictBudget(c, line.roundTripDelay());
+        ktable.addRow({std::to_string(k), Table::num(res.roc.eer, 5),
+                       Table::num(res.decidability, 2),
+                       Table::num(b.expectedDuration * 1e6, 4)});
+    }
+    ktable.print(std::cout);
+    std::printf("\nexpected: d' grows with K; the 50 us envelope "
+                "bounds K near 17-22 on a 25 cm line.\n");
+    return 0;
+}

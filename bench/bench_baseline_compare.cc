@@ -1,0 +1,91 @@
+/**
+ * @file
+ * BASE — Section V head-to-head: DIVOT vs PAD (ring oscillator), the
+ * DC-resistance monitor, the board-impedance PUF, and the VNA IIP
+ * reader. Regenerates the qualitative capability matrix with measured
+ * detection probabilities per attack class.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "baselines/board_puf.hh"
+#include "baselines/dc_resistance.hh"
+#include "baselines/pad.hh"
+#include "baselines/vna.hh"
+#include "bench_common.hh"
+#include "core/divot_baseline.hh"
+#include "util/table.hh"
+
+using namespace divot;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::banner("BASE", "DIVOT vs related-work countermeasures",
+                  opt);
+
+    std::vector<std::unique_ptr<ProtectionBaseline>> baselines;
+    DivotSystemConfig divot_cfg;
+    divot_cfg.lineLength = 0.1;
+    divot_cfg.enrollReps = 8;
+    baselines.push_back(std::make_unique<DivotBaseline>(divot_cfg));
+    baselines.push_back(std::make_unique<ProbeAttemptDetector>());
+    baselines.push_back(std::make_unique<DcResistanceMonitor>());
+    baselines.push_back(std::make_unique<BoardImpedancePuf>());
+    baselines.push_back(std::make_unique<VnaIipReference>());
+
+    // --- Capability matrix (Section V narrative) ---
+    Table caps("Capability / constraint matrix");
+    caps.setHeader({"technique", "concurrent", "integrable",
+                    "locates", "bus overhead", "ident. EER"});
+    for (const auto &b : baselines) {
+        const BaselineTraits t = b->traits();
+        const double eer = b->identificationEer();
+        caps.addRow({t.name, t.runtimeConcurrent ? "yes" : "no",
+                     t.integrable ? "yes" : "no",
+                     t.locatesAttack ? "yes" : "no",
+                     Table::num(t.busTimeOverhead * 100.0, 3) + "%",
+                     eer < 0.0 ? "n/a" : Table::sci(eer, 2)});
+    }
+    caps.print(std::cout);
+
+    // --- Detection probability per attack class ---
+    // DIVOT episodes run the full simulated pipeline, so keep its
+    // trial count modest; the statistical models are cheap.
+    const std::size_t divot_trials = opt.full ? 16 : 6;
+    const std::size_t stat_trials = opt.full ? 40000 : 8000;
+
+    std::printf("\n");
+    Table det("Detection probability per attack episode "
+              "(severity 1.0)");
+    det.setHeader({"technique", "contact-probe", "em-probe",
+                   "wire-tap", "module-swap"});
+    Rng rng(opt.seed);
+    for (const auto &b : baselines) {
+        const bool is_divot =
+            b->traits().name.find("DIVOT") != std::string::npos;
+        const std::size_t trials =
+            is_divot ? divot_trials : stat_trials;
+        std::vector<std::string> row{b->traits().name};
+        for (AttackKind kind : {AttackKind::ContactProbe,
+                                AttackKind::EmProbe,
+                                AttackKind::WireTap,
+                                AttackKind::ModuleSwap}) {
+            row.push_back(Table::num(
+                b->detectProbability(kind, 1.0, trials, rng), 3));
+        }
+        det.addRow(std::move(row));
+    }
+    if (opt.csv)
+        det.printCsv(std::cout);
+    else
+        det.print(std::cout);
+
+    std::printf("\nexpected shape (Section V): only DIVOT detects the "
+                "EM probe, runs concurrently\nwith data, integrates "
+                "into interface logic, and locates the attack — at "
+                "zero\nbus-time overhead.\n");
+    return 0;
+}

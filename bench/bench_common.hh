@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration benches: flag parsing
+ * (--full for paper-scale runs, --seed N, --csv) and a banner helper.
+ * Every bench prints the series/rows of the paper artifact it
+ * regenerates; EXPERIMENTS.md records paper-vs-measured.
+ */
+
+#ifndef DIVOT_BENCH_COMMON_HH
+#define DIVOT_BENCH_COMMON_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace divot {
+namespace bench {
+
+/** Parsed command-line options common to all benches. */
+struct Options
+{
+    bool full = false;     //!< paper-scale population sizes
+    bool csv = false;      //!< CSV instead of aligned tables
+    uint64_t seed = 2020;  //!< master seed (ISCA 2020 vintage)
+};
+
+/** Parse argv; unknown flags abort with a usage message. */
+inline Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0) {
+            opt.full = true;
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            opt.csv = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            opt.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--full] [--csv] [--seed N]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    // Keep bench stdout clean: suppress info chatter.
+    setLogQuiet(true);
+    return opt;
+}
+
+/** Print the experiment banner. */
+inline void
+banner(const char *id, const char *what, const Options &opt)
+{
+    std::printf("### %s — %s\n", id, what);
+    std::printf("### scale=%s seed=%llu\n\n",
+                opt.full ? "paper(--full)" : "default",
+                static_cast<unsigned long long>(opt.seed));
+}
+
+} // namespace bench
+} // namespace divot
+
+#endif // DIVOT_BENCH_COMMON_HH

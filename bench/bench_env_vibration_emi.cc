@@ -1,0 +1,94 @@
+/**
+ * @file
+ * ENV — vibration and EMI robustness (paper Section IV-C text):
+ * a 1-50 Hz chirped piezo knock raises the EER to ~0.27 %, while
+ * asynchronous EMI from a nearby high-speed circuit is suppressed by
+ * the synchronized APC averaging and leaves the EER at ~0.06 %.
+ */
+
+#include "bench_common.hh"
+#include "fingerprint/study.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace divot;
+
+namespace {
+
+StudyResult
+runCondition(const bench::Options &opt, double vibration, double emi)
+{
+    StudyConfig cfg;
+    cfg.lines = 6;
+    cfg.lineLength = 0.25;
+    cfg.enrollReps = 16;
+    cfg.genuinePerLine = opt.full ? 1366 : 170;
+    cfg.impostorPerPair = opt.full ? 273 : 34;
+    cfg.environment.vibrationStrain = vibration;
+    cfg.environment.emiAmplitude = emi;
+    return GenuineImpostorStudy(cfg, Rng(opt.seed)).run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::banner("ENV", "vibration chirp + EMI robustness", opt);
+
+    struct Condition
+    {
+        const char *name;
+        double vibration;
+        double emi;
+        const char *paper;
+    };
+    const Condition conditions[] = {
+        {"quiet bench", 0.0, 0.0, "EER < 0.0006"},
+        {"vibration 1-50Hz chirp", 1.1e-2, 0.0, "EER -> 0.0027"},
+        {"EMI (nearby digital ckt)", 0.0, 0.5e-3, "EER stays 0.0006"},
+        {"vibration + EMI", 1.1e-2, 0.5e-3, "(not reported)"},
+    };
+
+    Table table("EER under environmental stress");
+    table.setHeader({"condition", "genuine mean", "genuine min",
+                     "impostor max", "EER", "EER(fit)", "d'",
+                     "paper"});
+    double quiet_eer = 0.0, vib_eer = 0.0, emi_eer = 0.0;
+    for (const auto &c : conditions) {
+        const StudyResult res =
+            runCondition(opt, c.vibration, c.emi);
+        RunningStats g, im;
+        g.addAll(res.genuine);
+        im.addAll(res.impostor);
+        table.addRow({c.name, Table::num(g.mean(), 4),
+                      Table::num(g.min(), 4),
+                      Table::num(im.max(), 4),
+                      Table::num(res.roc.eer, 6),
+                      Table::sci(res.fittedEer, 2),
+                      Table::num(res.decidability, 2), c.paper});
+        if (c.vibration == 0.0 && c.emi == 0.0)
+            quiet_eer = res.fittedEer;
+        else if (c.vibration > 0.0 && c.emi == 0.0)
+            vib_eer = res.fittedEer;
+        else if (c.vibration == 0.0 && c.emi > 0.0)
+            emi_eer = res.fittedEer;
+    }
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    std::printf("\nshape checks (fitted EER):\n");
+    std::printf("  vibration degrades EER:        %s (%.2e -> %.2e)\n",
+                vib_eer >= quiet_eer ? "yes" : "NO", quiet_eer,
+                vib_eer);
+    std::printf("  EMI leaves EER ~unchanged:     %s (%.2e -> %.2e)\n",
+                emi_eer <= std::max(quiet_eer * 30.0, 5e-4) ? "yes"
+                                                            : "NO",
+                quiet_eer, emi_eer);
+    std::printf("  (synchronous APC averaging rejects the "
+                "asynchronous interferer)\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * FIG2 — Gaussian noise PDF/CDF and the APC transfer characteristic
+ * (paper Fig. 2, Section II-B).
+ *
+ * Regenerates: the noise PDF and CDF around V_ref, the analytic
+ * p{Y=1}(V_sig) curve, a Monte-Carlo comparator sweep that must sit
+ * on the analytic curve (Eq. 1), and the "effective within 2 sigma"
+ * linear-region claim (Eq. 3).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analog/comparator.hh"
+#include "bench_common.hh"
+#include "itdr/apc.hh"
+#include "util/math.hh"
+#include "util/table.hh"
+
+using namespace divot;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::banner("FIG2", "noise PDF/CDF and APC transfer (Eq. 1-3)",
+                  opt);
+
+    const double sigma = 1e-3;
+    const std::size_t trials = opt.full ? 200000 : 20000;
+
+    ComparatorParams cp;
+    cp.noiseSigma = sigma;
+    Comparator comparator(cp, Rng(opt.seed));
+
+    // --- Fig. 2 series: PDF and CDF of the noise around V_ref = 0 ---
+    std::vector<std::pair<double, double>> pdf, cdf, mc;
+    const std::vector<double> ref{0.0};
+    for (double x = -4.0; x <= 4.0; x += 0.1) {
+        const double v = x * sigma;
+        pdf.emplace_back(x, apcMixturePdf(v, ref, sigma) * sigma);
+        cdf.emplace_back(x, apcMixtureCdf(v, ref, sigma));
+    }
+    printSeries(std::cout, "fig2.pdf  (x = Vsig/sigma, y = pdf*sigma)",
+                pdf);
+    printSeries(std::cout, "fig2.cdf  (x = Vsig/sigma, y = p{Y=1})",
+                cdf);
+
+    // --- Monte-Carlo comparator vs the analytic CDF ---
+    Table table("APC transfer: Monte-Carlo comparator vs Eq. (1)");
+    table.setHeader({"Vsig/sigma", "p_analytic", "p_measured",
+                     "abs_err"});
+    for (double x = -3.0; x <= 3.0; x += 0.5) {
+        const double v = x * sigma;
+        std::size_t hits = 0;
+        for (std::size_t t = 0; t < trials; ++t)
+            hits += comparator.strobe(v, 0.0);
+        const double p_meas =
+            static_cast<double>(hits) / static_cast<double>(trials);
+        const double p_true = comparator.probabilityHigh(v, 0.0);
+        table.addRow({Table::num(x, 3), Table::num(p_true, 5),
+                      Table::num(p_meas, 5),
+                      Table::sci(std::abs(p_meas - p_true), 2)});
+    }
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    // --- Sensitivity / linear region (the "2 sigma" claim) ---
+    Table region("APC sensitivity and linear region");
+    region.setHeader({"metric", "value"});
+    region.addRow({"peak sensitivity (1/V)",
+                   Table::num(apcMixturePdf(0.0, ref, sigma), 5)});
+    const double width = apcLinearRegionWidth(ref, sigma, 0.6);
+    region.addRow({"linear region width", Table::sci(width, 3)});
+    region.addRow({"linear region / sigma",
+                   Table::num(width / sigma, 3)});
+    region.addRow({"paper claim", "~2 sigma (Section II-B)"});
+    std::printf("\n");
+    if (opt.csv)
+        region.printCsv(std::cout);
+    else
+        region.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * FIG4 — mixture PDF/CDF under PDM and the widened dynamic range
+ * (paper Fig. 4), plus the PDM-level-count ablation from DESIGN.md.
+ *
+ * Regenerates: the equivalent PDF/CDF with multiple reference levels
+ * versus the single-reference case, and a table of linear-region
+ * width versus level count (the crossover where PDM pays for itself).
+ */
+
+#include <vector>
+
+#include "bench_common.hh"
+#include "itdr/apc.hh"
+#include "itdr/pdm.hh"
+#include "util/table.hh"
+
+using namespace divot;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::banner("FIG4", "PDM mixture PDF/CDF and dynamic range",
+                  opt);
+
+    const double sigma = 1e-3;
+
+    // Five reference levels spaced 2 sigma apart, as Fig. 4 sketches.
+    std::vector<double> five;
+    for (int i = -2; i <= 2; ++i)
+        five.push_back(i * 2.0 * sigma);
+    const std::vector<double> one{0.0};
+
+    std::vector<std::pair<double, double>> pdf1, cdf1, pdf5, cdf5;
+    for (double x = -8.0; x <= 8.0; x += 0.1) {
+        const double v = x * sigma;
+        pdf1.emplace_back(x, apcMixturePdf(v, one, sigma) * sigma);
+        cdf1.emplace_back(x, apcMixtureCdf(v, one, sigma));
+        pdf5.emplace_back(x, apcMixturePdf(v, five, sigma) * sigma);
+        cdf5.emplace_back(x, apcMixtureCdf(v, five, sigma));
+    }
+    printSeries(std::cout, "fig4.pdf.single (x=V/sigma)", pdf1);
+    printSeries(std::cout, "fig4.pdf.pdm5   (x=V/sigma)", pdf5);
+    printSeries(std::cout, "fig4.cdf.single (x=V/sigma)", cdf1);
+    printSeries(std::cout, "fig4.cdf.pdm5   (x=V/sigma)", cdf5);
+
+    // --- Ablation: linear-region width vs level count ---
+    Table table("Linear dynamic range vs PDM level count "
+                "(spacing 2 sigma, floor 0.5x peak)");
+    table.setHeader({"levels", "width (V)", "width/sigma",
+                     "vs single"});
+    const double w1 = apcLinearRegionWidth(one, sigma, 0.5);
+    for (int n : {1, 3, 5, 9, 17, 33}) {
+        std::vector<double> levels;
+        for (int i = 0; i < n; ++i)
+            levels.push_back((i - (n - 1) / 2.0) * 2.0 * sigma);
+        const double w = apcLinearRegionWidth(levels, sigma, 0.5);
+        table.addRow({std::to_string(n), Table::sci(w, 3),
+                      Table::num(w / sigma, 3),
+                      Table::num(w / w1, 2) + "x"});
+    }
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    // The production default used by the library.
+    PdmConfig def;
+    std::printf("\nLibrary default: p=%u levels, amplitude %.1f mV "
+                "=> usable span ~%.1f mV with sigma %.1f mV\n",
+                def.p, def.amplitude * 1e3,
+                2.0 * (def.amplitude + 2.0 * sigma) * 1e3, sigma * 1e3);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * FIG7 — genuine/impostor similarity distributions and the ROC
+ * (paper Fig. 7a/7b): six 25 cm Tx-lines, thousands of measurements,
+ * EER < 0.06 % at room temperature.
+ *
+ * Default scale keeps the run to a few seconds; --full runs the
+ * paper's ~8192-comparison scale.
+ */
+
+#include "bench_common.hh"
+#include "fingerprint/study.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace divot;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::banner("FIG7", "authentication: similarity dists + ROC/EER",
+                  opt);
+
+    StudyConfig cfg;
+    cfg.lines = 6;               // the paper's six PCB lines
+    cfg.lineLength = 0.25;       // 25 cm
+    cfg.enrollReps = 16;
+    if (opt.full) {
+        cfg.genuinePerLine = 1366;   // ~8196 genuine scores
+        cfg.impostorPerPair = 273;   // ~8190 impostor scores
+    } else {
+        cfg.genuinePerLine = 170;    // ~1020 scores
+        cfg.impostorPerPair = 34;    // ~1020 scores
+    }
+
+    GenuineImpostorStudy study(cfg, Rng(opt.seed));
+    const StudyResult res = study.run();
+
+    RunningStats g, im;
+    g.addAll(res.genuine);
+    im.addAll(res.impostor);
+
+    Table summary("Fig. 7 summary");
+    summary.setHeader({"metric", "genuine", "impostor"});
+    summary.addRow({"count", std::to_string(res.genuine.size()),
+                    std::to_string(res.impostor.size())});
+    summary.addRow({"mean S_xy", Table::num(g.mean(), 4),
+                    Table::num(im.mean(), 4)});
+    summary.addRow({"std dev", Table::num(g.stddev(), 4),
+                    Table::num(im.stddev(), 4)});
+    summary.addRow({"min", Table::num(g.min(), 4),
+                    Table::num(im.min(), 4)});
+    summary.addRow({"max", Table::num(g.max(), 4),
+                    Table::num(im.max(), 4)});
+    if (opt.csv)
+        summary.printCsv(std::cout);
+    else
+        summary.print(std::cout);
+
+    const double floor_eer =
+        1.0 / static_cast<double>(
+                  std::min(res.genuine.size(), res.impostor.size()));
+    std::printf("\nEER = %.6f  (resolution floor 1/N = %.6f)\n",
+                res.roc.eer, floor_eer);
+    std::printf("EER (Gaussian fit, sub-floor estimate) = %.3e\n",
+                res.fittedEer);
+    std::printf("EER threshold = %.4f, AUC = %.6f, d' = %.2f\n",
+                res.roc.eerThreshold, res.roc.auc, res.decidability);
+    std::printf("paper: EER < 0.0006 over 8192 measurements; our "
+                "measured EER %s the same floor\n",
+                res.roc.eer <= std::max(6e-4, floor_eer) ? "meets"
+                                                         : "MISSES");
+    std::printf("bus cycles consumed: %llu (concurrent with data)\n\n",
+                static_cast<unsigned long long>(res.totalBusCycles));
+
+    // --- Fig. 7(a): score histograms ---
+    Histogram gh(0.0, 1.0, 50), ih(0.0, 1.0, 50);
+    gh.addAll(res.genuine);
+    ih.addAll(res.impostor);
+    printSeries(std::cout, "fig7a.genuine  (S_xy, density)",
+                gh.series());
+    printSeries(std::cout, "fig7a.impostor (S_xy, density)",
+                ih.series());
+
+    // --- Fig. 7(b): ROC curve (FPR, TPR), decimated for print ---
+    std::vector<std::pair<double, double>> roc_pts;
+    const std::size_t stride =
+        std::max<std::size_t>(1, res.roc.curve.size() / 64);
+    for (std::size_t i = 0; i < res.roc.curve.size(); i += stride) {
+        roc_pts.emplace_back(res.roc.curve[i].falsePositiveRate,
+                             res.roc.curve[i].truePositiveRate);
+    }
+    printSeries(std::cout, "fig7b.roc (FPR, TPR)", roc_pts);
+    return 0;
+}

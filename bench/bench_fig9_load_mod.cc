@@ -1,0 +1,35 @@
+/**
+ * @file
+ * FIG9BC — load modification: Trojan chip / cold-boot module swap
+ * (paper Fig. 9b/9c). The receiver chip at the line end is replaced;
+ * the IIP changes abruptly near the 3.5 ns round-trip epoch and E_xy
+ * grows a large terminal peak.
+ */
+
+#include "bench_tamper_common.hh"
+
+using namespace divot;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::banner("FIG9BC",
+                  "load modification (Trojan chip / cold boot)", opt);
+
+    bench::TamperRig rig(opt);
+    std::printf("line: 25 cm, round trip %.3f ns (paper window "
+                "0..3.8 ns, echo near 3.5 ns)\n\n",
+                rig.line.roundTripDelay() * 1e9);
+
+    // Replace the receiver with a same-model but different chip:
+    // its input impedance differs by a few ohms.
+    LoadModification attack(55.0);
+    std::printf("attack: %s\n\n", attack.describe().c_str());
+    rig.report(opt, "fig9bc", attack.apply(rig.line));
+
+    std::printf("\nexpected shape: E_xy peak at the line end (~%.1f "
+                "ns round trip), far above ambient\n",
+                rig.line.roundTripDelay() * 1e9);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * FIG9EF — wire-tapping (paper Fig. 9e/9f): a scope lead soldered to
+ * the trace mid-line. The most invasive attack: a massive local
+ * impedance drop, and the solder scar makes the IIP damage permanent
+ * (Section IV-E) — removal does not restore the fingerprint.
+ */
+
+#include "bench_tamper_common.hh"
+
+using namespace divot;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::banner("FIG9EF", "wire-tapping (soldered stub)", opt);
+
+    bench::TamperRig rig(opt);
+    WireTap attack(0.55, 50.0);
+    std::printf("attack: %s\n\n", attack.describe().c_str());
+    rig.report(opt, "fig9ef", attack.apply(rig.line));
+
+    // --- Permanence check: the paper found the IIP non-reversible ---
+    const Fingerprint scarred =
+        rig.average(attack.applyRemoved(rig.line), opt.full ? 32 : 16);
+    TamperLocalizer localizer(5e-7);
+    const TamperReport rep =
+        localizer.inspect(rig.enrolled, scarred, rig.line);
+    std::printf("\nafter removing the tap wire (solder scar remains):"
+                "\n  peak E_xy = %s at %.2f cm -> %s\n",
+                Table::sci(rep.peakError, 3).c_str(),
+                rep.location * 100.0,
+                rep.detected ? "still detected (permanent damage, "
+                               "matches Section IV-E)"
+                             : "NOT detected (contradicts the paper)");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * MEMBUS — the Section III example design end to end: an SDRAM
+ * behind a DIVOT-guarded bus running live traffic while attacks are
+ * injected. Reports throughput overhead (zero: monitoring rides the
+ * clock edges), detection latency, and the gating behaviour.
+ */
+
+#include "bench_common.hh"
+#include "memsys/system.hh"
+#include "util/table.hh"
+
+using namespace divot;
+
+namespace {
+
+MemorySystemConfig
+baseConfig()
+{
+    MemorySystemConfig cfg;
+    cfg.busLength = 0.08;  // CPU-to-DIMM scale
+    cfg.enrollReps = 16;
+    cfg.requestsPerKcycle = 40.0;
+    cfg.workload = WorkloadKind::HotCold;
+    return cfg;
+}
+
+struct ScenarioResult
+{
+    MemorySystemReport report;
+    const char *name;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::banner("MEMBUS", "protected SDRAM system under attack",
+                  opt);
+
+    const uint64_t horizon = opt.full ? 8000000 : 2000000;
+    const uint64_t attack_at = horizon / 8;
+
+    std::vector<ScenarioResult> results;
+
+    {
+        ProtectedMemorySystem sys(baseConfig(), Rng(opt.seed));
+        sys.run(horizon);
+        results.push_back({sys.report(), "benign"});
+    }
+    {
+        ProtectedMemorySystem sys(baseConfig(), Rng(opt.seed));
+        sys.scheduleColdBootSwap(attack_at);
+        sys.run(horizon);
+        results.push_back({sys.report(), "cold-boot swap"});
+    }
+    {
+        ProtectedMemorySystem sys(baseConfig(), Rng(opt.seed));
+        sys.scheduleProbeAttach(attack_at, 0.5);
+        sys.run(horizon);
+        results.push_back({sys.report(), "magnetic probe"});
+    }
+
+    Table table("Protected memory system: scenarios over " +
+                std::to_string(horizon) + " bus cycles");
+    table.setHeader({"scenario", "injected", "completed", "row-hit%",
+                     "stall cyc", "gate rej", "rounds",
+                     "detect (us)"});
+    for (const auto &r : results) {
+        std::string latency = "-";
+        if (!r.report.detections.empty()) {
+            latency = Table::num(
+                r.report.detections.front().latencySeconds * 1e6, 4);
+        }
+        table.addRow({r.name, std::to_string(r.report.injected),
+                      std::to_string(r.report.completed),
+                      Table::num(r.report.controller.rowHitRate() *
+                                     100.0, 3),
+                      std::to_string(r.report.controller.stalledCycles),
+                      std::to_string(r.report.gateRejections),
+                      std::to_string(r.report.monitoringRounds),
+                      latency});
+    }
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    const auto &benign = results[0].report;
+    const auto &swap = results[1].report;
+    std::printf("\nshape checks (Section III):\n");
+    std::printf("  benign run unaffected by monitoring: %s "
+                "(0 stalls, 0 gate rejections)\n",
+                benign.controller.stalledCycles == 0 &&
+                        benign.gateRejections == 0
+                    ? "yes" : "NO");
+    std::printf("  cold boot detected: %s",
+                swap.detections.empty() ? "NO\n" : "yes");
+    if (!swap.detections.empty()) {
+        std::printf(" in %.1f us (paper: within the memory-operation "
+                    "time frame)\n",
+                    swap.detections.front().latencySeconds * 1e6);
+    }
+    std::printf("  post-attack traffic blocked: %s "
+                "(stalls=%llu)\n",
+                swap.controller.stalledCycles > 0 ? "yes" : "NO",
+                static_cast<unsigned long long>(
+                    swap.controller.stalledCycles));
+    std::printf("  mean read latency (benign): %.1f cycles over %zu "
+                "requests\n",
+                benign.controller.latency.mean(),
+                benign.controller.latency.count());
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * OVH — hardware and latency overhead (paper Section IV-A):
+ * 71 registers / 124 LUTs (~0.8 % of an xczu7ev), ~80 % of registers
+ * in counters, shareable blocks amortized across buses, and the
+ * 50 us measurement envelope at 156.25 MHz.
+ */
+
+#include "bench_common.hh"
+#include "itdr/budget.hh"
+#include "itdr/resource.hh"
+#include "util/table.hh"
+
+using namespace divot;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::banner("OVH", "resource + measurement-latency overhead",
+                  opt);
+
+    ItdrConfig cfg;
+    const double rt25 = 2.0 * 0.25 / 1.5e8;  // 25 cm round trip
+    const MeasurementBudget nominal = predictBudget(cfg, rt25);
+    const ResourceEstimate est = estimateResources(cfg, nominal.bins);
+
+    // --- Block-level utilization ---
+    Table blocks("iTDR utilization by block (xczu7ev-style estimate)");
+    blocks.setHeader({"block", "registers", "LUTs", "shared?"});
+    for (const auto &b : est.blocks) {
+        blocks.addRow({b.name, std::to_string(b.registers),
+                       std::to_string(b.luts),
+                       b.shareable ? "yes (per chip)" : "per iTDR"});
+    }
+    blocks.addRow({"TOTAL", std::to_string(est.totalRegisters),
+                   std::to_string(est.totalLuts), ""});
+    blocks.print(std::cout);
+    std::printf("\npaper: 71 registers / 124 LUTs, ~80%% of registers "
+                "in counters\nmodel: %u registers / %u LUTs, %.0f%% in "
+                "counters\n\n",
+                est.totalRegisters, est.totalLuts,
+                est.counterRegisterFraction() * 100.0);
+
+    // --- Sharing: cost of protecting N buses ---
+    Table sharing("Scaling to many protected buses (shared PLL / PDM "
+                  "/ reconstruction)");
+    sharing.setHeader({"buses", "registers", "LUTs", "regs per bus"});
+    for (unsigned n : {1u, 2u, 4u, 8u, 16u, 64u}) {
+        sharing.addRow({std::to_string(n),
+                        std::to_string(est.registersForBuses(n)),
+                        std::to_string(est.lutsForBuses(n)),
+                        Table::num(static_cast<double>(
+                                       est.registersForBuses(n)) / n,
+                                   3)});
+    }
+    sharing.print(std::cout);
+
+    // --- Latency: the 50 us envelope ---
+    std::printf("\n");
+    Table latency("Measurement latency vs trials per bin "
+                  "(25 cm line, clock lane, 156.25 MHz)");
+    latency.setHeader({"K (trials/bin)", "bins", "bus cycles",
+                       "duration (us)", "fits 50us?"});
+    for (unsigned k : {17u, 34u, 85u, 170u, 340u}) {
+        ItdrConfig c = cfg;
+        c.trialsPerPhase = k;
+        const MeasurementBudget b = predictBudget(c, rt25);
+        latency.addRow({std::to_string(b.trialsPerBin),
+                        std::to_string(b.bins),
+                        std::to_string(b.expectedCycles),
+                        Table::num(b.expectedDuration * 1e6, 4),
+                        b.expectedDuration <= 50e-6 ? "yes" : "no"});
+    }
+    latency.print(std::cout);
+
+    const unsigned k50 = maxTrialsWithinLatency(cfg, rt25, 50e-6);
+    std::printf("\nlargest K within the paper's 50 us envelope: %u "
+                "(library default K = %u favors accuracy)\n",
+                k50, cfg.trialsPerPhase);
+
+    // Data-lane cost comparison (Section II-E).
+    ItdrConfig dl = cfg;
+    dl.triggerMode = TriggerMode::DataLane;
+    const MeasurementBudget db = predictBudget(dl, rt25);
+    std::printf("data-lane trigger (1->0 patterns, rate 1/4): "
+                "%.1f us vs %.1f us on the clock lane\n",
+                db.expectedDuration * 1e6,
+                nominal.expectedDuration * 1e6);
+    return 0;
+}

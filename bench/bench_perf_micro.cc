@@ -1,0 +1,149 @@
+/**
+ * @file
+ * PERF — google-benchmark microbenchmarks of the simulator's hot
+ * paths: lattice and Born reflection rendering, a full iTDR
+ * measurement, fingerprint similarity, the APC inverse table, and
+ * ROC analysis. These bound how fast the paper-scale experiments can
+ * run and quantify the Born-vs-lattice ablation speed side.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fingerprint/fingerprint.hh"
+#include "itdr/apc.hh"
+#include "itdr/itdr.hh"
+#include "txline/born.hh"
+#include "txline/lattice.hh"
+#include "txline/manufacturing.hh"
+#include "util/roc.hh"
+
+namespace divot {
+namespace {
+
+TransmissionLine
+benchLine(double length = 0.25)
+{
+    ProcessParams params;
+    ManufacturingProcess fab(params, Rng(7));
+    auto z = fab.drawImpedanceProfile(length, 0.5e-3);
+    return TransmissionLine(std::move(z), 0.5e-3, params.velocity,
+                            50.0, 50.3, params.lossNeperPerMeter,
+                            "bench");
+}
+
+void
+BM_LatticeProbe(benchmark::State &state)
+{
+    const auto line = benchLine(
+        static_cast<double>(state.range(0)) / 100.0);
+    LatticeSimulator sim(line);
+    const EdgeShape edge(0.8, 25e-12);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.probe(edge).reflection);
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LatticeProbe)->Arg(10)->Arg(25)->Arg(50)->Complexity();
+
+void
+BM_BornProbe(benchmark::State &state)
+{
+    const auto line = benchLine(
+        static_cast<double>(state.range(0)) / 100.0);
+    BornTdrModel born(line);
+    const EdgeShape edge(0.8, 25e-12);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(born.probe(edge));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BornProbe)->Arg(10)->Arg(25)->Arg(50)->Complexity();
+
+void
+BM_ItdrMeasure(benchmark::State &state)
+{
+    const auto line = benchLine();
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = static_cast<unsigned>(state.range(0));
+    ITdr itdr(cfg, Rng(11));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(itdr.measure(line));
+}
+BENCHMARK(BM_ItdrMeasure)->Arg(17)->Arg(170);
+
+void
+BM_Similarity(benchmark::State &state)
+{
+    const auto line = benchLine();
+    ItdrConfig cfg;
+    ITdr itdr(cfg, Rng(13));
+    const Waveform empty;
+    const Fingerprint a =
+        Fingerprint::fromMeasurement(itdr.measure(line), empty);
+    const Fingerprint b =
+        Fingerprint::fromMeasurement(itdr.measure(line), empty);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(similarity(a, b));
+}
+BENCHMARK(BM_Similarity);
+
+void
+BM_ErrorFunction(benchmark::State &state)
+{
+    const auto line = benchLine();
+    ItdrConfig cfg;
+    ITdr itdr(cfg, Rng(17));
+    const Waveform empty;
+    const Fingerprint a =
+        Fingerprint::fromMeasurement(itdr.measure(line), empty);
+    const Fingerprint b =
+        Fingerprint::fromMeasurement(itdr.measure(line), empty);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(errorFunction(a, b));
+}
+BENCHMARK(BM_ErrorFunction);
+
+void
+BM_ApcInverseTableBuild(benchmark::State &state)
+{
+    std::vector<double> levels;
+    for (int i = 0; i < 17; ++i)
+        levels.push_back((i - 8) * 1e-3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ApcInverseTable(levels, 0.5e-3));
+}
+BENCHMARK(BM_ApcInverseTableBuild);
+
+void
+BM_ApcInverseTableLookup(benchmark::State &state)
+{
+    std::vector<double> levels;
+    for (int i = 0; i < 17; ++i)
+        levels.push_back((i - 8) * 1e-3);
+    const ApcInverseTable table(levels, 0.5e-3);
+    double p = 0.001;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.reconstruct(p));
+        p += 0.001;
+        if (p >= 0.999)
+            p = 0.001;
+    }
+}
+BENCHMARK(BM_ApcInverseTableLookup);
+
+void
+BM_RocAnalysis(benchmark::State &state)
+{
+    Rng rng(19);
+    std::vector<double> genuine, impostor;
+    for (long i = 0; i < state.range(0); ++i) {
+        genuine.push_back(rng.gaussian(0.8, 0.05));
+        impostor.push_back(rng.gaussian(0.1, 0.05));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(analyzeRoc(genuine, impostor));
+}
+BENCHMARK(BM_RocAnalysis)->Arg(1024)->Arg(8192);
+
+} // namespace
+} // namespace divot
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * fleet_enrollment — manufacturing-line workflow: fingerprint a
+ * whole fleet of boards, persist the enrollment database (the EPROM
+ * image), reload it, and verify that every board authenticates only
+ * as itself — the PUF property at fleet scale. Finishes with a
+ * cross-match matrix.
+ *
+ * Build & run:  ./build/examples/fleet_enrollment
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/divot.hh"
+
+using namespace divot;
+
+int
+main()
+{
+    setLogQuiet(true);
+
+    constexpr std::size_t fleet_size = 5;
+    const std::string db_path = "/tmp/divot_fleet_eprom.bin";
+
+    // --- Fabrication: pull boards from one production lot ---
+    ProcessParams process;
+    ManufacturingProcess fab(process, Rng(2020));
+    Rng rng(2021);
+    std::vector<TransmissionLine> fleet;
+    std::vector<std::unique_ptr<ITdr>> instruments;
+    for (std::size_t i = 0; i < fleet_size; ++i) {
+        auto z = fab.drawImpedanceProfile(0.25, 0.5e-3);
+        fleet.emplace_back(std::move(z), 0.5e-3, process.velocity,
+                           50.0, 50.0 + rng.gaussian(0.0, 0.3),
+                           process.lossNeperPerMeter,
+                           "board" + std::to_string(i));
+        instruments.push_back(
+            std::make_unique<ITdr>(ItdrConfig{}, rng.fork(100 + i)));
+    }
+
+    // --- Enrollment: fingerprint every board, burn the EPROM ---
+    TransmissionLine uniform(std::vector<double>(500, 50.0), 0.5e-3,
+                             process.velocity, 50.0, 50.0,
+                             process.lossNeperPerMeter, "nominal");
+    const Waveform nominal = instruments[0]->idealIip(uniform);
+
+    EnrollmentStore store;
+    for (std::size_t i = 0; i < fleet_size; ++i) {
+        std::vector<IipMeasurement> reps;
+        for (int r = 0; r < 16; ++r)
+            reps.push_back(instruments[i]->measure(fleet[i]));
+        store.enroll(fleet[i].name(),
+                     Fingerprint::enroll(reps, nominal,
+                                         fleet[i].name()));
+    }
+    if (!store.saveToFile(db_path)) {
+        std::printf("failed to write %s\n", db_path.c_str());
+        return 1;
+    }
+    std::printf("enrolled %zu boards -> %s\n\n", store.size(),
+                db_path.c_str());
+
+    // --- Field side: reload the EPROM image and cross-match ---
+    EnrollmentStore field;
+    if (!field.loadFromFile(db_path)) {
+        std::printf("EPROM image failed integrity check!\n");
+        return 1;
+    }
+
+    std::printf("cross-match similarity matrix (rows: measured board,"
+                " cols: claimed identity)\n        ");
+    for (std::size_t j = 0; j < fleet_size; ++j)
+        std::printf("board%zu  ", j);
+    std::printf("\n");
+
+    Matcher matcher(0.35);
+    bool all_correct = true;
+    for (std::size_t i = 0; i < fleet_size; ++i) {
+        const Fingerprint probe = Fingerprint::fromMeasurement(
+            instruments[i]->measure(fleet[i]), nominal);
+        std::printf("board%zu  ", i);
+        for (std::size_t j = 0; j < fleet_size; ++j) {
+            const auto claimed = field.lookup(fleet[j].name());
+            const double s = similarity(*claimed, probe);
+            const bool accepted = matcher.accepts(*claimed, probe);
+            std::printf("%.3f%s  ", s, accepted ? "*" : " ");
+            if (accepted != (i == j))
+                all_correct = false;
+        }
+        std::printf("\n");
+    }
+    std::printf("\n('*' = accepted at threshold %.2f)\n",
+                matcher.threshold());
+    std::printf("fleet identification: %s\n",
+                all_correct ? "every board matches only itself"
+                            : "MISIDENTIFICATION!");
+    std::remove(db_path.c_str());
+    return all_correct ? 0 : 1;
+}

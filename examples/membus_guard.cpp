@@ -1,0 +1,91 @@
+/**
+ * @file
+ * membus_guard — the Section III scenario end to end: an SDRAM
+ * module behind a DIVOT-guarded memory bus serving live traffic while
+ * an attacker attempts a cold-boot module swap and, later, attaches a
+ * probe.
+ *
+ * Demonstrates: two-way authentication (CPU side + module side), the
+ * auth-gated column access, detection latency within the memory-
+ * operation time frame, and zero overhead on benign traffic.
+ *
+ * Build & run:  ./build/examples/membus_guard
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/divot.hh"
+
+using namespace divot;
+
+int
+main()
+{
+    setLogQuiet(true);
+
+    MemorySystemConfig config;
+    config.busLength = 0.08;          // CPU to DIMM
+    config.requestsPerKcycle = 40.0;  // live traffic
+    config.workload = WorkloadKind::HotCold;
+
+    ProtectedMemorySystem system(config, Rng(42));
+    std::printf("protected memory system up: bus %.0f mm, clock "
+                "%.2f MHz\n",
+                system.bus().length() * 1e3, config.clockHz / 1e6);
+
+    // The victim stores a secret before any attack.
+    system.sdram().poke(0xc0ffee, 0x5ec12e7);
+
+    // Phase 1: benign operation.
+    system.run(500000);
+    MemorySystemReport rep = system.report();
+    std::printf("\nphase 1 (benign, 500k cycles): %llu requests "
+                "completed, row-hit %.0f%%, %llu monitoring rounds, "
+                "0 overhead (stalls=%llu, gate rejections=%llu)\n",
+                static_cast<unsigned long long>(rep.completed),
+                rep.controller.rowHitRate() * 100.0,
+                static_cast<unsigned long long>(rep.monitoringRounds),
+                static_cast<unsigned long long>(
+                    rep.controller.stalledCycles),
+                static_cast<unsigned long long>(rep.gateRejections));
+
+    // Phase 2: the attacker powers the system down and moves the DIMM
+    // to a harvesting rig (cold boot). From DIVOT's perspective the
+    // CPU now faces a foreign bus+module.
+    std::printf("\nphase 2: cold-boot module swap at cycle 600k...\n");
+    system.scheduleColdBootSwap(600000);
+    system.run(1500000);
+    rep = system.report();
+    if (!rep.detections.empty()) {
+        const DetectionRecord &d = rep.detections.front();
+        std::printf("  detected '%s' after %.1f us "
+                    "(%llu bus cycles)\n",
+                    d.attack.c_str(), d.latencySeconds * 1e6,
+                    static_cast<unsigned long long>(d.latencyCycles));
+        std::printf("  CPU stalled %llu cycles; device gate rejected "
+                    "%llu column accesses\n",
+                    static_cast<unsigned long long>(
+                        rep.controller.stalledCycles),
+                    static_cast<unsigned long long>(
+                        rep.gateRejections));
+        std::printf("  the secret at 0xc0ffee was never served to "
+                    "the foreign requester\n");
+    } else {
+        std::printf("  !! swap NOT detected\n");
+        return 1;
+    }
+
+    std::printf("\nCPU-side security log (first entries):\n");
+    const auto &events = system.protocol().cpuPolicy().events();
+    const std::size_t shown = std::min<std::size_t>(events.size(), 5);
+    for (std::size_t i = 0; i < shown; ++i) {
+        std::printf("  round %llu: %s (S=%.2f)\n",
+                    static_cast<unsigned long long>(events[i].round),
+                    reactionActionName(events[i].action),
+                    events[i].similarity);
+    }
+    if (events.size() > shown)
+        std::printf("  ... (%zu more)\n", events.size() - shown);
+    return 0;
+}

@@ -1,0 +1,44 @@
+#include "analog/comparator.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace divot {
+
+Comparator::Comparator(ComparatorParams params, Rng rng)
+    : params_(params), rng_(rng)
+{
+    if (params.noiseSigma < 0.0)
+        divot_fatal("comparator noise sigma must be >= 0 (got %g)",
+                    params.noiseSigma);
+    if (params.metastableBand < 0.0)
+        divot_fatal("metastable band must be >= 0 (got %g)",
+                    params.metastableBand);
+}
+
+bool
+Comparator::strobe(double v_sig, double v_ref)
+{
+    const double dv = v_sig + params_.inputOffset - v_ref;
+    if (params_.metastableBand > 0.0 &&
+        std::fabs(dv) < params_.metastableBand) {
+        return rng_.bernoulli(0.5);
+    }
+    const double noise =
+        params_.noiseSigma > 0.0 ? rng_.gaussian(0.0, params_.noiseSigma)
+                                 : 0.0;
+    return dv + noise > 0.0;
+}
+
+double
+Comparator::probabilityHigh(double v_sig, double v_ref) const
+{
+    const double dv = v_sig + params_.inputOffset - v_ref;
+    if (params_.noiseSigma == 0.0)
+        return dv > 0.0 ? 1.0 : 0.0;
+    return normalCdf(dv / params_.noiseSigma);
+}
+
+} // namespace divot

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * 1-bit comparator model — the entire analog front-end of the iTDR.
+ *
+ * The paper's key observation (Section II-B) is that a comparator
+ * with Gaussian input-referred noise is not a defect but a feature:
+ * the probability of output 1,
+ *
+ *     p{Y=1} = p{V_sig - V_ref > V_noise} = Phi((V_sig - V_ref)/sigma),
+ *
+ * is a smooth, invertible function of the analog input, so counting
+ * 1s over repeated trials *is* an analog-to-digital conversion (APC)
+ * with resolution set by the trial count rather than by a flash-ADC
+ * ladder. The model includes input offset and a finite-bandwidth
+ * metastability band to keep it honest about real silicon.
+ */
+
+#ifndef DIVOT_ANALOG_COMPARATOR_HH
+#define DIVOT_ANALOG_COMPARATOR_HH
+
+#include "util/rng.hh"
+
+namespace divot {
+
+/** Static electrical parameters of the comparator. */
+struct ComparatorParams
+{
+    double noiseSigma = 0.5e-3;    //!< input-referred noise, volts RMS
+    double inputOffset = 0.0;      //!< static offset voltage, volts
+    double metastableBand = 0.0;   //!< |dV| below which output is a
+                                   //!< coin flip (metastability), volts
+};
+
+/**
+ * Sampled comparator: evaluates sign(V+ - V- + noise) at a trigger.
+ */
+class Comparator
+{
+  public:
+    /**
+     * @param params electrical parameters
+     * @param rng    dedicated random stream (noise + metastability)
+     */
+    Comparator(ComparatorParams params, Rng rng);
+
+    /**
+     * One strobed comparison.
+     *
+     * @param v_sig voltage on the positive input
+     * @param v_ref voltage on the negative (reference) input
+     * @return true when the noisy difference is positive
+     */
+    bool strobe(double v_sig, double v_ref);
+
+    /**
+     * Exact analytic probability of output 1 for given inputs — the
+     * ground truth the Monte-Carlo strobes converge to; used by
+     * reconstruction math and tests.
+     */
+    double probabilityHigh(double v_sig, double v_ref) const;
+
+    /** @return input-referred noise sigma in volts. */
+    double noiseSigma() const { return params_.noiseSigma; }
+
+    /** @return comparator parameter set. */
+    const ComparatorParams &params() const { return params_; }
+
+  private:
+    ComparatorParams params_;
+    Rng rng_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_ANALOG_COMPARATOR_HH

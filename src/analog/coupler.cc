@@ -1,0 +1,41 @@
+#include "analog/coupler.hh"
+
+#include "signal/filter.hh"
+#include "util/logging.hh"
+
+namespace divot {
+
+Coupler::Coupler(CouplerParams params)
+    : params_(params)
+{
+    if (params.couplingFactor <= 0.0 || params.couplingFactor > 1.0)
+        divot_fatal("coupling factor %g outside (0,1]",
+                    params.couplingFactor);
+    if (params.directivityLeak < 0.0 || params.directivityLeak > 0.5)
+        divot_fatal("directivity leak %g outside [0,0.5]",
+                    params.directivityLeak);
+    if (params.highpassTau < 0.0)
+        divot_fatal("highpass tau must be >= 0 (got %g)",
+                    params.highpassTau);
+}
+
+Waveform
+Coupler::detectorOutput(const Waveform &reflection,
+                        const Waveform &incident) const
+{
+    if (reflection.size() != incident.size())
+        divot_panic("coupler input size mismatch (%zu vs %zu)",
+                    reflection.size(), incident.size());
+    Waveform out = reflection;
+    out *= params_.couplingFactor;
+    if (params_.directivityLeak > 0.0) {
+        Waveform leak = incident;
+        leak *= params_.directivityLeak;
+        out += leak;
+    }
+    if (params_.highpassTau > 0.0)
+        out = rcHighpass(out, params_.highpassTau);
+    return out;
+}
+
+} // namespace divot

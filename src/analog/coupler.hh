@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Directional coupler model (CPL in Fig. 1).
+ *
+ * The coupler separates the weak backward-travelling reflection from
+ * the strong forward-travelling data signal so the comparator sees
+ * mostly the IIP echo. Real couplers have finite directivity: a small
+ * fraction of the incident wave leaks into the detector port. The
+ * leak is deterministic per edge, so it appears as a fixed pedestal
+ * in every IIP and cancels in differential comparisons — but it is
+ * modelled so experiments see realistic traces.
+ */
+
+#ifndef DIVOT_ANALOG_COUPLER_HH
+#define DIVOT_ANALOG_COUPLER_HH
+
+#include "signal/waveform.hh"
+
+namespace divot {
+
+/** Coupler electrical parameters. */
+struct CouplerParams
+{
+    double couplingFactor = 0.5;    //!< reflected-path gain to detector
+    double directivityLeak = 0.002; //!< incident-path leak to detector
+    double highpassTau = 150e-12;   //!< AC-coupling time constant; a
+                                    //!< step-probe trace is a running
+                                    //!< sum of rho and wanders far
+                                    //!< beyond the PDM range without
+                                    //!< it. 0 disables.
+};
+
+/**
+ * Combines reflection and incident traces into the detector-port
+ * waveform.
+ */
+class Coupler
+{
+  public:
+    /** @param params electrical parameters. */
+    explicit Coupler(CouplerParams params);
+
+    /**
+     * Detector-port waveform for one probe.
+     *
+     * @param reflection backward wave at the line input
+     * @param incident   forward wave launched into the line
+     */
+    Waveform detectorOutput(const Waveform &reflection,
+                            const Waveform &incident) const;
+
+    /** @return reflected-path gain. */
+    double couplingFactor() const { return params_.couplingFactor; }
+
+    /** @return incident-path leak. */
+    double directivityLeak() const { return params_.directivityLeak; }
+
+  private:
+    CouplerParams params_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_ANALOG_COUPLER_HH

@@ -1,0 +1,58 @@
+#include "analog/pll.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+PhaseLockedLoop::PhaseLockedLoop(PllParams params, Rng rng)
+    : params_(params), rng_(rng)
+{
+    if (params.clockFrequency <= 0.0)
+        divot_fatal("PLL clock frequency must be positive (got %g)",
+                    params.clockFrequency);
+    if (params.phaseStep <= 0.0)
+        divot_fatal("PLL phase step must be positive (got %g)",
+                    params.phaseStep);
+    if (params.phaseStep >= clockPeriod())
+        divot_fatal("phase step %g >= clock period %g: ETS would skip",
+                    params.phaseStep, clockPeriod());
+}
+
+unsigned
+PhaseLockedLoop::stepsPerPeriod() const
+{
+    return static_cast<unsigned>(
+        std::ceil(clockPeriod() / params_.phaseStep));
+}
+
+void
+PhaseLockedLoop::stepPhase()
+{
+    ++phaseIndex_;
+}
+
+void
+PhaseLockedLoop::resetPhase()
+{
+    phaseIndex_ = 0;
+}
+
+double
+PhaseLockedLoop::nominalStrobeTime(uint64_t k) const
+{
+    return static_cast<double>(k) * clockPeriod() +
+        static_cast<double>(phaseIndex_) * params_.phaseStep;
+}
+
+double
+PhaseLockedLoop::strobeTime(uint64_t k)
+{
+    double t = nominalStrobeTime(k);
+    if (params_.jitterRms > 0.0)
+        t += rng_.gaussian(0.0, params_.jitterRms);
+    return t;
+}
+
+} // namespace divot

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Phase-locked loop with dynamic phase stepping — the clock machinery
+ * behind equivalent-time sampling (Section II-D).
+ *
+ * The iTDR never samples fast: it strobes its comparator once per
+ * data-clock period, then advances the strobe phase by a tiny
+ * increment tau (11.16 ps on the Xilinx Ultrascale+ prototype)
+ * between measurement passes. After M passes with M * tau = T_clk,
+ * the concatenated samples cover the waveform on a tau-spaced grid —
+ * an equivalent rate of 1/tau (> 80 GSa/s) from hardware that only
+ * ever toggles at the bus clock. One PLL serves every iTDR on the
+ * chip because all bus interfaces share the transmission clock.
+ */
+
+#ifndef DIVOT_ANALOG_PLL_HH
+#define DIVOT_ANALOG_PLL_HH
+
+#include <cstdint>
+
+#include "util/rng.hh"
+
+namespace divot {
+
+/** PLL configuration. */
+struct PllParams
+{
+    double clockFrequency = 156.25e6;  //!< data/sampling clock, Hz
+    double phaseStep = 11.16e-12;      //!< dynamic phase increment, s
+    double jitterRms = 0.0;            //!< random strobe jitter, s RMS
+};
+
+/**
+ * Phase-stepping PLL model.
+ */
+class PhaseLockedLoop
+{
+  public:
+    /**
+     * @param params clock parameters
+     * @param rng    stream for strobe jitter
+     */
+    PhaseLockedLoop(PllParams params, Rng rng);
+
+    /** @return data clock period in seconds. */
+    double clockPeriod() const { return 1.0 / params_.clockFrequency; }
+
+    /** @return configured phase step tau in seconds. */
+    double phaseStep() const { return params_.phaseStep; }
+
+    /**
+     * @return number of phase steps needed to sweep one full clock
+     * period (M in the paper; ceil(T / tau)).
+     */
+    unsigned stepsPerPeriod() const;
+
+    /** @return equivalent sampling rate 1/tau in Sa/s. */
+    double equivalentSampleRate() const { return 1.0 / params_.phaseStep; }
+
+    /** Advance the strobe phase by one step. */
+    void stepPhase();
+
+    /** Reset the phase offset to zero (new measurement sweep). */
+    void resetPhase();
+
+    /** @return current phase offset index. */
+    unsigned phaseIndex() const { return phaseIndex_; }
+
+    /**
+     * Absolute strobe time of trigger k at the current phase offset,
+     * including jitter when configured.
+     *
+     * @param k trigger (clock cycle) index
+     */
+    double strobeTime(uint64_t k);
+
+    /** Deterministic strobe time (no jitter draw) for analysis. */
+    double nominalStrobeTime(uint64_t k) const;
+
+  private:
+    PllParams params_;
+    Rng rng_;
+    unsigned phaseIndex_ = 0;
+};
+
+} // namespace divot
+
+#endif // DIVOT_ANALOG_PLL_HH

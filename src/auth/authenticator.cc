@@ -1,0 +1,117 @@
+#include "auth/authenticator.hh"
+
+#include "util/logging.hh"
+
+namespace divot {
+
+Authenticator::Authenticator(AuthConfig config, ItdrConfig itdr, Rng rng,
+                             std::string channel)
+    : config_(config), itdr_(itdr, rng), channel_(std::move(channel))
+{
+    if (config.tamperThreshold <= 0.0)
+        divot_fatal("tamper threshold must be positive (got %g)",
+                    config.tamperThreshold);
+    if (config.similarityThreshold < 0.0 ||
+        config.similarityThreshold > 1.0) {
+        divot_fatal("similarity threshold %g outside [0,1]",
+                    config.similarityThreshold);
+    }
+    if (config.averageWindow == 0)
+        divot_fatal("average window must be >= 1");
+}
+
+void
+Authenticator::enroll(const TransmissionLine &line, std::size_t reps)
+{
+    if (reps == 0)
+        divot_fatal("enroll needs at least one measurement");
+    // Nominal design response: a uniform line of the same geometry.
+    TransmissionLine uniform(
+        std::vector<double>(line.segments(),
+                            line.sourceImpedance()),
+        line.segmentLength(), line.velocity(), line.sourceImpedance(),
+        line.sourceImpedance(), line.lossNeperPerMeter(),
+        line.name() + ".nominal");
+    nominal_ = itdr_.idealIip(uniform);
+
+    std::vector<IipMeasurement> measurements;
+    measurements.reserve(reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+        IipMeasurement m = itdr_.measure(line);
+        busCycles_ += m.busCycles;
+        measurements.push_back(std::move(m));
+    }
+    enrolled_ = Fingerprint::enroll(measurements, nominal_, channel_);
+    window_.clear();
+    state_ = AuthState::Monitoring;
+    divot_inform("channel '%s' enrolled after %zu measurements",
+                 channel_.c_str(), reps);
+}
+
+void
+Authenticator::adoptEnrollment(Fingerprint fp, Waveform nominal)
+{
+    if (!fp.valid())
+        divot_fatal("adopting invalid enrollment for channel '%s'",
+                    channel_.c_str());
+    enrolled_ = std::move(fp);
+    nominal_ = std::move(nominal);
+    window_.clear();
+    state_ = AuthState::Monitoring;
+}
+
+Fingerprint
+Authenticator::averagedFingerprint() const
+{
+    Waveform mean = window_.front();
+    for (std::size_t i = 1; i < window_.size(); ++i)
+        mean += window_[i];
+    mean *= 1.0 / static_cast<double>(window_.size());
+    IipMeasurement pseudo;
+    pseudo.iip = std::move(mean);
+    return Fingerprint::fromMeasurement(pseudo, nominal_,
+                                        channel_ + ".current");
+}
+
+AuthVerdict
+Authenticator::checkRound(const TransmissionLine &current_line,
+                          NoiseSource *extra_noise)
+{
+    if (state_ == AuthState::Unenrolled)
+        divot_fatal("channel '%s' cannot monitor before enrollment",
+                    channel_.c_str());
+
+    IipMeasurement m = itdr_.measure(current_line, extra_noise);
+    busCycles_ += m.busCycles;
+    window_.push_back(m.iip);
+    if (window_.size() > config_.averageWindow)
+        window_.pop_front();
+
+    const Fingerprint current = averagedFingerprint();
+
+    AuthVerdict verdict;
+    verdict.round = ++round_;
+    verdict.similarity = similarity(enrolled_, current);
+    verdict.authenticated =
+        verdict.similarity >= config_.similarityThreshold;
+
+    const double warm_threshold = config_.tamperThreshold *
+        (1.0 + config_.warmupSlack /
+                   static_cast<double>(window_.size()));
+    const TamperLocalizer warm_localizer(warm_threshold);
+    const TamperReport tr =
+        warm_localizer.inspect(enrolled_, current, current_line);
+    verdict.peakError = tr.peakError;
+    verdict.tamperAlarm = tr.detected;
+    verdict.tamperLocation = tr.location;
+
+    if (verdict.tamperAlarm)
+        state_ = AuthState::TamperAlert;
+    else if (!verdict.authenticated)
+        state_ = AuthState::Mismatch;
+    else
+        state_ = AuthState::Monitoring;
+    return verdict;
+}
+
+} // namespace divot

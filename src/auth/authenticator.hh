@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Runtime bus authenticator + tamper monitor (Section III,
+ * "Monitoring" and "Reaction to counter attacks").
+ *
+ * One Authenticator guards one bus interface. Each monitoring round
+ * it takes a fresh IIP measurement, maintains a sliding average of
+ * the last few rounds (the FIFO of IIP values the paper keeps on the
+ * memory side), and evaluates two checks:
+ *
+ *   1. Authentication: similarity of the averaged fingerprint against
+ *      the enrolled one — is this the line/module we calibrated with?
+ *   2. Tamper: the E_xy error-function peak against the tamper
+ *      threshold — did the line itself change (probe, tap, Trojan)?
+ *
+ * The verdict feeds the ReactionPolicy (block access, halt memory
+ * operations, raise an alarm).
+ */
+
+#ifndef DIVOT_AUTH_AUTHENTICATOR_HH
+#define DIVOT_AUTH_AUTHENTICATOR_HH
+
+#include <deque>
+#include <string>
+
+#include "fingerprint/fingerprint.hh"
+#include "fingerprint/localize.hh"
+#include "itdr/itdr.hh"
+#include "signal/noise.hh"
+#include "txline/txline.hh"
+
+namespace divot {
+
+/** Authenticator tuning. */
+struct AuthConfig
+{
+    double similarityThreshold = 0.35; //!< accept-as-genuine floor
+    double tamperThreshold = 5e-7;     //!< E_xy peak alarm level, V^2,
+                                       //!< at a full averaging window
+    std::size_t averageWindow = 16;    //!< measurements in the sliding
+                                       //!< FIFO average
+    double warmupSlack = 8.0;          //!< the effective threshold is
+                                       //!< tamperThreshold*(1+slack/n)
+                                       //!< while the window holds only
+                                       //!< n measurements: the noise
+                                       //!< variance of the averaged
+                                       //!< IIP scales as 1/n, so a
+                                       //!< half-filled FIFO needs a
+                                       //!< proportionally higher bar
+                                       //!< to avoid false alarms
+};
+
+/** Verdict of one monitoring round. */
+struct AuthVerdict
+{
+    bool authenticated = false;  //!< similarity above threshold
+    bool tamperAlarm = false;    //!< E_xy peak above threshold
+    double similarity = 0.0;     //!< measured similarity score
+    double peakError = 0.0;      //!< measured E_xy peak, V^2
+    double tamperLocation = 0.0; //!< estimated attack position, m
+    uint64_t round = 0;          //!< monitoring round index
+};
+
+/** Lifecycle state of the authenticator. */
+enum class AuthState
+{
+    Unenrolled,   //!< no calibration fingerprint yet
+    Monitoring,   //!< normal operation, checks passing
+    Mismatch,     //!< similarity check failing (wrong line/module)
+    TamperAlert,  //!< error-function check failing (physical attack)
+};
+
+/**
+ * Guards one bus interface with one iTDR.
+ */
+class Authenticator
+{
+  public:
+    /**
+     * @param config  thresholds and window
+     * @param itdr    instrument configuration for this interface
+     * @param rng     random stream
+     * @param channel label for logs ("cpu.dimm0" etc.)
+     */
+    Authenticator(AuthConfig config, ItdrConfig itdr, Rng rng,
+                  std::string channel = "bus");
+
+    /**
+     * Calibrate against the pristine line: measures, averages, and
+     * stores the enrollment fingerprint; also derives the nominal
+     * design response used for residual extraction.
+     *
+     * @param line pristine line at installation time
+     * @param reps measurements to average (>= 1)
+     */
+    void enroll(const TransmissionLine &line, std::size_t reps = 16);
+
+    /** Adopt an existing enrollment (e.g. loaded from EPROM). */
+    void adoptEnrollment(Fingerprint fp, Waveform nominal);
+
+    /**
+     * One monitoring round against the line as it currently exists.
+     *
+     * @param current_line  line snapshot (possibly tampered/swapped)
+     * @param extra_noise   optional EMI at the comparator input
+     */
+    AuthVerdict checkRound(const TransmissionLine &current_line,
+                           NoiseSource *extra_noise = nullptr);
+
+    /** @return current lifecycle state. */
+    AuthState state() const { return state_; }
+
+    /** @return enrollment fingerprint (valid after enroll). */
+    const Fingerprint &enrolled() const { return enrolled_; }
+
+    /** @return nominal response used for residual extraction. */
+    const Waveform &nominal() const { return nominal_; }
+
+    /** @return channel label. */
+    const std::string &channel() const { return channel_; }
+
+    /** @return monitoring rounds performed. */
+    uint64_t rounds() const { return round_; }
+
+    /** @return total bus cycles consumed by monitoring so far. */
+    uint64_t busCyclesConsumed() const { return busCycles_; }
+
+    /** @return the instrument (for budget inspection). */
+    const ITdr &instrument() const { return itdr_; }
+
+  private:
+    AuthConfig config_;
+    ITdr itdr_;
+    std::string channel_;
+    AuthState state_ = AuthState::Unenrolled;
+    Fingerprint enrolled_;
+    Waveform nominal_;
+    std::deque<Waveform> window_;  //!< recent raw IIPs (FIFO)
+    uint64_t round_ = 0;
+    uint64_t busCycles_ = 0;
+
+    Fingerprint averagedFingerprint() const;
+};
+
+} // namespace divot
+
+#endif // DIVOT_AUTH_AUTHENTICATOR_HH

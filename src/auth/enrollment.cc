@@ -1,0 +1,239 @@
+#include "auth/enrollment.hh"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+namespace {
+
+constexpr uint32_t storeMagic = 0x44495654;  // "DIVT"
+constexpr uint32_t storeVersion = 1;
+
+/** FNV-1a over a byte range — cheap integrity check for the EPROM. */
+uint64_t
+fnv1a(const std::vector<char> &bytes)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+putU64(std::vector<char> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putF64(std::vector<char> &out, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    putU64(out, bits);
+}
+
+void
+putString(std::vector<char> &out, const std::string &s)
+{
+    putU64(out, s.size());
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+void
+putWaveform(std::vector<char> &out, const Waveform &w)
+{
+    putF64(out, w.dt());
+    putF64(out, w.startTime());
+    putU64(out, w.size());
+    for (std::size_t i = 0; i < w.size(); ++i)
+        putF64(out, w[i]);
+}
+
+class Reader
+{
+  public:
+    Reader(const std::vector<char> &bytes) : bytes_(bytes) {}
+
+    bool
+    u64(uint64_t &v)
+    {
+        if (pos_ + 8 > bytes_.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= static_cast<uint64_t>(
+                     static_cast<unsigned char>(bytes_[pos_ + i]))
+                 << (8 * i);
+        }
+        pos_ += 8;
+        return true;
+    }
+
+    bool
+    f64(double &v)
+    {
+        uint64_t bits;
+        if (!u64(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof v);
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        uint64_t len;
+        if (!u64(len) || pos_ + len > bytes_.size())
+            return false;
+        s.assign(bytes_.begin() + static_cast<long>(pos_),
+                 bytes_.begin() + static_cast<long>(pos_ + len));
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    waveform(Waveform &w)
+    {
+        double dt, t0;
+        uint64_t n;
+        if (!f64(dt) || !f64(t0) || !u64(n))
+            return false;
+        if (dt <= 0.0 || n > (1ull << 32))
+            return false;
+        std::vector<double> samples(n);
+        for (auto &x : samples) {
+            if (!f64(x))
+                return false;
+        }
+        w = Waveform(dt, std::move(samples), t0);
+        return true;
+    }
+
+    bool done() const { return pos_ == bytes_.size(); }
+
+  private:
+    const std::vector<char> &bytes_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+EnrollmentStore::enroll(const std::string &channel, Fingerprint fp,
+                        bool overwrite)
+{
+    if (!fp.valid())
+        divot_fatal("enrolling invalid fingerprint for channel '%s'",
+                    channel.c_str());
+    if (!overwrite && store_.count(channel)) {
+        divot_warn("channel '%s' already enrolled; refusing overwrite",
+                   channel.c_str());
+        return false;
+    }
+    store_[channel] = std::move(fp);
+    return true;
+}
+
+std::optional<Fingerprint>
+EnrollmentStore::lookup(const std::string &channel) const
+{
+    const auto it = store_.find(channel);
+    if (it == store_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+EnrollmentStore::contains(const std::string &channel) const
+{
+    return store_.count(channel) != 0;
+}
+
+bool
+EnrollmentStore::saveToFile(const std::string &path) const
+{
+    std::vector<char> payload;
+    putU64(payload, store_.size());
+    for (const auto &[channel, fp] : store_) {
+        putString(payload, channel);
+        putString(payload, fp.label());
+        putWaveform(payload, fp.raw());
+        putWaveform(payload, fp.residual());
+    }
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    std::vector<char> header;
+    putU64(header, (static_cast<uint64_t>(storeVersion) << 32) |
+                       storeMagic);
+    putU64(header, fnv1a(payload));
+    out.write(header.data(), static_cast<long>(header.size()));
+    out.write(payload.data(), static_cast<long>(payload.size()));
+    return static_cast<bool>(out);
+}
+
+bool
+EnrollmentStore::loadFromFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    if (bytes.size() < 16)
+        return false;
+
+    std::vector<char> header(bytes.begin(), bytes.begin() + 16);
+    std::vector<char> payload(bytes.begin() + 16, bytes.end());
+    Reader hr(header);
+    uint64_t magic_ver, checksum;
+    if (!hr.u64(magic_ver) || !hr.u64(checksum))
+        return false;
+    if ((magic_ver & 0xffffffffu) != storeMagic) {
+        divot_warn("enrollment file '%s' has bad magic", path.c_str());
+        return false;
+    }
+    if ((magic_ver >> 32) != storeVersion) {
+        divot_warn("enrollment file '%s' has unsupported version %llu",
+                   path.c_str(),
+                   static_cast<unsigned long long>(magic_ver >> 32));
+        return false;
+    }
+    if (fnv1a(payload) != checksum) {
+        divot_warn("enrollment file '%s' failed integrity check",
+                   path.c_str());
+        return false;
+    }
+
+    Reader pr(payload);
+    uint64_t count;
+    if (!pr.u64(count))
+        return false;
+    std::map<std::string, Fingerprint> loaded;
+    for (uint64_t i = 0; i < count; ++i) {
+        std::string channel, label;
+        Waveform raw, residual;
+        if (!pr.str(channel) || !pr.str(label) || !pr.waveform(raw) ||
+            !pr.waveform(residual)) {
+            return false;
+        }
+        loaded[channel] = Fingerprint::fromParts(
+            std::move(raw), std::move(residual), std::move(label));
+    }
+    if (!pr.done())
+        return false;
+    store_ = std::move(loaded);
+    return true;
+}
+
+} // namespace divot

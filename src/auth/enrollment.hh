@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Enrollment (calibration) storage — the paper's EPROM model.
+ *
+ * At manufacturing or installation time the iTDR on each side of a
+ * bus collects the bus fingerprint and burns it into a local EPROM
+ * (Section III, "Calibration"). The paper notes the ROM's secrecy is
+ * *not* security-critical: an IIP is useless off its exact physical
+ * line, so a leaked fingerprint cannot be replayed. The store
+ * therefore offers plain binary persistence with integrity checking
+ * (a corrupted calibration must fail loudly, not authenticate junk).
+ */
+
+#ifndef DIVOT_AUTH_ENROLLMENT_HH
+#define DIVOT_AUTH_ENROLLMENT_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "fingerprint/fingerprint.hh"
+
+namespace divot {
+
+/**
+ * Write-once-per-channel fingerprint store with file persistence.
+ */
+class EnrollmentStore
+{
+  public:
+    EnrollmentStore() = default;
+
+    /**
+     * Record the calibration fingerprint of a channel.
+     *
+     * @param channel   channel identifier (e.g. "dimm0.clk")
+     * @param fp        enrollment fingerprint
+     * @param overwrite allow re-calibration of an existing channel
+     * @return false when the channel exists and overwrite is false
+     */
+    bool enroll(const std::string &channel, Fingerprint fp,
+                bool overwrite = false);
+
+    /** @return the fingerprint of a channel, if enrolled. */
+    std::optional<Fingerprint> lookup(const std::string &channel) const;
+
+    /** @return true when the channel has a calibration record. */
+    bool contains(const std::string &channel) const;
+
+    /** @return number of enrolled channels. */
+    std::size_t size() const { return store_.size(); }
+
+    /** Remove every record (factory reset). */
+    void clear() { store_.clear(); }
+
+    /**
+     * Persist all records to a binary file.
+     *
+     * @return true on success
+     */
+    bool saveToFile(const std::string &path) const;
+
+    /**
+     * Load records from a binary file, replacing current contents.
+     * Fails (returns false) on missing file, bad magic, or a payload
+     * checksum mismatch.
+     */
+    bool loadFromFile(const std::string &path);
+
+  private:
+    std::map<std::string, Fingerprint> store_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_AUTH_ENROLLMENT_HH

@@ -1,0 +1,66 @@
+#include "auth/reaction.hh"
+
+#include "util/logging.hh"
+
+namespace divot {
+
+const char *
+reactionActionName(ReactionAction action)
+{
+    switch (action) {
+      case ReactionAction::Proceed: return "proceed";
+      case ReactionAction::StallRetry: return "stall-retry";
+      case ReactionAction::BlockAccess: return "block-access";
+      case ReactionAction::RaiseAlarm: return "raise-alarm";
+      case ReactionAction::ZeroizeKeys: return "zeroize-keys";
+    }
+    return "?";
+}
+
+ReactionPolicy::ReactionPolicy(BusRole role, bool zeroize_on_tamper)
+    : role_(role), zeroizeOnTamper_(zeroize_on_tamper)
+{
+}
+
+ReactionAction
+ReactionPolicy::decide(const AuthVerdict &verdict)
+{
+    ReactionAction action = ReactionAction::Proceed;
+    std::string detail;
+
+    if (verdict.tamperAlarm) {
+        ++alarms_;
+        if (zeroizeOnTamper_) {
+            action = ReactionAction::ZeroizeKeys;
+            detail = "tamper alarm: zeroizing volatile secrets";
+        } else {
+            action = ReactionAction::RaiseAlarm;
+            detail = "tamper alarm: abnormal IIP";
+        }
+        ++denied_;
+    } else if (!verdict.authenticated) {
+        ++denied_;
+        if (role_ == BusRole::Cpu) {
+            action = ReactionAction::StallRetry;
+            detail = "fingerprint mismatch: module may be swapped; "
+                     "stalling memory operations";
+        } else {
+            action = ReactionAction::BlockAccess;
+            detail = "fingerprint mismatch: unauthorized requester; "
+                     "blocking data access";
+        }
+    }
+
+    if (action != ReactionAction::Proceed) {
+        events_.push_back({verdict.round, action, verdict.similarity,
+                           verdict.peakError, verdict.tamperLocation,
+                           detail});
+        divot_warn("round %llu: %s (S=%.3f, E=%.3g)",
+                   static_cast<unsigned long long>(verdict.round),
+                   detail.c_str(), verdict.similarity,
+                   verdict.peakError);
+    }
+    return action;
+}
+
+} // namespace divot

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reaction policy — what the system does when a check fails
+ * (Section III, "Reaction to counter attacks").
+ *
+ * On the CPU side a fingerprint mismatch means the module may have
+ * been swapped: memory operations stop until the fingerprint matches
+ * again (avoids reading replayed data or writing secrets to a foreign
+ * device). An abnormal-IIP tamper alarm triggers protective actions
+ * (alarm, key zeroization hooks). On the memory side the reaction is
+ * simply blocking data operations.
+ */
+
+#ifndef DIVOT_AUTH_REACTION_HH
+#define DIVOT_AUTH_REACTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "auth/authenticator.hh"
+
+namespace divot {
+
+/** Which side of the bus this policy protects. */
+enum class BusRole { Cpu, Memory };
+
+/** Action taken in response to a verdict. */
+enum class ReactionAction
+{
+    Proceed,        //!< all checks passed; allow the operation
+    StallRetry,     //!< CPU side: pause memory ops, re-measure
+    BlockAccess,    //!< memory side: gate the column access off
+    RaiseAlarm,     //!< notify the platform of a tamper attempt
+    ZeroizeKeys,    //!< scrub volatile secrets (hook)
+};
+
+/** One logged security event. */
+struct SecurityEvent
+{
+    uint64_t round;
+    ReactionAction action;
+    double similarity;
+    double peakError;
+    double location;
+    std::string detail;
+};
+
+/**
+ * Maps authentication verdicts to actions and keeps an audit log.
+ */
+class ReactionPolicy
+{
+  public:
+    /**
+     * @param role which side of the bus is being protected
+     * @param zeroize_on_tamper arm the key-zeroization hook
+     */
+    explicit ReactionPolicy(BusRole role, bool zeroize_on_tamper = false);
+
+    /**
+     * Decide the action for a verdict and log it.
+     */
+    ReactionAction decide(const AuthVerdict &verdict);
+
+    /** @return audit log of non-Proceed events. */
+    const std::vector<SecurityEvent> &events() const { return events_; }
+
+    /** @return count of blocked / stalled operations. */
+    uint64_t deniedCount() const { return denied_; }
+
+    /** @return count of tamper alarms raised. */
+    uint64_t alarmCount() const { return alarms_; }
+
+    /** @return protected role. */
+    BusRole role() const { return role_; }
+
+  private:
+    BusRole role_;
+    bool zeroizeOnTamper_;
+    std::vector<SecurityEvent> events_;
+    uint64_t denied_ = 0;
+    uint64_t alarms_ = 0;
+};
+
+/** @return printable action name. */
+const char *reactionActionName(ReactionAction action);
+
+} // namespace divot
+
+#endif // DIVOT_AUTH_REACTION_HH

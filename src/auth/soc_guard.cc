@@ -1,0 +1,126 @@
+#include "auth/soc_guard.hh"
+
+#include "itdr/budget.hh"
+#include "util/logging.hh"
+
+namespace divot {
+
+SocGuard::SocGuard(AuthConfig auth, ItdrConfig itdr, Rng rng)
+    : authConfig_(auth), itdrConfig_(itdr), rng_(rng)
+{
+}
+
+bool
+SocGuard::attachChannel(const std::string &name,
+                        const TransmissionLine &bus, std::size_t reps)
+{
+    if (channels_.count(name)) {
+        divot_warn("SoC channel '%s' already attached", name.c_str());
+        return false;
+    }
+    auto auth = std::make_unique<Authenticator>(
+        authConfig_, itdrConfig_,
+        rng_.fork(0x8000 + channels_.size()), name);
+    auth->enroll(bus, reps);
+    channels_.emplace(name, Channel{std::move(auth), bus});
+    names_.push_back(name);
+    return true;
+}
+
+SocGuard::Channel &
+SocGuard::find(const std::string &name)
+{
+    const auto it = channels_.find(name);
+    if (it == channels_.end())
+        divot_fatal("unknown SoC channel '%s'", name.c_str());
+    return it->second;
+}
+
+const SocGuard::Channel &
+SocGuard::find(const std::string &name) const
+{
+    const auto it = channels_.find(name);
+    if (it == channels_.end())
+        divot_fatal("unknown SoC channel '%s'", name.c_str());
+    return it->second;
+}
+
+AuthVerdict
+SocGuard::monitorChannel(const std::string &name,
+                         const TransmissionLine &current)
+{
+    Channel &ch = find(name);
+    ch.last = ch.auth->checkRound(current);
+    ch.everChecked = true;
+    return ch.last;
+}
+
+SocSecurityState
+SocGuard::monitorAll(
+    const std::map<std::string, TransmissionLine> &current)
+{
+    for (const std::string &name : names_) {
+        const auto it = current.find(name);
+        const TransmissionLine &bus =
+            it != current.end() ? it->second : find(name).pristine;
+        monitorChannel(name, bus);
+    }
+    return state();
+}
+
+SocSecurityState
+SocGuard::state() const
+{
+    SocSecurityState s;
+    s.channels = channels_.size();
+    for (const auto &[name, ch] : channels_) {
+        (void)name;
+        if (!ch.everChecked) {
+            ++s.healthy;  // calibrated, not yet contradicted
+            continue;
+        }
+        if (ch.last.tamperAlarm)
+            ++s.tampered;
+        else if (!ch.last.authenticated)
+            ++s.mismatched;
+        else
+            ++s.healthy;
+    }
+    s.chipTrusted = s.channels > 0 && s.healthy == s.channels;
+    return s;
+}
+
+const Authenticator &
+SocGuard::channel(const std::string &name) const
+{
+    return *find(name).auth;
+}
+
+ResourceEstimate
+SocGuard::resourceReport() const
+{
+    // Bin count from the largest attached line (worst case).
+    double worst_rt = 1e-9;
+    for (const auto &[name, ch] : channels_) {
+        (void)name;
+        worst_rt = std::max(worst_rt, ch.pristine.roundTripDelay());
+    }
+    const MeasurementBudget b = predictBudget(itdrConfig_, worst_rt);
+    return estimateResources(itdrConfig_, b.bins);
+}
+
+unsigned
+SocGuard::totalRegisters() const
+{
+    return resourceReport().registersForBuses(
+        static_cast<unsigned>(channels_.size()));
+}
+
+unsigned
+SocGuard::totalLuts() const
+{
+    return resourceReport().lutsForBuses(
+        static_cast<unsigned>(channels_.size()));
+}
+
+} // namespace divot

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * SoC-scale DIVOT deployment: one guard object protecting many buses.
+ *
+ * The paper's scalability story (Sections I/IV-A and the conclusion):
+ * over 90 % of a DIVOT detector's hardware — the phase-stepping PLL,
+ * the PDM triangle generator, the reconstruction datapath — is shared
+ * by every iTDR on a chip, so protecting a complex SoC's memory bus,
+ * I/O links, and storage interfaces costs one full instance plus a
+ * small per-lane slice. SocGuard models that deployment: a fleet of
+ * named channels with per-channel authenticators, aggregate security
+ * state, round-robin monitoring driven by one shared schedule, and
+ * the shared-resource cost report.
+ */
+
+#ifndef DIVOT_AUTH_SOC_GUARD_HH
+#define DIVOT_AUTH_SOC_GUARD_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auth/authenticator.hh"
+#include "auth/reaction.hh"
+#include "itdr/resource.hh"
+#include "txline/txline.hh"
+
+namespace divot {
+
+/** Aggregate security posture of the whole chip. */
+struct SocSecurityState
+{
+    std::size_t channels = 0;       //!< protected buses
+    std::size_t healthy = 0;        //!< channels passing both checks
+    std::size_t mismatched = 0;     //!< failing authentication
+    std::size_t tampered = 0;       //!< raising tamper alarms
+    bool chipTrusted = false;       //!< all channels healthy
+};
+
+/**
+ * Guards a fleet of buses with shared-iTDR economics.
+ */
+class SocGuard
+{
+  public:
+    /**
+     * @param auth per-channel authenticator tuning
+     * @param itdr instrument configuration (shared blocks counted
+     *             once in the resource report)
+     * @param rng  master random stream; each channel forks it
+     */
+    SocGuard(AuthConfig auth, ItdrConfig itdr, Rng rng);
+
+    /**
+     * Attach and calibrate a bus.
+     *
+     * @param name channel label (must be unique)
+     * @param bus  pristine line at installation time
+     * @param reps enrollment measurements
+     * @return false when the name is already taken
+     */
+    bool attachChannel(const std::string &name,
+                       const TransmissionLine &bus,
+                       std::size_t reps = 16);
+
+    /**
+     * One monitoring round of a single channel against its current
+     * physical state (channels are typically polled round-robin by
+     * the shared schedule; monitorAll sweeps every one).
+     */
+    AuthVerdict monitorChannel(const std::string &name,
+                               const TransmissionLine &current);
+
+    /**
+     * Sweep every channel once.
+     *
+     * @param current per-channel current bus states; channels missing
+     *                from the map are measured against their enrolled
+     *                pristine line
+     */
+    SocSecurityState monitorAll(
+        const std::map<std::string, TransmissionLine> &current);
+
+    /** @return aggregate state from the most recent verdicts. */
+    SocSecurityState state() const;
+
+    /** @return the authenticator guarding one channel. */
+    const Authenticator &channel(const std::string &name) const;
+
+    /** @return all channel names in attach order. */
+    const std::vector<std::string> &channelNames() const
+    {
+        return names_;
+    }
+
+    /**
+     * Hardware cost of this deployment: shared blocks once, per-lane
+     * blocks per channel.
+     */
+    ResourceEstimate resourceReport() const;
+
+    /** @return total registers for the current channel count. */
+    unsigned totalRegisters() const;
+
+    /** @return total LUTs for the current channel count. */
+    unsigned totalLuts() const;
+
+  private:
+    struct Channel
+    {
+        std::unique_ptr<Authenticator> auth;
+        TransmissionLine pristine;
+        AuthVerdict last{};
+        bool everChecked = false;
+    };
+
+    AuthConfig authConfig_;
+    ItdrConfig itdrConfig_;
+    Rng rng_;
+    std::map<std::string, Channel> channels_;
+    std::vector<std::string> names_;
+
+    Channel &find(const std::string &name);
+    const Channel &find(const std::string &name) const;
+};
+
+} // namespace divot
+
+#endif // DIVOT_AUTH_SOC_GUARD_HH

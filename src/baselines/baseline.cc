@@ -1,0 +1,17 @@
+#include "baselines/baseline.hh"
+
+namespace divot {
+
+const char *
+attackKindName(AttackKind kind)
+{
+    switch (kind) {
+      case AttackKind::ContactProbe: return "contact-probe";
+      case AttackKind::EmProbe: return "em-probe";
+      case AttackKind::WireTap: return "wire-tap";
+      case AttackKind::ModuleSwap: return "module-swap";
+    }
+    return "?";
+}
+
+} // namespace divot

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Common interface for the related-work countermeasures DIVOT is
+ * compared against in Section V. Each baseline is an honest small
+ * model of the published technique's sensing physics and operating
+ * constraints, so the comparison bench can reproduce the paper's
+ * qualitative capability matrix *and* put numbers on it.
+ */
+
+#ifndef DIVOT_BASELINES_BASELINE_HH
+#define DIVOT_BASELINES_BASELINE_HH
+
+#include <string>
+
+#include "util/rng.hh"
+
+namespace divot {
+
+/** Attack classes used across the comparison. */
+enum class AttackKind
+{
+    ContactProbe,  //!< metal probe touching a trace (adds pF load)
+    EmProbe,       //!< non-contact magnetic/EM probe
+    WireTap,       //!< soldered tap wire
+    ModuleSwap,    //!< cold boot / Trojan module replacement
+};
+
+/** Operating constraints of a technique. */
+struct BaselineTraits
+{
+    std::string name;
+    bool runtimeConcurrent;  //!< monitors during live data transfers
+    bool integrable;         //!< fits in chip interface logic
+    bool locatesAttack;      //!< reports attack position
+    double busTimeOverhead;  //!< fraction of bus time stolen from data
+};
+
+/**
+ * A physical-attack countermeasure under comparison.
+ */
+class ProtectionBaseline
+{
+  public:
+    virtual ~ProtectionBaseline() = default;
+
+    /** @return static capability/constraint description. */
+    virtual BaselineTraits traits() const = 0;
+
+    /**
+     * Monte-Carlo probability of detecting one attack episode.
+     *
+     * @param kind     attack class
+     * @param severity normalized attack strength in (0, 1]; 1 is the
+     *                 paper-typical magnitude for that class
+     * @param trials   Monte-Carlo repetitions
+     * @param rng      random stream
+     */
+    virtual double detectProbability(AttackKind kind, double severity,
+                                     std::size_t trials, Rng &rng) = 0;
+
+    /**
+     * Identification equal error rate when the technique is used as a
+     * PUF to distinguish boards/lines (negative when the technique
+     * cannot identify at all).
+     */
+    virtual double identificationEer() const = 0;
+};
+
+/** @return printable attack-kind name. */
+const char *attackKindName(AttackKind kind);
+
+} // namespace divot
+
+#endif // DIVOT_BASELINES_BASELINE_HH

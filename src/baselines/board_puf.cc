@@ -1,0 +1,65 @@
+#include "baselines/board_puf.hh"
+
+#include <cmath>
+
+#include "util/math.hh"
+
+namespace divot {
+
+BoardImpedancePuf::BoardImpedancePuf(BoardPufParams params)
+    : params_(params)
+{
+}
+
+BaselineTraits
+BoardImpedancePuf::traits() const
+{
+    return {"Board impedance PUF (Zhang)",
+            /*runtimeConcurrent=*/false,
+            /*integrable=*/false,  // bench impedance analyzer
+            /*locatesAttack=*/false,
+            /*busTimeOverhead=*/1.0};  // offline only: bus unusable
+                                       // during the measurement
+}
+
+double
+BoardImpedancePuf::detectProbability(AttackKind kind, double severity,
+                                     std::size_t trials, Rng &rng)
+{
+    // Offline technique: a runtime attack episode is simply never
+    // observed. Only a module swap that persists until the *next*
+    // offline audit can be caught, and only with the PUF's
+    // identification power. Model one audit per episode.
+    if (kind != AttackKind::ModuleSwap)
+        return 0.0;
+
+    // Audit: score the foreign board against the stored identity.
+    // Detected when the score falls below the EER threshold.
+    const double threshold = 0.5 *
+        (params_.genuineMean + params_.impostorMean);
+    std::size_t hits = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const double score = params_.impostorMean +
+            (1.0 - severity) * (params_.genuineMean -
+                                params_.impostorMean) +
+            rng.gaussian(0.0, params_.impostorSigma);
+        if (score < threshold)
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+double
+BoardImpedancePuf::identificationEer() const
+{
+    // For two Gaussians the EER is Phi(-d'/2) with
+    // d' = (mu_g - mu_i) / sqrt((s_g^2 + s_i^2)/2).
+    const double pooled = std::sqrt(
+        0.5 * (params_.genuineSigma * params_.genuineSigma +
+               params_.impostorSigma * params_.impostorSigma));
+    const double dprime =
+        (params_.genuineMean - params_.impostorMean) / pooled;
+    return normalCdf(-0.5 * dprime);
+}
+
+} // namespace divot

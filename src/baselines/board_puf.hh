@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Board-level input-impedance PUF — Zhang, Hennessy & Bhunia [78].
+ *
+ * Uses input-impedance variation across traces, measured offline with
+ * a bench impedance analyzer, to detect counterfeit PCBs in the
+ * supply chain. Honest limitations from the paper: no runtime
+ * protection (the analyzer is bulky bench equipment) and lower
+ * identification performance than RO/arbiter/Tx-line PUFs.
+ */
+
+#ifndef DIVOT_BASELINES_BOARD_PUF_HH
+#define DIVOT_BASELINES_BOARD_PUF_HH
+
+#include "baselines/baseline.hh"
+
+namespace divot {
+
+/** Board-PUF score-model parameters. */
+struct BoardPufParams
+{
+    double genuineMean = 0.92;   //!< genuine similarity score mean
+    double genuineSigma = 0.035; //!< genuine score spread
+    double impostorMean = 0.72;  //!< impostor score mean (coarse
+                                 //!< feature => high baseline overlap)
+    double impostorSigma = 0.05; //!< impostor score spread
+};
+
+/**
+ * Offline board-identification PUF.
+ */
+class BoardImpedancePuf : public ProtectionBaseline
+{
+  public:
+    explicit BoardImpedancePuf(BoardPufParams params = {});
+
+    BaselineTraits traits() const override;
+    double detectProbability(AttackKind kind, double severity,
+                             std::size_t trials, Rng &rng) override;
+    double identificationEer() const override;
+
+  private:
+    BoardPufParams params_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_BASELINES_BOARD_PUF_HH

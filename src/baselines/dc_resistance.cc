@@ -1,0 +1,57 @@
+#include "baselines/dc_resistance.hh"
+
+namespace divot {
+
+DcResistanceMonitor::DcResistanceMonitor(DcMonitorParams params)
+    : params_(params)
+{
+}
+
+BaselineTraits
+DcResistanceMonitor::traits() const
+{
+    return {"DC resistance (Paley)",
+            /*runtimeConcurrent=*/false,
+            /*integrable=*/true,
+            /*locatesAttack=*/false,
+            /*busTimeOverhead=*/params_.measureDuty};
+}
+
+double
+DcResistanceMonitor::detectProbability(AttackKind kind, double severity,
+                                       std::size_t trials, Rng &rng)
+{
+    double delta_r = 0.0;
+    switch (kind) {
+      case AttackKind::WireTap:
+        delta_r = params_.tapResistanceDelta * severity;
+        break;
+      case AttackKind::ModuleSwap:
+        // New module, new contact/bond resistances.
+        delta_r = 2.0 * params_.tapResistanceDelta * severity;
+        break;
+      case AttackKind::ContactProbe:
+        // A high-impedance probe draws no DC current: tiny effect.
+        delta_r = 0.05 * params_.tapResistanceDelta * severity;
+        break;
+      case AttackKind::EmProbe:
+        delta_r = 0.0;  // no galvanic contact at all
+        break;
+    }
+    const double rel_shift = delta_r / params_.traceResistance;
+    const double threshold =
+        params_.detectSigmas * params_.measureNoiseRel;
+
+    std::size_t hits = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        if (!rng.bernoulli(params_.measureDuty))
+            continue;  // data was flowing; no measurement possible
+        const double measured =
+            rel_shift + rng.gaussian(0.0, params_.measureNoiseRel);
+        if (measured > threshold)
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+} // namespace divot

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * DC trace-resistance monitor — Paley, Hoque & Bhunia [45].
+ *
+ * Measures the copper resistance of PCB traces to detect physical
+ * tampering. Honest limitations from the paper: the measurement needs
+ * a *quiescent* trace (data transfer must stop), it cannot work on
+ * AC-coupled links, and DC resistance is insensitive to EM-field
+ * probes (no galvanic contact, no resistance change).
+ */
+
+#ifndef DIVOT_BASELINES_DC_RESISTANCE_HH
+#define DIVOT_BASELINES_DC_RESISTANCE_HH
+
+#include "baselines/baseline.hh"
+
+namespace divot {
+
+/** DC monitor parameters. */
+struct DcMonitorParams
+{
+    double traceResistance = 0.5;     //!< ohms of the victim trace
+    double measureNoiseRel = 5e-3;    //!< measurement noise (relative)
+    double detectSigmas = 4.0;        //!< alarm threshold in sigmas
+    double tapResistanceDelta = 0.02; //!< added ohms from a solder tap
+    double measureDuty = 0.05;        //!< fraction of time measuring
+                                      //!< (data halted meanwhile)
+};
+
+/**
+ * DC resistance tamper monitor.
+ */
+class DcResistanceMonitor : public ProtectionBaseline
+{
+  public:
+    explicit DcResistanceMonitor(DcMonitorParams params = {});
+
+    BaselineTraits traits() const override;
+    double detectProbability(AttackKind kind, double severity,
+                             std::size_t trials, Rng &rng) override;
+    double identificationEer() const override { return -1.0; }
+
+  private:
+    DcMonitorParams params_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_BASELINES_DC_RESISTANCE_HH

@@ -1,0 +1,65 @@
+#include "baselines/pad.hh"
+
+#include <cmath>
+
+namespace divot {
+
+ProbeAttemptDetector::ProbeAttemptDetector(PadParams params)
+    : params_(params)
+{
+}
+
+BaselineTraits
+ProbeAttemptDetector::traits() const
+{
+    return {"PAD (ring oscillator)",
+            /*runtimeConcurrent=*/false,
+            /*integrable=*/true,
+            /*locatesAttack=*/false,
+            /*busTimeOverhead=*/params_.surveillanceDuty};
+}
+
+double
+ProbeAttemptDetector::detectProbability(AttackKind kind, double severity,
+                                        std::size_t trials, Rng &rng)
+{
+    // RO frequency f ~ 1/C: a capacitance delta shifts frequency by
+    // -dC/C relatively. Alarm when the shift clears the jitter-based
+    // threshold. The attack is only visible during surveillance.
+    double delta_c = 0.0;
+    switch (kind) {
+      case AttackKind::ContactProbe:
+        delta_c = params_.probeCapacitance * severity;
+        break;
+      case AttackKind::WireTap:
+        // A soldered tap wire loads far more than a probe tip.
+        delta_c = 5.0 * params_.probeCapacitance * severity;
+        break;
+      case AttackKind::EmProbe:
+        delta_c = params_.emProbeCapacitance * severity;
+        break;
+      case AttackKind::ModuleSwap:
+        // The RO sees the new module's input C; swap with same-model
+        // silicon changes C only marginally.
+        delta_c = 0.1 * params_.probeCapacitance * severity;
+        break;
+    }
+    const double rel_shift = delta_c / params_.wireCapacitance;
+    const double threshold =
+        params_.detectSigmas * params_.frequencyNoiseRel;
+
+    std::size_t hits = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        // Attack episode lands in a surveillance window with duty
+        // probability; otherwise the detector was decoding and blind.
+        if (!rng.bernoulli(params_.surveillanceDuty))
+            continue;
+        const double measured =
+            rel_shift + rng.gaussian(0.0, params_.frequencyNoiseRel);
+        if (measured > threshold)
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+} // namespace divot

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Probe attempt detector (PAD) — Manich, Wamser & Sigl [40].
+ *
+ * A ring oscillator is multiplexed onto the victim wire; a contact
+ * probe's tip capacitance (~1 pF) lowers the oscillation frequency,
+ * which a counter detects against a calibrated threshold. Two honest
+ * limitations from the paper:
+ *
+ *  - decode and surveillance modes cannot run concurrently, so the
+ *    detector only sees an attack while it holds the bus (duty
+ *    cycle), and every surveillance window steals bus time;
+ *  - a non-contact EM probe adds essentially no load capacitance, so
+ *    it is invisible to the RO.
+ */
+
+#ifndef DIVOT_BASELINES_PAD_HH
+#define DIVOT_BASELINES_PAD_HH
+
+#include "baselines/baseline.hh"
+
+namespace divot {
+
+/** PAD electrical/operating parameters. */
+struct PadParams
+{
+    double wireCapacitance = 10e-12;   //!< victim wire C, farad
+    double probeCapacitance = 1e-12;   //!< typical probe tip C, farad
+    double emProbeCapacitance = 5e-15; //!< parasitic C of an EM probe
+    double frequencyNoiseRel = 2e-3;   //!< RO frequency jitter (rel.)
+    double detectSigmas = 4.0;         //!< alarm threshold in sigmas
+    double surveillanceDuty = 0.10;    //!< fraction of time surveilling
+};
+
+/**
+ * Ring-oscillator probe attempt detector.
+ */
+class ProbeAttemptDetector : public ProtectionBaseline
+{
+  public:
+    explicit ProbeAttemptDetector(PadParams params = {});
+
+    BaselineTraits traits() const override;
+    double detectProbability(AttackKind kind, double severity,
+                             std::size_t trials, Rng &rng) override;
+    double identificationEer() const override { return -1.0; }
+
+  private:
+    PadParams params_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_BASELINES_PAD_HH

@@ -1,0 +1,52 @@
+#include "baselines/vna.hh"
+
+#include "txline/lattice.hh"
+
+namespace divot {
+
+VnaIipReference::VnaIipReference(VnaParams params)
+    : params_(params)
+{
+}
+
+BaselineTraits
+VnaIipReference::traits() const
+{
+    return {"VNA IIP (Wei)",
+            /*runtimeConcurrent=*/false,
+            /*integrable=*/false,
+            /*locatesAttack=*/true,
+            /*busTimeOverhead=*/1.0};  // bench instrument owns the line
+}
+
+double
+VnaIipReference::detectProbability(AttackKind kind, double severity,
+                                   std::size_t trials, Rng &rng)
+{
+    (void)trials;
+    (void)rng;
+    (void)severity;
+    // Offline: runtime episodes pass unobserved, like the board PUF;
+    // persistent changes are caught essentially surely at the next
+    // bench measurement thanks to the gold-standard fidelity.
+    switch (kind) {
+      case AttackKind::WireTap:
+      case AttackKind::ModuleSwap:
+        return 1.0;  // permanent IIP change, certain at next audit
+      case AttackKind::ContactProbe:
+      case AttackKind::EmProbe:
+        return 0.0;  // transient: gone before anyone wheels in a VNA
+    }
+    return 0.0;
+}
+
+Waveform
+VnaIipReference::measure(const TransmissionLine &line, Rng &rng) const
+{
+    Waveform prof = idealReflectionProfile(line);
+    for (std::size_t i = 0; i < prof.size(); ++i)
+        prof[i] += rng.gaussian(0.0, params_.noiseFloor);
+    return prof;
+}
+
+} // namespace divot

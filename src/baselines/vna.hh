@@ -1,0 +1,54 @@
+/**
+ * @file
+ * VNA-based IIP reader — Wei & Huang [69].
+ *
+ * The precursor of DIVOT: extracts the same IIP fingerprint but with
+ * a bench vector network analyzer. Measurement fidelity is excellent
+ * (it is the accuracy upper bound for iTDR reconstructions), but the
+ * instrument is expensive bench equipment: no runtime operation, no
+ * integration into interface logic.
+ */
+
+#ifndef DIVOT_BASELINES_VNA_HH
+#define DIVOT_BASELINES_VNA_HH
+
+#include "baselines/baseline.hh"
+#include "signal/waveform.hh"
+#include "txline/txline.hh"
+
+namespace divot {
+
+/** VNA model parameters. */
+struct VnaParams
+{
+    double noiseFloor = 5e-6;  //!< residual trace noise, volts RMS
+    double bandwidthHz = 20e9; //!< instrument bandwidth
+};
+
+/**
+ * Offline gold-standard IIP reader.
+ */
+class VnaIipReference : public ProtectionBaseline
+{
+  public:
+    explicit VnaIipReference(VnaParams params = {});
+
+    BaselineTraits traits() const override;
+    double detectProbability(AttackKind kind, double severity,
+                             std::size_t trials, Rng &rng) override;
+    double identificationEer() const override { return 1e-6; }
+
+    /**
+     * Measure a line's reflection profile at VNA fidelity: the ideal
+     * profile plus only the instrument noise floor. Benches compare
+     * iTDR reconstructions against this.
+     */
+    Waveform measure(const TransmissionLine &line, Rng &rng) const;
+
+  private:
+    VnaParams params_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_BASELINES_VNA_HH

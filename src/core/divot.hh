@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Umbrella header: include this to get the whole DIVOT library.
+ *
+ * Layer map (bottom-up):
+ *   util        — RNG, math, stats, ROC, logging, tables
+ *   signal      — waveforms, probe edges, noise, filters
+ *   txline      — transmission-line physics, tampers, environment
+ *   analog      — comparator, triangle PDM source, PLL, coupler
+ *   itdr        — APC + PDM + ETS: the integrated reflectometer
+ *   fingerprint — IIP fingerprints, similarity / error function,
+ *                 genuine-impostor studies, tamper localization
+ *   auth        — enrollment, authenticator, reactions, two-way
+ *                 protocol
+ *   memsys      — cycle-level SDRAM + controller + DIVOT gate
+ *   baselines   — PAD / DC-R / board-PUF / VNA comparison models
+ *   core        — DivotSystem facade (this layer)
+ */
+
+#ifndef DIVOT_CORE_DIVOT_HH
+#define DIVOT_CORE_DIVOT_HH
+
+#include "analog/comparator.hh"
+#include "analog/coupler.hh"
+#include "analog/pll.hh"
+#include "analog/triangle.hh"
+#include "auth/authenticator.hh"
+#include "auth/enrollment.hh"
+#include "auth/protocol.hh"
+#include "auth/reaction.hh"
+#include "auth/soc_guard.hh"
+#include "baselines/baseline.hh"
+#include "baselines/board_puf.hh"
+#include "baselines/dc_resistance.hh"
+#include "baselines/pad.hh"
+#include "baselines/vna.hh"
+#include "core/divot_baseline.hh"
+#include "core/divot_system.hh"
+#include "fingerprint/fingerprint.hh"
+#include "fingerprint/localize.hh"
+#include "fingerprint/study.hh"
+#include "itdr/apc.hh"
+#include "itdr/budget.hh"
+#include "itdr/calibrate.hh"
+#include "itdr/counter.hh"
+#include "itdr/encoding.hh"
+#include "itdr/itdr.hh"
+#include "itdr/pdm.hh"
+#include "itdr/resource.hh"
+#include "itdr/trigger.hh"
+#include "memsys/controller.hh"
+#include "memsys/divot_gate.hh"
+#include "memsys/sdram.hh"
+#include "memsys/system.hh"
+#include "memsys/workload.hh"
+#include "signal/edge.hh"
+#include "signal/filter.hh"
+#include "signal/noise.hh"
+#include "signal/waveform.hh"
+#include "txline/born.hh"
+#include "txline/environment.hh"
+#include "txline/lattice.hh"
+#include "txline/manufacturing.hh"
+#include "txline/tamper.hh"
+#include "txline/txline.hh"
+#include "util/logging.hh"
+#include "util/math.hh"
+#include "util/rng.hh"
+#include "util/roc.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+#endif // DIVOT_CORE_DIVOT_HH

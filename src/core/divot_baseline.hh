@@ -1,0 +1,41 @@
+/**
+ * @file
+ * DIVOT expressed through the ProtectionBaseline interface, so the
+ * Section V comparison bench can score it head-to-head against PAD,
+ * the DC-resistance monitor, the board-impedance PUF, and the VNA
+ * reader. Unlike those statistical stand-ins, this adapter runs the
+ * real simulated pipeline: fabricate a line, enroll, stage the
+ * attack, measure with the iTDR, and threshold E_xy / similarity.
+ */
+
+#ifndef DIVOT_CORE_DIVOT_BASELINE_HH
+#define DIVOT_CORE_DIVOT_BASELINE_HH
+
+#include "baselines/baseline.hh"
+#include "core/divot_system.hh"
+
+namespace divot {
+
+/**
+ * DIVOT as a comparable countermeasure.
+ */
+class DivotBaseline : public ProtectionBaseline
+{
+  public:
+    /**
+     * @param config quickstart configuration used for every episode
+     */
+    explicit DivotBaseline(DivotSystemConfig config = {});
+
+    BaselineTraits traits() const override;
+    double detectProbability(AttackKind kind, double severity,
+                             std::size_t trials, Rng &rng) override;
+    double identificationEer() const override;
+
+  private:
+    DivotSystemConfig config_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_CORE_DIVOT_BASELINE_HH

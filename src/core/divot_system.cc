@@ -1,0 +1,89 @@
+#include "core/divot_system.hh"
+
+#include "itdr/budget.hh"
+#include "signal/noise.hh"
+#include "util/logging.hh"
+
+namespace divot {
+
+namespace {
+
+TransmissionLine
+fabricate(const DivotSystemConfig &config, Rng &rng)
+{
+    ManufacturingProcess fab(config.process, rng.fork(0x6001));
+    auto z = fab.drawImpedanceProfile(config.lineLength,
+                                      config.segmentLength);
+    return TransmissionLine(std::move(z), config.segmentLength,
+                            config.process.velocity,
+                            config.process.nominalImpedance,
+                            config.process.nominalImpedance +
+                                rng.gaussian(0.0, 0.3),
+                            config.process.lossNeperPerMeter,
+                            config.name);
+}
+
+} // namespace
+
+DivotSystem::DivotSystem(DivotSystemConfig config, Rng rng)
+    : config_(std::move(config)), rng_(rng),
+      pristine_(fabricate(config_, rng_)), current_(pristine_)
+{
+    auth_ = std::make_unique<Authenticator>(
+        config_.auth, config_.itdr, rng_.fork(0x6002), config_.name);
+    env_ = std::make_unique<Environment>(config_.environment,
+                                         rng_.fork(0x6003));
+    if (config_.environment.emiAmplitude > 0.0) {
+        emi_ = std::make_unique<SinusoidalInterference>(
+            config_.environment.emiAmplitude,
+            config_.environment.emiFrequencyHz);
+    }
+}
+
+void
+DivotSystem::calibrate()
+{
+    auth_->enroll(pristine_, config_.enrollReps);
+    const MeasurementBudget budget = predictBudget(
+        config_.itdr, pristine_.roundTripDelay());
+    wall_ += static_cast<double>(config_.enrollReps) *
+        budget.expectedDuration;
+}
+
+AuthVerdict
+DivotSystem::monitorOnce()
+{
+    const TransmissionLine snap = env_->snapshot(current_, wall_);
+    const AuthVerdict verdict = auth_->checkRound(snap, emi_.get());
+    const MeasurementBudget budget = predictBudget(
+        config_.itdr, pristine_.roundTripDelay());
+    wall_ += budget.expectedDuration + 100e-6;
+    return verdict;
+}
+
+void
+DivotSystem::stageAttack(const TamperTransform &attack)
+{
+    current_ = attack.apply(wireTapScar_ && lastWireTap_
+                                ? lastWireTap_->applyRemoved(pristine_)
+                                : pristine_);
+    if (const auto *tap = dynamic_cast<const WireTap *>(&attack)) {
+        lastWireTap_ = *tap;
+        wireTapScar_ = true;
+    }
+    divot_inform("staged attack on '%s': %s", config_.name.c_str(),
+                 attack.describe().c_str());
+}
+
+void
+DivotSystem::clearAttack()
+{
+    if (wireTapScar_ && lastWireTap_) {
+        // Soldering damage is permanent (Section IV-E).
+        current_ = lastWireTap_->applyRemoved(pristine_);
+    } else {
+        current_ = pristine_;
+    }
+}
+
+} // namespace divot

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * DivotSystem — the one-object quickstart API.
+ *
+ * Wraps fabrication, calibration, and monitoring of a single
+ * protected bus behind three calls:
+ *
+ *     DivotSystem sys(DivotSystemConfig{}, Rng(42));
+ *     sys.calibrate();
+ *     AuthVerdict v = sys.monitorOnce();
+ *
+ * plus helpers to stage the paper's attacks against the live system.
+ */
+
+#ifndef DIVOT_CORE_DIVOT_SYSTEM_HH
+#define DIVOT_CORE_DIVOT_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "auth/authenticator.hh"
+#include "txline/environment.hh"
+#include "txline/manufacturing.hh"
+#include "txline/tamper.hh"
+#include "txline/txline.hh"
+#include "util/rng.hh"
+
+namespace divot {
+
+/** Quickstart configuration. */
+struct DivotSystemConfig
+{
+    double lineLength = 0.25;        //!< meters (paper prototype)
+    double segmentLength = 0.5e-3;   //!< spatial step
+    ProcessParams process;           //!< fabrication statistics
+    ItdrConfig itdr;                 //!< instrument configuration
+    AuthConfig auth;                 //!< thresholds
+    EnvironmentConditions environment; //!< operating conditions
+    std::size_t enrollReps = 16;
+    std::string name = "bus0";
+};
+
+/**
+ * One protected bus with its authenticator and environment.
+ */
+class DivotSystem
+{
+  public:
+    /**
+     * Fabricates the line and builds the instrument (does not enroll
+     * yet).
+     */
+    DivotSystem(DivotSystemConfig config, Rng rng);
+
+    /** Calibrate: measure and store the enrollment fingerprint. */
+    void calibrate();
+
+    /**
+     * One monitoring round against the line in its current physical
+     * state (including any staged attack and the environment).
+     */
+    AuthVerdict monitorOnce();
+
+    /** Stage an attack: the line changes from the next round on. */
+    void stageAttack(const TamperTransform &attack);
+
+    /** Remove the staged attack (wire-taps leave their scar). */
+    void clearAttack();
+
+    /** @return the pristine fabricated line. */
+    const TransmissionLine &line() const { return pristine_; }
+
+    /** @return the line as it currently physically exists. */
+    const TransmissionLine &currentLine() const { return current_; }
+
+    /** @return the authenticator. */
+    const Authenticator &authenticator() const { return *auth_; }
+
+    /** @return measurement wall-clock accumulated so far, seconds. */
+    double elapsed() const { return wall_; }
+
+  private:
+    DivotSystemConfig config_;
+    Rng rng_;
+    TransmissionLine pristine_;
+    TransmissionLine current_;
+    std::unique_ptr<Authenticator> auth_;
+    std::unique_ptr<Environment> env_;
+    std::unique_ptr<NoiseSource> emi_;
+    double wall_ = 0.0;
+    bool wireTapScar_ = false;
+    std::optional<WireTap> lastWireTap_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_CORE_DIVOT_SYSTEM_HH

@@ -1,0 +1,124 @@
+#include "fingerprint/fingerprint.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/filter.hh"
+#include "util/logging.hh"
+
+namespace divot {
+
+namespace {
+
+Waveform
+makeResidual(const Waveform &raw, const Waveform &nominal)
+{
+    Waveform res = raw;
+    if (!nominal.empty()) {
+        if (nominal.size() != raw.size())
+            divot_panic("nominal response size %zu != IIP size %zu",
+                        nominal.size(), raw.size());
+        res -= nominal;
+    }
+    // The step-probe TDR trace is the *integral* of the reflection
+    // profile: a random walk whose low-frequency energy would
+    // dominate inner products and correlate unrelated lines.
+    // Differentiating recovers the localized impedance-step features
+    // (the IIP proper) and restores per-feature independence.
+    res = differentiate(res);
+    res.removeMean();
+    res.normalizeUnitNorm();
+    return res;
+}
+
+} // namespace
+
+Fingerprint
+Fingerprint::fromMeasurement(const IipMeasurement &measurement,
+                             const Waveform &nominal, std::string label)
+{
+    if (measurement.iip.empty())
+        divot_panic("fingerprint from empty measurement");
+    Fingerprint fp;
+    fp.raw_ = measurement.iip;
+    fp.residual_ = makeResidual(fp.raw_, nominal);
+    fp.label_ = std::move(label);
+    return fp;
+}
+
+Fingerprint
+Fingerprint::enroll(const std::vector<IipMeasurement> &reps,
+                    const Waveform &nominal, std::string label)
+{
+    if (reps.empty())
+        divot_panic("enroll with zero measurements");
+    Waveform mean = reps.front().iip;
+    for (std::size_t i = 1; i < reps.size(); ++i)
+        mean += reps[i].iip;
+    mean *= 1.0 / static_cast<double>(reps.size());
+
+    Fingerprint fp;
+    fp.raw_ = std::move(mean);
+    fp.residual_ = makeResidual(fp.raw_, nominal);
+    fp.label_ = std::move(label);
+    return fp;
+}
+
+Fingerprint
+Fingerprint::fromParts(Waveform raw, Waveform residual, std::string label)
+{
+    Fingerprint fp;
+    fp.raw_ = std::move(raw);
+    fp.residual_ = std::move(residual);
+    fp.label_ = std::move(label);
+    return fp;
+}
+
+double
+similarity(const Fingerprint &x, const Fingerprint &y)
+{
+    if (!x.valid() || !y.valid())
+        divot_panic("similarity of invalid fingerprint");
+    const double nip = normalizedInnerProduct(x.residual(), y.residual());
+    return std::max(0.0, nip);
+}
+
+Waveform
+errorFunction(const Fingerprint &x, const Fingerprint &y,
+              std::size_t smooth_window)
+{
+    if (!x.valid() || !y.valid())
+        divot_panic("errorFunction of invalid fingerprint");
+    if (x.raw().size() != y.raw().size())
+        divot_panic("errorFunction size mismatch (%zu vs %zu)",
+                    x.raw().size(), y.raw().size());
+    Waveform diff = x.raw();
+    diff -= y.raw();
+    if (smooth_window > 1)
+        diff = movingAverage(diff, smooth_window | 1u);
+    for (std::size_t i = 0; i < diff.size(); ++i)
+        diff[i] = diff[i] * diff[i];
+    return diff;
+}
+
+double
+peakError(const Fingerprint &x, const Fingerprint &y)
+{
+    return errorFunction(x, y).peakAbs();
+}
+
+Matcher::Matcher(double threshold)
+    : threshold_(threshold)
+{
+    if (threshold < 0.0 || threshold > 1.0)
+        divot_fatal("matcher threshold %g outside [0,1]", threshold);
+}
+
+bool
+Matcher::accepts(const Fingerprint &enrolled,
+                 const Fingerprint &candidate) const
+{
+    return similarity(enrolled, candidate) >= threshold_;
+}
+
+} // namespace divot

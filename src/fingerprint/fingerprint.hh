@@ -1,0 +1,133 @@
+/**
+ * @file
+ * IIP fingerprints and the paper's two comparison functions.
+ *
+ * Similarity (Eq. 4):  S_xy = sum_n x(n) y(n), normalized to [0, 1] —
+ * computed on the *residual* fingerprint: the measured IIP minus the
+ * nominal (design) response of a perfectly uniform line, mean-removed
+ * and unit-normalized. Subtracting the nominal response removes what
+ * every line of the same design shares (coupler leak pedestal, the
+ * nominal load echo), leaving the manufacturing-specific pattern that
+ * actually distinguishes lines.
+ *
+ * Error function (Eq. 5):  E_xy(n) = [x(n) - y(n)]^2 — computed on
+ * the raw voltage traces, where a tamper shows up as a localized peak
+ * whose index maps back to a physical position on the line.
+ */
+
+#ifndef DIVOT_FINGERPRINT_FINGERPRINT_HH
+#define DIVOT_FINGERPRINT_FINGERPRINT_HH
+
+#include <string>
+
+#include "itdr/itdr.hh"
+#include "signal/waveform.hh"
+
+namespace divot {
+
+/**
+ * A processed IIP fingerprint: raw voltage trace plus the normalized
+ * residual used for similarity scoring.
+ */
+class Fingerprint
+{
+  public:
+    Fingerprint() = default;
+
+    /**
+     * Build a fingerprint from a measurement.
+     *
+     * @param measurement iTDR output
+     * @param nominal     nominal (design) detector response on the
+     *                    same time grid; pass an empty waveform to
+     *                    skip nominal subtraction
+     * @param label       provenance tag
+     */
+    static Fingerprint fromMeasurement(const IipMeasurement &measurement,
+                                       const Waveform &nominal,
+                                       std::string label = "");
+
+    /**
+     * Average several measurements into an enrollment fingerprint
+     * (reduces APC noise by sqrt(count); this is what gets burned
+     * into the EPROM at calibration time).
+     */
+    static Fingerprint enroll(const std::vector<IipMeasurement> &reps,
+                              const Waveform &nominal,
+                              std::string label = "");
+
+    /**
+     * Reassemble a fingerprint from stored parts (deserialization
+     * path; no reprocessing is performed).
+     */
+    static Fingerprint fromParts(Waveform raw, Waveform residual,
+                                 std::string label);
+
+    /** @return raw voltage trace (volts vs round-trip time). */
+    const Waveform &raw() const { return raw_; }
+
+    /** @return normalized residual used for similarity. */
+    const Waveform &residual() const { return residual_; }
+
+    /** @return provenance tag. */
+    const std::string &label() const { return label_; }
+
+    /** @return true when the fingerprint holds data. */
+    bool valid() const { return !raw_.empty(); }
+
+  private:
+    Waveform raw_;
+    Waveform residual_;
+    std::string label_;
+};
+
+/**
+ * Normalized similarity S_xy in [0, 1] (Eq. 4). 1 means identical
+ * residual patterns; uncorrelated patterns score ~0 (negative inner
+ * products clamp to 0).
+ */
+double similarity(const Fingerprint &x, const Fingerprint &y);
+
+/**
+ * Per-index squared error E_xy(n) (Eq. 5) between the raw traces, in
+ * volts^2 versus round-trip time.
+ *
+ * Physical tamper signatures span tens of ETS bins (the probe edge
+ * smears every discontinuity over its rise time), while APC
+ * reconstruction noise is white per bin; smoothing the difference
+ * with a short moving average before squaring is the matched filter
+ * that suppresses the noise floor without attenuating real
+ * signatures.
+ *
+ * @param smooth_window odd moving-average length in bins applied to
+ *                      x - y before squaring; 1 disables smoothing
+ */
+Waveform errorFunction(const Fingerprint &x, const Fingerprint &y,
+                       std::size_t smooth_window = 5);
+
+/** @return the maximum of E_xy over the trace. */
+double peakError(const Fingerprint &x, const Fingerprint &y);
+
+/** Simple threshold matcher for authentication decisions. */
+class Matcher
+{
+  public:
+    /**
+     * @param threshold minimum similarity accepted as genuine
+     */
+    explicit Matcher(double threshold);
+
+    /** @return true when candidate matches the enrolled reference. */
+    bool accepts(const Fingerprint &enrolled,
+                 const Fingerprint &candidate) const;
+
+    /** @return configured similarity threshold. */
+    double threshold() const { return threshold_; }
+
+  private:
+    double threshold_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_FINGERPRINT_FINGERPRINT_HH

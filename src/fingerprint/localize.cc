@@ -1,0 +1,53 @@
+#include "fingerprint/localize.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+TamperLocalizer::TamperLocalizer(double threshold)
+    : threshold_(threshold)
+{
+    if (threshold <= 0.0)
+        divot_fatal("tamper threshold must be positive (got %g)",
+                    threshold);
+}
+
+TamperReport
+TamperLocalizer::inspect(const Fingerprint &enrolled,
+                         const Fingerprint &current,
+                         const TransmissionLine &line) const
+{
+    const Waveform e = errorFunction(enrolled, current);
+    TamperReport report;
+    report.threshold = threshold_;
+    if (e.empty())
+        return report;
+    const std::size_t peak = e.peakIndex();
+    report.peakError = e[peak];
+    report.peakTime = e.timeAt(peak);
+    report.detected = report.peakError > threshold_;
+    // Reflection round trip: distance = v * t / 2, capped at the line
+    // end (the load echo itself sits at the full length).
+    report.location = std::min(
+        line.distanceAtRoundTripTime(report.peakTime), line.length());
+    return report;
+}
+
+double
+TamperLocalizer::calibrateThreshold(
+    const Fingerprint &enrolled,
+    const std::vector<Fingerprint> &benign_samples, double margin)
+{
+    if (benign_samples.empty())
+        divot_fatal("threshold calibration needs benign samples");
+    if (margin <= 1.0)
+        divot_fatal("calibration margin must exceed 1 (got %g)", margin);
+    double worst = 0.0;
+    for (const auto &fp : benign_samples)
+        worst = std::max(worst, peakError(enrolled, fp));
+    return worst * margin;
+}
+
+} // namespace divot

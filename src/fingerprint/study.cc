@@ -1,0 +1,165 @@
+#include "fingerprint/study.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "signal/noise.hh"
+#include "util/logging.hh"
+
+namespace divot {
+
+GenuineImpostorStudy::GenuineImpostorStudy(StudyConfig config, Rng rng)
+    : config_(config), rng_(rng)
+{
+    if (config_.lines < 2)
+        divot_fatal("study needs at least 2 lines (got %zu)",
+                    config_.lines);
+    if (config_.wires == 0)
+        divot_fatal("study needs at least 1 wire per bus");
+
+    ManufacturingProcess fab(config_.process, rng_.fork(0x2001));
+    Rng load_rng = rng_.fork(0x2002);
+    lines_.reserve(config_.lines * config_.wires);
+    for (std::size_t l = 0; l < config_.lines; ++l) {
+        for (std::size_t w = 0; w < config_.wires; ++w) {
+            auto z = fab.drawImpedanceProfile(config_.lineLength,
+                                              config_.segmentLength);
+            const double load = config_.process.nominalImpedance +
+                load_rng.gaussian(0.0, config_.loadImpedanceSigma);
+            lines_.emplace_back(std::move(z), config_.segmentLength,
+                                config_.process.velocity,
+                                config_.process.nominalImpedance, load,
+                                config_.process.lossNeperPerMeter,
+                                "line" + std::to_string(l) + "w" +
+                                    std::to_string(w));
+        }
+    }
+}
+
+double
+GenuineImpostorStudy::fuseScores(const std::vector<double> &per_wire)
+{
+    // Geometric mean: a single mismatched wire collapses the fused
+    // score, which is why multi-wire monitoring improves accuracy
+    // roughly exponentially in the wire count.
+    double logsum = 0.0;
+    for (double s : per_wire)
+        logsum += std::log(std::max(s, 1e-12));
+    return std::exp(logsum / static_cast<double>(per_wire.size()));
+}
+
+StudyResult
+GenuineImpostorStudy::run()
+{
+    const std::size_t nl = config_.lines;
+    const std::size_t nw = config_.wires;
+
+    // One instrument per wire interface, as in hardware. Each fork
+    // gets an independent noise stream.
+    std::vector<std::unique_ptr<ITdr>> itdrs;
+    itdrs.reserve(nl * nw);
+    for (std::size_t i = 0; i < nl * nw; ++i) {
+        itdrs.push_back(std::make_unique<ITdr>(
+            config_.itdr, rng_.fork(0x3000 + i)));
+    }
+
+    // Nominal design response: a perfectly uniform line of the same
+    // geometry, on the same bin grid.
+    TransmissionLine nominal_line(
+        std::vector<double>(
+            static_cast<std::size_t>(std::round(config_.lineLength /
+                                                config_.segmentLength)),
+            config_.process.nominalImpedance),
+        config_.segmentLength, config_.process.velocity,
+        config_.process.nominalImpedance,
+        config_.process.nominalImpedance,
+        config_.process.lossNeperPerMeter, "nominal");
+    nominal_ = itdrs.front()->idealIip(nominal_line);
+
+    Environment env(config_.environment, rng_.fork(0x2003));
+    std::unique_ptr<NoiseSource> emi;
+    if (config_.environment.emiAmplitude > 0.0) {
+        emi = std::make_unique<SinusoidalInterference>(
+            config_.environment.emiAmplitude,
+            config_.environment.emiFrequencyHz, 0.3);
+    }
+
+    StudyResult result;
+    double wall = 0.0;
+    const double gap = 100e-6;  // pause between measurements
+
+    auto measure_wire = [&](std::size_t line_idx, std::size_t wire)
+        -> IipMeasurement
+    {
+        const std::size_t idx = line_idx * nw + wire;
+        TransmissionLine snap = env.snapshot(lines_[idx], wall);
+        IipMeasurement m = itdrs[idx]->measure(snap, emi.get());
+        wall += m.duration + gap;
+        result.totalBusCycles += m.busCycles;
+        return m;
+    };
+
+    // --- enrollment at reference conditions (calibration time) ---
+    EnvironmentConditions calib;  // room temperature, quiet bench
+    Environment calib_env(calib, rng_.fork(0x2004));
+    std::vector<Fingerprint> enrolled(nl * nw);
+    for (std::size_t l = 0; l < nl; ++l) {
+        for (std::size_t w = 0; w < nw; ++w) {
+            const std::size_t idx = l * nw + w;
+            std::vector<IipMeasurement> reps;
+            reps.reserve(config_.enrollReps);
+            for (std::size_t r = 0; r < config_.enrollReps; ++r) {
+                TransmissionLine snap =
+                    calib_env.snapshot(lines_[idx], wall);
+                IipMeasurement m = itdrs[idx]->measure(snap, nullptr);
+                wall += m.duration + gap;
+                result.totalBusCycles += m.busCycles;
+                reps.push_back(std::move(m));
+            }
+            enrolled[idx] = Fingerprint::enroll(
+                reps, nominal_, lines_[idx].name());
+        }
+    }
+
+    // --- genuine scores: re-measure each bus under the campaign
+    //     environment and compare to its own enrollment ---
+    result.genuine.reserve(nl * config_.genuinePerLine);
+    for (std::size_t l = 0; l < nl; ++l) {
+        for (std::size_t g = 0; g < config_.genuinePerLine; ++g) {
+            std::vector<double> per_wire(nw);
+            for (std::size_t w = 0; w < nw; ++w) {
+                const Fingerprint fp = Fingerprint::fromMeasurement(
+                    measure_wire(l, w), nominal_);
+                per_wire[w] = similarity(enrolled[l * nw + w], fp);
+            }
+            result.genuine.push_back(fuseScores(per_wire));
+        }
+    }
+
+    // --- impostor scores: measurements of bus a scored against the
+    //     enrollment of bus b ---
+    result.impostor.reserve(nl * (nl - 1) * config_.impostorPerPair);
+    for (std::size_t a = 0; a < nl; ++a) {
+        for (std::size_t b = 0; b < nl; ++b) {
+            if (a == b)
+                continue;
+            for (std::size_t i = 0; i < config_.impostorPerPair; ++i) {
+                std::vector<double> per_wire(nw);
+                for (std::size_t w = 0; w < nw; ++w) {
+                    const Fingerprint fp = Fingerprint::fromMeasurement(
+                        measure_wire(a, w), nominal_);
+                    per_wire[w] = similarity(enrolled[b * nw + w], fp);
+                }
+                result.impostor.push_back(fuseScores(per_wire));
+            }
+        }
+    }
+
+    result.roc = analyzeRoc(result.genuine, result.impostor);
+    result.decidability =
+        decidabilityIndex(result.genuine, result.impostor);
+    result.fittedEer = gaussianFitEer(result.genuine, result.impostor);
+    return result;
+}
+
+} // namespace divot

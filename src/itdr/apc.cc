@@ -1,0 +1,151 @@
+#include "itdr/apc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace divot {
+
+double
+apcMixtureCdf(double v_sig, const std::vector<double> &levels,
+              double sigma)
+{
+    if (levels.empty())
+        divot_panic("apcMixtureCdf: no reference levels");
+    if (sigma <= 0.0)
+        divot_panic("apcMixtureCdf: sigma must be positive (got %g)",
+                    sigma);
+    double acc = 0.0;
+    for (double ref : levels)
+        acc += normalCdf((v_sig - ref) / sigma);
+    return acc / static_cast<double>(levels.size());
+}
+
+double
+apcMixturePdf(double v_sig, const std::vector<double> &levels,
+              double sigma)
+{
+    if (levels.empty())
+        divot_panic("apcMixturePdf: no reference levels");
+    if (sigma <= 0.0)
+        divot_panic("apcMixturePdf: sigma must be positive (got %g)",
+                    sigma);
+    double acc = 0.0;
+    for (double ref : levels)
+        acc += normalPdf((v_sig - ref) / sigma) / sigma;
+    return acc / static_cast<double>(levels.size());
+}
+
+double
+apcReconstruct(double p, const std::vector<double> &levels,
+               double sigma)
+{
+    if (levels.empty())
+        divot_panic("apcReconstruct: no reference levels");
+    if (sigma <= 0.0)
+        divot_panic("apcReconstruct: sigma must be positive (got %g)",
+                    sigma);
+
+    if (levels.size() == 1) {
+        // Closed form (Eq. 2).
+        return levels[0] + sigma * normalInvCdf(p);
+    }
+
+    // Clamp to the invertible interior; a fully saturated counter can
+    // only say "beyond the range".
+    const double eps = 1e-9;
+    p = clampTo(p, eps, 1.0 - eps);
+
+    const auto [lo_it, hi_it] =
+        std::minmax_element(levels.begin(), levels.end());
+    const double lo = *lo_it - 8.0 * sigma;
+    const double hi = *hi_it + 8.0 * sigma;
+    return invertMonotone(
+        [&](double v) { return apcMixtureCdf(v, levels, sigma); },
+        p, lo, hi);
+}
+
+ApcInverseTable::ApcInverseTable(const std::vector<double> &levels,
+                                 double sigma, std::size_t grid)
+{
+    if (levels.empty())
+        divot_panic("ApcInverseTable: no reference levels");
+    if (sigma <= 0.0)
+        divot_panic("ApcInverseTable: sigma must be positive (got %g)",
+                    sigma);
+    if (grid < 2)
+        divot_panic("ApcInverseTable: grid too small (%zu)", grid);
+    const auto [lo_it, hi_it] =
+        std::minmax_element(levels.begin(), levels.end());
+    vLo_ = *lo_it - 6.0 * sigma;
+    vHi_ = *hi_it + 6.0 * sigma;
+    dv_ = (vHi_ - vLo_) / static_cast<double>(grid - 1);
+    cdf_.resize(grid);
+    for (std::size_t i = 0; i < grid; ++i) {
+        cdf_[i] = apcMixtureCdf(vLo_ + dv_ * static_cast<double>(i),
+                                levels, sigma);
+    }
+}
+
+double
+ApcInverseTable::reconstruct(double p) const
+{
+    if (p <= cdf_.front())
+        return vLo_;
+    if (p >= cdf_.back())
+        return vHi_;
+    // CDF is monotone non-decreasing: binary search the bracket.
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), p);
+    const std::size_t hi = static_cast<std::size_t>(it - cdf_.begin());
+    const std::size_t lo = hi - 1;
+    const double span = cdf_[hi] - cdf_[lo];
+    const double t = span > 0.0 ? (p - cdf_[lo]) / span : 0.5;
+    return vLo_ + dv_ * (static_cast<double>(lo) + t);
+}
+
+double
+apcLinearRegionWidth(const std::vector<double> &levels, double sigma,
+                     double floor_frac)
+{
+    if (levels.empty())
+        divot_panic("apcLinearRegionWidth: no reference levels");
+    const auto [lo_it, hi_it] =
+        std::minmax_element(levels.begin(), levels.end());
+    const double lo = *lo_it - 6.0 * sigma;
+    const double hi = *hi_it + 6.0 * sigma;
+
+    // Scan the sensitivity on a fine grid.
+    const std::size_t n = 2001;
+    double peak = 0.0;
+    std::vector<double> pdf(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double v = lo + (hi - lo) * static_cast<double>(i) /
+            static_cast<double>(n - 1);
+        pdf[i] = apcMixturePdf(v, levels, sigma);
+        peak = std::max(peak, pdf[i]);
+    }
+    const double floor_v = floor_frac * peak;
+    // Longest contiguous run above the floor.
+    double best = 0.0, run_start = 0.0;
+    bool in_run = false;
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = lo + step * static_cast<double>(i);
+        if (pdf[i] >= floor_v) {
+            if (!in_run) {
+                in_run = true;
+                run_start = x;
+            }
+        } else if (in_run) {
+            best = std::max(best, x - run_start);
+            in_run = false;
+        }
+    }
+    if (in_run)
+        best = std::max(best, hi - run_start);
+    return best;
+}
+
+} // namespace divot

@@ -1,0 +1,75 @@
+#include "itdr/budget.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+namespace {
+
+double
+windowFor(const ItdrConfig &config, double round_trip_delay)
+{
+    if (config.captureWindow > 0.0)
+        return config.captureWindow;
+    const EdgeShape edge(config.edgeAmplitude, config.edgeRiseTime);
+    return 1.1 * round_trip_delay + 3.0 * edge.duration();
+}
+
+double
+triggerRate(const ItdrConfig &config)
+{
+    return config.triggerMode == TriggerMode::ClockLane ? 1.0 : 0.25;
+}
+
+unsigned
+levelCount(const ItdrConfig &config)
+{
+    return config.pdm.enabled ? config.pdm.p : 1u;
+}
+
+} // namespace
+
+MeasurementBudget
+predictBudget(const ItdrConfig &config, double round_trip_delay)
+{
+    MeasurementBudget b;
+    const double window = windowFor(config, round_trip_delay);
+    b.bins = static_cast<unsigned>(
+        std::ceil(window / config.pll.phaseStep));
+    const unsigned levels = levelCount(config);
+    unsigned k = std::max(config.trialsPerPhase, 1u);
+    const unsigned rem = k % levels;
+    if (rem != 0)
+        k += levels - rem;
+    b.trialsPerBin = k;
+    b.triggers = static_cast<uint64_t>(b.bins) * b.trialsPerBin;
+    b.expectedCycles = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(b.triggers) / triggerRate(config)));
+    b.expectedDuration = static_cast<double>(b.expectedCycles) /
+        config.pll.clockFrequency;
+    return b;
+}
+
+unsigned
+maxTrialsWithinLatency(const ItdrConfig &config, double round_trip_delay,
+                       double latency_target)
+{
+    if (latency_target <= 0.0)
+        divot_fatal("latency target must be positive (got %g)",
+                    latency_target);
+    const double window = windowFor(config, round_trip_delay);
+    const unsigned bins = static_cast<unsigned>(
+        std::ceil(window / config.pll.phaseStep));
+    const double cycles_avail =
+        latency_target * config.pll.clockFrequency * triggerRate(config);
+    const unsigned k_max = static_cast<unsigned>(
+        std::floor(cycles_avail / static_cast<double>(bins)));
+    const unsigned levels = levelCount(config);
+    if (k_max < levels)
+        return 0;
+    return (k_max / levels) * levels;
+}
+
+} // namespace divot

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Measurement-latency accounting (the paper's "within 50 us" claim).
+ *
+ * A full IIP measurement consumes bins * K triggers; on a clock lane
+ * one trigger per cycle, on a data lane one per 1/rate cycles in
+ * expectation. This model turns an ItdrConfig into the cycle and
+ * wall-clock budget, and inversely sizes K to fit a latency target.
+ */
+
+#ifndef DIVOT_ITDR_BUDGET_HH
+#define DIVOT_ITDR_BUDGET_HH
+
+#include "itdr/itdr.hh"
+
+namespace divot {
+
+/** Predicted measurement cost. */
+struct MeasurementBudget
+{
+    unsigned bins = 0;          //!< ETS phase bins (M)
+    unsigned trialsPerBin = 0;  //!< APC trials per bin (K)
+    uint64_t triggers = 0;      //!< total probe edges
+    uint64_t expectedCycles = 0; //!< expected bus cycles
+    double expectedDuration = 0.0; //!< seconds at the bus clock
+};
+
+/**
+ * Predict the cost of one IIP measurement.
+ *
+ * @param config           instrument configuration
+ * @param round_trip_delay line round-trip time (sets the window when
+ *                         config.captureWindow == 0)
+ */
+MeasurementBudget predictBudget(const ItdrConfig &config,
+                                double round_trip_delay);
+
+/**
+ * Largest K (multiple of the PDM level count) whose measurement fits
+ * within a latency target; returns 0 when even K = levels does not
+ * fit.
+ *
+ * @param config           instrument configuration (trialsPerPhase
+ *                         ignored)
+ * @param round_trip_delay line round-trip time
+ * @param latency_target   seconds available for one measurement
+ */
+unsigned maxTrialsWithinLatency(const ItdrConfig &config,
+                                double round_trip_delay,
+                                double latency_target);
+
+} // namespace divot
+
+#endif // DIVOT_ITDR_BUDGET_HH

@@ -1,0 +1,62 @@
+#include "itdr/calibrate.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace divot {
+
+NoiseCalibrator::NoiseCalibrator(double cal_voltage, std::size_t trials)
+    : calVoltage_(cal_voltage), trials_(trials)
+{
+    if (cal_voltage <= 0.0)
+        divot_fatal("calibration voltage must be positive (got %g)",
+                    cal_voltage);
+    if (trials == 0)
+        divot_fatal("calibration needs at least one trial");
+}
+
+NoiseCalibration
+NoiseCalibrator::run(Comparator &comparator) const
+{
+    NoiseCalibration out;
+    out.trials = trials_;
+
+    // Hit probabilities against the +/- references with a quiet input.
+    auto probe = [&](double v_ref) {
+        std::size_t hits = 0;
+        for (std::size_t t = 0; t < trials_; ++t)
+            hits += comparator.strobe(0.0, v_ref);
+        return static_cast<double>(hits) /
+            static_cast<double>(trials_);
+    };
+    const double p_hi = probe(+calVoltage_);
+    const double p_lo = probe(-calVoltage_);
+
+    // Saturated levels carry no slope information.
+    const double eps = 1.0 / static_cast<double>(trials_);
+    if (p_hi <= eps || p_hi >= 1.0 - eps || p_lo <= eps ||
+        p_lo >= 1.0 - eps) {
+        divot_warn("noise calibration saturated (p=%.4f/%.4f): "
+                   "V_cal=%g likely >> sigma", p_hi, p_lo,
+                   calVoltage_);
+        return out;
+    }
+
+    // p_hi = Phi((offset - V_cal)/sigma), p_lo = Phi((offset +
+    // V_cal)/sigma). Two equations, two unknowns:
+    const double q_hi = normalInvCdf(p_hi);  // (offset - V)/sigma
+    const double q_lo = normalInvCdf(p_lo);  // (offset + V)/sigma
+    const double denom = q_lo - q_hi;
+    if (denom <= 0.0) {
+        divot_warn("noise calibration inconsistent (q_lo <= q_hi)");
+        return out;
+    }
+    out.sigma = 2.0 * calVoltage_ / denom;
+    out.offset = 0.5 * (q_lo + q_hi) * out.sigma;
+    out.valid = true;
+    return out;
+}
+
+} // namespace divot

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Runtime noise calibration for the APC front-end.
+ *
+ * Reconstruction through CDF^{-1} needs the input-referred noise
+ * sigma. Silicon noise varies chip to chip and drifts with
+ * temperature (the very problem PDM mitigates, Section II-C), so a
+ * production iTDR measures its own sigma at power-up: with the bus
+ * quiet (V_sig = 0), strobe the comparator against two known
+ * reference levels +/- V_cal and invert
+ *
+ *     p{Y=1 | ref = +-V_cal} = Phi(-+ V_cal / sigma)
+ *
+ * for sigma. Averaging the two sides also cancels the comparator's
+ * static input offset, which this calibrator estimates as a bonus.
+ */
+
+#ifndef DIVOT_ITDR_CALIBRATE_HH
+#define DIVOT_ITDR_CALIBRATE_HH
+
+#include "analog/comparator.hh"
+
+namespace divot {
+
+/** Outcome of a noise self-calibration. */
+struct NoiseCalibration
+{
+    double sigma = 0.0;        //!< estimated input-referred noise, V
+    double offset = 0.0;       //!< estimated static input offset, V
+    std::size_t trials = 0;    //!< strobes spent per reference level
+    bool valid = false;        //!< false when a level saturated
+};
+
+/**
+ * Self-calibrates a comparator's noise sigma and offset.
+ */
+class NoiseCalibrator
+{
+  public:
+    /**
+     * @param cal_voltage magnitude of the +/- calibration reference;
+     *                    should sit within ~2 sigma of the expected
+     *                    noise for good sensitivity
+     * @param trials      strobes per reference level
+     */
+    explicit NoiseCalibrator(double cal_voltage = 0.5e-3,
+                             std::size_t trials = 20000);
+
+    /**
+     * Run the calibration against a quiet input.
+     *
+     * @param comparator the device under calibration
+     */
+    NoiseCalibration run(Comparator &comparator) const;
+
+    /** @return configured calibration voltage. */
+    double calVoltage() const { return calVoltage_; }
+
+  private:
+    double calVoltage_;
+    std::size_t trials_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_ITDR_CALIBRATE_HH

@@ -1,0 +1,40 @@
+#include "itdr/counter.hh"
+
+#include "util/logging.hh"
+
+namespace divot {
+
+HitCounter::HitCounter(unsigned width_bits)
+    : width_(width_bits)
+{
+    if (width_bits == 0 || width_bits > 32)
+        divot_fatal("HitCounter width %u outside 1..32", width_bits);
+    max_ = width_bits == 32 ? 0xffffffffu : ((1u << width_bits) - 1u);
+}
+
+void
+HitCounter::record(bool hit)
+{
+    if (trials_ >= max_)
+        return;  // saturate: hardware stops counting, never wraps
+    ++trials_;
+    if (hit)
+        ++hits_;
+}
+
+void
+HitCounter::reset()
+{
+    hits_ = 0;
+    trials_ = 0;
+}
+
+double
+HitCounter::probability() const
+{
+    if (trials_ == 0)
+        return 0.0;
+    return static_cast<double>(hits_) / static_cast<double>(trials_);
+}
+
+} // namespace divot

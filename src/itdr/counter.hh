@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Hardware hit-counter bank.
+ *
+ * The Vivado utilization report attributes ~80 % of the DIVOT
+ * prototype's registers to counters; this model keeps the counting
+ * honest to the hardware: fixed-width hit and trial counters that
+ * saturate rather than wrap, one logical bin at a time (the hardware
+ * reuses one physical counter across the ETS sweep — bins are visited
+ * sequentially, not concurrently).
+ */
+
+#ifndef DIVOT_ITDR_COUNTER_HH
+#define DIVOT_ITDR_COUNTER_HH
+
+#include <cstdint>
+
+namespace divot {
+
+/**
+ * A saturating hit/trial counter pair of configurable width.
+ */
+class HitCounter
+{
+  public:
+    /**
+     * @param width_bits counter register width (1..32)
+     */
+    explicit HitCounter(unsigned width_bits = 16);
+
+    /** Record one comparator strobe result. */
+    void record(bool hit);
+
+    /** Reset both counters (start of a new bin). */
+    void reset();
+
+    /** @return number of 1s recorded (saturating). */
+    uint32_t hits() const { return hits_; }
+
+    /** @return number of trials recorded (saturating). */
+    uint32_t trials() const { return trials_; }
+
+    /** @return true once the trial counter has saturated. */
+    bool saturated() const { return trials_ >= max_; }
+
+    /** @return empirical hit probability (0 when no trials). */
+    double probability() const;
+
+    /** @return register width in bits. */
+    unsigned widthBits() const { return width_; }
+
+  private:
+    unsigned width_;
+    uint32_t max_;
+    uint32_t hits_ = 0;
+    uint32_t trials_ = 0;
+};
+
+} // namespace divot
+
+#endif // DIVOT_ITDR_COUNTER_HH

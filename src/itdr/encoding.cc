@@ -1,0 +1,182 @@
+#include "itdr/encoding.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+namespace {
+
+// 5b/6b tables, indexed by the low five payload bits (EDCBA). Column
+// 0 is the code transmitted when the running disparity is -1, column
+// 1 when +1; bits are abcdei, msb = a.
+const uint8_t six_b[32][2] = {
+    {0b100111, 0b011000}, {0b011101, 0b100010},
+    {0b101101, 0b010010}, {0b110001, 0b110001},
+    {0b110101, 0b001010}, {0b101001, 0b101001},
+    {0b011001, 0b011001}, {0b111000, 0b000111},
+    {0b111001, 0b000110}, {0b100101, 0b100101},
+    {0b010101, 0b010101}, {0b110100, 0b110100},
+    {0b001101, 0b001101}, {0b101100, 0b101100},
+    {0b011100, 0b011100}, {0b010111, 0b101000},
+    {0b011011, 0b100100}, {0b100011, 0b100011},
+    {0b010011, 0b010011}, {0b110010, 0b110010},
+    {0b001011, 0b001011}, {0b101010, 0b101010},
+    {0b011010, 0b011010}, {0b111010, 0b000101},
+    {0b110011, 0b001100}, {0b100110, 0b100110},
+    {0b010110, 0b010110}, {0b110110, 0b001001},
+    {0b001110, 0b001110}, {0b101110, 0b010001},
+    {0b011110, 0b100001}, {0b101011, 0b010100},
+};
+
+// 3b/4b tables, indexed by the high three payload bits (HGF); bits
+// are fghj, msb = f. Entry 8 is the alternate D.x.A7.
+const uint8_t four_b[9][2] = {
+    {0b1011, 0b0100}, {0b1001, 0b1001}, {0b0101, 0b0101},
+    {0b1100, 0b0011}, {0b1101, 0b0010}, {0b1010, 0b1010},
+    {0b0110, 0b0110}, {0b1110, 0b0001}, {0b0111, 0b1000},
+};
+
+unsigned
+popcount(uint32_t v)
+{
+    unsigned c = 0;
+    while (v) {
+        c += v & 1u;
+        v >>= 1;
+    }
+    return c;
+}
+
+/** Disparity contribution of an n-bit block: ones - zeros. */
+int
+blockDisparity(uint32_t code, unsigned bits)
+{
+    return 2 * static_cast<int>(popcount(code)) -
+        static_cast<int>(bits);
+}
+
+/** A7 substitution is required for these x values per entry RD. */
+bool
+useA7(unsigned x, int rd)
+{
+    if (rd == -1)
+        return x == 17 || x == 18 || x == 20;
+    return x == 11 || x == 13 || x == 14;
+}
+
+/** Reverse maps built once: valid code -> payload sub-value. */
+const std::map<uint8_t, uint8_t> &
+sixbReverse()
+{
+    static const std::map<uint8_t, uint8_t> map = [] {
+        std::map<uint8_t, uint8_t> m;
+        for (uint8_t x = 0; x < 32; ++x) {
+            m[six_b[x][0]] = x;
+            m[six_b[x][1]] = x;
+        }
+        return m;
+    }();
+    return map;
+}
+
+const std::map<uint8_t, uint8_t> &
+fourbReverse()
+{
+    static const std::map<uint8_t, uint8_t> map = [] {
+        std::map<uint8_t, uint8_t> m;
+        for (uint8_t y = 0; y < 8; ++y) {
+            m[four_b[y][0]] = y;
+            m[four_b[y][1]] = y;
+        }
+        m[four_b[8][0]] = 7;  // A7 decodes as .7
+        m[four_b[8][1]] = 7;
+        return m;
+    }();
+    return map;
+}
+
+} // namespace
+
+uint16_t
+Encoder8b10b::encode(uint8_t byte)
+{
+    const unsigned x = byte & 0x1f;        // EDCBA
+    const unsigned y = (byte >> 5) & 0x7;  // HGF
+
+    const uint8_t code6 = six_b[x][rd_ == -1 ? 0 : 1];
+    int rd_after6 = rd_ + blockDisparity(code6, 6);
+    if (rd_after6 == 0)
+        rd_after6 = rd_;  // neutral block keeps disparity
+
+    unsigned row = y;
+    if (y == 7 && useA7(x, rd_after6))
+        row = 8;
+    const uint8_t code4 = four_b[row][rd_after6 == -1 ? 0 : 1];
+    int rd_after4 = rd_after6 + blockDisparity(code4, 4);
+    if (rd_after4 == 0)
+        rd_after4 = rd_after6;
+
+    rd_ = rd_after4;
+    if (rd_ != -1 && rd_ != 1)
+        divot_panic("8b/10b running disparity escaped +/-1 (got %d)",
+                    rd_);
+    return static_cast<uint16_t>((code6 << 4) | code4);
+}
+
+bool
+Encoder8b10b::decode(uint16_t symbol, uint8_t &byte) const
+{
+    const uint8_t code6 = static_cast<uint8_t>((symbol >> 4) & 0x3f);
+    const uint8_t code4 = static_cast<uint8_t>(symbol & 0xf);
+    const auto &six = sixbReverse();
+    const auto &four = fourbReverse();
+    const auto its = six.find(code6);
+    const auto itf = four.find(code4);
+    if (its == six.end() || itf == four.end())
+        return false;
+    byte = static_cast<uint8_t>((itf->second << 5) | its->second);
+    return true;
+}
+
+std::vector<bool>
+Encoder8b10b::encodeStream(const std::vector<uint8_t> &bytes)
+{
+    std::vector<bool> bits;
+    bits.reserve(bytes.size() * 10);
+    for (uint8_t b : bytes) {
+        const uint16_t sym = encode(b);
+        for (int i = 9; i >= 0; --i)
+            bits.push_back((sym >> i) & 1u);
+    }
+    return bits;
+}
+
+unsigned
+Encoder8b10b::onesCount(uint16_t symbol)
+{
+    return popcount(symbol & 0x3ff);
+}
+
+unsigned
+Encoder8b10b::longestRun(const std::vector<bool> &bits)
+{
+    unsigned best = 0, run = 0;
+    bool prev = false;
+    bool first = true;
+    for (bool b : bits) {
+        if (first || b == prev) {
+            ++run;
+        } else {
+            run = 1;
+        }
+        prev = b;
+        first = false;
+        best = std::max(best, run);
+    }
+    return best;
+}
+
+} // namespace divot

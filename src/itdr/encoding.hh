@@ -1,0 +1,76 @@
+/**
+ * @file
+ * 8b/10b channel coding (Widmer & Franaszek) — the line code of the
+ * high-speed serial links DIVOT targets (PCIe 1/2, SATA, GbE).
+ *
+ * Section II-E motivates the data-lane trigger with the observation
+ * that channel encoding makes symbols occur evenly: 8b/10b bounds the
+ * running disparity to +/-1 at symbol boundaries and guarantees
+ * frequent transitions, so a 1->0 probe-edge trigger always finds
+ * work within a few bit times. This implementation provides the full
+ * 5b/6b + 3b/4b data encoding with running-disparity tracking, a
+ * decoder, and the bit-stream view the trigger generator scans.
+ */
+
+#ifndef DIVOT_ITDR_ENCODING_HH
+#define DIVOT_ITDR_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace divot {
+
+/**
+ * Running-disparity-tracking 8b/10b encoder/decoder for data symbols
+ * (Dxx.y; control symbols are out of scope for bus payloads).
+ */
+class Encoder8b10b
+{
+  public:
+    Encoder8b10b() = default;
+
+    /**
+     * Encode one data octet into a 10-bit symbol.
+     *
+     * @param byte payload octet
+     * @return 10-bit code, bit 9 transmitted first (abcdei fghj)
+     */
+    uint16_t encode(uint8_t byte);
+
+    /**
+     * Decode one 10-bit symbol.
+     *
+     * @param symbol  10-bit code
+     * @param byte    decoded octet on success
+     * @return false when the symbol is not a valid data code
+     */
+    bool decode(uint16_t symbol, uint8_t &byte) const;
+
+    /** @return current running disparity: -1 or +1. */
+    int runningDisparity() const { return rd_; }
+
+    /** Reset the running disparity to the link-startup value (-1). */
+    void reset() { rd_ = -1; }
+
+    /**
+     * Encode a byte stream into the transmitted bit sequence
+     * (msb-first per symbol), ready for edge scanning.
+     */
+    std::vector<bool> encodeStream(const std::vector<uint8_t> &bytes);
+
+    /** Population count of a 10-bit symbol. */
+    static unsigned onesCount(uint16_t symbol);
+
+    /**
+     * Longest run of identical bits in a bit sequence (8b/10b
+     * guarantees <= 5).
+     */
+    static unsigned longestRun(const std::vector<bool> &bits);
+
+  private:
+    int rd_ = -1;
+};
+
+} // namespace divot
+
+#endif // DIVOT_ITDR_ENCODING_HH

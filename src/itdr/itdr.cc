@@ -1,0 +1,179 @@
+#include "itdr/itdr.hh"
+
+#include <cmath>
+
+#include "itdr/calibrate.hh"
+#include "itdr/counter.hh"
+#include "txline/born.hh"
+#include "txline/lattice.hh"
+#include "util/logging.hh"
+
+namespace divot {
+
+namespace {
+
+unsigned
+roundUpToMultiple(unsigned value, unsigned base)
+{
+    if (base == 0)
+        return value;
+    const unsigned rem = value % base;
+    return rem == 0 ? value : value + (base - rem);
+}
+
+} // namespace
+
+ITdr::ITdr(ItdrConfig config, Rng rng)
+    : config_(config), rng_(rng),
+      comparator_(config.comparator, rng_.fork(0x1001)),
+      pll_(config.pll, rng_.fork(0x1002)),
+      pdm_(config.pdm, config.pll.clockFrequency),
+      coupler_(config.coupler),
+      triggerGen_(config.triggerMode, rng_.fork(0x1003)),
+      edge_(config.edgeAmplitude, config.edgeRiseTime, EdgeKind::Rising),
+      trials_(roundUpToMultiple(std::max(config.trialsPerPhase, 1u),
+                                pdm_.levelCount()))
+{
+    if (config.trialsPerPhase == 0)
+        divot_fatal("iTDR trialsPerPhase must be >= 1");
+    if (config.selfCalibrate) {
+        // Power-up self-calibration: estimate sigma and offset from
+        // the real (noisy) comparator instead of trusting oracle
+        // parameters.
+        const double guess = config.comparator.noiseSigma > 0.0
+            ? config.comparator.noiseSigma
+            : 0.5e-3;
+        NoiseCalibrator calibrator(guess, 50000);
+        const NoiseCalibration result = calibrator.run(comparator_);
+        if (result.valid) {
+            calibratedSigma_ = result.sigma;
+            offsetCorrection_ = result.offset;
+        } else {
+            divot_warn("iTDR self-calibration failed; falling back to "
+                       "configured sigma");
+        }
+    }
+}
+
+double
+ITdr::effectiveSigma() const
+{
+    return reconstructionSigma();
+}
+
+double
+ITdr::reconstructionSigma() const
+{
+    if (calibratedSigma_ > 0.0)
+        return calibratedSigma_;
+    return config_.assumedNoiseSigma > 0.0 ? config_.assumedNoiseSigma
+                                           : comparator_.noiseSigma();
+}
+
+void
+ITdr::prepareBins(const TransmissionLine &line)
+{
+    if (bins_ != 0)
+        return;  // bins are frozen after the first measurement so
+                 // successive IIPs stay index-aligned
+    window_ = config_.captureWindow > 0.0
+        ? config_.captureWindow
+        : 1.1 * line.roundTripDelay() + 3.0 * edge_.duration();
+    bins_ = static_cast<unsigned>(
+        std::ceil(window_ / pll_.phaseStep()));
+    if (bins_ == 0)
+        divot_fatal("iTDR capture window too short (%g s)", window_);
+
+    inverse_.clear();
+    inverse_.reserve(bins_);
+    const double sigma = reconstructionSigma();
+    for (unsigned m = 0; m < bins_; ++m) {
+        const double t0 = static_cast<double>(m) * pll_.phaseStep();
+        inverse_.emplace_back(pdm_.levelsAt(t0), sigma);
+    }
+}
+
+Waveform
+ITdr::cleanDetectorTrace(const TransmissionLine &line) const
+{
+    const double span = window_ > 0.0
+        ? window_
+        : 1.1 * line.roundTripDelay() + 3.0 * edge_.duration();
+    if (config_.model == ReflectionModel::Lattice) {
+        LatticeSimulator sim(line);
+        TdrTrace trace = sim.probe(edge_, span);
+        return coupler_.detectorOutput(trace.reflection, trace.incident);
+    }
+    BornTdrModel born(line);
+    Waveform refl = born.probe(edge_, 0.0, span);
+    // Synthesize the incident wave the coupler leaks.
+    const double launch_gain = line.impedanceAt(0) /
+        (line.sourceImpedance() + line.impedanceAt(0));
+    const double edge_center = 1.5 * edge_.duration();
+    Waveform inc = Waveform::zeros(refl.dt(), refl.size());
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+        inc[i] = launch_gain *
+            edge_.deviationAt(inc.timeAt(i) - edge_center);
+    }
+    return coupler_.detectorOutput(refl, inc);
+}
+
+Waveform
+ITdr::idealIip(const TransmissionLine &line)
+{
+    prepareBins(line);
+    const Waveform trace = cleanDetectorTrace(line);
+    const double tau = pll_.phaseStep();
+    Waveform out = Waveform::zeros(tau, bins_);
+    for (unsigned m = 0; m < bins_; ++m)
+        out[m] = trace.valueAt(static_cast<double>(m) * tau);
+    return out;
+}
+
+IipMeasurement
+ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
+{
+    prepareBins(line);
+    const Waveform trace = cleanDetectorTrace(line);
+
+    const double tau = pll_.phaseStep();
+    const double t_clk = pll_.clockPeriod();
+    const uint64_t cycles_before = triggerGen_.cyclesElapsed();
+    const uint64_t triggers_before = triggerGen_.triggersProduced();
+
+    Waveform iip = Waveform::zeros(tau, bins_);
+    HitCounter counter(config_.counterWidthBits);
+
+    pll_.resetPhase();
+    for (unsigned m = 0; m < bins_; ++m) {
+        const double t0 = static_cast<double>(m) * tau;
+        counter.reset();
+        for (unsigned k = 0; k < trials_; ++k) {
+            const uint64_t cycle = triggerGen_.nextTriggerCycle();
+            // Strobe jitter shifts the sampling instant relative to
+            // the probe edge.
+            double jitter = 0.0;
+            if (config_.pll.jitterRms > 0.0)
+                jitter = rng_.gaussian(0.0, config_.pll.jitterRms);
+            const double t_abs =
+                static_cast<double>(cycle) * t_clk + t0 + jitter;
+            double v_sig = trace.valueAt(t0 + jitter);
+            if (extra_noise != nullptr)
+                v_sig += extra_noise->sampleAt(t_abs);
+            const double v_ref = pdm_.referenceAt(t_abs);
+            counter.record(comparator_.strobe(v_sig, v_ref));
+        }
+        iip[m] = inverse_[m].reconstruct(counter.probability()) -
+            offsetCorrection_;
+        pll_.stepPhase();
+    }
+
+    IipMeasurement out;
+    out.iip = std::move(iip);
+    out.busCycles = triggerGen_.cyclesElapsed() - cycles_before;
+    out.triggers = triggerGen_.triggersProduced() - triggers_before;
+    out.duration = static_cast<double>(out.busCycles) * t_clk;
+    return out;
+}
+
+} // namespace divot

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The integrated time-domain reflectometer (iTDR) — the paper's core
+ * hardware contribution, assembled from the APC / PDM / ETS pieces.
+ *
+ * One measurement pass works exactly like the prototype:
+ *
+ *   for each ETS phase offset m (0 .. M-1, step tau):        [ETS]
+ *       for each of K triggers (probe edges on the bus):
+ *           strobe the comparator at offset m*tau after the
+ *           edge, against the PDM triangle reference          [PDM]
+ *           count 1s in the hit counter                       [APC]
+ *       reconstruct V_sig(m*tau) from the hit probability
+ *       through the inverse mixture CDF
+ *
+ * The output is the IIP estimate: the back-reflection voltage profile
+ * versus round-trip time on a tau-spaced grid, plus the cycle/time
+ * accounting that substantiates the paper's ~50 us claim.
+ */
+
+#ifndef DIVOT_ITDR_ITDR_HH
+#define DIVOT_ITDR_ITDR_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analog/comparator.hh"
+#include "analog/coupler.hh"
+#include "analog/pll.hh"
+#include "itdr/apc.hh"
+#include "itdr/pdm.hh"
+#include "itdr/trigger.hh"
+#include "signal/edge.hh"
+#include "signal/noise.hh"
+#include "signal/waveform.hh"
+#include "txline/txline.hh"
+#include "util/rng.hh"
+
+namespace divot {
+
+/** Which physics backend renders the clean reflection trace. */
+enum class ReflectionModel { Born, Lattice };
+
+/** Full iTDR configuration. */
+struct ItdrConfig
+{
+    PllParams pll;                  //!< clock + ETS phase stepping
+    ComparatorParams comparator;    //!< analog front-end
+    PdmConfig pdm;                  //!< reference modulation
+    CouplerParams coupler;          //!< reflection pick-off
+    TriggerMode triggerMode = TriggerMode::ClockLane;
+    unsigned trialsPerPhase = 170;  //!< K (rounded up to the PDM level
+                                    //!< count so levels weigh evenly)
+    double captureWindow = 0.0;     //!< s; 0 => round trip + margin
+    double edgeAmplitude = 0.8;     //!< probe edge swing, volts
+    double edgeRiseTime = 25e-12;   //!< probe edge 10-90 %, seconds
+    unsigned counterWidthBits = 12; //!< hit-counter register width
+    double assumedNoiseSigma = 0.0; //!< reconstruction sigma; 0 => use
+                                    //!< the comparator's true sigma
+    bool selfCalibrate = false;     //!< run a power-up noise
+                                    //!< self-calibration and use the
+                                    //!< *estimated* sigma and offset
+                                    //!< for reconstruction instead of
+                                    //!< oracle values (see
+                                    //!< itdr/calibrate.hh)
+    ReflectionModel model = ReflectionModel::Born;
+};
+
+/** One measured IIP with its cost accounting. */
+struct IipMeasurement
+{
+    Waveform iip;            //!< reconstructed V_sig vs round-trip time
+    uint64_t busCycles = 0;  //!< bus clock cycles consumed
+    uint64_t triggers = 0;   //!< probe edges used
+    double duration = 0.0;   //!< wall-clock seconds on the bus
+};
+
+/**
+ * The iTDR instrument bound to one bus interface.
+ */
+class ITdr
+{
+  public:
+    /**
+     * @param config instrument configuration
+     * @param rng    dedicated random stream (noise, jitter, trigger
+     *               data)
+     */
+    ITdr(ItdrConfig config, Rng rng);
+
+    /**
+     * Measure the IIP of a line.
+     *
+     * @param line        the line as it physically exists during this
+     *                    measurement (tampered / environment-shifted
+     *                    copies welcome)
+     * @param extra_noise optional additional interference injected at
+     *                    the comparator input (EMI model); may be null
+     */
+    IipMeasurement measure(const TransmissionLine &line,
+                           NoiseSource *extra_noise = nullptr);
+
+    /**
+     * The noise-free detector trace the comparator samples — the
+     * physics ground truth (exposed for tests and benches).
+     */
+    Waveform cleanDetectorTrace(const TransmissionLine &line) const;
+
+    /**
+     * The ideal (noise-free) IIP on the instrument's ETS bin grid:
+     * what an infinite-trial measurement would converge to. Used to
+     * compute the nominal design response subtracted during
+     * fingerprint extraction, and by convergence tests.
+     */
+    Waveform idealIip(const TransmissionLine &line);
+
+    /** @return number of ETS phase bins per measurement. */
+    unsigned phaseBins() const { return bins_; }
+
+    /** @return trials per phase bin actually used (K). */
+    unsigned trialsPerPhase() const { return trials_; }
+
+    /** @return instrument configuration. */
+    const ItdrConfig &config() const { return config_; }
+
+    /** @return the probe edge shape. */
+    const EdgeShape &edge() const { return edge_; }
+
+    /** @return the sigma used for reconstruction (after any
+     *  self-calibration). */
+    double effectiveSigma() const;
+
+    /** @return the offset correction applied to reconstructions. */
+    double offsetCorrection() const { return offsetCorrection_; }
+
+  private:
+    ItdrConfig config_;
+    Rng rng_;
+    Comparator comparator_;
+    PhaseLockedLoop pll_;
+    PdmSchedule pdm_;
+    Coupler coupler_;
+    TriggerGenerator triggerGen_;
+    EdgeShape edge_;
+    unsigned trials_;
+    unsigned bins_ = 0;
+    double window_ = 0.0;
+    double calibratedSigma_ = 0.0;
+    double offsetCorrection_ = 0.0;
+
+    /** Per-bin inverse-CDF tables, built lazily on first measure. */
+    std::vector<ApcInverseTable> inverse_;
+
+    void prepareBins(const TransmissionLine &line);
+    double reconstructionSigma() const;
+};
+
+} // namespace divot
+
+#endif // DIVOT_ITDR_ITDR_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Probability density modulation schedule (Section II-C).
+ *
+ * Binds a TriangleWave to the sampling clock through the Vernier
+ * relation p * f_m = q * f_s (p, q coprime) and answers, for any
+ * strobe, which reference voltage the comparator sees. A PdmSchedule
+ * with modulation disabled degenerates to a fixed V_ref — plain APC —
+ * which the ablation bench compares against.
+ */
+
+#ifndef DIVOT_ITDR_PDM_HH
+#define DIVOT_ITDR_PDM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analog/triangle.hh"
+
+namespace divot {
+
+/** Configuration of the PDM reference chain. */
+struct PdmConfig
+{
+    bool enabled = true;        //!< false => fixed reference
+    double fixedReference = 0.0; //!< used when disabled, volts
+    double amplitude = 8e-3;    //!< triangle peak deviation, volts
+    double center = 0.0;        //!< triangle mid-level, volts
+    unsigned p = 17;            //!< modulation periods in common frame
+    unsigned q = 18;            //!< sample periods in common frame
+    double rcShaping = 0.15;    //!< quasi-triangle RC shaping
+};
+
+/**
+ * Reference-voltage schedule for the comparator's negative input.
+ */
+class PdmSchedule
+{
+  public:
+    /**
+     * @param config          PDM parameters
+     * @param clock_frequency sampling clock f_s in Hz
+     */
+    PdmSchedule(PdmConfig config, double clock_frequency);
+
+    /**
+     * Reference voltage at an absolute strobe time.
+     *
+     * @param t absolute time of the comparator strobe
+     */
+    double referenceAt(double t) const;
+
+    /**
+     * The set of distinct reference levels seen at a fixed
+     * waveform-relative offset across p successive repetitions
+     * (Fig. 3's V_ref0..V_ref{p-1}).
+     *
+     * @param t0 waveform-relative strobe offset
+     */
+    std::vector<double> levelsAt(double t0) const;
+
+    /** @return number of distinct Vernier levels (1 when disabled). */
+    unsigned levelCount() const;
+
+    /** @return modulation frequency f_m in Hz (0 when disabled). */
+    double modulationFrequency() const;
+
+    /** @return configuration. */
+    const PdmConfig &config() const { return config_; }
+
+    /** @return sampling clock period in seconds. */
+    double clockPeriod() const { return 1.0 / clockFrequency_; }
+
+  private:
+    PdmConfig config_;
+    double clockFrequency_;
+    TriangleWave wave_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_ITDR_PDM_HH

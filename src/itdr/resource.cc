@@ -1,0 +1,105 @@
+#include "itdr/resource.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+namespace {
+
+unsigned
+bitsFor(uint64_t values)
+{
+    unsigned bits = 1;
+    while ((1ull << bits) < values)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+double
+ResourceEstimate::counterRegisterFraction() const
+{
+    if (totalRegisters == 0)
+        return 0.0;
+    return static_cast<double>(counterRegisters) /
+        static_cast<double>(totalRegisters);
+}
+
+unsigned
+ResourceEstimate::registersForBuses(unsigned n) const
+{
+    if (n == 0)
+        return 0;
+    const unsigned perLane = totalRegisters - shareableRegisters;
+    return shareableRegisters + n * perLane;
+}
+
+unsigned
+ResourceEstimate::lutsForBuses(unsigned n) const
+{
+    if (n == 0)
+        return 0;
+    const unsigned perLane = totalLuts - shareableLuts;
+    return shareableLuts + n * perLane;
+}
+
+ResourceEstimate
+estimateResources(const ItdrConfig &config, unsigned bins)
+{
+    if (bins == 0)
+        divot_fatal("estimateResources: bins must be >= 1");
+
+    ResourceEstimate est;
+
+    // Counter datapath: hit counter, trial counter, the readout
+    // shadow register, the trial-target compare register, and the ETS
+    // bin index. These dominate — the Vivado report attributed ~80 %
+    // of the prototype's registers to counter generation.
+    const unsigned w = config.counterWidthBits;
+    const unsigned binBits = bitsFor(bins);
+    const unsigned counterRegs = 4 * w + binBits;
+    // Increment/compare logic is ~1 LUT per counter bit for the two
+    // live counters plus half a LUT per index bit.
+    const unsigned counterLuts = 2 * w + (binBits + 1) / 2;
+    est.blocks.push_back({"counters", counterRegs, counterLuts, false});
+    est.counterRegisters = counterRegs;
+
+    // Trigger detector: 2-bit symbol history + compare (data lane),
+    // or a trivial passthrough (clock lane).
+    const bool dataLane = config.triggerMode == TriggerMode::DataLane;
+    est.blocks.push_back({"trigger", dataLane ? 3u : 1u,
+                          dataLane ? 4u : 2u, false});
+
+    // Comparator capture flop + synchronizer.
+    est.blocks.push_back({"capture", 2u, 1u, false});
+
+    // Control FSM: idle/sweep/dump states + handshake.
+    est.blocks.push_back({"fsm", 3u, 7u, false});
+
+    // --- shareable blocks (one per chip, not per iTDR) ---
+
+    // PLL phase-step command interface.
+    est.blocks.push_back({"pll-ctl", 3u, 5u, true});
+
+    // Triangle (PDM) generator: a toggling output + small divider.
+    est.blocks.push_back({"pdm-gen", 3u, 4u, true});
+
+    // Reconstruction / serializer shared datapath (inverse-CDF ROM
+    // addressing plus the result shift chain).
+    est.blocks.push_back({"recon", 2u, 76u, true});
+
+    for (const auto &b : est.blocks) {
+        est.totalRegisters += b.registers;
+        est.totalLuts += b.luts;
+        if (b.shareable) {
+            est.shareableRegisters += b.registers;
+            est.shareableLuts += b.luts;
+        }
+    }
+    return est;
+}
+
+} // namespace divot

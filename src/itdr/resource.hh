@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Structural hardware-cost model for the iTDR (Section IV-A).
+ *
+ * The prototype consumed 71 registers and 124 LUTs on a Xilinx
+ * xczu7ev (~0.8 % of the device), with ~80 % of the registers in
+ * counters. This model derives register and LUT counts structurally
+ * from the configuration — counter widths, phase-index width, FSM
+ * state bits — so benches can report how cost scales with trials,
+ * window length, and the number of protected buses. Per the paper,
+ * the PLL, triangle generator, and reconstruction logic are *shared*
+ * among all iTDRs on a chip, so the marginal cost of protecting one
+ * more bus is only the per-lane slice.
+ */
+
+#ifndef DIVOT_ITDR_RESOURCE_HH
+#define DIVOT_ITDR_RESOURCE_HH
+
+#include "itdr/itdr.hh"
+
+namespace divot {
+
+/** Register/LUT estimate of one block. */
+struct BlockCost
+{
+    const char *name;
+    unsigned registers;
+    unsigned luts;
+    bool shareable;  //!< true when one instance serves every iTDR
+};
+
+/** Aggregated utilization estimate. */
+struct ResourceEstimate
+{
+    std::vector<BlockCost> blocks;
+    unsigned totalRegisters = 0;
+    unsigned totalLuts = 0;
+    unsigned counterRegisters = 0;  //!< registers inside counters
+    unsigned shareableRegisters = 0;
+    unsigned shareableLuts = 0;
+
+    /** @return fraction of registers spent on counters. */
+    double counterRegisterFraction() const;
+
+    /**
+     * Total registers for protecting n buses, with shareable blocks
+     * instantiated once.
+     */
+    unsigned registersForBuses(unsigned n) const;
+
+    /** Total LUTs for protecting n buses. */
+    unsigned lutsForBuses(unsigned n) const;
+};
+
+/**
+ * Estimate the hardware cost of an iTDR configuration.
+ *
+ * @param config the instrument configuration
+ * @param bins   ETS bins per measurement (determines index widths)
+ */
+ResourceEstimate estimateResources(const ItdrConfig &config,
+                                   unsigned bins);
+
+} // namespace divot
+
+#endif // DIVOT_ITDR_RESOURCE_HH

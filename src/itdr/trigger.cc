@@ -1,0 +1,71 @@
+#include "itdr/trigger.hh"
+
+#include "itdr/encoding.hh"
+
+namespace divot {
+
+TriggerGenerator::TriggerGenerator(TriggerMode mode, Rng rng)
+    : mode_(mode), rng_(rng)
+{
+}
+
+bool
+TriggerGenerator::nextBit()
+{
+    if (mode_ == TriggerMode::DataLane)
+        return rng_.bernoulli(0.5);
+
+    // Encoded8b10b: serialize random payload octets through the line
+    // code, refilling the bit buffer a block at a time.
+    if (encodedPos_ >= encodedBits_.size()) {
+        std::vector<uint8_t> payload(64);
+        for (auto &b : payload)
+            b = static_cast<uint8_t>(rng_.uniformInt(256));
+        encodedBits_ = encoder_.encodeStream(payload);
+        encodedPos_ = 0;
+    }
+    return encodedBits_[encodedPos_++];
+}
+
+uint64_t
+TriggerGenerator::nextTriggerCycle()
+{
+    if (mode_ == TriggerMode::ClockLane) {
+        const uint64_t c = cycle_;
+        ++cycle_;
+        ++triggers_;
+        return c;
+    }
+    // Scan the (random or encoded) bit stream until a 1 is followed
+    // by a 0 — a falling probe edge of known polarity.
+    for (;;) {
+        const bool bit = nextBit();
+        const uint64_t c = cycle_;
+        ++cycle_;
+        const bool fire = havePrev_ && prevBit_ && !bit;
+        prevBit_ = bit;
+        havePrev_ = true;
+        if (fire) {
+            ++triggers_;
+            return c;
+        }
+    }
+}
+
+double
+TriggerGenerator::expectedTriggerRate() const
+{
+    switch (mode_) {
+      case TriggerMode::ClockLane:
+        return 1.0;
+      case TriggerMode::DataLane:
+        return 0.25;
+      case TriggerMode::Encoded8b10b:
+        // 8b/10b keeps transition density high; ~3 falling edges per
+        // 10-bit symbol on random payloads.
+        return 0.3;
+    }
+    return 0.25;
+}
+
+} // namespace divot

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Runtime sampling-trigger generation (Section II-E).
+ *
+ * On a clock lane every cycle carries a rising edge, so the iTDR can
+ * strobe every cycle. On a data lane the launched symbols are random;
+ * rising and falling edges are equally frequent and their reflections
+ * would cancel if sampled indiscriminately. The paper's fix: watch
+ * the transmit FIFO and fire the sampling trigger only when a chosen
+ * pattern (a 1 followed by a 0 — a falling edge of known polarity) is
+ * about to be launched. For i.i.d. random bits that pattern occurs at
+ * 1/4 of the cycles, which stretches measurement time by ~4x but
+ * preserves edge-polarity consistency.
+ */
+
+#ifndef DIVOT_ITDR_TRIGGER_HH
+#define DIVOT_ITDR_TRIGGER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "itdr/encoding.hh"
+#include "util/rng.hh"
+
+namespace divot {
+
+/** Which lane the iTDR listens to. */
+enum class TriggerMode
+{
+    ClockLane,    //!< every cycle triggers (regular rising edges)
+    DataLane,     //!< trigger on a 1->0 boundary in raw random data
+    Encoded8b10b, //!< trigger on 1->0 boundaries of an 8b/10b-encoded
+                  //!< payload stream — the realistic high-speed-link
+                  //!< case Section II-E alludes to; the line code's
+                  //!< bounded run length guarantees a trigger within
+                  //!< a few bit times
+};
+
+/**
+ * Produces the cycle indices at which probe edges of consistent
+ * polarity are launched.
+ */
+class TriggerGenerator
+{
+  public:
+    /**
+     * @param mode lane type
+     * @param rng  stream generating the random data symbols
+     */
+    TriggerGenerator(TriggerMode mode, Rng rng);
+
+    /**
+     * Advance to the next trigger.
+     *
+     * @return the cycle index of the next qualifying edge (the cycle
+     *         count advances by 1 for clock lanes and by a random
+     *         geometric-ish amount for data lanes)
+     */
+    uint64_t nextTriggerCycle();
+
+    /** @return total cycles consumed so far. */
+    uint64_t cyclesElapsed() const { return cycle_; }
+
+    /** @return number of triggers produced so far. */
+    uint64_t triggersProduced() const { return triggers_; }
+
+    /**
+     * Expected fraction of cycles that yield a trigger: 1.0 for the
+     * clock lane, 0.25 for i.i.d. random data (P[1 then 0]).
+     */
+    double expectedTriggerRate() const;
+
+    /** @return lane mode. */
+    TriggerMode mode() const { return mode_; }
+
+  private:
+    TriggerMode mode_;
+    Rng rng_;
+    uint64_t cycle_ = 0;
+    uint64_t triggers_ = 0;
+    bool prevBit_ = false;
+    bool havePrev_ = false;
+
+    /** Encoded-stream state (Encoded8b10b mode). */
+    Encoder8b10b encoder_;
+    std::vector<bool> encodedBits_;
+    std::size_t encodedPos_ = 0;
+
+    bool nextBit();
+};
+
+} // namespace divot
+
+#endif // DIVOT_ITDR_TRIGGER_HH

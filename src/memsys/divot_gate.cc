@@ -1,0 +1,81 @@
+#include "memsys/divot_gate.hh"
+
+#include <algorithm>
+
+#include "itdr/budget.hh"
+#include "util/logging.hh"
+
+namespace divot {
+
+DivotGate::DivotGate(TwoWayAuthProtocol &protocol,
+                     MemoryController &controller, Sdram &sdram,
+                     TransmissionLine pristine_bus, double clock_hz)
+    : protocol_(protocol), controller_(controller), sdram_(sdram),
+      currentBus_(std::move(pristine_bus)), clockHz_(clock_hz)
+{
+    if (clock_hz <= 0.0)
+        divot_fatal("bus clock must be positive (got %g)", clock_hz);
+    const MeasurementBudget budget = predictBudget(
+        protocol_.cpuSide().instrument().config(),
+        currentBus_.roundTripDelay());
+    roundCycles_ = std::max<uint64_t>(budget.expectedCycles, 1);
+    nextRoundEnd_ = roundCycles_;
+}
+
+void
+DivotGate::scheduleEvent(BusEvent event)
+{
+    pending_.push_back(std::move(event));
+    std::sort(pending_.begin(), pending_.end(),
+              [](const BusEvent &a, const BusEvent &b) {
+                  return a.cycle < b.cycle;
+              });
+}
+
+void
+DivotGate::tick(uint64_t cycle)
+{
+    // Apply due physical changes.
+    while (!pending_.empty() && pending_.front().cycle <= cycle) {
+        currentBus_ = pending_.front().newBus;
+        if (!outstandingAttackCycle_) {
+            outstandingAttackCycle_ = pending_.front().cycle;
+            outstandingAttack_ = pending_.front().description;
+        }
+        divot_inform("cycle %llu: bus change: %s",
+                     static_cast<unsigned long long>(
+                         pending_.front().cycle),
+                     pending_.front().description.c_str());
+        pending_.erase(pending_.begin());
+    }
+
+    if (cycle < nextRoundEnd_)
+        return;
+
+    // A monitoring round just completed: evaluate the protocol on the
+    // bus as it now exists.
+    nextRoundEnd_ += roundCycles_;
+    ++rounds_;
+    lastOutcome_ = protocol_.monitorRound(currentBus_);
+
+    const bool trusted = lastOutcome_->busTrusted;
+    controller_.setBusTrusted(trusted);
+    sdram_.setAccessBlocked(
+        lastOutcome_->memoryAction == ReactionAction::BlockAccess ||
+        lastOutcome_->memory.tamperAlarm);
+
+    if (!trusted && outstandingAttackCycle_) {
+        DetectionRecord rec;
+        rec.attackCycle = *outstandingAttackCycle_;
+        rec.detectedCycle = cycle;
+        rec.latencyCycles = cycle - rec.attackCycle;
+        rec.latencySeconds =
+            static_cast<double>(rec.latencyCycles) / clockHz_;
+        rec.attack = outstandingAttack_;
+        detections_.push_back(rec);
+        outstandingAttackCycle_.reset();
+        outstandingAttack_.clear();
+    }
+}
+
+} // namespace divot

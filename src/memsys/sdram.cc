@@ -1,0 +1,98 @@
+#include "memsys/sdram.hh"
+
+#include "util/logging.hh"
+
+namespace divot {
+
+Sdram::Sdram(SdramTiming timing, SdramGeometry geometry)
+    : timing_(timing), geometry_(geometry), banks_(geometry.banks)
+{
+    if (geometry.banks == 0 || geometry.rowsPerBank == 0 ||
+        geometry.colsPerRow == 0) {
+        divot_fatal("degenerate SDRAM geometry");
+    }
+}
+
+long
+Sdram::openRow(unsigned bank) const
+{
+    if (bank >= banks_.size())
+        divot_panic("bank %u out of range (%zu banks)", bank,
+                    banks_.size());
+    return banks_[bank].openRow;
+}
+
+bool
+Sdram::canIssue(DramCommand cmd, const DramAddress &addr,
+                uint64_t cycle) const
+{
+    if (addr.bank >= banks_.size())
+        divot_panic("bank %u out of range (%zu banks)", addr.bank,
+                    banks_.size());
+    const Bank &bank = banks_[addr.bank];
+    if (cycle < refreshReady_)
+        return false;
+
+    switch (cmd) {
+      case DramCommand::Activate:
+        return bank.openRow == -1 && cycle >= bank.readyCycle;
+      case DramCommand::Read:
+      case DramCommand::Write:
+        if (blocked_)
+            return false;  // DIVOT gate: no data for strangers
+        return bank.openRow == static_cast<long>(addr.row) &&
+            cycle >= bank.readyCycle;
+      case DramCommand::Precharge:
+        return bank.openRow != -1 && cycle >= bank.readyCycle &&
+            cycle >= bank.activateCycle + timing_.tRAS;
+      case DramCommand::Refresh:
+        for (const Bank &b : banks_) {
+            if (b.openRow != -1 || cycle < b.readyCycle)
+                return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+Sdram::issue(DramCommand cmd, const DramAddress &addr, uint64_t cycle)
+{
+    if (!canIssue(cmd, addr, cycle))
+        divot_panic("issue() without canIssue (cmd=%d bank=%u cycle=%llu)",
+                    static_cast<int>(cmd), addr.bank,
+                    static_cast<unsigned long long>(cycle));
+    Bank &bank = banks_[addr.bank];
+    switch (cmd) {
+      case DramCommand::Activate:
+        bank.openRow = static_cast<long>(addr.row);
+        bank.activateCycle = cycle;
+        bank.readyCycle = cycle + timing_.tRCD;
+        return bank.readyCycle;
+      case DramCommand::Read:
+        bank.readyCycle = cycle + timing_.burstCycles;
+        return cycle + timing_.tCL + timing_.burstCycles;
+      case DramCommand::Write:
+        bank.readyCycle = cycle + timing_.burstCycles;
+        return cycle + timing_.tWL + timing_.burstCycles;
+      case DramCommand::Precharge:
+        bank.openRow = -1;
+        bank.readyCycle = cycle + timing_.tRP;
+        return bank.readyCycle;
+      case DramCommand::Refresh:
+        refreshReady_ = cycle + timing_.tRFC;
+        for (Bank &b : banks_)
+            b.readyCycle = refreshReady_;
+        return refreshReady_;
+    }
+    divot_panic("unreachable");
+}
+
+uint64_t
+Sdram::peek(uint64_t address) const
+{
+    const auto it = data_.find(address);
+    return it == data_.end() ? 0 : it->second;
+}
+
+} // namespace divot

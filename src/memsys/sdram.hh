@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Cycle-level SDRAM device model.
+ *
+ * Banks with row buffers, the classic command set (ACT / RD / WR /
+ * PRE / REF) and the JEDEC-style timing constraints that matter for
+ * scheduling (tRCD, CL, tRP, tRAS, tRFC, tREFI). Data contents are
+ * stored so end-to-end examples can demonstrate what an attacker
+ * does and does not get to read. The device also carries the
+ * memory-side DIVOT gate hook: when the module's authenticator is
+ * unhappy, column accesses are rejected at the device (Section III:
+ * "the column address is gated by the authentication result").
+ */
+
+#ifndef DIVOT_MEMSYS_SDRAM_HH
+#define DIVOT_MEMSYS_SDRAM_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace divot {
+
+/** Timing parameters in controller clock cycles. */
+struct SdramTiming
+{
+    unsigned tRCD = 10;   //!< ACT to RD/WR
+    unsigned tCL = 10;    //!< RD to data
+    unsigned tWL = 8;     //!< WR to data
+    unsigned tRP = 10;    //!< PRE to ACT
+    unsigned tRAS = 24;   //!< ACT to PRE
+    unsigned tRFC = 74;   //!< REF to any
+    unsigned tREFI = 1950; //!< average refresh interval
+    unsigned burstCycles = 4; //!< data burst duration
+};
+
+/** Geometry of the device. */
+struct SdramGeometry
+{
+    unsigned banks = 8;
+    unsigned rowsPerBank = 1u << 14;
+    unsigned colsPerRow = 1u << 10;
+};
+
+/** SDRAM command types. */
+enum class DramCommand { Activate, Read, Write, Precharge, Refresh };
+
+/** Decoded device address. */
+struct DramAddress
+{
+    unsigned bank;
+    unsigned row;
+    unsigned col;
+};
+
+/**
+ * The SDRAM device.
+ */
+class Sdram
+{
+  public:
+    /**
+     * @param timing   timing parameters
+     * @param geometry bank/row/column organization
+     */
+    Sdram(SdramTiming timing, SdramGeometry geometry);
+
+    /**
+     * @return true when `cmd` to `addr` respects every timing
+     * constraint at `cycle`.
+     */
+    bool canIssue(DramCommand cmd, const DramAddress &addr,
+                  uint64_t cycle) const;
+
+    /**
+     * Issue a command (caller must have checked canIssue).
+     *
+     * @return for Read/Write: the cycle at which data completes;
+     *         otherwise the cycle the bank becomes ready
+     */
+    uint64_t issue(DramCommand cmd, const DramAddress &addr,
+                   uint64_t cycle);
+
+    /** @return open row of a bank, or -1 when closed. */
+    long openRow(unsigned bank) const;
+
+    /** @return true when the device-side gate currently blocks data. */
+    bool accessBlocked() const { return blocked_; }
+
+    /**
+     * Memory-side DIVOT gate: set by the module's authenticator.
+     * While blocked, Read/Write commands are rejected (canIssue
+     * false) — the unauthorized requester gets nothing.
+     */
+    void setAccessBlocked(bool blocked) { blocked_ = blocked; }
+
+    /** Backdoor store for test/example payloads. */
+    void poke(uint64_t address, uint64_t value) { data_[address] = value; }
+
+    /** Backdoor load; returns 0 for untouched cells. */
+    uint64_t peek(uint64_t address) const;
+
+    /** @return geometry. */
+    const SdramGeometry &geometry() const { return geometry_; }
+
+    /** @return timing. */
+    const SdramTiming &timing() const { return timing_; }
+
+    /** @return count of commands rejected by the DIVOT gate. */
+    uint64_t gateRejections() const { return gateRejections_; }
+
+    /**
+     * Record a gate rejection (called by the controller when a
+     * data command was withheld because the device is blocked).
+     */
+    void noteGateRejection() { ++gateRejections_; }
+
+  private:
+    struct Bank
+    {
+        long openRow = -1;
+        uint64_t readyCycle = 0;      //!< earliest next command
+        uint64_t activateCycle = 0;   //!< when the row was opened
+    };
+
+    SdramTiming timing_;
+    SdramGeometry geometry_;
+    std::vector<Bank> banks_;
+    uint64_t refreshReady_ = 0;  //!< earliest cycle all-bank ops allowed
+    bool blocked_ = false;
+    uint64_t gateRejections_ = 0;
+    std::unordered_map<uint64_t, uint64_t> data_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_MEMSYS_SDRAM_HH

@@ -1,0 +1,108 @@
+#include "memsys/system.hh"
+
+#include "txline/tamper.hh"
+#include "util/logging.hh"
+
+namespace divot {
+
+TransmissionLine
+ProtectedMemorySystem::fabricateBus(const MemorySystemConfig &config,
+                                    Rng &rng)
+{
+    ManufacturingProcess fab(config.process, rng.fork(0x5001));
+    auto z = fab.drawImpedanceProfile(config.busLength,
+                                      config.segmentLength);
+    return TransmissionLine(std::move(z), config.segmentLength,
+                            config.process.velocity,
+                            config.process.nominalImpedance,
+                            config.process.nominalImpedance +
+                                rng.gaussian(0.0, 0.3),
+                            config.process.lossNeperPerMeter, "membus");
+}
+
+ProtectedMemorySystem::ProtectedMemorySystem(MemorySystemConfig config,
+                                             Rng rng)
+    : config_(config), rng_(rng), bus_(fabricateBus(config, rng_))
+{
+    sdram_ = std::make_unique<Sdram>(config_.timing, config_.geometry);
+    controller_ = std::make_unique<MemoryController>(*sdram_);
+    controller_->onCompletion(
+        [this](const MemCompletion &) { ++completed_; });
+
+    ItdrConfig itdr = config_.itdr;
+    itdr.pll.clockFrequency = config_.clockHz;
+    protocol_ = std::make_unique<TwoWayAuthProtocol>(
+        config_.auth, itdr, rng_.fork(0x5002), "membus");
+    protocol_->calibrate(bus_, config_.enrollReps);
+
+    gate_ = std::make_unique<DivotGate>(*protocol_, *controller_,
+                                        *sdram_, bus_, config_.clockHz);
+    workload_ = std::make_unique<WorkloadGenerator>(
+        config_.workload, config_.footprint, config_.requestsPerKcycle,
+        config_.writeFraction, rng_.fork(0x5003));
+}
+
+void
+ProtectedMemorySystem::scheduleBusEvent(uint64_t cycle,
+                                        TransmissionLine new_bus,
+                                        std::string description)
+{
+    gate_->scheduleEvent({cycle, std::move(new_bus),
+                          std::move(description)});
+}
+
+void
+ProtectedMemorySystem::scheduleColdBootSwap(uint64_t cycle)
+{
+    // The attacker moves the module to a different machine (or swaps
+    // in a different module): the CPU now talks over a *different*
+    // physical line with a different termination.
+    MemorySystemConfig foreign = config_;
+    Rng foreign_rng = rng_.fork(0x5004 + cycle);
+    TransmissionLine other = fabricateBus(foreign, foreign_rng);
+    other.setName("foreign-bus");
+    scheduleBusEvent(cycle, std::move(other),
+                     "cold-boot module swap (foreign bus + module)");
+}
+
+void
+ProtectedMemorySystem::scheduleProbeAttach(uint64_t cycle,
+                                           double position)
+{
+    MagneticProbe probe(position);
+    scheduleBusEvent(cycle, probe.apply(bus_),
+                     "magnetic probe attached at " +
+                         std::to_string(position * 100.0) + "% of bus");
+}
+
+void
+ProtectedMemorySystem::run(uint64_t cycles)
+{
+    const uint64_t end = cycle_ + cycles;
+    MemRequest req;
+    while (cycle_ < end) {
+        if (workload_->maybeGenerate(cycle_, req)) {
+            if (controller_->enqueue(req))
+                ++injected_;
+        }
+        gate_->tick(cycle_);
+        controller_->tick(cycle_);
+        ++cycle_;
+    }
+}
+
+MemorySystemReport
+ProtectedMemorySystem::report() const
+{
+    MemorySystemReport r;
+    r.controller = controller_->stats();
+    r.cyclesRun = cycle_;
+    r.completed = completed_;
+    r.injected = injected_;
+    r.monitoringRounds = gate_->roundsCompleted();
+    r.gateRejections = sdram_->gateRejections();
+    r.detections = gate_->detections();
+    return r;
+}
+
+} // namespace divot

@@ -1,0 +1,55 @@
+#include "memsys/workload.hh"
+
+#include "util/logging.hh"
+
+namespace divot {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadKind kind, uint64_t footprint,
+                                     double requests_per_kcycle,
+                                     double write_fraction, Rng rng)
+    : kind_(kind), footprint_(footprint),
+      ratePerCycle_(requests_per_kcycle / 1000.0),
+      writeFraction_(write_fraction), rng_(rng)
+{
+    if (footprint == 0)
+        divot_fatal("workload footprint must be >= 1");
+    if (requests_per_kcycle <= 0.0)
+        divot_fatal("workload rate must be positive (got %g)",
+                    requests_per_kcycle);
+    if (write_fraction < 0.0 || write_fraction > 1.0)
+        divot_fatal("write fraction %g outside [0,1]", write_fraction);
+}
+
+bool
+WorkloadGenerator::maybeGenerate(uint64_t cycle, MemRequest &out)
+{
+    if (!rng_.bernoulli(ratePerCycle_))
+        return false;
+
+    uint64_t addr = 0;
+    switch (kind_) {
+      case WorkloadKind::Sequential:
+        addr = seqAddr_++ % footprint_;
+        break;
+      case WorkloadKind::Random:
+        addr = rng_.uniformInt(footprint_);
+        break;
+      case WorkloadKind::HotCold:
+        // 90 % of accesses in the hot 10 % of the footprint.
+        if (rng_.bernoulli(0.9))
+            addr = rng_.uniformInt(std::max<uint64_t>(footprint_ / 10, 1));
+        else
+            addr = rng_.uniformInt(footprint_);
+        break;
+    }
+
+    out = MemRequest{};
+    out.id = ++nextId_;
+    out.isWrite = rng_.bernoulli(writeFraction_);
+    out.address = addr;
+    out.data = out.isWrite ? rng_.next() : 0;
+    out.arrivalCycle = cycle;
+    return true;
+}
+
+} // namespace divot

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Synthetic memory workload generators for the protection benches:
+ * sequential streaming (row-buffer friendly), uniform random
+ * (row-buffer hostile), and a hot/cold mix approximating real access
+ * locality.
+ */
+
+#ifndef DIVOT_MEMSYS_WORKLOAD_HH
+#define DIVOT_MEMSYS_WORKLOAD_HH
+
+#include <cstdint>
+
+#include "memsys/controller.hh"
+#include "util/rng.hh"
+
+namespace divot {
+
+/** Workload shapes. */
+enum class WorkloadKind { Sequential, Random, HotCold };
+
+/**
+ * Generates a stream of memory requests at a configurable intensity.
+ */
+class WorkloadGenerator
+{
+  public:
+    /**
+     * @param kind           access pattern
+     * @param footprint      addressable range in words
+     * @param requests_per_kcycle average requests injected per 1000
+     *                       cycles (Poisson-ish arrival)
+     * @param write_fraction fraction of writes
+     * @param rng            random stream
+     */
+    WorkloadGenerator(WorkloadKind kind, uint64_t footprint,
+                      double requests_per_kcycle, double write_fraction,
+                      Rng rng);
+
+    /**
+     * Maybe produce a request this cycle.
+     *
+     * @param cycle current cycle
+     * @param out   filled in when a request is generated
+     * @return true when a request was generated
+     */
+    bool maybeGenerate(uint64_t cycle, MemRequest &out);
+
+    /** @return requests generated so far. */
+    uint64_t generated() const { return nextId_; }
+
+  private:
+    WorkloadKind kind_;
+    uint64_t footprint_;
+    double ratePerCycle_;
+    double writeFraction_;
+    Rng rng_;
+    uint64_t nextId_ = 0;
+    uint64_t seqAddr_ = 0;
+};
+
+} // namespace divot
+
+#endif // DIVOT_MEMSYS_WORKLOAD_HH

@@ -1,0 +1,76 @@
+#include "signal/edge.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+namespace {
+
+// The ramp is v(t) = 0.5 * (1 + sin(pi t / ramp)) on [-ramp/2,
+// ramp/2]; it crosses 10 % / 90 % at t = -/+ (ramp/pi) * asin(0.8),
+// so ramp = rise1090 * pi / (2 asin(0.8)).
+constexpr double rise1090ToFull = 1.6939510987103987;
+
+} // namespace
+
+EdgeShape::EdgeShape(double amplitude, double rise_time, EdgeKind kind)
+    : amplitude_(amplitude), ramp_(rise_time * rise1090ToFull),
+      kind_(kind)
+{
+    if (rise_time <= 0.0)
+        divot_panic("EdgeShape rise_time must be positive (got %g)",
+                    rise_time);
+}
+
+double
+EdgeShape::valueAt(double t) const
+{
+    // Ramp spans [-ramp_/2, +ramp_/2], centered at t = 0.
+    double frac;
+    if (t <= -ramp_ / 2.0)
+        frac = 0.0;
+    else if (t >= ramp_ / 2.0)
+        frac = 1.0;
+    else
+        frac = 0.5 * (1.0 + std::sin(M_PI * t / ramp_));
+    if (kind_ == EdgeKind::Falling)
+        frac = 1.0 - frac;
+    return amplitude_ * frac;
+}
+
+double
+EdgeShape::deviationAt(double t) const
+{
+    const double initial =
+        kind_ == EdgeKind::Falling ? amplitude_ : 0.0;
+    return valueAt(t) - initial;
+}
+
+double
+EdgeShape::slopeAt(double t) const
+{
+    if (t <= -ramp_ / 2.0 || t >= ramp_ / 2.0)
+        return 0.0;
+    double d = amplitude_ * 0.5 * (M_PI / ramp_) *
+        std::cos(M_PI * t / ramp_);
+    if (kind_ == EdgeKind::Falling)
+        d = -d;
+    return d;
+}
+
+Waveform
+EdgeShape::sampled(double dt) const
+{
+    const double t0 = -ramp_;
+    const double t1 = 2.0 * ramp_;
+    const std::size_t n =
+        static_cast<std::size_t>(std::ceil((t1 - t0) / dt)) + 1;
+    std::vector<double> s(n);
+    for (std::size_t i = 0; i < n; ++i)
+        s[i] = valueAt(t0 + static_cast<double>(i) * dt);
+    return Waveform(dt, std::move(s), t0);
+}
+
+} // namespace divot

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Probe-edge models. DIVOT uses the rising / falling edges of the
+ * data or clock waveform already flowing on the bus as TDR probe
+ * signals (Section II-D/E of the paper). An EdgeShape describes the
+ * deterministic voltage transition produced by the transmitter's
+ * output driver; because the driver circuit is fixed, the shape is
+ * highly repeatable — the property ETS relies on.
+ */
+
+#ifndef DIVOT_SIGNAL_EDGE_HH
+#define DIVOT_SIGNAL_EDGE_HH
+
+#include "signal/waveform.hh"
+
+namespace divot {
+
+/** Direction of a signal transition. */
+enum class EdgeKind { Rising, Falling };
+
+/**
+ * A band-limited step transition with finite 10-90 % rise time,
+ * modelled as a raised-cosine ramp (a good fit to CMOS driver edges
+ * and smooth enough to keep the lattice simulator dispersion-free).
+ */
+class EdgeShape
+{
+  public:
+    /**
+     * @param amplitude  swing in volts (low-to-high)
+     * @param rise_time  10-90 % transition time in seconds
+     * @param kind       rising or falling transition
+     */
+    EdgeShape(double amplitude, double rise_time,
+              EdgeKind kind = EdgeKind::Rising);
+
+    /**
+     * Instantaneous voltage of the transition at time t, where the
+     * transition is centered at t = 0. Rising edges go from 0 to
+     * +amplitude; falling edges from +amplitude to 0.
+     */
+    double valueAt(double t) const;
+
+    /**
+     * Deviation from the pre-edge steady state at time t: zero before
+     * the transition for both edge kinds, +amplitude (rising) or
+     * -amplitude (falling) after it. TDR models probe with the
+     * deviation so that an echo contributes nothing before its
+     * arrival time.
+     */
+    double deviationAt(double t) const;
+
+    /**
+     * Time-derivative of the transition at time t (the effective TDR
+     * impulse shape; back-reflection is the IIP convolved with this).
+     */
+    double slopeAt(double t) const;
+
+    /** @return full transition duration in seconds (0 to 100 %). */
+    double duration() const { return ramp_; }
+
+    /** @return configured amplitude in volts. */
+    double amplitude() const { return amplitude_; }
+
+    /** @return edge direction. */
+    EdgeKind kind() const { return kind_; }
+
+    /**
+     * Sample the transition into a waveform on a dt grid covering
+     * [-duration, +2*duration] (enough pre/post padding for
+     * convolution work).
+     */
+    Waveform sampled(double dt) const;
+
+  private:
+    double amplitude_;
+    double ramp_;   //!< full 0-100 % ramp duration
+    EdgeKind kind_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_SIGNAL_EDGE_HH

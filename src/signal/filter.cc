@@ -1,0 +1,109 @@
+#include "signal/filter.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+Waveform
+convolve(const Waveform &x, const Waveform &kernel)
+{
+    if (std::fabs(x.dt() - kernel.dt()) > 1e-15 * x.dt())
+        divot_panic("convolve: dt mismatch (%g vs %g)",
+                    x.dt(), kernel.dt());
+    if (x.empty() || kernel.empty())
+        return Waveform(x.dt(), {}, x.startTime());
+
+    const std::size_t n = x.size() + kernel.size() - 1;
+    std::vector<double> out(n, 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double xi = x[i];
+        if (xi == 0.0)
+            continue;
+        for (std::size_t j = 0; j < kernel.size(); ++j)
+            out[i + j] += xi * kernel[j];
+    }
+    for (auto &v : out)
+        v *= x.dt();
+    return Waveform(x.dt(), std::move(out),
+                    x.startTime() + kernel.startTime());
+}
+
+Waveform
+movingAverage(const Waveform &x, std::size_t w)
+{
+    if (w == 0 || w % 2 == 0)
+        divot_panic("movingAverage window must be odd and > 0 (got %zu)",
+                    w);
+    if (x.size() < w)
+        return x;
+    std::vector<double> out(x.size());
+    const std::size_t half = w / 2;
+    double acc = 0.0;
+    // Prime the window at index `half`.
+    for (std::size_t i = 0; i < w; ++i)
+        acc += x[i];
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (i < half || i + half >= x.size()) {
+            // Edge samples: shrink the window symmetrically.
+            const std::size_t lo = i >= half ? i - half : 0;
+            const std::size_t hi = std::min(i + half + 1, x.size());
+            double s = 0.0;
+            for (std::size_t k = lo; k < hi; ++k)
+                s += x[k];
+            out[i] = s / static_cast<double>(hi - lo);
+        } else {
+            out[i] = acc / static_cast<double>(w);
+            if (i + half + 1 < x.size())
+                acc += x[i + half + 1] - x[i - half];
+        }
+    }
+    return Waveform(x.dt(), std::move(out), x.startTime());
+}
+
+Waveform
+rcLowpass(const Waveform &x, double tau)
+{
+    if (tau <= 0.0)
+        divot_panic("rcLowpass tau must be positive (got %g)", tau);
+    if (x.empty())
+        return x;
+    // Bilinear transform of H(s) = 1/(1 + s*tau).
+    const double a = x.dt() / (2.0 * tau);
+    const double b0 = a / (1.0 + a);
+    const double a1 = (1.0 - a) / (1.0 + a);
+    std::vector<double> out(x.size());
+    double prevIn = x[0], prevOut = x[0];
+    out[0] = x[0];
+    for (std::size_t i = 1; i < x.size(); ++i) {
+        out[i] = b0 * (x[i] + prevIn) + a1 * prevOut;
+        prevIn = x[i];
+        prevOut = out[i];
+    }
+    return Waveform(x.dt(), std::move(out), x.startTime());
+}
+
+Waveform
+rcHighpass(const Waveform &x, double tau)
+{
+    if (tau <= 0.0)
+        divot_panic("rcHighpass tau must be positive (got %g)", tau);
+    Waveform low = rcLowpass(x, tau);
+    Waveform out = x;
+    out -= low;
+    return out;
+}
+
+Waveform
+differentiate(const Waveform &x)
+{
+    if (x.size() < 2)
+        return Waveform(x.dt(), {}, x.startTime());
+    std::vector<double> out(x.size() - 1);
+    for (std::size_t i = 0; i + 1 < x.size(); ++i)
+        out[i] = (x[i + 1] - x[i]) / x.dt();
+    return Waveform(x.dt(), std::move(out), x.startTime());
+}
+
+} // namespace divot

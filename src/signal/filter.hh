@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small DSP helpers: direct convolution, moving average, and a single-
+ * pole RC low-pass (used for the quasi-triangle PDM generator, which
+ * the paper builds from a digital output plus an RC network).
+ */
+
+#ifndef DIVOT_SIGNAL_FILTER_HH
+#define DIVOT_SIGNAL_FILTER_HH
+
+#include "signal/waveform.hh"
+
+namespace divot {
+
+/**
+ * Full linear convolution of a waveform with a kernel sampled on the
+ * same dt grid; the result is scaled by dt so that convolving with a
+ * discretized Dirac impulse is the identity.
+ */
+Waveform convolve(const Waveform &x, const Waveform &kernel);
+
+/** Centered moving average over an odd window of w samples. */
+Waveform movingAverage(const Waveform &x, std::size_t w);
+
+/**
+ * Single-pole RC low-pass filter (bilinear discretization).
+ *
+ * @param x   input waveform
+ * @param tau RC time constant in seconds
+ */
+Waveform rcLowpass(const Waveform &x, double tau);
+
+/**
+ * Single-pole RC high-pass filter: the complement of rcLowpass. Used
+ * to AC-couple the TDR detector path — a step-probe reflection trace
+ * is the running sum of reflection coefficients and slowly wanders
+ * over many millivolts; high-passing keeps the localized IIP features
+ * inside the comparator's PDM dynamic range.
+ *
+ * @param x   input waveform
+ * @param tau RC time constant in seconds
+ */
+Waveform rcHighpass(const Waveform &x, double tau);
+
+/**
+ * First difference scaled by 1/dt — a discrete derivative used to
+ * convert step-response TDR traces into impulse-response form.
+ */
+Waveform differentiate(const Waveform &x);
+
+} // namespace divot
+
+#endif // DIVOT_SIGNAL_FILTER_HH

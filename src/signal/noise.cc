@@ -1,0 +1,67 @@
+#include "signal/noise.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+GaussianNoise::GaussianNoise(double sigma, Rng rng)
+    : sigma_(sigma), rng_(rng)
+{
+    if (sigma < 0.0)
+        divot_panic("GaussianNoise sigma must be >= 0 (got %g)", sigma);
+}
+
+double
+GaussianNoise::sampleAt(double)
+{
+    return rng_.gaussian(0.0, sigma_);
+}
+
+SinusoidalInterference::SinusoidalInterference(double amplitude,
+                                               double frequency,
+                                               double phase)
+    : amplitude_(amplitude), frequency_(frequency), phase_(phase)
+{
+}
+
+double
+SinusoidalInterference::sampleAt(double t)
+{
+    return amplitude_ * std::sin(2.0 * M_PI * frequency_ * t + phase_);
+}
+
+double
+SinusoidalInterference::rmsAmplitude() const
+{
+    return amplitude_ / std::sqrt(2.0);
+}
+
+void
+CompositeNoise::add(std::unique_ptr<NoiseSource> src)
+{
+    sources_.push_back(std::move(src));
+}
+
+double
+CompositeNoise::sampleAt(double t)
+{
+    double sum = 0.0;
+    for (auto &src : sources_)
+        sum += src->sampleAt(t);
+    return sum;
+}
+
+double
+CompositeNoise::rmsAmplitude() const
+{
+    double sq = 0.0;
+    for (const auto &src : sources_) {
+        const double r = src->rmsAmplitude();
+        sq += r * r;
+    }
+    return std::sqrt(sq);
+}
+
+} // namespace divot

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Noise and interference sources.
+ *
+ * The APC mechanism (Section II-B) *depends* on noise: the Gaussian
+ * thermal noise referred to the comparator input is what turns the
+ * 1-bit comparator into a high-resolution voltage meter. EMI from
+ * nearby digital circuits (Section IV-C) is asynchronous interference
+ * that synchronous equivalent-time sampling largely averages out.
+ */
+
+#ifndef DIVOT_SIGNAL_NOISE_HH
+#define DIVOT_SIGNAL_NOISE_HH
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace divot {
+
+/**
+ * Interface for an additive noise/interference process sampled at
+ * absolute times. Implementations may be white (time-independent) or
+ * colored/deterministic (time-dependent).
+ */
+class NoiseSource
+{
+  public:
+    virtual ~NoiseSource() = default;
+
+    /**
+     * Draw the noise value at absolute time t. Consecutive calls with
+     * increasing t advance the process.
+     */
+    virtual double sampleAt(double t) = 0;
+
+    /** @return RMS amplitude of the process, for SNR bookkeeping. */
+    virtual double rmsAmplitude() const = 0;
+};
+
+/**
+ * White Gaussian noise — the thermal noise model of Eq. (1).
+ */
+class GaussianNoise : public NoiseSource
+{
+  public:
+    /**
+     * @param sigma standard deviation in volts
+     * @param rng   dedicated random stream
+     */
+    GaussianNoise(double sigma, Rng rng);
+
+    double sampleAt(double t) override;
+    double rmsAmplitude() const override { return sigma_; }
+
+    /** @return configured standard deviation. */
+    double sigma() const { return sigma_; }
+
+  private:
+    double sigma_;
+    Rng rng_;
+};
+
+/**
+ * Deterministic sinusoidal interference representing EM coupling from
+ * a nearby high-speed digital circuit. It is *asynchronous* to the
+ * sampling clock (frequency chosen incommensurate), so synchronous
+ * averaging over many APC trials suppresses it.
+ */
+class SinusoidalInterference : public NoiseSource
+{
+  public:
+    /**
+     * @param amplitude peak amplitude in volts
+     * @param frequency interference frequency in Hz
+     * @param phase     initial phase in radians
+     */
+    SinusoidalInterference(double amplitude, double frequency,
+                           double phase = 0.0);
+
+    double sampleAt(double t) override;
+    double rmsAmplitude() const override;
+
+  private:
+    double amplitude_;
+    double frequency_;
+    double phase_;
+};
+
+/**
+ * Sum of independent sources; rmsAmplitude combines in quadrature
+ * (valid for uncorrelated processes).
+ */
+class CompositeNoise : public NoiseSource
+{
+  public:
+    /** Take ownership of a component source. */
+    void add(std::unique_ptr<NoiseSource> src);
+
+    double sampleAt(double t) override;
+    double rmsAmplitude() const override;
+
+    /** @return number of component sources. */
+    std::size_t components() const { return sources_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<NoiseSource>> sources_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_SIGNAL_NOISE_HH

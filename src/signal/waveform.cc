@@ -1,0 +1,231 @@
+#include "signal/waveform.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+Waveform::Waveform(double dt, std::vector<double> samples,
+                   double start_time)
+    : dt_(dt), startTime_(start_time), samples_(std::move(samples))
+{
+    if (dt <= 0.0)
+        divot_panic("Waveform dt must be positive (got %g)", dt);
+}
+
+Waveform
+Waveform::zeros(double dt, std::size_t n, double start_time)
+{
+    return Waveform(dt, std::vector<double>(n, 0.0), start_time);
+}
+
+double
+Waveform::timeAt(std::size_t i) const
+{
+    return startTime_ + static_cast<double>(i) * dt_;
+}
+
+double
+Waveform::endTime() const
+{
+    return startTime_ + static_cast<double>(samples_.size()) * dt_;
+}
+
+double
+Waveform::valueAt(double t) const
+{
+    if (samples_.empty())
+        return 0.0;
+    const double pos = (t - startTime_) / dt_;
+    if (pos <= 0.0)
+        return samples_.front();
+    if (pos >= static_cast<double>(samples_.size() - 1))
+        return samples_.back();
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] + frac * (samples_[lo + 1] - samples_[lo]);
+}
+
+Waveform &
+Waveform::operator+=(const Waveform &other)
+{
+    if (other.size() != size())
+        divot_panic("Waveform += size mismatch (%zu vs %zu)",
+                    size(), other.size());
+    for (std::size_t i = 0; i < samples_.size(); ++i)
+        samples_[i] += other.samples_[i];
+    return *this;
+}
+
+Waveform &
+Waveform::operator-=(const Waveform &other)
+{
+    if (other.size() != size())
+        divot_panic("Waveform -= size mismatch (%zu vs %zu)",
+                    size(), other.size());
+    for (std::size_t i = 0; i < samples_.size(); ++i)
+        samples_[i] -= other.samples_[i];
+    return *this;
+}
+
+Waveform &
+Waveform::operator*=(double k)
+{
+    for (auto &s : samples_)
+        s *= k;
+    return *this;
+}
+
+double
+Waveform::energy() const
+{
+    double e = 0.0;
+    for (double s : samples_)
+        e += s * s;
+    return e * dt_;
+}
+
+double
+Waveform::rms() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double e = 0.0;
+    for (double s : samples_)
+        e += s * s;
+    return std::sqrt(e / static_cast<double>(samples_.size()));
+}
+
+double
+Waveform::peakAbs() const
+{
+    double peak = 0.0;
+    for (double s : samples_)
+        peak = std::max(peak, std::fabs(s));
+    return peak;
+}
+
+std::size_t
+Waveform::peakIndex() const
+{
+    std::size_t best = 0;
+    double peak = -1.0;
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        if (std::fabs(samples_[i]) > peak) {
+            peak = std::fabs(samples_[i]);
+            best = i;
+        }
+    }
+    return best;
+}
+
+void
+Waveform::removeMean()
+{
+    if (samples_.empty())
+        return;
+    double mean = 0.0;
+    for (double s : samples_)
+        mean += s;
+    mean /= static_cast<double>(samples_.size());
+    for (auto &s : samples_)
+        s -= mean;
+}
+
+void
+Waveform::normalizeUnitNorm()
+{
+    double norm = 0.0;
+    for (double s : samples_)
+        norm += s * s;
+    norm = std::sqrt(norm);
+    if (norm == 0.0)
+        return;
+    for (auto &s : samples_)
+        s /= norm;
+}
+
+Waveform
+Waveform::slice(double t_lo, double t_hi) const
+{
+    if (samples_.empty() || t_hi <= t_lo)
+        return Waveform(dt_, {}, t_lo);
+    long ilo = static_cast<long>(std::ceil((t_lo - startTime_) / dt_));
+    long ihi = static_cast<long>(std::floor((t_hi - startTime_) / dt_));
+    ilo = std::max(0L, ilo);
+    ihi = std::min(ihi, static_cast<long>(samples_.size()));
+    if (ihi <= ilo)
+        return Waveform(dt_, {}, t_lo);
+    std::vector<double> out(samples_.begin() + ilo,
+                            samples_.begin() + ihi);
+    return Waveform(dt_, std::move(out), timeAt(static_cast<std::size_t>(ilo)));
+}
+
+Waveform
+Waveform::resampled(double new_dt) const
+{
+    if (new_dt <= 0.0)
+        divot_panic("resampled: dt must be positive (got %g)", new_dt);
+    if (samples_.empty())
+        return Waveform(new_dt, {}, startTime_);
+    const double span = static_cast<double>(samples_.size() - 1) * dt_;
+    const std::size_t n =
+        static_cast<std::size_t>(std::floor(span / new_dt)) + 1;
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = valueAt(startTime_ + static_cast<double>(i) * new_dt);
+    return Waveform(new_dt, std::move(out), startTime_);
+}
+
+std::vector<std::pair<double, double>>
+Waveform::series() const
+{
+    std::vector<std::pair<double, double>> out;
+    out.reserve(samples_.size());
+    for (std::size_t i = 0; i < samples_.size(); ++i)
+        out.emplace_back(timeAt(i), samples_[i]);
+    return out;
+}
+
+Waveform
+operator+(Waveform a, const Waveform &b)
+{
+    a += b;
+    return a;
+}
+
+Waveform
+operator-(Waveform a, const Waveform &b)
+{
+    a -= b;
+    return a;
+}
+
+Waveform
+operator*(Waveform a, double k)
+{
+    a *= k;
+    return a;
+}
+
+double
+normalizedInnerProduct(const Waveform &a, const Waveform &b)
+{
+    if (a.size() != b.size())
+        divot_panic("normalizedInnerProduct size mismatch (%zu vs %zu)",
+                    a.size(), b.size());
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+    }
+    const double denom = std::sqrt(na * nb);
+    if (denom == 0.0)
+        return 0.0;
+    return dot / denom;
+}
+
+} // namespace divot

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Uniformly sampled analog waveform.
+ *
+ * A Waveform is the common currency between the transmission-line
+ * simulator (which produces back-reflection voltage traces), the
+ * analog front-end models (comparator, triangle wave), and the iTDR
+ * reconstruction (which rebuilds an estimate of the trace from
+ * comparator hit probabilities).
+ */
+
+#ifndef DIVOT_SIGNAL_WAVEFORM_HH
+#define DIVOT_SIGNAL_WAVEFORM_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace divot {
+
+/**
+ * A real-valued signal sampled on a uniform time grid
+ * t_i = startTime + i * dt.
+ */
+class Waveform
+{
+  public:
+    /** Empty waveform (no samples, dt = 1). */
+    Waveform() = default;
+
+    /**
+     * @param dt         sample interval in seconds (> 0)
+     * @param samples    sample values
+     * @param start_time time of sample 0 in seconds
+     */
+    Waveform(double dt, std::vector<double> samples,
+             double start_time = 0.0);
+
+    /** Allocate n zero samples at the given rate. */
+    static Waveform zeros(double dt, std::size_t n,
+                          double start_time = 0.0);
+
+    /** @return sample interval in seconds. */
+    double dt() const { return dt_; }
+
+    /** @return time of the first sample. */
+    double startTime() const { return startTime_; }
+
+    /** @return time of sample i. */
+    double timeAt(std::size_t i) const;
+
+    /** @return time just past the last sample. */
+    double endTime() const;
+
+    /** @return number of samples. */
+    std::size_t size() const { return samples_.size(); }
+
+    /** @return true when the waveform holds no samples. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Mutable access to sample i (bounds-checked in debug). */
+    double &operator[](std::size_t i) { return samples_[i]; }
+
+    /** Const access to sample i. */
+    double operator[](std::size_t i) const { return samples_[i]; }
+
+    /** @return underlying sample vector. */
+    const std::vector<double> &samples() const { return samples_; }
+
+    /** @return mutable underlying sample vector. */
+    std::vector<double> &samples() { return samples_; }
+
+    /**
+     * Linearly interpolated value at absolute time t; clamps to the
+     * first/last sample outside the span.
+     */
+    double valueAt(double t) const;
+
+    /** Add another waveform sample-wise (sizes and dt must match). */
+    Waveform &operator+=(const Waveform &other);
+
+    /** Subtract another waveform sample-wise. */
+    Waveform &operator-=(const Waveform &other);
+
+    /** Scale every sample by k. */
+    Waveform &operator*=(double k);
+
+    /** @return sum of squared samples times dt (signal energy). */
+    double energy() const;
+
+    /** @return square root of mean squared sample value. */
+    double rms() const;
+
+    /** @return largest absolute sample value (0 when empty). */
+    double peakAbs() const;
+
+    /** @return index of the largest absolute sample (0 when empty). */
+    std::size_t peakIndex() const;
+
+    /** Remove the mean from the waveform in place. */
+    void removeMean();
+
+    /**
+     * Scale so the Euclidean norm of the sample vector is 1; a zero
+     * waveform is left untouched.
+     */
+    void normalizeUnitNorm();
+
+    /**
+     * Extract the sub-waveform covering [t_lo, t_hi); times clamp to
+     * the waveform span.
+     */
+    Waveform slice(double t_lo, double t_hi) const;
+
+    /**
+     * Resample onto a new grid with the given dt via linear
+     * interpolation, spanning the same time range.
+     */
+    Waveform resampled(double new_dt) const;
+
+    /** @return (x, y) pairs for series output. */
+    std::vector<std::pair<double, double>> series() const;
+
+  private:
+    double dt_ = 1.0;
+    double startTime_ = 0.0;
+    std::vector<double> samples_;
+};
+
+/** Sample-wise sum (sizes and rates must match). */
+Waveform operator+(Waveform a, const Waveform &b);
+
+/** Sample-wise difference. */
+Waveform operator-(Waveform a, const Waveform &b);
+
+/** Scalar multiple. */
+Waveform operator*(Waveform a, double k);
+
+/**
+ * Normalized inner product of two equal-length waveforms in [-1, 1]
+ * (the geometric building block of the paper's similarity S_xy).
+ */
+double normalizedInnerProduct(const Waveform &a, const Waveform &b);
+
+} // namespace divot
+
+#endif // DIVOT_SIGNAL_WAVEFORM_HH

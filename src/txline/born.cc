@@ -1,0 +1,78 @@
+#include "txline/born.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+BornTdrModel::BornTdrModel(const TransmissionLine &line)
+    : line_(line)
+{
+}
+
+Waveform
+BornTdrModel::probe(const EdgeShape &edge, double dt,
+                    double capture_time) const
+{
+    const std::size_t n = line_.segments();
+    const double seg_dt = line_.segmentLength() / line_.velocity();
+    if (dt <= 0.0)
+        dt = seg_dt;
+    if (capture_time <= 0.0)
+        capture_time = 1.5 * line_.roundTripDelay() + 3.0 * edge.duration();
+    const std::size_t steps =
+        static_cast<std::size_t>(std::ceil(capture_time / dt));
+
+    const double launch_gain =
+        line_.impedanceAt(0) /
+        (line_.sourceImpedance() + line_.impedanceAt(0));
+    const double edge_center = 1.5 * edge.duration();
+    const double a2 =
+        line_.segmentAttenuation() * line_.segmentAttenuation();
+
+    // Collect (arrival time, amplitude) of each single-bounce echo.
+    struct Echo { double t; double amp; };
+    std::vector<Echo> echoes;
+    echoes.reserve(n);
+    double fwd = launch_gain;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        fwd *= a2;
+        const double r = line_.junctionReflection(i);
+        echoes.push_back({static_cast<double>(2 * (i + 1)) * seg_dt,
+                          fwd * r});
+        fwd *= (1.0 - r * r);
+    }
+    fwd *= a2;
+    echoes.push_back({static_cast<double>(2 * n) * seg_dt,
+                      fwd * line_.loadReflection()});
+
+    Waveform out = Waveform::zeros(dt, steps);
+    // Superpose each echo as a shifted copy of the edge *deviation*
+    // (zero before arrival, a constant plateau after the transition).
+    // Evaluate the raised-cosine only inside the transition window and
+    // add the plateau as a constant beyond it.
+    const double dur = edge.duration();
+    const double plateau =
+        edge.kind() == EdgeKind::Falling ? -edge.amplitude()
+                                         : edge.amplitude();
+    for (const auto &echo : echoes) {
+        const double t_start = echo.t + edge_center - dur / 2.0;
+        const double t_stop = echo.t + edge_center + dur / 2.0;
+        long i_lo = static_cast<long>(std::floor(t_start / dt));
+        long i_hi = static_cast<long>(std::ceil(t_stop / dt));
+        i_lo = std::max(0L, i_lo);
+        i_hi = std::min(i_hi, static_cast<long>(steps) - 1);
+        for (long i = i_lo; i <= i_hi; ++i) {
+            const double t = static_cast<double>(i) * dt;
+            out[static_cast<std::size_t>(i)] +=
+                echo.amp * edge.deviationAt(t - echo.t - edge_center);
+        }
+        for (long i = i_hi + 1; i < static_cast<long>(steps); ++i)
+            out[static_cast<std::size_t>(i)] += echo.amp * plateau;
+    }
+    return out;
+}
+
+} // namespace divot

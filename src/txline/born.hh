@@ -1,0 +1,57 @@
+/**
+ * @file
+ * First-order (Born-approximation) TDR model.
+ *
+ * For the weak discontinuities of a real PCB trace (|rho| ~ 1e-2),
+ * multiple reflections are second order and the back-reflection is
+ * well approximated by the superposition of single bounces:
+ *
+ *   r(t) ~= sum_i  T_i * rho_i * s(t - t_i),
+ *
+ * where s() is the incident edge, t_i the round-trip time to
+ * discontinuity i, and T_i the accumulated two-way transmission and
+ * attenuation. This is orders of magnitude faster than the lattice
+ * simulator and is the production path for Monte-Carlo experiments;
+ * its fidelity against the lattice reference is checked by tests and
+ * quantified by the ablation bench.
+ */
+
+#ifndef DIVOT_TXLINE_BORN_HH
+#define DIVOT_TXLINE_BORN_HH
+
+#include "signal/edge.hh"
+#include "signal/waveform.hh"
+#include "txline/txline.hh"
+
+namespace divot {
+
+/**
+ * Fast first-order reflection model for one TransmissionLine.
+ */
+class BornTdrModel
+{
+  public:
+    /**
+     * @param line the line to model (caller keeps it alive)
+     */
+    explicit BornTdrModel(const TransmissionLine &line);
+
+    /**
+     * Compute the back-reflection for one probe edge.
+     *
+     * @param edge         probe transition
+     * @param dt           output sampling interval; defaults to the
+     *                     segment transit time
+     * @param capture_time record length; defaults as in the lattice
+     * @return reflection waveform at the detector
+     */
+    Waveform probe(const EdgeShape &edge, double dt = 0.0,
+                   double capture_time = 0.0) const;
+
+  private:
+    const TransmissionLine &line_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_TXLINE_BORN_HH

@@ -1,0 +1,74 @@
+#include "txline/environment.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+Environment::Environment(EnvironmentConditions conditions, Rng rng)
+    : cond_(conditions), rng_(rng)
+{
+    if (cond_.vibrationFreqHiHz < cond_.vibrationFreqLoHz)
+        divot_fatal("vibration chirp range inverted (%g > %g)",
+                    cond_.vibrationFreqLoHz, cond_.vibrationFreqHiHz);
+}
+
+double
+Environment::strainAt(double t) const
+{
+    if (cond_.vibrationStrain == 0.0)
+        return 0.0;
+    // Linear chirp over a 1 s sweep period, repeating.
+    const double sweep = 1.0;
+    const double tau = std::fmod(t, sweep);
+    const double f0 = cond_.vibrationFreqLoHz;
+    const double k = (cond_.vibrationFreqHiHz - f0) / sweep;
+    const double phase = 2.0 * M_PI * (f0 * tau + 0.5 * k * tau * tau);
+    return cond_.vibrationStrain * std::sin(phase);
+}
+
+TransmissionLine
+Environment::snapshot(const TransmissionLine &line, double measurement_t)
+{
+    double temperature = cond_.temperatureC;
+    if (cond_.temperatureSwingHiC > cond_.temperatureC) {
+        temperature = rng_.uniform(cond_.temperatureC,
+                                   cond_.temperatureSwingHiC);
+    }
+    const double dT = temperature - referenceTemperatureC;
+
+    // Uniform thermal effect: Dk up => C up => Z = sqrt(L/C) down and
+    // v = 1/sqrt(LC) down, both by ~ dDk/2.
+    const double dk_rel = dkTempCoeff * dT;
+    const double z_scale = 1.0 / std::sqrt(1.0 + dk_rel);
+    const double v_scale = 1.0 / std::sqrt(1.0 + dk_rel);
+
+    // Instantaneous vibration strain: quasi-static within one
+    // measurement. Stretching the board lengthens the line (velocity
+    // scale on the time axis) and thins the trace slightly (impedance
+    // rises with strain via geometry).
+    const double strain = strainAt(measurement_t);
+    const double strain_z = 1.0 + 0.5 * strain;
+    const double strain_v = 1.0 / (1.0 + strain);
+
+    TransmissionLine out = line;
+    out.setVelocity(line.velocity() * v_scale * strain_v);
+
+    auto &z = out.impedances();
+    const std::size_t n = z.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        // Residual differential thermal response: laminate regions do
+        // not heat identically; a gentle position-dependent ripple
+        // scaled by dT perturbs the IIP slightly. Deterministic per
+        // position so repeated measurements at the same temperature
+        // agree.
+        const double x = static_cast<double>(i) / static_cast<double>(n);
+        const double ripple = 1.0 + dkDifferentialCoeff * dT *
+            std::sin(2.0 * M_PI * (3.0 * x + 0.25));
+        z[i] *= z_scale * strain_z * ripple;
+    }
+    return out;
+}
+
+} // namespace divot

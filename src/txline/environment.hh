@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Environmental effects on a transmission line (Section IV-C).
+ *
+ *  - Temperature: PCB laminate dielectric constant Dk rises with
+ *    temperature [Hinaga et al.], raising the line capacitance. That
+ *    lowers every local impedance *in the same proportion* and slows
+ *    propagation — so the impedance *contrast* (the IIP shape) is
+ *    largely preserved, and the genuine similarity only shifts
+ *    slightly (paper: EER 0.06 % -> 0.14 % over a 23->75 C swing). A
+ *    small differential term models the residual non-uniformity of
+ *    the laminate's thermal response.
+ *
+ *  - Vibration / acoustics: a piezo driver chirped 1-50 Hz compresses
+ *    and stretches the board. Within one IIP measurement (tens of
+ *    microseconds) the strain is quasi-static, so each measurement
+ *    sees a random strain sample that rescales segment lengths (time
+ *    axis stretch) and modulates impedance through the geometry
+ *    (paper: EER -> 0.27 %).
+ *
+ *  - EMI: a nearby high-speed digital circuit couples interference
+ *    into the receiver. It is asynchronous to the probe edges, so the
+ *    synchronized APC averaging suppresses it (paper: EER stays
+ *    0.06 %). EMI therefore enters at the comparator input, not here;
+ *    this header only carries its configuration.
+ */
+
+#ifndef DIVOT_TXLINE_ENVIRONMENT_HH
+#define DIVOT_TXLINE_ENVIRONMENT_HH
+
+#include "txline/txline.hh"
+#include "util/rng.hh"
+
+namespace divot {
+
+/** Static environmental conditions for a measurement campaign. */
+struct EnvironmentConditions
+{
+    double temperatureC = 23.0;       //!< ambient temperature
+    double temperatureSwingHiC = 0.0; //!< when > temperatureC, each
+                                      //!< measurement sees a random
+                                      //!< temperature in the swing
+                                      //!< range (the Fig. 8 oven test)
+    double vibrationStrain = 0.0;     //!< peak strain from vibration
+    double vibrationFreqLoHz = 1.0;   //!< chirp start frequency
+    double vibrationFreqHiHz = 50.0;  //!< chirp stop frequency
+    double emiAmplitude = 0.0;        //!< coupled EMI at receiver (V)
+    double emiFrequencyHz = 312.7e6;  //!< asynchronous EMI tone
+};
+
+/**
+ * Stateful environment model: produces a per-measurement snapshot of
+ * the line under the configured conditions.
+ */
+class Environment
+{
+  public:
+    /** Thermal coefficient of Dk per kelvin for FR-4-class laminate. */
+    static constexpr double dkTempCoeff = 4.0e-4;
+
+    /** Residual differential (non-uniform) thermal coefficient. */
+    static constexpr double dkDifferentialCoeff = 2.5e-5;
+
+    /** Reference (calibration) temperature in Celsius. */
+    static constexpr double referenceTemperatureC = 23.0;
+
+    /**
+     * @param conditions campaign conditions
+     * @param rng        random stream for per-measurement variation
+     */
+    Environment(EnvironmentConditions conditions, Rng rng);
+
+    /**
+     * Produce the line as it exists during one measurement: thermal
+     * scaling plus the instantaneous vibration strain.
+     *
+     * @param line          pristine enrolled line
+     * @param measurement_t wall-clock time of the measurement (drives
+     *                      the vibration chirp phase)
+     */
+    TransmissionLine snapshot(const TransmissionLine &line,
+                              double measurement_t);
+
+    /** @return configured conditions. */
+    const EnvironmentConditions &conditions() const { return cond_; }
+
+    /**
+     * Instantaneous strain of the vibration chirp at time t (exposed
+     * for tests; zero when vibration is disabled).
+     */
+    double strainAt(double t) const;
+
+  private:
+    EnvironmentConditions cond_;
+    Rng rng_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_TXLINE_ENVIRONMENT_HH

@@ -1,0 +1,117 @@
+#include "txline/lattice.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+LatticeSimulator::LatticeSimulator(const TransmissionLine &line)
+    : line_(line)
+{
+}
+
+double
+LatticeSimulator::timeStep() const
+{
+    return line_.segmentLength() / line_.velocity();
+}
+
+TdrTrace
+LatticeSimulator::probe(const EdgeShape &edge, double capture_time) const
+{
+    const std::size_t n = line_.segments();
+    const double dt = timeStep();
+    if (capture_time <= 0.0)
+        capture_time = 1.5 * line_.roundTripDelay() + 3.0 * edge.duration();
+    const std::size_t steps =
+        static_cast<std::size_t>(std::ceil(capture_time / dt));
+
+    // Precompute junction reflection coefficients.
+    std::vector<double> rho(n > 0 ? n - 1 : 0);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        rho[i] = line_.junctionReflection(i);
+    const double rho_src = line_.sourceReflection();
+    const double rho_load = line_.loadReflection();
+    const double atten = line_.segmentAttenuation();
+
+    // right[i]: wave entering segment i travelling right this step.
+    // left[i]:  wave entering segment i travelling left this step.
+    std::vector<double> right(n, 0.0), left(n, 0.0);
+    std::vector<double> nright(n, 0.0), nleft(n, 0.0);
+
+    TdrTrace out;
+    out.reflection = Waveform::zeros(dt, steps);
+    out.incident = Waveform::zeros(dt, steps);
+    out.loadVoltage = Waveform::zeros(dt, steps);
+
+    // The driver is a Thevenin source (open-circuit edge voltage
+    // behind Zs); the incident wave entering segment 0 is the voltage
+    // divider onto Z_0.
+    const double launch_gain =
+        line_.impedanceAt(0) /
+        (line_.sourceImpedance() + line_.impedanceAt(0));
+    // Center the edge after a small lead-in so its foot is captured.
+    const double edge_center = 1.5 * edge.duration();
+
+    for (std::size_t step = 0; step < steps; ++step) {
+        const double t = static_cast<double>(step) * dt;
+
+        // Waves arriving at boundaries after one transit; apply loss.
+        const double src_arrival = left[0] * atten;     // at source end
+        const double load_arrival = right[n - 1] * atten; // at load end
+
+        // Detector sees the leftward wave arriving at the source.
+        out.reflection[step] = src_arrival;
+
+        const double vsrc = edge.deviationAt(t - edge_center);
+        const double injected = vsrc * launch_gain;
+        out.incident[step] = injected;
+
+        // Source end: fresh injection plus re-reflection of the
+        // returning wave.
+        nright[0] = injected + rho_src * src_arrival;
+
+        // Interior junctions.
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            const double a = right[i] * atten;     // rightward arrival
+            const double b = left[i + 1] * atten;  // leftward arrival
+            const double r = rho[i];
+            nright[i + 1] = (1.0 + r) * a - r * b;
+            nleft[i] = r * a + (1.0 - r) * b;
+        }
+
+        // Load end: reflection plus delivered voltage (incident +
+        // reflected superpose at the load node).
+        nleft[n - 1] = rho_load * load_arrival;
+        out.loadVoltage[step] = (1.0 + rho_load) * load_arrival;
+
+        right.swap(nright);
+        left.swap(nleft);
+    }
+    return out;
+}
+
+Waveform
+idealReflectionProfile(const TransmissionLine &line)
+{
+    const std::size_t n = line.segments();
+    const double dt = line.segmentLength() / line.velocity();
+    // Reflection from junction i arrives after a round trip through
+    // i+1 segments; the load echo after n segments.
+    std::vector<double> prof(2 * n + 1, 0.0);
+    double fwd = 1.0;  // accumulated two-way transmission factor
+    const double a2 = line.segmentAttenuation() * line.segmentAttenuation();
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        fwd *= a2;
+        const double r = line.junctionReflection(i);
+        prof[2 * (i + 1)] += fwd * r;
+        fwd *= (1.0 - r * r);
+    }
+    fwd *= a2;
+    prof[2 * n] += fwd * line.loadReflection();
+    return Waveform(dt, std::move(prof), 0.0);
+}
+
+} // namespace divot

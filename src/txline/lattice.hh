@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Exact traveling-wave (lattice / wave-digital) simulator.
+ *
+ * Each segment of a TransmissionLine carries one rightward and one
+ * leftward voltage wave; per time step (one segment transit time)
+ * waves scatter at every junction with the standard coefficients
+ *
+ *     rho      = (Z2 - Z1) / (Z2 + Z1)    (rightward incidence)
+ *     t_fwd    = 1 + rho
+ *     rho_rev  = -rho                      (leftward incidence)
+ *     t_rev    = 1 - rho
+ *
+ * plus the source and load reflections at the ends. This captures
+ * *all* multiple reflections exactly (for a lossless line the scheme
+ * is energy-conserving, which the test-suite checks), making it the
+ * golden reference for the faster first-order Born model.
+ *
+ * The detector output is the leftward wave arriving back at the
+ * source end — what the paper's coupler (CPL in Fig. 1) extracts and
+ * feeds to the comparator.
+ */
+
+#ifndef DIVOT_TXLINE_LATTICE_HH
+#define DIVOT_TXLINE_LATTICE_HH
+
+#include "signal/edge.hh"
+#include "signal/waveform.hh"
+#include "txline/txline.hh"
+
+namespace divot {
+
+/** Result of a lattice TDR run. */
+struct TdrTrace
+{
+    Waveform reflection;   //!< back-reflected wave at the detector
+    Waveform incident;     //!< incident wave as launched (reference)
+    Waveform loadVoltage;  //!< voltage waveform delivered to the load
+};
+
+/**
+ * Time-domain traveling-wave simulator for one TransmissionLine.
+ */
+class LatticeSimulator
+{
+  public:
+    /**
+     * @param line the line to simulate (held by reference; caller
+     *             keeps it alive for the simulator's lifetime)
+     */
+    explicit LatticeSimulator(const TransmissionLine &line);
+
+    /**
+     * Launch one probe edge and record the back-reflection.
+     *
+     * @param edge          probe transition (data or clock edge)
+     * @param capture_time  how long to record after launch; defaults
+     *                      to 1.5x the round-trip delay plus the edge
+     *                      duration so the load echo is fully captured
+     * @return detector / incident / load traces sampled at the
+     *         segment transit interval
+     */
+    TdrTrace probe(const EdgeShape &edge, double capture_time = 0.0) const;
+
+    /** @return simulation time step (one segment transit). */
+    double timeStep() const;
+
+  private:
+    const TransmissionLine &line_;
+};
+
+/**
+ * Compute the steady-state "static IIP" — the idealized reflection
+ * profile rho_i versus round-trip time with first-order transmission
+ * losses — directly from the line geometry (no time stepping). This
+ * is the analytic ground truth the reconstruction tests compare
+ * against.
+ */
+Waveform idealReflectionProfile(const TransmissionLine &line);
+
+} // namespace divot
+
+#endif // DIVOT_TXLINE_LATTICE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Manufacturing-variation model for PCB transmission lines.
+ *
+ * The paper's fingerprint is the Impedance Inhomogeneity Pattern
+ * (IIP): the characteristic impedance Z(x) of a Tx-line varies with
+ * distance because etching width, copper roughness, laminate Dk, and
+ * layer-spacing all fluctuate during fabrication. These fluctuations
+ * are random but *spatially correlated* — variations at nearby points
+ * come from the same local process conditions. We model Z(x) as
+ *
+ *     Z(x) = Z0 * (1 + delta(x)),
+ *
+ * where delta(x) is a stationary Gaussian process with standard
+ * deviation `relativeSigma` and exponential autocorrelation of length
+ * `correlationLength`, synthesized by smoothing white Gaussian noise
+ * with a Gaussian kernel. Each fabricated line gets an independent
+ * draw — that independence is exactly what makes the IIP a PUF.
+ */
+
+#ifndef DIVOT_TXLINE_MANUFACTURING_HH
+#define DIVOT_TXLINE_MANUFACTURING_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace divot {
+
+/**
+ * Parameters of the PCB fabrication process from which individual
+ * lines are drawn.
+ */
+struct ProcessParams
+{
+    double nominalImpedance = 50.0;   //!< target Z0 in ohms
+    double relativeSigma = 0.05;      //!< std-dev of delta(x); PCB
+                                      //!< impedance tolerance is
+                                      //!< typically 5-10 %
+    double correlationLength = 4e-3;  //!< meters; local process scale
+    double commonModeFraction = 0.35; //!< energy fraction of delta(x)
+                                      //!< shared by every line of the
+                                      //!< lot: panel-level etching and
+                                      //!< laminate gradients affect
+                                      //!< all traces on one board the
+                                      //!< same way, which is why
+                                      //!< impostor similarities are
+                                      //!< not exactly zero (the paper
+                                      //!< measured six lines on a
+                                      //!< single PCB)
+    double lossNeperPerMeter = 0.5;   //!< conductor+dielectric loss
+    double velocity = 0.15e9;         //!< propagation velocity m/s
+};
+
+/**
+ * A fabrication lot: draws independent impedance profiles for lines,
+ * mimicking pulling boards from the same production run.
+ */
+class ManufacturingProcess
+{
+  public:
+    /**
+     * @param params process statistics
+     * @param rng    lot-level random stream; each drawn line forks it
+     */
+    ManufacturingProcess(ProcessParams params, Rng rng);
+
+    /**
+     * Draw the impedance profile of one fabricated line.
+     *
+     * @param length         physical line length in meters
+     * @param segment_length spatial discretization in meters
+     * @return per-segment characteristic impedance in ohms
+     */
+    std::vector<double> drawImpedanceProfile(double length,
+                                             double segment_length);
+
+    /** @return process parameters. */
+    const ProcessParams &params() const { return params_; }
+
+  private:
+    ProcessParams params_;
+    Rng rng_;
+    uint64_t drawCounter_ = 0;
+
+    /** Lazily drawn lot-shared profiles, keyed by segment count. */
+    std::map<std::size_t, std::vector<double>> shared_;
+};
+
+/**
+ * Synthesize a correlated Gaussian profile directly (used by the
+ * process above and unit-testable on its own).
+ *
+ * @param n                  number of points
+ * @param sigma              target marginal standard deviation
+ * @param correlation_points correlation length in sample units
+ * @param rng                random stream
+ */
+std::vector<double> correlatedGaussianProfile(std::size_t n,
+                                              double sigma,
+                                              double correlation_points,
+                                              Rng &rng);
+
+} // namespace divot
+
+#endif // DIVOT_TXLINE_MANUFACTURING_HH

@@ -1,0 +1,188 @@
+#include "txline/tamper.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+namespace {
+
+/** Clamp a fractional position into the valid (0,1) range. */
+double
+checkFraction(double f, const char *what)
+{
+    if (f < 0.0 || f > 1.0)
+        divot_fatal("%s position fraction %g outside [0,1]", what, f);
+    return f;
+}
+
+/**
+ * Index range [lo, hi) of segments covered by a feature centered at
+ * `fraction` of the line with the given physical extent.
+ */
+std::pair<std::size_t, std::size_t>
+segmentRange(const TransmissionLine &line, double fraction, double extent)
+{
+    const double center = fraction * line.length();
+    const double lo_m = center - extent / 2.0;
+    const double hi_m = center + extent / 2.0;
+    long lo = static_cast<long>(std::floor(lo_m / line.segmentLength()));
+    long hi = static_cast<long>(std::ceil(hi_m / line.segmentLength()));
+    lo = std::max(0L, lo);
+    hi = std::min(hi, static_cast<long>(line.segments()));
+    if (hi <= lo)
+        hi = std::min(lo + 1, static_cast<long>(line.segments()));
+    return {static_cast<std::size_t>(lo), static_cast<std::size_t>(hi)};
+}
+
+} // namespace
+
+// --- LoadModification -----------------------------------------------
+
+LoadModification::LoadModification(double new_load_impedance)
+    : newLoad_(new_load_impedance)
+{
+    if (new_load_impedance <= 0.0)
+        divot_fatal("LoadModification impedance must be positive "
+                    "(got %g)", new_load_impedance);
+}
+
+TransmissionLine
+LoadModification::apply(const TransmissionLine &line) const
+{
+    TransmissionLine out = line;
+    out.setLoadImpedance(newLoad_);
+    out.setName(line.name() + "+load_mod");
+    return out;
+}
+
+std::string
+LoadModification::describe() const
+{
+    return "load modification (chip swap / cold boot), Zl -> " +
+        std::to_string(newLoad_) + " ohm";
+}
+
+// --- WireTap ----------------------------------------------------------
+
+WireTap::WireTap(double position_fraction, double stub_impedance,
+                 double extent, double damage_fraction)
+    : position_(checkFraction(position_fraction, "WireTap")),
+      stubZ_(stub_impedance), extent_(extent), damage_(damage_fraction)
+{
+    if (stub_impedance <= 0.0)
+        divot_fatal("WireTap stub impedance must be positive (got %g)",
+                    stub_impedance);
+}
+
+TransmissionLine
+WireTap::apply(const TransmissionLine &line) const
+{
+    TransmissionLine out = line;
+    auto [lo, hi] = segmentRange(line, position_, extent_);
+    auto &z = out.impedances();
+    for (std::size_t i = lo; i < hi; ++i) {
+        // At the tap, the wave sees the continuing trace in parallel
+        // with the stub: Z_par = Z*Zstub / (Z + Zstub).
+        z[i] = z[i] * stubZ_ / (z[i] + stubZ_);
+        // The solder joint also scars the trace.
+        z[i] *= (1.0 - damage_);
+    }
+    out.setName(line.name() + "+wiretap");
+    return out;
+}
+
+TransmissionLine
+WireTap::applyRemoved(const TransmissionLine &line) const
+{
+    TransmissionLine out = line;
+    auto [lo, hi] = segmentRange(line, position_, extent_);
+    auto &z = out.impedances();
+    for (std::size_t i = lo; i < hi; ++i)
+        z[i] *= (1.0 - damage_);
+    out.setName(line.name() + "+wiretap_removed");
+    return out;
+}
+
+std::string
+WireTap::describe() const
+{
+    return "wire-tap (soldered stub " + std::to_string(stubZ_) +
+        " ohm) at " + std::to_string(position_ * 100.0) + "% of line";
+}
+
+// --- MagneticProbe ----------------------------------------------------
+
+MagneticProbe::MagneticProbe(double position_fraction, double coupling,
+                             double extent)
+    : position_(checkFraction(position_fraction, "MagneticProbe")),
+      coupling_(coupling), extent_(extent)
+{
+    if (coupling <= 0.0 || coupling >= 1.0)
+        divot_fatal("MagneticProbe coupling %g outside (0,1)", coupling);
+}
+
+TransmissionLine
+MagneticProbe::apply(const TransmissionLine &line) const
+{
+    TransmissionLine out = line;
+    auto [lo, hi] = segmentRange(line, position_, extent_);
+    auto &z = out.impedances();
+    const std::size_t span = hi - lo;
+    for (std::size_t i = lo; i < hi; ++i) {
+        // Taper the coupling with a raised-cosine profile across the
+        // probe footprint (field strength falls off at the edges).
+        const double u =
+            (static_cast<double>(i - lo) + 0.5) /
+            static_cast<double>(span);
+        const double taper = 0.5 * (1.0 - std::cos(2.0 * M_PI * u));
+        // Eddy-current mutual inductance raises local L, so
+        // Z = sqrt(L/C) rises by ~coupling/2 at the center.
+        z[i] *= (1.0 + 0.5 * coupling_ * taper);
+    }
+    out.setName(line.name() + "+magprobe");
+    return out;
+}
+
+std::string
+MagneticProbe::describe() const
+{
+    return "magnetic probe (coupling " + std::to_string(coupling_) +
+        ") at " + std::to_string(position_ * 100.0) + "% of line";
+}
+
+// --- TrojanChipInsertion -----------------------------------------------
+
+TrojanChipInsertion::TrojanChipInsertion(double position_fraction,
+                                         double interposer_impedance,
+                                         double extent)
+    : position_(checkFraction(position_fraction, "TrojanChipInsertion")),
+      zInterposer_(interposer_impedance), extent_(extent)
+{
+    if (interposer_impedance <= 0.0)
+        divot_fatal("interposer impedance must be positive (got %g)",
+                    interposer_impedance);
+}
+
+TransmissionLine
+TrojanChipInsertion::apply(const TransmissionLine &line) const
+{
+    TransmissionLine out = line;
+    auto [lo, hi] = segmentRange(line, position_, extent_);
+    auto &z = out.impedances();
+    for (std::size_t i = lo; i < hi; ++i)
+        z[i] = zInterposer_;
+    out.setName(line.name() + "+trojan");
+    return out;
+}
+
+std::string
+TrojanChipInsertion::describe() const
+{
+    return "series Trojan interposer (" + std::to_string(zInterposer_) +
+        " ohm) at " + std::to_string(position_ * 100.0) + "% of line";
+}
+
+} // namespace divot

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Physical-attack transforms on a transmission line.
+ *
+ * Each attack the paper demonstrates (Section IV-D/E/F) has a
+ * distinct electrical signature, modelled here as a transformation of
+ * the pristine TransmissionLine:
+ *
+ *  - LoadModification  (Fig. 9b/c): a Trojan chip or a cold-boot
+ *    module swap replaces the receiver; the termination impedance
+ *    changes, producing a large echo at the line end (~3.5 ns on the
+ *    25 cm prototype line).
+ *  - WireTap           (Fig. 9e/f): a soldered tap wire is a shunt
+ *    stub; at the tap point the line sees the parallel combination of
+ *    the continuing trace and the stub — a severe local impedance
+ *    drop. Soldering also permanently damages the trace (the paper
+ *    found the IIP non-reversible), modelled as residual damage left
+ *    behind after the tap is removed.
+ *  - MagneticProbe     (Fig. 9h/i): a non-contact EM probe couples a
+ *    mutual inductance into the trace, locally *raising* Z = sqrt(L/C)
+ *    slightly over the probe's footprint — the subtlest attack.
+ *  - TrojanChipInsertion: an interposed chip in series creates two
+ *    close discontinuities (in and out of the interposer).
+ *
+ * All transforms return a modified copy; the enrolled line object is
+ * never mutated.
+ */
+
+#ifndef DIVOT_TXLINE_TAMPER_HH
+#define DIVOT_TXLINE_TAMPER_HH
+
+#include <memory>
+#include <string>
+
+#include "txline/txline.hh"
+
+namespace divot {
+
+/**
+ * Interface of a physical attack applied to a line.
+ */
+class TamperTransform
+{
+  public:
+    virtual ~TamperTransform() = default;
+
+    /** @return a tampered copy of the pristine line. */
+    virtual TransmissionLine apply(const TransmissionLine &line) const = 0;
+
+    /** @return human-readable attack label. */
+    virtual std::string describe() const = 0;
+
+    /**
+     * Nominal attack position as a fraction of line length in [0,1],
+     * or a negative value when the attack has no single location
+     * (e.g. load modification acts at the termination).
+     */
+    virtual double nominalPosition() const { return -1.0; }
+};
+
+/** Receiver-chip replacement (Trojan chip / cold-boot module swap). */
+class LoadModification : public TamperTransform
+{
+  public:
+    /**
+     * @param new_load_impedance input impedance of the foreign chip
+     */
+    explicit LoadModification(double new_load_impedance);
+
+    TransmissionLine apply(const TransmissionLine &line) const override;
+    std::string describe() const override;
+    double nominalPosition() const override { return 1.0; }
+
+  private:
+    double newLoad_;
+};
+
+/** Soldered tap wire: shunt stub plus permanent solder damage. */
+class WireTap : public TamperTransform
+{
+  public:
+    /**
+     * @param position_fraction tap location along the line in [0,1]
+     * @param stub_impedance    characteristic impedance of the tap
+     *                          wire (the scope lead), ohms
+     * @param extent            physical footprint of the solder
+     *                          joint in meters
+     * @param damage_fraction   residual relative impedance scar left
+     *                          if the tap is later removed
+     */
+    WireTap(double position_fraction, double stub_impedance,
+            double extent = 2e-3, double damage_fraction = 0.05);
+
+    TransmissionLine apply(const TransmissionLine &line) const override;
+
+    /**
+     * @return the line after the attacker removes the tap: the stub
+     * is gone but the solder scar remains (paper: IIP "permanently
+     * destroyed and non-reversible").
+     */
+    TransmissionLine applyRemoved(const TransmissionLine &line) const;
+
+    std::string describe() const override;
+    double nominalPosition() const override { return position_; }
+
+  private:
+    double position_;
+    double stubZ_;
+    double extent_;
+    double damage_;
+};
+
+/** Non-contact magnetic / EM probe in proximity to the trace. */
+class MagneticProbe : public TamperTransform
+{
+  public:
+    /**
+     * @param position_fraction probe location along the line in [0,1]
+     * @param coupling          relative local impedance increase from
+     *                          the induced mutual inductance (small,
+     *                          e.g. 0.01 for 1 %)
+     * @param extent            probe footprint in meters
+     */
+    MagneticProbe(double position_fraction, double coupling = 0.08,
+                  double extent = 5e-3);
+
+    TransmissionLine apply(const TransmissionLine &line) const override;
+    std::string describe() const override;
+    double nominalPosition() const override { return position_; }
+
+    /** @return relative impedance perturbation. */
+    double coupling() const { return coupling_; }
+
+  private:
+    double position_;
+    double coupling_;
+    double extent_;
+};
+
+/** Series interposer chip inserted into the line. */
+class TrojanChipInsertion : public TamperTransform
+{
+  public:
+    /**
+     * @param position_fraction insertion point in [0,1]
+     * @param interposer_impedance Z through the interposer, ohms
+     * @param extent            interposer length in meters
+     */
+    TrojanChipInsertion(double position_fraction,
+                        double interposer_impedance = 65.0,
+                        double extent = 4e-3);
+
+    TransmissionLine apply(const TransmissionLine &line) const override;
+    std::string describe() const override;
+    double nominalPosition() const override { return position_; }
+
+  private:
+    double position_;
+    double zInterposer_;
+    double extent_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_TXLINE_TAMPER_HH

@@ -1,0 +1,157 @@
+#include "util/roc.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/math.hh"
+#include "util/stats.hh"
+
+namespace divot {
+
+double
+RocAnalysis::fprAt(double threshold) const
+{
+    // FPR(th) = P(impostor score >= th) is a right-continuous step
+    // function that changes only at observed scores. The curve is
+    // sorted by decreasing threshold: the operating point for `th` is
+    // the last curve point whose threshold is still >= th.
+    double fpr = 0.0;
+    for (const auto &pt : curve) {
+        if (pt.threshold >= threshold)
+            fpr = pt.falsePositiveRate;
+        else
+            break;
+    }
+    return fpr;
+}
+
+double
+RocAnalysis::thresholdForFpr(double fpr) const
+{
+    double best = curve.empty() ? 0.0 : curve.front().threshold;
+    for (const auto &pt : curve) {
+        if (pt.falsePositiveRate <= fpr)
+            best = pt.threshold;
+        else
+            break;
+    }
+    return best;
+}
+
+RocAnalysis
+analyzeRoc(const std::vector<double> &genuine,
+           const std::vector<double> &impostor)
+{
+    if (genuine.empty() || impostor.empty())
+        divot_panic("analyzeRoc: empty population (g=%zu, i=%zu)",
+                    genuine.size(), impostor.size());
+
+    // Merge all scores as candidate thresholds, descending. Sweeping
+    // from the highest threshold down, both acceptance rates increase
+    // monotonically, which yields the exact empirical ROC.
+    std::vector<double> g = genuine, im = impostor;
+    std::sort(g.begin(), g.end(), std::greater<double>());
+    std::sort(im.begin(), im.end(), std::greater<double>());
+
+    std::vector<double> thresholds;
+    thresholds.reserve(g.size() + im.size() + 1);
+    thresholds.insert(thresholds.end(), g.begin(), g.end());
+    thresholds.insert(thresholds.end(), im.begin(), im.end());
+    std::sort(thresholds.begin(), thresholds.end(),
+              std::greater<double>());
+    thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                     thresholds.end());
+
+    RocAnalysis out;
+    out.curve.reserve(thresholds.size() + 1);
+
+    const double ng = static_cast<double>(g.size());
+    const double ni = static_cast<double>(im.size());
+    std::size_t gi = 0, ii = 0;
+
+    // Start above every score: nothing accepted.
+    out.curve.push_back({thresholds.empty() ? 1.0
+                         : thresholds.front() + 1.0, 0.0, 0.0});
+
+    for (double th : thresholds) {
+        while (gi < g.size() && g[gi] >= th)
+            ++gi;
+        while (ii < im.size() && im[ii] >= th)
+            ++ii;
+        out.curve.push_back({th,
+                             static_cast<double>(ii) / ni,
+                             static_cast<double>(gi) / ng});
+    }
+
+    // EER: point where FPR == FNR (FNR = 1 - TPR). Interpolate between
+    // the two bracketing operating points.
+    out.eer = 1.0;
+    out.eerThreshold = 0.0;
+    for (std::size_t k = 0; k < out.curve.size(); ++k) {
+        const auto &pt = out.curve[k];
+        const double fnr = 1.0 - pt.truePositiveRate;
+        if (pt.falsePositiveRate >= fnr) {
+            if (k == 0) {
+                out.eer = 0.5 * (pt.falsePositiveRate + fnr);
+                out.eerThreshold = pt.threshold;
+            } else {
+                const auto &prev = out.curve[k - 1];
+                const double fnrPrev = 1.0 - prev.truePositiveRate;
+                const double d1 = fnrPrev - prev.falsePositiveRate;
+                const double d2 = pt.falsePositiveRate - fnr;
+                const double t = (d1 + d2) > 0 ? d1 / (d1 + d2) : 0.5;
+                out.eer = prev.falsePositiveRate +
+                    t * (pt.falsePositiveRate - prev.falsePositiveRate);
+                out.eerThreshold = prev.threshold +
+                    t * (pt.threshold - prev.threshold);
+            }
+            break;
+        }
+    }
+
+    // AUC by trapezoid over the FPR axis.
+    out.auc = 0.0;
+    for (std::size_t k = 1; k < out.curve.size(); ++k) {
+        const double dx = out.curve[k].falsePositiveRate -
+            out.curve[k - 1].falsePositiveRate;
+        const double ym = 0.5 * (out.curve[k].truePositiveRate +
+                                 out.curve[k - 1].truePositiveRate);
+        out.auc += dx * ym;
+    }
+    // Close the curve to (1,1) if the largest threshold never accepts
+    // everything.
+    if (!out.curve.empty()) {
+        const auto &last = out.curve.back();
+        out.auc += (1.0 - last.falsePositiveRate) *
+            0.5 * (1.0 + last.truePositiveRate);
+    }
+    return out;
+}
+
+double
+decidabilityIndex(const std::vector<double> &genuine,
+                  const std::vector<double> &impostor)
+{
+    RunningStats sg, si;
+    sg.addAll(genuine);
+    si.addAll(impostor);
+    const double pooled =
+        std::sqrt(0.5 * (sg.variance() + si.variance()));
+    if (pooled == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return std::fabs(sg.mean() - si.mean()) / pooled;
+}
+
+double
+gaussianFitEer(const std::vector<double> &genuine,
+               const std::vector<double> &impostor)
+{
+    const double dprime = decidabilityIndex(genuine, impostor);
+    if (std::isinf(dprime))
+        return 0.0;
+    return normalCdf(-0.5 * dprime);
+}
+
+} // namespace divot

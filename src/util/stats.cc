@@ -1,0 +1,131 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+RunningStats::RunningStats()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+}
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStats::addAll(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0 || hi <= lo)
+        divot_panic("Histogram: bad range [%g,%g) or bins=%zu",
+                    lo, hi, bins);
+    width_ = (hi_ - lo_) / static_cast<double>(bins);
+}
+
+void
+Histogram::add(double x)
+{
+    long idx = static_cast<long>(std::floor((x - lo_) / width_));
+    idx = std::max(0L, std::min(idx, static_cast<long>(bins()) - 1));
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+void
+Histogram::addAll(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double
+Histogram::density(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+        (static_cast<double>(total_) * width_);
+}
+
+std::vector<std::pair<double, double>>
+Histogram::series() const
+{
+    std::vector<std::pair<double, double>> out;
+    out.reserve(bins());
+    for (std::size_t i = 0; i < bins(); ++i)
+        out.emplace_back(binCenter(i), density(i));
+    return out;
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        divot_panic("quantile of empty vector");
+    q = std::min(std::max(q, 0.0), 1.0);
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double t = pos - static_cast<double>(lo);
+    return xs[lo] + t * (xs[hi] - xs[lo]);
+}
+
+double
+pearson(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size() || a.size() < 2)
+        divot_panic("pearson: size mismatch or too few samples");
+    RunningStats sa, sb;
+    sa.addAll(a);
+    sb.addAll(b);
+    double cov = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+    cov /= static_cast<double>(a.size() - 1);
+    const double denom = sa.stddev() * sb.stddev();
+    if (denom == 0.0)
+        return 0.0;
+    return cov / denom;
+}
+
+} // namespace divot

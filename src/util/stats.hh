@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight statistics: running moments, histograms, quantiles.
+ * All experiment drivers accumulate their measurements through these
+ * so every bench reports from the same, tested code path.
+ */
+
+#ifndef DIVOT_UTIL_STATS_HH
+#define DIVOT_UTIL_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace divot {
+
+/**
+ * Numerically stable running mean / variance / extrema (Welford).
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Fold a whole vector of samples. */
+    void addAll(const std::vector<double> &xs);
+
+    /** @return number of samples folded so far. */
+    std::size_t count() const { return n_; }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** @return unbiased sample variance (0 when n < 2). */
+    double variance() const;
+
+    /** @return sample standard deviation. */
+    double stddev() const;
+
+    /** @return smallest sample seen (+inf when empty). */
+    double min() const { return min_; }
+
+    /** @return largest sample seen (-inf when empty). */
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_;
+    double max_;
+
+  public:
+    RunningStats();
+};
+
+/**
+ * Fixed-range histogram with uniform bins, matching the paper's
+ * distribution plots (Figs. 7a, 8).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    lower edge of the histogram range
+     * @param hi    upper edge (must be > lo)
+     * @param bins  number of uniform bins (>0)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample; out-of-range samples clamp to the edge bins. */
+    void add(double x);
+
+    /** Add every sample of a vector. */
+    void addAll(const std::vector<double> &xs);
+
+    /** @return count in bin i. */
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** @return center x value of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** @return number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** @return total number of samples added. */
+    std::size_t total() const { return total_; }
+
+    /** @return density (count / total / width) for bin i. */
+    double density(std::size_t i) const;
+
+    /**
+     * Render as a two-column series (center, density) for bench output.
+     */
+    std::vector<std::pair<double, double>> series() const;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/** @return the q-quantile (0<=q<=1) of xs by linear interpolation. */
+double quantile(std::vector<double> xs, double q);
+
+/** Pearson correlation of two equal-length vectors. */
+double pearson(const std::vector<double> &a, const std::vector<double> &b);
+
+} // namespace divot
+
+#endif // DIVOT_UTIL_STATS_HH

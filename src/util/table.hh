@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Console table and CSV emission used by every bench binary so that
+ * the regenerated figure/table data is consistently formatted.
+ */
+
+#ifndef DIVOT_UTIL_TABLE_HH
+#define DIVOT_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace divot {
+
+/**
+ * A simple column-aligned text table with an optional title, rendered
+ * to any ostream. Cells are strings; numeric helpers format doubles.
+ */
+class Table
+{
+  public:
+    /** @param title heading printed above the table (may be empty). */
+    explicit Table(std::string title = "");
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row of pre-formatted cells (must match column count). */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 6);
+
+    /** Format a double in scientific notation. */
+    static std::string sci(double v, int precision = 3);
+
+    /** Render the table, column aligned, to os. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as CSV (no alignment padding) to os. */
+    void printCsv(std::ostream &os) const;
+
+    /** @return number of data rows added. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Emit an (x, y) series in a gnuplot-friendly two-column block with a
+ * "# name" comment header. Used for figure-series bench output.
+ */
+void printSeries(std::ostream &os, const std::string &name,
+                 const std::vector<std::pair<double, double>> &series);
+
+} // namespace divot
+
+#endif // DIVOT_UTIL_TABLE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Physical unit constants. The simulator works in SI internally
+ * (seconds, meters, ohms, volts); these constants make configuration
+ * code read like the paper ("11.16 ps phase step", "25 cm line",
+ * "156.25 MHz clock").
+ */
+
+#ifndef DIVOT_UTIL_UNITS_HH
+#define DIVOT_UTIL_UNITS_HH
+
+namespace divot {
+namespace units {
+
+// --- time ---
+constexpr double second = 1.0;
+constexpr double ms = 1e-3;
+constexpr double us = 1e-6;
+constexpr double ns = 1e-9;
+constexpr double ps = 1e-12;
+
+// --- frequency ---
+constexpr double Hz = 1.0;
+constexpr double kHz = 1e3;
+constexpr double MHz = 1e6;
+constexpr double GHz = 1e9;
+
+// --- distance ---
+constexpr double meter = 1.0;
+constexpr double cm = 1e-2;
+constexpr double mm = 1e-3;
+constexpr double um = 1e-6;
+
+// --- electrical ---
+constexpr double ohm = 1.0;
+constexpr double volt = 1.0;
+constexpr double mV = 1e-3;
+constexpr double uV = 1e-6;
+
+/**
+ * Typical EM propagation velocity on FR-4 PCB traces, ~15 cm/ns
+ * (paper, Section II-D).
+ */
+constexpr double pcbVelocity = 0.15 / 1e-9;  // m/s
+
+} // namespace units
+} // namespace divot
+
+#endif // DIVOT_UTIL_UNITS_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the comparator: the APC foundation. The empirical strobe
+ * frequency must match the analytic Phi probability — that identity
+ * is Eq. (1) of the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/comparator.hh"
+#include "util/math.hh"
+
+namespace divot {
+namespace {
+
+TEST(Comparator, ZeroNoiseIsDeterministic)
+{
+    ComparatorParams p;
+    p.noiseSigma = 0.0;
+    Comparator c(p, Rng(1));
+    EXPECT_TRUE(c.strobe(1e-3, 0.0));
+    EXPECT_FALSE(c.strobe(-1e-3, 0.0));
+    EXPECT_DOUBLE_EQ(c.probabilityHigh(1e-3, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(c.probabilityHigh(-1e-3, 0.0), 0.0);
+}
+
+TEST(Comparator, ProbabilityHighIsGaussianCdf)
+{
+    ComparatorParams p;
+    p.noiseSigma = 1e-3;
+    Comparator c(p, Rng(2));
+    EXPECT_NEAR(c.probabilityHigh(0.0, 0.0), 0.5, 1e-12);
+    EXPECT_NEAR(c.probabilityHigh(1e-3, 0.0), normalCdf(1.0), 1e-12);
+    EXPECT_NEAR(c.probabilityHigh(-2e-3, 0.0), normalCdf(-2.0), 1e-12);
+}
+
+/** Eq. (1): strobe frequency converges to the analytic probability. */
+class StrobeFrequency : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(StrobeFrequency, MatchesAnalyticProbability)
+{
+    const double v_sig = GetParam();
+    ComparatorParams p;
+    p.noiseSigma = 1e-3;
+    Comparator c(p, Rng(42));
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += c.strobe(v_sig, 0.0);
+    const double expected = c.probabilityHigh(v_sig, 0.0);
+    EXPECT_NEAR(static_cast<double>(hits) / n, expected,
+                4.0 * std::sqrt(expected * (1 - expected) / n) + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VoltageSweep, StrobeFrequency,
+    ::testing::Values(-2e-3, -1e-3, -0.5e-3, 0.0, 0.5e-3, 1e-3, 2e-3));
+
+TEST(Comparator, OffsetShiftsDecision)
+{
+    ComparatorParams p;
+    p.noiseSigma = 1e-3;
+    p.inputOffset = 0.5e-3;
+    Comparator c(p, Rng(3));
+    EXPECT_NEAR(c.probabilityHigh(-0.5e-3, 0.0), 0.5, 1e-12);
+}
+
+TEST(Comparator, ReferenceInputSubtracts)
+{
+    ComparatorParams p;
+    p.noiseSigma = 1e-3;
+    Comparator c(p, Rng(4));
+    EXPECT_NEAR(c.probabilityHigh(2e-3, 2e-3), 0.5, 1e-12);
+    EXPECT_NEAR(c.probabilityHigh(3e-3, 2e-3),
+                c.probabilityHigh(1e-3, 0.0), 1e-12);
+}
+
+TEST(Comparator, MetastableBandFlipsCoins)
+{
+    ComparatorParams p;
+    p.noiseSigma = 0.0;
+    p.metastableBand = 1e-3;
+    Comparator c(p, Rng(5));
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += c.strobe(0.0, 0.0);  // dead center of the band
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.5, 0.02);
+    // Outside the band: deterministic again.
+    EXPECT_TRUE(c.strobe(2e-3, 0.0));
+}
+
+TEST(Comparator, ParameterValidation)
+{
+    ComparatorParams bad;
+    bad.noiseSigma = -1.0;
+    EXPECT_DEATH(Comparator(bad, Rng(6)), "sigma");
+    ComparatorParams bad2;
+    bad2.metastableBand = -1.0;
+    EXPECT_DEATH(Comparator(bad2, Rng(7)), "metastable");
+}
+
+} // namespace
+} // namespace divot

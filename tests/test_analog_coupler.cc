@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tests for the directional coupler model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analog/coupler.hh"
+
+namespace divot {
+namespace {
+
+TEST(Coupler, ScalesReflectionByCouplingFactor)
+{
+    Coupler cpl(CouplerParams{0.5, 0.0, 0.0});
+    Waveform refl(1.0, {2.0, 4.0});
+    Waveform inc(1.0, {100.0, 100.0});
+    const Waveform out = cpl.detectorOutput(refl, inc);
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+    EXPECT_DOUBLE_EQ(out[1], 2.0);
+}
+
+TEST(Coupler, LeakAddsIncidentFraction)
+{
+    Coupler cpl(CouplerParams{1.0, 0.01, 0.0});
+    Waveform refl(1.0, {0.0});
+    Waveform inc(1.0, {5.0});
+    const Waveform out = cpl.detectorOutput(refl, inc);
+    EXPECT_DOUBLE_EQ(out[0], 0.05);
+}
+
+TEST(Coupler, ZeroLeakIgnoresIncident)
+{
+    Coupler cpl(CouplerParams{1.0, 0.0, 0.0});
+    Waveform refl(1.0, {1.0});
+    Waveform inc(1.0, {1e6});
+    EXPECT_DOUBLE_EQ(cpl.detectorOutput(refl, inc)[0], 1.0);
+}
+
+TEST(Coupler, SizeMismatchPanics)
+{
+    Coupler cpl(CouplerParams{});
+    Waveform a(1.0, {1.0});
+    Waveform b(1.0, {1.0, 2.0});
+    EXPECT_DEATH(cpl.detectorOutput(a, b), "mismatch");
+}
+
+TEST(Coupler, ParameterValidation)
+{
+    EXPECT_DEATH(Coupler(CouplerParams{0.0, 0.0, 0.0}), "coupling");
+    EXPECT_DEATH(Coupler(CouplerParams{1.5, 0.0, 0.0}), "coupling");
+    EXPECT_DEATH(Coupler(CouplerParams{0.5, 0.9, 0.0}), "leak");
+    EXPECT_DEATH(Coupler(CouplerParams{0.5, -0.1, 0.0}), "leak");
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the phase-stepping PLL behind equivalent-time sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/pll.hh"
+#include "util/stats.hh"
+
+namespace divot {
+namespace {
+
+TEST(Pll, PaperNumbers)
+{
+    // 156.25 MHz clock, 11.16 ps step: > 80 GSa/s equivalent.
+    PllParams p;
+    PhaseLockedLoop pll(p, Rng(1));
+    EXPECT_NEAR(pll.clockPeriod(), 6.4e-9, 1e-15);
+    EXPECT_GT(pll.equivalentSampleRate(), 80e9);
+    EXPECT_EQ(pll.stepsPerPeriod(),
+              static_cast<unsigned>(std::ceil(6.4e-9 / 11.16e-12)));
+}
+
+TEST(Pll, PhaseSteppingAccumulates)
+{
+    PhaseLockedLoop pll(PllParams{}, Rng(2));
+    EXPECT_EQ(pll.phaseIndex(), 0u);
+    pll.stepPhase();
+    pll.stepPhase();
+    EXPECT_EQ(pll.phaseIndex(), 2u);
+    EXPECT_NEAR(pll.nominalStrobeTime(0), 2 * 11.16e-12, 1e-18);
+    pll.resetPhase();
+    EXPECT_EQ(pll.phaseIndex(), 0u);
+    EXPECT_DOUBLE_EQ(pll.nominalStrobeTime(0), 0.0);
+}
+
+TEST(Pll, StrobeTimeCombinesCycleAndPhase)
+{
+    PhaseLockedLoop pll(PllParams{}, Rng(3));
+    pll.stepPhase();
+    const double expected = 5.0 * 6.4e-9 + 11.16e-12;
+    EXPECT_NEAR(pll.nominalStrobeTime(5), expected, 1e-18);
+}
+
+TEST(Pll, JitterStatistics)
+{
+    PllParams p;
+    p.jitterRms = 2e-12;
+    PhaseLockedLoop pll(p, Rng(4));
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(pll.strobeTime(0) - pll.nominalStrobeTime(0));
+    EXPECT_NEAR(s.mean(), 0.0, 1e-13);
+    EXPECT_NEAR(s.stddev(), 2e-12, 1e-13);
+}
+
+TEST(Pll, NoJitterIsDeterministic)
+{
+    PhaseLockedLoop pll(PllParams{}, Rng(5));
+    EXPECT_DOUBLE_EQ(pll.strobeTime(3), pll.nominalStrobeTime(3));
+}
+
+TEST(Pll, Validation)
+{
+    PllParams bad;
+    bad.clockFrequency = 0.0;
+    EXPECT_DEATH(PhaseLockedLoop(bad, Rng(6)), "frequency");
+    PllParams bad2;
+    bad2.phaseStep = 0.0;
+    EXPECT_DEATH(PhaseLockedLoop(bad2, Rng(7)), "phase step");
+    PllParams bad3;
+    bad3.phaseStep = 1.0;  // longer than the clock period
+    EXPECT_DEATH(PhaseLockedLoop(bad3, Rng(8)), "ETS would skip");
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the runtime authenticator: enrollment, genuine rounds,
+ * module-swap mismatch, tamper alarms, and state transitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "auth/authenticator.hh"
+#include "txline/manufacturing.hh"
+#include "txline/tamper.hh"
+
+namespace divot {
+namespace {
+
+TransmissionLine
+fabLine(uint64_t seed)
+{
+    ProcessParams params;
+    ManufacturingProcess fab(params, Rng(seed));
+    auto z = fab.drawImpedanceProfile(0.15, 0.5e-3);
+    return TransmissionLine(std::move(z), 0.5e-3, params.velocity,
+                            50.0, 50.25, params.lossNeperPerMeter,
+                            "auth-line");
+}
+
+Authenticator
+makeAuth(uint64_t seed = 1)
+{
+    return Authenticator(AuthConfig{}, ItdrConfig{}, Rng(seed),
+                         "test-ch");
+}
+
+TEST(Authenticator, StartsUnenrolled)
+{
+    auto auth = makeAuth();
+    EXPECT_EQ(auth.state(), AuthState::Unenrolled);
+    const auto line = fabLine(1);
+    EXPECT_DEATH(auth.checkRound(line), "before enrollment");
+}
+
+TEST(Authenticator, EnrollThenGenuineRoundsPass)
+{
+    auto auth = makeAuth();
+    const auto line = fabLine(2);
+    auth.enroll(line, 8);
+    EXPECT_EQ(auth.state(), AuthState::Monitoring);
+    for (int i = 0; i < 5; ++i) {
+        const AuthVerdict v = auth.checkRound(line);
+        EXPECT_TRUE(v.authenticated);
+        EXPECT_FALSE(v.tamperAlarm);
+        EXPECT_GT(v.similarity, 0.35);
+    }
+    EXPECT_EQ(auth.state(), AuthState::Monitoring);
+    EXPECT_EQ(auth.rounds(), 5u);
+}
+
+TEST(Authenticator, ModuleSwapTriggersMismatch)
+{
+    auto auth = makeAuth(3);
+    const auto line = fabLine(3);
+    auth.enroll(line, 8);
+    const auto foreign = fabLine(99);
+    // Fill the sliding window with foreign measurements.
+    AuthVerdict v{};
+    for (int i = 0; i < 16; ++i)
+        v = auth.checkRound(foreign);
+    EXPECT_FALSE(v.authenticated);
+    EXPECT_LT(v.similarity, 0.35);
+    // A whole different line is also a massive IIP change.
+    EXPECT_NE(auth.state(), AuthState::Monitoring);
+}
+
+TEST(Authenticator, TamperAlarmOnProbe)
+{
+    auto auth = makeAuth(4);
+    const auto line = fabLine(4);
+    auth.enroll(line, 16);
+    MagneticProbe probe(0.5);
+    const auto attacked = probe.apply(line);
+    AuthVerdict v{};
+    for (int i = 0; i < 16; ++i)
+        v = auth.checkRound(attacked);
+    EXPECT_TRUE(v.tamperAlarm);
+    EXPECT_GT(v.peakError, 5e-7);
+    EXPECT_EQ(auth.state(), AuthState::TamperAlert);
+    // Probe located near mid-line.
+    EXPECT_NEAR(v.tamperLocation, 0.5 * line.length(),
+                0.2 * line.length());
+}
+
+TEST(Authenticator, RecoversAfterAttackRemoved)
+{
+    auto auth = makeAuth(5);
+    const auto line = fabLine(5);
+    auth.enroll(line, 16);
+    MagneticProbe probe(0.5);
+    const auto attacked = probe.apply(line);
+    for (int i = 0; i < 16; ++i)
+        auth.checkRound(attacked);
+    EXPECT_EQ(auth.state(), AuthState::TamperAlert);
+    // Probe removed (non-contact: no scar). The sliding window
+    // flushes and monitoring resumes.
+    AuthVerdict v{};
+    for (int i = 0; i < 20; ++i)
+        v = auth.checkRound(line);
+    EXPECT_TRUE(v.authenticated);
+    EXPECT_FALSE(v.tamperAlarm);
+    EXPECT_EQ(auth.state(), AuthState::Monitoring);
+}
+
+TEST(Authenticator, AdoptEnrollmentSkipsMeasuring)
+{
+    auto source = makeAuth(6);
+    const auto line = fabLine(6);
+    source.enroll(line, 8);
+
+    auto sink = makeAuth(7);
+    sink.adoptEnrollment(source.enrolled(), source.nominal());
+    EXPECT_EQ(sink.state(), AuthState::Monitoring);
+    AuthVerdict v{};
+    for (int i = 0; i < 4; ++i)
+        v = sink.checkRound(line);
+    EXPECT_TRUE(v.authenticated);
+}
+
+TEST(Authenticator, BusCyclesAccumulate)
+{
+    auto auth = makeAuth(8);
+    const auto line = fabLine(8);
+    auth.enroll(line, 4);
+    const uint64_t after_enroll = auth.busCyclesConsumed();
+    EXPECT_GT(after_enroll, 0u);
+    auth.checkRound(line);
+    EXPECT_GT(auth.busCyclesConsumed(), after_enroll);
+}
+
+TEST(Authenticator, ConfigValidation)
+{
+    AuthConfig bad;
+    bad.similarityThreshold = 1.5;
+    EXPECT_DEATH(Authenticator(bad, ItdrConfig{}, Rng(9), "x"),
+                 "threshold");
+    AuthConfig bad2;
+    bad2.averageWindow = 0;
+    EXPECT_DEATH(Authenticator(bad2, ItdrConfig{}, Rng(10), "x"),
+                 "window");
+    auto auth = makeAuth(11);
+    EXPECT_DEATH(auth.enroll(fabLine(11), 0), "at least one");
+}
+
+} // namespace
+} // namespace divot

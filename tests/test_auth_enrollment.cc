@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the EPROM-model enrollment store and its binary
+ * persistence with integrity checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "auth/enrollment.hh"
+
+namespace divot {
+namespace {
+
+Fingerprint
+dummyFingerprint(double seed)
+{
+    Waveform raw(1e-12, {seed, seed + 1.0, seed + 2.0});
+    Waveform residual(1e-12, {0.1, -0.2, 0.1});
+    return Fingerprint::fromParts(raw, residual,
+                                  "fp" + std::to_string(seed));
+}
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+TEST(EnrollmentStore, EnrollAndLookup)
+{
+    EnrollmentStore store;
+    EXPECT_TRUE(store.enroll("dimm0.clk", dummyFingerprint(1.0)));
+    EXPECT_TRUE(store.contains("dimm0.clk"));
+    EXPECT_FALSE(store.contains("dimm1.clk"));
+    const auto fp = store.lookup("dimm0.clk");
+    ASSERT_TRUE(fp.has_value());
+    EXPECT_EQ(fp->label(), "fp1.000000");
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(EnrollmentStore, MissingLookupIsEmpty)
+{
+    EnrollmentStore store;
+    EXPECT_FALSE(store.lookup("ghost").has_value());
+}
+
+TEST(EnrollmentStore, RefusesSilentOverwrite)
+{
+    EnrollmentStore store;
+    EXPECT_TRUE(store.enroll("ch", dummyFingerprint(1.0)));
+    EXPECT_FALSE(store.enroll("ch", dummyFingerprint(2.0)));
+    EXPECT_DOUBLE_EQ(store.lookup("ch")->raw()[0], 1.0);
+    EXPECT_TRUE(store.enroll("ch", dummyFingerprint(2.0), true));
+    EXPECT_DOUBLE_EQ(store.lookup("ch")->raw()[0], 2.0);
+}
+
+TEST(EnrollmentStore, SaveLoadRoundtrip)
+{
+    const std::string path = tmpPath("store_roundtrip.bin");
+    EnrollmentStore store;
+    store.enroll("a", dummyFingerprint(1.0));
+    store.enroll("b", dummyFingerprint(5.0));
+    ASSERT_TRUE(store.saveToFile(path));
+
+    EnrollmentStore loaded;
+    ASSERT_TRUE(loaded.loadFromFile(path));
+    EXPECT_EQ(loaded.size(), 2u);
+    const auto a = loaded.lookup("a");
+    ASSERT_TRUE(a.has_value());
+    EXPECT_DOUBLE_EQ(a->raw()[2], 3.0);
+    EXPECT_DOUBLE_EQ(a->residual()[1], -0.2);
+    EXPECT_DOUBLE_EQ(a->raw().dt(), 1e-12);
+    std::remove(path.c_str());
+}
+
+TEST(EnrollmentStore, LoadMissingFileFails)
+{
+    EnrollmentStore store;
+    EXPECT_FALSE(store.loadFromFile("/nonexistent/path/store.bin"));
+}
+
+TEST(EnrollmentStore, CorruptedPayloadRejected)
+{
+    const std::string path = tmpPath("store_corrupt.bin");
+    EnrollmentStore store;
+    store.enroll("a", dummyFingerprint(1.0));
+    ASSERT_TRUE(store.saveToFile(path));
+
+    // Flip a byte in the payload.
+    std::fstream f(path, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    f.seekp(40);
+    char c;
+    f.seekg(40);
+    f.get(c);
+    f.seekp(40);
+    f.put(static_cast<char>(c ^ 0x5a));
+    f.close();
+
+    EnrollmentStore loaded;
+    loaded.enroll("keep", dummyFingerprint(9.0));
+    EXPECT_FALSE(loaded.loadFromFile(path));
+    // Failed load must not clobber existing contents.
+    EXPECT_TRUE(loaded.contains("keep"));
+    std::remove(path.c_str());
+}
+
+TEST(EnrollmentStore, BadMagicRejected)
+{
+    const std::string path = tmpPath("store_magic.bin");
+    std::ofstream out(path, std::ios::binary);
+    const std::string junk(64, 'x');
+    out.write(junk.data(), static_cast<long>(junk.size()));
+    out.close();
+    EnrollmentStore store;
+    EXPECT_FALSE(store.loadFromFile(path));
+    std::remove(path.c_str());
+}
+
+TEST(EnrollmentStore, TruncatedFileRejected)
+{
+    const std::string path = tmpPath("store_trunc.bin");
+    EnrollmentStore store;
+    store.enroll("a", dummyFingerprint(1.0));
+    ASSERT_TRUE(store.saveToFile(path));
+    // Truncate to half.
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<long>(bytes.size() / 2));
+    out.close();
+    EnrollmentStore loaded;
+    EXPECT_FALSE(loaded.loadFromFile(path));
+    std::remove(path.c_str());
+}
+
+TEST(EnrollmentStore, ClearEmpties)
+{
+    EnrollmentStore store;
+    store.enroll("a", dummyFingerprint(1.0));
+    store.clear();
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_FALSE(store.contains("a"));
+}
+
+TEST(EnrollmentStore, EnrollInvalidFingerprintFatal)
+{
+    EnrollmentStore store;
+    Fingerprint invalid;
+    EXPECT_DEATH(store.enroll("ch", invalid), "invalid");
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the two-way authentication protocol: both sides enroll,
+ * both must pass for the bus to be trusted, and attacks visible from
+ * either end break trust.
+ */
+
+#include <gtest/gtest.h>
+
+#include "auth/protocol.hh"
+#include "txline/manufacturing.hh"
+#include "txline/tamper.hh"
+
+namespace divot {
+namespace {
+
+TransmissionLine
+fabBus(uint64_t seed)
+{
+    ProcessParams params;
+    ManufacturingProcess fab(params, Rng(seed));
+    auto z = fab.drawImpedanceProfile(0.12, 0.5e-3);
+    return TransmissionLine(std::move(z), 0.5e-3, params.velocity,
+                            50.0, 50.3, params.lossNeperPerMeter,
+                            "bus");
+}
+
+TEST(Protocol, CalibrateThenTrusted)
+{
+    TwoWayAuthProtocol proto(AuthConfig{}, ItdrConfig{}, Rng(1));
+    const auto bus = fabBus(1);
+    proto.calibrate(bus, 8);
+    EXPECT_TRUE(proto.busTrusted());
+    const TwoWayOutcome out = proto.monitorRound(bus);
+    EXPECT_TRUE(out.busTrusted);
+    EXPECT_TRUE(out.cpu.authenticated);
+    EXPECT_TRUE(out.memory.authenticated);
+    EXPECT_EQ(out.cpuAction, ReactionAction::Proceed);
+    EXPECT_EQ(out.memoryAction, ReactionAction::Proceed);
+}
+
+TEST(Protocol, BothSidesEnrolled)
+{
+    TwoWayAuthProtocol proto(AuthConfig{}, ItdrConfig{}, Rng(2));
+    const auto bus = fabBus(2);
+    proto.calibrate(bus, 8);
+    EXPECT_EQ(proto.cpuSide().state(), AuthState::Monitoring);
+    EXPECT_EQ(proto.memorySide().state(), AuthState::Monitoring);
+    EXPECT_TRUE(proto.cpuSide().enrolled().valid());
+    EXPECT_TRUE(proto.memorySide().enrolled().valid());
+}
+
+TEST(Protocol, BusSwapBreaksTrustBothWays)
+{
+    TwoWayAuthProtocol proto(AuthConfig{}, ItdrConfig{}, Rng(3));
+    const auto bus = fabBus(3);
+    proto.calibrate(bus, 8);
+    const auto foreign = fabBus(77);
+    TwoWayOutcome out{};
+    for (int i = 0; i < 16; ++i)
+        out = proto.monitorRound(foreign);
+    EXPECT_FALSE(out.busTrusted);
+    EXPECT_FALSE(proto.busTrusted());
+    EXPECT_FALSE(out.cpu.authenticated);
+    EXPECT_FALSE(out.memory.authenticated);
+    // A wholesale swap also pins the error function, so either the
+    // mismatch or the tamper reaction is acceptable — but never
+    // Proceed.
+    EXPECT_NE(out.cpuAction, ReactionAction::Proceed);
+    EXPECT_NE(out.memoryAction, ReactionAction::Proceed);
+}
+
+TEST(Protocol, TamperNearMemoryEndSeenByBothEnds)
+{
+    TwoWayAuthProtocol proto(AuthConfig{}, ItdrConfig{}, Rng(4));
+    const auto bus = fabBus(4);
+    proto.calibrate(bus, 16);
+    WireTap tap(0.8, 50.0);  // near the memory end
+    const auto attacked = tap.apply(bus);
+    TwoWayOutcome out{};
+    for (int i = 0; i < 16; ++i)
+        out = proto.monitorRound(attacked);
+    EXPECT_TRUE(out.cpu.tamperAlarm);
+    EXPECT_TRUE(out.memory.tamperAlarm);
+    EXPECT_FALSE(out.busTrusted);
+    // The CPU sees it at ~80 % of the line; the memory side at ~20 %.
+    EXPECT_GT(out.cpu.tamperLocation, 0.6 * bus.length());
+    EXPECT_LT(out.memory.tamperLocation, 0.4 * bus.length());
+}
+
+TEST(Protocol, TrustRestoredAfterRepair)
+{
+    TwoWayAuthProtocol proto(AuthConfig{}, ItdrConfig{}, Rng(5));
+    const auto bus = fabBus(5);
+    proto.calibrate(bus, 8);
+    MagneticProbe probe(0.5);
+    const auto attacked = probe.apply(bus);
+    for (int i = 0; i < 16; ++i)
+        proto.monitorRound(attacked);
+    EXPECT_FALSE(proto.busTrusted());
+    TwoWayOutcome out{};
+    for (int i = 0; i < 20; ++i)
+        out = proto.monitorRound(bus);
+    EXPECT_TRUE(out.busTrusted);
+}
+
+TEST(Protocol, PolicyLogsPopulated)
+{
+    TwoWayAuthProtocol proto(AuthConfig{}, ItdrConfig{}, Rng(6));
+    const auto bus = fabBus(6);
+    proto.calibrate(bus, 8);
+    const auto foreign = fabBus(88);
+    for (int i = 0; i < 16; ++i)
+        proto.monitorRound(foreign);
+    EXPECT_GT(proto.cpuPolicy().deniedCount(), 0u);
+    EXPECT_GT(proto.memoryPolicy().deniedCount(), 0u);
+    EXPECT_FALSE(proto.cpuPolicy().events().empty());
+}
+
+} // namespace
+} // namespace divot

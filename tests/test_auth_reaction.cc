@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the reaction policy mapping verdicts to actions per bus
+ * role (Section III "Reaction to counter attacks").
+ */
+
+#include <gtest/gtest.h>
+
+#include "auth/reaction.hh"
+
+namespace divot {
+namespace {
+
+AuthVerdict
+okVerdict()
+{
+    AuthVerdict v;
+    v.authenticated = true;
+    v.similarity = 0.9;
+    v.round = 1;
+    return v;
+}
+
+AuthVerdict
+mismatchVerdict()
+{
+    AuthVerdict v;
+    v.authenticated = false;
+    v.similarity = 0.1;
+    v.round = 2;
+    return v;
+}
+
+AuthVerdict
+tamperVerdict()
+{
+    AuthVerdict v;
+    v.authenticated = true;
+    v.tamperAlarm = true;
+    v.peakError = 3e-6;
+    v.round = 3;
+    return v;
+}
+
+TEST(ReactionPolicy, CleanVerdictProceeds)
+{
+    ReactionPolicy policy(BusRole::Cpu);
+    EXPECT_EQ(policy.decide(okVerdict()), ReactionAction::Proceed);
+    EXPECT_EQ(policy.deniedCount(), 0u);
+    EXPECT_TRUE(policy.events().empty());
+}
+
+TEST(ReactionPolicy, CpuMismatchStallsAndRetries)
+{
+    ReactionPolicy policy(BusRole::Cpu);
+    EXPECT_EQ(policy.decide(mismatchVerdict()),
+              ReactionAction::StallRetry);
+    EXPECT_EQ(policy.deniedCount(), 1u);
+    ASSERT_EQ(policy.events().size(), 1u);
+    EXPECT_EQ(policy.events()[0].round, 2u);
+}
+
+TEST(ReactionPolicy, MemoryMismatchBlocksAccess)
+{
+    ReactionPolicy policy(BusRole::Memory);
+    EXPECT_EQ(policy.decide(mismatchVerdict()),
+              ReactionAction::BlockAccess);
+}
+
+TEST(ReactionPolicy, TamperRaisesAlarm)
+{
+    ReactionPolicy policy(BusRole::Cpu);
+    EXPECT_EQ(policy.decide(tamperVerdict()),
+              ReactionAction::RaiseAlarm);
+    EXPECT_EQ(policy.alarmCount(), 1u);
+}
+
+TEST(ReactionPolicy, TamperZeroizesWhenArmed)
+{
+    ReactionPolicy policy(BusRole::Cpu, /*zeroize_on_tamper=*/true);
+    EXPECT_EQ(policy.decide(tamperVerdict()),
+              ReactionAction::ZeroizeKeys);
+}
+
+TEST(ReactionPolicy, TamperTakesPriorityOverMismatch)
+{
+    ReactionPolicy policy(BusRole::Memory);
+    AuthVerdict both = tamperVerdict();
+    both.authenticated = false;
+    const ReactionAction a = policy.decide(both);
+    EXPECT_TRUE(a == ReactionAction::RaiseAlarm);
+    EXPECT_EQ(policy.alarmCount(), 1u);
+}
+
+TEST(ReactionPolicy, EventLogAccumulates)
+{
+    ReactionPolicy policy(BusRole::Memory);
+    policy.decide(okVerdict());
+    policy.decide(mismatchVerdict());
+    policy.decide(tamperVerdict());
+    EXPECT_EQ(policy.events().size(), 2u);
+    EXPECT_EQ(policy.deniedCount(), 2u);
+    EXPECT_EQ(policy.alarmCount(), 1u);
+}
+
+TEST(ReactionPolicy, ActionNamesPrintable)
+{
+    EXPECT_STREQ(reactionActionName(ReactionAction::Proceed),
+                 "proceed");
+    EXPECT_STREQ(reactionActionName(ReactionAction::StallRetry),
+                 "stall-retry");
+    EXPECT_STREQ(reactionActionName(ReactionAction::BlockAccess),
+                 "block-access");
+    EXPECT_STREQ(reactionActionName(ReactionAction::RaiseAlarm),
+                 "raise-alarm");
+    EXPECT_STREQ(reactionActionName(ReactionAction::ZeroizeKeys),
+                 "zeroize-keys");
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the SoC-scale guard: channel fleet management, aggregate
+ * security state, and shared-resource economics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "auth/soc_guard.hh"
+#include "txline/manufacturing.hh"
+#include "txline/tamper.hh"
+
+namespace divot {
+namespace {
+
+TransmissionLine
+fabBus(uint64_t seed, double length = 0.08)
+{
+    ProcessParams params;
+    ManufacturingProcess fab(params, Rng(seed));
+    auto z = fab.drawImpedanceProfile(length, 0.5e-3);
+    return TransmissionLine(std::move(z), 0.5e-3, params.velocity,
+                            50.0, 50.3, params.lossNeperPerMeter,
+                            "soc" + std::to_string(seed));
+}
+
+SocGuard
+makeGuard(uint64_t seed = 1)
+{
+    return SocGuard(AuthConfig{}, ItdrConfig{}, Rng(seed));
+}
+
+TEST(SocGuard, AttachAndEnumerate)
+{
+    auto guard = makeGuard();
+    EXPECT_TRUE(guard.attachChannel("ddr0", fabBus(1), 4));
+    EXPECT_TRUE(guard.attachChannel("pcie0", fabBus(2), 4));
+    EXPECT_TRUE(guard.attachChannel("nvme0", fabBus(3), 4));
+    ASSERT_EQ(guard.channelNames().size(), 3u);
+    EXPECT_EQ(guard.channelNames()[0], "ddr0");
+    EXPECT_EQ(guard.channel("pcie0").state(), AuthState::Monitoring);
+}
+
+TEST(SocGuard, DuplicateNameRefused)
+{
+    auto guard = makeGuard(2);
+    EXPECT_TRUE(guard.attachChannel("ddr0", fabBus(1), 4));
+    EXPECT_FALSE(guard.attachChannel("ddr0", fabBus(2), 4));
+    EXPECT_EQ(guard.channelNames().size(), 1u);
+}
+
+TEST(SocGuard, FreshFleetIsTrusted)
+{
+    auto guard = makeGuard(3);
+    guard.attachChannel("a", fabBus(1), 4);
+    guard.attachChannel("b", fabBus(2), 4);
+    const SocSecurityState s = guard.monitorAll({});
+    EXPECT_EQ(s.channels, 2u);
+    EXPECT_EQ(s.healthy, 2u);
+    EXPECT_TRUE(s.chipTrusted);
+}
+
+TEST(SocGuard, TamperOnOneChannelBreaksChipTrust)
+{
+    auto guard = makeGuard(4);
+    const auto ddr = fabBus(1);
+    const auto pcie = fabBus(2);
+    guard.attachChannel("ddr0", ddr, 8);
+    guard.attachChannel("pcie0", pcie, 8);
+
+    WireTap tap(0.5, 50.0);
+    std::map<std::string, TransmissionLine> current;
+    current.emplace("pcie0", tap.apply(pcie));
+
+    SocSecurityState s{};
+    for (int i = 0; i < 16; ++i)
+        s = guard.monitorAll(current);
+    EXPECT_FALSE(s.chipTrusted);
+    EXPECT_EQ(s.tampered, 1u);
+    EXPECT_EQ(s.healthy, 1u);
+    // The untouched channel keeps passing.
+    EXPECT_EQ(guard.channel("ddr0").state(), AuthState::Monitoring);
+    EXPECT_EQ(guard.channel("pcie0").state(), AuthState::TamperAlert);
+}
+
+TEST(SocGuard, SwappedChannelReportsMismatchOrTamper)
+{
+    auto guard = makeGuard(5);
+    const auto bus = fabBus(1);
+    guard.attachChannel("ddr0", bus, 8);
+    std::map<std::string, TransmissionLine> current;
+    current.emplace("ddr0", fabBus(99));
+    SocSecurityState s{};
+    for (int i = 0; i < 16; ++i)
+        s = guard.monitorAll(current);
+    EXPECT_FALSE(s.chipTrusted);
+    EXPECT_EQ(s.healthy, 0u);
+    EXPECT_EQ(s.mismatched + s.tampered, 1u);
+}
+
+TEST(SocGuard, SharedResourceEconomics)
+{
+    auto guard = makeGuard(6);
+    for (int i = 0; i < 8; ++i) {
+        guard.attachChannel("ch" + std::to_string(i),
+                            fabBus(10 + i), 2);
+    }
+    const ResourceEstimate est = guard.resourceReport();
+    const unsigned total = guard.totalRegisters();
+    // Eight channels cost far less than eight standalone instances.
+    EXPECT_LT(total, 8u * est.totalRegisters);
+    // But more than one instance.
+    EXPECT_GT(total, est.totalRegisters);
+    EXPECT_GT(guard.totalLuts(), est.totalLuts);
+}
+
+TEST(SocGuard, UnknownChannelFatal)
+{
+    auto guard = makeGuard(7);
+    guard.attachChannel("a", fabBus(1), 2);
+    EXPECT_DEATH(guard.monitorChannel("ghost", fabBus(1)),
+                 "unknown SoC channel");
+    EXPECT_DEATH(guard.channel("ghost"), "unknown SoC channel");
+}
+
+} // namespace
+} // namespace divot

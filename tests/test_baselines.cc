@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the related-work baseline models (Section V): each model
+ * must reproduce the published technique's strengths *and* blind
+ * spots.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/board_puf.hh"
+#include "baselines/dc_resistance.hh"
+#include "baselines/pad.hh"
+#include "baselines/vna.hh"
+#include "txline/txline.hh"
+
+namespace divot {
+namespace {
+
+constexpr std::size_t kTrials = 4000;
+
+TEST(Pad, DetectsContactProbeDuringSurveillance)
+{
+    ProbeAttemptDetector pad;
+    Rng rng(1);
+    const double p = pad.detectProbability(AttackKind::ContactProbe,
+                                           1.0, kTrials, rng);
+    // Caps shift is huge (10 % of wire C) — detection is limited by
+    // the surveillance duty cycle, not by sensitivity.
+    EXPECT_NEAR(p, pad.traits().busTimeOverhead, 0.02);
+}
+
+TEST(Pad, BlindToEmProbe)
+{
+    ProbeAttemptDetector pad;
+    Rng rng(2);
+    const double p = pad.detectProbability(AttackKind::EmProbe, 1.0,
+                                           kTrials, rng);
+    EXPECT_LT(p, 0.01);
+}
+
+TEST(Pad, NotConcurrentAndCostsBusTime)
+{
+    const auto t = ProbeAttemptDetector().traits();
+    EXPECT_FALSE(t.runtimeConcurrent);
+    EXPECT_TRUE(t.integrable);
+    EXPECT_GT(t.busTimeOverhead, 0.0);
+}
+
+TEST(DcMonitor, DetectsWireTapWhenMeasuring)
+{
+    DcResistanceMonitor dc;
+    Rng rng(3);
+    const double p = dc.detectProbability(AttackKind::WireTap, 1.0,
+                                          kTrials, rng);
+    EXPECT_GT(p, 0.5 * dc.traits().busTimeOverhead);
+    EXPECT_LE(p, dc.traits().busTimeOverhead + 0.02);
+}
+
+TEST(DcMonitor, BlindToEmProbe)
+{
+    DcResistanceMonitor dc;
+    Rng rng(4);
+    EXPECT_LT(dc.detectProbability(AttackKind::EmProbe, 1.0, kTrials,
+                                   rng),
+              0.005);
+}
+
+TEST(DcMonitor, CannotIdentify)
+{
+    EXPECT_LT(DcResistanceMonitor().identificationEer(), 0.0);
+    EXPECT_LT(ProbeAttemptDetector().identificationEer(), 0.0);
+}
+
+TEST(BoardPuf, OfflineMissesTransientAttacks)
+{
+    BoardImpedancePuf puf;
+    Rng rng(5);
+    EXPECT_DOUBLE_EQ(puf.detectProbability(AttackKind::EmProbe, 1.0,
+                                           100, rng),
+                     0.0);
+    EXPECT_DOUBLE_EQ(puf.detectProbability(AttackKind::ContactProbe,
+                                           1.0, 100, rng),
+                     0.0);
+}
+
+TEST(BoardPuf, CatchesFullModuleSwapAtAudit)
+{
+    BoardImpedancePuf puf;
+    Rng rng(6);
+    const double p = puf.detectProbability(AttackKind::ModuleSwap, 1.0,
+                                           kTrials, rng);
+    EXPECT_GT(p, 0.9);
+}
+
+TEST(BoardPuf, IdentificationEerWorseThanDivot)
+{
+    // Paper: "low identification performance compared to ... Tx-line
+    // PUF presented here". DIVOT's Fig. 7 EER is < 6e-4.
+    const double eer = BoardImpedancePuf().identificationEer();
+    EXPECT_GT(eer, 1e-3);
+    EXPECT_LT(eer, 0.2);
+}
+
+TEST(Vna, GoldStandardButOffline)
+{
+    VnaIipReference vna;
+    const auto t = vna.traits();
+    EXPECT_FALSE(t.runtimeConcurrent);
+    EXPECT_FALSE(t.integrable);
+    EXPECT_DOUBLE_EQ(t.busTimeOverhead, 1.0);
+    Rng rng(7);
+    EXPECT_DOUBLE_EQ(vna.detectProbability(AttackKind::EmProbe, 1.0,
+                                           10, rng),
+                     0.0);
+    EXPECT_DOUBLE_EQ(vna.detectProbability(AttackKind::WireTap, 1.0,
+                                           10, rng),
+                     1.0);
+}
+
+TEST(Vna, MeasurementTracksIdealProfile)
+{
+    VnaIipReference vna;
+    Rng rng(8);
+    TransmissionLine line({50.0, 55.0, 50.0, 45.0, 50.0}, 1e-3, 1.5e8,
+                          50.0, 60.0, 0.0, "v");
+    const Waveform m = vna.measure(line, rng);
+    // Peak should be the load echo (biggest discontinuity).
+    EXPECT_EQ(m.peakIndex(), 2u * line.segments());
+}
+
+TEST(AttackKindNames, Printable)
+{
+    EXPECT_STREQ(attackKindName(AttackKind::ContactProbe),
+                 "contact-probe");
+    EXPECT_STREQ(attackKindName(AttackKind::EmProbe), "em-probe");
+    EXPECT_STREQ(attackKindName(AttackKind::WireTap), "wire-tap");
+    EXPECT_STREQ(attackKindName(AttackKind::ModuleSwap),
+                 "module-swap");
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the DivotSystem quickstart facade and the DIVOT baseline
+ * adapter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/divot_baseline.hh"
+#include "core/divot_system.hh"
+#include "txline/tamper.hh"
+
+namespace divot {
+namespace {
+
+DivotSystemConfig
+quickConfig()
+{
+    DivotSystemConfig cfg;
+    cfg.lineLength = 0.1;  // keep tests fast
+    cfg.enrollReps = 8;
+    return cfg;
+}
+
+TEST(DivotSystem, CalibrateThenMonitorPasses)
+{
+    DivotSystem sys(quickConfig(), Rng(1));
+    sys.calibrate();
+    for (int i = 0; i < 4; ++i) {
+        const AuthVerdict v = sys.monitorOnce();
+        EXPECT_TRUE(v.authenticated);
+        EXPECT_FALSE(v.tamperAlarm);
+    }
+    EXPECT_GT(sys.elapsed(), 0.0);
+}
+
+TEST(DivotSystem, StagedProbeRaisesAlarm)
+{
+    DivotSystem sys(quickConfig(), Rng(2));
+    sys.calibrate();
+    MagneticProbe probe(0.5);
+    sys.stageAttack(probe);
+    AuthVerdict v{};
+    for (int i = 0; i < 16; ++i)
+        v = sys.monitorOnce();
+    EXPECT_TRUE(v.tamperAlarm);
+}
+
+TEST(DivotSystem, ClearAttackRestoresCleanLine)
+{
+    DivotSystem sys(quickConfig(), Rng(3));
+    sys.calibrate();
+    MagneticProbe probe(0.5);
+    sys.stageAttack(probe);
+    sys.clearAttack();
+    // Non-contact probe leaves no scar.
+    for (std::size_t i = 0; i < sys.line().segments(); ++i) {
+        EXPECT_DOUBLE_EQ(sys.currentLine().impedanceAt(i),
+                         sys.line().impedanceAt(i));
+    }
+}
+
+TEST(DivotSystem, WireTapScarPersistsAfterClear)
+{
+    DivotSystem sys(quickConfig(), Rng(4));
+    sys.calibrate();
+    WireTap tap(0.5, 50.0);
+    sys.stageAttack(tap);
+    sys.clearAttack();
+    const std::size_t mid = sys.line().segments() / 2;
+    EXPECT_LT(sys.currentLine().impedanceAt(mid),
+              sys.line().impedanceAt(mid));
+    // Paper IV-E: the scarred line keeps alarming.
+    AuthVerdict v{};
+    for (int i = 0; i < 16; ++i)
+        v = sys.monitorOnce();
+    EXPECT_TRUE(v.tamperAlarm);
+}
+
+TEST(DivotSystem, ColdSwapFailsAuthentication)
+{
+    DivotSystem sys(quickConfig(), Rng(5));
+    sys.calibrate();
+    LoadModification swap(75.0);
+    sys.stageAttack(swap);
+    AuthVerdict v{};
+    for (int i = 0; i < 16; ++i)
+        v = sys.monitorOnce();
+    // Either the tamper alarm or the auth check (or both) must fire.
+    EXPECT_TRUE(v.tamperAlarm || !v.authenticated);
+}
+
+TEST(DivotBaseline, TraitsAreTheDivotStory)
+{
+    DivotBaseline divot;
+    const auto t = divot.traits();
+    EXPECT_TRUE(t.runtimeConcurrent);
+    EXPECT_TRUE(t.integrable);
+    EXPECT_TRUE(t.locatesAttack);
+    EXPECT_DOUBLE_EQ(t.busTimeOverhead, 0.0);
+    EXPECT_LT(divot.identificationEer(), 1e-3);
+}
+
+TEST(DivotBaseline, DetectsEveryAttackClass)
+{
+    DivotSystemConfig cfg = quickConfig();
+    DivotBaseline divot(cfg);
+    Rng rng(6);
+    for (AttackKind kind : {AttackKind::ContactProbe,
+                            AttackKind::EmProbe, AttackKind::WireTap,
+                            AttackKind::ModuleSwap}) {
+        const double p = divot.detectProbability(kind, 1.0, 3, rng);
+        EXPECT_GT(p, 0.66) << attackKindName(kind);
+    }
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for fingerprints, similarity (Eq. 4), error function (Eq. 5),
+ * enrollment averaging, and the matcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fingerprint/fingerprint.hh"
+#include "itdr/itdr.hh"
+#include "txline/manufacturing.hh"
+
+namespace divot {
+namespace {
+
+TransmissionLine
+testLine(uint64_t seed)
+{
+    ProcessParams params;
+    ManufacturingProcess fab(params, Rng(seed));
+    auto z = fab.drawImpedanceProfile(0.1, 0.5e-3);
+    return TransmissionLine(std::move(z), 0.5e-3, params.velocity,
+                            50.0, 50.3, params.lossNeperPerMeter, "f");
+}
+
+struct Fixture
+{
+    ItdrConfig cfg;
+    ITdr itdr{cfg, Rng(77)};
+    Waveform nominal;
+
+    Fixture()
+    {
+        TransmissionLine uniform(
+            std::vector<double>(200, 50.0), 0.5e-3, 1.5e8, 50.0, 50.0,
+            0.5, "u");
+        nominal = itdr.idealIip(uniform);
+    }
+
+    Fingerprint
+    fp(const TransmissionLine &line)
+    {
+        return Fingerprint::fromMeasurement(itdr.measure(line), nominal);
+    }
+};
+
+TEST(Fingerprint, SelfSimilarityIsOne)
+{
+    Fixture fx;
+    const auto line = testLine(1);
+    const Fingerprint a = fx.fp(line);
+    EXPECT_NEAR(similarity(a, a), 1.0, 1e-12);
+}
+
+TEST(Fingerprint, SimilarityIsSymmetric)
+{
+    Fixture fx;
+    const auto line = testLine(1);
+    const Fingerprint a = fx.fp(line);
+    const Fingerprint b = fx.fp(line);
+    EXPECT_DOUBLE_EQ(similarity(a, b), similarity(b, a));
+}
+
+TEST(Fingerprint, SimilarityBoundedInUnitInterval)
+{
+    Fixture fx;
+    for (uint64_t s = 1; s <= 6; ++s) {
+        const auto la = testLine(s);
+        const auto lb = testLine(s + 10);
+        const double sim = similarity(fx.fp(la), fx.fp(lb));
+        EXPECT_GE(sim, 0.0);
+        EXPECT_LE(sim, 1.0);
+    }
+}
+
+TEST(Fingerprint, GenuineBeatsImpostor)
+{
+    Fixture fx;
+    const auto la = testLine(2);
+    const auto lb = testLine(3);
+    const Fingerprint ea = fx.fp(la);
+    const double genuine = similarity(ea, fx.fp(la));
+    const double impostor = similarity(ea, fx.fp(lb));
+    EXPECT_GT(genuine, 0.4);
+    EXPECT_LT(impostor, 0.3);
+    EXPECT_GT(genuine, impostor + 0.2);
+}
+
+TEST(Fingerprint, ErrorFunctionZeroForIdenticalTraces)
+{
+    Fixture fx;
+    const Fingerprint a = fx.fp(testLine(4));
+    const Waveform e = errorFunction(a, a);
+    EXPECT_DOUBLE_EQ(e.peakAbs(), 0.0);
+}
+
+TEST(Fingerprint, ErrorFunctionNonNegative)
+{
+    Fixture fx;
+    const auto line = testLine(5);
+    const Fingerprint a = fx.fp(line);
+    const Fingerprint b = fx.fp(line);
+    const Waveform e = errorFunction(a, b);
+    for (std::size_t i = 0; i < e.size(); ++i)
+        EXPECT_GE(e[i], 0.0);
+}
+
+TEST(Fingerprint, SmoothingLowersNoiseFloor)
+{
+    Fixture fx;
+    const auto line = testLine(6);
+    const Fingerprint a = fx.fp(line);
+    const Fingerprint b = fx.fp(line);
+    const double raw = errorFunction(a, b, 1).peakAbs();
+    const double smooth = errorFunction(a, b, 5).peakAbs();
+    EXPECT_LT(smooth, raw);
+}
+
+TEST(Fingerprint, EnrollmentAveragingImprovesGenuineScore)
+{
+    Fixture fx;
+    const auto line = testLine(7);
+    std::vector<IipMeasurement> one{fx.itdr.measure(line)};
+    std::vector<IipMeasurement> many;
+    for (int i = 0; i < 16; ++i)
+        many.push_back(fx.itdr.measure(line));
+    const auto e1 = Fingerprint::enroll(one, fx.nominal);
+    const auto e16 = Fingerprint::enroll(many, fx.nominal);
+    // Score several probes against both enrollments.
+    double s1 = 0.0, s16 = 0.0;
+    for (int i = 0; i < 8; ++i) {
+        const Fingerprint probe = fx.fp(line);
+        s1 += similarity(e1, probe);
+        s16 += similarity(e16, probe);
+    }
+    EXPECT_GT(s16, s1);
+}
+
+TEST(Fingerprint, PeakErrorMatchesErrorFunctionPeak)
+{
+    Fixture fx;
+    const auto la = testLine(8);
+    const Fingerprint a = fx.fp(la);
+    const Fingerprint b = fx.fp(la);
+    EXPECT_DOUBLE_EQ(peakError(a, b), errorFunction(a, b).peakAbs());
+}
+
+TEST(Fingerprint, FromPartsRoundtrip)
+{
+    Fixture fx;
+    const Fingerprint a = fx.fp(testLine(9));
+    const Fingerprint b =
+        Fingerprint::fromParts(a.raw(), a.residual(), "copy");
+    EXPECT_NEAR(similarity(a, b), 1.0, 1e-12);
+    EXPECT_EQ(b.label(), "copy");
+    EXPECT_TRUE(b.valid());
+}
+
+TEST(Fingerprint, InvalidByDefault)
+{
+    Fingerprint fp;
+    EXPECT_FALSE(fp.valid());
+}
+
+TEST(Fingerprint, EmptyNominalSkipsSubtraction)
+{
+    Fixture fx;
+    const auto line = testLine(10);
+    const IipMeasurement m = fx.itdr.measure(line);
+    const Waveform empty;
+    const Fingerprint fp = Fingerprint::fromMeasurement(m, empty);
+    EXPECT_TRUE(fp.valid());
+    EXPECT_EQ(fp.raw().size(), m.iip.size());
+}
+
+TEST(Matcher, ThresholdSemantics)
+{
+    Fixture fx;
+    const auto line = testLine(11);
+    const Fingerprint e = fx.fp(line);
+    const Fingerprint genuine = fx.fp(line);
+    const Fingerprint impostor = fx.fp(testLine(12));
+    Matcher strict(0.4);
+    EXPECT_TRUE(strict.accepts(e, genuine));
+    EXPECT_FALSE(strict.accepts(e, impostor));
+    EXPECT_DOUBLE_EQ(strict.threshold(), 0.4);
+}
+
+TEST(Matcher, ThresholdValidation)
+{
+    EXPECT_DEATH(Matcher(-0.1), "threshold");
+    EXPECT_DEATH(Matcher(1.1), "threshold");
+}
+
+TEST(FingerprintDeath, InvalidOperandsPanic)
+{
+    Fingerprint bad;
+    Fixture fx;
+    const Fingerprint good = fx.fp(testLine(13));
+    EXPECT_DEATH(similarity(bad, good), "invalid");
+    EXPECT_DEATH(errorFunction(bad, good), "invalid");
+}
+
+TEST(FingerprintDeath, EnrollEmptyPanics)
+{
+    std::vector<IipMeasurement> none;
+    Waveform empty;
+    EXPECT_DEATH(Fingerprint::enroll(none, empty), "zero");
+}
+
+} // namespace
+} // namespace divot

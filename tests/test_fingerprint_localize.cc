@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for tamper detection & localization (Section IV-F): the peak
+ * of E_xy lands at the attack's physical position, benign noise stays
+ * below the calibrated threshold, and the calibration helper works.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fingerprint/localize.hh"
+#include "itdr/itdr.hh"
+#include "txline/manufacturing.hh"
+#include "txline/tamper.hh"
+
+namespace divot {
+namespace {
+
+struct Fixture
+{
+    TransmissionLine line;
+    ItdrConfig cfg;
+    ITdr itdr;
+    Waveform nominal;
+    Fingerprint enrolled;
+
+    Fixture()
+        : line(makeLine()), itdr(cfg, Rng(31))
+    {
+        TransmissionLine uniform(
+            std::vector<double>(line.segments(), 50.0),
+            line.segmentLength(), line.velocity(), 50.0, 50.0,
+            line.lossNeperPerMeter(), "u");
+        nominal = itdr.idealIip(uniform);
+        std::vector<IipMeasurement> reps;
+        for (int i = 0; i < 16; ++i)
+            reps.push_back(itdr.measure(line));
+        enrolled = Fingerprint::enroll(reps, nominal, "enr");
+    }
+
+    static TransmissionLine
+    makeLine()
+    {
+        ProcessParams params;
+        ManufacturingProcess fab(params, Rng(21));
+        auto z = fab.drawImpedanceProfile(0.25, 0.5e-3);
+        return TransmissionLine(std::move(z), 0.5e-3, params.velocity,
+                                50.0, 50.2, params.lossNeperPerMeter,
+                                "loc");
+    }
+
+    Fingerprint
+    averaged(const TransmissionLine &l, int n = 16)
+    {
+        std::vector<IipMeasurement> reps;
+        for (int i = 0; i < n; ++i)
+            reps.push_back(itdr.measure(l));
+        return Fingerprint::enroll(reps, nominal, "cur");
+    }
+};
+
+TEST(Localizer, BenignStaysBelowPaperThreshold)
+{
+    Fixture fx;
+    TamperLocalizer loc(5e-7);
+    const TamperReport rep =
+        loc.inspect(fx.enrolled, fx.averaged(fx.line), fx.line);
+    EXPECT_FALSE(rep.detected);
+    EXPECT_LT(rep.peakError, 5e-7);
+}
+
+TEST(Localizer, MagneticProbeDetectedAtPaperThreshold)
+{
+    // The subtlest attack in the paper still clears the 5e-7 line.
+    Fixture fx;
+    TamperLocalizer loc(5e-7);
+    MagneticProbe probe(0.5);
+    const auto attacked = probe.apply(fx.line);
+    const TamperReport rep =
+        loc.inspect(fx.enrolled, fx.averaged(attacked), fx.line);
+    EXPECT_TRUE(rep.detected);
+    EXPECT_GT(rep.peakError, 5e-7);
+    EXPECT_NEAR(rep.location, 0.5 * fx.line.length(),
+                0.15 * fx.line.length());
+}
+
+TEST(Localizer, WireTapDetectedStrongly)
+{
+    Fixture fx;
+    TamperLocalizer loc(5e-7);
+    WireTap tap(0.4, 50.0);
+    const auto attacked = tap.apply(fx.line);
+    const TamperReport rep =
+        loc.inspect(fx.enrolled, fx.averaged(attacked, 4), fx.line);
+    EXPECT_TRUE(rep.detected);
+    // Wire-tapping is the most invasive attack: orders above the
+    // magnetic probe.
+    EXPECT_GT(rep.peakError, 1e-5);
+}
+
+TEST(Localizer, WireTapScarStillDetectedAfterRemoval)
+{
+    // Section IV-E: the IIP damage is permanent.
+    Fixture fx;
+    TamperLocalizer loc(5e-7);
+    WireTap tap(0.4, 50.0);
+    const auto removed = tap.applyRemoved(fx.line);
+    const TamperReport rep =
+        loc.inspect(fx.enrolled, fx.averaged(removed, 8), fx.line);
+    EXPECT_TRUE(rep.detected);
+}
+
+TEST(Localizer, LoadModificationLocalizesToLineEnd)
+{
+    Fixture fx;
+    TamperLocalizer loc(5e-7);
+    LoadModification swap(70.0);
+    const auto attacked = swap.apply(fx.line);
+    const TamperReport rep =
+        loc.inspect(fx.enrolled, fx.averaged(attacked, 4), fx.line);
+    EXPECT_TRUE(rep.detected);
+    EXPECT_GT(rep.location, 0.85 * fx.line.length());
+}
+
+/** Localization accuracy across attack positions. */
+class LocalizeSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(LocalizeSweep, PeakLandsNearAttack)
+{
+    const double pos = GetParam();
+    Fixture fx;
+    TamperLocalizer loc(5e-7);
+    MagneticProbe probe(pos, 0.08);
+    const auto attacked = probe.apply(fx.line);
+    const TamperReport rep =
+        loc.inspect(fx.enrolled, fx.averaged(attacked, 8), fx.line);
+    ASSERT_TRUE(rep.detected);
+    EXPECT_NEAR(rep.location, pos * fx.line.length(),
+                0.12 * fx.line.length());
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, LocalizeSweep,
+                         ::testing::Values(0.25, 0.5, 0.75));
+
+TEST(Localizer, CalibrateThresholdClearsBenignPeaks)
+{
+    Fixture fx;
+    std::vector<Fingerprint> benign;
+    for (int i = 0; i < 6; ++i)
+        benign.push_back(fx.averaged(fx.line, 4));
+    const double th =
+        TamperLocalizer::calibrateThreshold(fx.enrolled, benign, 3.0);
+    for (const auto &fp : benign)
+        EXPECT_LT(peakError(fx.enrolled, fp), th);
+}
+
+TEST(Localizer, Validation)
+{
+    EXPECT_DEATH(TamperLocalizer(0.0), "threshold");
+    Fixture fx;
+    std::vector<Fingerprint> none;
+    EXPECT_DEATH(
+        TamperLocalizer::calibrateThreshold(fx.enrolled, none, 3.0),
+        "benign");
+    std::vector<Fingerprint> some{fx.averaged(fx.line, 2)};
+    EXPECT_DEATH(
+        TamperLocalizer::calibrateThreshold(fx.enrolled, some, 0.5),
+        "margin");
+}
+
+} // namespace
+} // namespace divot

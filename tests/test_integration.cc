@@ -1,0 +1,110 @@
+/**
+ * @file
+ * End-to-end integration tests of the Section III protected memory
+ * system: traffic flows while monitoring runs concurrently, a cold
+ * boot swap is detected and blocked within the monitoring window, and
+ * the victim's data never reaches the attacker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsys/system.hh"
+
+namespace divot {
+namespace {
+
+MemorySystemConfig
+smallConfig()
+{
+    MemorySystemConfig cfg;
+    cfg.busLength = 0.05;          // short bus => fast rounds
+    cfg.enrollReps = 8;
+    cfg.requestsPerKcycle = 20.0;
+    cfg.workload = WorkloadKind::Sequential;  // row-buffer friendly
+    return cfg;
+}
+
+TEST(Integration, BenignRunCompletesTraffic)
+{
+    ProtectedMemorySystem sys(smallConfig(), Rng(1));
+    sys.run(300000);
+    const MemorySystemReport rep = sys.report();
+    EXPECT_GT(rep.injected, 1000u);
+    EXPECT_GT(rep.completed, rep.injected * 9 / 10);
+    EXPECT_GT(rep.monitoringRounds, 2u);
+    EXPECT_TRUE(rep.detections.empty());
+    EXPECT_EQ(rep.gateRejections, 0u);
+    EXPECT_EQ(rep.controller.stalledCycles, 0u);
+    EXPECT_GT(rep.controller.rowHitRate(), 0.3);
+}
+
+TEST(Integration, ColdBootSwapDetectedAndStalled)
+{
+    ProtectedMemorySystem sys(smallConfig(), Rng(2));
+    sys.scheduleColdBootSwap(100000);
+    sys.run(2000000);
+    const MemorySystemReport rep = sys.report();
+    ASSERT_FALSE(rep.detections.empty());
+    const DetectionRecord &rec = rep.detections.front();
+    EXPECT_EQ(rec.attackCycle, 100000u);
+    // The paper claims detection within the memory-operation time
+    // frame; our monitoring rounds are ~hundreds of microseconds, so
+    // the swap must be flagged within a few milliseconds.
+    EXPECT_LT(rec.latencySeconds, 25e-3);
+    // The controller reacted by stalling.
+    EXPECT_GT(rep.controller.stalledCycles, 0u);
+}
+
+TEST(Integration, ProbeAttachTriggersAlarmAndGate)
+{
+    ProtectedMemorySystem sys(smallConfig(), Rng(3));
+    sys.scheduleProbeAttach(100000, 0.5);
+    sys.run(3000000);
+    const MemorySystemReport rep = sys.report();
+    ASSERT_FALSE(rep.detections.empty());
+    EXPECT_GT(rep.controller.stalledCycles, 0u);
+}
+
+TEST(Integration, VictimDataNotServedAfterSwap)
+{
+    // Write a secret before the swap; after the swap the gate blocks
+    // column accesses, so the secret is never delivered again.
+    ProtectedMemorySystem sys(smallConfig(), Rng(4));
+    sys.sdram().poke(0xdead, 0x5ec7e7);
+    sys.scheduleColdBootSwap(50000);
+    sys.run(2000000);
+    const MemorySystemReport rep = sys.report();
+    ASSERT_FALSE(rep.detections.empty());
+    // After detection, the device stayed blocked; no new completions
+    // once the controller stalls (allow in-flight drain).
+    EXPECT_TRUE(sys.sdram().accessBlocked() ||
+                rep.controller.stalledCycles > 0);
+}
+
+TEST(Integration, MonitoringIsConcurrentWithTraffic)
+{
+    // DIVOT costs zero data-bus cycles: a benign run with monitoring
+    // completes essentially the same traffic as the workload injects.
+    ProtectedMemorySystem sys(smallConfig(), Rng(5));
+    sys.run(400000);
+    const MemorySystemReport rep = sys.report();
+    EXPECT_GT(rep.monitoringRounds, 3u);
+    // No stall cycles and no gate rejections in a benign run — the
+    // entire monitoring activity rode on existing clock edges.
+    EXPECT_EQ(rep.controller.stalledCycles, 0u);
+    EXPECT_EQ(rep.gateRejections, 0u);
+}
+
+TEST(Integration, ReportCountsConsistent)
+{
+    ProtectedMemorySystem sys(smallConfig(), Rng(6));
+    sys.run(200000);
+    const MemorySystemReport rep = sys.report();
+    EXPECT_EQ(rep.cyclesRun, 200000u);
+    EXPECT_LE(rep.completed, rep.injected);
+    EXPECT_EQ(rep.controller.reads + rep.controller.writes,
+              rep.completed);
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Integration tests of the calibration-persistence workflow: enroll
+ * on the manufacturing line, ship the EPROM image, adopt it in the
+ * field, and keep authenticating — plus physics cross-checks that tie
+ * the layers together (reversed-view reciprocity, EMI injection at
+ * the instrument level).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "auth/authenticator.hh"
+#include "auth/enrollment.hh"
+#include "signal/noise.hh"
+#include "txline/manufacturing.hh"
+
+namespace divot {
+namespace {
+
+TransmissionLine
+fabLine(uint64_t seed)
+{
+    ProcessParams params;
+    ManufacturingProcess fab(params, Rng(seed));
+    auto z = fab.drawImpedanceProfile(0.12, 0.5e-3);
+    return TransmissionLine(std::move(z), 0.5e-3, params.velocity,
+                            50.0, 50.25, params.lossNeperPerMeter,
+                            "eprom-line");
+}
+
+TEST(EpromWorkflow, EnrollPersistAdoptAuthenticate)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "eprom_flow.bin";
+    const auto line = fabLine(1);
+
+    // Manufacturing line: enroll and burn the EPROM.
+    Waveform nominal;
+    {
+        Authenticator factory(AuthConfig{}, ItdrConfig{}, Rng(2),
+                              "dimm0.clk");
+        factory.enroll(line, 8);
+        nominal = factory.nominal();
+        EnrollmentStore store;
+        store.enroll("dimm0.clk", factory.enrolled());
+        ASSERT_TRUE(store.saveToFile(path));
+    }
+
+    // Field: a fresh controller loads the image and monitors.
+    EnrollmentStore field;
+    ASSERT_TRUE(field.loadFromFile(path));
+    const auto fp = field.lookup("dimm0.clk");
+    ASSERT_TRUE(fp.has_value());
+
+    Authenticator deployed(AuthConfig{}, ItdrConfig{}, Rng(3),
+                           "dimm0.clk");
+    deployed.adoptEnrollment(*fp, nominal);
+    AuthVerdict v{};
+    for (int i = 0; i < 6; ++i)
+        v = deployed.checkRound(line);
+    EXPECT_TRUE(v.authenticated);
+    EXPECT_FALSE(v.tamperAlarm);
+
+    // A different module fails against the shipped fingerprint.
+    const auto foreign = fabLine(77);
+    for (int i = 0; i < 20; ++i)
+        v = deployed.checkRound(foreign);
+    EXPECT_FALSE(v.authenticated && !v.tamperAlarm);
+    std::remove(path.c_str());
+}
+
+TEST(Physics, ReversedProbeSeesMirroredFeatures)
+{
+    // A strong bump at 30 % of the line must appear at ~70 % when the
+    // line is probed from the other end — the reciprocity the two-way
+    // protocol relies on.
+    std::vector<double> z(300, 50.0);
+    for (std::size_t i = 88; i < 92; ++i)
+        z[i] = 56.0;  // bump at 30 %
+    TransmissionLine line(z, 0.5e-3, 1.5e8, 50.0, 50.0, 0.0, "mir");
+    const TransmissionLine rev = reversedView(line);
+
+    ItdrConfig cfg;
+    ITdr a(cfg, Rng(5)), b(cfg, Rng(6));
+    const Waveform fwd = a.idealIip(line);
+    const Waveform bwd = b.idealIip(rev);
+    const double t_fwd = fwd.timeAt(fwd.peakIndex());
+    const double t_bwd = bwd.timeAt(bwd.peakIndex());
+    const double rt = line.roundTripDelay();
+    // Peak round-trip times complement each other (up to the probe
+    // edge centering offset common to both).
+    const double offset = 1.5 * a.edge().duration();
+    EXPECT_NEAR((t_fwd - offset) + (t_bwd - offset), rt, 0.1 * rt);
+}
+
+TEST(Physics, EmiInjectionRaisesMeasurementNoiseOnly)
+{
+    const auto line = fabLine(9);
+    ItdrConfig cfg;
+    ITdr itdr(cfg, Rng(10));
+    const Waveform ideal = itdr.idealIip(line);
+
+    auto rms_err = [&](NoiseSource *emi) {
+        const IipMeasurement m = itdr.measure(line, emi);
+        double err = 0.0;
+        for (std::size_t i = 0; i < ideal.size(); ++i)
+            err += (m.iip[i] - ideal[i]) * (m.iip[i] - ideal[i]);
+        return std::sqrt(err / static_cast<double>(ideal.size()));
+    };
+
+    const double clean = rms_err(nullptr);
+    SinusoidalInterference weak(0.5e-3, 312.7e6, 0.3);
+    const double with_emi = rms_err(&weak);
+    // Asynchronous EMI behaves like extra comparator noise: the error
+    // grows by roughly sqrt(1 + (A_emi/sqrt(2))^2/sigma^2) — a small
+    // factor — instead of biasing the trace by the full interferer
+    // amplitude.
+    EXPECT_GT(with_emi, clean * 0.8);
+    EXPECT_LT(with_emi, 2.5 * clean);
+}
+
+TEST(Physics, StrongSynchronousInterferenceWouldNotAverageOut)
+{
+    // Counter-check: an interferer locked to the sampling clock is
+    // NOT rejected — it biases the reconstruction. This is why the
+    // paper stresses the *asynchronous* nature of ambient EMI.
+    const auto line = fabLine(11);
+    ItdrConfig cfg;
+    ITdr itdr(cfg, Rng(12));
+    const Waveform ideal = itdr.idealIip(line);
+    // Tone at exactly f_s: every strobe at a fixed offset sees the
+    // same interferer phase.
+    SinusoidalInterference locked(0.5e-3, 156.25e6, 1.0);
+    const IipMeasurement m = itdr.measure(line, &locked);
+    double bias = 0.0;
+    for (std::size_t i = 0; i < ideal.size(); ++i)
+        bias += std::fabs(m.iip[i] - ideal[i]);
+    bias /= static_cast<double>(ideal.size());
+    // Mean absolute deviation clearly above the clean noise floor.
+    EXPECT_GT(bias, 0.2e-3);
+}
+
+} // namespace
+} // namespace divot

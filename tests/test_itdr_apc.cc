@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for analog-to-probability conversion math: mixture CDF/PDF,
+ * reconstruction inverse property (Eq. 2), the fast inverse table,
+ * and the PDM dynamic-range widening claim (Fig. 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "itdr/apc.hh"
+#include "util/math.hh"
+
+namespace divot {
+namespace {
+
+TEST(ApcMixtureCdf, SingleLevelIsPlainPhi)
+{
+    const std::vector<double> levels{0.0};
+    EXPECT_NEAR(apcMixtureCdf(0.0, levels, 1e-3), 0.5, 1e-12);
+    EXPECT_NEAR(apcMixtureCdf(1e-3, levels, 1e-3), normalCdf(1.0),
+                1e-12);
+}
+
+TEST(ApcMixtureCdf, MonotoneForAnyLevels)
+{
+    const std::vector<double> levels{-2e-3, 0.0, 1e-3, 3e-3};
+    double prev = -1.0;
+    for (double v = -10e-3; v <= 10e-3; v += 1e-4) {
+        const double p = apcMixtureCdf(v, levels, 0.5e-3);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+    EXPECT_NEAR(apcMixtureCdf(100e-3, levels, 0.5e-3), 1.0, 1e-9);
+    EXPECT_NEAR(apcMixtureCdf(-100e-3, levels, 0.5e-3), 0.0, 1e-9);
+}
+
+TEST(ApcMixturePdf, IsDerivativeOfCdf)
+{
+    const std::vector<double> levels{-1e-3, 1e-3};
+    const double sigma = 0.7e-3;
+    const double h = 1e-8;
+    for (double v = -4e-3; v <= 4e-3; v += 0.5e-3) {
+        const double numeric =
+            (apcMixtureCdf(v + h, levels, sigma) -
+             apcMixtureCdf(v - h, levels, sigma)) / (2.0 * h);
+        EXPECT_NEAR(apcMixturePdf(v, levels, sigma), numeric,
+                    1e-4 * apcMixturePdf(v, levels, sigma) + 1e-9);
+    }
+}
+
+TEST(ApcReconstruct, SingleLevelClosedForm)
+{
+    const std::vector<double> levels{2e-3};
+    const double sigma = 1e-3;
+    // Eq. 2: V = Vref + sigma * Phi^{-1}(p).
+    EXPECT_NEAR(apcReconstruct(0.5, levels, sigma), 2e-3, 1e-9);
+    EXPECT_NEAR(apcReconstruct(normalCdf(1.5), levels, sigma),
+                2e-3 + 1.5e-3, 1e-8);
+}
+
+/** Roundtrip: reconstruct(cdf(v)) == v within the linear range. */
+class ApcRoundtrip : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ApcRoundtrip, MixtureInverse)
+{
+    const double v = GetParam();
+    const std::vector<double> levels{-4e-3, -2e-3, 0.0, 2e-3, 4e-3};
+    const double sigma = 1e-3;
+    const double p = apcMixtureCdf(v, levels, sigma);
+    EXPECT_NEAR(apcReconstruct(p, levels, sigma), v, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VoltageSweep, ApcRoundtrip,
+    ::testing::Values(-5e-3, -3e-3, -1e-3, -1e-4, 0.0, 1e-4, 1e-3,
+                      3e-3, 5e-3));
+
+TEST(ApcReconstruct, SaturatedProbabilityStaysFinite)
+{
+    const std::vector<double> levels{0.0};
+    EXPECT_TRUE(std::isfinite(apcReconstruct(0.0, levels, 1e-3)));
+    EXPECT_TRUE(std::isfinite(apcReconstruct(1.0, levels, 1e-3)));
+    const std::vector<double> multi{-1e-3, 1e-3};
+    EXPECT_TRUE(std::isfinite(apcReconstruct(1.0, multi, 1e-3)));
+}
+
+TEST(ApcInverseTable, MatchesBisectionReconstruction)
+{
+    const std::vector<double> levels{-3e-3, -1e-3, 1e-3, 3e-3};
+    const double sigma = 0.8e-3;
+    ApcInverseTable table(levels, sigma, 4096);
+    for (double v = -4e-3; v <= 4e-3; v += 0.37e-3) {
+        const double p = apcMixtureCdf(v, levels, sigma);
+        EXPECT_NEAR(table.reconstruct(p),
+                    apcReconstruct(p, levels, sigma), 2e-6);
+    }
+}
+
+TEST(ApcInverseTable, ClampsAtRails)
+{
+    const std::vector<double> levels{0.0};
+    ApcInverseTable table(levels, 1e-3);
+    EXPECT_DOUBLE_EQ(table.reconstruct(0.0), table.voltageLo());
+    EXPECT_DOUBLE_EQ(table.reconstruct(1.0), table.voltageHi());
+}
+
+TEST(ApcLinearRegion, SingleLevelIsAboutTwoSigma)
+{
+    // The paper: "APC is most effective within 2 sigma".
+    const std::vector<double> levels{0.0};
+    const double sigma = 1e-3;
+    const double width = apcLinearRegionWidth(levels, sigma, 0.6);
+    EXPECT_NEAR(width, 2.0 * sigma, 0.3 * sigma);
+}
+
+TEST(ApcLinearRegion, PdmWidensDynamicRange)
+{
+    // Fig. 4's claim: multiple reference levels widen the linear
+    // region far beyond a single level.
+    const double sigma = 1e-3;
+    const std::vector<double> one{0.0};
+    std::vector<double> five;
+    for (int i = -2; i <= 2; ++i)
+        five.push_back(i * 2e-3);
+    const double w1 = apcLinearRegionWidth(one, sigma, 0.5);
+    const double w5 = apcLinearRegionWidth(five, sigma, 0.5);
+    EXPECT_GT(w5, 3.0 * w1);
+}
+
+TEST(ApcLinearRegion, GrowsWithLevelCountAtFixedSpacing)
+{
+    // Adding reference levels at a fixed (<= 2 sigma) spacing extends
+    // the linear span roughly level by level — the PDM scaling law.
+    const double sigma = 1e-3;
+    double prev = 0.0;
+    for (int n : {1, 3, 5, 9}) {
+        std::vector<double> levels;
+        for (int i = 0; i < n; ++i)
+            levels.push_back((i - (n - 1) / 2.0) * 1.5e-3);
+        const double w = apcLinearRegionWidth(levels, sigma, 0.5);
+        EXPECT_GT(w, prev);
+        prev = w;
+    }
+}
+
+TEST(ApcDeath, BadArguments)
+{
+    const std::vector<double> empty;
+    const std::vector<double> ok{0.0};
+    EXPECT_DEATH(apcMixtureCdf(0.0, empty, 1e-3), "levels");
+    EXPECT_DEATH(apcMixtureCdf(0.0, ok, 0.0), "sigma");
+    EXPECT_DEATH(apcReconstruct(0.5, empty, 1e-3), "levels");
+    EXPECT_DEATH(ApcInverseTable(ok, -1.0), "sigma");
+}
+
+} // namespace
+} // namespace divot

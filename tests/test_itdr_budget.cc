@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for measurement-latency accounting and its inverse (sizing K
+ * to a latency target — the paper's 50 us envelope).
+ */
+
+#include <gtest/gtest.h>
+
+#include "itdr/budget.hh"
+#include "itdr/itdr.hh"
+#include "txline/manufacturing.hh"
+
+namespace divot {
+namespace {
+
+TEST(Budget, MatchesActualMeasurementCost)
+{
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = 22;
+    const double rt = 2.0 * 0.1 / 1.5e8;
+
+    ProcessParams params;
+    ManufacturingProcess fab(params, Rng(1));
+    auto z = fab.drawImpedanceProfile(0.1, 0.5e-3);
+    TransmissionLine line(std::move(z), 0.5e-3, 1.5e8, 50.0, 50.0,
+                          0.5, "b");
+
+    const MeasurementBudget b = predictBudget(cfg, rt);
+    ITdr itdr(cfg, Rng(2));
+    const IipMeasurement m = itdr.measure(line);
+    EXPECT_EQ(b.bins, itdr.phaseBins());
+    EXPECT_EQ(b.trialsPerBin, itdr.trialsPerPhase());
+    EXPECT_EQ(b.triggers, m.triggers);
+    EXPECT_EQ(b.expectedCycles, m.busCycles);
+    EXPECT_NEAR(b.expectedDuration, m.duration, 1e-12);
+}
+
+TEST(Budget, TrialsRoundUpToLevels)
+{
+    ItdrConfig cfg;
+    cfg.pdm.p = 11;
+    cfg.pdm.q = 12;
+    cfg.trialsPerPhase = 23;  // p=11 -> 33
+    const MeasurementBudget b = predictBudget(cfg, 3e-9);
+    EXPECT_EQ(b.trialsPerBin, 33u);
+}
+
+TEST(Budget, DataLaneQuadruplesExpectedCycles)
+{
+    ItdrConfig clock_cfg, data_cfg;
+    data_cfg.triggerMode = TriggerMode::DataLane;
+    const auto a = predictBudget(clock_cfg, 3e-9);
+    const auto b = predictBudget(data_cfg, 3e-9);
+    EXPECT_NEAR(static_cast<double>(b.expectedCycles),
+                4.0 * static_cast<double>(a.expectedCycles),
+                static_cast<double>(a.expectedCycles) * 0.01);
+}
+
+TEST(Budget, PaperLatencyEnvelope)
+{
+    // With the paper's 25 cm line there must exist a K that fits a
+    // complete measurement within 50 us at 156.25 MHz.
+    ItdrConfig cfg;
+    const double rt = 2.0 * 0.25 / 1.5e8;
+    const unsigned k = maxTrialsWithinLatency(cfg, rt, 50e-6);
+    EXPECT_GT(k, 0u);
+    cfg.trialsPerPhase = k;
+    const MeasurementBudget b = predictBudget(cfg, rt);
+    EXPECT_LE(b.expectedDuration, 50e-6);
+}
+
+TEST(Budget, MaxTrialsIsTight)
+{
+    ItdrConfig cfg;
+    const double rt = 3e-9;
+    const double target = 100e-6;
+    const unsigned k = maxTrialsWithinLatency(cfg, rt, target);
+    ASSERT_GT(k, 0u);
+    // k fits; k + levels does not.
+    cfg.trialsPerPhase = k;
+    EXPECT_LE(predictBudget(cfg, rt).expectedDuration, target);
+    cfg.trialsPerPhase = k + cfg.pdm.p;
+    EXPECT_GT(predictBudget(cfg, rt).expectedDuration, target);
+}
+
+TEST(Budget, ImpossibleTargetReturnsZero)
+{
+    ItdrConfig cfg;
+    EXPECT_EQ(maxTrialsWithinLatency(cfg, 3e-9, 1e-9), 0u);
+}
+
+TEST(Budget, BadLatencyRejected)
+{
+    ItdrConfig cfg;
+    EXPECT_DEATH(maxTrialsWithinLatency(cfg, 3e-9, 0.0), "latency");
+}
+
+TEST(Budget, ExplicitWindowOverridesRoundTrip)
+{
+    ItdrConfig cfg;
+    cfg.captureWindow = 1e-9;
+    const auto a = predictBudget(cfg, 100e-9);
+    cfg.captureWindow = 2e-9;
+    const auto b = predictBudget(cfg, 100e-9);
+    EXPECT_NEAR(static_cast<double>(b.bins),
+                2.0 * static_cast<double>(a.bins), 2.0);
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the comparator noise self-calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "itdr/calibrate.hh"
+#include "itdr/itdr.hh"
+#include "txline/txline.hh"
+
+namespace divot {
+namespace {
+
+TEST(NoiseCalibrator, RecoversSigma)
+{
+    ComparatorParams p;
+    p.noiseSigma = 0.5e-3;
+    Comparator comparator(p, Rng(1));
+    NoiseCalibrator cal(0.5e-3, 50000);
+    const NoiseCalibration result = cal.run(comparator);
+    ASSERT_TRUE(result.valid);
+    EXPECT_NEAR(result.sigma, 0.5e-3, 0.05e-3);
+    EXPECT_NEAR(result.offset, 0.0, 0.05e-3);
+}
+
+TEST(NoiseCalibrator, RecoversOffsetToo)
+{
+    ComparatorParams p;
+    p.noiseSigma = 0.5e-3;
+    p.inputOffset = 0.2e-3;
+    Comparator comparator(p, Rng(2));
+    NoiseCalibrator cal(0.5e-3, 50000);
+    const NoiseCalibration result = cal.run(comparator);
+    ASSERT_TRUE(result.valid);
+    EXPECT_NEAR(result.sigma, 0.5e-3, 0.05e-3);
+    EXPECT_NEAR(result.offset, 0.2e-3, 0.05e-3);
+}
+
+/** Works across a range of true sigmas when V_cal is in range. */
+class SigmaSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SigmaSweep, EstimateWithinTenPercent)
+{
+    const double sigma = GetParam();
+    ComparatorParams p;
+    p.noiseSigma = sigma;
+    Comparator comparator(p, Rng(42));
+    NoiseCalibrator cal(sigma, 100000);  // V_cal = sigma: 1-sigma refs
+    const NoiseCalibration result = cal.run(comparator);
+    ASSERT_TRUE(result.valid);
+    EXPECT_NEAR(result.sigma, sigma, 0.1 * sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SigmaSweep,
+                         ::testing::Values(0.2e-3, 0.5e-3, 1e-3, 2e-3));
+
+TEST(NoiseCalibrator, SaturationDetected)
+{
+    // V_cal 50x sigma: both levels saturate, calibration must refuse.
+    ComparatorParams p;
+    p.noiseSigma = 0.1e-3;
+    Comparator comparator(p, Rng(3));
+    NoiseCalibrator cal(5e-3, 5000);
+    const NoiseCalibration result = cal.run(comparator);
+    EXPECT_FALSE(result.valid);
+    EXPECT_DOUBLE_EQ(result.sigma, 0.0);
+}
+
+TEST(NoiseCalibrator, Validation)
+{
+    EXPECT_DEATH(NoiseCalibrator(0.0, 100), "positive");
+    EXPECT_DEATH(NoiseCalibrator(1e-3, 0), "at least one");
+}
+
+TEST(ItdrSelfCalibration, UsesEstimatedSigmaAndOffset)
+{
+    ItdrConfig cfg;
+    cfg.selfCalibrate = true;
+    cfg.comparator.inputOffset = 0.3e-3;
+    ITdr itdr(cfg, Rng(9));
+    // Effective sigma near truth; offset correction near truth.
+    EXPECT_NEAR(itdr.effectiveSigma(), cfg.comparator.noiseSigma,
+                0.1 * cfg.comparator.noiseSigma);
+    EXPECT_NEAR(itdr.offsetCorrection(), 0.3e-3, 0.05e-3);
+}
+
+TEST(ItdrSelfCalibration, OffsetCorrectedMeasurementUnbiased)
+{
+    // An offset-afflicted comparator without calibration biases the
+    // whole IIP by the offset; with self-calibration the bias is
+    // removed.
+    TransmissionLine line(std::vector<double>(200, 50.0), 0.5e-3,
+                          1.5e8, 50.0, 50.0, 0.5, "cal");
+    ItdrConfig biased;
+    biased.comparator.inputOffset = 0.4e-3;
+    ItdrConfig calibrated = biased;
+    calibrated.selfCalibrate = true;
+
+    ITdr itdr_biased(biased, Rng(11));
+    ITdr itdr_cal(calibrated, Rng(11));
+    // Compare each measurement's mean against the physics truth (the
+    // matched line still has a small coupler-leak pedestal, so the
+    // reference is the ideal IIP, not zero).
+    const Waveform ideal = itdr_cal.idealIip(line);
+    const IipMeasurement m_biased = itdr_biased.measure(line);
+    const IipMeasurement m_cal = itdr_cal.measure(line);
+    double mean_ideal = 0.0, mean_biased = 0.0, mean_cal = 0.0;
+    for (std::size_t i = 0; i < m_biased.iip.size(); ++i) {
+        mean_ideal += ideal[i];
+        mean_biased += m_biased.iip[i];
+        mean_cal += m_cal.iip[i];
+    }
+    mean_ideal /= static_cast<double>(ideal.size());
+    mean_biased /= static_cast<double>(m_biased.iip.size());
+    mean_cal /= static_cast<double>(m_cal.iip.size());
+    EXPECT_GT(std::fabs(mean_biased - mean_ideal), 0.3e-3);
+    EXPECT_LT(std::fabs(mean_cal - mean_ideal), 0.16e-3);
+    EXPECT_LT(std::fabs(mean_cal - mean_ideal),
+              0.5 * std::fabs(mean_biased - mean_ideal));
+}
+
+} // namespace
+} // namespace divot

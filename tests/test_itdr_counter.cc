@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the saturating hit counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "itdr/counter.hh"
+
+namespace divot {
+namespace {
+
+TEST(HitCounter, CountsHitsAndTrials)
+{
+    HitCounter c(8);
+    c.record(true);
+    c.record(false);
+    c.record(true);
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.trials(), 3u);
+    EXPECT_NEAR(c.probability(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(HitCounter, EmptyProbabilityIsZero)
+{
+    HitCounter c(8);
+    EXPECT_DOUBLE_EQ(c.probability(), 0.0);
+}
+
+TEST(HitCounter, SaturatesInsteadOfWrapping)
+{
+    HitCounter c(4);  // max 15 trials
+    for (int i = 0; i < 100; ++i)
+        c.record(true);
+    EXPECT_EQ(c.trials(), 15u);
+    EXPECT_EQ(c.hits(), 15u);
+    EXPECT_TRUE(c.saturated());
+    EXPECT_DOUBLE_EQ(c.probability(), 1.0);
+}
+
+TEST(HitCounter, ProbabilityPreservedAtSaturation)
+{
+    HitCounter c(4);
+    for (int i = 0; i < 30; ++i)
+        c.record(i % 2 == 0);
+    // Counting stopped at 15 trials; probability reflects what was
+    // actually counted, never a wrapped value.
+    EXPECT_EQ(c.trials(), 15u);
+    EXPECT_NEAR(c.probability(), 8.0 / 15.0, 1e-12);
+}
+
+TEST(HitCounter, ResetClears)
+{
+    HitCounter c(8);
+    c.record(true);
+    c.reset();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.trials(), 0u);
+    EXPECT_FALSE(c.saturated());
+}
+
+TEST(HitCounter, WidthValidation)
+{
+    EXPECT_DEATH(HitCounter(0), "width");
+    EXPECT_DEATH(HitCounter(33), "width");
+    HitCounter ok(32);
+    EXPECT_EQ(ok.widthBits(), 32u);
+}
+
+} // namespace
+} // namespace divot

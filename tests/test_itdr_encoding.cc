@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the 8b/10b line code: code validity, DC balance, bounded
+ * run length, roundtrip decoding, and the encoded-stream trigger.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "itdr/encoding.hh"
+#include "itdr/trigger.hh"
+
+namespace divot {
+namespace {
+
+TEST(Encoder8b10b, EverySymbolHasLegalWeight)
+{
+    // A valid 10-bit data code carries 4, 5, or 6 ones.
+    Encoder8b10b enc;
+    for (int b = 0; b < 256; ++b) {
+        const uint16_t sym = enc.encode(static_cast<uint8_t>(b));
+        const unsigned ones = Encoder8b10b::onesCount(sym);
+        EXPECT_GE(ones, 4u) << "byte " << b;
+        EXPECT_LE(ones, 6u) << "byte " << b;
+    }
+}
+
+TEST(Encoder8b10b, RunningDisparityBounded)
+{
+    Encoder8b10b enc;
+    Rng rng(1);
+    for (int i = 0; i < 20000; ++i) {
+        enc.encode(static_cast<uint8_t>(rng.uniformInt(256)));
+        const int rd = enc.runningDisparity();
+        EXPECT_TRUE(rd == -1 || rd == 1);
+    }
+}
+
+TEST(Encoder8b10b, StreamIsDcBalanced)
+{
+    Encoder8b10b enc;
+    Rng rng(2);
+    std::vector<uint8_t> payload(20000);
+    for (auto &b : payload)
+        b = static_cast<uint8_t>(rng.uniformInt(256));
+    const auto bits = enc.encodeStream(payload);
+    long balance = 0;
+    for (bool bit : bits)
+        balance += bit ? 1 : -1;
+    // Running disparity bounds the imbalance to a few bits out of
+    // 200000.
+    EXPECT_LE(std::abs(balance), 4);
+}
+
+TEST(Encoder8b10b, RunLengthAtMostFive)
+{
+    Encoder8b10b enc;
+    Rng rng(3);
+    std::vector<uint8_t> payload(20000);
+    for (auto &b : payload)
+        b = static_cast<uint8_t>(rng.uniformInt(256));
+    const auto bits = enc.encodeStream(payload);
+    EXPECT_LE(Encoder8b10b::longestRun(bits), 5u);
+}
+
+TEST(Encoder8b10b, RoundtripAllBytesBothDisparities)
+{
+    // Encode every byte starting from both disparities; decode must
+    // recover the byte.
+    for (int start_rd = 0; start_rd < 2; ++start_rd) {
+        for (int b = 0; b < 256; ++b) {
+            Encoder8b10b enc;
+            if (start_rd == 1) {
+                // Flip RD to +1 by encoding a disparity-changing byte.
+                enc.encode(0x00);
+                if (enc.runningDisparity() != 1)
+                    enc.encode(0x00);
+            }
+            const uint16_t sym = enc.encode(static_cast<uint8_t>(b));
+            uint8_t decoded = 0;
+            ASSERT_TRUE(enc.decode(sym, decoded))
+                << "byte " << b << " rd " << start_rd;
+            EXPECT_EQ(decoded, b);
+        }
+    }
+}
+
+TEST(Encoder8b10b, InvalidSymbolRejected)
+{
+    Encoder8b10b enc;
+    uint8_t out = 0;
+    EXPECT_FALSE(enc.decode(0b0000000000, out));
+    EXPECT_FALSE(enc.decode(0b1111111111, out));
+}
+
+TEST(Encoder8b10b, CodesUniquePerDisparityColumn)
+{
+    // No two payload values may share a code within one column.
+    std::set<uint8_t> seen;
+    Encoder8b10b enc;
+    for (int b = 0; b < 32; ++b) {
+        enc.reset();
+        const uint16_t sym = enc.encode(static_cast<uint8_t>(b));
+        const uint8_t code6 = static_cast<uint8_t>((sym >> 4) & 0x3f);
+        EXPECT_TRUE(seen.insert(code6).second) << "byte " << b;
+    }
+}
+
+TEST(Encoder8b10b, ResetRestoresStartupDisparity)
+{
+    Encoder8b10b enc;
+    enc.encode(0x00);  // disparity-changing
+    enc.reset();
+    EXPECT_EQ(enc.runningDisparity(), -1);
+}
+
+TEST(EncodedTrigger, RateNearThreeTenths)
+{
+    TriggerGenerator gen(TriggerMode::Encoded8b10b, Rng(5));
+    for (int i = 0; i < 30000; ++i)
+        gen.nextTriggerCycle();
+    const double rate = static_cast<double>(gen.triggersProduced()) /
+        static_cast<double>(gen.cyclesElapsed());
+    EXPECT_NEAR(rate, gen.expectedTriggerRate(), 0.05);
+}
+
+TEST(EncodedTrigger, BoundedTriggerGap)
+{
+    // 8b/10b run length <= 5 bounds the gap between falling edges;
+    // random raw data has unbounded gaps. Check the encoded stream's
+    // worst gap over many triggers stays small.
+    TriggerGenerator gen(TriggerMode::Encoded8b10b, Rng(7));
+    uint64_t prev = gen.nextTriggerCycle();
+    uint64_t worst = 0;
+    for (int i = 0; i < 30000; ++i) {
+        const uint64_t c = gen.nextTriggerCycle();
+        worst = std::max(worst, c - prev);
+        prev = c;
+    }
+    EXPECT_LE(worst, 11u);  // <= one symbol of 1s + runs around it
+}
+
+TEST(EncodedTrigger, Deterministic)
+{
+    TriggerGenerator a(TriggerMode::Encoded8b10b, Rng(9));
+    TriggerGenerator b(TriggerMode::Encoded8b10b, Rng(9));
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.nextTriggerCycle(), b.nextTriggerCycle());
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Integration tests for the full iTDR: reconstruction convergence to
+ * the physics ground truth, bin-grid stability, cost accounting, and
+ * the load-echo timing the memory-bus design depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "itdr/budget.hh"
+#include "itdr/itdr.hh"
+#include "txline/manufacturing.hh"
+
+namespace divot {
+namespace {
+
+TransmissionLine
+testLine(uint64_t seed = 1, double length = 0.1)
+{
+    ProcessParams params;
+    ManufacturingProcess fab(params, Rng(seed));
+    auto z = fab.drawImpedanceProfile(length, 0.5e-3);
+    return TransmissionLine(std::move(z), 0.5e-3, params.velocity,
+                            50.0, 50.4, params.lossNeperPerMeter, "t");
+}
+
+TEST(ITdr, MeasurementConvergesToIdealIip)
+{
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = 440;  // heavy averaging for convergence
+    ITdr itdr(cfg, Rng(3));
+    const auto line = testLine();
+    const Waveform ideal = itdr.idealIip(line);
+    const IipMeasurement m = itdr.measure(line);
+    ASSERT_EQ(m.iip.size(), ideal.size());
+
+    // RMS reconstruction error well below the per-trial noise sigma.
+    double err = 0.0;
+    for (std::size_t i = 0; i < ideal.size(); ++i)
+        err += (m.iip[i] - ideal[i]) * (m.iip[i] - ideal[i]);
+    err = std::sqrt(err / static_cast<double>(ideal.size()));
+    EXPECT_LT(err, cfg.comparator.noiseSigma);
+
+    // And the shape correlates strongly with the truth.
+    EXPECT_GT(normalizedInnerProduct(m.iip, ideal), 0.97);
+}
+
+TEST(ITdr, MoreTrialsLessNoise)
+{
+    const auto line = testLine();
+    auto rms_err = [&](unsigned trials, uint64_t seed) {
+        ItdrConfig cfg;
+        cfg.trialsPerPhase = trials;
+        ITdr itdr(cfg, Rng(seed));
+        const Waveform ideal = itdr.idealIip(line);
+        const IipMeasurement m = itdr.measure(line);
+        double err = 0.0;
+        for (std::size_t i = 0; i < ideal.size(); ++i)
+            err += (m.iip[i] - ideal[i]) * (m.iip[i] - ideal[i]);
+        return std::sqrt(err / static_cast<double>(ideal.size()));
+    };
+    EXPECT_GT(rms_err(22, 5), rms_err(352, 6));
+}
+
+TEST(ITdr, BinsFrozenAcrossMeasurements)
+{
+    ItdrConfig cfg;
+    ITdr itdr(cfg, Rng(7));
+    const auto a = itdr.measure(testLine(1));
+    const auto b = itdr.measure(testLine(2));
+    EXPECT_EQ(a.iip.size(), b.iip.size());
+    EXPECT_DOUBLE_EQ(a.iip.dt(), b.iip.dt());
+}
+
+TEST(ITdr, ClockLaneCycleAccounting)
+{
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = 22;
+    ITdr itdr(cfg, Rng(9));
+    const auto line = testLine();
+    const IipMeasurement m = itdr.measure(line);
+    // Clock lane: one trigger per cycle.
+    EXPECT_EQ(m.busCycles, m.triggers);
+    EXPECT_EQ(m.triggers,
+              static_cast<uint64_t>(itdr.phaseBins()) *
+                  itdr.trialsPerPhase());
+    EXPECT_NEAR(m.duration,
+                static_cast<double>(m.busCycles) / 156.25e6, 1e-12);
+}
+
+TEST(ITdr, DataLaneCostsMoreCycles)
+{
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = 22;
+    cfg.triggerMode = TriggerMode::DataLane;
+    ITdr itdr(cfg, Rng(11));
+    const IipMeasurement m = itdr.measure(testLine());
+    // Triggers arrive on ~1/4 of the cycles.
+    EXPECT_GT(m.busCycles, 3 * m.triggers);
+    EXPECT_LT(m.busCycles, 6 * m.triggers);
+}
+
+TEST(ITdr, TrialsRoundedUpToLevelMultiple)
+{
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = 100;  // p = 11 => round to 110
+    ITdr itdr(cfg, Rng(13));
+    EXPECT_EQ(itdr.trialsPerPhase() % cfg.pdm.p, 0u);
+    EXPECT_GE(itdr.trialsPerPhase(), 100u);
+}
+
+TEST(ITdr, LoadEchoVisibleAtRoundTripTime)
+{
+    // A strongly mismatched load must show up at the round-trip time
+    // in the reconstruction — the feature Fig. 9(b) rides on.
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = 220;
+    ITdr itdr(cfg, Rng(15));
+    auto line = testLine(21, 0.1);
+    line.setLoadImpedance(70.0);
+    const IipMeasurement m = itdr.measure(line);
+    const std::size_t peak = m.iip.peakIndex();
+    const double t_peak = m.iip.timeAt(peak);
+    const double rt = line.roundTripDelay();
+    EXPECT_NEAR(t_peak, rt + 1.5 * itdr.edge().duration(), 0.15 * rt);
+}
+
+TEST(ITdr, IdealIipMatchesCleanTraceSamples)
+{
+    ItdrConfig cfg;
+    ITdr itdr(cfg, Rng(17));
+    const auto line = testLine();
+    const Waveform ideal = itdr.idealIip(line);
+    const Waveform trace = itdr.cleanDetectorTrace(line);
+    for (std::size_t i = 0; i < ideal.size(); i += 37)
+        EXPECT_NEAR(ideal[i], trace.valueAt(ideal.timeAt(i)), 1e-12);
+}
+
+TEST(ITdr, LatticeBackendAgreesWithBorn)
+{
+    ItdrConfig born_cfg;
+    ItdrConfig lat_cfg;
+    lat_cfg.model = ReflectionModel::Lattice;
+    ITdr born(born_cfg, Rng(19)), lattice(lat_cfg, Rng(19));
+    const auto line = testLine(5);
+    const Waveform a = born.idealIip(line);
+    const Waveform b = lattice.idealIip(line);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_GT(normalizedInnerProduct(a, b), 0.99);
+}
+
+TEST(ITdr, ZeroTrialsRejected)
+{
+    ItdrConfig bad;
+    bad.trialsPerPhase = 0;
+    EXPECT_DEATH(ITdr(bad, Rng(21)), "trialsPerPhase");
+}
+
+} // namespace
+} // namespace divot

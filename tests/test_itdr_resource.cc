@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the structural resource model against the paper's
+ * utilization report (71 registers / 124 LUTs, ~80 % counters).
+ */
+
+#include <gtest/gtest.h>
+
+#include "itdr/budget.hh"
+#include "itdr/resource.hh"
+
+namespace divot {
+namespace {
+
+TEST(ResourceModel, LandsNearPrototypeNumbers)
+{
+    ItdrConfig cfg;
+    const MeasurementBudget b = predictBudget(cfg, 3.3e-9);
+    const ResourceEstimate est = estimateResources(cfg, b.bins);
+    // The prototype used 71 registers and 124 LUTs; the structural
+    // model should land in the same neighbourhood.
+    EXPECT_NEAR(static_cast<double>(est.totalRegisters), 71.0, 15.0);
+    EXPECT_NEAR(static_cast<double>(est.totalLuts), 124.0, 25.0);
+}
+
+TEST(ResourceModel, CountersDominateRegisters)
+{
+    ItdrConfig cfg;
+    const ResourceEstimate est = estimateResources(cfg, 400);
+    // Vivado report: ~80 % of registers are counters.
+    EXPECT_GT(est.counterRegisterFraction(), 0.55);
+    EXPECT_LT(est.counterRegisterFraction(), 0.95);
+}
+
+TEST(ResourceModel, WiderCountersCostMore)
+{
+    ItdrConfig narrow, wide;
+    narrow.counterWidthBits = 8;
+    wide.counterWidthBits = 24;
+    const auto a = estimateResources(narrow, 400);
+    const auto b = estimateResources(wide, 400);
+    EXPECT_GT(b.totalRegisters, a.totalRegisters);
+}
+
+TEST(ResourceModel, SharingAmortizesAcrossBuses)
+{
+    ItdrConfig cfg;
+    const ResourceEstimate est = estimateResources(cfg, 400);
+    const unsigned one = est.registersForBuses(1);
+    const unsigned two = est.registersForBuses(2);
+    const unsigned ten = est.registersForBuses(10);
+    EXPECT_EQ(one, est.totalRegisters);
+    // The marginal bus costs less than the first (shared PLL / PDM /
+    // reconstruction).
+    EXPECT_LT(two - one, one);
+    // Marginal cost is constant.
+    EXPECT_EQ(ten - est.registersForBuses(9), two - one);
+    EXPECT_EQ(est.registersForBuses(0), 0u);
+}
+
+TEST(ResourceModel, LutSharingConsistent)
+{
+    ItdrConfig cfg;
+    const ResourceEstimate est = estimateResources(cfg, 400);
+    EXPECT_EQ(est.lutsForBuses(1), est.totalLuts);
+    EXPECT_LT(est.lutsForBuses(2) - est.totalLuts, est.totalLuts);
+}
+
+TEST(ResourceModel, DataLaneTriggerCostsMore)
+{
+    ItdrConfig clock_cfg, data_cfg;
+    data_cfg.triggerMode = TriggerMode::DataLane;
+    const auto a = estimateResources(clock_cfg, 400);
+    const auto b = estimateResources(data_cfg, 400);
+    EXPECT_GT(b.totalRegisters, a.totalRegisters);
+}
+
+TEST(ResourceModel, ZeroBinsRejected)
+{
+    ItdrConfig cfg;
+    EXPECT_DEATH(estimateResources(cfg, 0), "bins");
+}
+
+} // namespace
+} // namespace divot

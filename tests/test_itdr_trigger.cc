@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for runtime trigger generation (Section II-E).
+ */
+
+#include <gtest/gtest.h>
+
+#include "itdr/trigger.hh"
+
+namespace divot {
+namespace {
+
+TEST(Trigger, ClockLaneFiresEveryCycle)
+{
+    TriggerGenerator gen(TriggerMode::ClockLane, Rng(1));
+    for (uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(gen.nextTriggerCycle(), i);
+    EXPECT_EQ(gen.cyclesElapsed(), 100u);
+    EXPECT_EQ(gen.triggersProduced(), 100u);
+    EXPECT_DOUBLE_EQ(gen.expectedTriggerRate(), 1.0);
+}
+
+TEST(Trigger, DataLaneCyclesStrictlyIncrease)
+{
+    TriggerGenerator gen(TriggerMode::DataLane, Rng(2));
+    uint64_t prev = gen.nextTriggerCycle();
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t c = gen.nextTriggerCycle();
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+}
+
+TEST(Trigger, DataLaneRateNearQuarter)
+{
+    // P[bit=1 then bit=0] = 1/4 for i.i.d. fair bits.
+    TriggerGenerator gen(TriggerMode::DataLane, Rng(3));
+    const int triggers = 20000;
+    for (int i = 0; i < triggers; ++i)
+        gen.nextTriggerCycle();
+    const double rate = static_cast<double>(gen.triggersProduced()) /
+        static_cast<double>(gen.cyclesElapsed());
+    EXPECT_NEAR(rate, 0.25, 0.01);
+    EXPECT_DOUBLE_EQ(gen.expectedTriggerRate(), 0.25);
+}
+
+TEST(Trigger, DataLaneDeterministicBySeed)
+{
+    TriggerGenerator a(TriggerMode::DataLane, Rng(7));
+    TriggerGenerator b(TriggerMode::DataLane, Rng(7));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextTriggerCycle(), b.nextTriggerCycle());
+}
+
+TEST(Trigger, CountsStartAtZero)
+{
+    TriggerGenerator gen(TriggerMode::DataLane, Rng(9));
+    EXPECT_EQ(gen.cyclesElapsed(), 0u);
+    EXPECT_EQ(gen.triggersProduced(), 0u);
+}
+
+} // namespace
+} // namespace divot

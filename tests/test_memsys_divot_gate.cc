@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the DivotGate coupling: monitoring cadence, attack
+ * injection, detection latency, and controller/device reactions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsys/divot_gate.hh"
+#include "txline/manufacturing.hh"
+#include "txline/tamper.hh"
+
+namespace divot {
+namespace {
+
+struct Harness
+{
+    TransmissionLine bus;
+    Sdram sdram{SdramTiming{}, SdramGeometry{}};
+    MemoryController ctrl{sdram};
+    TwoWayAuthProtocol proto{AuthConfig{}, ItdrConfig{}, Rng(11),
+                             "gate-test"};
+
+    explicit Harness(uint64_t seed = 3)
+        : bus(fabBus(seed))
+    {
+        proto.calibrate(bus, 8);
+    }
+
+    static TransmissionLine
+    fabBus(uint64_t seed)
+    {
+        ProcessParams params;
+        ManufacturingProcess fab(params, Rng(seed));
+        auto z = fab.drawImpedanceProfile(0.08, 0.5e-3);
+        return TransmissionLine(std::move(z), 0.5e-3, params.velocity,
+                                50.0, 50.3,
+                                params.lossNeperPerMeter, "gbus");
+    }
+};
+
+TEST(DivotGate, RoundCadenceFromBudget)
+{
+    Harness h;
+    DivotGate gate(h.proto, h.ctrl, h.sdram, h.bus, 156.25e6);
+    EXPECT_GT(gate.roundCycles(), 1000u);
+    // Before a round completes, nothing happens.
+    gate.tick(0);
+    EXPECT_EQ(gate.roundsCompleted(), 0u);
+    gate.tick(gate.roundCycles());
+    EXPECT_EQ(gate.roundsCompleted(), 1u);
+    ASSERT_TRUE(gate.lastOutcome().has_value());
+    EXPECT_TRUE(gate.lastOutcome()->busTrusted);
+}
+
+TEST(DivotGate, BenignRunStaysTrusted)
+{
+    Harness h;
+    DivotGate gate(h.proto, h.ctrl, h.sdram, h.bus, 156.25e6);
+    for (uint64_t c = 0; c < 20 * gate.roundCycles();
+         c += gate.roundCycles()) {
+        gate.tick(c);
+    }
+    EXPECT_TRUE(h.ctrl.busTrusted());
+    EXPECT_FALSE(h.sdram.accessBlocked());
+    EXPECT_TRUE(gate.detections().empty());
+}
+
+TEST(DivotGate, ColdBootSwapDetectedAndBlocked)
+{
+    Harness h;
+    DivotGate gate(h.proto, h.ctrl, h.sdram, h.bus, 156.25e6);
+    const uint64_t attack_cycle = 3 * gate.roundCycles() + 17;
+    TransmissionLine foreign = Harness::fabBus(99);
+    gate.scheduleEvent({attack_cycle, foreign, "swap"});
+
+    uint64_t cycle = 0;
+    const uint64_t horizon = 40 * gate.roundCycles();
+    while (cycle < horizon && gate.detections().empty()) {
+        gate.tick(cycle);
+        ++cycle;
+    }
+    ASSERT_FALSE(gate.detections().empty());
+    const DetectionRecord &rec = gate.detections().front();
+    EXPECT_EQ(rec.attackCycle, attack_cycle);
+    EXPECT_GE(rec.detectedCycle, attack_cycle);
+    EXPECT_EQ(rec.latencyCycles, rec.detectedCycle - rec.attackCycle);
+    EXPECT_GT(rec.latencySeconds, 0.0);
+    // Reactions engaged on both sides.
+    EXPECT_FALSE(h.ctrl.busTrusted());
+    EXPECT_TRUE(h.sdram.accessBlocked());
+}
+
+TEST(DivotGate, DetectionLatencyBoundedByWindowRounds)
+{
+    // The sliding average window is 16 rounds; a wholesale bus swap
+    // must be flagged well within that.
+    Harness h;
+    DivotGate gate(h.proto, h.ctrl, h.sdram, h.bus, 156.25e6);
+    const uint64_t attack_cycle = gate.roundCycles() + 1;
+    gate.scheduleEvent({attack_cycle, Harness::fabBus(55), "swap"});
+    uint64_t cycle = 0;
+    const uint64_t horizon = 40 * gate.roundCycles();
+    while (cycle < horizon && gate.detections().empty()) {
+        gate.tick(cycle);
+        ++cycle;
+    }
+    ASSERT_FALSE(gate.detections().empty());
+    EXPECT_LE(gate.detections().front().latencyCycles,
+              17 * gate.roundCycles());
+}
+
+TEST(DivotGate, RepairRestoresTrust)
+{
+    Harness h;
+    AuthConfig quick;
+    quick.averageWindow = 4;
+    TwoWayAuthProtocol proto(quick, ItdrConfig{}, Rng(13), "r");
+    proto.calibrate(h.bus, 8);
+    DivotGate gate(proto, h.ctrl, h.sdram, h.bus, 156.25e6);
+
+    MagneticProbe probe(0.5);
+    gate.scheduleEvent({gate.roundCycles() + 1, probe.apply(h.bus),
+                        "probe on"});
+    gate.scheduleEvent({10 * gate.roundCycles(), h.bus, "probe off"});
+
+    uint64_t cycle = 0;
+    bool saw_untrusted = false;
+    for (; cycle < 40 * gate.roundCycles(); ++cycle) {
+        gate.tick(cycle);
+        if (!h.ctrl.busTrusted())
+            saw_untrusted = true;
+    }
+    EXPECT_TRUE(saw_untrusted);
+    EXPECT_TRUE(h.ctrl.busTrusted());  // recovered by the horizon
+}
+
+TEST(DivotGate, EventsAppliedInCycleOrder)
+{
+    Harness h;
+    DivotGate gate(h.proto, h.ctrl, h.sdram, h.bus, 156.25e6);
+    TransmissionLine a = Harness::fabBus(101);
+    a.setName("a");
+    TransmissionLine b = Harness::fabBus(102);
+    b.setName("b");
+    // Schedule out of order.
+    gate.scheduleEvent({500, b, "second"});
+    gate.scheduleEvent({100, a, "first"});
+    gate.tick(200);
+    EXPECT_EQ(gate.currentBus().name(), "a");
+    gate.tick(600);
+    EXPECT_EQ(gate.currentBus().name(), "b");
+}
+
+TEST(DivotGate, BadClockFatal)
+{
+    Harness h;
+    EXPECT_DEATH(
+        DivotGate(h.proto, h.ctrl, h.sdram, h.bus, 0.0), "clock");
+}
+
+} // namespace
+} // namespace divot

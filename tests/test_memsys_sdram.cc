@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the cycle-level SDRAM device: command legality under the
+ * timing constraints, bank state, refresh, the DIVOT gate, and the
+ * data backdoor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsys/sdram.hh"
+
+namespace divot {
+namespace {
+
+Sdram
+makeDevice()
+{
+    return Sdram(SdramTiming{}, SdramGeometry{});
+}
+
+TEST(Sdram, ActivateOpensRowAfterTrcd)
+{
+    auto dev = makeDevice();
+    const DramAddress a{0, 5, 0};
+    EXPECT_TRUE(dev.canIssue(DramCommand::Activate, a, 0));
+    EXPECT_FALSE(dev.canIssue(DramCommand::Read, a, 0));
+    const uint64_t ready = dev.issue(DramCommand::Activate, a, 0);
+    EXPECT_EQ(ready, SdramTiming{}.tRCD);
+    EXPECT_EQ(dev.openRow(0), 5);
+    // Read illegal until tRCD elapses.
+    EXPECT_FALSE(dev.canIssue(DramCommand::Read, a, ready - 1));
+    EXPECT_TRUE(dev.canIssue(DramCommand::Read, a, ready));
+}
+
+TEST(Sdram, ReadCompletesAfterClPlusBurst)
+{
+    auto dev = makeDevice();
+    const DramAddress a{1, 3, 7};
+    dev.issue(DramCommand::Activate, a, 0);
+    const SdramTiming t{};
+    const uint64_t done = dev.issue(DramCommand::Read, a, t.tRCD);
+    EXPECT_EQ(done, t.tRCD + t.tCL + t.burstCycles);
+}
+
+TEST(Sdram, WrongRowRequiresPrecharge)
+{
+    auto dev = makeDevice();
+    const DramAddress a{0, 5, 0};
+    const DramAddress b{0, 6, 0};
+    dev.issue(DramCommand::Activate, a, 0);
+    const SdramTiming t{};
+    EXPECT_FALSE(dev.canIssue(DramCommand::Read, b, t.tRCD));
+    EXPECT_FALSE(dev.canIssue(DramCommand::Activate, b, t.tRCD));
+    // Precharge must respect tRAS from activation.
+    EXPECT_FALSE(dev.canIssue(DramCommand::Precharge, a, t.tRCD));
+    EXPECT_TRUE(dev.canIssue(DramCommand::Precharge, a, t.tRAS));
+    const uint64_t ready = dev.issue(DramCommand::Precharge, a, t.tRAS);
+    EXPECT_EQ(dev.openRow(0), -1);
+    EXPECT_TRUE(dev.canIssue(DramCommand::Activate, b, ready));
+    EXPECT_FALSE(dev.canIssue(DramCommand::Activate, b, ready - 1));
+}
+
+TEST(Sdram, BanksAreIndependent)
+{
+    auto dev = makeDevice();
+    dev.issue(DramCommand::Activate, {0, 1, 0}, 0);
+    // A different bank can activate immediately.
+    EXPECT_TRUE(dev.canIssue(DramCommand::Activate, {1, 9, 0}, 1));
+    dev.issue(DramCommand::Activate, {1, 9, 0}, 1);
+    EXPECT_EQ(dev.openRow(0), 1);
+    EXPECT_EQ(dev.openRow(1), 9);
+}
+
+TEST(Sdram, RefreshNeedsAllBanksClosedAndBlocksAfter)
+{
+    auto dev = makeDevice();
+    const SdramTiming t{};
+    dev.issue(DramCommand::Activate, {0, 1, 0}, 0);
+    EXPECT_FALSE(dev.canIssue(DramCommand::Refresh, {0, 0, 0}, 5));
+    dev.issue(DramCommand::Precharge, {0, 1, 0}, t.tRAS);
+    const uint64_t closed = t.tRAS + t.tRP;
+    EXPECT_TRUE(dev.canIssue(DramCommand::Refresh, {0, 0, 0}, closed));
+    const uint64_t ready = dev.issue(DramCommand::Refresh, {0, 0, 0},
+                                     closed);
+    EXPECT_EQ(ready, closed + t.tRFC);
+    EXPECT_FALSE(dev.canIssue(DramCommand::Activate, {2, 0, 0},
+                              ready - 1));
+    EXPECT_TRUE(dev.canIssue(DramCommand::Activate, {2, 0, 0}, ready));
+}
+
+TEST(Sdram, DivotGateBlocksDataNotActivation)
+{
+    auto dev = makeDevice();
+    const DramAddress a{0, 2, 0};
+    dev.issue(DramCommand::Activate, a, 0);
+    const SdramTiming t{};
+    dev.setAccessBlocked(true);
+    EXPECT_TRUE(dev.accessBlocked());
+    // Section III: the *column access* is gated; row activation logic
+    // still operates.
+    EXPECT_FALSE(dev.canIssue(DramCommand::Read, a, t.tRCD));
+    EXPECT_FALSE(dev.canIssue(DramCommand::Write, a, t.tRCD));
+    EXPECT_TRUE(dev.canIssue(DramCommand::Activate, {1, 0, 0}, t.tRCD));
+    dev.setAccessBlocked(false);
+    EXPECT_TRUE(dev.canIssue(DramCommand::Read, a, t.tRCD));
+}
+
+TEST(Sdram, GateRejectionCounter)
+{
+    auto dev = makeDevice();
+    EXPECT_EQ(dev.gateRejections(), 0u);
+    dev.noteGateRejection();
+    dev.noteGateRejection();
+    EXPECT_EQ(dev.gateRejections(), 2u);
+}
+
+TEST(Sdram, PokePeekBackdoor)
+{
+    auto dev = makeDevice();
+    EXPECT_EQ(dev.peek(0x1234), 0u);
+    dev.poke(0x1234, 0xdeadbeefULL);
+    EXPECT_EQ(dev.peek(0x1234), 0xdeadbeefULL);
+}
+
+TEST(Sdram, IssueWithoutLegalityPanics)
+{
+    auto dev = makeDevice();
+    const DramAddress a{0, 2, 0};
+    EXPECT_DEATH(dev.issue(DramCommand::Read, a, 0), "canIssue");
+}
+
+TEST(Sdram, BankBoundsPanics)
+{
+    auto dev = makeDevice();
+    const DramAddress bad{64, 0, 0};
+    EXPECT_DEATH(dev.canIssue(DramCommand::Read, bad, 0),
+                 "out of range");
+    EXPECT_DEATH(dev.openRow(64), "out of range");
+}
+
+TEST(Sdram, DegenerateGeometryFatal)
+{
+    SdramGeometry bad;
+    bad.banks = 0;
+    EXPECT_DEATH(Sdram(SdramTiming{}, bad), "geometry");
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsys/workload.hh"
+
+namespace divot {
+namespace {
+
+TEST(Workload, RateMatchesConfiguration)
+{
+    WorkloadGenerator gen(WorkloadKind::Random, 1 << 20, 50.0, 0.3,
+                          Rng(1));
+    MemRequest req;
+    uint64_t count = 0;
+    const uint64_t cycles = 200000;
+    for (uint64_t c = 0; c < cycles; ++c) {
+        if (gen.maybeGenerate(c, req))
+            ++count;
+    }
+    const double rate = 1000.0 * static_cast<double>(count) /
+        static_cast<double>(cycles);
+    EXPECT_NEAR(rate, 50.0, 2.0);
+    EXPECT_EQ(gen.generated(), count);
+}
+
+TEST(Workload, AddressesWithinFootprint)
+{
+    const uint64_t footprint = 4096;
+    for (WorkloadKind kind : {WorkloadKind::Sequential,
+                              WorkloadKind::Random,
+                              WorkloadKind::HotCold}) {
+        WorkloadGenerator gen(kind, footprint, 200.0, 0.5, Rng(2));
+        MemRequest req;
+        for (uint64_t c = 0; c < 50000; ++c) {
+            if (gen.maybeGenerate(c, req))
+                ASSERT_LT(req.address, footprint);
+        }
+    }
+}
+
+TEST(Workload, WriteFractionHonored)
+{
+    WorkloadGenerator gen(WorkloadKind::Random, 1 << 16, 300.0, 0.25,
+                          Rng(3));
+    MemRequest req;
+    uint64_t writes = 0, total = 0;
+    for (uint64_t c = 0; c < 200000; ++c) {
+        if (gen.maybeGenerate(c, req)) {
+            ++total;
+            writes += req.isWrite;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(writes) /
+                    static_cast<double>(total), 0.25, 0.02);
+}
+
+TEST(Workload, SequentialIsSequential)
+{
+    WorkloadGenerator gen(WorkloadKind::Sequential, 1 << 20, 1000.0,
+                          0.0, Rng(4));
+    MemRequest req;
+    uint64_t prev = 0;
+    bool first = true;
+    for (uint64_t c = 0; c < 5000; ++c) {
+        if (gen.maybeGenerate(c, req)) {
+            if (!first)
+                EXPECT_EQ(req.address, prev + 1);
+            prev = req.address;
+            first = false;
+        }
+    }
+}
+
+TEST(Workload, HotColdConcentratesAccesses)
+{
+    const uint64_t footprint = 100000;
+    WorkloadGenerator gen(WorkloadKind::HotCold, footprint, 500.0, 0.0,
+                          Rng(5));
+    MemRequest req;
+    uint64_t hot = 0, total = 0;
+    for (uint64_t c = 0; c < 200000; ++c) {
+        if (gen.maybeGenerate(c, req)) {
+            ++total;
+            hot += req.address < footprint / 10;
+        }
+    }
+    EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total),
+              0.8);
+}
+
+TEST(Workload, IdsUniqueAndMonotone)
+{
+    WorkloadGenerator gen(WorkloadKind::Random, 1024, 500.0, 0.5,
+                          Rng(6));
+    MemRequest req;
+    uint64_t prev = 0;
+    for (uint64_t c = 0; c < 20000; ++c) {
+        if (gen.maybeGenerate(c, req)) {
+            EXPECT_GT(req.id, prev);
+            prev = req.id;
+            EXPECT_EQ(req.arrivalCycle, c);
+        }
+    }
+}
+
+TEST(Workload, Validation)
+{
+    EXPECT_DEATH(WorkloadGenerator(WorkloadKind::Random, 0, 50.0, 0.3,
+                                   Rng(7)),
+                 "footprint");
+    EXPECT_DEATH(WorkloadGenerator(WorkloadKind::Random, 10, 0.0, 0.3,
+                                   Rng(8)),
+                 "rate");
+    EXPECT_DEATH(WorkloadGenerator(WorkloadKind::Random, 10, 5.0, 1.5,
+                                   Rng(9)),
+                 "fraction");
+}
+
+} // namespace
+} // namespace divot

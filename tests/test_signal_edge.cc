@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the probe-edge model: timing, monotonicity, deviation
+ * convention, and derivative consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "signal/edge.hh"
+
+namespace divot {
+namespace {
+
+TEST(EdgeShape, RisingEndpoints)
+{
+    EdgeShape e(1.0, 50e-12);
+    EXPECT_DOUBLE_EQ(e.valueAt(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(e.valueAt(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(e.valueAt(0.0), 0.5);
+}
+
+TEST(EdgeShape, FallingMirrorsRising)
+{
+    EdgeShape r(0.8, 50e-12, EdgeKind::Rising);
+    EdgeShape f(0.8, 50e-12, EdgeKind::Falling);
+    for (double t = -1e-10; t <= 1e-10; t += 1e-11)
+        EXPECT_NEAR(r.valueAt(t) + f.valueAt(t), 0.8, 1e-12);
+}
+
+TEST(EdgeShape, MonotoneRising)
+{
+    EdgeShape e(1.0, 40e-12);
+    double prev = -1.0;
+    for (double t = -1e-10; t <= 1e-10; t += 1e-12) {
+        const double v = e.valueAt(t);
+        EXPECT_GE(v, prev - 1e-15);
+        prev = v;
+    }
+}
+
+TEST(EdgeShape, TenNinetyRiseTimeMatchesSpec)
+{
+    const double rise = 50e-12;
+    EdgeShape e(1.0, rise);
+    // Find 10 % and 90 % crossings by scanning.
+    double t10 = 0.0, t90 = 0.0;
+    for (double t = -e.duration(); t <= e.duration(); t += 1e-14) {
+        if (t10 == 0.0 && e.valueAt(t) >= 0.1)
+            t10 = t;
+        if (t90 == 0.0 && e.valueAt(t) >= 0.9)
+            t90 = t;
+    }
+    EXPECT_NEAR(t90 - t10, rise, rise * 0.01);
+}
+
+TEST(EdgeShape, DeviationZeroBeforeEdgeBothKinds)
+{
+    EdgeShape r(1.0, 50e-12, EdgeKind::Rising);
+    EdgeShape f(1.0, 50e-12, EdgeKind::Falling);
+    EXPECT_DOUBLE_EQ(r.deviationAt(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(f.deviationAt(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(r.deviationAt(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(f.deviationAt(1.0), -1.0);
+}
+
+TEST(EdgeShape, SlopeIntegratesToAmplitude)
+{
+    EdgeShape e(0.8, 30e-12);
+    const double dt = 1e-14;
+    double integral = 0.0;
+    for (double t = -e.duration(); t <= e.duration(); t += dt)
+        integral += e.slopeAt(t) * dt;
+    EXPECT_NEAR(integral, 0.8, 0.8 * 1e-3);
+}
+
+TEST(EdgeShape, SlopeZeroOutsideRamp)
+{
+    EdgeShape e(1.0, 30e-12);
+    EXPECT_DOUBLE_EQ(e.slopeAt(-e.duration()), 0.0);
+    EXPECT_DOUBLE_EQ(e.slopeAt(e.duration()), 0.0);
+    EXPECT_GT(e.slopeAt(0.0), 0.0);
+}
+
+TEST(EdgeShape, FallingSlopeNegative)
+{
+    EdgeShape f(1.0, 30e-12, EdgeKind::Falling);
+    EXPECT_LT(f.slopeAt(0.0), 0.0);
+}
+
+TEST(EdgeShape, SampledCoversPrePostPadding)
+{
+    EdgeShape e(1.0, 50e-12);
+    const Waveform w = e.sampled(1e-12);
+    EXPECT_LT(w.startTime(), -e.duration() * 0.99);
+    EXPECT_GT(w.endTime(), e.duration() * 1.9);
+    EXPECT_DOUBLE_EQ(w[0], 0.0);
+}
+
+TEST(EdgeShape, RejectsNonPositiveRiseTime)
+{
+    EXPECT_DEATH(EdgeShape(1.0, 0.0), "rise_time");
+    EXPECT_DEATH(EdgeShape(1.0, -1e-12), "rise_time");
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for DSP helpers: convolution, moving average, RC low-pass,
+ * differentiation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "signal/filter.hh"
+
+namespace divot {
+namespace {
+
+TEST(Convolve, ImpulseIsIdentity)
+{
+    const double dt = 1e-9;
+    Waveform x(dt, {1.0, 2.0, 3.0});
+    // Discretized Dirac: area 1 => height 1/dt.
+    Waveform delta(dt, {1.0 / dt});
+    const Waveform y = convolve(x, delta);
+    ASSERT_EQ(y.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(Convolve, OutputLengthAndCommutativity)
+{
+    const double dt = 1.0;
+    Waveform a(dt, {1.0, 1.0});
+    Waveform b(dt, {1.0, 2.0, 3.0});
+    const Waveform ab = convolve(a, b);
+    const Waveform ba = convolve(b, a);
+    ASSERT_EQ(ab.size(), 4u);
+    ASSERT_EQ(ba.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(ab[i], ba[i], 1e-12);
+}
+
+TEST(Convolve, MismatchedRatesPanic)
+{
+    Waveform a(1.0, {1.0});
+    Waveform b(2.0, {1.0});
+    EXPECT_DEATH(convolve(a, b), "dt mismatch");
+}
+
+TEST(MovingAverage, ConstantIsFixedPoint)
+{
+    Waveform x(1.0, std::vector<double>(20, 7.0));
+    const Waveform y = movingAverage(x, 5);
+    for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_NEAR(y[i], 7.0, 1e-12);
+}
+
+TEST(MovingAverage, SmoothsImpulse)
+{
+    std::vector<double> s(11, 0.0);
+    s[5] = 1.0;
+    Waveform x(1.0, std::move(s));
+    const Waveform y = movingAverage(x, 3);
+    EXPECT_NEAR(y[4], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(y[5], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(y[6], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(y[3], 0.0, 1e-12);
+}
+
+TEST(MovingAverage, EvenWindowRejected)
+{
+    Waveform x(1.0, {1.0, 2.0, 3.0});
+    EXPECT_DEATH(movingAverage(x, 2), "odd");
+    EXPECT_DEATH(movingAverage(x, 0), "odd");
+}
+
+TEST(RcLowpass, DcGainIsUnity)
+{
+    Waveform x(1e-9, std::vector<double>(2000, 1.0));
+    const Waveform y = rcLowpass(x, 20e-9);
+    EXPECT_NEAR(y[y.size() - 1], 1.0, 1e-6);
+}
+
+TEST(RcLowpass, StepReachesTauFractionAtTau)
+{
+    // Step from 0: settle to 1 - 1/e after one time constant.
+    std::vector<double> s(5000, 1.0);
+    s[0] = 0.0;
+    Waveform x(1e-10, std::move(s));
+    const double tau = 50e-10;
+    const Waveform y = rcLowpass(x, tau);
+    const std::size_t i_tau = static_cast<std::size_t>(tau / 1e-10);
+    EXPECT_NEAR(y[i_tau], 1.0 - std::exp(-1.0), 0.02);
+}
+
+TEST(RcLowpass, BadTauRejected)
+{
+    Waveform x(1.0, {1.0});
+    EXPECT_DEATH(rcLowpass(x, 0.0), "tau");
+}
+
+TEST(Differentiate, RampGivesConstantSlope)
+{
+    std::vector<double> s(10);
+    for (std::size_t i = 0; i < 10; ++i)
+        s[i] = 3.0 * static_cast<double>(i);
+    Waveform x(2.0, std::move(s));
+    const Waveform d = differentiate(x);
+    ASSERT_EQ(d.size(), 9u);
+    for (std::size_t i = 0; i < d.size(); ++i)
+        EXPECT_NEAR(d[i], 1.5, 1e-12);
+}
+
+TEST(Differentiate, ShortInputGivesEmpty)
+{
+    Waveform x(1.0, {5.0});
+    EXPECT_TRUE(differentiate(x).empty());
+}
+
+} // namespace
+} // namespace divot

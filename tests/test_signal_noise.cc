@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for noise sources: Gaussian statistics, sinusoidal EMI,
+ * composite RMS combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "signal/noise.hh"
+#include "util/stats.hh"
+
+namespace divot {
+namespace {
+
+TEST(GaussianNoise, MomentsMatchSigma)
+{
+    GaussianNoise n(2e-3, Rng(1));
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(n.sampleAt(0.0));
+    EXPECT_NEAR(s.mean(), 0.0, 1e-4);
+    EXPECT_NEAR(s.stddev(), 2e-3, 5e-5);
+    EXPECT_DOUBLE_EQ(n.rmsAmplitude(), 2e-3);
+}
+
+TEST(GaussianNoise, ZeroSigmaIsSilent)
+{
+    GaussianNoise n(0.0, Rng(2));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(n.sampleAt(static_cast<double>(i)), 0.0);
+}
+
+TEST(GaussianNoise, NegativeSigmaRejected)
+{
+    EXPECT_DEATH(GaussianNoise(-1.0, Rng(3)), "sigma");
+}
+
+TEST(SinusoidalInterference, DeterministicWaveform)
+{
+    SinusoidalInterference emi(1e-3, 1e6, 0.0);
+    EXPECT_NEAR(emi.sampleAt(0.0), 0.0, 1e-15);
+    EXPECT_NEAR(emi.sampleAt(0.25e-6), 1e-3, 1e-12);
+    EXPECT_NEAR(emi.sampleAt(0.5e-6), 0.0, 1e-12);
+}
+
+TEST(SinusoidalInterference, RmsIsAmplitudeOverSqrt2)
+{
+    SinusoidalInterference emi(2e-3, 3e6);
+    EXPECT_NEAR(emi.rmsAmplitude(), 2e-3 / std::sqrt(2.0), 1e-12);
+    // Empirical check over many periods.
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(emi.sampleAt(i * 1.7e-9));
+    EXPECT_NEAR(std::sqrt(s.variance() + s.mean() * s.mean()),
+                emi.rmsAmplitude(), 5e-5);
+}
+
+TEST(CompositeNoise, SumsComponents)
+{
+    CompositeNoise comp;
+    comp.add(std::make_unique<SinusoidalInterference>(1e-3, 1e6, M_PI_2));
+    comp.add(std::make_unique<SinusoidalInterference>(1e-3, 1e6, M_PI_2));
+    EXPECT_NEAR(comp.sampleAt(0.0), 2e-3, 1e-12);
+    EXPECT_EQ(comp.components(), 2u);
+}
+
+TEST(CompositeNoise, RmsCombinesInQuadrature)
+{
+    CompositeNoise comp;
+    comp.add(std::make_unique<GaussianNoise>(3e-3, Rng(5)));
+    comp.add(std::make_unique<GaussianNoise>(4e-3, Rng(6)));
+    EXPECT_NEAR(comp.rmsAmplitude(), 5e-3, 1e-12);
+}
+
+TEST(CompositeNoise, EmptyIsSilent)
+{
+    CompositeNoise comp;
+    EXPECT_DOUBLE_EQ(comp.sampleAt(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(comp.rmsAmplitude(), 0.0);
+}
+
+} // namespace
+} // namespace divot

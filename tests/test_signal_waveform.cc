@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the Waveform container and its arithmetic/geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "signal/waveform.hh"
+
+namespace divot {
+namespace {
+
+Waveform
+ramp(std::size_t n, double dt = 1e-9, double t0 = 0.0)
+{
+    std::vector<double> s(n);
+    for (std::size_t i = 0; i < n; ++i)
+        s[i] = static_cast<double>(i);
+    return Waveform(dt, std::move(s), t0);
+}
+
+TEST(Waveform, TimesAndSizes)
+{
+    const Waveform w = ramp(5, 2e-9, 1e-9);
+    EXPECT_EQ(w.size(), 5u);
+    EXPECT_DOUBLE_EQ(w.timeAt(0), 1e-9);
+    EXPECT_DOUBLE_EQ(w.timeAt(4), 9e-9);
+    EXPECT_DOUBLE_EQ(w.endTime(), 11e-9);
+}
+
+TEST(Waveform, ValueAtInterpolatesLinearly)
+{
+    const Waveform w = ramp(4);
+    EXPECT_DOUBLE_EQ(w.valueAt(0.5e-9), 0.5);
+    EXPECT_DOUBLE_EQ(w.valueAt(2.25e-9), 2.25);
+}
+
+TEST(Waveform, ValueAtClampsOutside)
+{
+    const Waveform w = ramp(4);
+    EXPECT_DOUBLE_EQ(w.valueAt(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.valueAt(1.0), 3.0);
+}
+
+TEST(Waveform, ArithmeticSampleWise)
+{
+    Waveform a = ramp(3), b = ramp(3);
+    const Waveform sum = a + b;
+    EXPECT_DOUBLE_EQ(sum[2], 4.0);
+    const Waveform diff = a - b;
+    EXPECT_DOUBLE_EQ(diff.peakAbs(), 0.0);
+    const Waveform scaled = a * 3.0;
+    EXPECT_DOUBLE_EQ(scaled[1], 3.0);
+}
+
+TEST(Waveform, SizeMismatchPanics)
+{
+    Waveform a = ramp(3), b = ramp(4);
+    EXPECT_DEATH(a += b, "size mismatch");
+}
+
+TEST(Waveform, EnergyAndRms)
+{
+    Waveform w(1.0, {3.0, 4.0});
+    EXPECT_DOUBLE_EQ(w.energy(), 25.0);
+    EXPECT_DOUBLE_EQ(w.rms(), std::sqrt(12.5));
+}
+
+TEST(Waveform, PeakDetection)
+{
+    Waveform w(1.0, {0.1, -5.0, 2.0});
+    EXPECT_DOUBLE_EQ(w.peakAbs(), 5.0);
+    EXPECT_EQ(w.peakIndex(), 1u);
+}
+
+TEST(Waveform, RemoveMeanZeroesAverage)
+{
+    Waveform w = ramp(10);
+    w.removeMean();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        sum += w[i];
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(Waveform, NormalizeUnitNorm)
+{
+    Waveform w(1.0, {3.0, 4.0});
+    w.normalizeUnitNorm();
+    EXPECT_NEAR(w[0] * w[0] + w[1] * w[1], 1.0, 1e-12);
+    Waveform z(1.0, {0.0, 0.0});
+    z.normalizeUnitNorm();  // must not divide by zero
+    EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+TEST(Waveform, SliceRespectsWindow)
+{
+    const Waveform w = ramp(10, 1e-9);
+    const Waveform s = w.slice(2e-9, 5e-9);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s[0], 2.0);
+    EXPECT_DOUBLE_EQ(s.startTime(), 2e-9);
+}
+
+TEST(Waveform, SliceDegenerate)
+{
+    const Waveform w = ramp(10, 1e-9);
+    EXPECT_TRUE(w.slice(5e-9, 5e-9).empty());
+    EXPECT_TRUE(w.slice(100e-9, 200e-9).empty());
+}
+
+TEST(Waveform, ResampleRoundtripOnLinearSignal)
+{
+    const Waveform w = ramp(11, 1e-9);
+    const Waveform r = w.resampled(0.5e-9);
+    // Linear signals are reproduced exactly by linear interpolation.
+    for (std::size_t i = 0; i < r.size(); ++i)
+        EXPECT_NEAR(r[i], r.timeAt(i) / 1e-9, 1e-9);
+}
+
+TEST(Waveform, NormalizedInnerProductProperties)
+{
+    Waveform a(1.0, {1.0, 2.0, -1.0, 0.5});
+    Waveform b = a;
+    EXPECT_NEAR(normalizedInnerProduct(a, b), 1.0, 1e-12);
+    Waveform neg = a * -1.0;
+    EXPECT_NEAR(normalizedInnerProduct(a, neg), -1.0, 1e-12);
+    Waveform orth(1.0, {2.0, -1.0, 0.0, 0.0});
+    // Construct an orthogonal vector explicitly.
+    Waveform c(1.0, {1.0, 0.0, 0.0, 0.0});
+    Waveform d(1.0, {0.0, 1.0, 0.0, 0.0});
+    EXPECT_NEAR(normalizedInnerProduct(c, d), 0.0, 1e-12);
+    (void)orth;
+}
+
+TEST(Waveform, SeriesMatchesSamples)
+{
+    const Waveform w = ramp(3, 1e-9, 5e-9);
+    const auto s = w.series();
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s[1].first, 6e-9);
+    EXPECT_DOUBLE_EQ(s[1].second, 1.0);
+}
+
+TEST(Waveform, BadDtRejected)
+{
+    EXPECT_DEATH(Waveform(0.0, {1.0}), "dt must be positive");
+    EXPECT_DEATH(Waveform(-1.0, {1.0}), "dt must be positive");
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for environmental effects: uniform thermal scaling (the
+ * reason IIP survives temperature), vibration strain, swing mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "txline/environment.hh"
+#include "txline/manufacturing.hh"
+
+namespace divot {
+namespace {
+
+TransmissionLine
+variedLine()
+{
+    Rng rng(1);
+    auto delta = correlatedGaussianProfile(200, 0.05, 8.0, rng);
+    std::vector<double> z(200);
+    for (std::size_t i = 0; i < z.size(); ++i)
+        z[i] = 50.0 * (1.0 + delta[i]);
+    return TransmissionLine(z, 0.5e-3, 1.5e8, 50.0, 50.0, 0.0, "v");
+}
+
+TEST(Environment, ReferenceTemperatureIsIdentity)
+{
+    const auto line = variedLine();
+    Environment env(EnvironmentConditions{}, Rng(2));
+    const auto snap = env.snapshot(line, 0.0);
+    for (std::size_t i = 0; i < line.segments(); ++i)
+        EXPECT_DOUBLE_EQ(snap.impedanceAt(i), line.impedanceAt(i));
+    EXPECT_DOUBLE_EQ(snap.velocity(), line.velocity());
+}
+
+TEST(Environment, HeatLowersImpedanceAndVelocity)
+{
+    const auto line = variedLine();
+    EnvironmentConditions hot;
+    hot.temperatureC = 75.0;
+    Environment env(hot, Rng(3));
+    const auto snap = env.snapshot(line, 0.0);
+    EXPECT_LT(snap.impedanceAt(0), line.impedanceAt(0));
+    EXPECT_LT(snap.velocity(), line.velocity());
+}
+
+TEST(Environment, ThermalScalingIsNearlyUniform)
+{
+    // The paper's argument: every point shifts in the same proportion,
+    // so the impedance *contrast* (the IIP) survives. Check that the
+    // ratio snap/original varies across the line far less than the
+    // shift itself.
+    const auto line = variedLine();
+    EnvironmentConditions hot;
+    hot.temperatureC = 75.0;
+    Environment env(hot, Rng(5));
+    const auto snap = env.snapshot(line, 0.0);
+    double ratio_min = 1e9, ratio_max = -1e9;
+    for (std::size_t i = 0; i < line.segments(); ++i) {
+        const double r = snap.impedanceAt(i) / line.impedanceAt(i);
+        ratio_min = std::min(ratio_min, r);
+        ratio_max = std::max(ratio_max, r);
+    }
+    const double shift = 1.0 - 0.5 * (ratio_min + ratio_max);
+    EXPECT_GT(shift, 0.002);  // a real shift happened...
+    EXPECT_LT(ratio_max - ratio_min, 0.3 * shift);  // ...uniformly
+}
+
+TEST(Environment, StrainZeroWithoutVibration)
+{
+    Environment env(EnvironmentConditions{}, Rng(7));
+    for (double t = 0.0; t < 1.0; t += 0.1)
+        EXPECT_DOUBLE_EQ(env.strainAt(t), 0.0);
+}
+
+TEST(Environment, StrainBoundedByAmplitude)
+{
+    EnvironmentConditions shaky;
+    shaky.vibrationStrain = 1e-4;
+    Environment env(shaky, Rng(9));
+    double peak = 0.0;
+    for (double t = 0.0; t < 2.0; t += 1e-3)
+        peak = std::max(peak, std::fabs(env.strainAt(t)));
+    EXPECT_LE(peak, 1e-4 + 1e-12);
+    EXPECT_GT(peak, 0.5e-4);  // the chirp actually swings
+}
+
+TEST(Environment, VibrationChangesVelocityPerSnapshot)
+{
+    EnvironmentConditions shaky;
+    shaky.vibrationStrain = 1e-3;
+    Environment env(shaky, Rng(11));
+    const auto line = variedLine();
+    const auto a = env.snapshot(line, 0.123);
+    const auto b = env.snapshot(line, 0.377);
+    EXPECT_NE(a.velocity(), b.velocity());
+}
+
+TEST(Environment, SwingModeVariesTemperaturePerSnapshot)
+{
+    EnvironmentConditions swing;
+    swing.temperatureC = 23.0;
+    swing.temperatureSwingHiC = 75.0;
+    Environment env(swing, Rng(13));
+    const auto line = variedLine();
+    const auto a = env.snapshot(line, 0.0);
+    const auto b = env.snapshot(line, 0.0);
+    // Two snapshots should land at different temperatures with
+    // overwhelming probability.
+    EXPECT_NE(a.impedanceAt(0), b.impedanceAt(0));
+    // Both must be at or below the reference impedance (hotter).
+    EXPECT_LE(a.impedanceAt(0), line.impedanceAt(0) + 1e-12);
+}
+
+TEST(Environment, InvertedChirpRangeRejected)
+{
+    EnvironmentConditions bad;
+    bad.vibrationFreqLoHz = 50.0;
+    bad.vibrationFreqHiHz = 1.0;
+    EXPECT_DEATH(Environment(bad, Rng(15)), "chirp");
+}
+
+} // namespace
+} // namespace divot

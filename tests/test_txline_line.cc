@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the TransmissionLine container: reflection coefficients,
+ * delays, reversed views, validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "txline/txline.hh"
+
+namespace divot {
+namespace {
+
+TransmissionLine
+makeLine(std::vector<double> z = {50.0, 52.0, 48.0},
+         double zs = 50.0, double zl = 50.0)
+{
+    return TransmissionLine(std::move(z), 1e-3, 1.5e8, zs, zl, 0.0,
+                            "t");
+}
+
+TEST(TransmissionLine, GeometryAndDelays)
+{
+    const auto line = makeLine();
+    EXPECT_EQ(line.segments(), 3u);
+    EXPECT_DOUBLE_EQ(line.length(), 3e-3);
+    EXPECT_DOUBLE_EQ(line.oneWayDelay(), 3e-3 / 1.5e8);
+    EXPECT_DOUBLE_EQ(line.roundTripDelay(), 2.0 * 3e-3 / 1.5e8);
+}
+
+TEST(TransmissionLine, JunctionReflectionFormula)
+{
+    const auto line = makeLine({50.0, 75.0});
+    EXPECT_DOUBLE_EQ(line.junctionReflection(0), 25.0 / 125.0);
+}
+
+TEST(TransmissionLine, LoadAndSourceReflections)
+{
+    const auto line = makeLine({50.0, 50.0}, 40.0, 100.0);
+    EXPECT_DOUBLE_EQ(line.loadReflection(), 50.0 / 150.0);
+    EXPECT_DOUBLE_EQ(line.sourceReflection(), -10.0 / 90.0);
+}
+
+TEST(TransmissionLine, MatchedEverythingZeroReflection)
+{
+    const auto line = makeLine({50.0, 50.0, 50.0});
+    EXPECT_DOUBLE_EQ(line.junctionReflection(0), 0.0);
+    EXPECT_DOUBLE_EQ(line.loadReflection(), 0.0);
+    EXPECT_DOUBLE_EQ(line.sourceReflection(), 0.0);
+}
+
+TEST(TransmissionLine, DistanceTimeConversionRoundtrip)
+{
+    const auto line = makeLine();
+    const double d = 1.7e-3;
+    EXPECT_NEAR(line.distanceAtRoundTripTime(line.roundTripTimeAt(d)),
+                d, 1e-15);
+}
+
+TEST(TransmissionLine, SegmentAttenuationFromLoss)
+{
+    TransmissionLine lossy({50.0, 50.0}, 1e-3, 1.5e8, 50.0, 50.0, 2.0);
+    EXPECT_NEAR(lossy.segmentAttenuation(), std::exp(-2.0 * 1e-3),
+                1e-12);
+    const auto lossless = makeLine();
+    EXPECT_DOUBLE_EQ(lossless.segmentAttenuation(), 1.0);
+}
+
+TEST(TransmissionLine, ReversedViewSwapsEnds)
+{
+    const auto line = makeLine({10.0, 20.0, 30.0}, 45.0, 55.0);
+    const auto rev = reversedView(line);
+    EXPECT_DOUBLE_EQ(rev.impedanceAt(0), 30.0);
+    EXPECT_DOUBLE_EQ(rev.impedanceAt(2), 10.0);
+    EXPECT_DOUBLE_EQ(rev.sourceImpedance(), 55.0);
+    EXPECT_DOUBLE_EQ(rev.loadImpedance(), 45.0);
+    EXPECT_DOUBLE_EQ(rev.length(), line.length());
+}
+
+TEST(TransmissionLine, ReversedViewIsInvolution)
+{
+    const auto line = makeLine({10.0, 20.0, 30.0}, 45.0, 55.0);
+    const auto twice = reversedView(reversedView(line));
+    for (std::size_t i = 0; i < line.segments(); ++i)
+        EXPECT_DOUBLE_EQ(twice.impedanceAt(i), line.impedanceAt(i));
+    EXPECT_DOUBLE_EQ(twice.sourceImpedance(), line.sourceImpedance());
+}
+
+TEST(TransmissionLine, SetLoadValidates)
+{
+    auto line = makeLine();
+    line.setLoadImpedance(75.0);
+    EXPECT_DOUBLE_EQ(line.loadImpedance(), 75.0);
+    EXPECT_DEATH(line.setLoadImpedance(0.0), "positive");
+}
+
+TEST(TransmissionLine, ConstructionValidation)
+{
+    EXPECT_DEATH(makeLine({}), "at least one segment");
+    EXPECT_DEATH(makeLine({50.0, -1.0}), "positive");
+    EXPECT_DEATH(TransmissionLine({50.0}, 0.0, 1.5e8, 50, 50),
+                 "geometry");
+    EXPECT_DEATH(TransmissionLine({50.0}, 1e-3, 1.5e8, 0.0, 50),
+                 "impedances must be positive");
+}
+
+TEST(TransmissionLine, JunctionIndexBoundsPanic)
+{
+    const auto line = makeLine();
+    EXPECT_DEATH(line.junctionReflection(2), "out of range");
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for tamper transforms: each attack perturbs exactly the
+ * region its physics says it should, with the right polarity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "txline/tamper.hh"
+
+namespace divot {
+namespace {
+
+TransmissionLine
+plainLine(std::size_t n = 200)
+{
+    return TransmissionLine(std::vector<double>(n, 50.0), 0.5e-3,
+                            1.5e8, 50.0, 50.0, 0.0, "p");
+}
+
+TEST(LoadModification, ChangesOnlyTermination)
+{
+    const auto line = plainLine();
+    LoadModification attack(80.0);
+    const auto hit = attack.apply(line);
+    EXPECT_DOUBLE_EQ(hit.loadImpedance(), 80.0);
+    for (std::size_t i = 0; i < line.segments(); ++i)
+        EXPECT_DOUBLE_EQ(hit.impedanceAt(i), line.impedanceAt(i));
+    EXPECT_DOUBLE_EQ(attack.nominalPosition(), 1.0);
+    EXPECT_NE(hit.name().find("load_mod"), std::string::npos);
+}
+
+TEST(LoadModification, RejectsBadImpedance)
+{
+    EXPECT_DEATH(LoadModification(0.0), "positive");
+}
+
+TEST(WireTap, LowersImpedanceLocally)
+{
+    const auto line = plainLine();
+    WireTap tap(0.5, 50.0);
+    const auto hit = tap.apply(line);
+    const std::size_t mid = line.segments() / 2;
+    // Parallel 50||50 = 25, minus solder damage.
+    EXPECT_LT(hit.impedanceAt(mid), 26.0);
+    // Far from the tap nothing changes.
+    EXPECT_DOUBLE_EQ(hit.impedanceAt(0), 50.0);
+    EXPECT_DOUBLE_EQ(hit.impedanceAt(line.segments() - 1), 50.0);
+}
+
+TEST(WireTap, RemovalLeavesScar)
+{
+    const auto line = plainLine();
+    WireTap tap(0.5, 50.0, 2e-3, 0.05);
+    const auto removed = tap.applyRemoved(line);
+    const std::size_t mid = line.segments() / 2;
+    EXPECT_NEAR(removed.impedanceAt(mid), 50.0 * 0.95, 1e-9);
+    EXPECT_DOUBLE_EQ(removed.impedanceAt(0), 50.0);
+}
+
+TEST(WireTap, ScarSmallerThanTap)
+{
+    const auto line = plainLine();
+    WireTap tap(0.3, 50.0);
+    const std::size_t idx =
+        static_cast<std::size_t>(0.3 * line.segments());
+    const double with_tap = tap.apply(line).impedanceAt(idx);
+    const double with_scar = tap.applyRemoved(line).impedanceAt(idx);
+    EXPECT_LT(with_tap, with_scar);
+}
+
+TEST(WireTap, PositionValidation)
+{
+    EXPECT_DEATH(WireTap(-0.1, 50.0), "position");
+    EXPECT_DEATH(WireTap(1.5, 50.0), "position");
+    EXPECT_DEATH(WireTap(0.5, -1.0), "positive");
+}
+
+TEST(MagneticProbe, RaisesImpedanceLocallySmall)
+{
+    const auto line = plainLine();
+    MagneticProbe probe(0.5, 0.03, 5e-3);
+    const auto hit = probe.apply(line);
+    const std::size_t mid = line.segments() / 2;
+    // Mutual inductance raises Z, but only by ~coupling/2.
+    EXPECT_GT(hit.impedanceAt(mid), 50.0);
+    EXPECT_LT(hit.impedanceAt(mid), 50.0 * 1.02);
+    EXPECT_DOUBLE_EQ(hit.impedanceAt(0), 50.0);
+}
+
+TEST(MagneticProbe, TaperFallsOffAtEdges)
+{
+    const auto line = plainLine(1000);
+    MagneticProbe probe(0.5, 0.03, 10e-3);
+    const auto hit = probe.apply(line);
+    const std::size_t mid = 500;
+    const std::size_t edge = 500 - 9;  // near footprint edge
+    EXPECT_GT(hit.impedanceAt(mid) - 50.0,
+              hit.impedanceAt(edge) - 50.0);
+}
+
+TEST(MagneticProbe, CouplingValidation)
+{
+    EXPECT_DEATH(MagneticProbe(0.5, 0.0), "coupling");
+    EXPECT_DEATH(MagneticProbe(0.5, 1.5), "coupling");
+}
+
+TEST(TrojanChipInsertion, SetsInterposerImpedance)
+{
+    const auto line = plainLine();
+    TrojanChipInsertion trojan(0.25, 65.0, 4e-3);
+    const auto hit = trojan.apply(line);
+    const std::size_t idx =
+        static_cast<std::size_t>(0.25 * line.segments());
+    EXPECT_DOUBLE_EQ(hit.impedanceAt(idx), 65.0);
+    EXPECT_DOUBLE_EQ(hit.impedanceAt(0), 50.0);
+}
+
+TEST(TamperDescriptions, AreInformative)
+{
+    EXPECT_NE(LoadModification(80.0).describe().find("load"),
+              std::string::npos);
+    EXPECT_NE(WireTap(0.5, 50.0).describe().find("tap"),
+              std::string::npos);
+    EXPECT_NE(MagneticProbe(0.5).describe().find("probe"),
+              std::string::npos);
+    EXPECT_NE(TrojanChipInsertion(0.5).describe().find("Trojan"),
+              std::string::npos);
+}
+
+TEST(Tampers, OriginalLineNeverMutated)
+{
+    const auto line = plainLine();
+    WireTap(0.5, 50.0).apply(line);
+    MagneticProbe(0.5).apply(line);
+    LoadModification(80.0).apply(line);
+    for (std::size_t i = 0; i < line.segments(); ++i)
+        EXPECT_DOUBLE_EQ(line.impedanceAt(i), 50.0);
+    EXPECT_DOUBLE_EQ(line.loadImpedance(), 50.0);
+}
+
+/** Probe position sweep: perturbation lands where commanded. */
+class ProbePositionSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ProbePositionSweep, PerturbationAtCommandedPosition)
+{
+    const double pos = GetParam();
+    const auto line = plainLine(1000);
+    MagneticProbe probe(pos, 0.03, 5e-3);
+    const auto hit = probe.apply(line);
+    // Find the perturbed segment with the largest delta.
+    std::size_t best = 0;
+    double best_d = 0.0;
+    for (std::size_t i = 0; i < hit.segments(); ++i) {
+        const double d = std::fabs(hit.impedanceAt(i) - 50.0);
+        if (d > best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    const double found_pos =
+        static_cast<double>(best) / static_cast<double>(hit.segments());
+    EXPECT_NEAR(found_pos, pos, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProbePositionSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit and property tests for util/math: the normal CDF pair used by
+ * APC reconstruction, interpolation helpers, and number theory bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math.hh"
+
+namespace divot {
+namespace {
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413447460685429, 1e-12);
+    EXPECT_NEAR(normalCdf(-1.0), 0.15865525393145705, 1e-12);
+    EXPECT_NEAR(normalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalCdf, Monotone)
+{
+    double prev = -1.0;
+    for (double x = -8.0; x <= 8.0; x += 0.05) {
+        const double p = normalCdf(x);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(NormalCdf, SymmetryAroundZero)
+{
+    for (double x = 0.0; x < 6.0; x += 0.37)
+        EXPECT_NEAR(normalCdf(x) + normalCdf(-x), 1.0, 1e-12);
+}
+
+TEST(NormalPdf, PeakAndSymmetry)
+{
+    EXPECT_NEAR(normalPdf(0.0), 0.3989422804014327, 1e-12);
+    for (double x = 0.1; x < 5.0; x += 0.31)
+        EXPECT_NEAR(normalPdf(x), normalPdf(-x), 1e-15);
+}
+
+/** Roundtrip property: Phi^{-1}(Phi(x)) == x over a wide span. */
+class InvCdfRoundtrip : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(InvCdfRoundtrip, Roundtrip)
+{
+    // Tail tolerance: near |x| ~ 6 the probability sits ~1e-9 from 1,
+    // so double rounding in p-space limits x-space precision to ~1e-7.
+    const double x = GetParam();
+    EXPECT_NEAR(normalInvCdf(normalCdf(x)), x, 1e-9 + 1e-7 * std::fabs(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InvCdfRoundtrip,
+    ::testing::Values(-6.0, -4.0, -2.5, -1.0, -0.25, -1e-5, 0.0, 1e-5,
+                      0.25, 1.0, 2.5, 4.0, 6.0));
+
+TEST(NormalInvCdf, ClampsSaturatedProbabilities)
+{
+    EXPECT_TRUE(std::isfinite(normalInvCdf(0.0)));
+    EXPECT_TRUE(std::isfinite(normalInvCdf(1.0)));
+    EXPECT_LT(normalInvCdf(0.0), -10.0);
+    EXPECT_GT(normalInvCdf(1.0), 6.0);
+}
+
+TEST(Linspace, EndpointsAndSpacing)
+{
+    const auto g = linspace(-1.0, 1.0, 5);
+    ASSERT_EQ(g.size(), 5u);
+    EXPECT_DOUBLE_EQ(g.front(), -1.0);
+    EXPECT_DOUBLE_EQ(g.back(), 1.0);
+    EXPECT_DOUBLE_EQ(g[1] - g[0], 0.5);
+}
+
+TEST(Linspace, DegenerateSizes)
+{
+    EXPECT_TRUE(linspace(0, 1, 0).empty());
+    const auto one = linspace(3.5, 9.0, 1);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_DOUBLE_EQ(one[0], 3.5);
+}
+
+TEST(InterpLinear, InterpolatesAndClamps)
+{
+    const std::vector<double> xs{0.0, 1.0, 2.0};
+    const std::vector<double> ys{0.0, 10.0, 0.0};
+    EXPECT_DOUBLE_EQ(interpLinear(xs, ys, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(interpLinear(xs, ys, 1.5), 5.0);
+    EXPECT_DOUBLE_EQ(interpLinear(xs, ys, -3.0), 0.0);
+    EXPECT_DOUBLE_EQ(interpLinear(xs, ys, 7.0), 0.0);
+}
+
+TEST(Gcd, BasicsAndCoprime)
+{
+    EXPECT_EQ(gcdU64(12, 18), 6u);
+    EXPECT_EQ(gcdU64(7, 13), 1u);
+    EXPECT_EQ(gcdU64(0, 5), 5u);
+    EXPECT_TRUE(coprime(5, 6));
+    EXPECT_TRUE(coprime(11, 12));
+    EXPECT_FALSE(coprime(6, 9));
+}
+
+TEST(InvertMonotone, RecoversInputOfCubic)
+{
+    auto f = [](double x) { return x * x * x; };
+    for (double target : {-8.0, -1.0, 0.0, 0.125, 27.0}) {
+        const double x = invertMonotone(f, target, -4.0, 4.0);
+        EXPECT_NEAR(f(x), target, 1e-9);
+    }
+}
+
+TEST(ClampTo, Bounds)
+{
+    EXPECT_DOUBLE_EQ(clampTo(5.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(clampTo(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clampTo(0.5, 0.0, 1.0), 0.5);
+}
+
+} // namespace
+} // namespace divot

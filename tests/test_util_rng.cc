@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, stream
+ * independence, and distribution moments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace divot {
+namespace {
+
+TEST(Rng, DeterministicBySeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        s.add(u);
+    }
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(13);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.gaussian(5.0, 2.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage)
+{
+    Rng rng(17);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = rng.uniformInt(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate)
+{
+    Rng rng(21);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, ForkedStreamsIndependent)
+{
+    Rng parent(31);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    // Streams should not be identical...
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+    // ...and correlation of uniforms should be negligible.
+    Rng c = parent.fork(3);
+    Rng d = parent.fork(4);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20000; ++i) {
+        xs.push_back(c.uniform());
+        ys.push_back(d.uniform());
+    }
+    EXPECT_LT(std::fabs(pearson(xs, ys)), 0.03);
+}
+
+TEST(Rng, SameTagSuccessiveForksDiffer)
+{
+    Rng parent(33);
+    Rng a = parent.fork(42);
+    Rng b = parent.fork(42);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, GaussianVectorFills)
+{
+    Rng rng(35);
+    std::vector<double> v(1000);
+    rng.gaussianVector(v);
+    RunningStats s;
+    s.addAll(v);
+    EXPECT_NEAR(s.mean(), 0.0, 0.15);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.15);
+}
+
+} // namespace
+} // namespace divot

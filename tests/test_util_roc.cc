@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for ROC / EER analysis — the scoring machinery of Fig. 7(b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+#include "util/roc.hh"
+
+namespace divot {
+namespace {
+
+TEST(Roc, PerfectlySeparatedPopulations)
+{
+    std::vector<double> genuine{0.9, 0.95, 0.99, 0.92};
+    std::vector<double> impostor{0.1, 0.2, 0.05, 0.15};
+    const auto roc = analyzeRoc(genuine, impostor);
+    EXPECT_NEAR(roc.eer, 0.0, 1e-12);
+    EXPECT_NEAR(roc.auc, 1.0, 1e-12);
+    // Any threshold between the populations separates them.
+    EXPECT_GT(roc.eerThreshold, 0.2);
+    EXPECT_LT(roc.eerThreshold, 0.95);
+}
+
+TEST(Roc, IdenticalPopulationsGiveHalfEer)
+{
+    Rng rng(3);
+    std::vector<double> a, b;
+    for (int i = 0; i < 5000; ++i) {
+        a.push_back(rng.uniform());
+        b.push_back(rng.uniform());
+    }
+    const auto roc = analyzeRoc(a, b);
+    EXPECT_NEAR(roc.eer, 0.5, 0.02);
+    EXPECT_NEAR(roc.auc, 0.5, 0.02);
+}
+
+TEST(Roc, KnownOverlapMatchesGaussianTheory)
+{
+    // Two unit-variance Gaussians 2 apart: EER = Phi(-1) ~ 0.1587.
+    Rng rng(7);
+    std::vector<double> genuine, impostor;
+    for (int i = 0; i < 40000; ++i) {
+        genuine.push_back(rng.gaussian(1.0, 1.0));
+        impostor.push_back(rng.gaussian(-1.0, 1.0));
+    }
+    const auto roc = analyzeRoc(genuine, impostor);
+    EXPECT_NEAR(roc.eer, 0.1587, 0.01);
+}
+
+TEST(Roc, CurveMonotoneInBothRates)
+{
+    Rng rng(11);
+    std::vector<double> genuine, impostor;
+    for (int i = 0; i < 2000; ++i) {
+        genuine.push_back(rng.gaussian(0.5, 0.3));
+        impostor.push_back(rng.gaussian(-0.5, 0.3));
+    }
+    const auto roc = analyzeRoc(genuine, impostor);
+    double fpr = -1.0, tpr = -1.0;
+    for (const auto &pt : roc.curve) {
+        EXPECT_GE(pt.falsePositiveRate, fpr);
+        EXPECT_GE(pt.truePositiveRate, tpr);
+        fpr = pt.falsePositiveRate;
+        tpr = pt.truePositiveRate;
+    }
+}
+
+TEST(Roc, ThresholdForFprIsConservative)
+{
+    std::vector<double> genuine{0.8, 0.9, 0.95};
+    std::vector<double> impostor{0.1, 0.3, 0.5, 0.7};
+    const auto roc = analyzeRoc(genuine, impostor);
+    const double th = roc.thresholdForFpr(0.0);
+    // Accepting at th must accept no impostor.
+    for (double s : impostor)
+        EXPECT_LT(s, th);
+}
+
+TEST(Roc, FprAtThresholdConsistent)
+{
+    std::vector<double> genuine{0.8, 0.9};
+    std::vector<double> impostor{0.2, 0.4, 0.6};
+    const auto roc = analyzeRoc(genuine, impostor);
+    // At threshold 0.5, impostors 0.6 are accepted: FPR = 1/3.
+    EXPECT_NEAR(roc.fprAt(0.5), 1.0 / 3.0, 1e-12);
+}
+
+/** EER stays within [0, 0.5] + noise for arbitrary separations. */
+class EerRange : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(EerRange, WithinBounds)
+{
+    const double separation = GetParam();
+    Rng rng(13);
+    std::vector<double> genuine, impostor;
+    for (int i = 0; i < 3000; ++i) {
+        genuine.push_back(rng.gaussian(separation / 2.0, 1.0));
+        impostor.push_back(rng.gaussian(-separation / 2.0, 1.0));
+    }
+    const auto roc = analyzeRoc(genuine, impostor);
+    EXPECT_GE(roc.eer, 0.0);
+    EXPECT_LE(roc.eer, 0.55);
+    EXPECT_GE(roc.auc, 0.45);
+    EXPECT_LE(roc.auc, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EerRange,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0, 8.0));
+
+TEST(Decidability, GrowsWithSeparation)
+{
+    Rng rng(17);
+    auto make = [&](double mu) {
+        std::vector<double> v;
+        for (int i = 0; i < 5000; ++i)
+            v.push_back(rng.gaussian(mu, 1.0));
+        return v;
+    };
+    const auto far_g = make(3.0), far_i = make(-3.0);
+    const auto near_g = make(0.5), near_i = make(-0.5);
+    EXPECT_GT(decidabilityIndex(far_g, far_i),
+              decidabilityIndex(near_g, near_i));
+    EXPECT_NEAR(decidabilityIndex(far_g, far_i), 6.0, 0.3);
+}
+
+TEST(RocDeath, EmptyPopulationPanics)
+{
+    std::vector<double> some{0.5};
+    std::vector<double> empty;
+    EXPECT_DEATH(analyzeRoc(empty, some), "empty population");
+    EXPECT_DEATH(analyzeRoc(some, empty), "empty population");
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for running statistics, histograms, quantiles, correlation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace divot {
+namespace {
+
+TEST(RunningStats, EmptyDefaults)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+    RunningStats s;
+    s.addAll(xs);
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= xs.size();
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= xs.size() - 1;
+    EXPECT_DOUBLE_EQ(s.mean(), mean);
+    EXPECT_DOUBLE_EQ(s.variance(), var);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 16.0);
+    EXPECT_EQ(s.count(), xs.size());
+}
+
+TEST(RunningStats, NumericallyStableWithLargeOffset)
+{
+    RunningStats s;
+    const double offset = 1e12;
+    for (int i = 0; i < 1000; ++i)
+        s.add(offset + (i % 2 ? 1.0 : -1.0));
+    EXPECT_NEAR(s.mean(), offset, 1e-3);
+    EXPECT_NEAR(s.variance(), 1.001, 0.01);
+}
+
+TEST(Histogram, BinningAndDensity)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(4.5);  // all in bin 4
+    EXPECT_EQ(h.binCount(4), 100u);
+    EXPECT_EQ(h.total(), 100u);
+    // All 100 samples in one bin of width 1: density = 1/width = 1.
+    EXPECT_DOUBLE_EQ(h.density(4), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(Histogram, DensityIntegratesToOne)
+{
+    Histogram h(-4.0, 4.0, 64);
+    Rng rng(3);
+    for (int i = 0; i < 50000; ++i)
+        h.add(rng.gaussian());
+    double integral = 0.0;
+    const double width = 8.0 / 64.0;
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        integral += h.density(i) * width;
+    EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, SeriesMatchesBins)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.1);
+    const auto s = h.series();
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_DOUBLE_EQ(s[0].first, h.binCenter(0));
+    EXPECT_DOUBLE_EQ(s[0].second, h.density(0));
+}
+
+TEST(Quantile, MedianAndExtremes)
+{
+    std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(Pearson, PerfectAndAnticorrelated)
+{
+    std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y{2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    std::vector<double> z{10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, UncorrelatedNearZero)
+{
+    Rng rng(5);
+    std::vector<double> x, y;
+    for (int i = 0; i < 20000; ++i) {
+        x.push_back(rng.gaussian());
+        y.push_back(rng.gaussian());
+    }
+    EXPECT_LT(std::fabs(pearson(x, y)), 0.03);
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for table/CSV/series rendering used by the bench binaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace divot {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "2.5"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    // Separator row present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvHasCommasNoPadding)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowCount)
+{
+    Table t;
+    t.setHeader({"x"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumAndSciFormat)
+{
+    EXPECT_EQ(Table::num(1.5, 3), "1.5");
+    EXPECT_EQ(Table::sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Table, MismatchedRowPanics)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(PrintSeries, FormatsPairs)
+{
+    std::ostringstream os;
+    printSeries(os, "curve", {{0.0, 1.0}, {0.5, 2.0}});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("# curve"), std::string::npos);
+    EXPECT_NE(out.find("0.5 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace divot
