@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "analog/comparator.hh"
 #include "fingerprint/fingerprint.hh"
 #include "itdr/apc.hh"
 #include "itdr/itdr.hh"
@@ -16,6 +17,7 @@
 #include "txline/lattice.hh"
 #include "txline/manufacturing.hh"
 #include "util/roc.hh"
+#include "util/thread_pool.hh"
 
 namespace divot {
 namespace {
@@ -68,6 +70,71 @@ BM_ItdrMeasure(benchmark::State &state)
         benchmark::DoNotOptimize(itdr.measure(line));
 }
 BENCHMARK(BM_ItdrMeasure)->Arg(17)->Arg(170);
+
+// The perf-engine matrix: batched strobes on/off crossed with the
+// reflection-trace cache on/off. {0,0} is the pre-optimization
+// baseline; {1,8} is the default configuration.
+void
+BM_ItdrMeasureEngine(benchmark::State &state)
+{
+    const auto line = benchLine();
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = 170;
+    cfg.batchedStrobes = state.range(0) != 0;
+    cfg.traceCacheCapacity = static_cast<std::size_t>(state.range(1));
+    ITdr itdr(cfg, Rng(11));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(itdr.measure(line));
+}
+BENCHMARK(BM_ItdrMeasureEngine)
+    ->ArgNames({"batch", "cache"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 8})
+    ->Args({1, 8});
+
+void
+BM_ComparatorStrobeScalar(benchmark::State &state)
+{
+    Comparator cmp(ComparatorParams{}, Rng(21));
+    std::vector<double> refs(static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < refs.size(); ++i)
+        refs[i] = (static_cast<double>(i % 17) - 8.0) * 1e-3;
+    for (auto _ : state) {
+        unsigned hits = 0;
+        for (double r : refs)
+            hits += cmp.strobe(1e-3, r);
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_ComparatorStrobeScalar)->Arg(170)->Arg(1700);
+
+void
+BM_ComparatorStrobeBatch(benchmark::State &state)
+{
+    Comparator cmp(ComparatorParams{}, Rng(21));
+    std::vector<double> refs(static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < refs.size(); ++i)
+        refs[i] = (static_cast<double>(i % 17) - 8.0) * 1e-3;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cmp.strobeBatch(1e-3, refs.data(), refs.size()));
+}
+BENCHMARK(BM_ComparatorStrobeBatch)->Arg(170)->Arg(1700);
+
+void
+BM_ThreadPoolParallelFor(benchmark::State &state)
+{
+    ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    std::vector<double> out(4096);
+    for (auto _ : state) {
+        pool.parallelFor(out.size(), [&](std::size_t i) {
+            out[i] = static_cast<double>(i) * 1.5;
+        });
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(4);
 
 void
 BM_Similarity(benchmark::State &state)

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * PERF — end-to-end throughput of the genuine/impostor study driver,
+ * the workload behind Fig. 7/8: measurements per second for the
+ * serial path (threads = 1) versus the thread pool, plus the batched
+ * strobe + trace cache single-thread win against the pre-optimization
+ * configuration. Also re-checks the determinism contract: the
+ * parallel run must reproduce the serial scores bit for bit.
+ *
+ * DIVOT_THREADS (or hardware concurrency) sets the parallel worker
+ * count; --full runs the paper-scale Fig. 7 population.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "fingerprint/study.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+namespace divot {
+namespace bench {
+namespace {
+
+struct Timed
+{
+    StudyResult result;
+    double seconds = 0.0;
+    std::size_t measurements = 0;
+};
+
+std::size_t
+measurementCount(const StudyConfig &cfg)
+{
+    const std::size_t lanes = cfg.lines * cfg.wires;
+    return lanes * cfg.enrollReps + lanes * cfg.genuinePerLine +
+        lanes * (cfg.lines - 1) * cfg.impostorPerPair;
+}
+
+Timed
+timedRun(const StudyConfig &cfg, uint64_t seed)
+{
+    Timed out;
+    out.measurements = measurementCount(cfg);
+    GenuineImpostorStudy study(cfg, Rng(seed));
+    const auto t0 = std::chrono::steady_clock::now();
+    out.result = study.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return out;
+}
+
+bool
+bitIdentical(const StudyResult &a, const StudyResult &b)
+{
+    if (a.genuine.size() != b.genuine.size() ||
+        a.impostor.size() != b.impostor.size() ||
+        a.totalBusCycles != b.totalBusCycles)
+        return false;
+    for (std::size_t i = 0; i < a.genuine.size(); ++i)
+        if (a.genuine[i] != b.genuine[i])
+            return false;
+    for (std::size_t i = 0; i < a.impostor.size(); ++i)
+        if (a.impostor[i] != b.impostor[i])
+            return false;
+    return a.roc.eer == b.roc.eer;
+}
+
+int
+benchMain(int argc, char **argv)
+{
+    const Options opt = parseOptions(argc, argv);
+    banner("PERF.study_throughput",
+           "study driver measurements/second: serial vs pool vs "
+           "pre-optimization",
+           opt);
+
+    StudyConfig cfg;
+    if (!opt.full) {
+        // Enough campaign measurements that steady-state throughput —
+        // not one-time instrument setup — dominates the timing.
+        cfg.lines = 3;
+        cfg.enrollReps = 4;
+        cfg.genuinePerLine = 24;
+        cfg.impostorPerPair = 6;
+    }
+
+    // Pre-optimization reference: serial, scalar strobes, no cache.
+    StudyConfig legacy = cfg;
+    legacy.threads = 1;
+    legacy.itdr.batchedStrobes = false;
+    legacy.itdr.traceCacheCapacity = 0;
+
+    StudyConfig serial = cfg;
+    serial.threads = 1;
+
+    StudyConfig parallel = cfg;
+    parallel.threads = 0;  // DIVOT_THREADS / hardware concurrency
+    const unsigned workers = ThreadPool::defaultThreadCount();
+
+    const Timed t_legacy = timedRun(legacy, opt.seed);
+    const Timed t_serial = timedRun(serial, opt.seed);
+    const Timed t_parallel = timedRun(parallel, opt.seed);
+
+    auto rate = [](const Timed &t) {
+        return static_cast<double>(t.measurements) /
+            std::max(t.seconds, 1e-12);
+    };
+
+    Table table("study throughput (" +
+                std::to_string(t_serial.measurements) +
+                " measurements per run)");
+    table.setHeader({"configuration", "threads", "seconds",
+                     "meas/s", "speedup"});
+    table.addRow({"legacy (scalar, no cache)", "1",
+                  Table::num(t_legacy.seconds, 3),
+                  Table::num(rate(t_legacy), 4), "1.00x"});
+    table.addRow({"serial engine (batch+cache)", "1",
+                  Table::num(t_serial.seconds, 3),
+                  Table::num(rate(t_serial), 4),
+                  Table::num(rate(t_serial) / rate(t_legacy), 3) + "x"});
+    table.addRow({"pooled engine", std::to_string(workers),
+                  Table::num(t_parallel.seconds, 3),
+                  Table::num(rate(t_parallel), 4),
+                  Table::num(rate(t_parallel) / rate(t_legacy), 3) +
+                      "x"});
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    const bool identical =
+        bitIdentical(t_serial.result, t_parallel.result);
+    std::printf("\nparallel == serial (bit-identical scores): %s\n",
+                identical ? "yes" : "NO — DETERMINISM VIOLATION");
+    std::printf("serial vs pooled wall speedup: %.2fx on %u workers\n",
+                t_serial.seconds / std::max(t_parallel.seconds, 1e-12),
+                workers);
+    return identical ? 0 : 1;
+}
+
+} // namespace
+} // namespace bench
+} // namespace divot
+
+int
+main(int argc, char **argv)
+{
+    return divot::bench::benchMain(argc, argv);
+}

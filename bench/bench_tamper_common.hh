@@ -9,6 +9,7 @@
 #ifndef DIVOT_BENCH_TAMPER_COMMON_HH
 #define DIVOT_BENCH_TAMPER_COMMON_HH
 
+#include <memory>
 #include <vector>
 
 #include "bench_common.hh"
@@ -18,6 +19,7 @@
 #include "txline/manufacturing.hh"
 #include "txline/tamper.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace divot {
 namespace bench {
@@ -25,6 +27,14 @@ namespace bench {
 /** The fabricated line plus its enrolled fingerprint and instrument. */
 struct TamperRig
 {
+    /**
+     * Fixed worker-lane count for averaged measurement campaigns.
+     * Repetition i always runs on lane i % kWorkerLanes, in increasing
+     * order within a lane, so the result is bit-identical for any
+     * thread count (including 1 — the pool runs lanes inline then).
+     */
+    static constexpr std::size_t kWorkerLanes = 8;
+
     TransmissionLine line;
     ItdrConfig cfg;
     ITdr itdr;
@@ -34,6 +44,12 @@ struct TamperRig
     TamperRig(const Options &opt, double load_impedance = 50.2)
         : line(fabricate(opt, load_impedance)), itdr(cfg, Rng(opt.seed))
     {
+        const Rng master(opt.seed ^ 0x51abULL);
+        workers_.resize(kWorkerLanes);
+        pool_.parallelFor(kWorkerLanes, [&](std::size_t k) {
+            workers_[k] = std::make_unique<ITdr>(
+                cfg, master.forkStable(0x7a00ULL + k));
+        });
         TransmissionLine uniform(
             std::vector<double>(line.segments(), 50.0),
             line.segmentLength(), line.velocity(), 50.0, 50.0,
@@ -53,14 +69,20 @@ struct TamperRig
                                 params.lossNeperPerMeter, "proto25cm");
     }
 
-    /** Averaged fingerprint of a (possibly tampered) line state. */
+    /**
+     * Averaged fingerprint of a (possibly tampered) line state. The
+     * repetitions fan out across the worker lanes; each lane keeps a
+     * persistent ITdr so the APC inverse tables are built once, and
+     * lane streams advance in a fixed order across calls.
+     */
     Fingerprint
     average(const TransmissionLine &l, std::size_t reps)
     {
-        std::vector<IipMeasurement> ms;
-        ms.reserve(reps);
-        for (std::size_t i = 0; i < reps; ++i)
-            ms.push_back(itdr.measure(l));
+        std::vector<IipMeasurement> ms(reps);
+        pool_.parallelFor(kWorkerLanes, [&](std::size_t k) {
+            for (std::size_t i = k; i < reps; i += kWorkerLanes)
+                ms[i] = workers_[k]->measure(l);
+        });
         return Fingerprint::enroll(ms, nominal, l.name());
     }
 
@@ -131,6 +153,10 @@ struct TamperRig
             out.emplace_back(w.timeAt(i) * 1e9, w[i]);
         return out;
     }
+
+  private:
+    ThreadPool pool_;
+    std::vector<std::unique_ptr<ITdr>> workers_;
 };
 
 } // namespace bench

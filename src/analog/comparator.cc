@@ -32,6 +32,33 @@ Comparator::strobe(double v_sig, double v_ref)
     return dv + noise > 0.0;
 }
 
+unsigned
+Comparator::strobeBatch(double v_sig, const double *v_ref, std::size_t n)
+{
+    if (params_.metastableBand > 0.0) {
+        // Metastable strobes consume a different draw (a coin flip),
+        // so the block-drawn fast path would desynchronize the
+        // stream; evaluate strobe-by-strobe instead.
+        unsigned hits = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            hits += strobe(v_sig, v_ref[i]) ? 1u : 0u;
+        return hits;
+    }
+    const double base = v_sig + params_.inputOffset;
+    unsigned hits = 0;
+    if (params_.noiseSigma == 0.0) {
+        for (std::size_t i = 0; i < n; ++i)
+            hits += (base - v_ref[i] > 0.0) ? 1u : 0u;
+        return hits;
+    }
+    noiseScratch_.resize(n);
+    rng_.gaussianVector(noiseScratch_);
+    const double sigma = params_.noiseSigma;
+    for (std::size_t i = 0; i < n; ++i)
+        hits += (base - v_ref[i] + sigma * noiseScratch_[i] > 0.0) ? 1u : 0u;
+    return hits;
+}
+
 double
 Comparator::probabilityHigh(double v_sig, double v_ref) const
 {

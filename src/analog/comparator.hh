@@ -18,6 +18,9 @@
 #ifndef DIVOT_ANALOG_COMPARATOR_HH
 #define DIVOT_ANALOG_COMPARATOR_HH
 
+#include <cstddef>
+#include <vector>
+
 #include "util/rng.hh"
 
 namespace divot {
@@ -53,6 +56,23 @@ class Comparator
     bool strobe(double v_sig, double v_ref);
 
     /**
+     * A batch of strobes of one signal voltage against a reference
+     * sequence — the APC inner loop of a full ETS bin. Noise is drawn
+     * in one block and the comparisons run in a tight pass, consuming
+     * exactly the same random draws as n scalar strobe() calls (so a
+     * batch and a scalar sweep leave the comparator in the same
+     * state). With a nonzero metastable band the batch falls back to
+     * per-strobe evaluation to preserve the draw order.
+     *
+     * @param v_sig voltage on the positive input (common to the batch)
+     * @param v_ref n reference voltages, one per strobe
+     * @param n     number of strobes
+     * @return number of strobes that produced output 1
+     */
+    unsigned strobeBatch(double v_sig, const double *v_ref,
+                         std::size_t n);
+
+    /**
      * Exact analytic probability of output 1 for given inputs — the
      * ground truth the Monte-Carlo strobes converge to; used by
      * reconstruction math and tests.
@@ -68,6 +88,7 @@ class Comparator
   private:
     ComparatorParams params_;
     Rng rng_;
+    std::vector<double> noiseScratch_;  //!< batch noise block
 };
 
 } // namespace divot

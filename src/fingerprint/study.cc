@@ -3,10 +3,24 @@
 #include <cmath>
 #include <memory>
 
+#include "itdr/budget.hh"
 #include "signal/noise.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace divot {
+
+namespace {
+
+// Stable fork tags: every lane derives its streams from the master
+// seed and its indices alone (Rng::forkStable is pure), so execution
+// order — and therefore the thread count — cannot perturb any draw.
+constexpr uint64_t kTagNominalItdr = 0x2badULL;
+constexpr uint64_t kTagLaneItdr = 0x3000ULL;
+constexpr uint64_t kTagLaneCalibEnv = 0x40000ULL;
+constexpr uint64_t kTagLaneCampaignEnv = 0x80000ULL;
+
+} // namespace
 
 GenuineImpostorStudy::GenuineImpostorStudy(StudyConfig config, Rng rng)
     : config_(config), rng_(rng)
@@ -53,15 +67,10 @@ GenuineImpostorStudy::run()
 {
     const std::size_t nl = config_.lines;
     const std::size_t nw = config_.wires;
-
-    // One instrument per wire interface, as in hardware. Each fork
-    // gets an independent noise stream.
-    std::vector<std::unique_ptr<ITdr>> itdrs;
-    itdrs.reserve(nl * nw);
-    for (std::size_t i = 0; i < nl * nw; ++i) {
-        itdrs.push_back(std::make_unique<ITdr>(
-            config_.itdr, rng_.fork(0x3000 + i)));
-    }
+    const std::size_t reps_e = config_.enrollReps;
+    const std::size_t reps_g = config_.genuinePerLine;
+    const std::size_t reps_i = config_.impostorPerPair;
+    const std::size_t lane_count = nl * nw;
 
     // Nominal design response: a perfectly uniform line of the same
     // geometry, on the same bin grid.
@@ -74,84 +83,162 @@ GenuineImpostorStudy::run()
         config_.process.nominalImpedance,
         config_.process.nominalImpedance,
         config_.process.lossNeperPerMeter, "nominal");
-    nominal_ = itdrs.front()->idealIip(nominal_line);
-
-    Environment env(config_.environment, rng_.fork(0x2003));
-    std::unique_ptr<NoiseSource> emi;
-    if (config_.environment.emiAmplitude > 0.0) {
-        emi = std::make_unique<SinusoidalInterference>(
-            config_.environment.emiAmplitude,
-            config_.environment.emiFrequencyHz, 0.3);
+    {
+        ITdr nominal_itdr(config_.itdr, rng_.forkStable(kTagNominalItdr));
+        nominal_ = nominal_itdr.idealIip(nominal_line);
     }
 
-    StudyResult result;
-    double wall = 0.0;
+    // Explicit wall-clock schedule: measurement k of the canonical
+    // enumeration (enrollment, then genuine, then impostor, wires
+    // innermost) starts at k * slot. The schedule is fixed up front so
+    // environment snapshots (vibration chirp phase, oven temperature
+    // draws) cannot depend on which thread ran which lane first.
     const double gap = 100e-6;  // pause between measurements
+    const MeasurementBudget budget =
+        predictBudget(config_.itdr, lines_.front().roundTripDelay());
+    const double slot = budget.expectedDuration + gap;
+    const std::size_t enroll_total = lane_count * reps_e;
+    const std::size_t genuine_total = nl * reps_g * nw;
 
-    auto measure_wire = [&](std::size_t line_idx, std::size_t wire)
-        -> IipMeasurement
-    {
-        const std::size_t idx = line_idx * nw + wire;
-        TransmissionLine snap = env.snapshot(lines_[idx], wall);
-        IipMeasurement m = itdrs[idx]->measure(snap, emi.get());
-        wall += m.duration + gap;
-        result.totalBusCycles += m.busCycles;
-        return m;
+    auto enroll_index = [=](std::size_t lane, std::size_t r) {
+        return lane * reps_e + r;
+    };
+    auto genuine_index = [=](std::size_t l, std::size_t g,
+                             std::size_t w) {
+        return enroll_total + (l * reps_g + g) * nw + w;
+    };
+    auto impostor_index = [=](std::size_t a, std::size_t pair_rank,
+                              std::size_t i, std::size_t w) {
+        return enroll_total + genuine_total +
+            ((a * (nl - 1) + pair_rank) * reps_i + i) * nw + w;
     };
 
-    // --- enrollment at reference conditions (calibration time) ---
-    EnvironmentConditions calib;  // room temperature, quiet bench
-    Environment calib_env(calib, rng_.fork(0x2004));
-    std::vector<Fingerprint> enrolled(nl * nw);
-    for (std::size_t l = 0; l < nl; ++l) {
-        for (std::size_t w = 0; w < nw; ++w) {
-            const std::size_t idx = l * nw + w;
-            std::vector<IipMeasurement> reps;
-            reps.reserve(config_.enrollReps);
-            for (std::size_t r = 0; r < config_.enrollReps; ++r) {
-                TransmissionLine snap =
-                    calib_env.snapshot(lines_[idx], wall);
-                IipMeasurement m = itdrs[idx]->measure(snap, nullptr);
-                wall += m.duration + gap;
-                result.totalBusCycles += m.busCycles;
-                reps.push_back(std::move(m));
-            }
-            enrolled[idx] = Fingerprint::enroll(
-                reps, nominal_, lines_[idx].name());
+    // One measurement lane per wire interface, as in hardware: the
+    // instrument enrolls its line, then produces every genuine and
+    // impostor measurement of that line, in a fixed per-lane order.
+    struct Lane
+    {
+        std::unique_ptr<ITdr> itdr;
+        std::unique_ptr<Environment> calibEnv;
+        std::unique_ptr<Environment> campaignEnv;
+        std::unique_ptr<NoiseSource> emi;
+        Fingerprint enrolled;
+        std::vector<double> genuineScores;
+        std::vector<double> impostorScores;
+        uint64_t busCycles = 0;
+    };
+    const EnvironmentConditions calib;  // room temperature, quiet bench
+    std::vector<Lane> lanes(lane_count);
+    for (std::size_t idx = 0; idx < lane_count; ++idx) {
+        Lane &lane = lanes[idx];
+        lane.itdr = std::make_unique<ITdr>(
+            config_.itdr, rng_.forkStable(kTagLaneItdr + idx));
+        lane.calibEnv = std::make_unique<Environment>(
+            calib, rng_.forkStable(kTagLaneCalibEnv + idx));
+        lane.campaignEnv = std::make_unique<Environment>(
+            config_.environment,
+            rng_.forkStable(kTagLaneCampaignEnv + idx));
+        if (config_.environment.emiAmplitude > 0.0) {
+            // Deterministic function of time: per-lane instances see
+            // identical interference regardless of sharing.
+            lane.emi = std::make_unique<SinusoidalInterference>(
+                config_.environment.emiAmplitude,
+                config_.environment.emiFrequencyHz, 0.3);
         }
+        lane.genuineScores.resize(reps_g);
+        lane.impostorScores.resize((nl - 1) * reps_i);
     }
 
-    // --- genuine scores: re-measure each bus under the campaign
-    //     environment and compare to its own enrollment ---
-    result.genuine.reserve(nl * config_.genuinePerLine);
-    for (std::size_t l = 0; l < nl; ++l) {
-        for (std::size_t g = 0; g < config_.genuinePerLine; ++g) {
-            std::vector<double> per_wire(nw);
-            for (std::size_t w = 0; w < nw; ++w) {
+    ThreadPool pool(config_.threads);
+
+    // --- enrollment at reference conditions (calibration time) ---
+    pool.parallelFor(lane_count, [&](std::size_t idx) {
+        Lane &lane = lanes[idx];
+        std::vector<IipMeasurement> reps;
+        reps.reserve(reps_e);
+        for (std::size_t r = 0; r < reps_e; ++r) {
+            const double wall =
+                slot * static_cast<double>(enroll_index(idx, r));
+            TransmissionLine snap =
+                lane.calibEnv->snapshot(lines_[idx], wall);
+            IipMeasurement m = lane.itdr->measure(snap, nullptr);
+            lane.busCycles += m.busCycles;
+            reps.push_back(std::move(m));
+        }
+        lane.enrolled =
+            Fingerprint::enroll(reps, nominal_, lines_[idx].name());
+    });
+
+    // --- genuine and impostor measurements, one lane per task; the
+    //     barrier above guarantees every enrollment is readable ---
+    pool.parallelFor(lane_count, [&](std::size_t idx) {
+        Lane &lane = lanes[idx];
+        const std::size_t l = idx / nw;
+        const std::size_t w = idx % nw;
+
+        auto measure_at = [&](std::size_t k) {
+            const double wall = slot * static_cast<double>(k);
+            TransmissionLine snap =
+                lane.campaignEnv->snapshot(lines_[idx], wall);
+            IipMeasurement m = lane.itdr->measure(snap, lane.emi.get());
+            lane.busCycles += m.busCycles;
+            return m;
+        };
+
+        // Genuine: re-measure this bus under the campaign environment
+        // and compare to its own enrollment.
+        for (std::size_t g = 0; g < reps_g; ++g) {
+            const Fingerprint fp = Fingerprint::fromMeasurement(
+                measure_at(genuine_index(l, g, w)), nominal_);
+            lane.genuineScores[g] = similarity(lane.enrolled, fp);
+        }
+
+        // Impostor: measurements of this bus scored against the
+        // enrollment of every other bus b.
+        std::size_t pair_rank = 0;
+        for (std::size_t b = 0; b < nl; ++b) {
+            if (b == l)
+                continue;
+            for (std::size_t i = 0; i < reps_i; ++i) {
                 const Fingerprint fp = Fingerprint::fromMeasurement(
-                    measure_wire(l, w), nominal_);
-                per_wire[w] = similarity(enrolled[l * nw + w], fp);
+                    measure_at(impostor_index(l, pair_rank, i, w)),
+                    nominal_);
+                lane.impostorScores[pair_rank * reps_i + i] =
+                    similarity(lanes[b * nw + w].enrolled, fp);
             }
+            ++pair_rank;
+        }
+    });
+
+    // --- fuse per-wire scores and analyze, in canonical order ---
+    StudyResult result;
+    for (const Lane &lane : lanes)
+        result.totalBusCycles += lane.busCycles;
+
+    std::vector<double> per_wire(nw);
+    result.genuine.reserve(nl * reps_g);
+    for (std::size_t l = 0; l < nl; ++l) {
+        for (std::size_t g = 0; g < reps_g; ++g) {
+            for (std::size_t w = 0; w < nw; ++w)
+                per_wire[w] = lanes[l * nw + w].genuineScores[g];
             result.genuine.push_back(fuseScores(per_wire));
         }
     }
 
-    // --- impostor scores: measurements of bus a scored against the
-    //     enrollment of bus b ---
-    result.impostor.reserve(nl * (nl - 1) * config_.impostorPerPair);
+    result.impostor.reserve(nl * (nl - 1) * reps_i);
     for (std::size_t a = 0; a < nl; ++a) {
+        std::size_t pair_rank = 0;
         for (std::size_t b = 0; b < nl; ++b) {
-            if (a == b)
+            if (b == a)
                 continue;
-            for (std::size_t i = 0; i < config_.impostorPerPair; ++i) {
-                std::vector<double> per_wire(nw);
+            for (std::size_t i = 0; i < reps_i; ++i) {
                 for (std::size_t w = 0; w < nw; ++w) {
-                    const Fingerprint fp = Fingerprint::fromMeasurement(
-                        measure_wire(a, w), nominal_);
-                    per_wire[w] = similarity(enrolled[b * nw + w], fp);
+                    per_wire[w] = lanes[a * nw + w]
+                        .impostorScores[pair_rank * reps_i + i];
                 }
                 result.impostor.push_back(fuseScores(per_wire));
             }
+            ++pair_rank;
         }
     }
 

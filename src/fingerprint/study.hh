@@ -45,6 +45,11 @@ struct StudyConfig
     EnvironmentConditions environment; //!< campaign conditions
     ProcessParams process;            //!< fabrication statistics
     ItdrConfig itdr;                  //!< instrument configuration
+    unsigned threads = 0;             //!< campaign worker threads;
+                                      //!< 0 => DIVOT_THREADS env var /
+                                      //!< hardware concurrency, 1 =>
+                                      //!< serial. Results are
+                                      //!< bit-identical at any count.
 };
 
 /** Outcome of one campaign. */
@@ -60,6 +65,22 @@ struct StudyResult
 
 /**
  * Runs genuine/impostor campaigns.
+ *
+ * The campaign fans out across a util::ThreadPool with a determinism
+ * contract: results are bit-identical for a fixed seed at any thread
+ * count. Three mechanisms make execution order irrelevant:
+ *
+ *  1. Every measurement lane — one (phase, line, wire) instrument
+ *     sequence — seeds its iTDR and environment from
+ *     Rng::forkStable, a pure function of the master seed and the
+ *     lane indices, never from shared-stream draws.
+ *  2. Measurement wall-clock times (which drive the vibration chirp
+ *     and temperature draws) follow a precomputed schedule: slot k of
+ *     the canonical measurement enumeration starts at
+ *     k * (predicted duration + gap), independent of when any thread
+ *     actually executes it.
+ *  3. Lanes write disjoint result slots; fusion and ROC analysis run
+ *     after the pool barrier, in canonical order.
  */
 class GenuineImpostorStudy
 {

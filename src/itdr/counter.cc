@@ -23,6 +23,17 @@ HitCounter::record(bool hit)
 }
 
 void
+HitCounter::recordBatch(uint32_t hits, uint32_t trials)
+{
+    if (hits > trials)
+        divot_panic("recordBatch hits %u > trials %u", hits, trials);
+    const uint32_t room = max_ - trials_;
+    const uint32_t accepted = trials < room ? trials : room;
+    trials_ += accepted;
+    hits_ += hits < accepted ? hits : accepted;
+}
+
+void
 HitCounter::reset()
 {
     hits_ = 0;

@@ -31,6 +31,16 @@ class HitCounter
     /** Record one comparator strobe result. */
     void record(bool hit);
 
+    /**
+     * Record a whole strobe batch at once. Equivalent to `trials`
+     * record() calls of which `hits` were 1s, provided the batch fits
+     * below the saturation limit; when it does not, the trial counter
+     * saturates and the hit count is clamped to the accepted trials
+     * (callers that need exact saturation ordering must use the
+     * scalar path — see ITdr's batch gate).
+     */
+    void recordBatch(uint32_t hits, uint32_t trials);
+
     /** Reset both counters (start of a new bin). */
     void reset();
 

@@ -1,5 +1,6 @@
 #include "itdr/itdr.hh"
 
+#include <atomic>
 #include <cmath>
 
 #include "itdr/calibrate.hh"
@@ -32,10 +33,25 @@ ITdr::ITdr(ItdrConfig config, Rng rng)
       triggerGen_(config.triggerMode, rng_.fork(0x1003)),
       edge_(config.edgeAmplitude, config.edgeRiseTime, EdgeKind::Rising),
       trials_(roundUpToMultiple(std::max(config.trialsPerPhase, 1u),
-                                pdm_.levelCount()))
+                                pdm_.levelCount())),
+      traceCache_(config.traceCacheCapacity)
 {
     if (config.trialsPerPhase == 0)
         divot_fatal("iTDR trialsPerPhase must be >= 1");
+    if (trials_ != config.trialsPerPhase) {
+        // Warn once per process: silent inflation made predictBudget
+        // and the measured cost disagree until IipMeasurement started
+        // carrying the effective count.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            divot_warn("iTDR trialsPerPhase %u rounded up to %u (a "
+                       "multiple of the %u PDM reference levels); "
+                       "IipMeasurement::trialsPerBin carries the "
+                       "effective count",
+                       config.trialsPerPhase, trials_,
+                       pdm_.levelCount());
+        }
+    }
     if (config.selfCalibrate) {
         // Power-up self-calibration: estimate sigma and offset from
         // the real (noisy) comparator instead of trusting oracle
@@ -93,12 +109,43 @@ ITdr::prepareBins(const TransmissionLine &line)
     }
 }
 
+double
+ITdr::captureSpanFor(const TransmissionLine &line) const
+{
+    return window_ > 0.0
+        ? window_
+        : 1.1 * line.roundTripDelay() + 3.0 * edge_.duration();
+}
+
 Waveform
 ITdr::cleanDetectorTrace(const TransmissionLine &line) const
 {
-    const double span = window_ > 0.0
-        ? window_
-        : 1.1 * line.roundTripDelay() + 3.0 * edge_.duration();
+    return detectorTraceFor(line);
+}
+
+const Waveform &
+ITdr::detectorTraceFor(const TransmissionLine &line) const
+{
+    const double span = captureSpanFor(line);
+    if (config_.traceCacheCapacity == 0) {
+        traceScratch_ = renderDetectorTrace(line, span);
+        return traceScratch_;
+    }
+    // The key covers everything the render depends on that can change
+    // between measurements: the line's electrical content (impedance
+    // profile, terminations, velocity, loss — all rewritten by tamper
+    // transforms and environment snapshots) plus the capture span.
+    // Instrument-fixed parameters (edge, coupler, model) need no
+    // keying because the cache lives inside this instrument.
+    const TraceKey key = TraceKeyBuilder().add(line).add(span).key();
+    if (const Waveform *hit = traceCache_.find(key))
+        return *hit;
+    return *traceCache_.insert(key, renderDetectorTrace(line, span));
+}
+
+Waveform
+ITdr::renderDetectorTrace(const TransmissionLine &line, double span) const
+{
     if (config_.model == ReflectionModel::Lattice) {
         LatticeSimulator sim(line);
         TdrTrace trace = sim.probe(edge_, span);
@@ -122,7 +169,7 @@ Waveform
 ITdr::idealIip(const TransmissionLine &line)
 {
     prepareBins(line);
-    const Waveform trace = cleanDetectorTrace(line);
+    const Waveform &trace = detectorTraceFor(line);
     const double tau = pll_.phaseStep();
     Waveform out = Waveform::zeros(tau, bins_);
     for (unsigned m = 0; m < bins_; ++m)
@@ -134,7 +181,7 @@ IipMeasurement
 ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
 {
     prepareBins(line);
-    const Waveform trace = cleanDetectorTrace(line);
+    const Waveform &trace = detectorTraceFor(line);
 
     const double tau = pll_.phaseStep();
     const double t_clk = pll_.clockPeriod();
@@ -144,28 +191,73 @@ ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
     Waveform iip = Waveform::zeros(tau, bins_);
     HitCounter counter(config_.counterWidthBits);
 
+    const bool no_jitter = config_.pll.jitterRms <= 0.0;
+    // The batch path needs a loop-invariant signal (no jitter, no
+    // per-trigger interference), arithmetic trigger cycles (clock
+    // lane), block-drawable noise (no metastable band), and a counter
+    // that cannot saturate mid-batch.
+    const bool batch = config_.batchedStrobes && no_jitter &&
+        extra_noise == nullptr &&
+        config_.triggerMode == TriggerMode::ClockLane &&
+        comparator_.params().metastableBand == 0.0 &&
+        trials_ < (1ull << config_.counterWidthBits);
+
     pll_.resetPhase();
-    for (unsigned m = 0; m < bins_; ++m) {
-        const double t0 = static_cast<double>(m) * tau;
-        counter.reset();
-        for (unsigned k = 0; k < trials_; ++k) {
-            const uint64_t cycle = triggerGen_.nextTriggerCycle();
-            // Strobe jitter shifts the sampling instant relative to
-            // the probe edge.
-            double jitter = 0.0;
-            if (config_.pll.jitterRms > 0.0)
-                jitter = rng_.gaussian(0.0, config_.pll.jitterRms);
-            const double t_abs =
-                static_cast<double>(cycle) * t_clk + t0 + jitter;
-            double v_sig = trace.valueAt(t0 + jitter);
-            if (extra_noise != nullptr)
-                v_sig += extra_noise->sampleAt(t_abs);
-            const double v_ref = pdm_.referenceAt(t_abs);
-            counter.record(comparator_.strobe(v_sig, v_ref));
+    if (batch) {
+        const unsigned levels = pdm_.levelCount();
+        refScratch_.resize(trials_);
+        std::vector<double> period(levels);
+        for (unsigned m = 0; m < bins_; ++m) {
+            const double t0 = static_cast<double>(m) * tau;
+            const uint64_t cycle0 =
+                triggerGen_.advanceClockTriggers(trials_);
+            // The Vernier reference sequence is periodic in the trial
+            // index with period `levels` (trials_ is a multiple, so
+            // every level weighs equally): evaluate the triangle wave
+            // `levels` times instead of trials_ times.
+            for (unsigned j = 0; j < levels; ++j) {
+                period[j] = pdm_.referenceAt(
+                    static_cast<double>(cycle0 + j) * t_clk + t0);
+            }
+            for (unsigned k = 0; k < trials_; ++k)
+                refScratch_[k] = period[k % levels];
+            const double v_sig = trace.valueAt(t0);
+            const unsigned hits = comparator_.strobeBatch(
+                v_sig, refScratch_.data(), trials_);
+            counter.reset();
+            counter.recordBatch(hits, trials_);
+            iip[m] = inverse_[m].reconstruct(counter.probability()) -
+                offsetCorrection_;
+            pll_.stepPhase();
         }
-        iip[m] = inverse_[m].reconstruct(counter.probability()) -
-            offsetCorrection_;
-        pll_.stepPhase();
+    } else {
+        for (unsigned m = 0; m < bins_; ++m) {
+            const double t0 = static_cast<double>(m) * tau;
+            // Without jitter the signal lookup is loop-invariant
+            // (the PDM reference still varies per trigger through
+            // t_abs): hoist it out of the trial loop.
+            const double v_fixed = no_jitter ? trace.valueAt(t0) : 0.0;
+            counter.reset();
+            for (unsigned k = 0; k < trials_; ++k) {
+                const uint64_t cycle = triggerGen_.nextTriggerCycle();
+                // Strobe jitter shifts the sampling instant relative
+                // to the probe edge.
+                double jitter = 0.0;
+                if (!no_jitter)
+                    jitter = rng_.gaussian(0.0, config_.pll.jitterRms);
+                const double t_abs =
+                    static_cast<double>(cycle) * t_clk + t0 + jitter;
+                double v_sig =
+                    no_jitter ? v_fixed : trace.valueAt(t0 + jitter);
+                if (extra_noise != nullptr)
+                    v_sig += extra_noise->sampleAt(t_abs);
+                const double v_ref = pdm_.referenceAt(t_abs);
+                counter.record(comparator_.strobe(v_sig, v_ref));
+            }
+            iip[m] = inverse_[m].reconstruct(counter.probability()) -
+                offsetCorrection_;
+            pll_.stepPhase();
+        }
     }
 
     IipMeasurement out;
@@ -173,6 +265,7 @@ ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
     out.busCycles = triggerGen_.cyclesElapsed() - cycles_before;
     out.triggers = triggerGen_.triggersProduced() - triggers_before;
     out.duration = static_cast<double>(out.busCycles) * t_clk;
+    out.trialsPerBin = trials_;
     return out;
 }
 

@@ -31,6 +31,7 @@
 #include "analog/pll.hh"
 #include "itdr/apc.hh"
 #include "itdr/pdm.hh"
+#include "itdr/trace_cache.hh"
 #include "itdr/trigger.hh"
 #include "signal/edge.hh"
 #include "signal/noise.hh"
@@ -66,6 +67,15 @@ struct ItdrConfig
                                     //!< oracle values (see
                                     //!< itdr/calibrate.hh)
     ReflectionModel model = ReflectionModel::Born;
+    bool batchedStrobes = true;     //!< use the block-strobe fast path
+                                    //!< when the configuration allows
+                                    //!< (clock lane, no jitter); false
+                                    //!< forces the scalar per-trigger
+                                    //!< loop (reference / ablation)
+    std::size_t traceCacheCapacity = 8; //!< retained clean detector
+                                    //!< traces, content-keyed + LRU
+                                    //!< (see itdr/trace_cache.hh);
+                                    //!< 0 disables caching
 };
 
 /** One measured IIP with its cost accounting. */
@@ -75,6 +85,11 @@ struct IipMeasurement
     uint64_t busCycles = 0;  //!< bus clock cycles consumed
     uint64_t triggers = 0;   //!< probe edges used
     double duration = 0.0;   //!< wall-clock seconds on the bus
+    unsigned trialsPerBin = 0; //!< effective K after PDM-level
+                               //!< round-up — matches
+                               //!< predictBudget().trialsPerBin, so
+                               //!< budget accounting can reconcile
+                               //!< against what actually ran
 };
 
 /**
@@ -135,6 +150,9 @@ class ITdr
     /** @return the offset correction applied to reconstructions. */
     double offsetCorrection() const { return offsetCorrection_; }
 
+    /** @return the reflection-trace cache (hit/miss accounting). */
+    const TraceCache &traceCache() const { return traceCache_; }
+
   private:
     ItdrConfig config_;
     Rng rng_;
@@ -153,8 +171,25 @@ class ITdr
     /** Per-bin inverse-CDF tables, built lazily on first measure. */
     std::vector<ApcInverseTable> inverse_;
 
+    /** Content-keyed cache of rendered clean detector traces. */
+    mutable TraceCache traceCache_;
+    /** Uncached render target when the cache is disabled. */
+    mutable Waveform traceScratch_;
+    /** Per-bin reference schedule expanded for one strobe batch. */
+    std::vector<double> refScratch_;
+
     void prepareBins(const TransmissionLine &line);
     double reconstructionSigma() const;
+
+    /** Render the clean trace (no cache). */
+    Waveform renderDetectorTrace(const TransmissionLine &line,
+                                 double span) const;
+
+    /** Cache-aware trace lookup; reference valid until next call. */
+    const Waveform &detectorTraceFor(const TransmissionLine &line) const;
+
+    /** Capture span for a line (window_ once bins are frozen). */
+    double captureSpanFor(const TransmissionLine &line) const;
 };
 
 } // namespace divot

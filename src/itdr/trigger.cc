@@ -1,6 +1,7 @@
 #include "itdr/trigger.hh"
 
 #include "itdr/encoding.hh"
+#include "util/logging.hh"
 
 namespace divot {
 
@@ -50,6 +51,17 @@ TriggerGenerator::nextTriggerCycle()
             return c;
         }
     }
+}
+
+uint64_t
+TriggerGenerator::advanceClockTriggers(uint64_t n)
+{
+    if (mode_ != TriggerMode::ClockLane)
+        divot_panic("advanceClockTriggers requires a clock lane");
+    const uint64_t first = cycle_;
+    cycle_ += n;
+    triggers_ += n;
+    return first;
 }
 
 double

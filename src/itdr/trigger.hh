@@ -58,6 +58,17 @@ class TriggerGenerator
      */
     uint64_t nextTriggerCycle();
 
+    /**
+     * Consume n consecutive clock-lane triggers in one step —
+     * equivalent to n nextTriggerCycle() calls (every cycle triggers
+     * on a clock lane, so the cycle indices are consecutive). Only
+     * valid in ClockLane mode; data-lane triggers depend on the
+     * symbol stream and must be drawn one at a time.
+     *
+     * @return the cycle index of the first trigger in the block
+     */
+    uint64_t advanceClockTriggers(uint64_t n);
+
     /** @return total cycles consumed so far. */
     uint64_t cyclesElapsed() const { return cycle_; }
 

@@ -111,6 +111,20 @@ Rng::bernoulli(double p)
 }
 
 Rng
+Rng::forkStable(uint64_t tag) const
+{
+    // Mix the full 256-bit state with the tag through splitmix64
+    // rounds. No state advances, so the derivation commutes with any
+    // interleaving of other forks/draws on this generator.
+    uint64_t h = tag ^ 0x9e3779b97f4a7c15ULL;
+    for (uint64_t word : s_) {
+        uint64_t chain = h ^ word;
+        h = splitmix64(chain);
+    }
+    return Rng(h);
+}
+
+Rng
 Rng::fork(uint64_t tag)
 {
     // Hash the child tag together with fresh output from this stream so

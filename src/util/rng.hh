@@ -61,6 +61,20 @@ class Rng
      */
     Rng fork(uint64_t tag);
 
+    /**
+     * Derive a child generator from this generator's *current state*
+     * and the tag, without advancing this stream. Unlike fork(),
+     * repeated calls with the same tag return identical children, and
+     * the derivation is independent of how many other children were
+     * created in between — the property that lets parallel measurement
+     * tasks seed themselves from (line, wire, repetition) indices and
+     * still reproduce the serial run bit-for-bit.
+     *
+     * @param tag domain-separation tag; distinct tags give streams
+     *            that are independent for all practical purposes
+     */
+    Rng forkStable(uint64_t tag) const;
+
     /** Fill a vector with standard normal draws. */
     void gaussianVector(std::vector<double> &out);
 

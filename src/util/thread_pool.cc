@@ -1,0 +1,133 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("DIVOT_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<unsigned>(v);
+        divot_warn("ignoring invalid DIVOT_THREADS value '%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threadCount_(threads > 0 ? threads : defaultThreadCount())
+{
+    // A single-thread pool runs everything inline in parallelFor and
+    // on one worker in submit; still spawn the worker so submit works.
+    workers_.reserve(threadCount_);
+    for (unsigned i = 0; i < threadCount_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    taskReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            taskReady_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --pending_;
+            if (pending_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            divot_panic("submit on a stopping ThreadPool");
+        queue_.push_back(std::move(task));
+        ++pending_;
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (threadCount_ <= 1 || n == 1) {
+        // Serial reference path: same bodies, same order, no pool.
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto firstError = std::make_shared<std::exception_ptr>();
+    auto errorLock = std::make_shared<std::mutex>();
+
+    const std::size_t runners =
+        std::min<std::size_t>(threadCount_, n);
+    for (std::size_t r = 0; r < runners; ++r) {
+        submit([n, next, firstError, errorLock, &body] {
+            for (;;) {
+                const std::size_t i =
+                    next->fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(*errorLock);
+                    if (!*firstError)
+                        *firstError = std::current_exception();
+                }
+            }
+        });
+    }
+    wait();
+    if (*firstError)
+        std::rethrow_exception(*firstError);
+}
+
+} // namespace divot

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reusable worker-thread pool for the measurement campaigns.
+ *
+ * The Monte-Carlo studies are embarrassingly parallel once every
+ * measurement task owns its random stream (Rng::forkStable) and its
+ * wall-clock slot is precomputed, so the pool is deliberately simple:
+ * a work queue drained by persistent workers plus a parallelFor that
+ * fans indexed tasks out and blocks until they complete. Determinism
+ * is the caller's contract — tasks must write disjoint state and must
+ * not share random streams — the pool itself adds no ordering
+ * guarantees beyond completion.
+ */
+
+#ifndef DIVOT_UTIL_THREAD_POOL_HH
+#define DIVOT_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace divot {
+
+/**
+ * Fixed-size pool of worker threads with a FIFO work queue.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 resolves through
+     *                defaultThreadCount() (the DIVOT_THREADS
+     *                environment variable, else hardware concurrency)
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Thread count a default-constructed pool uses: the DIVOT_THREADS
+     * environment variable when set to a positive integer, otherwise
+     * std::thread::hardware_concurrency() (minimum 1).
+     */
+    static unsigned defaultThreadCount();
+
+    /** @return number of worker threads (>= 1). */
+    unsigned threadCount() const { return threadCount_; }
+
+    /**
+     * Enqueue one task. Tasks must not throw; an escaping exception
+     * terminates the process (matching std::thread semantics).
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /**
+     * Run body(0..n-1) across the pool and block until all complete.
+     * Indices are claimed dynamically, so bodies must be independent
+     * (disjoint writes, no shared random streams). With a single
+     * worker the loop runs inline on the calling thread — the serial
+     * reference path used by the determinism tests. The first
+     * exception thrown by a body is rethrown here after all workers
+     * drain.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    unsigned threadCount_;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    std::size_t pending_ = 0;  //!< queued + running tasks
+    bool stopping_ = false;
+
+    void workerLoop();
+};
+
+} // namespace divot
+
+#endif // DIVOT_UTIL_THREAD_POOL_HH

@@ -47,6 +47,59 @@ TEST(Determinism, StudyScoresBitExact)
     EXPECT_DOUBLE_EQ(a.roc.eer, b.roc.eer);
 }
 
+TEST(Determinism, ParallelStudyBitIdenticalToSerial)
+{
+    // The campaign's determinism contract: thread count must not
+    // change a single bit of the result. Serial (threads = 1) runs
+    // the lane bodies inline; parallel fans them out over a pool.
+    StudyConfig serial_cfg;
+    serial_cfg.lines = 3;
+    serial_cfg.wires = 2;
+    serial_cfg.enrollReps = 2;
+    serial_cfg.genuinePerLine = 3;
+    serial_cfg.impostorPerPair = 2;
+    serial_cfg.environment.temperatureSwingHiC = 60.0;  // env rng draws
+    serial_cfg.environment.vibrationStrain = 1e-3;      // schedule use
+    serial_cfg.threads = 1;
+    StudyConfig parallel_cfg = serial_cfg;
+    parallel_cfg.threads = 4;
+
+    const StudyResult a =
+        GenuineImpostorStudy(serial_cfg, Rng(11)).run();
+    const StudyResult b =
+        GenuineImpostorStudy(parallel_cfg, Rng(11)).run();
+
+    ASSERT_EQ(a.genuine.size(), b.genuine.size());
+    for (std::size_t i = 0; i < a.genuine.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.genuine[i], b.genuine[i]) << "genuine " << i;
+    ASSERT_EQ(a.impostor.size(), b.impostor.size());
+    for (std::size_t i = 0; i < a.impostor.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.impostor[i], b.impostor[i])
+            << "impostor " << i;
+    EXPECT_EQ(a.totalBusCycles, b.totalBusCycles);
+    EXPECT_DOUBLE_EQ(a.roc.eer, b.roc.eer);
+    EXPECT_DOUBLE_EQ(a.decidability, b.decidability);
+    EXPECT_DOUBLE_EQ(a.fittedEer, b.fittedEer);
+}
+
+TEST(Determinism, StableForkIndependentOfDrawOrder)
+{
+    // forkStable must be a pure function of (state, tag): interleaved
+    // draws or other forks on the parent change nothing.
+    Rng a(123), b(123);
+    Rng child_a = a.forkStable(42);
+    b.forkStable(7);            // unrelated stable fork
+    Rng child_b = b.forkStable(42);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(child_a.next(), child_b.next());
+
+    // ...while distinct tags give distinct streams.
+    Rng c(123);
+    Rng other = c.forkStable(43);
+    Rng same = c.forkStable(42);
+    EXPECT_NE(other.next(), same.next());
+}
+
 TEST(Determinism, DifferentSeedsDifferentFabrication)
 {
     DivotSystemConfig cfg;

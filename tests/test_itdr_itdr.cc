@@ -111,6 +111,70 @@ TEST(ITdr, TrialsRoundedUpToLevelMultiple)
     EXPECT_GE(itdr.trialsPerPhase(), 100u);
 }
 
+TEST(ITdr, BatchedStrobesMatchScalarPath)
+{
+    // The batch path consumes the same comparator draws as the scalar
+    // loop; the only difference is that the Vernier reference levels
+    // are evaluated once per period instead of once per trial, which
+    // is mathematically identical (and numerically equal to within
+    // floating-point noise on the triangle-phase reduction).
+    const auto line = testLine();
+    ItdrConfig batch_cfg;
+    batch_cfg.trialsPerPhase = 170;
+    ItdrConfig scalar_cfg = batch_cfg;
+    scalar_cfg.batchedStrobes = false;
+    ITdr batch(batch_cfg, Rng(23));
+    ITdr scalar(scalar_cfg, Rng(23));
+    const IipMeasurement mb = batch.measure(line);
+    const IipMeasurement ms = scalar.measure(line);
+    ASSERT_EQ(mb.iip.size(), ms.iip.size());
+    EXPECT_EQ(mb.busCycles, ms.busCycles);
+    EXPECT_EQ(mb.triggers, ms.triggers);
+    // A 1-ulp reference difference can flip at most the rare strobe
+    // that lands exactly on the noise threshold; allow a fraction of
+    // one trial's worth of probability per bin.
+    const double tol = 3.0 * batch_cfg.comparator.noiseSigma /
+        static_cast<double>(batch_cfg.trialsPerPhase);
+    for (std::size_t i = 0; i < mb.iip.size(); ++i)
+        EXPECT_NEAR(mb.iip[i], ms.iip[i], tol) << "bin " << i;
+}
+
+TEST(ITdr, BatchGateFallsBackForDataLaneAndJitter)
+{
+    // Configurations the batch path cannot serve must still measure
+    // correctly through the scalar loop.
+    const auto line = testLine();
+    ItdrConfig jitter_cfg;
+    jitter_cfg.trialsPerPhase = 44;
+    jitter_cfg.pll.jitterRms = 2e-12;
+    ITdr jitter(jitter_cfg, Rng(27));
+    const IipMeasurement mj = jitter.measure(line);
+    EXPECT_EQ(mj.iip.size(), jitter.phaseBins());
+
+    ItdrConfig data_cfg;
+    data_cfg.trialsPerPhase = 44;
+    data_cfg.triggerMode = TriggerMode::DataLane;
+    ITdr data(data_cfg, Rng(29));
+    const IipMeasurement md = data.measure(line);
+    EXPECT_GT(md.busCycles, md.triggers);
+}
+
+TEST(ITdr, EffectiveTrialsSurfacedAndMatchBudget)
+{
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = 100;  // p = 17 => rounds to 102
+    ITdr itdr(cfg, Rng(31));
+    const auto line = testLine();
+    const IipMeasurement m = itdr.measure(line);
+    EXPECT_EQ(m.trialsPerBin, itdr.trialsPerPhase());
+    EXPECT_EQ(m.trialsPerBin % cfg.pdm.p, 0u);
+    const MeasurementBudget budget =
+        predictBudget(cfg, line.roundTripDelay());
+    EXPECT_EQ(m.trialsPerBin, budget.trialsPerBin);
+    EXPECT_EQ(m.triggers,
+              static_cast<uint64_t>(itdr.phaseBins()) * m.trialsPerBin);
+}
+
 TEST(ITdr, LoadEchoVisibleAtRoundTripTime)
 {
     // A strongly mismatched load must show up at the round-trip time

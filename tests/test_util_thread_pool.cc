@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the campaign thread pool: queue semantics, parallelFor
+ * coverage, exception propagation, and the DIVOT_THREADS resolution
+ * the study driver and benches rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace divot {
+namespace {
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> visits(n);
+    pool.parallelFor(n, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForDisjointWritesMatchSerial)
+{
+    constexpr std::size_t n = 512;
+    auto body = [](std::size_t i) {
+        return static_cast<double>(i) * 1.5 + 2.0;
+    };
+
+    std::vector<double> serial(n), parallel(n);
+    ThreadPool one(1);
+    one.parallelFor(n, [&](std::size_t i) { serial[i] = body(i); });
+    ThreadPool many(8);
+    many.parallelFor(n, [&](std::size_t i) { parallel[i] = body(i); });
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, SubmitAndWaitDrainsQueue)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&done] { ++done; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 64);
+
+    // The pool stays usable after a drain.
+    pool.submit([&done] { ++done; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 65);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](std::size_t i) {
+                             ++ran;
+                             if (i == 37)
+                                 throw std::runtime_error("bin 37");
+                         }),
+        std::runtime_error);
+    // Workers drained before the rethrow: the pool is reusable.
+    pool.parallelFor(8, [&](std::size_t) { ++ran; });
+    EXPECT_GE(ran.load(), 8);
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoop)
+{
+    ThreadPool pool(2);
+    bool touched = false;
+    pool.parallelFor(0, [&](std::size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvironment)
+{
+    ASSERT_EQ(setenv("DIVOT_THREADS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 3u);
+
+    ASSERT_EQ(setenv("DIVOT_THREADS", "garbage", 1), 0);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+
+    ASSERT_EQ(unsetenv("DIVOT_THREADS"), 0);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+} // namespace
+} // namespace divot
