@@ -27,6 +27,7 @@ namespace bench {
 struct Options
 {
     bool full = false;     //!< paper-scale population sizes
+    bool smoke = false;    //!< CI-scale quick pass (subset + short)
     bool csv = false;      //!< CSV instead of aligned tables
     uint64_t seed = 2020;  //!< master seed (ISCA 2020 vintage)
 };
@@ -39,6 +40,8 @@ parseOptions(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--full") == 0) {
             opt.full = true;
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            opt.smoke = true;
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             opt.csv = true;
         } else if (std::strcmp(argv[i], "--seed") == 0 &&
@@ -46,7 +49,8 @@ parseOptions(int argc, char **argv)
             opt.seed = std::strtoull(argv[++i], nullptr, 10);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--full] [--csv] [--seed N]\n",
+                         "usage: %s [--full] [--smoke] [--csv] "
+                         "[--seed N]\n",
                          argv[0]);
             std::exit(2);
         }

@@ -4,6 +4,20 @@
 
 namespace divot {
 
+const char *
+authStateName(AuthState state)
+{
+    switch (state) {
+      case AuthState::Unenrolled: return "unenrolled";
+      case AuthState::Monitoring: return "monitoring";
+      case AuthState::Mismatch: return "mismatch";
+      case AuthState::TamperAlert: return "tamper-alert";
+      case AuthState::Degraded: return "degraded";
+      case AuthState::Quarantine: return "quarantine";
+    }
+    return "unknown";
+}
+
 Authenticator::Authenticator(AuthConfig config, ItdrConfig itdr, Rng rng,
                              std::string channel)
     : config_(config), itdr_(itdr, rng), channel_(std::move(channel))
@@ -18,6 +32,26 @@ Authenticator::Authenticator(AuthConfig config, ItdrConfig itdr, Rng rng,
     }
     if (config.averageWindow == 0)
         divot_fatal("average window must be >= 1");
+    if (config.confirmWindow > 0 &&
+        config.confirmVotes > config.confirmWindow) {
+        divot_fatal("confirmVotes (%u) cannot exceed confirmWindow (%u)",
+                    config.confirmVotes, config.confirmWindow);
+    }
+    if (config.voteThresholdScale <= 0.0)
+        divot_fatal("voteThresholdScale must be positive (got %g)",
+                    config.voteThresholdScale);
+    if (config.degradedThresholdScale < 1.0)
+        divot_fatal("degradedThresholdScale must be >= 1 (got %g)",
+                    config.degradedThresholdScale);
+    if (config.degradeAfterUnhealthy == 0 ||
+        config.quarantineAfterUnhealthy < config.degradeAfterUnhealthy) {
+        divot_fatal("degradation ladder needs 1 <= degradeAfterUnhealthy"
+                    " (%u) <= quarantineAfterUnhealthy (%u)",
+                    config.degradeAfterUnhealthy,
+                    config.quarantineAfterUnhealthy);
+    }
+    if (config.recoveryCleanRounds == 0)
+        divot_fatal("recoveryCleanRounds must be >= 1");
 }
 
 void
@@ -73,6 +107,63 @@ Authenticator::averagedFingerprint() const
                                         channel_ + ".current");
 }
 
+IipMeasurement
+Authenticator::measureWithRetry(const TransmissionLine &line,
+                                NoiseSource *extra_noise,
+                                unsigned &retries)
+{
+    IipMeasurement m = itdr_.measure(line, extra_noise);
+    busCycles_ += m.busCycles;
+    retries = 0;
+    while (!m.health.ok && retries < config_.maxRetries) {
+        ++retries;
+        // Linear backoff: yield the bus before retrying so a transient
+        // disturbance (EMI burst, arbitration storm) can pass.
+        busCycles_ += config_.retryBackoffCycles * retries;
+        m = itdr_.measure(line, extra_noise);
+        busCycles_ += m.busCycles;
+    }
+    return m;
+}
+
+bool
+Authenticator::confirmationVote(const TransmissionLine &line,
+                                NoiseSource *extra_noise,
+                                double vote_bar, bool &healthy)
+{
+    unsigned retries = 0;
+    IipMeasurement m = measureWithRetry(line, extra_noise, retries);
+    healthy = m.health.ok;
+    if (!healthy)
+        return false;
+    const Fingerprint single =
+        Fingerprint::fromMeasurement(m, nominal_, channel_ + ".vote");
+    const TamperLocalizer localizer(vote_bar);
+    return localizer.inspect(enrolled_, single, line).detected;
+}
+
+void
+Authenticator::noteUnhealthyRound()
+{
+    ++consecutiveUnhealthy_;
+    cleanStreak_ = 0;
+    if (consecutiveUnhealthy_ >= config_.quarantineAfterUnhealthy) {
+        if (state_ != AuthState::Quarantine) {
+            divot_warn("channel '%s': %u consecutive unhealthy rounds; "
+                       "entering quarantine", channel_.c_str(),
+                       consecutiveUnhealthy_);
+            // The window holds measurements taken by a sick
+            // instrument: discard them rather than average them into
+            // future verdicts.
+            window_.clear();
+        }
+        state_ = AuthState::Quarantine;
+    } else if (consecutiveUnhealthy_ >= config_.degradeAfterUnhealthy &&
+               state_ != AuthState::Quarantine) {
+        state_ = AuthState::Degraded;
+    }
+}
+
 AuthVerdict
 Authenticator::checkRound(const TransmissionLine &current_line,
                           NoiseSource *extra_noise)
@@ -81,23 +172,70 @@ Authenticator::checkRound(const TransmissionLine &current_line,
         divot_fatal("channel '%s' cannot monitor before enrollment",
                     channel_.c_str());
 
-    IipMeasurement m = itdr_.measure(current_line, extra_noise);
-    busCycles_ += m.busCycles;
+    AuthVerdict verdict;
+    verdict.round = ++round_;
+
+    if (state_ == AuthState::Quarantine) {
+        // The instrument is distrusted: re-baseline it and probe for
+        // health, but serve no trust decisions from its output.
+        itdr_.recalibrate();
+        IipMeasurement probe =
+            measureWithRetry(current_line, extra_noise, verdict.retries);
+        verdict.health = probe.health;
+        verdict.instrumentHealthy = probe.health.ok;
+        verdict.authenticated = false;
+        if (probe.health.ok) {
+            ++cleanStreak_;
+            if (cleanStreak_ >= config_.recoveryCleanRounds) {
+                divot_inform("channel '%s': instrument healthy for %u "
+                             "rounds after recalibration; leaving "
+                             "quarantine", channel_.c_str(),
+                             cleanStreak_);
+                state_ = AuthState::Degraded;
+                consecutiveUnhealthy_ = 0;
+                cleanStreak_ = 0;
+            }
+        } else {
+            cleanStreak_ = 0;
+        }
+        verdict.stateAfter = state_;
+        return verdict;
+    }
+
+    IipMeasurement m =
+        measureWithRetry(current_line, extra_noise, verdict.retries);
+    verdict.health = m.health;
+    verdict.instrumentHealthy = m.health.ok;
+
+    if (!m.health.ok) {
+        // Instrument sick, not tamper: never raise the alarm from a
+        // measurement that failed its own health screens, and never
+        // let it into the averaging window. Trust goes stale instead:
+        // the previous verdict's authentication holds until the
+        // ladder drops to Quarantine.
+        noteUnhealthyRound();
+        verdict.authenticated = state_ != AuthState::Quarantine;
+        verdict.stateAfter = state_;
+        return verdict;
+    }
+    consecutiveUnhealthy_ = 0;
+
     window_.push_back(m.iip);
     if (window_.size() > config_.averageWindow)
         window_.pop_front();
 
     const Fingerprint current = averagedFingerprint();
-
-    AuthVerdict verdict;
-    verdict.round = ++round_;
     verdict.similarity = similarity(enrolled_, current);
     verdict.authenticated =
         verdict.similarity >= config_.similarityThreshold;
 
+    const double ladder_scale = state_ == AuthState::Degraded
+        ? config_.degradedThresholdScale : 1.0;
     const double warm_threshold = config_.tamperThreshold *
         (1.0 + config_.warmupSlack /
-                   static_cast<double>(window_.size()));
+                   static_cast<double>(window_.size())) *
+        ladder_scale;
+    verdict.thresholdUsed = warm_threshold;
     const TamperLocalizer warm_localizer(warm_threshold);
     const TamperReport tr =
         warm_localizer.inspect(enrolled_, current, current_line);
@@ -105,12 +243,64 @@ Authenticator::checkRound(const TransmissionLine &current_line,
     verdict.tamperAlarm = tr.detected;
     verdict.tamperLocation = tr.location;
 
-    if (verdict.tamperAlarm)
+    if (verdict.tamperAlarm && config_.confirmWindow > 0) {
+        // M-of-N confirmation: take fresh single measurements and let
+        // each vote independently against the single-shot bar. A real
+        // attack is still present and trips every vote; a transient
+        // glitch already averaged into the window cannot reproduce
+        // itself in fresh measurements.
+        const double vote_bar = config_.tamperThreshold *
+            config_.voteThresholdScale * ladder_scale;
+        for (unsigned v = 0; v < config_.confirmWindow; ++v) {
+            const unsigned remaining = config_.confirmWindow - v;
+            if (verdict.votesFor >= config_.confirmVotes ||
+                verdict.votesFor + remaining < config_.confirmVotes) {
+                break;  // outcome decided either way
+            }
+            bool healthy = false;
+            const bool saw_tamper = confirmationVote(
+                current_line, extra_noise, vote_bar, healthy);
+            if (!healthy)
+                continue;  // abstain
+            ++verdict.votesCast;
+            if (saw_tamper)
+                ++verdict.votesFor;
+        }
+        if (verdict.votesFor < config_.confirmVotes) {
+            verdict.tamperAlarm = false;
+            verdict.alarmSuppressed = true;
+            ++suppressedAlarms_;
+            // If the newest window entry alone carries the spike,
+            // expunge it so the transient does not poison the next
+            // rounds' averages.
+            IipMeasurement pseudo;
+            pseudo.iip = window_.back();
+            const Fingerprint newest = Fingerprint::fromMeasurement(
+                pseudo, nominal_, channel_ + ".newest");
+            const TamperLocalizer vote_localizer(vote_bar);
+            if (vote_localizer.inspect(enrolled_, newest,
+                                       current_line).detected) {
+                window_.pop_back();
+            }
+        }
+    }
+
+    if (verdict.tamperAlarm) {
         state_ = AuthState::TamperAlert;
-    else if (!verdict.authenticated)
+    } else if (!verdict.authenticated) {
         state_ = AuthState::Mismatch;
-    else
+    } else if (state_ == AuthState::Degraded) {
+        // Climb back to full trust only after a streak of clean,
+        // healthy rounds at the raised threshold.
+        ++cleanStreak_;
+        if (cleanStreak_ >= config_.recoveryCleanRounds) {
+            state_ = AuthState::Monitoring;
+            cleanStreak_ = 0;
+        }
+    } else {
         state_ = AuthState::Monitoring;
+    }
+    verdict.stateAfter = state_;
     return verdict;
 }
 

@@ -48,7 +48,55 @@ struct AuthConfig
                                        //!< half-filled FIFO needs a
                                        //!< proportionally higher bar
                                        //!< to avoid false alarms
+
+    /** @name Resilience (vote-confirm, retry, degradation ladder). */
+    ///@{
+    unsigned confirmWindow = 3;    //!< N: fresh re-measurements taken
+                                   //!< to confirm a candidate tamper
+                                   //!< alarm; 0 restores the legacy
+                                   //!< alarm-on-first-trip behavior
+    unsigned confirmVotes = 2;     //!< M: votes (of the N) that must
+                                   //!< independently see tamper before
+                                   //!< TamperAlert is entered
+    double voteThresholdScale = 2.5; //!< single-measurement vote bar =
+                                   //!< tamperThreshold * this scale —
+                                   //!< sits between single-shot noise
+                                   //!< (~1x threshold) and the
+                                   //!< weakest attack signature (~5x)
+    unsigned maxRetries = 2;       //!< re-measure attempts when the
+                                   //!< instrument reports unhealthy
+    uint64_t retryBackoffCycles = 2048; //!< extra bus cycles yielded
+                                   //!< before retry attempt k (linear
+                                   //!< backoff: k * this)
+    unsigned degradeAfterUnhealthy = 2;   //!< consecutive unhealthy
+                                   //!< rounds before Degraded
+    unsigned quarantineAfterUnhealthy = 5; //!< consecutive unhealthy
+                                   //!< rounds before Quarantine
+    double degradedThresholdScale = 2.0; //!< tamper/vote thresholds
+                                   //!< are raised by this factor while
+                                   //!< Degraded (fewer false alarms
+                                   //!< from a shaky instrument)
+    unsigned recoveryCleanRounds = 3; //!< consecutive healthy rounds
+                                   //!< required to climb one rung of
+                                   //!< the ladder back up
+    ///@}
 };
+
+/** Lifecycle state of the authenticator. */
+enum class AuthState
+{
+    Unenrolled,   //!< no calibration fingerprint yet
+    Monitoring,   //!< normal operation, checks passing
+    Mismatch,     //!< similarity check failing (wrong line/module)
+    TamperAlert,  //!< error-function check failing (physical attack)
+    Degraded,     //!< instrument health shaky: thresholds raised,
+                  //!< stale trust extended while it recovers
+    Quarantine,   //!< instrument distrusted: access fenced off,
+                  //!< recalibration in progress
+};
+
+/** @return printable state name. */
+const char *authStateName(AuthState state);
 
 /** Verdict of one monitoring round. */
 struct AuthVerdict
@@ -59,15 +107,17 @@ struct AuthVerdict
     double peakError = 0.0;      //!< measured E_xy peak, V^2
     double tamperLocation = 0.0; //!< estimated attack position, m
     uint64_t round = 0;          //!< monitoring round index
-};
-
-/** Lifecycle state of the authenticator. */
-enum class AuthState
-{
-    Unenrolled,   //!< no calibration fingerprint yet
-    Monitoring,   //!< normal operation, checks passing
-    Mismatch,     //!< similarity check failing (wrong line/module)
-    TamperAlert,  //!< error-function check failing (physical attack)
+    bool instrumentHealthy = true; //!< measurement passed the screens
+                                   //!< (after any retries)
+    MeasurementHealth health;    //!< screens of the accepted (last)
+                                 //!< measurement this round
+    unsigned retries = 0;        //!< unhealthy re-measure attempts
+    unsigned votesFor = 0;       //!< confirmation votes seeing tamper
+    unsigned votesCast = 0;      //!< healthy confirmation votes taken
+    bool alarmSuppressed = false; //!< candidate alarm voted down
+    double thresholdUsed = 0.0;  //!< effective E_xy bar this round
+                                 //!< (warmup slack + ladder scaling)
+    AuthState stateAfter = AuthState::Unenrolled; //!< state on exit
 };
 
 /**
@@ -128,6 +178,21 @@ class Authenticator
     /** @return the instrument (for budget inspection). */
     const ITdr &instrument() const { return itdr_; }
 
+    /**
+     * Attach a fault injector to the underlying instrument (campaign
+     * hook; nullptr detaches). Not owned; must outlive this object.
+     */
+    void attachFaultInjector(FaultInjector *injector)
+    {
+        itdr_.attachFaultInjector(injector);
+    }
+
+    /** @return consecutive unhealthy rounds on the current streak. */
+    unsigned unhealthyStreak() const { return consecutiveUnhealthy_; }
+
+    /** @return candidate alarms voted down since enrollment. */
+    uint64_t suppressedAlarms() const { return suppressedAlarms_; }
+
   private:
     AuthConfig config_;
     ITdr itdr_;
@@ -138,8 +203,26 @@ class Authenticator
     std::deque<Waveform> window_;  //!< recent raw IIPs (FIFO)
     uint64_t round_ = 0;
     uint64_t busCycles_ = 0;
+    unsigned consecutiveUnhealthy_ = 0;
+    unsigned cleanStreak_ = 0;     //!< healthy rounds toward recovery
+    uint64_t suppressedAlarms_ = 0;
 
     Fingerprint averagedFingerprint() const;
+
+    /** Measure with bounded retry + linear bus-cycle backoff. */
+    IipMeasurement measureWithRetry(const TransmissionLine &line,
+                                    NoiseSource *extra_noise,
+                                    unsigned &retries);
+
+    /** One confirmation vote: does a fresh single measurement
+     *  independently see tamper above the vote bar? Unhealthy
+     *  measurements abstain (healthy=false). */
+    bool confirmationVote(const TransmissionLine &line,
+                          NoiseSource *extra_noise, double vote_bar,
+                          bool &healthy);
+
+    /** Ladder descent bookkeeping for an unhealthy round. */
+    void noteUnhealthyRound();
 };
 
 } // namespace divot

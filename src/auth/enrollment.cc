@@ -12,7 +12,9 @@ namespace divot {
 namespace {
 
 constexpr uint32_t storeMagic = 0x44495654;  // "DIVT"
-constexpr uint32_t storeVersion = 1;
+constexpr uint32_t storeVersion = 2;         // dual-bank image
+constexpr uint32_t legacyVersion = 1;        // single-copy (read-only)
+constexpr std::size_t bankHeaderSize = 24;   // magic/ver + len + crc
 
 /** FNV-1a over a byte range — cheap integrity check for the EPROM. */
 uint64_t
@@ -118,12 +120,185 @@ class Reader
         return true;
     }
 
+    bool
+    raw(std::vector<char> &out, uint64_t len)
+    {
+        if (pos_ + len > bytes_.size())
+            return false;
+        out.assign(bytes_.begin() + static_cast<long>(pos_),
+                   bytes_.begin() + static_cast<long>(pos_ + len));
+        pos_ += len;
+        return true;
+    }
+
     bool done() const { return pos_ == bytes_.size(); }
 
   private:
     const std::vector<char> &bytes_;
     std::size_t pos_ = 0;
 };
+
+/**
+ * Serialize the record set as a bank payload: record count, then per
+ * record a CRC-framed body `[bodyLen][body][fnv1a(body)]`. The frame
+ * localizes damage to one record, so a diagnostic pass can tell
+ * "record 3 of bank A is bad" instead of just "bank A is bad".
+ */
+std::vector<char>
+buildPayload(const std::map<std::string, Fingerprint> &store)
+{
+    std::vector<char> payload;
+    putU64(payload, store.size());
+    for (const auto &[channel, fp] : store) {
+        std::vector<char> body;
+        putString(body, channel);
+        putString(body, fp.label());
+        putWaveform(body, fp.raw());
+        putWaveform(body, fp.residual());
+        putU64(payload, body.size());
+        payload.insert(payload.end(), body.begin(), body.end());
+        putU64(payload, fnv1a(body));
+    }
+    return payload;
+}
+
+/** Parse a bank payload; false leaves `out` unspecified. */
+bool
+parsePayload(const std::vector<char> &payload,
+             std::map<std::string, Fingerprint> &out)
+{
+    Reader pr(payload);
+    uint64_t count;
+    if (!pr.u64(count))
+        return false;
+    std::map<std::string, Fingerprint> loaded;
+    for (uint64_t i = 0; i < count; ++i) {
+        uint64_t body_len, crc;
+        std::vector<char> body;
+        if (!pr.u64(body_len) || !pr.raw(body, body_len) ||
+            !pr.u64(crc) || fnv1a(body) != crc) {
+            return false;
+        }
+        Reader br(body);
+        std::string channel, label;
+        Waveform raw, residual;
+        if (!br.str(channel) || !br.str(label) || !br.waveform(raw) ||
+            !br.waveform(residual) || !br.done()) {
+            return false;
+        }
+        loaded[channel] = Fingerprint::fromParts(
+            std::move(raw), std::move(residual), std::move(label));
+    }
+    if (!pr.done())
+        return false;
+    out = std::move(loaded);
+    return true;
+}
+
+/**
+ * Extract and validate bank A: `[magicver][len][crc][payload...]`
+ * framed from the front of the image.
+ */
+bool
+readBankA(const std::vector<char> &bytes,
+          std::map<std::string, Fingerprint> &out)
+{
+    if (bytes.size() < bankHeaderSize)
+        return false;
+    std::vector<char> header(bytes.begin(),
+                             bytes.begin() + bankHeaderSize);
+    Reader hr(header);
+    uint64_t magic_ver, len, crc;
+    if (!hr.u64(magic_ver) || !hr.u64(len) || !hr.u64(crc))
+        return false;
+    if ((magic_ver & 0xffffffffu) != storeMagic ||
+        (magic_ver >> 32) != storeVersion) {
+        return false;
+    }
+    if (len > bytes.size() - bankHeaderSize)
+        return false;
+    std::vector<char> payload(
+        bytes.begin() + bankHeaderSize,
+        bytes.begin() + static_cast<long>(bankHeaderSize + len));
+    if (fnv1a(payload) != crc)
+        return false;
+    return parsePayload(payload, out);
+}
+
+/**
+ * Extract and validate bank B: `[...payload][crc][len][magicver]`
+ * framed from the END of the image — its trailer fields mirror bank
+ * A's header in reverse, so the two banks never share bytes and any
+ * single corrupted byte damages exactly one of them.
+ */
+bool
+readBankB(const std::vector<char> &bytes,
+          std::map<std::string, Fingerprint> &out)
+{
+    if (bytes.size() < bankHeaderSize)
+        return false;
+    std::vector<char> trailer(bytes.end() - bankHeaderSize,
+                              bytes.end());
+    Reader tr(trailer);
+    uint64_t crc, len, magic_ver;
+    if (!tr.u64(crc) || !tr.u64(len) || !tr.u64(magic_ver))
+        return false;
+    if ((magic_ver & 0xffffffffu) != storeMagic ||
+        (magic_ver >> 32) != storeVersion) {
+        return false;
+    }
+    if (len > bytes.size() - bankHeaderSize)
+        return false;
+    const std::size_t payload_end = bytes.size() - bankHeaderSize;
+    std::vector<char> payload(
+        bytes.begin() + static_cast<long>(payload_end - len),
+        bytes.begin() + static_cast<long>(payload_end));
+    if (fnv1a(payload) != crc)
+        return false;
+    return parsePayload(payload, out);
+}
+
+/** Legacy v1 single-copy image: `[magicver][checksum][payload]`. */
+bool
+readLegacyV1(const std::vector<char> &bytes,
+             std::map<std::string, Fingerprint> &out)
+{
+    if (bytes.size() < 16)
+        return false;
+    std::vector<char> header(bytes.begin(), bytes.begin() + 16);
+    std::vector<char> payload(bytes.begin() + 16, bytes.end());
+    Reader hr(header);
+    uint64_t magic_ver, checksum;
+    if (!hr.u64(magic_ver) || !hr.u64(checksum))
+        return false;
+    if ((magic_ver & 0xffffffffu) != storeMagic ||
+        (magic_ver >> 32) != legacyVersion) {
+        return false;
+    }
+    if (fnv1a(payload) != checksum)
+        return false;
+
+    // v1 records carry no per-record framing.
+    Reader pr(payload);
+    uint64_t count;
+    if (!pr.u64(count))
+        return false;
+    std::map<std::string, Fingerprint> loaded;
+    for (uint64_t i = 0; i < count; ++i) {
+        std::string channel, label;
+        Waveform raw, residual;
+        if (!pr.str(channel) || !pr.str(label) || !pr.waveform(raw) ||
+            !pr.waveform(residual)) {
+            return false;
+        }
+        loaded[channel] = Fingerprint::fromParts(
+            std::move(raw), std::move(residual), std::move(label));
+    }
+    if (!pr.done())
+        return false;
+    out = std::move(loaded);
+    return true;
+}
 
 } // namespace
 
@@ -161,79 +336,100 @@ EnrollmentStore::contains(const std::string &channel) const
 bool
 EnrollmentStore::saveToFile(const std::string &path) const
 {
-    std::vector<char> payload;
-    putU64(payload, store_.size());
-    for (const auto &[channel, fp] : store_) {
-        putString(payload, channel);
-        putString(payload, fp.label());
-        putWaveform(payload, fp.raw());
-        putWaveform(payload, fp.residual());
-    }
+    const std::vector<char> payload = buildPayload(store_);
+    const uint64_t magic_ver =
+        (static_cast<uint64_t>(storeVersion) << 32) | storeMagic;
+    const uint64_t crc = fnv1a(payload);
+
+    // Dual-bank image: bank A framed from the front, bank B from the
+    // end (trailer fields reversed). The banks share no bytes, so any
+    // single corruption leaves one complete copy intact.
+    std::vector<char> image;
+    putU64(image, magic_ver);
+    putU64(image, payload.size());
+    putU64(image, crc);
+    image.insert(image.end(), payload.begin(), payload.end());
+    image.insert(image.end(), payload.begin(), payload.end());
+    putU64(image, crc);
+    putU64(image, payload.size());
+    putU64(image, magic_ver);
 
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
         return false;
-    std::vector<char> header;
-    putU64(header, (static_cast<uint64_t>(storeVersion) << 32) |
-                       storeMagic);
-    putU64(header, fnv1a(payload));
-    out.write(header.data(), static_cast<long>(header.size()));
-    out.write(payload.data(), static_cast<long>(payload.size()));
+    out.write(image.data(), static_cast<long>(image.size()));
     return static_cast<bool>(out);
 }
 
 bool
 EnrollmentStore::loadFromFile(const std::string &path)
 {
+    return loadWithReport(path).ok;
+}
+
+EpromLoadReport
+EnrollmentStore::loadWithReport(const std::string &path,
+                                bool scrub_on_fallback)
+{
+    EpromLoadReport report;
     std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
+    if (!in) {
+        report.detail = "file not readable";
+        return report;
+    }
     std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
-    if (bytes.size() < 16)
-        return false;
-
-    std::vector<char> header(bytes.begin(), bytes.begin() + 16);
-    std::vector<char> payload(bytes.begin() + 16, bytes.end());
-    Reader hr(header);
-    uint64_t magic_ver, checksum;
-    if (!hr.u64(magic_ver) || !hr.u64(checksum))
-        return false;
-    if ((magic_ver & 0xffffffffu) != storeMagic) {
-        divot_warn("enrollment file '%s' has bad magic", path.c_str());
-        return false;
-    }
-    if ((magic_ver >> 32) != storeVersion) {
-        divot_warn("enrollment file '%s' has unsupported version %llu",
-                   path.c_str(),
-                   static_cast<unsigned long long>(magic_ver >> 32));
-        return false;
-    }
-    if (fnv1a(payload) != checksum) {
-        divot_warn("enrollment file '%s' failed integrity check",
-                   path.c_str());
-        return false;
+    in.close();
+    if (bytes.size() < 16) {
+        report.detail = "file too short";
+        return report;
     }
 
-    Reader pr(payload);
-    uint64_t count;
-    if (!pr.u64(count))
-        return false;
+    // Build into a local map and swap only on success, so a damaged
+    // image never disturbs the in-memory store.
     std::map<std::string, Fingerprint> loaded;
-    for (uint64_t i = 0; i < count; ++i) {
-        std::string channel, label;
-        Waveform raw, residual;
-        if (!pr.str(channel) || !pr.str(label) || !pr.waveform(raw) ||
-            !pr.waveform(residual)) {
-            return false;
-        }
-        loaded[channel] = Fingerprint::fromParts(
-            std::move(raw), std::move(residual), std::move(label));
+
+    if (readLegacyV1(bytes, loaded)) {
+        report.ok = true;
+        report.records = loaded.size();
+        report.detail = "legacy v1 single-copy image";
+        store_ = std::move(loaded);
+        return report;
     }
-    if (!pr.done())
-        return false;
-    store_ = std::move(loaded);
-    return true;
+
+    if (readBankA(bytes, loaded)) {
+        report.ok = true;
+        report.bankUsed = 0;
+        report.records = loaded.size();
+        store_ = std::move(loaded);
+        return report;
+    }
+
+    if (readBankB(bytes, loaded)) {
+        report.ok = true;
+        report.bankUsed = 1;
+        report.fellBack = true;
+        report.records = loaded.size();
+        report.detail = "bank A damaged; recovered from bank B";
+        divot_warn("enrollment file '%s': bank A damaged; recovered "
+                   "from bank B", path.c_str());
+        store_ = std::move(loaded);
+        if (scrub_on_fallback) {
+            // Scrub: rewrite a pristine dual-bank image so the next
+            // corruption again has a healthy sibling to fall back on.
+            report.scrubbed = saveToFile(path);
+            if (!report.scrubbed) {
+                divot_warn("enrollment file '%s': scrub rewrite "
+                           "failed", path.c_str());
+            }
+        }
+        return report;
+    }
+
+    report.detail = "both banks damaged (or bad magic/version)";
+    divot_warn("enrollment file '%s' failed integrity check in both "
+               "banks", path.c_str());
+    return report;
 }
 
 } // namespace divot

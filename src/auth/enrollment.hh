@@ -9,11 +9,20 @@
  * line, so a leaked fingerprint cannot be replayed. The store
  * therefore offers plain binary persistence with integrity checking
  * (a corrupted calibration must fail loudly, not authenticate junk).
+ *
+ * Persistence is dual-bank (bootloader style): the image carries two
+ * complete copies of the record set — bank A framed from the front of
+ * the file, bank B framed from the end — each with its own length,
+ * checksum, and per-record CRCs. Any single-byte corruption lands in
+ * exactly one bank; loading falls back to the surviving bank and
+ * scrubs (rewrites) the image. Version-1 single-copy files remain
+ * readable.
  */
 
 #ifndef DIVOT_AUTH_ENROLLMENT_HH
 #define DIVOT_AUTH_ENROLLMENT_HH
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -21,6 +30,18 @@
 #include "fingerprint/fingerprint.hh"
 
 namespace divot {
+
+/** Outcome of a dual-bank EPROM load. */
+struct EpromLoadReport
+{
+    bool ok = false;        //!< a complete copy was loaded
+    int bankUsed = -1;      //!< 0 = bank A, 1 = bank B, -1 = none
+                            //!< (or legacy v1 single copy)
+    bool fellBack = false;  //!< bank A was damaged; bank B served
+    bool scrubbed = false;  //!< image was rewritten after fallback
+    uint64_t records = 0;   //!< records loaded
+    std::string detail;     //!< human-readable failure/fallback cause
+};
 
 /**
  * Write-once-per-channel fingerprint store with file persistence.
@@ -54,18 +75,32 @@ class EnrollmentStore
     void clear() { store_.clear(); }
 
     /**
-     * Persist all records to a binary file.
+     * Persist all records to a binary file as a dual-bank image (two
+     * complete copies, each checksummed whole and per record).
      *
      * @return true on success
      */
     bool saveToFile(const std::string &path) const;
 
     /**
-     * Load records from a binary file, replacing current contents.
-     * Fails (returns false) on missing file, bad magic, or a payload
-     * checksum mismatch.
+     * Load records from a binary file, replacing current contents
+     * only on success (strong exception safety: any failure leaves
+     * the in-memory store untouched). Tries bank A, falls back to
+     * bank B when A is damaged, and scrubs the image after a
+     * fallback. Fails on missing file, bad magic, or when both banks
+     * are damaged.
      */
     bool loadFromFile(const std::string &path);
+
+    /**
+     * loadFromFile with full diagnostics.
+     *
+     * @param path             image path
+     * @param scrub_on_fallback rewrite the image when bank A was
+     *                          damaged but bank B recovered the data
+     */
+    EpromLoadReport loadWithReport(const std::string &path,
+                                   bool scrub_on_fallback = true);
 
   private:
     std::map<std::string, Fingerprint> store_;

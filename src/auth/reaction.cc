@@ -28,6 +28,9 @@ ReactionPolicy::decide(const AuthVerdict &verdict)
     ReactionAction action = ReactionAction::Proceed;
     std::string detail;
 
+    if (verdict.alarmSuppressed)
+        ++suppressed_;
+
     if (verdict.tamperAlarm) {
         ++alarms_;
         if (zeroizeOnTamper_) {
@@ -40,7 +43,16 @@ ReactionPolicy::decide(const AuthVerdict &verdict)
         ++denied_;
     } else if (!verdict.authenticated) {
         ++denied_;
-        if (role_ == BusRole::Cpu) {
+        if (verdict.stateAfter == AuthState::Quarantine) {
+            // Not a mismatch: the instrument itself is distrusted.
+            // Fence access off until recalibration clears it, but do
+            // not report an attack.
+            action = role_ == BusRole::Cpu
+                ? ReactionAction::StallRetry
+                : ReactionAction::BlockAccess;
+            detail = "instrument quarantined: fencing access until "
+                     "recalibration succeeds";
+        } else if (role_ == BusRole::Cpu) {
             action = ReactionAction::StallRetry;
             detail = "fingerprint mismatch: module may be swapped; "
                      "stalling memory operations";

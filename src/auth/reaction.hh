@@ -72,6 +72,11 @@ class ReactionPolicy
     /** @return count of tamper alarms raised. */
     uint64_t alarmCount() const { return alarms_; }
 
+    /** @return candidate alarms the vote-confirmation stage voted
+     *  down (observed via verdicts; these log no event because the
+     *  action stays Proceed). */
+    uint64_t suppressedCount() const { return suppressed_; }
+
     /** @return protected role. */
     BusRole role() const { return role_; }
 
@@ -81,6 +86,7 @@ class ReactionPolicy
     std::vector<SecurityEvent> events_;
     uint64_t denied_ = 0;
     uint64_t alarms_ = 0;
+    uint64_t suppressed_ = 0;
 };
 
 /** @return printable action name. */

@@ -1,0 +1,221 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::ComparatorStuckLow: return "comparator-stuck-low";
+      case FaultKind::ComparatorStuckHigh: return "comparator-stuck-high";
+      case FaultKind::ComparatorOffsetDrift: return "comparator-offset-drift";
+      case FaultKind::PllPhaseDropout: return "pll-phase-dropout";
+      case FaultKind::CounterBitFlip: return "counter-bit-flip";
+      case FaultKind::EmiBurst: return "emi-burst";
+      case FaultKind::BudgetOverrun: return "budget-overrun";
+      case FaultKind::EpromCorruption: return "eprom-corruption";
+    }
+    return "unknown";
+}
+
+FaultPlan &
+FaultPlan::add(FaultSpec spec)
+{
+    specs_.push_back(spec);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::comparatorStuck(uint64_t first, uint64_t n, bool high)
+{
+    return add({high ? FaultKind::ComparatorStuckHigh
+                     : FaultKind::ComparatorStuckLow,
+                first, n, 0.0, 0.0});
+}
+
+FaultPlan &
+FaultPlan::offsetDrift(uint64_t first, uint64_t n, double volts)
+{
+    return add({FaultKind::ComparatorOffsetDrift, first, n, volts, 0.0});
+}
+
+FaultPlan &
+FaultPlan::pllDropout(uint64_t first, uint64_t n, double rate)
+{
+    return add({FaultKind::PllPhaseDropout, first, n, rate, 0.0});
+}
+
+FaultPlan &
+FaultPlan::counterBitFlip(uint64_t first, uint64_t n, double rate)
+{
+    return add({FaultKind::CounterBitFlip, first, n, rate, 0.0});
+}
+
+FaultPlan &
+FaultPlan::emiBurst(uint64_t first, uint64_t n, double volts, double hz)
+{
+    return add({FaultKind::EmiBurst, first, n, volts, hz});
+}
+
+FaultPlan &
+FaultPlan::budgetOverrun(uint64_t first, uint64_t n, double factor)
+{
+    return add({FaultKind::BudgetOverrun, first, n, factor, 0.0});
+}
+
+FaultPlan &
+FaultPlan::epromCorruption(uint64_t event, double bytes)
+{
+    return add({FaultKind::EpromCorruption, event, 1, bytes, 0.0});
+}
+
+uint64_t
+FaultPlan::defaultSeed()
+{
+    if (const char *env = std::getenv("DIVOT_FAULT_SEED")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 0);
+        if (end && end != env && *end == '\0')
+            return static_cast<uint64_t>(v);
+        divot_warn("DIVOT_FAULT_SEED='%s' is not an integer; "
+                   "using the built-in seed", env);
+    }
+    return 0xFA017ull;
+}
+
+bool
+FaultFrame::any() const
+{
+    return comparatorStuck >= 0 || comparatorOffset != 0.0 ||
+           pllDropoutRate > 0.0 || counterFlipRate > 0.0 ||
+           emiAmplitude > 0.0 || cycleOverrunFactor != 1.0;
+}
+
+namespace {
+
+bool
+active(const FaultSpec &spec, uint64_t index)
+{
+    if (index < spec.firstMeasurement)
+        return false;
+    if (spec.measurements == 0)
+        return true;
+    return index - spec.firstMeasurement < spec.measurements;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, Rng rng)
+    : plan_(std::move(plan)), base_(rng)
+{
+}
+
+FaultFrame
+FaultInjector::frameFor(uint64_t measurement_index) const
+{
+    // Everything derives from (base state, index): the frame is a pure
+    // function of the measurement index, so campaigns reproduce
+    // bit-for-bit regardless of which thread performs the measurement.
+    Rng draw = base_.forkStable(measurement_index * 2 + 1);
+
+    FaultFrame frame;
+    frame.binRng = base_.forkStable(measurement_index * 2);
+    for (const FaultSpec &spec : plan_.specs()) {
+        if (!active(spec, measurement_index))
+            continue;
+        switch (spec.kind) {
+          case FaultKind::ComparatorStuckLow:
+            frame.comparatorStuck = 0;
+            break;
+          case FaultKind::ComparatorStuckHigh:
+            frame.comparatorStuck = 1;
+            break;
+          case FaultKind::ComparatorOffsetDrift:
+            frame.comparatorOffset += spec.magnitude;
+            break;
+          case FaultKind::PllPhaseDropout:
+            frame.pllDropoutRate =
+                std::min(1.0, frame.pllDropoutRate + spec.magnitude);
+            break;
+          case FaultKind::CounterBitFlip:
+            frame.counterFlipRate =
+                std::min(1.0, frame.counterFlipRate + spec.magnitude);
+            break;
+          case FaultKind::EmiBurst:
+            frame.emiAmplitude = std::max(frame.emiAmplitude,
+                                          spec.magnitude);
+            frame.emiFrequency = spec.frequency;
+            frame.emiPhase = draw.uniform(0.0, 6.283185307179586);
+            break;
+          case FaultKind::BudgetOverrun:
+            frame.cycleOverrunFactor *= spec.magnitude > 0.0
+                ? spec.magnitude : 1.0;
+            break;
+          case FaultKind::EpromCorruption:
+            break; // storage faults are applied by corruptFile()
+        }
+    }
+    return frame;
+}
+
+bool
+FaultInjector::epromFaultAt(uint64_t event_index) const
+{
+    for (const FaultSpec &spec : plan_.specs()) {
+        if (spec.kind == FaultKind::EpromCorruption &&
+            active(spec, event_index)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+FaultInjector::corruptFile(const std::string &path,
+                           uint64_t event_index) const
+{
+    unsigned total = 0;
+    for (const FaultSpec &spec : plan_.specs()) {
+        if (spec.kind != FaultKind::EpromCorruption ||
+            !active(spec, event_index)) {
+            continue;
+        }
+
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return total;
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        in.close();
+        if (bytes.empty())
+            return total;
+
+        Rng draw = base_.forkStable(0xE9 + event_index * 16 + total);
+        unsigned count = spec.magnitude >= 1.0
+            ? static_cast<unsigned>(spec.magnitude) : 1u;
+        for (unsigned i = 0; i < count; ++i) {
+            uint64_t pos = draw.uniformInt(bytes.size());
+            unsigned bit = static_cast<unsigned>(draw.uniformInt(8));
+            bytes[pos] = static_cast<char>(
+                static_cast<unsigned char>(bytes[pos]) ^ (1u << bit));
+        }
+
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return total;
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.close();
+        total += count;
+    }
+    return total;
+}
+
+} // namespace divot

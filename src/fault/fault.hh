@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Deterministic fault-injection plans for instrument and storage
+ * components.
+ *
+ * The monitoring loop's value is that it keeps authenticating while
+ * the system runs, which means it must survive the faults real
+ * deployments throw at it — comparator drift, PLL glitches, counter
+ * bit flips, corrupted EPROM calibration, EMI bursts — without either
+ * crashing the memory system or screaming false tamper alarms. This
+ * module provides the *attacker-free* half of that story: a schedule
+ * of instrument faults (`FaultPlan`) and a deterministic sampler
+ * (`FaultInjector`) that resolves, for each measurement the iTDR
+ * performs, exactly which corruptions apply.
+ *
+ * Determinism contract: every random decision derives from
+ * `Rng::forkStable(measurement index)` — a pure function of the
+ * injector's seed stream and the index, never of draw order or thread
+ * timing — so fault campaigns reproduce bit-for-bit at any thread
+ * count, riding the same parallel engine as the clean studies.
+ */
+
+#ifndef DIVOT_FAULT_FAULT_HH
+#define DIVOT_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace divot {
+
+/** The fault taxonomy (see DESIGN.md §9 for the full table). */
+enum class FaultKind
+{
+    ComparatorStuckLow,   //!< comparator output wedged at 0
+    ComparatorStuckHigh,  //!< comparator output wedged at 1
+    ComparatorOffsetDrift, //!< static offset added to the signal input
+    PllPhaseDropout,      //!< ETS phase step randomly fails to advance
+    CounterBitFlip,       //!< hit-counter register bit flips
+    EmiBurst,             //!< transient sinusoidal interference burst
+    BudgetOverrun,        //!< measurement consumes extra bus cycles
+    EpromCorruption,      //!< calibration-store byte corruption
+};
+
+/** @return printable fault-kind name. */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::EmiBurst;
+    uint64_t firstMeasurement = 0; //!< first affected measurement index
+    uint64_t measurements = 1;     //!< affected count; 0 => forever
+    double magnitude = 0.0;        //!< kind-specific strength:
+                                   //!< volts (offset/EMI), probability
+                                   //!< per bin (dropout/bit flip),
+                                   //!< cycle factor (overrun), bytes
+                                   //!< to flip (EPROM)
+    double frequency = 25e6;       //!< EMI burst frequency, Hz
+};
+
+/**
+ * A reproducible schedule of faults, indexed by the owning
+ * instrument's measurement counter (each `ITdr::measure` call is one
+ * index; `EpromCorruption` events are indexed by the caller's own
+ * event counter instead).
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Append an arbitrary spec. */
+    FaultPlan &add(FaultSpec spec);
+
+    /** @name Convenience builders (all return *this for chaining). */
+    ///@{
+    FaultPlan &comparatorStuck(uint64_t first, uint64_t n, bool high);
+    FaultPlan &offsetDrift(uint64_t first, uint64_t n, double volts);
+    FaultPlan &pllDropout(uint64_t first, uint64_t n, double rate);
+    FaultPlan &counterBitFlip(uint64_t first, uint64_t n, double rate);
+    FaultPlan &emiBurst(uint64_t first, uint64_t n, double volts,
+                        double hz = 25e6);
+    FaultPlan &budgetOverrun(uint64_t first, uint64_t n, double factor);
+    FaultPlan &epromCorruption(uint64_t event, double bytes = 1.0);
+    ///@}
+
+    /** @return all scheduled specs. */
+    const std::vector<FaultSpec> &specs() const { return specs_; }
+
+    /** @return true when nothing is scheduled. */
+    bool empty() const { return specs_.empty(); }
+
+    /**
+     * Seed for fault campaigns: the DIVOT_FAULT_SEED environment
+     * variable when set to an integer, otherwise a fixed constant.
+     */
+    static uint64_t defaultSeed();
+
+  private:
+    std::vector<FaultSpec> specs_;
+};
+
+/**
+ * The fault effects resolved for one measurement. The iTDR applies
+ * these during its ETS sweep; `binRng` carries the dedicated stream
+ * for per-bin decisions (dropouts, bit flips) so in-measurement
+ * randomness is a pure function of the measurement index.
+ */
+struct FaultFrame
+{
+    int comparatorStuck = -1;      //!< -1 none, 0/1 forced output
+    double comparatorOffset = 0.0; //!< volts added to the signal input
+    double pllDropoutRate = 0.0;   //!< per-bin phase-step failure prob
+    double counterFlipRate = 0.0;  //!< per-bin register-flip prob
+    double emiAmplitude = 0.0;     //!< burst amplitude, volts
+    double emiFrequency = 0.0;     //!< burst frequency, Hz
+    double emiPhase = 0.0;         //!< burst phase, radians
+    double cycleOverrunFactor = 1.0; //!< multiplies consumed cycles
+    Rng binRng{0};                 //!< per-bin decision stream
+
+    /** @return true when any instrument fault is active. */
+    bool any() const;
+};
+
+/**
+ * Samples a FaultPlan deterministically per measurement.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan fault schedule
+     * @param rng  dedicated stream; frames derive from forkStable so
+     *             the injector itself never advances it
+     */
+    FaultInjector(FaultPlan plan, Rng rng);
+
+    /** Resolve the frame for an explicit measurement index. */
+    FaultFrame frameFor(uint64_t measurement_index) const;
+
+    /** Resolve the frame for the next measurement (iTDR hook). */
+    FaultFrame nextFrame() { return frameFor(index_++); }
+
+    /** @return measurements the injector has issued frames for. */
+    uint64_t measurementIndex() const { return index_; }
+
+    /** Rewind / fast-forward the measurement counter. */
+    void resetIndex(uint64_t index = 0) { index_ = index; }
+
+    /** @return the plan being sampled. */
+    const FaultPlan &plan() const { return plan_; }
+
+    /** @return true when an EPROM fault is scheduled at this event. */
+    bool epromFaultAt(uint64_t event_index) const;
+
+    /**
+     * Apply any EPROM corruption scheduled at `event_index` to a
+     * saved calibration file: flips `magnitude` seeded random bytes.
+     *
+     * @return number of bytes corrupted (0 when no fault is due or
+     *         the file cannot be rewritten)
+     */
+    unsigned corruptFile(const std::string &path,
+                         uint64_t event_index) const;
+
+  private:
+    FaultPlan plan_;
+    Rng base_;
+    uint64_t index_ = 0;
+};
+
+} // namespace divot
+
+#endif // DIVOT_FAULT_FAULT_HH

@@ -107,6 +107,40 @@ ITdr::prepareBins(const TransmissionLine &line)
         const double t0 = static_cast<double>(m) * pll_.phaseStep();
         inverse_.emplace_back(pdm_.levelsAt(t0), sigma);
     }
+
+    // Budget baseline for the health screen: expected cycles follow
+    // from the trigger rate exactly as in predictBudget().
+    const double trigger_rate =
+        config_.triggerMode == TriggerMode::ClockLane ? 1.0 : 0.25;
+    expectedCycles_ = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(bins_) * static_cast<double>(trials_) /
+        trigger_rate));
+}
+
+bool
+ITdr::recalibrate()
+{
+    const double guess = reconstructionSigma() > 0.0
+        ? reconstructionSigma() : 0.5e-3;
+    NoiseCalibrator calibrator(guess, 50000);
+    const NoiseCalibration result = calibrator.run(comparator_);
+    if (!result.valid) {
+        divot_warn("iTDR recalibration failed to converge; keeping the "
+                   "previous sigma/offset");
+        return false;
+    }
+    calibratedSigma_ = result.sigma;
+    offsetCorrection_ = result.offset;
+    if (bins_ != 0) {
+        // The inverse tables bake in sigma: rebuild them on the frozen
+        // bin grid so reconstructions use the fresh estimate.
+        for (unsigned m = 0; m < bins_; ++m) {
+            const double t0 = static_cast<double>(m) * pll_.phaseStep();
+            inverse_[m] = ApcInverseTable(pdm_.levelsAt(t0),
+                                          calibratedSigma_);
+        }
+    }
+    return true;
 }
 
 double
@@ -191,6 +225,67 @@ ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
     Waveform iip = Waveform::zeros(tau, bins_);
     HitCounter counter(config_.counterWidthBits);
 
+    // Resolve this measurement's fault frame (a pure function of the
+    // injector's measurement index, so campaigns stay deterministic at
+    // any thread count).
+    FaultFrame fault;
+    if (faultInjector_ != nullptr)
+        fault = faultInjector_->nextFrame();
+    const double two_pi = 6.283185307179586;
+    // A failed ETS phase step leaves the sampling offset lagging the
+    // nominal grid; lags accumulate over the sweep.
+    double phase_lag = 0.0;
+    unsigned saturated_bins = 0;
+    unsigned non_finite_bins = 0;
+
+    // Per-bin fault application, identical for the batch and scalar
+    // paths: a signal-input bias (offset drift + EMI burst evaluated
+    // at the bin's nominal time, loop-invariant within the bin) before
+    // strobing, and post-count corruption of the hit register (stuck
+    // comparator output, register bit flips).
+    auto faultBias = [&](double t0) {
+        double bias = fault.comparatorOffset;
+        if (fault.emiAmplitude > 0.0) {
+            bias += fault.emiAmplitude *
+                std::sin(two_pi * fault.emiFrequency * t0 +
+                         fault.emiPhase);
+        }
+        return bias;
+    };
+    auto faultSampleTime = [&](double t0) {
+        if (fault.pllDropoutRate > 0.0 &&
+            fault.binRng.bernoulli(fault.pllDropoutRate)) {
+            phase_lag += tau;
+        }
+        return std::max(0.0, t0 - phase_lag);
+    };
+    auto faultHits = [&](unsigned hits) {
+        if (fault.comparatorStuck >= 0)
+            hits = fault.comparatorStuck == 1 ? trials_ : 0;
+        if (fault.counterFlipRate > 0.0 &&
+            fault.binRng.bernoulli(fault.counterFlipRate)) {
+            const unsigned bit = static_cast<unsigned>(
+                fault.binRng.uniformInt(config_.counterWidthBits));
+            hits ^= 1u << bit;
+            if (hits > trials_)
+                hits = trials_;
+        }
+        return hits;
+    };
+    auto finishBin = [&](unsigned m, unsigned hits) {
+        if (hits == 0 || hits >= trials_)
+            ++saturated_bins;
+        counter.reset();
+        counter.recordBatch(hits, trials_);
+        double v = inverse_[m].reconstruct(counter.probability()) -
+            offsetCorrection_;
+        if (!std::isfinite(v)) {
+            ++non_finite_bins;
+            v = 0.0;
+        }
+        iip[m] = v;
+    };
+
     const bool no_jitter = config_.pll.jitterRms <= 0.0;
     // The batch path needs a loop-invariant signal (no jitter, no
     // per-trigger interference), arithmetic trigger cycles (clock
@@ -221,22 +316,23 @@ ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
             }
             for (unsigned k = 0; k < trials_; ++k)
                 refScratch_[k] = period[k % levels];
-            const double v_sig = trace.valueAt(t0);
-            const unsigned hits = comparator_.strobeBatch(
-                v_sig, refScratch_.data(), trials_);
-            counter.reset();
-            counter.recordBatch(hits, trials_);
-            iip[m] = inverse_[m].reconstruct(counter.probability()) -
-                offsetCorrection_;
+            const double v_sig =
+                trace.valueAt(faultSampleTime(t0)) + faultBias(t0);
+            const unsigned hits = faultHits(comparator_.strobeBatch(
+                v_sig, refScratch_.data(), trials_));
+            finishBin(m, hits);
             pll_.stepPhase();
         }
     } else {
         for (unsigned m = 0; m < bins_; ++m) {
             const double t0 = static_cast<double>(m) * tau;
+            const double t_sig0 = faultSampleTime(t0);
+            const double bias = faultBias(t0);
             // Without jitter the signal lookup is loop-invariant
             // (the PDM reference still varies per trigger through
             // t_abs): hoist it out of the trial loop.
-            const double v_fixed = no_jitter ? trace.valueAt(t0) : 0.0;
+            const double v_fixed =
+                no_jitter ? trace.valueAt(t_sig0) + bias : 0.0;
             counter.reset();
             for (unsigned k = 0; k < trials_; ++k) {
                 const uint64_t cycle = triggerGen_.nextTriggerCycle();
@@ -247,25 +343,46 @@ ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
                     jitter = rng_.gaussian(0.0, config_.pll.jitterRms);
                 const double t_abs =
                     static_cast<double>(cycle) * t_clk + t0 + jitter;
-                double v_sig =
-                    no_jitter ? v_fixed : trace.valueAt(t0 + jitter);
+                double v_sig = no_jitter
+                    ? v_fixed : trace.valueAt(t_sig0 + jitter) + bias;
                 if (extra_noise != nullptr)
                     v_sig += extra_noise->sampleAt(t_abs);
                 const double v_ref = pdm_.referenceAt(t_abs);
                 counter.record(comparator_.strobe(v_sig, v_ref));
             }
-            iip[m] = inverse_[m].reconstruct(counter.probability()) -
-                offsetCorrection_;
+            finishBin(m, faultHits(
+                static_cast<unsigned>(counter.hits())));
             pll_.stepPhase();
         }
     }
 
     IipMeasurement out;
     out.iip = std::move(iip);
-    out.busCycles = triggerGen_.cyclesElapsed() - cycles_before;
+    uint64_t cycles = triggerGen_.cyclesElapsed() - cycles_before;
+    if (fault.cycleOverrunFactor != 1.0) {
+        // The fault consumes real bus time (arbitration storms, retry
+        // loops) without producing extra samples.
+        cycles = static_cast<uint64_t>(std::llround(
+            static_cast<double>(cycles) * fault.cycleOverrunFactor));
+    }
+    out.busCycles = cycles;
     out.triggers = triggerGen_.triggersProduced() - triggers_before;
     out.duration = static_cast<double>(out.busCycles) * t_clk;
     out.trialsPerBin = trials_;
+
+    out.health.saturatedBinFraction =
+        static_cast<double>(saturated_bins) /
+        static_cast<double>(bins_);
+    out.health.nonFiniteBins = non_finite_bins;
+    out.health.budgetOverrun = expectedCycles_ > 0 &&
+        static_cast<double>(out.busCycles) >
+            config_.healthBudgetTolerance *
+            static_cast<double>(expectedCycles_);
+    if (config_.healthScreens) {
+        out.health.ok = out.health.saturatedBinFraction <=
+                config_.healthSaturationLimit &&
+            out.health.nonFiniteBins == 0 && !out.health.budgetOverrun;
+    }
     return out;
 }
 

@@ -29,6 +29,7 @@
 #include "analog/comparator.hh"
 #include "analog/coupler.hh"
 #include "analog/pll.hh"
+#include "fault/fault.hh"
 #include "itdr/apc.hh"
 #include "itdr/pdm.hh"
 #include "itdr/trace_cache.hh"
@@ -76,6 +77,34 @@ struct ItdrConfig
                                     //!< traces, content-keyed + LRU
                                     //!< (see itdr/trace_cache.hh);
                                     //!< 0 disables caching
+    bool healthScreens = true;      //!< run the instrument-health
+                                    //!< screens on every measurement
+    double healthSaturationLimit = 0.5; //!< max fraction of bins at
+                                    //!< probability exactly 0 or 1
+                                    //!< before the measurement is
+                                    //!< declared unhealthy
+    double healthBudgetTolerance = 1.5; //!< bus-cycle overrun factor
+                                    //!< vs the predicted budget before
+                                    //!< the 50 us envelope is declared
+                                    //!< blown
+};
+
+/**
+ * Instrument self-assessment for one measurement: is this IIP
+ * trustworthy, or is the iTDR itself sick? A wedged comparator drives
+ * every bin to probability 0/1 (saturation screen); numerical
+ * breakdown in the inverse-CDF shows up as non-finite reconstructions;
+ * a measurement that blows the predicted cycle budget violates the
+ * paper's 50 us concurrency envelope. Consumers (Authenticator) treat
+ * an unhealthy measurement as "instrument sick", never as tamper.
+ */
+struct MeasurementHealth
+{
+    bool ok = true;                 //!< all screens passed
+    double saturatedBinFraction = 0.0; //!< bins at probability 0 or 1
+    unsigned nonFiniteBins = 0;     //!< NaN/inf reconstructions (the
+                                    //!< IIP carries 0.0 in their place)
+    bool budgetOverrun = false;     //!< cycle cost blew the envelope
 };
 
 /** One measured IIP with its cost accounting. */
@@ -90,6 +119,7 @@ struct IipMeasurement
                                //!< predictBudget().trialsPerBin, so
                                //!< budget accounting can reconcile
                                //!< against what actually ran
+    MeasurementHealth health;  //!< instrument self-assessment
 };
 
 /**
@@ -153,6 +183,35 @@ class ITdr
     /** @return the reflection-trace cache (hit/miss accounting). */
     const TraceCache &traceCache() const { return traceCache_; }
 
+    /**
+     * Attach a fault injector: every subsequent measure() call asks it
+     * for the FaultFrame of the next measurement index and applies the
+     * resolved corruptions during the ETS sweep. Pass nullptr to
+     * detach. The injector is not owned and must outlive the iTDR.
+     */
+    void attachFaultInjector(FaultInjector *injector)
+    {
+        faultInjector_ = injector;
+    }
+
+    /** @return the attached fault injector (nullptr when none). */
+    FaultInjector *faultInjector() const { return faultInjector_; }
+
+    /**
+     * Re-run the power-up noise self-calibration against the live
+     * comparator and rebuild the inverse-CDF tables with the fresh
+     * sigma/offset estimates. This is the Quarantine-recovery hook:
+     * after an unhealthy streak the Authenticator re-baselines the
+     * instrument before trusting it again.
+     *
+     * @return true when the calibration converged and was applied
+     */
+    bool recalibrate();
+
+    /** @return predicted bus cycles per measurement (0 until the
+     *  first measure() freezes the bin grid). */
+    uint64_t expectedCycles() const { return expectedCycles_; }
+
   private:
     ItdrConfig config_;
     Rng rng_;
@@ -167,6 +226,8 @@ class ITdr
     double window_ = 0.0;
     double calibratedSigma_ = 0.0;
     double offsetCorrection_ = 0.0;
+    FaultInjector *faultInjector_ = nullptr;
+    uint64_t expectedCycles_ = 0;
 
     /** Per-bin inverse-CDF tables, built lazily on first measure. */
     std::vector<ApcInverseTable> inverse_;

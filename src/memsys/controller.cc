@@ -73,6 +73,21 @@ MemoryController::completeFinished(uint64_t cycle)
     }
 }
 
+void
+MemoryController::failQueued(uint64_t cycle)
+{
+    while (!queue_.empty()) {
+        MemCompletion done;
+        done.request = queue_.front().request;
+        done.completionCycle = cycle;
+        done.failed = true;
+        ++stats_.failedRequests;
+        queue_.pop_front();
+        if (callback_)
+            callback_(done);
+    }
+}
+
 bool
 MemoryController::tryIssueFor(QueuedRequest &entry, uint64_t cycle,
                               std::size_t queue_index)
@@ -159,8 +174,16 @@ MemoryController::tick(uint64_t cycle)
         // CPU-side reaction: stall all data traffic while the bus
         // fingerprint mismatches.
         ++stats_.stalledCycles;
+        ++stallStreak_;
+        if (stallBound_ != 0 && stallStreak_ >= stallBound_) {
+            // The stall bound expired (instrument degraded or
+            // quarantined for good): reject the waiting requests
+            // rather than deadlock the queue.
+            failQueued(cycle);
+        }
         return;
     }
+    stallStreak_ = 0;
 
     // FR-FCFS: oldest row-hit first.
     for (std::size_t i = 0; i < queue_.size(); ++i) {

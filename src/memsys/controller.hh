@@ -46,6 +46,10 @@ struct MemCompletion
     uint64_t completionCycle = 0;
     uint64_t data = 0;          //!< payload for reads
     bool rowHit = false;
+    bool failed = false;        //!< rejected after the stall bound
+                                //!< expired (no data transferred);
+                                //!< the requester must re-issue once
+                                //!< trust is re-established
 };
 
 /** Controller statistics. */
@@ -58,6 +62,8 @@ struct ControllerStats
     uint64_t refreshes = 0;
     uint64_t stalledCycles = 0;   //!< cycles spent distrusting the bus
     uint64_t gateRejections = 0;  //!< device-side blocks observed
+    uint64_t failedRequests = 0;  //!< requests rejected at the stall
+                                  //!< bound instead of served
     RunningStats latency;         //!< request latency in cycles
 
     /** @return row-hit fraction of all data commands. */
@@ -104,6 +110,20 @@ class MemoryController
     /** @return whether the controller currently trusts the bus. */
     bool busTrusted() const { return busTrusted_; }
 
+    /**
+     * Bound the distrust stall: after `cycles` consecutive stalled
+     * cycles with requests waiting, queued requests are rejected with
+     * `MemCompletion::failed` instead of waiting forever. 0 (the
+     * default) keeps the legacy unbounded stall. The DIVOT gate sets
+     * this from the monitoring-round length so a quarantined
+     * instrument degrades availability instead of deadlocking the
+     * queue.
+     */
+    void setStallBound(uint64_t cycles) { stallBound_ = cycles; }
+
+    /** @return the configured stall bound (0 = unbounded). */
+    uint64_t stallBound() const { return stallBound_; }
+
     /** @return accumulated statistics. */
     const ControllerStats &stats() const { return stats_; }
 
@@ -133,9 +153,12 @@ class MemoryController
     ControllerStats stats_;
     bool busTrusted_ = true;
     uint64_t nextRefresh_;
+    uint64_t stallBound_ = 0;
+    uint64_t stallStreak_ = 0;
 
     DramAddress decode(uint64_t address) const;
     void completeFinished(uint64_t cycle);
+    void failQueued(uint64_t cycle);
     bool tryIssueFor(QueuedRequest &entry, uint64_t cycle,
                      std::size_t queue_index);
 };

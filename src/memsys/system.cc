@@ -26,8 +26,12 @@ ProtectedMemorySystem::ProtectedMemorySystem(MemorySystemConfig config,
 {
     sdram_ = std::make_unique<Sdram>(config_.timing, config_.geometry);
     controller_ = std::make_unique<MemoryController>(*sdram_);
-    controller_->onCompletion(
-        [this](const MemCompletion &) { ++completed_; });
+    controller_->onCompletion([this](const MemCompletion &c) {
+        if (c.failed)
+            ++failed_;
+        else
+            ++completed_;
+    });
 
     ItdrConfig itdr = config_.itdr;
     itdr.pll.clockFrequency = config_.clockHz;
@@ -37,6 +41,10 @@ ProtectedMemorySystem::ProtectedMemorySystem(MemorySystemConfig config,
 
     gate_ = std::make_unique<DivotGate>(*protocol_, *controller_,
                                         *sdram_, bus_, config_.clockHz);
+    if (config_.stallBoundRounds > 0) {
+        controller_->setStallBound(config_.stallBoundRounds *
+                                   gate_->roundCycles());
+    }
     workload_ = std::make_unique<WorkloadGenerator>(
         config_.workload, config_.footprint, config_.requestsPerKcycle,
         config_.writeFraction, rng_.fork(0x5003));
@@ -98,6 +106,7 @@ ProtectedMemorySystem::report() const
     r.controller = controller_->stats();
     r.cyclesRun = cycle_;
     r.completed = completed_;
+    r.failed = failed_;
     r.injected = injected_;
     r.monitoringRounds = gate_->roundsCompleted();
     r.gateRejections = sdram_->gateRejections();

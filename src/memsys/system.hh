@@ -39,6 +39,11 @@ struct MemorySystemConfig
     uint64_t footprint = 1u << 22;  //!< words
     double requestsPerKcycle = 50.0;
     double writeFraction = 0.3;
+    unsigned stallBoundRounds = 8;  //!< monitoring rounds a distrusted
+                                    //!< stall may last before queued
+                                    //!< requests are failed instead of
+                                    //!< deadlocking; 0 = unbounded
+                                    //!< (legacy behavior)
 };
 
 /** Aggregate run report. */
@@ -46,7 +51,8 @@ struct MemorySystemReport
 {
     ControllerStats controller;
     uint64_t cyclesRun = 0;
-    uint64_t completed = 0;
+    uint64_t completed = 0;     //!< requests served with data
+    uint64_t failed = 0;        //!< requests rejected at the stall bound
     uint64_t injected = 0;
     uint64_t monitoringRounds = 0;
     uint64_t gateRejections = 0;
@@ -92,6 +98,13 @@ class ProtectedMemorySystem
     /** @return mutable device handle (for example payloads). */
     Sdram &sdram() { return *sdram_; }
 
+    /** Attach a fault injector to one side's instrument (campaign
+     *  hook; nullptr detaches). Not owned; must outlive the system. */
+    void attachFaultInjector(BusRole side, FaultInjector *injector)
+    {
+        protocol_->attachFaultInjector(side, injector);
+    }
+
   private:
     MemorySystemConfig config_;
     Rng rng_;
@@ -103,6 +116,7 @@ class ProtectedMemorySystem
     std::unique_ptr<WorkloadGenerator> workload_;
     uint64_t cycle_ = 0;
     uint64_t completed_ = 0;
+    uint64_t failed_ = 0;
     uint64_t injected_ = 0;
 
     static TransmissionLine fabricateBus(const MemorySystemConfig &config,

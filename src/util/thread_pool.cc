@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <utility>
 
 #include "util/logging.hh"
 
@@ -59,7 +60,13 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        try {
+            task();
+        } catch (...) {
+            // Keep the worker alive: the error surfaces at the next
+            // drain() instead of terminating the process.
+            recordError(std::current_exception());
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --pending_;
@@ -83,10 +90,31 @@ ThreadPool::submit(std::function<void()> task)
 }
 
 void
+ThreadPool::recordError(std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!firstError_)
+        firstError_ = std::move(error);
+}
+
+void
 ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+ThreadPool::drain()
+{
+    wait();
+    std::exception_ptr error;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        error = std::exchange(firstError_, nullptr);
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void
@@ -103,13 +131,11 @@ ThreadPool::parallelFor(std::size_t n,
     }
 
     auto next = std::make_shared<std::atomic<std::size_t>>(0);
-    auto firstError = std::make_shared<std::exception_ptr>();
-    auto errorLock = std::make_shared<std::mutex>();
 
     const std::size_t runners =
         std::min<std::size_t>(threadCount_, n);
     for (std::size_t r = 0; r < runners; ++r) {
-        submit([n, next, firstError, errorLock, &body] {
+        submit([this, n, next, &body] {
             for (;;) {
                 const std::size_t i =
                     next->fetch_add(1, std::memory_order_relaxed);
@@ -118,16 +144,16 @@ ThreadPool::parallelFor(std::size_t n,
                 try {
                     body(i);
                 } catch (...) {
-                    std::lock_guard<std::mutex> lock(*errorLock);
-                    if (!*firstError)
-                        *firstError = std::current_exception();
+                    // Record but keep claiming indices: every body
+                    // runs even when an early one fails, matching the
+                    // serial path's side effects as closely as
+                    // possible before the error is rethrown.
+                    recordError(std::current_exception());
                 }
             }
         });
     }
-    wait();
-    if (*firstError)
-        std::rethrow_exception(*firstError);
+    drain();
 }
 
 } // namespace divot

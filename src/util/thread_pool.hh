@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -54,13 +55,23 @@ class ThreadPool
     unsigned threadCount() const { return threadCount_; }
 
     /**
-     * Enqueue one task. Tasks must not throw; an escaping exception
-     * terminates the process (matching std::thread semantics).
+     * Enqueue one task. The first exception escaping any task is
+     * captured (the worker keeps running) and rethrown by the next
+     * drain(); later exceptions before that drain are dropped —
+     * matching parallelFor's first-error contract.
      */
     void submit(std::function<void()> task);
 
-    /** Block until every submitted task has finished. */
+    /** Block until every submitted task has finished. A captured
+     *  exception stays pending for drain(). */
     void wait();
+
+    /**
+     * Block until every submitted task has finished, then rethrow the
+     * first exception any task raised since the last drain (clearing
+     * it). Returns normally when no task threw.
+     */
+    void drain();
 
     /**
      * Run body(0..n-1) across the pool and block until all complete.
@@ -83,8 +94,11 @@ class ThreadPool
     std::condition_variable allDone_;
     std::size_t pending_ = 0;  //!< queued + running tasks
     bool stopping_ = false;
+    std::exception_ptr firstError_;  //!< first task exception since
+                                     //!< the last drain()
 
     void workerLoop();
+    void recordError(std::exception_ptr error);
 };
 
 } // namespace divot

@@ -83,14 +83,15 @@ TEST(EnrollmentStore, LoadMissingFileFails)
     EXPECT_FALSE(store.loadFromFile("/nonexistent/path/store.bin"));
 }
 
-TEST(EnrollmentStore, CorruptedPayloadRejected)
+TEST(EnrollmentStore, CorruptedBankAFallsBackToBankB)
 {
     const std::string path = tmpPath("store_corrupt.bin");
     EnrollmentStore store;
     store.enroll("a", dummyFingerprint(1.0));
     ASSERT_TRUE(store.saveToFile(path));
 
-    // Flip a byte in the payload.
+    // Flip a byte inside bank A's payload: the dual-bank image must
+    // recover from the untouched copy at the end of the file.
     std::fstream f(path, std::ios::in | std::ios::out |
                              std::ios::binary);
     f.seekp(40);
@@ -102,10 +103,71 @@ TEST(EnrollmentStore, CorruptedPayloadRejected)
     f.close();
 
     EnrollmentStore loaded;
+    const EpromLoadReport rep = loaded.loadWithReport(path, false);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_TRUE(rep.fellBack);
+    EXPECT_EQ(rep.bankUsed, 1);
+    ASSERT_TRUE(loaded.contains("a"));
+    EXPECT_DOUBLE_EQ(loaded.lookup("a")->raw()[2], 3.0);
+    std::remove(path.c_str());
+}
+
+TEST(EnrollmentStore, BothBanksDamagedRejected)
+{
+    const std::string path = tmpPath("store_corrupt2.bin");
+    EnrollmentStore store;
+    store.enroll("a", dummyFingerprint(1.0));
+    ASSERT_TRUE(store.saveToFile(path));
+
+    // Damage both copies: one byte in bank A's payload and one in
+    // bank B's (the mirrored payload near the end of the file).
+    std::fstream f(path, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const long size = static_cast<long>(f.tellg());
+    for (long pos : {40L, size - 40L}) {
+        char c;
+        f.seekg(pos);
+        f.get(c);
+        f.seekp(pos);
+        f.put(static_cast<char>(c ^ 0x5a));
+    }
+    f.close();
+
+    EnrollmentStore loaded;
     loaded.enroll("keep", dummyFingerprint(9.0));
     EXPECT_FALSE(loaded.loadFromFile(path));
     // Failed load must not clobber existing contents.
     EXPECT_TRUE(loaded.contains("keep"));
+    EXPECT_EQ(loaded.size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(EnrollmentStore, ScrubRewritesImageAfterFallback)
+{
+    const std::string path = tmpPath("store_scrub.bin");
+    EnrollmentStore store;
+    store.enroll("a", dummyFingerprint(1.0));
+    ASSERT_TRUE(store.saveToFile(path));
+
+    std::fstream f(path, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    f.seekp(30);
+    f.put('\x7f');
+    f.close();
+
+    EnrollmentStore loaded;
+    const EpromLoadReport rep = loaded.loadWithReport(path, true);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_TRUE(rep.fellBack);
+    EXPECT_TRUE(rep.scrubbed);
+
+    // After the scrub, bank A is pristine again.
+    EnrollmentStore reloaded;
+    const EpromLoadReport rep2 = reloaded.loadWithReport(path, false);
+    EXPECT_TRUE(rep2.ok);
+    EXPECT_FALSE(rep2.fellBack);
+    EXPECT_EQ(rep2.bankUsed, 0);
     std::remove(path.c_str());
 }
 
@@ -121,22 +183,88 @@ TEST(EnrollmentStore, BadMagicRejected)
     std::remove(path.c_str());
 }
 
-TEST(EnrollmentStore, TruncatedFileRejected)
+TEST(EnrollmentStore, SeverelyTruncatedFileRejected)
 {
     const std::string path = tmpPath("store_trunc.bin");
     EnrollmentStore store;
     store.enroll("a", dummyFingerprint(1.0));
     ASSERT_TRUE(store.saveToFile(path));
-    // Truncate to half.
+    // Cut deep into bank A with bank B's trailer gone: nothing left
+    // to recover from.
     std::ifstream in(path, std::ios::binary);
     std::string bytes((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
     in.close();
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(bytes.data(), static_cast<long>(bytes.size() / 2));
+    out.write(bytes.data(), static_cast<long>(bytes.size() / 4));
     out.close();
     EnrollmentStore loaded;
     EXPECT_FALSE(loaded.loadFromFile(path));
+    std::remove(path.c_str());
+}
+
+TEST(EnrollmentStore, CorruptionFuzzEveryOffset)
+{
+    // Exhaustive single-event corruption: truncate the image at every
+    // length and bit-flip every byte. Each trial must either recover
+    // the original records exactly or fail and leave the in-memory
+    // store untouched — never load garbage, never crash.
+    const std::string path = tmpPath("store_fuzz.bin");
+    EnrollmentStore store;
+    store.enroll("a", dummyFingerprint(1.0));
+    store.enroll("b", dummyFingerprint(5.0));
+    ASSERT_TRUE(store.saveToFile(path));
+
+    std::string image;
+    {
+        std::ifstream in(path, std::ios::binary);
+        image.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    ASSERT_GT(image.size(), 48u);
+
+    auto writeImage = [&](const std::string &bytes) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<long>(bytes.size()));
+    };
+    auto checkTrial = [&](const std::string &what, std::size_t pos) {
+        EnrollmentStore loaded;
+        loaded.enroll("sentinel", dummyFingerprint(9.0));
+        const EpromLoadReport rep = loaded.loadWithReport(path, false);
+        if (rep.ok) {
+            ASSERT_EQ(loaded.size(), 2u) << what << " @ " << pos;
+            ASSERT_TRUE(loaded.contains("a")) << what << " @ " << pos;
+            ASSERT_TRUE(loaded.contains("b")) << what << " @ " << pos;
+            ASSERT_DOUBLE_EQ(loaded.lookup("b")->raw()[0], 5.0)
+                << what << " @ " << pos;
+        } else {
+            // Strong exception safety: prior contents intact.
+            ASSERT_EQ(loaded.size(), 1u) << what << " @ " << pos;
+            ASSERT_TRUE(loaded.contains("sentinel"))
+                << what << " @ " << pos;
+        }
+    };
+
+    // Truncation at every length (0 .. size-1).
+    for (std::size_t len = 0; len < image.size(); ++len) {
+        writeImage(image.substr(0, len));
+        checkTrial("truncate", len);
+    }
+
+    // Bit flip at every byte. A single-byte flip damages exactly one
+    // bank, so every one of these must recover.
+    for (std::size_t pos = 0; pos < image.size(); ++pos) {
+        std::string bad = image;
+        bad[pos] = static_cast<char>(bad[pos] ^ 0x80);
+        writeImage(bad);
+        EnrollmentStore loaded;
+        const EpromLoadReport rep = loaded.loadWithReport(path, false);
+        ASSERT_TRUE(rep.ok) << "bit flip @ " << pos << ": "
+                            << rep.detail;
+        ASSERT_EQ(loaded.size(), 2u) << "bit flip @ " << pos;
+        ASSERT_DOUBLE_EQ(loaded.lookup("a")->raw()[2], 3.0)
+            << "bit flip @ " << pos;
+    }
     std::remove(path.c_str());
 }
 

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the authenticator's resilience machinery: vote-confirmed
+ * alarms under transient faults, warmup-slack threshold math, retry
+ * with backoff, the degradation ladder (Monitoring -> Degraded ->
+ * Quarantine -> recovery), and the quarantine reaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "auth/authenticator.hh"
+#include "auth/reaction.hh"
+#include "fault/fault.hh"
+#include "txline/manufacturing.hh"
+#include "txline/tamper.hh"
+
+namespace divot {
+namespace {
+
+TransmissionLine
+fabLine(uint64_t seed)
+{
+    ProcessParams params;
+    ManufacturingProcess fab(params, Rng(seed));
+    auto z = fab.drawImpedanceProfile(0.15, 0.5e-3);
+    return TransmissionLine(std::move(z), 0.5e-3, params.velocity,
+                            50.0, 50.25, params.lossNeperPerMeter,
+                            "resilience-line");
+}
+
+TEST(AuthResilience, TransientSpikeSuppressedByVoting)
+{
+    // A one-measurement offset spike lands on round 1's measurement
+    // (the window is at its smallest, the threshold at its most
+    // forgiving multiple, and a single spike dominates the average).
+    FaultPlan plan;
+    plan.offsetDrift(0, 1, 5e-3);
+
+    Authenticator auth(AuthConfig{}, ItdrConfig{}, Rng(21), "voted");
+    const auto line = fabLine(21);
+    auth.enroll(line, 8);
+    FaultInjector inj(plan, Rng(77));
+    auth.attachFaultInjector(&inj);
+
+    bool suppressed = false;
+    for (int i = 0; i < 6; ++i) {
+        const AuthVerdict v = auth.checkRound(line);
+        EXPECT_FALSE(v.tamperAlarm) << "round " << v.round;
+        suppressed = suppressed || v.alarmSuppressed;
+    }
+    EXPECT_TRUE(suppressed);
+    EXPECT_GE(auth.suppressedAlarms(), 1u);
+    EXPECT_EQ(auth.state(), AuthState::Monitoring);
+}
+
+TEST(AuthResilience, SameSpikeAlarmsWithoutVoting)
+{
+    FaultPlan plan;
+    plan.offsetDrift(0, 1, 5e-3);
+
+    AuthConfig cfg;
+    cfg.confirmWindow = 0;  // legacy alarm-on-first-trip
+    Authenticator auth(cfg, ItdrConfig{}, Rng(21), "single");
+    const auto line = fabLine(21);
+    auth.enroll(line, 8);
+    FaultInjector inj(plan, Rng(77));
+    auth.attachFaultInjector(&inj);
+
+    const AuthVerdict v = auth.checkRound(line);
+    EXPECT_TRUE(v.tamperAlarm);
+    EXPECT_EQ(auth.state(), AuthState::TamperAlert);
+}
+
+TEST(AuthResilience, GenuineAttackConfirmedByVotes)
+{
+    Authenticator auth(AuthConfig{}, ItdrConfig{}, Rng(22), "attack");
+    const auto line = fabLine(22);
+    auth.enroll(line, 16);
+    const auto attacked = MagneticProbe(0.5).apply(line);
+
+    AuthVerdict alarm{};
+    for (int i = 0; i < 16 && !alarm.tamperAlarm; ++i)
+        alarm = auth.checkRound(attacked);
+    ASSERT_TRUE(alarm.tamperAlarm);
+    // The alarm passed confirmation: a real attack trips the fresh
+    // single-shot votes too.
+    EXPECT_GE(alarm.votesFor, AuthConfig{}.confirmVotes);
+    EXPECT_EQ(auth.state(), AuthState::TamperAlert);
+}
+
+TEST(AuthResilience, WarmupSlackThresholdSchedule)
+{
+    AuthConfig cfg;
+    Authenticator auth(cfg, ItdrConfig{}, Rng(23), "warmup");
+    const auto line = fabLine(23);
+    auth.enroll(line, 8);
+
+    // While the FIFO refills, the effective bar follows
+    // tamperThreshold * (1 + slack / n), n = rounds accumulated.
+    for (unsigned r = 1; r <= cfg.averageWindow + 3; ++r) {
+        const AuthVerdict v = auth.checkRound(line);
+        const unsigned n = std::min<unsigned>(
+            r, static_cast<unsigned>(cfg.averageWindow));
+        const double expected = cfg.tamperThreshold *
+            (1.0 + cfg.warmupSlack / static_cast<double>(n));
+        EXPECT_NEAR(v.thresholdUsed, expected, expected * 1e-12)
+            << "round " << r;
+    }
+}
+
+TEST(AuthResilience, UnhealthyMeasurementRetriesThenRecovers)
+{
+    // Stuck comparator for exactly one measurement: the first attempt
+    // fails its saturation screen, the retry is clean.
+    FaultPlan plan;
+    plan.comparatorStuck(0, 1, true);
+
+    Authenticator auth(AuthConfig{}, ItdrConfig{}, Rng(24), "retry");
+    const auto line = fabLine(24);
+    auth.enroll(line, 8);
+    const uint64_t cycles_before = auth.busCyclesConsumed();
+    FaultInjector inj(plan, Rng(5));
+    auth.attachFaultInjector(&inj);
+
+    const AuthVerdict v = auth.checkRound(line);
+    EXPECT_EQ(v.retries, 1u);
+    EXPECT_TRUE(v.instrumentHealthy);
+    EXPECT_TRUE(v.authenticated);
+    EXPECT_FALSE(v.tamperAlarm);
+    // Two measurements plus the backoff yield were paid for.
+    EXPECT_GT(auth.busCyclesConsumed() - cycles_before,
+              AuthConfig{}.retryBackoffCycles);
+}
+
+TEST(AuthResilience, LadderDescendsToQuarantineAndRecovers)
+{
+    AuthConfig cfg;
+    // Rounds 1-5 burn (1 + maxRetries) = 3 unhealthy measurements
+    // each; the fault covers exactly those 15 so quarantine probes
+    // measure clean.
+    FaultPlan plan;
+    plan.comparatorStuck(0, 5 * (1 + cfg.maxRetries), true);
+
+    Authenticator auth(cfg, ItdrConfig{}, Rng(25), "ladder");
+    const auto line = fabLine(25);
+    auth.enroll(line, 8);
+    FaultInjector inj(plan, Rng(6));
+    auth.attachFaultInjector(&inj);
+
+    std::vector<AuthVerdict> verdicts;
+    for (int r = 0; r < 11; ++r)
+        verdicts.push_back(auth.checkRound(line));
+
+    // Descent: stale trust, then Degraded, then Quarantine.
+    EXPECT_FALSE(verdicts[0].instrumentHealthy);
+    EXPECT_TRUE(verdicts[0].authenticated);
+    EXPECT_EQ(verdicts[0].stateAfter, AuthState::Monitoring);
+    EXPECT_EQ(verdicts[1].stateAfter, AuthState::Degraded);
+    EXPECT_EQ(verdicts[3].stateAfter, AuthState::Degraded);
+    EXPECT_EQ(verdicts[4].stateAfter, AuthState::Quarantine);
+    EXPECT_FALSE(verdicts[4].authenticated);
+
+    // Quarantine: access fenced while the recalibrated instrument
+    // proves itself healthy for recoveryCleanRounds rounds.
+    EXPECT_EQ(verdicts[5].stateAfter, AuthState::Quarantine);
+    EXPECT_FALSE(verdicts[5].authenticated);
+    EXPECT_TRUE(verdicts[5].instrumentHealthy);
+    EXPECT_EQ(verdicts[7].stateAfter, AuthState::Degraded);
+
+    // Degraded rounds run at the raised threshold, then trust is
+    // restored after another clean streak.
+    EXPECT_TRUE(verdicts[8].authenticated);
+    EXPECT_NEAR(verdicts[8].thresholdUsed,
+                cfg.tamperThreshold * (1.0 + cfg.warmupSlack) *
+                    cfg.degradedThresholdScale,
+                1e-18);
+    EXPECT_EQ(verdicts[10].stateAfter, AuthState::Monitoring);
+    EXPECT_EQ(auth.state(), AuthState::Monitoring);
+}
+
+TEST(AuthResilience, QuarantineFencesAccessWithoutAlarm)
+{
+    AuthVerdict v;
+    v.authenticated = false;
+    v.stateAfter = AuthState::Quarantine;
+    v.round = 7;
+
+    ReactionPolicy cpu(BusRole::Cpu);
+    EXPECT_EQ(cpu.decide(v), ReactionAction::StallRetry);
+    ASSERT_EQ(cpu.events().size(), 1u);
+    EXPECT_NE(cpu.events()[0].detail.find("quarantined"),
+              std::string::npos);
+    EXPECT_EQ(cpu.alarmCount(), 0u);
+
+    ReactionPolicy mem(BusRole::Memory);
+    EXPECT_EQ(mem.decide(v), ReactionAction::BlockAccess);
+
+    // A suppressed candidate alarm proceeds but is tallied.
+    AuthVerdict ok;
+    ok.authenticated = true;
+    ok.alarmSuppressed = true;
+    ok.stateAfter = AuthState::Monitoring;
+    EXPECT_EQ(cpu.decide(ok), ReactionAction::Proceed);
+    EXPECT_EQ(cpu.suppressedCount(), 1u);
+}
+
+TEST(AuthResilience, ResilienceConfigValidation)
+{
+    AuthConfig bad;
+    bad.confirmVotes = 5;
+    bad.confirmWindow = 3;
+    EXPECT_DEATH(Authenticator(bad, ItdrConfig{}, Rng(1), "x"),
+                 "confirmVotes");
+    AuthConfig bad2;
+    bad2.quarantineAfterUnhealthy = 1;
+    bad2.degradeAfterUnhealthy = 3;
+    EXPECT_DEATH(Authenticator(bad2, ItdrConfig{}, Rng(2), "x"),
+                 "ladder");
+    AuthConfig bad3;
+    bad3.degradedThresholdScale = 0.5;
+    EXPECT_DEATH(Authenticator(bad3, ItdrConfig{}, Rng(3), "x"),
+                 "degradedThresholdScale");
+}
+
+} // namespace
+} // namespace divot

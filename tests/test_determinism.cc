@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/divot_system.hh"
+#include "fault/campaign.hh"
 #include "fingerprint/study.hh"
 #include "itdr/itdr.hh"
 #include "txline/manufacturing.hh"
@@ -80,6 +81,51 @@ TEST(Determinism, ParallelStudyBitIdenticalToSerial)
     EXPECT_DOUBLE_EQ(a.roc.eer, b.roc.eer);
     EXPECT_DOUBLE_EQ(a.decidability, b.decidability);
     EXPECT_DOUBLE_EQ(a.fittedEer, b.fittedEer);
+}
+
+TEST(Determinism, FaultedCampaignBitIdenticalAcrossThreads)
+{
+    // The fault campaign draws from three coupled stochastic layers
+    // (fabrication, instrument noise, fault frames); all of them fork
+    // stably per cell, so a faulted matrix must reproduce bit-for-bit
+    // at any thread count.
+    FaultCampaignConfig serial_cfg;
+    serial_cfg.rounds = 6;
+    serial_cfg.attackRound = 2;
+    serial_cfg.enrollReps = 2;
+    serial_cfg.threads = 1;
+    FaultCampaignConfig parallel_cfg = serial_cfg;
+    parallel_cfg.threads = 4;
+
+    std::vector<FaultScenario> faults;
+    faults.push_back({"none", FaultPlan{}});
+    faults.push_back({"emi", FaultPlan{}.emiBurst(1, 2, 2.5e-3)});
+    faults.push_back({"flip", FaultPlan{}.counterBitFlip(0, 0, 0.2)});
+    const std::vector<CampaignAttack> attacks = {
+        CampaignAttack::None, CampaignAttack::MagneticProbe};
+
+    const auto a =
+        FaultCampaign(serial_cfg, Rng(13)).run(faults, attacks);
+    const auto b =
+        FaultCampaign(parallel_cfg, Rng(13)).run(faults, attacks);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].detected, b[i].detected) << "cell " << i;
+        EXPECT_EQ(a[i].detectionRound, b[i].detectionRound)
+            << "cell " << i;
+        EXPECT_EQ(a[i].falseAlarms, b[i].falseAlarms) << "cell " << i;
+        EXPECT_EQ(a[i].suppressedAlarms, b[i].suppressedAlarms)
+            << "cell " << i;
+        EXPECT_EQ(a[i].unhealthyRounds, b[i].unhealthyRounds)
+            << "cell " << i;
+        EXPECT_EQ(a[i].retries, b[i].retries) << "cell " << i;
+        EXPECT_EQ(a[i].authenticatedRounds, b[i].authenticatedRounds)
+            << "cell " << i;
+        EXPECT_EQ(a[i].finalState, b[i].finalState) << "cell " << i;
+        EXPECT_DOUBLE_EQ(a[i].availability, b[i].availability)
+            << "cell " << i;
+    }
 }
 
 TEST(Determinism, StableForkIndependentOfDrawOrder)

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the fault-injection plan and deterministic injector:
+ * schedule windows, frame purity, per-kind effect mapping, and EPROM
+ * corruption events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+
+namespace divot {
+namespace {
+
+bool
+framesEqual(const FaultFrame &a, const FaultFrame &b)
+{
+    return a.comparatorStuck == b.comparatorStuck &&
+           a.comparatorOffset == b.comparatorOffset &&
+           a.pllDropoutRate == b.pllDropoutRate &&
+           a.counterFlipRate == b.counterFlipRate &&
+           a.emiAmplitude == b.emiAmplitude &&
+           a.emiFrequency == b.emiFrequency &&
+           a.emiPhase == b.emiPhase &&
+           a.cycleOverrunFactor == b.cycleOverrunFactor;
+}
+
+TEST(FaultPlan, BuildersAppendSpecs)
+{
+    FaultPlan plan;
+    plan.comparatorStuck(0, 1, true)
+        .offsetDrift(2, 3, 1e-4)
+        .pllDropout(0, 0, 0.1)
+        .counterBitFlip(5, 1, 0.2)
+        .emiBurst(1, 2, 2e-3, 40e6)
+        .budgetOverrun(0, 0, 2.0)
+        .epromCorruption(0, 2.0);
+    ASSERT_EQ(plan.specs().size(), 7u);
+    EXPECT_EQ(plan.specs()[0].kind, FaultKind::ComparatorStuckHigh);
+    EXPECT_EQ(plan.specs()[1].kind, FaultKind::ComparatorOffsetDrift);
+    EXPECT_EQ(plan.specs()[4].frequency, 40e6);
+    EXPECT_FALSE(plan.empty());
+    EXPECT_TRUE(FaultPlan{}.empty());
+}
+
+TEST(FaultPlan, DefaultSeedHonorsEnvironment)
+{
+    ::setenv("DIVOT_FAULT_SEED", "12345", 1);
+    EXPECT_EQ(FaultPlan::defaultSeed(), 12345u);
+    ::unsetenv("DIVOT_FAULT_SEED");
+    EXPECT_EQ(FaultPlan::defaultSeed(), 0xFA017u);
+}
+
+TEST(FaultInjector, ScheduleWindowRespected)
+{
+    FaultPlan plan;
+    plan.offsetDrift(3, 2, 1e-4);
+    FaultInjector inj(plan, Rng(7));
+    EXPECT_FALSE(inj.frameFor(2).any());
+    EXPECT_TRUE(inj.frameFor(3).any());
+    EXPECT_TRUE(inj.frameFor(4).any());
+    EXPECT_FALSE(inj.frameFor(5).any());
+}
+
+TEST(FaultInjector, ForeverSpecNeverExpires)
+{
+    FaultPlan plan;
+    plan.budgetOverrun(1, 0, 1.5);
+    FaultInjector inj(plan, Rng(7));
+    EXPECT_FALSE(inj.frameFor(0).any());
+    EXPECT_DOUBLE_EQ(inj.frameFor(1).cycleOverrunFactor, 1.5);
+    EXPECT_DOUBLE_EQ(inj.frameFor(1u << 20).cycleOverrunFactor, 1.5);
+}
+
+TEST(FaultInjector, FrameForIsPureInIndex)
+{
+    FaultPlan plan;
+    plan.emiBurst(0, 0, 2e-3).pllDropout(0, 0, 0.1);
+    FaultInjector a(plan, Rng(42));
+    FaultInjector b(plan, Rng(42));
+
+    // Same index, any call order, any instance: identical frame.
+    const FaultFrame f5 = a.frameFor(5);
+    (void)a.frameFor(17);
+    (void)a.frameFor(3);
+    EXPECT_TRUE(framesEqual(f5, a.frameFor(5)));
+    (void)b.frameFor(9);
+    EXPECT_TRUE(framesEqual(f5, b.frameFor(5)));
+
+    // Different seeds diverge (the EMI phase draw is per-frame).
+    FaultInjector c(plan, Rng(43));
+    EXPECT_FALSE(framesEqual(f5, c.frameFor(5)));
+}
+
+TEST(FaultInjector, NextFrameAdvancesCounter)
+{
+    FaultPlan plan;
+    plan.comparatorStuck(1, 1, false);
+    FaultInjector inj(plan, Rng(1));
+    EXPECT_EQ(inj.measurementIndex(), 0u);
+    EXPECT_EQ(inj.nextFrame().comparatorStuck, -1);
+    EXPECT_EQ(inj.nextFrame().comparatorStuck, 0);
+    EXPECT_EQ(inj.measurementIndex(), 2u);
+    inj.resetIndex();
+    EXPECT_EQ(inj.measurementIndex(), 0u);
+}
+
+TEST(FaultInjector, EffectMapping)
+{
+    FaultPlan plan;
+    plan.comparatorStuck(0, 1, true)
+        .offsetDrift(0, 1, 2e-4)
+        .counterBitFlip(0, 1, 0.25)
+        .emiBurst(0, 1, 1e-3, 30e6);
+    FaultInjector inj(plan, Rng(5));
+    const FaultFrame f = inj.frameFor(0);
+    EXPECT_EQ(f.comparatorStuck, 1);
+    EXPECT_DOUBLE_EQ(f.comparatorOffset, 2e-4);
+    EXPECT_DOUBLE_EQ(f.counterFlipRate, 0.25);
+    EXPECT_DOUBLE_EQ(f.emiAmplitude, 1e-3);
+    EXPECT_DOUBLE_EQ(f.emiFrequency, 30e6);
+    EXPECT_GE(f.emiPhase, 0.0);
+    EXPECT_LT(f.emiPhase, 6.2831853072);
+    EXPECT_TRUE(f.any());
+    EXPECT_FALSE(FaultFrame{}.any());
+}
+
+TEST(FaultInjector, CorruptFileFlipsScheduledBytes)
+{
+    const std::string path = "test_fault_corrupt.bin";
+    const std::vector<char> pristine(256, 0x11);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(pristine.data(), pristine.size());
+    }
+
+    FaultPlan plan;
+    plan.epromCorruption(1, 3.0);
+    FaultInjector inj(plan, Rng(9));
+
+    // Event 0 is not scheduled: file untouched.
+    EXPECT_EQ(inj.epromFaultAt(0), false);
+    EXPECT_EQ(inj.corruptFile(path, 0), 0u);
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::vector<char> now((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+        EXPECT_EQ(now, pristine);
+    }
+
+    // Event 1 flips bits in at most 3 byte positions.
+    EXPECT_TRUE(inj.epromFaultAt(1));
+    EXPECT_EQ(inj.corruptFile(path, 1), 3u);
+    std::vector<char> after;
+    {
+        std::ifstream in(path, std::ios::binary);
+        after.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    ASSERT_EQ(after.size(), pristine.size());
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < after.size(); ++i)
+        if (after[i] != pristine[i])
+            ++changed;
+    EXPECT_GE(changed, 1u);
+    EXPECT_LE(changed, 3u);
+
+    // Determinism: a same-seed injector corrupts identically.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(pristine.data(), pristine.size());
+    }
+    FaultInjector twin(plan, Rng(9));
+    EXPECT_EQ(twin.corruptFile(path, 1), 3u);
+    std::vector<char> again;
+    {
+        std::ifstream in(path, std::ios::binary);
+        again.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    EXPECT_EQ(again, after);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace divot

@@ -167,6 +167,69 @@ TEST(Controller, DeviceGateCountsRejections)
     EXPECT_GT(h.sdram.gateRejections(), 0u);
 }
 
+TEST(Controller, BoundedStallFailsQueuedRequests)
+{
+    Harness h;
+    h.ctrl.setStallBound(256);
+    EXPECT_EQ(h.ctrl.stallBound(), 256u);
+    h.ctrl.setBusTrusted(false);
+    ASSERT_TRUE(h.ctrl.enqueue(readReq(1, 0)));
+    ASSERT_TRUE(h.ctrl.enqueue(readReq(2, 64)));
+    uint64_t cycle = 0;
+    for (; cycle < 2000 && h.done.size() < 2; ++cycle)
+        h.ctrl.tick(cycle);
+    // Instead of deadlocking, both requests came back failed once the
+    // distrust outlived the bound.
+    ASSERT_EQ(h.done.size(), 2u);
+    EXPECT_TRUE(h.done[0].failed);
+    EXPECT_TRUE(h.done[1].failed);
+    EXPECT_EQ(h.ctrl.stats().failedRequests, 2u);
+    EXPECT_EQ(h.ctrl.stats().reads, 0u);
+    EXPECT_TRUE(h.ctrl.idle());
+
+    // Trust restored: new traffic flows and completes normally.
+    h.ctrl.setBusTrusted(true);
+    ASSERT_TRUE(h.ctrl.enqueue(readReq(3, 128, cycle)));
+    h.runUntilIdle(cycle);
+    ASSERT_EQ(h.done.size(), 3u);
+    EXPECT_FALSE(h.done[2].failed);
+}
+
+TEST(Controller, StallBoundResetsOnTrustedCycles)
+{
+    Harness h;
+    h.ctrl.setStallBound(300);
+    ASSERT_TRUE(h.ctrl.enqueue(readReq(1, 0)));
+    uint64_t cycle = 0;
+    // Alternate distrust/trust in stretches shorter than the bound:
+    // the streak resets each time and nothing is failed.
+    for (int phase = 0; phase < 4; ++phase) {
+        h.ctrl.setBusTrusted(phase % 2 == 1);
+        const uint64_t end = cycle + 200;
+        for (; cycle < end && h.done.empty(); ++cycle)
+            h.ctrl.tick(cycle);
+    }
+    h.ctrl.setBusTrusted(true);
+    h.runUntilIdle(cycle);
+    ASSERT_EQ(h.done.size(), 1u);
+    EXPECT_FALSE(h.done[0].failed);
+    EXPECT_EQ(h.ctrl.stats().failedRequests, 0u);
+}
+
+TEST(Controller, UnboundedStallByDefault)
+{
+    Harness h;
+    EXPECT_EQ(h.ctrl.stallBound(), 0u);
+    h.ctrl.setBusTrusted(false);
+    ASSERT_TRUE(h.ctrl.enqueue(readReq(1, 0)));
+    uint64_t cycle = 0;
+    for (; cycle < 5000; ++cycle)
+        h.ctrl.tick(cycle);
+    // Legacy behavior: waits forever, never fails the request.
+    EXPECT_TRUE(h.done.empty());
+    EXPECT_EQ(h.ctrl.stats().failedRequests, 0u);
+}
+
 TEST(Controller, LatencyStatsAccumulate)
 {
     Harness h;

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/thread_pool.hh"
@@ -74,6 +75,41 @@ TEST(ThreadPool, ParallelForPropagatesFirstException)
     // Workers drained before the rethrow: the pool is reusable.
     pool.parallelFor(8, [&](std::size_t) { ++ran; });
     EXPECT_GE(ran.load(), 8);
+}
+
+TEST(ThreadPool, SubmitExceptionSurfacesAtDrain)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    pool.submit([&done] { ++done; });
+    pool.submit([&done] { ++done; });
+    // wait() never throws; the error stays pending for drain().
+    pool.wait();
+    EXPECT_EQ(done.load(), 2);
+    EXPECT_THROW(pool.drain(), std::runtime_error);
+
+    // The error is cleared: the next drain is clean and the pool
+    // stays usable.
+    pool.submit([&done] { ++done; });
+    EXPECT_NO_THROW(pool.drain());
+    EXPECT_EQ(done.load(), 3);
+}
+
+TEST(ThreadPool, DrainKeepsFirstOfManyErrors)
+{
+    ThreadPool pool(1);  // serialize: "first" is well defined
+    for (int i = 0; i < 4; ++i) {
+        pool.submit([i] {
+            throw std::runtime_error("task " + std::to_string(i));
+        });
+    }
+    try {
+        pool.drain();
+        FAIL() << "drain did not rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 0");
+    }
 }
 
 TEST(ThreadPool, ZeroIterationsIsANoop)
