@@ -28,6 +28,7 @@ struct Options
 {
     bool full = false;     //!< paper-scale population sizes
     bool smoke = false;    //!< CI-scale quick pass (subset + short)
+    bool quick = false;    //!< smallest meaningful sizes (CI gates)
     bool csv = false;      //!< CSV instead of aligned tables
     uint64_t seed = 2020;  //!< master seed (ISCA 2020 vintage)
 };
@@ -42,6 +43,8 @@ parseOptions(int argc, char **argv)
             opt.full = true;
         } else if (std::strcmp(argv[i], "--smoke") == 0) {
             opt.smoke = true;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            opt.quick = true;
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             opt.csv = true;
         } else if (std::strcmp(argv[i], "--seed") == 0 &&
@@ -49,8 +52,8 @@ parseOptions(int argc, char **argv)
             opt.seed = std::strtoull(argv[++i], nullptr, 10);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--full] [--smoke] [--csv] "
-                         "[--seed N]\n",
+                         "usage: %s [--full] [--smoke] [--quick] "
+                         "[--csv] [--seed N]\n",
                          argv[0]);
             std::exit(2);
         }

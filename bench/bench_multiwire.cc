@@ -5,16 +5,68 @@
  * bus can exponentially increase authentication accuracy." Fused
  * geometric-mean scores across independently fingerprinted wires
  * drive the impostor distribution down multiplicatively.
+ *
+ * Two gates run after the table (both fail the process):
+ *  - the fused EER must be monotonically non-increasing in wire
+ *    count — the paper's central multi-wire claim;
+ *  - a 6-channel fleet round through the ChannelScheduler must be
+ *    bit-identical at 1 and 8 worker threads under both scheduling
+ *    policies.
  */
 
 #include <cmath>
+#include <vector>
 
 #include "bench_common.hh"
 #include "fingerprint/study.hh"
+#include "fleet/channel_scheduler.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
 using namespace divot;
+
+namespace {
+
+/** Build the vibration-stressed fleet used by the determinism gate. */
+ChannelScheduler
+makeFleet(unsigned threads, SchedulerPolicy policy, uint64_t seed)
+{
+    FleetConfig cfg;
+    cfg.instruments = 3;
+    cfg.policy = policy;
+    cfg.threads = threads;
+    ChannelScheduler fleet(cfg, Rng(seed));
+    for (std::size_t c = 0; c < 6; ++c) {
+        BusChannelConfig channel;
+        channel.lineLength = 0.1;
+        channel.enrollReps = 8;
+        channel.environment.vibrationStrain = 1.5e-2;
+        channel.name = "wire" + std::to_string(c);
+        fleet.addChannel(channel);
+    }
+    fleet.calibrateAll();
+    return fleet;
+}
+
+/** Run `ticks` fleet rounds and flatten every observable number. */
+std::vector<double>
+fleetTrace(ChannelScheduler &fleet, std::size_t ticks)
+{
+    std::vector<double> trace;
+    for (std::size_t t = 0; t < ticks; ++t) {
+        const FleetRound round = fleet.tick();
+        for (const ChannelProbe &probe : round.probes) {
+            trace.push_back(static_cast<double>(probe.channel));
+            trace.push_back(probe.verdict.similarity);
+            trace.push_back(probe.verdict.peakError);
+        }
+        trace.push_back(round.fused.fusedSimilarity);
+        trace.push_back(round.fused.busTrusted ? 1.0 : 0.0);
+    }
+    return trace;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -29,17 +81,22 @@ main(int argc, char **argv)
     table.setHeader({"wires", "genuine mean", "impostor mean",
                      "impostor max", "EER", "EER(fit)", "d'"});
 
-    for (std::size_t wires : {1u, 2u, 3u, 4u, 6u}) {
+    const std::vector<std::size_t> wire_counts =
+        opt.quick ? std::vector<std::size_t>{1, 2, 4}
+                  : std::vector<std::size_t>{1, 2, 3, 4, 6};
+    std::vector<double> eers;
+    for (std::size_t wires : wire_counts) {
         StudyConfig cfg;
         cfg.lines = 4;
         cfg.lineLength = 0.25;
         cfg.wires = wires;
         cfg.enrollReps = 8;
-        cfg.genuinePerLine = opt.full ? 256 : 64;
-        cfg.impostorPerPair = opt.full ? 64 : 16;
+        cfg.genuinePerLine = opt.full ? 256 : (opt.quick ? 24 : 64);
+        cfg.impostorPerPair = opt.full ? 64 : (opt.quick ? 8 : 16);
         cfg.environment.vibrationStrain = 1.5e-2;
         const StudyResult res =
             GenuineImpostorStudy(cfg, Rng(opt.seed)).run();
+        eers.push_back(res.roc.eer);
         RunningStats g, im;
         g.addAll(res.genuine);
         im.addAll(res.impostor);
@@ -59,5 +116,32 @@ main(int argc, char **argv)
                 "geometrically with wire count\n(geometric-mean "
                 "fusion multiplies per-wire impostor scores), driving "
                 "EER toward zero.\n");
-    return 0;
+
+    // Gate 1: the central multi-wire claim — adding wires never makes
+    // the fused EER worse.
+    bool monotone = true;
+    for (std::size_t i = 1; i < eers.size(); ++i)
+        monotone = monotone && eers[i] <= eers[i - 1] + 1e-12;
+    std::printf("\nfused EER monotone non-increasing in wires: %s\n",
+                monotone ? "yes" : "NO — MULTI-WIRE CLAIM VIOLATION");
+
+    // Gate 2: fleet determinism — a 6-channel scheduler round must
+    // not depend on the worker thread count under either policy.
+    bool identical = true;
+    const std::size_t ticks = opt.quick ? 6 : 12;
+    for (const SchedulerPolicy policy :
+         {SchedulerPolicy::RoundRobin, SchedulerPolicy::RiskWeighted}) {
+        ChannelScheduler f1 = makeFleet(1, policy, opt.seed);
+        ChannelScheduler f8 = makeFleet(8, policy, opt.seed);
+        const std::vector<double> t1 = fleetTrace(f1, ticks);
+        const std::vector<double> t8 = fleetTrace(f8, ticks);
+        const bool same = t1 == t8;
+        identical = identical && same;
+        std::printf("fleet 6ch/%s: 8 threads == 1 thread "
+                    "(bit-identical): %s\n",
+                    schedulerPolicyName(policy),
+                    same ? "yes" : "NO — DETERMINISM VIOLATION");
+    }
+
+    return monotone && identical ? 0 : 1;
 }

@@ -130,6 +130,27 @@ benchMain(int argc, char **argv)
     else
         table.print(std::cout);
 
+    // Trace-cache effectiveness: the serial and pooled engines share
+    // the same per-lane caches, so their counters must agree; the
+    // legacy row runs uncached as the contrast.
+    auto cache_line = [](const char *label, const StudyResult &r) {
+        const uint64_t lookups = r.cacheHits + r.cacheMisses;
+        std::printf("%s: %llu hits / %llu misses / %llu evictions "
+                    "(%.1f%% hit rate)\n",
+                    label,
+                    static_cast<unsigned long long>(r.cacheHits),
+                    static_cast<unsigned long long>(r.cacheMisses),
+                    static_cast<unsigned long long>(r.cacheEvictions),
+                    lookups == 0
+                        ? 0.0
+                        : 100.0 * static_cast<double>(r.cacheHits) /
+                            static_cast<double>(lookups));
+    };
+    std::printf("\ntrace cache:\n");
+    cache_line("  legacy (cache off)", t_legacy.result);
+    cache_line("  serial engine     ", t_serial.result);
+    cache_line("  pooled engine     ", t_parallel.result);
+
     const bool identical =
         bitIdentical(t_serial.result, t_parallel.result);
     std::printf("\nparallel == serial (bit-identical scores): %s\n",

@@ -23,6 +23,7 @@
 #include <deque>
 #include <string>
 
+#include "auth/verdict.hh"
 #include "fingerprint/fingerprint.hh"
 #include "fingerprint/localize.hh"
 #include "itdr/itdr.hh"
@@ -80,44 +81,6 @@ struct AuthConfig
                                    //!< required to climb one rung of
                                    //!< the ladder back up
     ///@}
-};
-
-/** Lifecycle state of the authenticator. */
-enum class AuthState
-{
-    Unenrolled,   //!< no calibration fingerprint yet
-    Monitoring,   //!< normal operation, checks passing
-    Mismatch,     //!< similarity check failing (wrong line/module)
-    TamperAlert,  //!< error-function check failing (physical attack)
-    Degraded,     //!< instrument health shaky: thresholds raised,
-                  //!< stale trust extended while it recovers
-    Quarantine,   //!< instrument distrusted: access fenced off,
-                  //!< recalibration in progress
-};
-
-/** @return printable state name. */
-const char *authStateName(AuthState state);
-
-/** Verdict of one monitoring round. */
-struct AuthVerdict
-{
-    bool authenticated = false;  //!< similarity above threshold
-    bool tamperAlarm = false;    //!< E_xy peak above threshold
-    double similarity = 0.0;     //!< measured similarity score
-    double peakError = 0.0;      //!< measured E_xy peak, V^2
-    double tamperLocation = 0.0; //!< estimated attack position, m
-    uint64_t round = 0;          //!< monitoring round index
-    bool instrumentHealthy = true; //!< measurement passed the screens
-                                   //!< (after any retries)
-    MeasurementHealth health;    //!< screens of the accepted (last)
-                                 //!< measurement this round
-    unsigned retries = 0;        //!< unhealthy re-measure attempts
-    unsigned votesFor = 0;       //!< confirmation votes seeing tamper
-    unsigned votesCast = 0;      //!< healthy confirmation votes taken
-    bool alarmSuppressed = false; //!< candidate alarm voted down
-    double thresholdUsed = 0.0;  //!< effective E_xy bar this round
-                                 //!< (warmup slack + ladder scaling)
-    AuthState stateAfter = AuthState::Unenrolled; //!< state on exit
 };
 
 /**

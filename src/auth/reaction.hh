@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "auth/authenticator.hh"
+#include "auth/verdict.hh"
 
 namespace divot {
 

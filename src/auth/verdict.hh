@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Authentication verdict and lifecycle-state types, shared by the
+ * single-channel Authenticator, the fleet layer's FleetAuthenticator,
+ * and every verdict consumer (reactions, memsys gating).
+ *
+ * Hoisted out of authenticator.hh so that code which only *consumes*
+ * verdicts — the reaction policy, the memory-system gate, fleet
+ * fusion — does not drag in the whole instrument-owning Authenticator
+ * (and, transitively, the iTDR) just for these plain structs.
+ */
+
+#ifndef DIVOT_AUTH_VERDICT_HH
+#define DIVOT_AUTH_VERDICT_HH
+
+#include <cstdint>
+
+#include "itdr/health.hh"
+
+namespace divot {
+
+/**
+ * Lifecycle state of an authenticator — also the rungs of the
+ * degradation ladder (Monitoring -> Degraded -> Quarantine and back;
+ * see DESIGN.md §9.3).
+ */
+enum class AuthState
+{
+    Unenrolled,   //!< no calibration fingerprint yet
+    Monitoring,   //!< normal operation, checks passing
+    Mismatch,     //!< similarity check failing (wrong line/module)
+    TamperAlert,  //!< error-function check failing (physical attack)
+    Degraded,     //!< instrument health shaky: thresholds raised,
+                  //!< stale trust extended while it recovers
+    Quarantine,   //!< instrument distrusted: access fenced off,
+                  //!< recalibration in progress
+};
+
+/** @return printable state name. */
+const char *authStateName(AuthState state);
+
+/** Verdict of one monitoring round. */
+struct AuthVerdict
+{
+    bool authenticated = false;  //!< similarity above threshold
+    bool tamperAlarm = false;    //!< E_xy peak above threshold
+    double similarity = 0.0;     //!< measured similarity score
+    double peakError = 0.0;      //!< measured E_xy peak, V^2
+    double tamperLocation = 0.0; //!< estimated attack position, m
+    uint64_t round = 0;          //!< monitoring round index
+    bool instrumentHealthy = true; //!< measurement passed the screens
+                                   //!< (after any retries)
+    MeasurementHealth health;    //!< screens of the accepted (last)
+                                 //!< measurement this round
+    unsigned retries = 0;        //!< unhealthy re-measure attempts
+    unsigned votesFor = 0;       //!< confirmation votes seeing tamper
+    unsigned votesCast = 0;      //!< healthy confirmation votes taken
+    bool alarmSuppressed = false; //!< candidate alarm voted down
+    double thresholdUsed = 0.0;  //!< effective E_xy bar this round
+                                 //!< (warmup slack + ladder scaling)
+    AuthState stateAfter = AuthState::Unenrolled; //!< state on exit
+};
+
+} // namespace divot
+
+#endif // DIVOT_AUTH_VERDICT_HH

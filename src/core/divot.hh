@@ -12,6 +12,8 @@
  *                 genuine-impostor studies, tamper localization
  *   auth        — enrollment, authenticator, reactions, two-way
  *                 protocol
+ *   fleet       — multi-wire bus channels, shared-iTDR channel
+ *                 scheduler, fused fleet verdicts
  *   memsys      — cycle-level SDRAM + controller + DIVOT gate
  *   baselines   — PAD / DC-R / board-PUF / VNA comparison models
  *   core        — DivotSystem facade (this layer)
@@ -37,8 +39,12 @@
 #include "core/divot_baseline.hh"
 #include "core/divot_system.hh"
 #include "fingerprint/fingerprint.hh"
+#include "fingerprint/fusion.hh"
 #include "fingerprint/localize.hh"
 #include "fingerprint/study.hh"
+#include "fleet/bus_channel.hh"
+#include "fleet/channel_scheduler.hh"
+#include "fleet/fleet_auth.hh"
 #include "itdr/apc.hh"
 #include "itdr/budget.hh"
 #include "itdr/calibrate.hh"

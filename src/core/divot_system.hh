@@ -10,36 +10,24 @@
  *     AuthVerdict v = sys.monitorOnce();
  *
  * plus helpers to stage the paper's attacks against the live system.
+ *
+ * Since the fleet refactor this is a thin one-channel facade over
+ * fleet/bus_channel.hh: the channel preserves the original fork tags
+ * and draw order, so existing seeds reproduce pre-refactor results
+ * bit for bit. Multi-wire buses use fleet/channel_scheduler.hh
+ * directly.
  */
 
 #ifndef DIVOT_CORE_DIVOT_SYSTEM_HH
 #define DIVOT_CORE_DIVOT_SYSTEM_HH
 
-#include <memory>
-#include <optional>
-#include <string>
-
-#include "auth/authenticator.hh"
-#include "txline/environment.hh"
-#include "txline/manufacturing.hh"
-#include "txline/tamper.hh"
-#include "txline/txline.hh"
+#include "fleet/bus_channel.hh"
 #include "util/rng.hh"
 
 namespace divot {
 
-/** Quickstart configuration. */
-struct DivotSystemConfig
-{
-    double lineLength = 0.25;        //!< meters (paper prototype)
-    double segmentLength = 0.5e-3;   //!< spatial step
-    ProcessParams process;           //!< fabrication statistics
-    ItdrConfig itdr;                 //!< instrument configuration
-    AuthConfig auth;                 //!< thresholds
-    EnvironmentConditions environment; //!< operating conditions
-    std::size_t enrollReps = 16;
-    std::string name = "bus0";
-};
+/** Quickstart configuration — one bus channel. */
+using DivotSystemConfig = BusChannelConfig;
 
 /**
  * One protected bus with its authenticator and environment.
@@ -51,46 +39,55 @@ class DivotSystem
      * Fabricates the line and builds the instrument (does not enroll
      * yet).
      */
-    DivotSystem(DivotSystemConfig config, Rng rng);
+    DivotSystem(DivotSystemConfig config, Rng rng)
+        : channel_(std::move(config), rng)
+    {
+    }
 
     /** Calibrate: measure and store the enrollment fingerprint. */
-    void calibrate();
+    void calibrate() { channel_.calibrate(); }
 
     /**
      * One monitoring round against the line in its current physical
      * state (including any staged attack and the environment).
      */
-    AuthVerdict monitorOnce();
+    AuthVerdict monitorOnce() { return channel_.monitorOnce(); }
 
     /** Stage an attack: the line changes from the next round on. */
-    void stageAttack(const TamperTransform &attack);
+    void stageAttack(const TamperTransform &attack)
+    {
+        channel_.stageAttack(attack);
+    }
 
     /** Remove the staged attack (wire-taps leave their scar). */
-    void clearAttack();
+    void clearAttack() { channel_.clearAttack(); }
 
     /** @return the pristine fabricated line. */
-    const TransmissionLine &line() const { return pristine_; }
+    const TransmissionLine &line() const { return channel_.line(); }
 
     /** @return the line as it currently physically exists. */
-    const TransmissionLine &currentLine() const { return current_; }
+    const TransmissionLine &currentLine() const
+    {
+        return channel_.currentLine();
+    }
 
     /** @return the authenticator. */
-    const Authenticator &authenticator() const { return *auth_; }
+    const Authenticator &authenticator() const
+    {
+        return channel_.authenticator();
+    }
 
     /** @return measurement wall-clock accumulated so far, seconds. */
-    double elapsed() const { return wall_; }
+    double elapsed() const { return channel_.elapsed(); }
+
+    /** @return the underlying fleet channel. */
+    BusChannel &busChannel() { return channel_; }
+
+    /** @return the underlying fleet channel, read-only. */
+    const BusChannel &busChannel() const { return channel_; }
 
   private:
-    DivotSystemConfig config_;
-    Rng rng_;
-    TransmissionLine pristine_;
-    TransmissionLine current_;
-    std::unique_ptr<Authenticator> auth_;
-    std::unique_ptr<Environment> env_;
-    std::unique_ptr<NoiseSource> emi_;
-    double wall_ = 0.0;
-    bool wireTapScar_ = false;
-    std::optional<WireTap> lastWireTap_;
+    BusChannel channel_;
 };
 
 } // namespace divot

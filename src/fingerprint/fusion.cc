@@ -1,0 +1,76 @@
+#include "fingerprint/fusion.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+const char *
+fusionRuleName(FusionRule rule)
+{
+    switch (rule) {
+      case FusionRule::GeometricMean: return "geometric-mean";
+      case FusionRule::LogLikelihood: return "log-likelihood";
+    }
+    return "?";
+}
+
+double
+fuseGeometricMean(const std::vector<double> &per_wire, double floor)
+{
+    if (per_wire.empty())
+        divot_fatal("fusion needs at least one wire score");
+    // A single mismatched wire collapses the fused score, which is why
+    // multi-wire monitoring improves accuracy roughly exponentially in
+    // the wire count.
+    double logsum = 0.0;
+    for (double s : per_wire)
+        logsum += std::log(std::max(s, floor));
+    return std::exp(logsum / static_cast<double>(per_wire.size()));
+}
+
+double
+fuseLogLikelihood(const std::vector<double> &per_wire, double floor)
+{
+    if (per_wire.empty())
+        divot_fatal("fusion needs at least one wire score");
+    double logodds = 0.0;
+    for (double s : per_wire) {
+        const double p = std::clamp(s, floor, 1.0 - floor);
+        logodds += std::log(p / (1.0 - p));
+    }
+    return 1.0 / (1.0 + std::exp(-logodds));
+}
+
+double
+fuseScores(const FusionConfig &config, const std::vector<double> &per_wire)
+{
+    switch (config.rule) {
+      case FusionRule::GeometricMean:
+        return fuseGeometricMean(per_wire, config.scoreFloor);
+      case FusionRule::LogLikelihood:
+        return fuseLogLikelihood(per_wire, config.scoreFloor);
+    }
+    divot_fatal("unknown fusion rule");
+    return 0.0;
+}
+
+std::size_t
+countWiresAbove(const std::vector<double> &per_wire, double threshold)
+{
+    return static_cast<std::size_t>(
+        std::count_if(per_wire.begin(), per_wire.end(),
+                      [=](double s) { return s >= threshold; }));
+}
+
+bool
+voteMOfN(const std::vector<double> &per_wire, double threshold,
+         unsigned votes)
+{
+    const unsigned needed = std::max(votes, 1u);
+    return countWiresAbove(per_wire, threshold) >= needed;
+}
+
+} // namespace divot

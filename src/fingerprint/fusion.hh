@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Multi-wire score fusion (paper Section IV-C / future work):
+ * "Theoretical analysis suggests that monitoring multiple wires on a
+ * bus can exponentially increase authentication accuracy."
+ *
+ * One bus is many wires; each monitored wire produces its own
+ * similarity score against its own enrollment. This module owns the
+ * math that collapses those per-wire scores into one bus-level
+ * decision — previously copy-pasted between the study driver and the
+ * MULTI bench, now the single implementation consumed by both and by
+ * the fleet layer's FleetAuthenticator.
+ *
+ * Rules:
+ *  - Geometric mean: exp(mean(log s_w)). A single mismatched wire
+ *    (s ~ 0) collapses the fused score multiplicatively, which is why
+ *    the impostor distribution decays roughly geometrically with wire
+ *    count while genuine scores stay put.
+ *  - Log-likelihood: treat each score as an independent probability-
+ *    like evidence term and sum log-odds; the fused score is
+ *    sigmoid(sum logit(s_w)). Reduces to the identity for one wire,
+ *    and rewards many moderately confident wires more than the
+ *    geometric mean does.
+ *  - M-of-N voting: a hard quorum on per-wire threshold decisions,
+ *    used for tamper-alarm fusion where one genuinely attacked wire
+ *    must be able to trip the bus alarm regardless of its siblings.
+ */
+
+#ifndef DIVOT_FINGERPRINT_FUSION_HH
+#define DIVOT_FINGERPRINT_FUSION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace divot {
+
+/** How per-wire similarity scores collapse into one bus score. */
+enum class FusionRule
+{
+    GeometricMean,  //!< exp(mean log s) — multiplicative collapse
+    LogLikelihood,  //!< sigmoid(sum logit s) — evidence accumulation
+};
+
+/** @return printable rule name. */
+const char *fusionRuleName(FusionRule rule);
+
+/** Fusion tuning shared by the study driver and the fleet layer. */
+struct FusionConfig
+{
+    FusionRule rule = FusionRule::GeometricMean;
+    double scoreFloor = 1e-12;  //!< clamp before logs (a hard-zero
+                                //!< wire score would otherwise produce
+                                //!< -inf and poison the fused value)
+};
+
+/**
+ * Geometric-mean fusion: exp(mean(log(max(s, floor)))).
+ * Bit-identical to the historical study-driver math.
+ */
+double fuseGeometricMean(const std::vector<double> &per_wire,
+                         double floor = 1e-12);
+
+/**
+ * Log-likelihood fusion: sigmoid(sum(logit(clamp(s, floor,
+ * 1 - floor)))). Identity for a single wire.
+ */
+double fuseLogLikelihood(const std::vector<double> &per_wire,
+                         double floor = 1e-12);
+
+/** Fuse per-wire scores under the configured rule. */
+double fuseScores(const FusionConfig &config,
+                  const std::vector<double> &per_wire);
+
+/** @return wires whose score meets the threshold. */
+std::size_t countWiresAbove(const std::vector<double> &per_wire,
+                            double threshold);
+
+/**
+ * M-of-N wire voting: true when at least `votes` wires score at or
+ * above the threshold. votes == 0 is treated as 1 (any wire).
+ */
+bool voteMOfN(const std::vector<double> &per_wire, double threshold,
+              unsigned votes);
+
+} // namespace divot
+
+#endif // DIVOT_FINGERPRINT_FUSION_HH

@@ -50,18 +50,6 @@ GenuineImpostorStudy::GenuineImpostorStudy(StudyConfig config, Rng rng)
     }
 }
 
-double
-GenuineImpostorStudy::fuseScores(const std::vector<double> &per_wire)
-{
-    // Geometric mean: a single mismatched wire collapses the fused
-    // score, which is why multi-wire monitoring improves accuracy
-    // roughly exponentially in the wire count.
-    double logsum = 0.0;
-    for (double s : per_wire)
-        logsum += std::log(std::max(s, 1e-12));
-    return std::exp(logsum / static_cast<double>(per_wire.size()));
-}
-
 StudyResult
 GenuineImpostorStudy::run()
 {
@@ -212,8 +200,13 @@ GenuineImpostorStudy::run()
 
     // --- fuse per-wire scores and analyze, in canonical order ---
     StudyResult result;
-    for (const Lane &lane : lanes)
+    for (const Lane &lane : lanes) {
         result.totalBusCycles += lane.busCycles;
+        const TraceCache &cache = lane.itdr->traceCache();
+        result.cacheHits += cache.hits();
+        result.cacheMisses += cache.misses();
+        result.cacheEvictions += cache.evictions();
+    }
 
     std::vector<double> per_wire(nw);
     result.genuine.reserve(nl * reps_g);
@@ -221,7 +214,7 @@ GenuineImpostorStudy::run()
         for (std::size_t g = 0; g < reps_g; ++g) {
             for (std::size_t w = 0; w < nw; ++w)
                 per_wire[w] = lanes[l * nw + w].genuineScores[g];
-            result.genuine.push_back(fuseScores(per_wire));
+            result.genuine.push_back(fuseScores(config_.fusion, per_wire));
         }
     }
 
@@ -236,7 +229,8 @@ GenuineImpostorStudy::run()
                     per_wire[w] = lanes[a * nw + w]
                         .impostorScores[pair_rank * reps_i + i];
                 }
-                result.impostor.push_back(fuseScores(per_wire));
+                result.impostor.push_back(
+                    fuseScores(config_.fusion, per_wire));
             }
             ++pair_rank;
         }

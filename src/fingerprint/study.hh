@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "fingerprint/fingerprint.hh"
+#include "fingerprint/fusion.hh"
 #include "itdr/itdr.hh"
 #include "txline/environment.hh"
 #include "txline/manufacturing.hh"
@@ -42,6 +43,9 @@ struct StudyConfig
     double loadImpedanceSigma = 0.3;  //!< per-chip load variation, ohm
     std::size_t wires = 1;            //!< wires monitored per bus;
                                       //!< scores fuse across wires
+    FusionConfig fusion;              //!< multi-wire fusion rule (the
+                                      //!< default geometric mean is
+                                      //!< the paper's §IV-C analysis)
     EnvironmentConditions environment; //!< campaign conditions
     ProcessParams process;            //!< fabrication statistics
     ItdrConfig itdr;                  //!< instrument configuration
@@ -61,6 +65,9 @@ struct StudyResult
     double decidability = 0.0;     //!< d-prime separation
     double fittedEer = 0.0;        //!< Gaussian-fit EER Phi(-d'/2)
     uint64_t totalBusCycles = 0;   //!< cost accounting
+    uint64_t cacheHits = 0;        //!< trace-cache hits across lanes
+    uint64_t cacheMisses = 0;      //!< trace-cache misses across lanes
+    uint64_t cacheEvictions = 0;   //!< trace-cache LRU evictions
 };
 
 /**
@@ -105,14 +112,6 @@ class GenuineImpostorStudy
     Rng rng_;
     std::vector<TransmissionLine> lines_;
     Waveform nominal_;
-
-    /**
-     * Fused similarity across the wires of one bus: the geometric
-     * mean, so one mismatched wire collapses the score (the paper's
-     * "monitoring multiple wires can exponentially increase
-     * authentication accuracy").
-     */
-    static double fuseScores(const std::vector<double> &per_wire);
 };
 
 } // namespace divot

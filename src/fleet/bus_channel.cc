@@ -1,4 +1,4 @@
-#include "core/divot_system.hh"
+#include "fleet/bus_channel.hh"
 
 #include "itdr/budget.hh"
 #include "signal/noise.hh"
@@ -8,10 +8,19 @@ namespace divot {
 
 namespace {
 
+// Fork tags unchanged from the original DivotSystem so a one-channel
+// facade reproduces the pre-refactor draws bit for bit.
+constexpr uint64_t kTagFabrication = 0x6001;
+constexpr uint64_t kTagAuthenticator = 0x6002;
+constexpr uint64_t kTagEnvironment = 0x6003;
+
+// Pause between monitoring rounds on the standalone clock, seconds.
+constexpr double kInterRoundGap = 100e-6;
+
 TransmissionLine
-fabricate(const DivotSystemConfig &config, Rng &rng)
+fabricate(const BusChannelConfig &config, Rng &rng)
 {
-    ManufacturingProcess fab(config.process, rng.fork(0x6001));
+    ManufacturingProcess fab(config.process, rng.fork(kTagFabrication));
     auto z = fab.drawImpedanceProfile(config.lineLength,
                                       config.segmentLength);
     return TransmissionLine(std::move(z), config.segmentLength,
@@ -25,14 +34,15 @@ fabricate(const DivotSystemConfig &config, Rng &rng)
 
 } // namespace
 
-DivotSystem::DivotSystem(DivotSystemConfig config, Rng rng)
+BusChannel::BusChannel(BusChannelConfig config, Rng rng)
     : config_(std::move(config)), rng_(rng),
       pristine_(fabricate(config_, rng_)), current_(pristine_)
 {
     auth_ = std::make_unique<Authenticator>(
-        config_.auth, config_.itdr, rng_.fork(0x6002), config_.name);
+        config_.auth, config_.itdr, rng_.fork(kTagAuthenticator),
+        config_.name);
     env_ = std::make_unique<Environment>(config_.environment,
-                                         rng_.fork(0x6003));
+                                         rng_.fork(kTagEnvironment));
     if (config_.environment.emiAmplitude > 0.0) {
         emi_ = std::make_unique<SinusoidalInterference>(
             config_.environment.emiAmplitude,
@@ -41,7 +51,7 @@ DivotSystem::DivotSystem(DivotSystemConfig config, Rng rng)
 }
 
 void
-DivotSystem::calibrate()
+BusChannel::calibrate()
 {
     auth_->enroll(pristine_, config_.enrollReps);
     const MeasurementBudget budget = predictBudget(
@@ -50,19 +60,39 @@ DivotSystem::calibrate()
         budget.expectedDuration;
 }
 
-AuthVerdict
-DivotSystem::monitorOnce()
+double
+BusChannel::roundDuration() const
 {
-    const TransmissionLine snap = env_->snapshot(current_, wall_);
-    const AuthVerdict verdict = auth_->checkRound(snap, emi_.get());
     const MeasurementBudget budget = predictBudget(
         config_.itdr, pristine_.roundTripDelay());
-    wall_ += budget.expectedDuration + 100e-6;
+    return budget.expectedDuration + kInterRoundGap;
+}
+
+uint64_t
+BusChannel::roundCycles() const
+{
+    const MeasurementBudget budget = predictBudget(
+        config_.itdr, pristine_.roundTripDelay());
+    return budget.expectedCycles;
+}
+
+AuthVerdict
+BusChannel::monitorAt(double wall_clock)
+{
+    const TransmissionLine snap = env_->snapshot(current_, wall_clock);
+    return auth_->checkRound(snap, emi_.get());
+}
+
+AuthVerdict
+BusChannel::monitorOnce()
+{
+    const AuthVerdict verdict = monitorAt(wall_);
+    wall_ += roundDuration();
     return verdict;
 }
 
 void
-DivotSystem::stageAttack(const TamperTransform &attack)
+BusChannel::stageAttack(const TamperTransform &attack)
 {
     current_ = attack.apply(wireTapScar_ && lastWireTap_
                                 ? lastWireTap_->applyRemoved(pristine_)
@@ -76,7 +106,7 @@ DivotSystem::stageAttack(const TamperTransform &attack)
 }
 
 void
-DivotSystem::clearAttack()
+BusChannel::clearAttack()
 {
     if (wireTapScar_ && lastWireTap_) {
         // Soldering damage is permanent (Section IV-E).
@@ -84,6 +114,14 @@ DivotSystem::clearAttack()
     } else {
         current_ = pristine_;
     }
+}
+
+void
+BusChannel::replaceLine(TransmissionLine line)
+{
+    current_ = std::move(line);
+    divot_inform("channel '%s': physical line replaced",
+                 config_.name.c_str());
 }
 
 } // namespace divot

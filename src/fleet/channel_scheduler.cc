@@ -1,0 +1,226 @@
+#include "fleet/channel_scheduler.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace divot {
+
+namespace {
+
+// Stable fork tag base for per-channel RNG lanes: channel i's lane is
+// a pure function of the fleet seed and i, so the thread count and
+// probe history cannot perturb fabrication or measurement draws.
+constexpr uint64_t kTagFleetChannel = 0x7000ULL;
+
+// Risk weight of an authenticator state: how urgently the scheduler
+// should spend a shared instrument on a channel in that state.
+// Suspect channels are probed more often, not less — confirming or
+// clearing an alarm is worth more than re-checking a healthy wire.
+uint64_t
+riskWeight(AuthState state)
+{
+    switch (state) {
+    case AuthState::Unenrolled:
+    case AuthState::Monitoring:
+        return 1;
+    case AuthState::Mismatch:
+    case AuthState::Degraded:
+        return 4;
+    case AuthState::TamperAlert:
+    case AuthState::Quarantine:
+        return 8;
+    }
+    return 1;
+}
+
+} // namespace
+
+const char *
+schedulerPolicyName(SchedulerPolicy policy)
+{
+    switch (policy) {
+    case SchedulerPolicy::RoundRobin:
+        return "round-robin";
+    case SchedulerPolicy::RiskWeighted:
+        return "risk-weighted";
+    }
+    return "?";
+}
+
+ChannelScheduler::ChannelScheduler(FleetConfig config, Rng rng)
+    : config_(config), rng_(rng),
+      fleetAuth_(config.fusion, config.similarityThreshold,
+                 config.tamperWireVotes),
+      pool_(std::make_unique<ThreadPool>(config.threads))
+{
+    if (config_.instruments == 0)
+        divot_fatal("fleet needs at least one iTDR instrument");
+}
+
+ChannelScheduler::~ChannelScheduler() = default;
+ChannelScheduler::ChannelScheduler(ChannelScheduler &&) noexcept = default;
+ChannelScheduler &
+ChannelScheduler::operator=(ChannelScheduler &&) noexcept = default;
+
+std::size_t
+ChannelScheduler::addChannel(BusChannelConfig config)
+{
+    if (calibrated_)
+        divot_fatal("cannot add channel '%s' after calibrateAll()",
+                    config.name.c_str());
+    const std::size_t index = channels_.size();
+    channels_.push_back(std::make_unique<BusChannel>(
+        std::move(config), rng_.forkStable(kTagFleetChannel + index)));
+    lastProbeTick_.push_back(-1);
+    probeCounts_.push_back(0);
+    fleetAuth_.setChannelCount(channels_.size());
+    return index;
+}
+
+void
+ChannelScheduler::calibrateAll()
+{
+    if (channels_.empty())
+        divot_fatal("fleet has no channels to calibrate");
+    pool_->parallelFor(channels_.size(), [&](std::size_t idx) {
+        channels_[idx]->calibrate();
+    });
+    // One tick spans the slowest channel's round so every probe of a
+    // tick fits inside it regardless of which channels are selected.
+    slot_ = 0.0;
+    for (const auto &channel : channels_)
+        slot_ = std::max(slot_, channel->roundDuration());
+    calibrated_ = true;
+    divot_inform("fleet calibrated: %zu channels, %zu instruments, "
+                 "%s policy, tick %.3g s",
+                 channels_.size(), config_.instruments,
+                 schedulerPolicyName(config_.policy), slot_);
+}
+
+std::vector<std::size_t>
+ChannelScheduler::selectChannels() const
+{
+    // Priority = staleness (ticks since last probe, never-probed
+    // counts from before tick 0) scaled by the state risk weight
+    // under RiskWeighted. Pure function of fleet state: no RNG.
+    struct Ranked
+    {
+        uint64_t priority;
+        std::size_t index;
+    };
+    std::vector<Ranked> ranked;
+    ranked.reserve(channels_.size());
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        const uint64_t staleness = static_cast<uint64_t>(
+            static_cast<int64_t>(tick_) - lastProbeTick_[i]);
+        uint64_t priority = staleness;
+        if (config_.policy == SchedulerPolicy::RiskWeighted)
+            priority *= riskWeight(channels_[i]->state());
+        ranked.push_back({priority, i});
+    }
+    const std::size_t k =
+        std::min(config_.instruments, ranked.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                      [](const Ranked &a, const Ranked &b) {
+                          if (a.priority != b.priority)
+                              return a.priority > b.priority;
+                          return a.index < b.index;
+                      });
+    std::vector<std::size_t> selected(k);
+    for (std::size_t i = 0; i < k; ++i)
+        selected[i] = ranked[i].index;
+    std::sort(selected.begin(), selected.end());
+    return selected;
+}
+
+FleetRound
+ChannelScheduler::tick()
+{
+    if (!calibrated_)
+        divot_fatal("fleet tick() before calibrateAll()");
+
+    const std::vector<std::size_t> selected = selectChannels();
+    const double wall = slot_ * static_cast<double>(tick_);
+
+    FleetRound round;
+    round.tick = tick_;
+    round.probes.resize(selected.size());
+    // Disjoint channels, disjoint result slots: bit-identical at any
+    // thread count.
+    pool_->parallelFor(selected.size(), [&](std::size_t i) {
+        const std::size_t c = selected[i];
+        round.probes[i].channel = c;
+        round.probes[i].verdict = channels_[c]->monitorAt(wall);
+    });
+
+    for (const ChannelProbe &probe : round.probes) {
+        lastProbeTick_[probe.channel] = static_cast<int64_t>(tick_);
+        ++probeCounts_[probe.channel];
+        fleetAuth_.observe(probe.channel, probe.verdict);
+    }
+    round.fused = fleetAuth_.evaluate(tick_);
+    lastVerdict_ = round.fused;
+    ++tick_;
+    return round;
+}
+
+FleetRound
+ChannelScheduler::run(std::size_t rounds)
+{
+    FleetRound last;
+    for (std::size_t r = 0; r < rounds; ++r)
+        last = tick();
+    return last;
+}
+
+BusChannel &
+ChannelScheduler::channel(std::size_t index)
+{
+    if (index >= channels_.size())
+        divot_fatal("fleet channel index %zu out of range (%zu)",
+                    index, channels_.size());
+    return *channels_[index];
+}
+
+const BusChannel &
+ChannelScheduler::channel(std::size_t index) const
+{
+    if (index >= channels_.size())
+        divot_fatal("fleet channel index %zu out of range (%zu)",
+                    index, channels_.size());
+    return *channels_[index];
+}
+
+uint64_t
+ChannelScheduler::probeCount(std::size_t index) const
+{
+    if (index >= probeCounts_.size())
+        divot_fatal("fleet channel index %zu out of range (%zu)",
+                    index, probeCounts_.size());
+    return probeCounts_[index];
+}
+
+FleetCacheStats
+ChannelScheduler::cacheStats() const
+{
+    FleetCacheStats stats;
+    stats.totals.name = "fleet";
+    stats.perChannel.reserve(channels_.size());
+    for (const auto &channel : channels_) {
+        const TraceCache &cache = channel->traceCache();
+        ChannelCacheStats cs;
+        cs.name = channel->name();
+        cs.hits = cache.hits();
+        cs.misses = cache.misses();
+        cs.evictions = cache.evictions();
+        stats.totals.hits += cs.hits;
+        stats.totals.misses += cs.misses;
+        stats.totals.evictions += cs.evictions;
+        stats.perChannel.push_back(std::move(cs));
+    }
+    return stats;
+}
+
+} // namespace divot

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * ChannelScheduler — multiplexes a bounded pool of iTDR instruments
+ * across the N BusChannels of a fleet and feeds every probe into a
+ * FleetAuthenticator for a fused bus verdict.
+ *
+ * The instrument pool models shared measurement hardware: with
+ * `instruments = k`, at most k channels are probed per scheduler
+ * tick. Which k is a deterministic function of fleet state:
+ *
+ *  - RoundRobin: channels in fixed rotation, oldest-probed first.
+ *  - RiskWeighted: priority = staleness x risk weight of the
+ *    channel's authenticator state, so quarantined / degraded /
+ *    alarmed channels are re-probed more often than healthy ones
+ *    (tie-break: lower channel index).
+ *
+ * Determinism contract (see DESIGN.md §4 and §10): probes of one tick
+ * run in parallel on the shared ThreadPool but touch disjoint
+ * channels and write disjoint result slots; measurement wall-clock is
+ * the precomputed `slot_ * tick`, never real time; channel selection
+ * uses no RNG. Fleet rounds are therefore bit-identical at any thread
+ * count.
+ */
+
+#ifndef DIVOT_FLEET_CHANNEL_SCHEDULER_HH
+#define DIVOT_FLEET_CHANNEL_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/bus_channel.hh"
+#include "fleet/fleet_auth.hh"
+#include "util/rng.hh"
+
+namespace divot {
+
+/** Channel-selection policy for the shared instrument pool. */
+enum class SchedulerPolicy
+{
+    RoundRobin,  //!< fixed rotation, staleness only
+    RiskWeighted //!< staleness x authenticator-state risk weight
+};
+
+/** @return human-readable policy name. */
+const char *schedulerPolicyName(SchedulerPolicy policy);
+
+/** Fleet-wide scheduler configuration. */
+struct FleetConfig
+{
+    std::size_t instruments = 2; //!< iTDR pool size: probes per tick
+    SchedulerPolicy policy = SchedulerPolicy::RoundRobin;
+    unsigned threads = 0;        //!< worker threads (0 = hardware)
+    FusionConfig fusion;         //!< similarity fusion rule
+    double similarityThreshold = 0.35; //!< fused-score accept bar
+    unsigned tamperWireVotes = 1; //!< M-of-N bus alarm quorum
+};
+
+/** One channel probe performed during a tick. */
+struct ChannelProbe
+{
+    std::size_t channel = 0; //!< channel index
+    AuthVerdict verdict{};   //!< that channel's round verdict
+};
+
+/** Everything that happened in one scheduler tick. */
+struct FleetRound
+{
+    uint64_t tick = 0;                //!< tick index (0-based)
+    std::vector<ChannelProbe> probes; //!< ascending channel order
+    FleetVerdict fused{};             //!< bus verdict after the tick
+};
+
+/** TraceCache counters for one channel. */
+struct ChannelCacheStats
+{
+    std::string name;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+};
+
+/** TraceCache counters across the fleet. */
+struct FleetCacheStats
+{
+    std::vector<ChannelCacheStats> perChannel;
+    ChannelCacheStats totals; //!< name = "fleet"
+};
+
+/**
+ * Owns the channels and the probe schedule.
+ */
+class ChannelScheduler
+{
+  public:
+    ChannelScheduler(FleetConfig config, Rng rng);
+    ~ChannelScheduler();
+
+    ChannelScheduler(const ChannelScheduler &) = delete;
+    ChannelScheduler &operator=(const ChannelScheduler &) = delete;
+    ChannelScheduler(ChannelScheduler &&) noexcept;
+    ChannelScheduler &operator=(ChannelScheduler &&) noexcept;
+
+    /**
+     * Fabricate and add a channel; its RNG lane is a stable fork of
+     * the scheduler seed and the channel index, so fleet composition
+     * order is the only thing that matters.
+     *
+     * @return the new channel's index
+     */
+    std::size_t addChannel(BusChannelConfig config);
+
+    /** Enroll every channel (parallel) and freeze the tick length. */
+    void calibrateAll();
+
+    /**
+     * One scheduler tick: select up to `instruments` channels, probe
+     * them in parallel at the precomputed wall-clock, fold the
+     * verdicts into the FleetAuthenticator, and return the round.
+     */
+    FleetRound tick();
+
+    /** Run `rounds` ticks; @return the final round. */
+    FleetRound run(std::size_t rounds);
+
+    /** @return number of channels in the fleet. */
+    std::size_t channelCount() const { return channels_.size(); }
+
+    /** @return channel `index` (for staging attacks / inspection). */
+    BusChannel &channel(std::size_t index);
+
+    /** @return channel `index`, read-only. */
+    const BusChannel &channel(std::size_t index) const;
+
+    /** @return fused verdict of the most recent tick. */
+    const FleetVerdict &lastVerdict() const { return lastVerdict_; }
+
+    /** @return ticks executed so far. */
+    uint64_t ticks() const { return tick_; }
+
+    /** @return how often channel `index` has been probed. */
+    uint64_t probeCount(std::size_t index) const;
+
+    /** @return per-channel and fleet-total trace-cache counters. */
+    FleetCacheStats cacheStats() const;
+
+    /** @return scheduler configuration. */
+    const FleetConfig &config() const { return config_; }
+
+    /** @return wall-clock length of one tick, seconds (valid after
+     *  calibrateAll()). */
+    double tickDuration() const { return slot_; }
+
+  private:
+    std::vector<std::size_t> selectChannels() const;
+
+    FleetConfig config_;
+    Rng rng_;
+    std::vector<std::unique_ptr<BusChannel>> channels_;
+    std::vector<int64_t> lastProbeTick_; //!< -1 = never probed
+    std::vector<uint64_t> probeCounts_;
+    FleetAuthenticator fleetAuth_;
+    std::unique_ptr<class ThreadPool> pool_;
+    double slot_ = 0.0; //!< max channel roundDuration()
+    uint64_t tick_ = 0;
+    bool calibrated_ = false;
+    FleetVerdict lastVerdict_{};
+};
+
+} // namespace divot
+
+#endif // DIVOT_FLEET_CHANNEL_SCHEDULER_HH

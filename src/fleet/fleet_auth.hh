@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bus-level verdict fusion: one FleetAuthenticator watches the
+ * per-channel verdict streams of a multi-wire bus and emits a single
+ * fused verdict per scheduler tick (paper §IV-C: "monitoring multiple
+ * wires on a bus can exponentially increase authentication
+ * accuracy").
+ *
+ * Semantics:
+ *  - Similarity fuses across the latest *healthy* score of every
+ *    enrolled channel under the configured fingerprint::Fusion rule
+ *    (geometric mean by default). Quarantined channels contribute no
+ *    score — their instrument is distrusted — but still count toward
+ *    the posture summary.
+ *  - Tamper fuses by M-of-N wire voting with M = tamperWireVotes
+ *    (default 1: a single genuinely attacked wire must be able to
+ *    trip the bus alarm regardless of its healthy siblings).
+ *  - busTrusted = fused similarity clears the threshold AND no fused
+ *    tamper alarm AND at least one channel is contributing evidence.
+ *
+ * Only needs auth/verdict.hh (not the instrument-owning
+ * Authenticator), so verdict consumers like memsys stay light.
+ */
+
+#ifndef DIVOT_FLEET_FLEET_AUTH_HH
+#define DIVOT_FLEET_FLEET_AUTH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "auth/verdict.hh"
+#include "fingerprint/fusion.hh"
+
+namespace divot {
+
+/** Fused verdict for the whole bus after one scheduler tick. */
+struct FleetVerdict
+{
+    bool busAuthenticated = false; //!< fused similarity >= threshold
+    bool tamperAlarm = false;      //!< wire vote reached the quorum
+    bool busTrusted = false;       //!< authenticated && !tamperAlarm
+    double fusedSimilarity = 0.0;  //!< fused score across wires
+    double similarityThreshold = 0.0; //!< bar applied to the fusion
+    uint64_t tick = 0;             //!< scheduler tick of this verdict
+    std::size_t channels = 0;      //!< channels in the fleet
+    std::size_t channelsObserved = 0; //!< probed at least once
+    std::size_t contributingWires = 0; //!< scores entering the fusion
+    std::size_t authenticatedWires = 0; //!< latest verdict passing
+    std::size_t tamperedWires = 0; //!< latest verdict alarming
+    std::size_t degradedWires = 0; //!< channels in Degraded
+    std::size_t quarantinedWires = 0; //!< channels in Quarantine
+    std::vector<double> wireScores; //!< scores fused, canonical
+                                    //!< channel order
+};
+
+/**
+ * Fuses per-channel verdict streams into bus verdicts.
+ */
+class FleetAuthenticator
+{
+  public:
+    /**
+     * @param fusion     similarity fusion rule
+     * @param similarity_threshold fused-score accept bar
+     * @param tamper_wire_votes M: alarmed wires needed to trip the
+     *                   bus alarm (0 behaves as 1)
+     */
+    FleetAuthenticator(FusionConfig fusion, double similarity_threshold,
+                       unsigned tamper_wire_votes = 1);
+
+    /** Grow the fleet to `count` channels (observe() auto-grows). */
+    void setChannelCount(std::size_t count);
+
+    /** Record channel `index`'s verdict for this round. */
+    void observe(std::size_t index, const AuthVerdict &verdict);
+
+    /** Fuse the latest per-channel states into one bus verdict. */
+    FleetVerdict evaluate(uint64_t tick) const;
+
+    /** @return configured fusion rule. */
+    const FusionConfig &fusion() const { return fusion_; }
+
+    /** @return fused-similarity accept bar. */
+    double similarityThreshold() const { return similarityThreshold_; }
+
+    /** @return wire votes required for a bus tamper alarm. */
+    unsigned tamperWireVotes() const { return tamperWireVotes_; }
+
+  private:
+    struct ChannelTrack
+    {
+        bool observed = false;       //!< any verdict seen yet
+        bool hasHealthyScore = false; //!< lastScore is meaningful
+        double lastScore = 0.0;      //!< latest healthy similarity
+        AuthVerdict last{};          //!< latest verdict verbatim
+    };
+
+    FusionConfig fusion_;
+    double similarityThreshold_;
+    unsigned tamperWireVotes_;
+    std::vector<ChannelTrack> tracks_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_FLEET_FLEET_AUTH_HH

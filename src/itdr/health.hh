@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Instrument self-assessment for one measurement: is this IIP
+ * trustworthy, or is the iTDR itself sick? A wedged comparator drives
+ * every bin to probability 0/1 (saturation screen); numerical
+ * breakdown in the inverse-CDF shows up as non-finite reconstructions;
+ * a measurement that blows the predicted cycle budget violates the
+ * paper's 50 us concurrency envelope. Consumers (Authenticator) treat
+ * an unhealthy measurement as "instrument sick", never as tamper.
+ *
+ * Lives in its own header so verdict consumers (auth/verdict.hh,
+ * memsys) can carry the health record without pulling in the whole
+ * instrument.
+ */
+
+#ifndef DIVOT_ITDR_HEALTH_HH
+#define DIVOT_ITDR_HEALTH_HH
+
+namespace divot {
+
+/** Health screens of one measurement (see itdr/itdr.hh). */
+struct MeasurementHealth
+{
+    bool ok = true;                 //!< all screens passed
+    double saturatedBinFraction = 0.0; //!< bins at probability 0 or 1
+    unsigned nonFiniteBins = 0;     //!< NaN/inf reconstructions (the
+                                    //!< IIP carries 0.0 in their place)
+    bool budgetOverrun = false;     //!< cycle cost blew the envelope
+};
+
+} // namespace divot
+
+#endif // DIVOT_ITDR_HEALTH_HH

@@ -31,6 +31,7 @@
 #include "analog/pll.hh"
 #include "fault/fault.hh"
 #include "itdr/apc.hh"
+#include "itdr/health.hh"
 #include "itdr/pdm.hh"
 #include "itdr/trace_cache.hh"
 #include "itdr/trigger.hh"
@@ -89,25 +90,9 @@ struct ItdrConfig
                                     //!< blown
 };
 
-/**
- * Instrument self-assessment for one measurement: is this IIP
- * trustworthy, or is the iTDR itself sick? A wedged comparator drives
- * every bin to probability 0/1 (saturation screen); numerical
- * breakdown in the inverse-CDF shows up as non-finite reconstructions;
- * a measurement that blows the predicted cycle budget violates the
- * paper's 50 us concurrency envelope. Consumers (Authenticator) treat
- * an unhealthy measurement as "instrument sick", never as tamper.
- */
-struct MeasurementHealth
-{
-    bool ok = true;                 //!< all screens passed
-    double saturatedBinFraction = 0.0; //!< bins at probability 0 or 1
-    unsigned nonFiniteBins = 0;     //!< NaN/inf reconstructions (the
-                                    //!< IIP carries 0.0 in their place)
-    bool budgetOverrun = false;     //!< cycle cost blew the envelope
-};
-
-/** One measured IIP with its cost accounting. */
+/** One measured IIP with its cost accounting. (The health record
+ *  type lives in itdr/health.hh so verdict consumers can carry it
+ *  without the instrument.) */
 struct IipMeasurement
 {
     Waveform iip;            //!< reconstructed V_sig vs round-trip time

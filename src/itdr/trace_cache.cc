@@ -103,6 +103,7 @@ TraceCache::insert(const TraceKey &key, Waveform trace)
     if (entries_.size() >= capacity_) {
         index_.erase(entries_.back().first);
         entries_.pop_back();
+        ++evictions_;
     }
     entries_.emplace_front(key, std::move(trace));
     index_[key] = entries_.begin();

@@ -113,6 +113,10 @@ class TraceCache
     /** @return lifetime miss count. */
     uint64_t misses() const { return misses_; }
 
+    /** @return lifetime LRU evictions (full cache pushing out the
+     *  least-recently-used trace; clear() does not count). */
+    uint64_t evictions() const { return evictions_; }
+
   private:
     struct KeyHash
     {
@@ -129,6 +133,7 @@ class TraceCache
     std::unordered_map<TraceKey, std::list<Entry>::iterator, KeyHash> index_;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 } // namespace divot

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "auth/protocol.hh"
+#include "fleet/channel_scheduler.hh"
 #include "itdr/budget.hh"
 #include "util/logging.hh"
 
@@ -10,21 +12,44 @@ namespace divot {
 DivotGate::DivotGate(TwoWayAuthProtocol &protocol,
                      MemoryController &controller, Sdram &sdram,
                      TransmissionLine pristine_bus, double clock_hz)
-    : protocol_(protocol), controller_(controller), sdram_(sdram),
+    : protocol_(&protocol), controller_(controller), sdram_(sdram),
       currentBus_(std::move(pristine_bus)), clockHz_(clock_hz)
 {
     if (clock_hz <= 0.0)
         divot_fatal("bus clock must be positive (got %g)", clock_hz);
     const MeasurementBudget budget = predictBudget(
-        protocol_.cpuSide().instrument().config(),
+        protocol_->cpuSide().instrument().config(),
         currentBus_.roundTripDelay());
     roundCycles_ = std::max<uint64_t>(budget.expectedCycles, 1);
     nextRoundEnd_ = roundCycles_;
 }
 
+DivotGate::DivotGate(ChannelScheduler &fleet,
+                     MemoryController &controller, Sdram &sdram,
+                     double clock_hz)
+    : fleet_(&fleet), controller_(controller), sdram_(sdram),
+      currentBus_(fleet.channel(0).currentLine()), clockHz_(clock_hz)
+{
+    if (clock_hz <= 0.0)
+        divot_fatal("bus clock must be positive (got %g)", clock_hz);
+    // One gate round = one scheduler tick = the slowest wire's
+    // measurement budget (tickDuration() is the same quantity in
+    // seconds).
+    uint64_t cycles = 1;
+    for (std::size_t c = 0; c < fleet_->channelCount(); ++c)
+        cycles = std::max(cycles, fleet_->channel(c).roundCycles());
+    roundCycles_ = cycles;
+    nextRoundEnd_ = roundCycles_;
+}
+
+DivotGate::~DivotGate() = default;
+
 void
 DivotGate::scheduleEvent(BusEvent event)
 {
+    if (fleet_ && event.wire >= fleet_->channelCount())
+        divot_fatal("bus event targets wire %zu of a %zu-wire fleet",
+                    event.wire, fleet_->channelCount());
     pending_.push_back(std::move(event));
     std::sort(pending_.begin(), pending_.end(),
               [](const BusEvent &a, const BusEvent &b) {
@@ -33,36 +58,10 @@ DivotGate::scheduleEvent(BusEvent event)
 }
 
 void
-DivotGate::tick(uint64_t cycle)
+DivotGate::applyVerdict(bool trusted, bool block_access, uint64_t cycle)
 {
-    // Apply due physical changes.
-    while (!pending_.empty() && pending_.front().cycle <= cycle) {
-        currentBus_ = pending_.front().newBus;
-        if (!outstandingAttackCycle_) {
-            outstandingAttackCycle_ = pending_.front().cycle;
-            outstandingAttack_ = pending_.front().description;
-        }
-        divot_inform("cycle %llu: bus change: %s",
-                     static_cast<unsigned long long>(
-                         pending_.front().cycle),
-                     pending_.front().description.c_str());
-        pending_.erase(pending_.begin());
-    }
-
-    if (cycle < nextRoundEnd_)
-        return;
-
-    // A monitoring round just completed: evaluate the protocol on the
-    // bus as it now exists.
-    nextRoundEnd_ += roundCycles_;
-    ++rounds_;
-    lastOutcome_ = protocol_.monitorRound(currentBus_);
-
-    const bool trusted = lastOutcome_->busTrusted;
     controller_.setBusTrusted(trusted);
-    sdram_.setAccessBlocked(
-        lastOutcome_->memoryAction == ReactionAction::BlockAccess ||
-        lastOutcome_->memory.tamperAlarm);
+    sdram_.setAccessBlocked(block_access);
 
     if (!trusted && outstandingAttackCycle_) {
         DetectionRecord rec;
@@ -76,6 +75,60 @@ DivotGate::tick(uint64_t cycle)
         outstandingAttackCycle_.reset();
         outstandingAttack_.clear();
     }
+}
+
+void
+DivotGate::tick(uint64_t cycle)
+{
+    // Apply due physical changes.
+    while (!pending_.empty() && pending_.front().cycle <= cycle) {
+        BusEvent &event = pending_.front();
+        if (fleet_) {
+            if (event.wire == 0)
+                currentBus_ = event.newBus;
+            fleet_->channel(event.wire).replaceLine(
+                std::move(event.newBus));
+        } else {
+            currentBus_ = std::move(event.newBus);
+        }
+        if (!outstandingAttackCycle_) {
+            outstandingAttackCycle_ = event.cycle;
+            outstandingAttack_ = event.description;
+        }
+        divot_inform("cycle %llu: bus change: %s",
+                     static_cast<unsigned long long>(event.cycle),
+                     event.description.c_str());
+        pending_.erase(pending_.begin());
+    }
+
+    if (cycle < nextRoundEnd_)
+        return;
+
+    // A monitoring round just completed: evaluate on the bus as it
+    // now exists.
+    nextRoundEnd_ += roundCycles_;
+    ++rounds_;
+
+    if (fleet_) {
+        const FleetRound round = fleet_->tick();
+        lastFleet_ = round.fused;
+        haveFleetVerdict_ = true;
+        applyVerdict(round.fused.busTrusted, round.fused.tamperAlarm,
+                     cycle);
+        return;
+    }
+
+    if (lastOutcome_)
+        *lastOutcome_ = protocol_->monitorRound(currentBus_);
+    else
+        lastOutcome_ = std::make_unique<TwoWayOutcome>(
+            protocol_->monitorRound(currentBus_));
+
+    applyVerdict(
+        lastOutcome_->busTrusted,
+        lastOutcome_->memoryAction == ReactionAction::BlockAccess ||
+            lastOutcome_->memory.tamperAlarm,
+        cycle);
 }
 
 } // namespace divot

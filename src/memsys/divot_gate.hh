@@ -1,8 +1,7 @@
 /**
  * @file
- * The DIVOT gate: couples the two-way bus authentication protocol to
- * the memory system at cycle granularity (Section III's example
- * design).
+ * The DIVOT gate: couples bus authentication to the memory system at
+ * cycle granularity (Section III's example design).
  *
  * Monitoring runs *concurrently* with data transfers — the iTDR
  * samples the clock lane's own edges — so a monitoring round costs
@@ -12,10 +11,21 @@
  * physical change occurred, which is exactly what bounds DIVOT's
  * detection latency.
  *
+ * The gate has two wirings:
+ *
+ *  - Protocol mode (legacy): a TwoWayAuthProtocol watches one bus
+ *    from both ends; the gate trusts the bus while both directions
+ *    pass.
+ *  - Fleet mode: a ChannelScheduler multiplexes a shared iTDR pool
+ *    across the N wires of the bus; the gate trusts the bus on the
+ *    *fused* FleetVerdict (geometric-mean similarity across wires,
+ *    M-of-N tamper vote), so a single tapped wire can cut memory off
+ *    even when its siblings look healthy.
+ *
  * Attack scenarios are injected by swapping the "current bus" object
  * at a scheduled cycle: a cold-boot module swap replaces the line
  * wholesale, a probe attach tamper-transforms it, removal restores
- * it.
+ * it. In fleet mode an event targets one wire of the bus.
  */
 
 #ifndef DIVOT_MEMSYS_DIVOT_GATE_HH
@@ -23,14 +33,19 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
-#include "auth/protocol.hh"
+#include "fleet/fleet_auth.hh"
 #include "memsys/controller.hh"
 #include "memsys/sdram.hh"
 #include "txline/txline.hh"
 
 namespace divot {
+
+class TwoWayAuthProtocol;
+struct TwoWayOutcome;
+class ChannelScheduler;
 
 /** One scheduled change of the physical bus state. */
 struct BusEvent
@@ -38,6 +53,7 @@ struct BusEvent
     uint64_t cycle;           //!< when the physical change happens
     TransmissionLine newBus;  //!< the bus as it exists afterwards
     std::string description;  //!< for the event log
+    std::size_t wire = 0;     //!< targeted wire (fleet mode only)
 };
 
 /** Record of a detection. */
@@ -51,12 +67,14 @@ struct DetectionRecord
 };
 
 /**
- * Couples a TwoWayAuthProtocol to a MemoryController + Sdram pair.
+ * Couples bus authentication to a MemoryController + Sdram pair.
  */
 class DivotGate
 {
   public:
     /**
+     * Protocol mode.
+     *
      * @param protocol     calibrated two-way authenticator pair
      * @param controller   CPU-side memory controller to stall
      * @param sdram        device whose accesses get blocked
@@ -67,13 +85,27 @@ class DivotGate
               Sdram &sdram, TransmissionLine pristine_bus,
               double clock_hz);
 
+    /**
+     * Fleet mode: gate on the fused verdict of a multi-wire fleet.
+     *
+     * @param fleet      calibrated channel scheduler (calibrateAll()
+     *                   already done)
+     * @param controller CPU-side memory controller to stall
+     * @param sdram      device whose accesses get blocked
+     * @param clock_hz   bus clock frequency (latency conversion)
+     */
+    DivotGate(ChannelScheduler &fleet, MemoryController &controller,
+              Sdram &sdram, double clock_hz);
+
+    ~DivotGate();
+
     /** Schedule a physical bus change (attack or repair). */
     void scheduleEvent(BusEvent event);
 
     /**
      * Advance to `cycle`: apply due bus events and, when a monitoring
-     * round completes, evaluate the protocol and drive the controller
-     * stall / device gate.
+     * round completes, evaluate the authentication and drive the
+     * controller stall / device gate.
      */
     void tick(uint64_t cycle);
 
@@ -89,17 +121,26 @@ class DivotGate
         return detections_;
     }
 
-    /** @return the bus as it currently physically exists. */
+    /** @return the bus (wire 0 in fleet mode) as it currently
+     *  physically exists. */
     const TransmissionLine &currentBus() const { return currentBus_; }
 
-    /** @return last round's outcome (empty before the first round). */
-    const std::optional<TwoWayOutcome> &lastOutcome() const
+    /** @return last round's two-way outcome, or nullptr before the
+     *  first round / in fleet mode. */
+    const TwoWayOutcome *lastOutcome() const { return lastOutcome_.get(); }
+
+    /** @return last round's fused fleet verdict, or nullptr before
+     *  the first round / in protocol mode. */
+    const FleetVerdict *lastFleetVerdict() const
     {
-        return lastOutcome_;
+        return haveFleetVerdict_ ? &lastFleet_ : nullptr;
     }
 
   private:
-    TwoWayAuthProtocol &protocol_;
+    void applyVerdict(bool trusted, bool block_access, uint64_t cycle);
+
+    TwoWayAuthProtocol *protocol_ = nullptr;
+    ChannelScheduler *fleet_ = nullptr;
     MemoryController &controller_;
     Sdram &sdram_;
     TransmissionLine currentBus_;
@@ -109,7 +150,9 @@ class DivotGate
     uint64_t rounds_ = 0;
     std::vector<BusEvent> pending_;
     std::vector<DetectionRecord> detections_;
-    std::optional<TwoWayOutcome> lastOutcome_;
+    std::unique_ptr<TwoWayOutcome> lastOutcome_;
+    FleetVerdict lastFleet_{};
+    bool haveFleetVerdict_ = false;
     std::optional<uint64_t> outstandingAttackCycle_;
     std::string outstandingAttack_;
 };

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the multi-wire score-fusion module: geometric-mean and
+ * log-likelihood rules, the dispatch config, and M-of-N wire voting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fingerprint/fusion.hh"
+
+namespace divot {
+namespace {
+
+TEST(Fusion, GeometricMeanSingleWireIsIdentity)
+{
+    EXPECT_DOUBLE_EQ(fuseGeometricMean({0.73}), 0.73);
+    EXPECT_DOUBLE_EQ(fuseGeometricMean({0.02}), 0.02);
+}
+
+TEST(Fusion, GeometricMeanMatchesClosedForm)
+{
+    const std::vector<double> scores{0.9, 0.4, 0.6};
+    const double expected = std::exp(
+        (std::log(0.9) + std::log(0.4) + std::log(0.6)) / 3.0);
+    EXPECT_DOUBLE_EQ(fuseGeometricMean(scores), expected);
+}
+
+TEST(Fusion, GeometricMeanOneDeadWireCollapsesScore)
+{
+    // The multiplicative collapse is the whole point: one mismatched
+    // wire drags the fused score far below any healthy wire.
+    const double fused = fuseGeometricMean({0.9, 0.9, 0.9, 1e-6});
+    EXPECT_LT(fused, 0.05);
+}
+
+TEST(Fusion, GeometricMeanFloorsHardZero)
+{
+    const double fused = fuseGeometricMean({0.0, 0.9});
+    EXPECT_TRUE(std::isfinite(fused));
+    EXPECT_GT(fused, 0.0);
+}
+
+TEST(Fusion, LogLikelihoodSingleWireIsIdentity)
+{
+    EXPECT_NEAR(fuseLogLikelihood({0.73}), 0.73, 1e-12);
+    EXPECT_NEAR(fuseLogLikelihood({0.25}), 0.25, 1e-12);
+}
+
+TEST(Fusion, LogLikelihoodAccumulatesAgreement)
+{
+    // Several moderately confident wires should fuse to something
+    // stronger than any single one; symmetric disbelief fuses lower.
+    EXPECT_GT(fuseLogLikelihood({0.7, 0.7, 0.7}), 0.7);
+    EXPECT_LT(fuseLogLikelihood({0.3, 0.3, 0.3}), 0.3);
+}
+
+TEST(Fusion, LogLikelihoodBounded)
+{
+    const double fused = fuseLogLikelihood({0.999, 0.999, 0.999, 0.999});
+    EXPECT_GT(fused, 0.999);
+    EXPECT_LE(fused, 1.0);
+}
+
+TEST(Fusion, DispatchFollowsConfiguredRule)
+{
+    const std::vector<double> scores{0.8, 0.5};
+    FusionConfig geo;
+    geo.rule = FusionRule::GeometricMean;
+    FusionConfig loglik;
+    loglik.rule = FusionRule::LogLikelihood;
+    EXPECT_DOUBLE_EQ(fuseScores(geo, scores),
+                     fuseGeometricMean(scores));
+    EXPECT_DOUBLE_EQ(fuseScores(loglik, scores),
+                     fuseLogLikelihood(scores));
+}
+
+TEST(Fusion, RuleNames)
+{
+    EXPECT_STREQ(fusionRuleName(FusionRule::GeometricMean),
+                 "geometric-mean");
+    EXPECT_STREQ(fusionRuleName(FusionRule::LogLikelihood),
+                 "log-likelihood");
+}
+
+TEST(Fusion, CountWiresAbove)
+{
+    const std::vector<double> scores{0.9, 0.35, 0.1};
+    EXPECT_EQ(countWiresAbove(scores, 0.35), 2u);
+    EXPECT_EQ(countWiresAbove(scores, 0.95), 0u);
+    EXPECT_EQ(countWiresAbove(scores, 0.0), 3u);
+}
+
+TEST(Fusion, VoteMOfN)
+{
+    const std::vector<double> scores{0.9, 0.5, 0.1};
+    EXPECT_TRUE(voteMOfN(scores, 0.4, 2));
+    EXPECT_FALSE(voteMOfN(scores, 0.4, 3));
+    // votes == 0 behaves as "any wire".
+    EXPECT_TRUE(voteMOfN(scores, 0.8, 0));
+    EXPECT_FALSE(voteMOfN(scores, 0.95, 0));
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the bus-fleet layer: BusChannel extraction, the
+ * shared-iTDR ChannelScheduler (round-robin and risk-weighted
+ * policies), fused FleetAuthenticator verdicts, and the determinism
+ * contract — fused verdicts and per-channel measurement streams must
+ * be bit-identical at any thread count, including with a fault plan
+ * active on one channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/divot_system.hh"
+#include "fault/fault.hh"
+#include "fleet/channel_scheduler.hh"
+#include "txline/tamper.hh"
+
+namespace divot {
+namespace {
+
+BusChannelConfig
+quickChannel(std::size_t index)
+{
+    BusChannelConfig cfg;
+    cfg.lineLength = 0.1;  // keep tests fast
+    cfg.enrollReps = 8;
+    cfg.name = "wire" + std::to_string(index);
+    return cfg;
+}
+
+ChannelScheduler
+makeFleet(std::size_t channels, unsigned threads, SchedulerPolicy policy,
+          std::size_t instruments, uint64_t seed = 42)
+{
+    FleetConfig cfg;
+    cfg.instruments = instruments;
+    cfg.policy = policy;
+    cfg.threads = threads;
+    ChannelScheduler fleet(cfg, Rng(seed));
+    for (std::size_t c = 0; c < channels; ++c)
+        fleet.addChannel(quickChannel(c));
+    fleet.calibrateAll();
+    return fleet;
+}
+
+/** Everything observable about a run, for bit-exact comparison. */
+struct FleetTrace
+{
+    std::vector<std::size_t> probeChannels;
+    std::vector<double> probeSimilarities;
+    std::vector<double> probeErrors;
+    std::vector<double> fusedSimilarities;
+    std::vector<bool> trusted;
+
+    bool operator==(const FleetTrace &) const = default;
+};
+
+FleetTrace
+runFleet(ChannelScheduler &fleet, std::size_t ticks,
+         FaultInjector *injector = nullptr, std::size_t fault_wire = 0)
+{
+    if (injector != nullptr)
+        fleet.channel(fault_wire).attachFaultInjector(injector);
+    FleetTrace trace;
+    for (std::size_t t = 0; t < ticks; ++t) {
+        const FleetRound round = fleet.tick();
+        for (const ChannelProbe &probe : round.probes) {
+            trace.probeChannels.push_back(probe.channel);
+            trace.probeSimilarities.push_back(probe.verdict.similarity);
+            trace.probeErrors.push_back(probe.verdict.peakError);
+        }
+        trace.fusedSimilarities.push_back(round.fused.fusedSimilarity);
+        trace.trusted.push_back(round.fused.busTrusted);
+    }
+    return trace;
+}
+
+TEST(FleetScheduler, CleanFleetFusesToTrustedBus)
+{
+    ChannelScheduler fleet =
+        makeFleet(4, 1, SchedulerPolicy::RoundRobin, 4);
+    const FleetRound last = fleet.run(6);
+    EXPECT_TRUE(last.fused.busAuthenticated);
+    EXPECT_FALSE(last.fused.tamperAlarm);
+    EXPECT_TRUE(last.fused.busTrusted);
+    EXPECT_EQ(last.fused.channels, 4u);
+    EXPECT_EQ(last.fused.channelsObserved, 4u);
+    EXPECT_EQ(last.fused.contributingWires, 4u);
+    EXPECT_EQ(last.fused.quarantinedWires, 0u);
+    EXPECT_GT(last.fused.fusedSimilarity,
+              fleet.config().similarityThreshold);
+    // Every channel probed every tick with a full instrument pool.
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(fleet.probeCount(c), 6u);
+}
+
+TEST(FleetScheduler, BoundedPoolProbesSubsetPerTick)
+{
+    ChannelScheduler fleet =
+        makeFleet(4, 1, SchedulerPolicy::RoundRobin, 2);
+    uint64_t probes = 0;
+    for (std::size_t t = 0; t < 8; ++t) {
+        const FleetRound round = fleet.tick();
+        EXPECT_EQ(round.probes.size(), 2u);
+        probes += round.probes.size();
+    }
+    // Round-robin shares the pool evenly.
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(fleet.probeCount(c), probes / 4);
+}
+
+TEST(FleetScheduler, BitIdenticalAcrossThreadCounts)
+{
+    for (const SchedulerPolicy policy :
+         {SchedulerPolicy::RoundRobin, SchedulerPolicy::RiskWeighted}) {
+        ChannelScheduler f1 = makeFleet(6, 1, policy, 3);
+        ChannelScheduler f2 = makeFleet(6, 2, policy, 3);
+        ChannelScheduler f8 = makeFleet(6, 8, policy, 3);
+        const FleetTrace t1 = runFleet(f1, 10);
+        const FleetTrace t2 = runFleet(f2, 10);
+        const FleetTrace t8 = runFleet(f8, 10);
+        EXPECT_EQ(t1, t2) << schedulerPolicyName(policy);
+        EXPECT_EQ(t1, t8) << schedulerPolicyName(policy);
+    }
+}
+
+TEST(FleetScheduler, BitIdenticalWithFaultPlanActive)
+{
+    // Instrument faults on one channel must not break the
+    // determinism contract: the injector draws from its own stable
+    // stream keyed by measurement index.
+    const FaultPlan plan =
+        FaultPlan{}.emiBurst(2, 2, 2.5e-3, 25e6).budgetOverrun(6, 3, 2.0);
+    for (const SchedulerPolicy policy :
+         {SchedulerPolicy::RoundRobin, SchedulerPolicy::RiskWeighted}) {
+        ChannelScheduler f1 = makeFleet(4, 1, policy, 2);
+        ChannelScheduler f8 = makeFleet(4, 8, policy, 2);
+        FaultInjector inj1(plan, Rng(7).forkStable(1));
+        FaultInjector inj8(plan, Rng(7).forkStable(1));
+        const FleetTrace t1 = runFleet(f1, 12, &inj1, 1);
+        const FleetTrace t8 = runFleet(f8, 12, &inj8, 1);
+        EXPECT_EQ(t1, t8) << schedulerPolicyName(policy);
+    }
+}
+
+TEST(FleetScheduler, RiskWeightedProbesSuspectChannelMoreOften)
+{
+    // Channel 1's instrument is persistently overrunning its budget,
+    // so it descends the degradation ladder; the risk-weighted policy
+    // should spend the single shared instrument on it far more often
+    // than on its healthy siblings.
+    const FaultPlan plan = FaultPlan{}.budgetOverrun(0, 200, 2.0);
+
+    ChannelScheduler weighted =
+        makeFleet(4, 1, SchedulerPolicy::RiskWeighted, 1);
+    FaultInjector inj_w(plan, Rng(9));
+    runFleet(weighted, 32, &inj_w, 1);
+
+    ChannelScheduler robin =
+        makeFleet(4, 1, SchedulerPolicy::RoundRobin, 1);
+    FaultInjector inj_r(plan, Rng(9));
+    runFleet(robin, 32, &inj_r, 1);
+
+    // Round-robin ignores state: even split.
+    EXPECT_EQ(robin.probeCount(1), 8u);
+    // Risk-weighted re-probes the suspect channel more often than the
+    // fixed rotation would, at the expense of healthy channels.
+    EXPECT_GT(weighted.probeCount(1), robin.probeCount(1));
+    EXPECT_GT(weighted.probeCount(1), weighted.probeCount(3));
+    // Healthy channels still get probed eventually (staleness grows).
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_GT(weighted.probeCount(c), 0u);
+}
+
+TEST(FleetScheduler, SingleTappedWireTripsFusedAlarm)
+{
+    ChannelScheduler fleet =
+        makeFleet(4, 2, SchedulerPolicy::RoundRobin, 4);
+    fleet.run(2);
+    fleet.channel(2).stageAttack(MagneticProbe(0.5));
+    FleetRound last;
+    for (std::size_t t = 0; t < 16 && !last.fused.tamperAlarm; ++t)
+        last = fleet.tick();
+    EXPECT_TRUE(last.fused.tamperAlarm);
+    EXPECT_FALSE(last.fused.busTrusted);
+    EXPECT_GE(last.fused.tamperedWires, 1u);
+    EXPECT_EQ(fleet.channel(2).state(), AuthState::TamperAlert);
+    EXPECT_EQ(fleet.channel(0).state(), AuthState::Monitoring);
+}
+
+TEST(FleetScheduler, CacheStatsAggregateAcrossChannels)
+{
+    ChannelScheduler fleet =
+        makeFleet(3, 1, SchedulerPolicy::RoundRobin, 3);
+    fleet.run(4);
+    const FleetCacheStats stats = fleet.cacheStats();
+    ASSERT_EQ(stats.perChannel.size(), 3u);
+    uint64_t hits = 0, misses = 0, evictions = 0;
+    for (const ChannelCacheStats &cs : stats.perChannel) {
+        hits += cs.hits;
+        misses += cs.misses;
+        evictions += cs.evictions;
+    }
+    EXPECT_EQ(stats.totals.hits, hits);
+    EXPECT_EQ(stats.totals.misses, misses);
+    EXPECT_EQ(stats.totals.evictions, evictions);
+    // Enrollment + steady monitoring of an unchanged line reuses the
+    // clean-trace entry heavily.
+    EXPECT_GT(stats.totals.hits, 0u);
+    EXPECT_GT(stats.totals.misses, 0u);
+}
+
+TEST(FleetScheduler, FacadeMatchesStandaloneChannel)
+{
+    // DivotSystem is a thin facade over BusChannel: same config, same
+    // seed, bit-identical verdict stream.
+    DivotSystemConfig cfg = quickChannel(0);
+    DivotSystem facade(cfg, Rng(11));
+    BusChannel channel(cfg, Rng(11));
+    facade.calibrate();
+    channel.calibrate();
+    for (int i = 0; i < 4; ++i) {
+        const AuthVerdict a = facade.monitorOnce();
+        const AuthVerdict b = channel.monitorOnce();
+        EXPECT_EQ(a.similarity, b.similarity);
+        EXPECT_EQ(a.peakError, b.peakError);
+        EXPECT_EQ(a.authenticated, b.authenticated);
+    }
+    EXPECT_EQ(facade.elapsed(), channel.elapsed());
+}
+
+} // namespace
+} // namespace divot
