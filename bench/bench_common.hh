@@ -30,6 +30,9 @@ struct Options
     bool smoke = false;    //!< CI-scale quick pass (subset + short)
     bool quick = false;    //!< smallest meaningful sizes (CI gates)
     bool csv = false;      //!< CSV instead of aligned tables
+    bool json = false;     //!< also write a machine-readable
+                           //!< BENCH_<name>.json (benches that
+                           //!< support it)
     uint64_t seed = 2020;  //!< master seed (ISCA 2020 vintage)
 };
 
@@ -47,13 +50,15 @@ parseOptions(int argc, char **argv)
             opt.quick = true;
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             opt.csv = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            opt.json = true;
         } else if (std::strcmp(argv[i], "--seed") == 0 &&
                    i + 1 < argc) {
             opt.seed = std::strtoull(argv[++i], nullptr, 10);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--full] [--smoke] [--quick] "
-                         "[--csv] [--seed N]\n",
+                         "[--csv] [--json] [--seed N]\n",
                          argv[0]);
             std::exit(2);
         }

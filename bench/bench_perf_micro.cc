@@ -93,6 +93,65 @@ BENCHMARK(BM_ItdrMeasureEngine)
     ->Args({0, 8})
     ->Args({1, 8});
 
+// The analytic strobe engine against the sampled batch engine at the
+// default trials/levels configuration — the headline O(levels) vs
+// O(trials) comparison. Compare model:1 against
+// BM_ItdrMeasureEngine/batch:1 at the same cache setting; the
+// acceptance bar is >= 10x at cache:8.
+void
+BM_ItdrMeasureStrobeModel(benchmark::State &state)
+{
+    const auto line = benchLine();
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = 170;
+    cfg.strobeModel = state.range(0) != 0 ? StrobeModel::Binomial
+                                          : StrobeModel::Sampled;
+    cfg.traceCacheCapacity = static_cast<std::size_t>(state.range(1));
+    ITdr itdr(cfg, Rng(11));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(itdr.measure(line));
+}
+BENCHMARK(BM_ItdrMeasureStrobeModel)
+    ->ArgNames({"model", "cache"})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Args({1, 0});
+
+void
+BM_ComparatorStrobeAnalytic(benchmark::State &state)
+{
+    // One bin's worth of APC work: 17 Vernier levels x n/17 trials
+    // each, drawn as 17 binomials instead of n Gaussians (contrast
+    // with BM_ComparatorStrobeBatch at the same n).
+    Comparator cmp(ComparatorParams{}, Rng(21));
+    const unsigned levels = 17;
+    const unsigned per_level =
+        static_cast<unsigned>(state.range(0)) / levels;
+    std::vector<double> refs(levels);
+    for (std::size_t i = 0; i < refs.size(); ++i)
+        refs[i] = (static_cast<double>(i) - 8.0) * 1e-3;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cmp.strobeAnalytic(
+            1e-3, refs.data(), refs.size(), per_level));
+}
+BENCHMARK(BM_ComparatorStrobeAnalytic)->Arg(170)->Arg(1700);
+
+void
+BM_RngBinomial(benchmark::State &state)
+{
+    // Both sides of the inversion/normal-cutoff seam.
+    Rng rng(23);
+    const uint64_t n = static_cast<uint64_t>(state.range(0));
+    double p = 0.02;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.binomial(n, p));
+        p += 0.013;
+        if (p >= 0.99)
+            p = 0.02;
+    }
+}
+BENCHMARK(BM_RngBinomial)->Arg(10)->Arg(64)->Arg(65)->Arg(1000);
+
 void
 BM_ComparatorStrobeScalar(benchmark::State &state)
 {

@@ -2,17 +2,25 @@
  * @file
  * PERF — end-to-end throughput of the genuine/impostor study driver,
  * the workload behind Fig. 7/8: measurements per second for the
- * serial path (threads = 1) versus the thread pool, plus the batched
- * strobe + trace cache single-thread win against the pre-optimization
- * configuration. Also re-checks the determinism contract: the
- * parallel run must reproduce the serial scores bit for bit.
+ * serial path (threads = 1) versus the thread pool, the batched
+ * strobe + trace cache single-thread win against the
+ * pre-optimization configuration, and the analytic (exact-binomial)
+ * strobe engine against the sampled engine — including a
+ * statistical-equivalence gate (EER deltas within tolerance) and a
+ * multi-wire analytic run. Also re-checks the determinism contract:
+ * parallel runs must reproduce the serial scores bit for bit, for
+ * both strobe models.
  *
  * DIVOT_THREADS (or hardware concurrency) sets the parallel worker
- * count; --full runs the paper-scale Fig. 7 population.
+ * count; --full runs the paper-scale Fig. 7 population; --quick the
+ * smallest meaningful sizes (CI perf smoke); --json additionally
+ * writes BENCH_study_throughput.json for cross-PR perf tracking.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
 #include "fingerprint/study.hh"
@@ -25,6 +33,8 @@ namespace {
 
 struct Timed
 {
+    std::string name;
+    StudyConfig cfg;
     StudyResult result;
     double seconds = 0.0;
     std::size_t measurements = 0;
@@ -39,9 +49,11 @@ measurementCount(const StudyConfig &cfg)
 }
 
 Timed
-timedRun(const StudyConfig &cfg, uint64_t seed)
+timedRun(const char *name, const StudyConfig &cfg, uint64_t seed)
 {
     Timed out;
+    out.name = name;
+    out.cfg = cfg;
     out.measurements = measurementCount(cfg);
     GenuineImpostorStudy study(cfg, Rng(seed));
     const auto t0 = std::chrono::steady_clock::now();
@@ -67,17 +79,113 @@ bitIdentical(const StudyResult &a, const StudyResult &b)
     return a.roc.eer == b.roc.eer;
 }
 
+double
+rate(const Timed &t)
+{
+    return static_cast<double>(t.measurements) /
+        std::max(t.seconds, 1e-12);
+}
+
+double
+cacheHitRate(const StudyResult &r)
+{
+    const uint64_t lookups = r.cacheHits + r.cacheMisses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(r.cacheHits) /
+            static_cast<double>(lookups);
+}
+
+const char *
+strobeModelName(StrobeModel model)
+{
+    return model == StrobeModel::Binomial ? "Binomial" : "Sampled";
+}
+
+void
+writeJson(const char *path, const Options &opt, unsigned workers,
+          const std::vector<const Timed *> &rows, double legacy_rate,
+          double eer_delta_serial, double eer_delta_multiwire,
+          double eer_tolerance, bool equivalence_pass,
+          bool determinism_pass)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"study_throughput\",\n");
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(opt.seed));
+    std::fprintf(f, "  \"scale\": \"%s\",\n",
+                 opt.full ? "full" : opt.quick ? "quick" : "default");
+    std::fprintf(f, "  \"workers\": %u,\n", workers);
+    std::fprintf(f, "  \"engines\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Timed &t = *rows[i];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"name\": \"%s\",\n", t.name.c_str());
+        std::fprintf(f, "      \"strobeModel\": \"%s\",\n",
+                     strobeModelName(t.cfg.itdr.strobeModel));
+        std::fprintf(f, "      \"threads\": %u,\n", t.cfg.threads);
+        std::fprintf(f, "      \"wires\": %zu,\n", t.cfg.wires);
+        std::fprintf(f, "      \"batchedStrobes\": %s,\n",
+                     t.cfg.itdr.batchedStrobes ? "true" : "false");
+        std::fprintf(f, "      \"traceCacheCapacity\": %zu,\n",
+                     t.cfg.itdr.traceCacheCapacity);
+        std::fprintf(f, "      \"measurements\": %zu,\n",
+                     t.measurements);
+        std::fprintf(f, "      \"seconds\": %.6f,\n", t.seconds);
+        std::fprintf(f, "      \"measPerSec\": %.3f,\n", rate(t));
+        std::fprintf(f, "      \"speedupVsLegacy\": %.3f,\n",
+                     rate(t) / legacy_rate);
+        std::fprintf(f, "      \"cacheHits\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         t.result.cacheHits));
+        std::fprintf(f, "      \"cacheMisses\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         t.result.cacheMisses));
+        std::fprintf(f, "      \"cacheEvictions\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         t.result.cacheEvictions));
+        std::fprintf(f, "      \"cacheHitRate\": %.4f,\n",
+                     cacheHitRate(t.result));
+        std::fprintf(f, "      \"eer\": %.6f\n", t.result.roc.eer);
+        std::fprintf(f, "    }%s\n",
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"eerDeltaSerial\": %.6f,\n", eer_delta_serial);
+    std::fprintf(f, "  \"eerDeltaMultiwire\": %.6f,\n",
+                 eer_delta_multiwire);
+    std::fprintf(f, "  \"eerTolerance\": %.6f,\n", eer_tolerance);
+    std::fprintf(f, "  \"equivalencePass\": %s,\n",
+                 equivalence_pass ? "true" : "false");
+    std::fprintf(f, "  \"determinismPass\": %s\n",
+                 determinism_pass ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
 int
 benchMain(int argc, char **argv)
 {
     const Options opt = parseOptions(argc, argv);
     banner("PERF.study_throughput",
            "study driver measurements/second: serial vs pool vs "
-           "pre-optimization",
+           "pre-optimization vs analytic strobe engine",
            opt);
 
     StudyConfig cfg;
-    if (!opt.full) {
+    if (opt.quick) {
+        // Smallest sizes at which throughput and EER deltas are still
+        // meaningful — the CI perf-smoke scale.
+        cfg.lines = 2;
+        cfg.enrollReps = 2;
+        cfg.genuinePerLine = 8;
+        cfg.impostorPerPair = 4;
+    } else if (!opt.full) {
         // Enough campaign measurements that steady-state throughput —
         // not one-time instrument setup — dominates the timing.
         cfg.lines = 3;
@@ -99,66 +207,121 @@ benchMain(int argc, char **argv)
     parallel.threads = 0;  // DIVOT_THREADS / hardware concurrency
     const unsigned workers = ThreadPool::defaultThreadCount();
 
-    const Timed t_legacy = timedRun(legacy, opt.seed);
-    const Timed t_serial = timedRun(serial, opt.seed);
-    const Timed t_parallel = timedRun(parallel, opt.seed);
+    // The analytic strobe engine: identical campaigns, binomial
+    // hit-count sampling.
+    StudyConfig serial_bin = serial;
+    serial_bin.itdr.strobeModel = StrobeModel::Binomial;
+    StudyConfig parallel_bin = parallel;
+    parallel_bin.itdr.strobeModel = StrobeModel::Binomial;
 
-    auto rate = [](const Timed &t) {
-        return static_cast<double>(t.measurements) /
-            std::max(t.seconds, 1e-12);
-    };
+    // Multi-wire end-to-end: both engines through the fusion path.
+    StudyConfig multi = serial;
+    multi.wires = 2;
+    StudyConfig multi_bin = multi;
+    multi_bin.itdr.strobeModel = StrobeModel::Binomial;
+
+    const Timed t_legacy =
+        timedRun("legacy (scalar, no cache)", legacy, opt.seed);
+    const Timed t_serial =
+        timedRun("serial sampled", serial, opt.seed);
+    const Timed t_parallel =
+        timedRun("pooled sampled", parallel, opt.seed);
+    const Timed t_serial_bin =
+        timedRun("serial binomial", serial_bin, opt.seed);
+    const Timed t_parallel_bin =
+        timedRun("pooled binomial", parallel_bin, opt.seed);
+    const Timed t_multi =
+        timedRun("multiwire(2) sampled", multi, opt.seed);
+    const Timed t_multi_bin =
+        timedRun("multiwire(2) binomial", multi_bin, opt.seed);
+
+    const std::vector<const Timed *> rows = {
+        &t_legacy,     &t_serial,    &t_parallel, &t_serial_bin,
+        &t_parallel_bin, &t_multi,   &t_multi_bin};
 
     Table table("study throughput (" +
                 std::to_string(t_serial.measurements) +
-                " measurements per run)");
-    table.setHeader({"configuration", "threads", "seconds",
-                     "meas/s", "speedup"});
-    table.addRow({"legacy (scalar, no cache)", "1",
-                  Table::num(t_legacy.seconds, 3),
-                  Table::num(rate(t_legacy), 4), "1.00x"});
-    table.addRow({"serial engine (batch+cache)", "1",
-                  Table::num(t_serial.seconds, 3),
-                  Table::num(rate(t_serial), 4),
-                  Table::num(rate(t_serial) / rate(t_legacy), 3) + "x"});
-    table.addRow({"pooled engine", std::to_string(workers),
-                  Table::num(t_parallel.seconds, 3),
-                  Table::num(rate(t_parallel), 4),
-                  Table::num(rate(t_parallel) / rate(t_legacy), 3) +
-                      "x"});
+                " measurements per single-wire run)");
+    table.setHeader({"configuration", "threads", "seconds", "meas/s",
+                     "speedup", "EER"});
+    for (const Timed *t : rows) {
+        table.addRow(
+            {t->name,
+             std::to_string(t->cfg.threads == 0 ? workers
+                                                : t->cfg.threads),
+             Table::num(t->seconds, 3), Table::num(rate(*t), 4),
+             Table::num(rate(*t) / rate(t_legacy), 3) + "x",
+             Table::num(t->result.roc.eer, 4)});
+    }
     if (opt.csv)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
 
-    // Trace-cache effectiveness: the serial and pooled engines share
-    // the same per-lane caches, so their counters must agree; the
-    // legacy row runs uncached as the contrast.
-    auto cache_line = [](const char *label, const StudyResult &r) {
-        const uint64_t lookups = r.cacheHits + r.cacheMisses;
-        std::printf("%s: %llu hits / %llu misses / %llu evictions "
-                    "(%.1f%% hit rate)\n",
-                    label,
-                    static_cast<unsigned long long>(r.cacheHits),
-                    static_cast<unsigned long long>(r.cacheMisses),
-                    static_cast<unsigned long long>(r.cacheEvictions),
-                    lookups == 0
-                        ? 0.0
-                        : 100.0 * static_cast<double>(r.cacheHits) /
-                            static_cast<double>(lookups));
-    };
+    // Trace-cache effectiveness: engines sharing per-lane caches must
+    // agree; the legacy row runs uncached as the contrast.
     std::printf("\ntrace cache:\n");
-    cache_line("  legacy (cache off)", t_legacy.result);
-    cache_line("  serial engine     ", t_serial.result);
-    cache_line("  pooled engine     ", t_parallel.result);
+    for (const Timed *t : rows) {
+        std::printf("  %-24s %llu hits / %llu misses / %llu "
+                    "evictions (%.1f%% hit rate)\n",
+                    t->name.c_str(),
+                    static_cast<unsigned long long>(
+                        t->result.cacheHits),
+                    static_cast<unsigned long long>(
+                        t->result.cacheMisses),
+                    static_cast<unsigned long long>(
+                        t->result.cacheEvictions),
+                    100.0 * cacheHitRate(t->result));
+    }
 
-    const bool identical =
+    // Gate 1 — determinism: pooled == serial bit-identically, for
+    // both strobe models.
+    const bool det_sampled =
         bitIdentical(t_serial.result, t_parallel.result);
-    std::printf("\nparallel == serial (bit-identical scores): %s\n",
-                identical ? "yes" : "NO — DETERMINISM VIOLATION");
+    const bool det_binomial =
+        bitIdentical(t_serial_bin.result, t_parallel_bin.result);
+    const bool determinism_pass = det_sampled && det_binomial;
+    std::printf("\nparallel == serial (bit-identical scores): "
+                "sampled %s, binomial %s\n",
+                det_sampled ? "yes" : "NO — DETERMINISM VIOLATION",
+                det_binomial ? "yes" : "NO — DETERMINISM VIOLATION");
+
+    // Gate 2 — statistical equivalence: the analytic engine must
+    // land within tolerance of the sampled engine's EER. The
+    // tolerance is 0.5 pp plus, at reduced scales, the EER
+    // quantization floor of the small score sets.
+    const double quantum =
+        1.0 / static_cast<double>(t_serial.result.genuine.size()) +
+        1.0 / static_cast<double>(t_serial.result.impostor.size());
+    const double eer_tolerance =
+        opt.full ? 0.005 : std::max(0.005, 2.0 * quantum);
+    const double eer_delta_serial = std::fabs(
+        t_serial_bin.result.roc.eer - t_serial.result.roc.eer);
+    const double eer_delta_multi = std::fabs(
+        t_multi_bin.result.roc.eer - t_multi.result.roc.eer);
+    const bool equivalence_pass = eer_delta_serial <= eer_tolerance &&
+        eer_delta_multi <= eer_tolerance;
+    std::printf("binomial vs sampled EER delta: single-wire %.4f, "
+                "multiwire %.4f (tolerance %.4f): %s\n",
+                eer_delta_serial, eer_delta_multi, eer_tolerance,
+                equivalence_pass ? "PASS" : "FAIL");
+
+    std::printf("binomial engine speedup (serial, vs sampled): "
+                "%.2fx\n",
+                rate(t_serial_bin) / rate(t_serial));
+    std::printf("binomial engine speedup (multiwire, vs sampled): "
+                "%.2fx\n",
+                rate(t_multi_bin) / rate(t_multi));
     std::printf("serial vs pooled wall speedup: %.2fx on %u workers\n",
                 t_serial.seconds / std::max(t_parallel.seconds, 1e-12),
                 workers);
-    return identical ? 0 : 1;
+
+    if (opt.json) {
+        writeJson("BENCH_study_throughput.json", opt, workers, rows,
+                  rate(t_legacy), eer_delta_serial, eer_delta_multi,
+                  eer_tolerance, equivalence_pass, determinism_pass);
+    }
+    return determinism_pass && equivalence_pass ? 0 : 1;
 }
 
 } // namespace

@@ -59,6 +59,36 @@ Comparator::strobeBatch(double v_sig, const double *v_ref, std::size_t n)
     return hits;
 }
 
+unsigned
+Comparator::strobeAnalytic(double v_sig, const double *ref_levels,
+                           std::size_t levels,
+                           unsigned per_level_trials)
+{
+    const double base = v_sig + params_.inputOffset;
+    const double sigma = params_.noiseSigma;
+    const double inv_sigma = sigma > 0.0 ? 1.0 / sigma : 0.0;
+    unsigned hits = 0;
+    for (std::size_t j = 0; j < levels; ++j) {
+        const double dv = base - ref_levels[j];
+        double p;
+        if (params_.metastableBand > 0.0 &&
+            std::fabs(dv) < params_.metastableBand) {
+            p = 0.5;
+        } else if (sigma == 0.0) {
+            p = dv > 0.0 ? 1.0 : 0.0;
+        } else {
+            // Saturate past +-8 sigma: the tail mass (< 1e-15) is
+            // unobservable at any realistic trial count and skipping
+            // the CDF keeps flat trace regions nearly free.
+            const double z = dv * inv_sigma;
+            p = z <= -8.0 ? 0.0 : z >= 8.0 ? 1.0 : normalCdf(z);
+        }
+        hits += static_cast<unsigned>(
+            rng_.binomial(per_level_trials, p));
+    }
+    return hits;
+}
+
 double
 Comparator::probabilityHigh(double v_sig, double v_ref) const
 {

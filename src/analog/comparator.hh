@@ -73,6 +73,29 @@ class Comparator
                          std::size_t n);
 
     /**
+     * Analytic strobe aggregate — the exact-binomial shortcut of the
+     * APC sum (paper Eq. 1): each distinct Vernier reference level j
+     * sees `per_level_trials` i.i.d. strobes whose hit count is
+     * Binomial(per_level_trials, p_j) with p_j the analytic output-1
+     * probability at that level, so the whole bin is sampled with
+     * `levels` binomial draws instead of `levels * per_level_trials`
+     * Gaussians. Statistically equivalent to strobeBatch but NOT
+     * draw-compatible: it consumes a different (shorter) slice of the
+     * comparator's stream, which is the point. A nonzero metastable
+     * band is folded in analytically (p_j = 1/2 inside the band).
+     *
+     * @param v_sig            voltage on the positive input
+     * @param ref_levels       the bin's distinct reference voltages
+     * @param levels           number of distinct levels
+     * @param per_level_trials strobes per level
+     * @return number of strobes (out of levels * per_level_trials)
+     *         that produced output 1
+     */
+    unsigned strobeAnalytic(double v_sig, const double *ref_levels,
+                            std::size_t levels,
+                            unsigned per_level_trials);
+
+    /**
      * Exact analytic probability of output 1 for given inputs — the
      * ground truth the Monte-Carlo strobes converge to; used by
      * reconstruction math and tests.

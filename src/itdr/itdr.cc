@@ -1,6 +1,5 @@
 #include "itdr/itdr.hh"
 
-#include <atomic>
 #include <cmath>
 
 #include "itdr/calibrate.hh"
@@ -39,18 +38,16 @@ ITdr::ITdr(ItdrConfig config, Rng rng)
     if (config.trialsPerPhase == 0)
         divot_fatal("iTDR trialsPerPhase must be >= 1");
     if (trials_ != config.trialsPerPhase) {
-        // Warn once per process: silent inflation made predictBudget
-        // and the measured cost disagree until IipMeasurement started
+        // Warn once per instrument (not per process: a second iTDR
+        // with a different rounding would otherwise be silently
+        // inflated). Silent inflation made predictBudget and the
+        // measured cost disagree until IipMeasurement started
         // carrying the effective count.
-        static std::atomic<bool> warned{false};
-        if (!warned.exchange(true)) {
-            divot_warn("iTDR trialsPerPhase %u rounded up to %u (a "
-                       "multiple of the %u PDM reference levels); "
-                       "IipMeasurement::trialsPerBin carries the "
-                       "effective count",
-                       config.trialsPerPhase, trials_,
-                       pdm_.levelCount());
-        }
+        divot_warn("iTDR trialsPerPhase %u rounded up to %u (a "
+                   "multiple of the %u PDM reference levels); "
+                   "IipMeasurement::trialsPerBin carries the "
+                   "effective count",
+                   config.trialsPerPhase, trials_, pdm_.levelCount());
     }
     if (config.selfCalibrate) {
         // Power-up self-calibration: estimate sigma and offset from
@@ -106,6 +103,28 @@ ITdr::prepareBins(const TransmissionLine &line)
     for (unsigned m = 0; m < bins_; ++m) {
         const double t0 = static_cast<double>(m) * pll_.phaseStep();
         inverse_.emplace_back(pdm_.levelsAt(t0), sigma);
+    }
+
+    if (config_.strobeModel == StrobeModel::Binomial) {
+        // The analytic engine's per-bin reference levels. Trigger
+        // cycles only ever advance in whole measurements of
+        // bins_ * trials_ clock-lane triggers, and trials_ is a
+        // multiple of the Vernier period, so every bin always starts
+        // at modulation phase 0: the level sequence seen at bin m is
+        // measurement-invariant and can be frozen here with the bin
+        // grid.
+        const unsigned levels = pdm_.levelCount();
+        const double t_clk = pll_.clockPeriod();
+        analyticLevels_.resize(static_cast<std::size_t>(bins_) * levels);
+        for (unsigned m = 0; m < bins_; ++m) {
+            const double t0 = static_cast<double>(m) * pll_.phaseStep();
+            for (unsigned j = 0; j < levels; ++j) {
+                analyticLevels_[static_cast<std::size_t>(m) * levels +
+                                j] =
+                    pdm_.referenceAt(static_cast<double>(j) * t_clk +
+                                     t0);
+            }
+        }
     }
 
     // Budget baseline for the health screen: expected cycles follow
@@ -287,21 +306,56 @@ ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
     };
 
     const bool no_jitter = config_.pll.jitterRms <= 0.0;
-    // The batch path needs a loop-invariant signal (no jitter, no
+    // Both fast paths need a loop-invariant signal (no jitter, no
     // per-trigger interference), arithmetic trigger cycles (clock
-    // lane), block-drawable noise (no metastable band), and a counter
-    // that cannot saturate mid-batch.
-    const bool batch = config_.batchedStrobes && no_jitter &&
-        extra_noise == nullptr &&
+    // lane), statistically independent strobes (no metastable band),
+    // and a counter that cannot saturate mid-batch. The analytic
+    // engine additionally replaces the per-trial draws with exact
+    // binomials (see StrobeModel); sampled configurations use the
+    // draw-compatible block batch.
+    const bool fast_eligible = no_jitter && extra_noise == nullptr &&
         config_.triggerMode == TriggerMode::ClockLane &&
         comparator_.params().metastableBand == 0.0 &&
         trials_ < (1ull << config_.counterWidthBits);
+    const bool analytic =
+        config_.strobeModel == StrobeModel::Binomial && fast_eligible;
+    const bool batch = !analytic && config_.batchedStrobes &&
+        fast_eligible;
+    if (config_.strobeModel == StrobeModel::Binomial && !analytic &&
+        !analyticFallbackWarned_) {
+        analyticFallbackWarned_ = true;
+        divot_warn("iTDR analytic strobe engine unavailable for this "
+                   "configuration (jitter, extra noise, non-clock "
+                   "triggers, metastable band, or counter "
+                   "saturation); falling back to sampled strobes");
+    }
 
     pll_.resetPhase();
-    if (batch) {
+    if (analytic) {
+        // O(levels) analytic path: each bin's hit count is drawn as
+        // sum_j Binomial(trials/levels, p_j) over the bin's frozen
+        // Vernier levels — no per-trial work at all. The trigger
+        // generator still advances arithmetically so cycle accounting
+        // and fault frames are identical to the sampled engine.
+        const unsigned levels = pdm_.levelCount();
+        const unsigned per_level = trials_ / levels;
+        for (unsigned m = 0; m < bins_; ++m) {
+            const double t0 = static_cast<double>(m) * tau;
+            triggerGen_.advanceClockTriggers(trials_);
+            const double v_sig =
+                trace.valueAt(faultSampleTime(t0)) + faultBias(t0);
+            const unsigned hits = faultHits(comparator_.strobeAnalytic(
+                v_sig,
+                analyticLevels_.data() +
+                    static_cast<std::size_t>(m) * levels,
+                levels, per_level));
+            finishBin(m, hits);
+            pll_.stepPhase();
+        }
+    } else if (batch) {
         const unsigned levels = pdm_.levelCount();
         refScratch_.resize(trials_);
-        std::vector<double> period(levels);
+        periodScratch_.resize(levels);
         for (unsigned m = 0; m < bins_; ++m) {
             const double t0 = static_cast<double>(m) * tau;
             const uint64_t cycle0 =
@@ -311,11 +365,11 @@ ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
             // every level weighs equally): evaluate the triangle wave
             // `levels` times instead of trials_ times.
             for (unsigned j = 0; j < levels; ++j) {
-                period[j] = pdm_.referenceAt(
+                periodScratch_[j] = pdm_.referenceAt(
                     static_cast<double>(cycle0 + j) * t_clk + t0);
             }
             for (unsigned k = 0; k < trials_; ++k)
-                refScratch_[k] = period[k % levels];
+                refScratch_[k] = periodScratch_[k % levels];
             const double v_sig =
                 trace.valueAt(faultSampleTime(t0)) + faultBias(t0);
             const unsigned hits = faultHits(comparator_.strobeBatch(

@@ -46,6 +46,24 @@ namespace divot {
 /** Which physics backend renders the clean reflection trace. */
 enum class ReflectionModel { Born, Lattice };
 
+/**
+ * How the APC hit counts are produced (DESIGN.md §11).
+ *
+ * Sampled draws every comparator strobe individually (or in draw-
+ * compatible batches) — the reference model, bit-stable across
+ * releases. Binomial samples the sufficient statistic instead: the
+ * periodic Vernier reference gives each bin exactly `levels` distinct
+ * operating points with trials/levels i.i.d. strobes each, so the
+ * bin's hit count is distributed as
+ * sum_j Binomial(trials/levels, Phi((V_sig + offset - ref_j)/sigma))
+ * and can be drawn with `levels` binomials — O(levels) instead of
+ * O(trials) hot-loop work, statistically equivalent but on a
+ * different random stream. Configurations the analytic decomposition
+ * cannot serve (PLL jitter, extra noise sources, data-lane triggers,
+ * a metastable band, counter saturation) fall back to Sampled.
+ */
+enum class StrobeModel { Sampled, Binomial };
+
 /** Full iTDR configuration. */
 struct ItdrConfig
 {
@@ -74,6 +92,13 @@ struct ItdrConfig
                                     //!< (clock lane, no jitter); false
                                     //!< forces the scalar per-trigger
                                     //!< loop (reference / ablation)
+    StrobeModel strobeModel = StrobeModel::Sampled;
+                                    //!< Sampled (default, bit-stable)
+                                    //!< or the exact-binomial analytic
+                                    //!< engine (see StrobeModel docs);
+                                    //!< ineligible configurations fall
+                                    //!< back to Sampled with a one-time
+                                    //!< per-instance warning
     std::size_t traceCacheCapacity = 8; //!< retained clean detector
                                     //!< traces, content-keyed + LRU
                                     //!< (see itdr/trace_cache.hh);
@@ -223,6 +248,15 @@ class ITdr
     mutable Waveform traceScratch_;
     /** Per-bin reference schedule expanded for one strobe batch. */
     std::vector<double> refScratch_;
+    /** One Vernier period of reference levels (levelCount() values),
+     *  reused across bins so measure() allocates nothing. */
+    std::vector<double> periodScratch_;
+    /** Analytic engine: per-bin reference levels precomputed on the
+     *  frozen bin grid (bins_ x levelCount(), row-major). Built by
+     *  prepareBins only when strobeModel == Binomial. */
+    std::vector<double> analyticLevels_;
+    /** One-time fallback warning latch (per instrument). */
+    bool analyticFallbackWarned_ = false;
 
     void prepareBins(const TransmissionLine &line);
     double reconstructionSigma() const;

@@ -110,6 +110,64 @@ Rng::bernoulli(double p)
     return uniform() < p;
 }
 
+uint64_t
+Rng::binomial(uint64_t n, double p)
+{
+    // Degenerate cases consume no draws (part of the reproducibility
+    // contract: a caller skipping saturated probabilities sees the
+    // same stream as one passing them through).
+    if (n == 0 || p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+    // Symmetry reduction keeps the inversion walk short: sample the
+    // failure count when successes are the majority.
+    if (p > 0.5)
+        return n - binomial(n, 1.0 - p);
+
+    if (n <= binomialInversionCutoff) {
+        // Exact CDF inversion: walk the pmf via the recurrence
+        //   pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p)
+        // until the cumulative mass passes one uniform draw.
+        const double u = uniform();
+        const double odds = p / (1.0 - p);
+        // pmf(0) = (1-p)^n by exponentiation-by-squaring: pure IEEE
+        // multiplies, so the value (and hence the stream) cannot
+        // drift with libm versions. p <= 1/2 here, so q >= 1/2 and
+        // q^n underflows only at astronomically unlikely inputs (the
+        // walk then returns a tail value, still in range).
+        double pmf = 1.0;
+        double q_pow = 1.0 - p;
+        for (uint64_t e = n; e != 0; e >>= 1) {
+            if (e & 1)
+                pmf *= q_pow;
+            q_pow *= q_pow;
+        }
+        double cum = pmf;
+        uint64_t k = 0;
+        while (cum <= u && k < n) {
+            pmf *= odds * static_cast<double>(n - k) /
+                static_cast<double>(k + 1);
+            cum += pmf;
+            ++k;
+        }
+        return k;
+    }
+
+    // Large n: normal cutoff — round the matched-moment Gaussian and
+    // clamp into [0, n]. One gaussian() draw, O(1) work; the O(1/n)
+    // moment error is far below APC reconstruction noise at the trial
+    // counts that reach this branch.
+    const double mean = static_cast<double>(n) * p;
+    const double sd = std::sqrt(mean * (1.0 - p));
+    const double draw = std::floor(mean + sd * gaussian() + 0.5);
+    if (draw <= 0.0)
+        return 0;
+    if (draw >= static_cast<double>(n))
+        return n;
+    return static_cast<uint64_t>(draw);
+}
+
 Rng
 Rng::forkStable(uint64_t tag) const
 {
@@ -137,8 +195,14 @@ Rng::fork(uint64_t tag)
 void
 Rng::gaussianVector(std::vector<double> &out)
 {
-    for (auto &x : out)
-        x = gaussian();
+    gaussianVector(out.data(), out.size());
+}
+
+void
+Rng::gaussianVector(double *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = gaussian();
 }
 
 } // namespace divot

@@ -13,6 +13,7 @@
 #ifndef DIVOT_UTIL_RNG_HH
 #define DIVOT_UTIL_RNG_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -53,6 +54,28 @@ class Rng
     bool bernoulli(double p);
 
     /**
+     * Draw from Binomial(n, p) — the number of successes in n
+     * independent trials of probability p. This is the analytic
+     * strobe engine's workhorse: one binomial draw replaces n
+     * Gaussian draws in the APC hot loop.
+     *
+     * The algorithm selection is fixed (not platform- or
+     * libm-version-adaptive) so streams are reproducible: degenerate
+     * cases (n == 0, p <= 0, p >= 1) consume no draws; p > 1/2 is
+     * mapped to n - Binomial(n, 1-p); small n uses exact CDF
+     * inversion (one uniform, pmf recurrence); large n uses the
+     * rounded-and-clamped normal cutoff approximation (one Gaussian).
+     * The small/large seam is `binomialInversionCutoff`.
+     *
+     * @param n number of trials
+     * @param p per-trial success probability (clamped to [0,1])
+     */
+    uint64_t binomial(uint64_t n, double p);
+
+    /** Largest n served by exact CDF inversion in binomial(). */
+    static constexpr uint64_t binomialInversionCutoff = 64;
+
+    /**
      * Fork a child generator whose stream is independent of this one.
      * Used to give every Tx-line / iTDR its own stream so adding a
      * component never perturbs another component's draws.
@@ -77,6 +100,13 @@ class Rng
 
     /** Fill a vector with standard normal draws. */
     void gaussianVector(std::vector<double> &out);
+
+    /**
+     * Fill a raw buffer with standard normal draws — the
+     * allocation-free form strobe batching uses. Consumes exactly the
+     * same draws as n scalar gaussian() calls.
+     */
+    void gaussianVector(double *out, std::size_t n);
 
   private:
     uint64_t s_[4];

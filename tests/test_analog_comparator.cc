@@ -94,6 +94,66 @@ TEST(Comparator, MetastableBandFlipsCoins)
     EXPECT_TRUE(c.strobe(2e-3, 0.0));
 }
 
+TEST(Comparator, StrobeAnalyticMatchesBatchStatistics)
+{
+    // The binomial aggregate and the per-trial batch sample the same
+    // law: over many bins their mean hit counts must agree within CI
+    // bounds, at a fraction of the draws.
+    ComparatorParams p;
+    p.noiseSigma = 1e-3;
+    Comparator sampled(p, Rng(31));
+    Comparator analytic(p, Rng(32));
+    const std::vector<double> levels = {-1.5e-3, -0.5e-3, 0.5e-3,
+                                        1.5e-3};
+    const unsigned per_level = 40;
+    const unsigned trials =
+        per_level * static_cast<unsigned>(levels.size());
+    std::vector<double> refs(trials);
+    for (unsigned k = 0; k < trials; ++k)
+        refs[k] = levels[k % levels.size()];
+    const int bins = 400;
+    double sum_s = 0.0, sum_a = 0.0;
+    for (int i = 0; i < bins; ++i) {
+        sum_s += sampled.strobeBatch(0.3e-3, refs.data(), trials);
+        sum_a += analytic.strobeAnalytic(0.3e-3, levels.data(),
+                                         levels.size(), per_level);
+    }
+    double expected = 0.0;
+    for (double ref : levels)
+        expected += per_level * sampled.probabilityHigh(0.3e-3, ref);
+    const double se = std::sqrt(expected) / std::sqrt(double(bins));
+    EXPECT_NEAR(sum_s / bins, expected, 6.0 * se);
+    EXPECT_NEAR(sum_a / bins, expected, 6.0 * se);
+}
+
+TEST(Comparator, StrobeAnalyticSaturatedLevelsAreExact)
+{
+    // Far outside the noise the analytic path must return exact
+    // all-or-nothing counts (and consume no draws for them).
+    ComparatorParams p;
+    p.noiseSigma = 1e-3;
+    Comparator c(p, Rng(33));
+    const std::vector<double> lo = {-0.5, -0.25};  // p = 1 both
+    const std::vector<double> hi = {0.5, 0.25};    // p = 0 both
+    EXPECT_EQ(c.strobeAnalytic(0.0, lo.data(), lo.size(), 10), 20u);
+    EXPECT_EQ(c.strobeAnalytic(0.0, hi.data(), hi.size(), 10), 0u);
+}
+
+TEST(Comparator, StrobeAnalyticMetastableBandIsCoinFlip)
+{
+    ComparatorParams p;
+    p.noiseSigma = 0.0;
+    p.metastableBand = 1e-3;
+    Comparator c(p, Rng(34));
+    const std::vector<double> levels = {0.0};  // dead center
+    double hits = 0.0;
+    const int bins = 2000;
+    const unsigned per_level = 16;
+    for (int i = 0; i < bins; ++i)
+        hits += c.strobeAnalytic(0.0, levels.data(), 1, per_level);
+    EXPECT_NEAR(hits / (double(bins) * per_level), 0.5, 0.02);
+}
+
 TEST(Comparator, ParameterValidation)
 {
     ComparatorParams bad;

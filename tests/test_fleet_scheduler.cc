@@ -127,6 +127,39 @@ TEST(FleetScheduler, BitIdenticalAcrossThreadCounts)
     }
 }
 
+TEST(FleetScheduler, BinomialStrobeModelRunsFleetEndToEnd)
+{
+    // The analytic strobe engine plumbs through BusChannel and the
+    // scheduler: a binomial fleet must fuse to a trusted bus and stay
+    // bit-identical across thread counts (lane seeding is forkStable,
+    // so the shorter binomial draw streams are just as deterministic).
+    auto makeBinomialFleet = [](unsigned threads) {
+        FleetConfig cfg;
+        cfg.instruments = 3;
+        cfg.policy = SchedulerPolicy::RoundRobin;
+        cfg.threads = threads;
+        ChannelScheduler fleet(cfg, Rng(42));
+        for (std::size_t c = 0; c < 4; ++c) {
+            BusChannelConfig ch = quickChannel(c);
+            ch.itdr.strobeModel = StrobeModel::Binomial;
+            fleet.addChannel(ch);
+        }
+        fleet.calibrateAll();
+        return fleet;
+    };
+    ChannelScheduler f1 = makeBinomialFleet(1);
+    ChannelScheduler f4 = makeBinomialFleet(4);
+    const FleetTrace t1 = runFleet(f1, 8);
+    const FleetTrace t4 = runFleet(f4, 8);
+    EXPECT_EQ(t1, t4);
+
+    ChannelScheduler verdict_fleet = makeBinomialFleet(1);
+    const FleetRound last = verdict_fleet.run(6);
+    EXPECT_TRUE(last.fused.busTrusted);
+    EXPECT_GT(last.fused.fusedSimilarity,
+              verdict_fleet.config().similarityThreshold);
+}
+
 TEST(FleetScheduler, BitIdenticalWithFaultPlanActive)
 {
     // Instrument faults on one channel must not break the

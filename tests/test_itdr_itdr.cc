@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "itdr/budget.hh"
 #include "itdr/itdr.hh"
+#include "signal/noise.hh"
 #include "txline/manufacturing.hh"
 
 namespace divot {
@@ -173,6 +175,113 @@ TEST(ITdr, EffectiveTrialsSurfacedAndMatchBudget)
     EXPECT_EQ(m.trialsPerBin, budget.trialsPerBin);
     EXPECT_EQ(m.triggers,
               static_cast<uint64_t>(itdr.phaseBins()) * m.trialsPerBin);
+}
+
+TEST(ITdr, BinomialStrobeModelMatchesSampledStatistics)
+{
+    // The analytic engine samples the sufficient statistic instead of
+    // the waveform; per-bin reconstruction means over repeated
+    // measurements must agree with the sampled engine within
+    // two-sample CI bounds on a known line, and the deterministic
+    // accounting must be identical.
+    const auto line = testLine(41);
+    ItdrConfig sampled_cfg;
+    sampled_cfg.trialsPerPhase = 170;
+    ItdrConfig binomial_cfg = sampled_cfg;
+    binomial_cfg.strobeModel = StrobeModel::Binomial;
+    ITdr sampled(sampled_cfg, Rng(51));
+    ITdr binomial(binomial_cfg, Rng(52));
+
+    const int reps = 48;
+    std::vector<double> mean_s, mean_b, m2_s, m2_b;
+    for (int r = 0; r < reps; ++r) {
+        const IipMeasurement ms = sampled.measure(line);
+        const IipMeasurement mb = binomial.measure(line);
+        ASSERT_EQ(ms.iip.size(), mb.iip.size());
+        // Cost accounting and health screens are model-independent.
+        ASSERT_EQ(ms.busCycles, mb.busCycles);
+        ASSERT_EQ(ms.triggers, mb.triggers);
+        ASSERT_EQ(ms.trialsPerBin, mb.trialsPerBin);
+        ASSERT_EQ(ms.health.ok, mb.health.ok);
+        ASSERT_EQ(ms.health.budgetOverrun, mb.health.budgetOverrun);
+        ASSERT_EQ(ms.health.nonFiniteBins, mb.health.nonFiniteBins);
+        ASSERT_NEAR(ms.health.saturatedBinFraction,
+                    mb.health.saturatedBinFraction, 0.05);
+        if (mean_s.empty()) {
+            mean_s.assign(ms.iip.size(), 0.0);
+            mean_b.assign(ms.iip.size(), 0.0);
+            m2_s.assign(ms.iip.size(), 0.0);
+            m2_b.assign(ms.iip.size(), 0.0);
+        }
+        for (std::size_t i = 0; i < ms.iip.size(); ++i) {
+            mean_s[i] += ms.iip[i];
+            mean_b[i] += mb.iip[i];
+            m2_s[i] += ms.iip[i] * ms.iip[i];
+            m2_b[i] += mb.iip[i] * mb.iip[i];
+        }
+    }
+    const double n = static_cast<double>(reps);
+    const double sigma = sampled_cfg.comparator.noiseSigma;
+    const double trials =
+        static_cast<double>(sampled.trialsPerPhase());
+    for (std::size_t i = 0; i < mean_s.size(); ++i) {
+        const double mu_s = mean_s[i] / n;
+        const double mu_b = mean_b[i] / n;
+        const double var_s = std::max(m2_s[i] / n - mu_s * mu_s, 0.0);
+        const double var_b = std::max(m2_b[i] / n - mu_b * mu_b, 0.0);
+        // 5-sigma two-sample bound on the difference of means, with a
+        // 3*sigma/sqrt(trials) floor (one trial's worth of APC
+        // resolution) so zero-variance saturated bins don't demand
+        // exact equality.
+        const double tol = 5.0 * std::sqrt((var_s + var_b) / n) +
+            3.0 * sigma / std::sqrt(trials * n);
+        EXPECT_NEAR(mu_s, mu_b, tol) << "bin " << i;
+    }
+}
+
+TEST(ITdr, BinomialModelFallsBackWhenIneligible)
+{
+    // Jitter breaks the loop-invariant-signal premise: the analytic
+    // request must degrade to the sampled scalar path, not crash or
+    // mis-measure.
+    const auto line = testLine();
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = 44;
+    cfg.strobeModel = StrobeModel::Binomial;
+    cfg.pll.jitterRms = 2e-12;
+    ITdr itdr(cfg, Rng(53));
+    const IipMeasurement m = itdr.measure(line);
+    EXPECT_EQ(m.iip.size(), itdr.phaseBins());
+    EXPECT_EQ(m.triggers,
+              static_cast<uint64_t>(itdr.phaseBins()) *
+                  itdr.trialsPerPhase());
+
+    // Same for an attached extra noise source at measure() time.
+    ItdrConfig cfg2;
+    cfg2.trialsPerPhase = 44;
+    cfg2.strobeModel = StrobeModel::Binomial;
+    ITdr itdr2(cfg2, Rng(54));
+    GaussianNoise extra(0.2e-3, Rng(55));
+    const IipMeasurement m2 = itdr2.measure(line, &extra);
+    EXPECT_EQ(m2.iip.size(), itdr2.phaseBins());
+}
+
+TEST(ITdr, BinomialModelConvergesToIdealIip)
+{
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = 440;
+    cfg.strobeModel = StrobeModel::Binomial;
+    ITdr itdr(cfg, Rng(57));
+    const auto line = testLine();
+    const Waveform ideal = itdr.idealIip(line);
+    const IipMeasurement m = itdr.measure(line);
+    ASSERT_EQ(m.iip.size(), ideal.size());
+    double err = 0.0;
+    for (std::size_t i = 0; i < ideal.size(); ++i)
+        err += (m.iip[i] - ideal[i]) * (m.iip[i] - ideal[i]);
+    err = std::sqrt(err / static_cast<double>(ideal.size()));
+    EXPECT_LT(err, cfg.comparator.noiseSigma);
+    EXPECT_GT(normalizedInnerProduct(m.iip, ideal), 0.97);
 }
 
 TEST(ITdr, LoadEchoVisibleAtRoundTripTime)

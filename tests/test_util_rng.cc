@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <set>
+#include <utility>
 
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -137,6 +138,103 @@ TEST(Rng, SameTagSuccessiveForksDiffer)
     Rng a = parent.fork(42);
     Rng b = parent.fork(42);
     EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BinomialDegenerateCases)
+{
+    Rng rng(41);
+    const uint64_t before = Rng(41).next();
+    EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+    EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(100, -0.5), 0u);
+    EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+    EXPECT_EQ(rng.binomial(100, 1.5), 100u);
+    // Degenerate draws consume no stream state.
+    EXPECT_EQ(rng.next(), before);
+}
+
+TEST(Rng, BinomialBounds)
+{
+    Rng rng(43);
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t k = rng.binomial(37, 0.3);
+        ASSERT_LE(k, 37u);
+    }
+}
+
+/** Exact-moment checks on both sides of the small/large-n seam. */
+class BinomialMoments
+    : public ::testing::TestWithParam<std::pair<uint64_t, double>>
+{
+};
+
+TEST_P(BinomialMoments, MeanAndVarianceMatch)
+{
+    const uint64_t n = GetParam().first;
+    const double p = GetParam().second;
+    Rng rng(45 + n);
+    RunningStats s;
+    const int reps = 200000;
+    for (int i = 0; i < reps; ++i)
+        s.add(static_cast<double>(rng.binomial(n, p)));
+    const double mean = static_cast<double>(n) * p;
+    const double var = mean * (1.0 - p);
+    // CI bounds: the sample mean of `reps` draws has stddev
+    // sqrt(var/reps); the sample variance estimate is looser. The
+    // normal-cutoff branch adds O(1) rounding variance, covered by
+    // the +0.3 allowance.
+    EXPECT_NEAR(s.mean(), mean, 5.0 * std::sqrt(var / reps) + 1e-9);
+    EXPECT_NEAR(s.variance(), var, 0.05 * var + 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallAndLargeN, BinomialMoments,
+    ::testing::Values(std::make_pair<uint64_t, double>(1, 0.5),
+                      std::make_pair<uint64_t, double>(10, 0.13),
+                      std::make_pair<uint64_t, double>(10, 0.87),
+                      std::make_pair<uint64_t, double>(64, 0.31),
+                      std::make_pair<uint64_t, double>(65, 0.31),
+                      std::make_pair<uint64_t, double>(400, 0.07),
+                      std::make_pair<uint64_t, double>(1000, 0.5)));
+
+TEST(Rng, BinomialAlgorithmSeamContinuous)
+{
+    // The exact-inversion side (n = cutoff) and the normal-cutoff
+    // side (n = cutoff + 1) of the seam must describe one smoothly
+    // varying family: their standardized sample means both sit within
+    // CI bounds of the shared analytic law.
+    const double p = 0.4;
+    for (uint64_t n : {Rng::binomialInversionCutoff,
+                       Rng::binomialInversionCutoff + 1}) {
+        Rng rng(47);
+        RunningStats s;
+        const int reps = 100000;
+        for (int i = 0; i < reps; ++i)
+            s.add(static_cast<double>(rng.binomial(n, p)));
+        const double mean = static_cast<double>(n) * p;
+        const double sd = std::sqrt(mean * (1.0 - p));
+        const double z =
+            (s.mean() - mean) / (sd / std::sqrt(double(reps)));
+        EXPECT_LT(std::fabs(z), 5.0) << "n=" << n;
+    }
+}
+
+TEST(Rng, BinomialDeterministicUnderForkStable)
+{
+    const Rng parent(49);
+    Rng a = parent.forkStable(7);
+    Rng b = parent.forkStable(7);
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t n = 1 + (static_cast<uint64_t>(i) % 200);
+        const double p = 0.01 + 0.98 * (i % 97) / 97.0;
+        ASSERT_EQ(a.binomial(n, p), b.binomial(n, p)) << i;
+    }
+    // ...and the derivation is insensitive to unrelated child forks.
+    Rng c = parent.forkStable(7);
+    Rng noise = parent.forkStable(8);
+    (void)noise.binomial(100, 0.5);
+    Rng d = parent.forkStable(7);
+    EXPECT_EQ(c.binomial(50, 0.25), d.binomial(50, 0.25));
 }
 
 TEST(Rng, GaussianVectorFills)
