@@ -68,6 +68,27 @@ parseOptions(int argc, char **argv)
     return opt;
 }
 
+/**
+ * Re-indent a standalone Telemetry::exportJson() document so it nests
+ * cleanly as a value inside a hand-written BENCH_<name>.json report.
+ */
+inline void
+writeEmbeddedJson(std::FILE *f, const std::string &json,
+                  const char *indent)
+{
+    std::fputs(indent, f);
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char ch = json[i];
+        if (ch != '\n') {
+            std::fputc(ch, f);
+        } else if (i + 1 < json.size()) {
+            std::fputc('\n', f);
+            std::fputs(indent, f);
+        }
+    }
+    std::fputc('\n', f);
+}
+
 /** Print the experiment banner. */
 inline void
 banner(const char *id, const char *what, const Options &opt)

@@ -11,15 +11,23 @@
  *    count — the paper's central multi-wire claim;
  *  - a 6-channel fleet round through the ChannelScheduler must be
  *    bit-identical at 1 and 8 worker threads under both scheduling
- *    policies.
+ *    policies — both the probe/verdict trace and the telemetry
+ *    snapshot, byte for byte.
+ *
+ * --json additionally writes BENCH_multiwire.json with the EER table,
+ * the gate results, and the single-threaded risk-weighted fleet's
+ * telemetry snapshot embedded.
  */
 
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hh"
 #include "fingerprint/study.hh"
 #include "fleet/channel_scheduler.hh"
+#include "telemetry/telemetry.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -127,7 +135,11 @@ main(int argc, char **argv)
 
     // Gate 2: fleet determinism — a 6-channel scheduler round must
     // not depend on the worker thread count under either policy.
+    // That covers the telemetry layer too: the stable snapshot the
+    // fleet exports must serialize to the same bytes at 1 and 8
+    // workers.
     bool identical = true;
+    std::string snapshot;
     const std::size_t ticks = opt.quick ? 6 : 12;
     for (const SchedulerPolicy policy :
          {SchedulerPolicy::RoundRobin, SchedulerPolicy::RiskWeighted}) {
@@ -136,11 +148,48 @@ main(int argc, char **argv)
         const std::vector<double> t1 = fleetTrace(f1, ticks);
         const std::vector<double> t8 = fleetTrace(f8, ticks);
         const bool same = t1 == t8;
-        identical = identical && same;
+        snapshot = f1.telemetry().exportJson();
+        const bool same_snapshot =
+            snapshot == f8.telemetry().exportJson();
+        identical = identical && same && same_snapshot;
         std::printf("fleet 6ch/%s: 8 threads == 1 thread "
-                    "(bit-identical): %s\n",
+                    "(bit-identical): trace %s, telemetry %s\n",
                     schedulerPolicyName(policy),
-                    same ? "yes" : "NO — DETERMINISM VIOLATION");
+                    same ? "yes" : "NO — DETERMINISM VIOLATION",
+                    same_snapshot ? "yes"
+                                  : "NO — DETERMINISM VIOLATION");
+    }
+
+    if (opt.json) {
+        const char *path = "BENCH_multiwire.json";
+        std::FILE *f = std::fopen(path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", path);
+            return 1;
+        }
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"bench\": \"multiwire\",\n");
+        std::fprintf(f, "  \"seed\": %llu,\n",
+                     static_cast<unsigned long long>(opt.seed));
+        std::fprintf(f, "  \"wires\": [");
+        for (std::size_t i = 0; i < wire_counts.size(); ++i)
+            std::fprintf(f, "%s%zu", i == 0 ? "" : ", ",
+                         wire_counts[i]);
+        std::fprintf(f, "],\n");
+        std::fprintf(f, "  \"eer\": [");
+        for (std::size_t i = 0; i < eers.size(); ++i)
+            std::fprintf(f, "%s%.6f", i == 0 ? "" : ", ", eers[i]);
+        std::fprintf(f, "],\n");
+        std::fprintf(f, "  \"monotonePass\": %s,\n",
+                     monotone ? "true" : "false");
+        std::fprintf(f, "  \"determinismPass\": %s,\n",
+                     identical ? "true" : "false");
+        // The risk-weighted single-thread fleet's structural metrics.
+        std::fprintf(f, "  \"telemetry\":\n");
+        bench::writeEmbeddedJson(f, snapshot, "    ");
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", path);
     }
 
     return monotone && identical ? 0 : 1;

@@ -13,6 +13,7 @@
 #include "fingerprint/fingerprint.hh"
 #include "itdr/apc.hh"
 #include "itdr/itdr.hh"
+#include "telemetry/telemetry.hh"
 #include "txline/born.hh"
 #include "txline/lattice.hh"
 #include "txline/manufacturing.hh"
@@ -70,6 +71,31 @@ BM_ItdrMeasure(benchmark::State &state)
         benchmark::DoNotOptimize(itdr.measure(line));
 }
 BENCHMARK(BM_ItdrMeasure)->Arg(17)->Arg(170);
+
+// Telemetry overhead on the hottest call. telemetry:0 is the
+// detached baseline, telemetry:1 attaches a disabled Telemetry (the
+// handles stay inert — the acceptance bar is ~0% over detached) and
+// telemetry:2 attaches an enabled one (bar: < 3% over detached).
+void
+BM_ItdrMeasureTelemetry(benchmark::State &state)
+{
+    const auto line = benchLine();
+    ItdrConfig cfg;
+    cfg.trialsPerPhase = 170;
+    ITdr itdr(cfg, Rng(11));
+    TelemetryConfig tc;
+    tc.enabled = state.range(0) == 2;
+    Telemetry telemetry(tc);
+    if (state.range(0) != 0)
+        itdr.attachTelemetry(&telemetry, "itdr.bench");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(itdr.measure(line));
+}
+BENCHMARK(BM_ItdrMeasureTelemetry)
+    ->ArgNames({"telemetry"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
 
 // The perf-engine matrix: batched strobes on/off crossed with the
 // reflection-trace cache on/off. {0,0} is the pre-optimization

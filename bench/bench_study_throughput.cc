@@ -24,6 +24,7 @@
 
 #include "bench_common.hh"
 #include "fingerprint/study.hh"
+#include "telemetry/telemetry.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 
@@ -49,13 +50,15 @@ measurementCount(const StudyConfig &cfg)
 }
 
 Timed
-timedRun(const char *name, const StudyConfig &cfg, uint64_t seed)
+timedRun(const char *name, const StudyConfig &cfg, uint64_t seed,
+         Telemetry *telemetry = nullptr)
 {
     Timed out;
     out.name = name;
     out.cfg = cfg;
+    out.cfg.telemetry = telemetry;
     out.measurements = measurementCount(cfg);
-    GenuineImpostorStudy study(cfg, Rng(seed));
+    GenuineImpostorStudy study(out.cfg, Rng(seed));
     const auto t0 = std::chrono::steady_clock::now();
     out.result = study.run();
     const auto t1 = std::chrono::steady_clock::now();
@@ -106,7 +109,7 @@ writeJson(const char *path, const Options &opt, unsigned workers,
           const std::vector<const Timed *> &rows, double legacy_rate,
           double eer_delta_serial, double eer_delta_multiwire,
           double eer_tolerance, bool equivalence_pass,
-          bool determinism_pass)
+          bool determinism_pass, const std::string &telemetry_snapshot)
 {
     std::FILE *f = std::fopen(path, "w");
     if (f == nullptr) {
@@ -161,8 +164,12 @@ writeJson(const char *path, const Options &opt, unsigned workers,
     std::fprintf(f, "  \"eerTolerance\": %.6f,\n", eer_tolerance);
     std::fprintf(f, "  \"equivalencePass\": %s,\n",
                  equivalence_pass ? "true" : "false");
-    std::fprintf(f, "  \"determinismPass\": %s\n",
+    std::fprintf(f, "  \"determinismPass\": %s,\n",
                  determinism_pass ? "true" : "false");
+    // The serial sampled run's structural metrics, so the perf
+    // trajectory carries counters/spans alongside the timings.
+    std::fprintf(f, "  \"telemetry\":\n");
+    writeEmbeddedJson(f, telemetry_snapshot, "    ");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path);
@@ -220,12 +227,18 @@ benchMain(int argc, char **argv)
     StudyConfig multi_bin = multi;
     multi_bin.itdr.strobeModel = StrobeModel::Binomial;
 
+    // The serial and pooled sampled runs carry live telemetry: their
+    // stable exports must match byte for byte (gate 3), and the
+    // serial snapshot is embedded in the --json report.
+    Telemetry tel_serial;
+    Telemetry tel_parallel;
+
     const Timed t_legacy =
         timedRun("legacy (scalar, no cache)", legacy, opt.seed);
     const Timed t_serial =
-        timedRun("serial sampled", serial, opt.seed);
+        timedRun("serial sampled", serial, opt.seed, &tel_serial);
     const Timed t_parallel =
-        timedRun("pooled sampled", parallel, opt.seed);
+        timedRun("pooled sampled", parallel, opt.seed, &tel_parallel);
     const Timed t_serial_bin =
         timedRun("serial binomial", serial_bin, opt.seed);
     const Timed t_parallel_bin =
@@ -280,11 +293,17 @@ benchMain(int argc, char **argv)
         bitIdentical(t_serial.result, t_parallel.result);
     const bool det_binomial =
         bitIdentical(t_serial_bin.result, t_parallel_bin.result);
-    const bool determinism_pass = det_sampled && det_binomial;
+    const std::string snap_serial = tel_serial.exportJson();
+    const bool det_telemetry = snap_serial == tel_parallel.exportJson();
+    const bool determinism_pass =
+        det_sampled && det_binomial && det_telemetry;
     std::printf("\nparallel == serial (bit-identical scores): "
                 "sampled %s, binomial %s\n",
                 det_sampled ? "yes" : "NO — DETERMINISM VIOLATION",
                 det_binomial ? "yes" : "NO — DETERMINISM VIOLATION");
+    std::printf("parallel == serial (byte-identical telemetry "
+                "snapshot): %s\n",
+                det_telemetry ? "yes" : "NO — DETERMINISM VIOLATION");
 
     // Gate 2 — statistical equivalence: the analytic engine must
     // land within tolerance of the sampled engine's EER. The
@@ -319,7 +338,8 @@ benchMain(int argc, char **argv)
     if (opt.json) {
         writeJson("BENCH_study_throughput.json", opt, workers, rows,
                   rate(t_legacy), eer_delta_serial, eer_delta_multi,
-                  eer_tolerance, equivalence_pass, determinism_pass);
+                  eer_tolerance, equivalence_pass, determinism_pass,
+                  snap_serial);
     }
     return determinism_pass && equivalence_pass ? 0 : 1;
 }

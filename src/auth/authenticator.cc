@@ -77,7 +77,7 @@ Authenticator::enroll(const TransmissionLine &line, std::size_t reps)
     }
     enrolled_ = Fingerprint::enroll(measurements, nominal_, channel_);
     window_.clear();
-    state_ = AuthState::Monitoring;
+    setState(AuthState::Monitoring);
     divot_inform("channel '%s' enrolled after %zu measurements",
                  channel_.c_str(), reps);
 }
@@ -91,7 +91,56 @@ Authenticator::adoptEnrollment(Fingerprint fp, Waveform nominal)
     enrolled_ = std::move(fp);
     nominal_ = std::move(nominal);
     window_.clear();
-    state_ = AuthState::Monitoring;
+    setState(AuthState::Monitoring);
+}
+
+void
+Authenticator::attachTelemetry(Telemetry *telemetry)
+{
+    if (telemetry == nullptr || !telemetry->enabled()) {
+        telemetry_ = nullptr;
+        itdr_.attachTelemetry(nullptr, "");
+        return;
+    }
+    telemetry_ = telemetry;
+    tmPrefix_ = "auth." + channel_;
+    Registry &reg = telemetry->registry();
+    tmRounds_ = reg.counter(tmPrefix_ + ".rounds");
+    tmAuthOk_ = reg.counter(tmPrefix_ + ".verdicts.authenticated");
+    tmAuthFail_ = reg.counter(tmPrefix_ + ".verdicts.rejected");
+    tmAlarms_ = reg.counter(tmPrefix_ + ".alarms");
+    tmSuppressed_ = reg.counter(tmPrefix_ + ".alarms.suppressed");
+    tmVotesCast_ = reg.counter(tmPrefix_ + ".votes.cast");
+    tmVotesFor_ = reg.counter(tmPrefix_ + ".votes.for");
+    tmRetries_ = reg.counter(tmPrefix_ + ".retries");
+    tmBackoffCycles_ = reg.counter(tmPrefix_ + ".backoff_cycles");
+    tmExpunged_ = reg.counter(tmPrefix_ + ".expunged");
+    tmRecalibrations_ = reg.counter(tmPrefix_ + ".recalibrations");
+    tmUnhealthyRounds_ = reg.counter(tmPrefix_ + ".unhealthy_rounds");
+    itdr_.attachTelemetry(telemetry, "itdr." + channel_);
+}
+
+void
+Authenticator::setState(AuthState next)
+{
+    if (next == state_)
+        return;
+    if (telemetry_ != nullptr) {
+        // Transitions are rare, so per-edge counters are registered on
+        // demand instead of pre-declared for every (from, to) pair.
+        telemetry_->registry()
+            .counter(tmPrefix_ + ".state.to." + authStateName(next))
+            .add();
+        TelemetryEvent event;
+        event.time = wallClock_;
+        event.ordinal = round_;
+        event.kind = "auth.state";
+        event.tag = channel_;
+        event.detail = std::string(authStateName(state_)) + "->" +
+            authStateName(next);
+        telemetry_->events().record(std::move(event));
+    }
+    state_ = next;
 }
 
 Fingerprint
@@ -120,10 +169,42 @@ Authenticator::measureWithRetry(const TransmissionLine &line,
         // Linear backoff: yield the bus before retrying so a transient
         // disturbance (EMI burst, arbitration storm) can pass.
         busCycles_ += config_.retryBackoffCycles * retries;
+        tmRetries_.add();
+        tmBackoffCycles_.add(config_.retryBackoffCycles * retries);
         m = itdr_.measure(line, extra_noise);
         busCycles_ += m.busCycles;
     }
     return m;
+}
+
+unsigned
+Authenticator::expungeStaleVotes(const TransmissionLine &line,
+                                 double vote_bar)
+{
+    // Scan the whole FIFO, not just the newest entry: a transient
+    // spike that was voted down several rounds ago — or that slid in
+    // while the ladder sat in Degraded/Quarantine — can still lurk
+    // mid-window when trust is restored, poisoning every average
+    // until it ages out. (TamperLocalizer::inspect is deterministic
+    // and draws no randomness, so this scrub perturbs no streams.)
+    const TamperLocalizer localizer(vote_bar);
+    unsigned expunged = 0;
+    for (std::size_t i = window_.size(); i-- > 0;) {
+        IipMeasurement pseudo;
+        pseudo.iip = window_[i];
+        const Fingerprint single = Fingerprint::fromMeasurement(
+            pseudo, nominal_, channel_ + ".expunge");
+        if (localizer.inspect(enrolled_, single, line).detected) {
+            window_.erase(window_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            ++expunged;
+        }
+    }
+    if (expunged > 0) {
+        expungedVotes_ += expunged;
+        tmExpunged_.add(expunged);
+    }
+    return expunged;
 }
 
 bool
@@ -147,6 +228,7 @@ Authenticator::noteUnhealthyRound()
 {
     ++consecutiveUnhealthy_;
     cleanStreak_ = 0;
+    tmUnhealthyRounds_.add();
     if (consecutiveUnhealthy_ >= config_.quarantineAfterUnhealthy) {
         if (state_ != AuthState::Quarantine) {
             divot_warn("channel '%s': %u consecutive unhealthy rounds; "
@@ -157,10 +239,10 @@ Authenticator::noteUnhealthyRound()
             // future verdicts.
             window_.clear();
         }
-        state_ = AuthState::Quarantine;
+        setState(AuthState::Quarantine);
     } else if (consecutiveUnhealthy_ >= config_.degradeAfterUnhealthy &&
                state_ != AuthState::Quarantine) {
-        state_ = AuthState::Degraded;
+        setState(AuthState::Degraded);
     }
 }
 
@@ -175,10 +257,25 @@ Authenticator::checkRound(const TransmissionLine &current_line,
     AuthVerdict verdict;
     verdict.round = ++round_;
 
+    // Per-round telemetry accounting shared by every exit path. The
+    // handles are inert when no sink is attached, so this is free in
+    // the common case.
+    auto account = [&](const AuthVerdict &v) {
+        tmRounds_.add();
+        (v.authenticated ? tmAuthOk_ : tmAuthFail_).add();
+        tmVotesCast_.add(v.votesCast);
+        tmVotesFor_.add(v.votesFor);
+        if (v.tamperAlarm)
+            tmAlarms_.add();
+        if (v.alarmSuppressed)
+            tmSuppressed_.add();
+    };
+
     if (state_ == AuthState::Quarantine) {
         // The instrument is distrusted: re-baseline it and probe for
         // health, but serve no trust decisions from its output.
         itdr_.recalibrate();
+        tmRecalibrations_.add();
         IipMeasurement probe =
             measureWithRetry(current_line, extra_noise, verdict.retries);
         verdict.health = probe.health;
@@ -191,7 +288,7 @@ Authenticator::checkRound(const TransmissionLine &current_line,
                              "rounds after recalibration; leaving "
                              "quarantine", channel_.c_str(),
                              cleanStreak_);
-                state_ = AuthState::Degraded;
+                setState(AuthState::Degraded);
                 consecutiveUnhealthy_ = 0;
                 cleanStreak_ = 0;
             }
@@ -199,6 +296,7 @@ Authenticator::checkRound(const TransmissionLine &current_line,
             cleanStreak_ = 0;
         }
         verdict.stateAfter = state_;
+        account(verdict);
         return verdict;
     }
 
@@ -216,6 +314,7 @@ Authenticator::checkRound(const TransmissionLine &current_line,
         noteUnhealthyRound();
         verdict.authenticated = state_ != AuthState::Quarantine;
         verdict.stateAfter = state_;
+        account(verdict);
         return verdict;
     }
     consecutiveUnhealthy_ = 0;
@@ -270,37 +369,36 @@ Authenticator::checkRound(const TransmissionLine &current_line,
             verdict.tamperAlarm = false;
             verdict.alarmSuppressed = true;
             ++suppressedAlarms_;
-            // If the newest window entry alone carries the spike,
-            // expunge it so the transient does not poison the next
-            // rounds' averages.
-            IipMeasurement pseudo;
-            pseudo.iip = window_.back();
-            const Fingerprint newest = Fingerprint::fromMeasurement(
-                pseudo, nominal_, channel_ + ".newest");
-            const TamperLocalizer vote_localizer(vote_bar);
-            if (vote_localizer.inspect(enrolled_, newest,
-                                       current_line).detected) {
-                window_.pop_back();
-            }
+            // Scrub every window entry still carrying the transient
+            // spike so it cannot poison the next rounds' averages.
+            expungeStaleVotes(current_line, vote_bar);
         }
     }
 
     if (verdict.tamperAlarm) {
-        state_ = AuthState::TamperAlert;
+        setState(AuthState::TamperAlert);
     } else if (!verdict.authenticated) {
-        state_ = AuthState::Mismatch;
+        setState(AuthState::Mismatch);
     } else if (state_ == AuthState::Degraded) {
         // Climb back to full trust only after a streak of clean,
         // healthy rounds at the raised threshold.
         ++cleanStreak_;
         if (cleanStreak_ >= config_.recoveryCleanRounds) {
-            state_ = AuthState::Monitoring;
+            // A spike voted down (or never even examined) while the
+            // ladder sat below Monitoring would otherwise re-enter
+            // full-trust averages: scrub against the base vote bar
+            // before restoring trust.
+            expungeStaleVotes(current_line,
+                              config_.tamperThreshold *
+                                  config_.voteThresholdScale);
+            setState(AuthState::Monitoring);
             cleanStreak_ = 0;
         }
     } else {
-        state_ = AuthState::Monitoring;
+        setState(AuthState::Monitoring);
     }
     verdict.stateAfter = state_;
+    account(verdict);
     return verdict;
 }
 

@@ -156,6 +156,26 @@ class Authenticator
     /** @return candidate alarms voted down since enrollment. */
     uint64_t suppressedAlarms() const { return suppressedAlarms_; }
 
+    /** @return window entries expunged as stale transient spikes. */
+    uint64_t expungedVotes() const { return expungedVotes_; }
+
+    /**
+     * Attach a telemetry sink: rounds, verdicts, retries/backoff,
+     * vote and suppression counts, and state-ladder transitions are
+     * accounted under "auth.<channel>" (the instrument itself under
+     * "itdr.<channel>"), with one event per state transition. Pass
+     * nullptr (or a disabled Telemetry) to detach. Not owned; must
+     * outlive this object.
+     */
+    void attachTelemetry(Telemetry *telemetry);
+
+    /**
+     * Stamp subsequent telemetry events with the caller's simulated
+     * wall clock (the fleet scheduler's slot * tick). Defaults to 0
+     * for standalone use, where the round ordinal still orders events.
+     */
+    void setWallClock(double seconds) { wallClock_ = seconds; }
+
   private:
     AuthConfig config_;
     ITdr itdr_;
@@ -169,8 +189,41 @@ class Authenticator
     unsigned consecutiveUnhealthy_ = 0;
     unsigned cleanStreak_ = 0;     //!< healthy rounds toward recovery
     uint64_t suppressedAlarms_ = 0;
+    uint64_t expungedVotes_ = 0;
+
+    /** @name Telemetry plumbing (inert until attachTelemetry). */
+    ///@{
+    Telemetry *telemetry_ = nullptr;
+    std::string tmPrefix_;
+    Counter tmRounds_;
+    Counter tmAuthOk_;
+    Counter tmAuthFail_;
+    Counter tmAlarms_;
+    Counter tmSuppressed_;
+    Counter tmVotesCast_;
+    Counter tmVotesFor_;
+    Counter tmRetries_;
+    Counter tmBackoffCycles_;
+    Counter tmExpunged_;
+    Counter tmRecalibrations_;
+    Counter tmUnhealthyRounds_;
+    double wallClock_ = 0.0;
+    ///@}
 
     Fingerprint averagedFingerprint() const;
+
+    /** Transition the lifecycle state, accounting the edge. */
+    void setState(AuthState next);
+
+    /**
+     * Drop every window entry whose single-measurement fingerprint
+     * still trips `vote_bar` — the shared scrub run after a vote-down
+     * and on every ladder climb back to Monitoring.
+     *
+     * @return entries removed
+     */
+    unsigned expungeStaleVotes(const TransmissionLine &line,
+                               double vote_bar);
 
     /** Measure with bounded retry + linear bus-cycle backoff. */
     IipMeasurement measureWithRetry(const TransmissionLine &line,

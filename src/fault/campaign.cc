@@ -99,6 +99,9 @@ FaultCampaign::runFleetCell(const FaultScenario &fault,
     fleet_config.threads = 1;
     fleet_config.fusion = config_.fusion;
     fleet_config.similarityThreshold = config_.auth.similarityThreshold;
+    // The cell-local fleet telemetry would die with the cell; campaign
+    // observability goes through the shared sink instead (below).
+    fleet_config.telemetry.enabled = false;
     ChannelScheduler fleet(fleet_config, lane.forkStable(3));
 
     BusChannelConfig channel_config;
@@ -110,7 +113,11 @@ FaultCampaign::runFleetCell(const FaultScenario &fault,
     for (std::size_t w = 0; w < config_.wires; ++w) {
         channel_config.name = fault.name + "x" +
             campaignAttackName(attack) + "w" + std::to_string(w);
-        fleet.addChannel(channel_config);
+        const std::size_t idx = fleet.addChannel(channel_config);
+        // Re-point the channel at the shared campaign sink: the
+        // (fault, attack, wire) name makes its metric prefix unique
+        // across the whole matrix.
+        fleet.channel(idx).attachTelemetry(config_.telemetry);
     }
     fleet.calibrateAll();
 
@@ -243,6 +250,7 @@ FaultCampaign::runCell(const FaultScenario &fault, CampaignAttack attack,
 
     Authenticator auth(config_.auth, config_.itdr, lane.forkStable(3),
                        fault.name + "x" + campaignAttackName(attack));
+    auth.attachTelemetry(config_.telemetry);
     auth.enroll(line, config_.enrollReps);
 
     FaultInjector injector(fault.plan, lane.forkStable(4));
@@ -305,9 +313,19 @@ FaultCampaign::run(const std::vector<FaultScenario> &faults,
     const std::size_t n = faults.size() * attacks.size();
     std::vector<FaultCell> cells(n);
     ThreadPool pool(config_.threads);
+    pool.attachTelemetry(config_.telemetry, "campaign.pool");
+    Counter cells_run;
+    Counter faults_armed;
+    if (config_.telemetry != nullptr && config_.telemetry->enabled()) {
+        Registry &reg = config_.telemetry->registry();
+        cells_run = reg.counter("campaign.cells");
+        faults_armed = reg.counter("campaign.faults.armed");
+    }
     pool.parallelFor(n, [&](std::size_t i) {
-        cells[i] = runCell(faults[i / attacks.size()],
-                           attacks[i % attacks.size()], i);
+        const FaultScenario &fault = faults[i / attacks.size()];
+        cells[i] = runCell(fault, attacks[i % attacks.size()], i);
+        cells_run.add();
+        faults_armed.add(fault.plan.specs().size());
     });
     return cells;
 }

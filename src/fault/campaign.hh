@@ -89,6 +89,16 @@ struct FaultCampaignConfig
     std::size_t fleetInstruments = 0; //!< iTDR pool size (0 = wires)
     FusionConfig fusion;          //!< similarity fusion rule
     ///@}
+
+    /**
+     * Optional shared telemetry sink: cells attach their
+     * authenticators/instruments under cell-unique channel names and
+     * the campaign accounts cells run and faults armed. Cell names
+     * are unique per (fault, attack, wire), so concurrent cells write
+     * disjoint metrics and the export stays deterministic. Not owned;
+     * must outlive the campaign run.
+     */
+    Telemetry *telemetry = nullptr;
 };
 
 /**

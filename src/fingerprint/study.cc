@@ -135,9 +135,14 @@ GenuineImpostorStudy::run()
         }
         lane.genuineScores.resize(reps_g);
         lane.impostorScores.resize((nl - 1) * reps_i);
+        if (config_.telemetry != nullptr) {
+            lane.itdr->attachTelemetry(config_.telemetry,
+                                       "itdr." + lines_[idx].name());
+        }
     }
 
     ThreadPool pool(config_.threads);
+    pool.attachTelemetry(config_.telemetry, "study.pool");
 
     // --- enrollment at reference conditions (calibration time) ---
     pool.parallelFor(lane_count, [&](std::size_t idx) {
@@ -240,6 +245,19 @@ GenuineImpostorStudy::run()
     result.decidability =
         decidabilityIndex(result.genuine, result.impostor);
     result.fittedEer = gaussianFitEer(result.genuine, result.impostor);
+
+    // Study-level accounting, recorded serially after the barrier so
+    // the values are final.
+    if (config_.telemetry != nullptr && config_.telemetry->enabled()) {
+        Registry &reg = config_.telemetry->registry();
+        reg.counter("study.lanes").add(lane_count);
+        reg.counter("study.scores.genuine").add(result.genuine.size());
+        reg.counter("study.scores.impostor").add(result.impostor.size());
+        reg.counter("study.bus_cycles").add(result.totalBusCycles);
+        reg.counter("study.cache.hits").add(result.cacheHits);
+        reg.counter("study.cache.misses").add(result.cacheMisses);
+        reg.counter("study.cache.evictions").add(result.cacheEvictions);
+    }
     return result;
 }
 

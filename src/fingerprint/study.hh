@@ -21,6 +21,7 @@
 #include "fingerprint/fingerprint.hh"
 #include "fingerprint/fusion.hh"
 #include "itdr/itdr.hh"
+#include "telemetry/telemetry.hh"
 #include "txline/environment.hh"
 #include "txline/manufacturing.hh"
 #include "txline/txline.hh"
@@ -54,6 +55,15 @@ struct StudyConfig
                                       //!< hardware concurrency, 1 =>
                                       //!< serial. Results are
                                       //!< bit-identical at any count.
+
+    /**
+     * Optional telemetry sink: every measurement lane's iTDR is
+     * attached under "itdr.<line name>" and the study accounts scores
+     * and bus cycles under "study.*". Lane prefixes are unique, so
+     * the stable export is identical at any thread count. Not owned;
+     * must outlive run().
+     */
+    Telemetry *telemetry = nullptr;
 };
 
 /** Outcome of one campaign. */

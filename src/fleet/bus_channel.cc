@@ -79,6 +79,9 @@ BusChannel::roundCycles() const
 AuthVerdict
 BusChannel::monitorAt(double wall_clock)
 {
+    // Telemetry events from this round carry the caller's schedule
+    // (fleet slot * tick, or the standalone clock via monitorOnce).
+    auth_->setWallClock(wall_clock);
     const TransmissionLine snap = env_->snapshot(current_, wall_clock);
     return auth_->checkRound(snap, emi_.get());
 }

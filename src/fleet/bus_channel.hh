@@ -131,6 +131,16 @@ class BusChannel
         auth_->attachFaultInjector(injector);
     }
 
+    /**
+     * Attach a telemetry sink to this channel's authenticator and
+     * instrument (metrics land under "auth.<name>" / "itdr.<name>").
+     * Not owned; must outlive the channel.
+     */
+    void attachTelemetry(Telemetry *telemetry)
+    {
+        auth_->attachTelemetry(telemetry);
+    }
+
   private:
     BusChannelConfig config_;
     Rng rng_;

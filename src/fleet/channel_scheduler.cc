@@ -51,12 +51,26 @@ schedulerPolicyName(SchedulerPolicy policy)
 
 ChannelScheduler::ChannelScheduler(FleetConfig config, Rng rng)
     : config_(config), rng_(rng),
+      telemetry_(std::make_unique<Telemetry>(config.telemetry)),
       fleetAuth_(config.fusion, config.similarityThreshold,
                  config.tamperWireVotes),
       pool_(std::make_unique<ThreadPool>(config.threads))
 {
     if (config_.instruments == 0)
         divot_fatal("fleet needs at least one iTDR instrument");
+    pool_->attachTelemetry(telemetry_.get(), "fleet.pool");
+    Registry &reg = telemetry_->registry();
+    tmTicks_ = reg.counter("fleet.ticks");
+    tmProbes_ = reg.counter("fleet.probes");
+    tmInstrumentSlots_ = reg.counter("fleet.slots.total");
+    tmIdleSlots_ = reg.counter("fleet.slots.idle");
+    tmTrusted_ = reg.counter("fleet.verdicts.trusted");
+    tmUntrusted_ = reg.counter("fleet.verdicts.untrusted");
+    tmAlarms_ = reg.counter("fleet.alarms");
+    tmTrustFlips_ = reg.counter("fleet.trust_flips");
+    tmStaleness_ = reg.histogram("fleet.staleness",
+                                 {1, 2, 4, 8, 16, 32});
+    tmRiskWeight_ = reg.histogram("fleet.risk_weight", {1, 4, 8});
 }
 
 ChannelScheduler::~ChannelScheduler() = default;
@@ -73,6 +87,9 @@ ChannelScheduler::addChannel(BusChannelConfig config)
     const std::size_t index = channels_.size();
     channels_.push_back(std::make_unique<BusChannel>(
         std::move(config), rng_.forkStable(kTagFleetChannel + index)));
+    channels_.back()->attachTelemetry(telemetry_.get());
+    tmChannelProbes_.push_back(telemetry_->registry().counter(
+        "fleet.channel." + channels_.back()->name() + ".probes"));
     lastProbeTick_.push_back(-1);
     probeCounts_.push_back(0);
     fleetAuth_.setChannelCount(channels_.size());
@@ -144,6 +161,18 @@ ChannelScheduler::tick()
     const std::vector<std::size_t> selected = selectChannels();
     const double wall = slot_ * static_cast<double>(tick_);
 
+    // Scheduling metrics captured before the probes run: staleness and
+    // risk weight are exactly the quantities selectChannels() ranked
+    // on, and the probe updates them.
+    SpanScope span = telemetry_->tracer().open("fleet.tick", "fleet",
+                                               wall, tick_);
+    for (const std::size_t c : selected) {
+        tmStaleness_.record(static_cast<uint64_t>(
+            static_cast<int64_t>(tick_) - lastProbeTick_[c]));
+        tmRiskWeight_.record(riskWeight(channels_[c]->state()));
+        tmChannelProbes_[c].add();
+    }
+
     FleetRound round;
     round.tick = tick_;
     round.probes.resize(selected.size());
@@ -162,6 +191,28 @@ ChannelScheduler::tick()
     }
     round.fused = fleetAuth_.evaluate(tick_);
     lastVerdict_ = round.fused;
+
+    tmTicks_.add();
+    tmProbes_.add(selected.size());
+    tmInstrumentSlots_.add(config_.instruments);
+    tmIdleSlots_.add(config_.instruments - selected.size());
+    (round.fused.busTrusted ? tmTrusted_ : tmUntrusted_).add();
+    if (round.fused.tamperAlarm)
+        tmAlarms_.add();
+    if (round.fused.busTrusted != lastTrusted_) {
+        tmTrustFlips_.add();
+        TelemetryEvent event;
+        event.time = wall;
+        event.ordinal = tick_;
+        event.kind = "fleet.trust";
+        event.tag = "fleet";
+        event.detail = round.fused.busTrusted
+            ? "untrusted->trusted" : "trusted->untrusted";
+        telemetry_->events().record(std::move(event));
+    }
+    lastTrusted_ = round.fused.busTrusted;
+    span.close(wall + slot_, 0);
+
     ++tick_;
     return round;
 }

@@ -32,6 +32,7 @@
 
 #include "fleet/bus_channel.hh"
 #include "fleet/fleet_auth.hh"
+#include "telemetry/telemetry.hh"
 #include "util/rng.hh"
 
 namespace divot {
@@ -55,6 +56,9 @@ struct FleetConfig
     FusionConfig fusion;         //!< similarity fusion rule
     double similarityThreshold = 0.35; //!< fused-score accept bar
     unsigned tamperWireVotes = 1; //!< M-of-N bus alarm quorum
+    TelemetryConfig telemetry;   //!< fleet-owned observability (on by
+                                 //!< default; enabled=false for the
+                                 //!< zero-overhead ablation path)
 };
 
 /** One channel probe performed during a tick. */
@@ -152,11 +156,18 @@ class ChannelScheduler
      *  calibrateAll()). */
     double tickDuration() const { return slot_; }
 
+    /** @return the fleet-owned telemetry sink (never null; disabled
+     *  when FleetConfig::telemetry.enabled is false). */
+    Telemetry &telemetry() { return *telemetry_; }
+    const Telemetry &telemetry() const { return *telemetry_; }
+
   private:
     std::vector<std::size_t> selectChannels() const;
 
     FleetConfig config_;
     Rng rng_;
+    std::unique_ptr<Telemetry> telemetry_; //!< owned; channels and the
+                                           //!< pool borrow it
     std::vector<std::unique_ptr<BusChannel>> channels_;
     std::vector<int64_t> lastProbeTick_; //!< -1 = never probed
     std::vector<uint64_t> probeCounts_;
@@ -166,6 +177,23 @@ class ChannelScheduler
     uint64_t tick_ = 0;
     bool calibrated_ = false;
     FleetVerdict lastVerdict_{};
+    bool lastTrusted_ = true; //!< previous tick's busTrusted (for
+                              //!< trust-flip events)
+
+    /** @name Fleet-level metric handles. */
+    ///@{
+    Counter tmTicks_;
+    Counter tmProbes_;
+    Counter tmInstrumentSlots_;
+    Counter tmIdleSlots_;
+    Counter tmTrusted_;
+    Counter tmUntrusted_;
+    Counter tmAlarms_;
+    Counter tmTrustFlips_;
+    HistogramMetric tmStaleness_;
+    HistogramMetric tmRiskWeight_;
+    std::vector<Counter> tmChannelProbes_; //!< indexed like channels_
+    ///@}
 };
 
 } // namespace divot

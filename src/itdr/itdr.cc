@@ -1,6 +1,7 @@
 #include "itdr/itdr.hh"
 
 #include <cmath>
+#include <cstdio>
 
 #include "itdr/calibrate.hh"
 #include "itdr/counter.hh"
@@ -72,6 +73,42 @@ double
 ITdr::effectiveSigma() const
 {
     return reconstructionSigma();
+}
+
+void
+ITdr::attachTelemetry(Telemetry *telemetry, const std::string &prefix)
+{
+    if (telemetry == nullptr || !telemetry->enabled()) {
+        telemetry_ = nullptr;
+        return;
+    }
+    telemetry_ = telemetry;
+    tmPrefix_ = prefix;
+    Registry &reg = telemetry->registry();
+    tmMeasurements_ = reg.counter(prefix + ".measurements");
+    tmBins_ = reg.counter(prefix + ".bins");
+    tmTriggers_ = reg.counter(prefix + ".triggers");
+    tmEngineAnalytic_ = reg.counter(prefix + ".engine.analytic");
+    tmEngineBatch_ = reg.counter(prefix + ".engine.batch");
+    tmEngineScalar_ = reg.counter(prefix + ".engine.scalar");
+    tmFallbacks_ = reg.counter(prefix + ".engine.fallbacks");
+    tmCacheHits_ = reg.counter(prefix + ".cache.hits");
+    tmCacheMisses_ = reg.counter(prefix + ".cache.misses");
+    tmCacheEvictions_ = reg.counter(prefix + ".cache.evictions");
+    tmCacheLookups_ = reg.counter(prefix + ".cache.lookups");
+    tmHealthFail_ = reg.counter(prefix + ".health.failed");
+    tmSaturatedBins_ = reg.counter(prefix + ".health.saturated_bins");
+    tmNonFiniteBins_ = reg.counter(prefix + ".health.nonfinite_bins");
+    tmBudgetOverruns_ = reg.counter(prefix + ".health.budget_overruns");
+    tmFaultsFired_ = reg.counter(prefix + ".faults.fired");
+    tmCycles_ = reg.histogram(
+        prefix + ".cycles",
+        {8192, 16384, 32768, 65536, 131072, 262144});
+    // Cache counters export deltas from this point on, so attaching
+    // mid-life never double-counts history.
+    tmCacheHitsSeen_ = traceCache_.hits();
+    tmCacheMissesSeen_ = traceCache_.misses();
+    tmCacheEvictionsSeen_ = traceCache_.evictions();
 }
 
 double
@@ -241,6 +278,17 @@ ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
     const uint64_t cycles_before = triggerGen_.cyclesElapsed();
     const uint64_t triggers_before = triggerGen_.triggersProduced();
 
+    // One span per measurement, clocked by the instrument's own
+    // trigger-cycle schedule (deterministic at any thread count).
+    SpanScope span;
+    uint64_t span_ordinal = 0;
+    if (telemetry_ != nullptr) {
+        span_ordinal = tmOrdinal_++;
+        span = telemetry_->tracer().open(
+            tmPrefix_ + ".measure", tmPrefix_,
+            static_cast<double>(cycles_before) * t_clk, span_ordinal);
+    }
+
     Waveform iip = Waveform::zeros(tau, bins_);
     HitCounter counter(config_.counterWidthBits);
 
@@ -321,13 +369,40 @@ ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
         config_.strobeModel == StrobeModel::Binomial && fast_eligible;
     const bool batch = !analytic && config_.batchedStrobes &&
         fast_eligible;
-    if (config_.strobeModel == StrobeModel::Binomial && !analytic &&
-        !analyticFallbackWarned_) {
-        analyticFallbackWarned_ = true;
-        divot_warn("iTDR analytic strobe engine unavailable for this "
-                   "configuration (jitter, extra noise, non-clock "
-                   "triggers, metastable band, or counter "
-                   "saturation); falling back to sampled strobes");
+    if (config_.strobeModel == StrobeModel::Binomial && !analytic) {
+        if (telemetry_ != nullptr)
+            tmFallbacks_.add();
+        if (!analyticFallbackWarned_) {
+            analyticFallbackWarned_ = true;
+            divot_warn("iTDR analytic strobe engine unavailable for "
+                       "this configuration (jitter, extra noise, "
+                       "non-clock triggers, metastable band, or "
+                       "counter saturation); falling back to sampled "
+                       "strobes");
+            if (telemetry_ != nullptr) {
+                // One event per instrument naming the blocking
+                // condition; the counter above tallies every
+                // fallen-back measurement.
+                const char *reason = !no_jitter ? "jitter"
+                    : extra_noise != nullptr ? "extra-noise"
+                    : config_.triggerMode != TriggerMode::ClockLane
+                        ? "data-triggers"
+                    : comparator_.params().metastableBand != 0.0
+                        ? "metastable-band"
+                    : "counter-saturation";
+                TelemetryEvent event;
+                event.time = static_cast<double>(cycles_before) * t_clk;
+                event.ordinal = span_ordinal;
+                event.kind = "itdr.fallback";
+                event.tag = tmPrefix_;
+                event.detail = reason;
+                telemetry_->events().record(std::move(event));
+            }
+        }
+    }
+    if (telemetry_ != nullptr) {
+        (analytic ? tmEngineAnalytic_
+                  : batch ? tmEngineBatch_ : tmEngineScalar_).add();
     }
 
     pll_.resetPhase();
@@ -436,6 +511,53 @@ ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
         out.health.ok = out.health.saturatedBinFraction <=
                 config_.healthSaturationLimit &&
             out.health.nonFiniteBins == 0 && !out.health.budgetOverrun;
+    }
+
+    if (telemetry_ != nullptr) {
+        tmMeasurements_.add();
+        tmBins_.add(bins_);
+        tmTriggers_.add(out.triggers);
+        tmCycles_.record(out.busCycles);
+        // Cache stats arrive as deltas so several instruments sharing
+        // one prefix still sum commutatively (hits + misses ==
+        // lookups by construction, an invariant the property harness
+        // checks).
+        const uint64_t cache_hits = traceCache_.hits();
+        const uint64_t cache_misses = traceCache_.misses();
+        const uint64_t cache_evictions = traceCache_.evictions();
+        tmCacheHits_.add(cache_hits - tmCacheHitsSeen_);
+        tmCacheMisses_.add(cache_misses - tmCacheMissesSeen_);
+        tmCacheEvictions_.add(cache_evictions - tmCacheEvictionsSeen_);
+        tmCacheLookups_.add((cache_hits - tmCacheHitsSeen_) +
+                            (cache_misses - tmCacheMissesSeen_));
+        tmCacheHitsSeen_ = cache_hits;
+        tmCacheMissesSeen_ = cache_misses;
+        tmCacheEvictionsSeen_ = cache_evictions;
+        if (fault.any())
+            tmFaultsFired_.add();
+        tmSaturatedBins_.add(saturated_bins);
+        tmNonFiniteBins_.add(non_finite_bins);
+        if (out.health.budgetOverrun)
+            tmBudgetOverruns_.add();
+        const double t_end =
+            static_cast<double>(cycles_before) * t_clk + out.duration;
+        if (!out.health.ok) {
+            tmHealthFail_.add();
+            char detail[96];
+            std::snprintf(detail, sizeof(detail),
+                          "saturatedBins=%u nonFiniteBins=%u "
+                          "budgetOverrun=%d",
+                          saturated_bins, non_finite_bins,
+                          out.health.budgetOverrun ? 1 : 0);
+            TelemetryEvent event;
+            event.time = t_end;
+            event.ordinal = span_ordinal;
+            event.kind = "health";
+            event.tag = tmPrefix_;
+            event.detail = detail;
+            telemetry_->events().record(std::move(event));
+        }
+        span.close(t_end, out.busCycles);
     }
     return out;
 }

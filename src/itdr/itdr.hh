@@ -38,6 +38,7 @@
 #include "signal/edge.hh"
 #include "signal/noise.hh"
 #include "signal/waveform.hh"
+#include "telemetry/telemetry.hh"
 #include "txline/txline.hh"
 #include "util/rng.hh"
 
@@ -222,6 +223,20 @@ class ITdr
      *  first measure() freezes the bin grid). */
     uint64_t expectedCycles() const { return expectedCycles_; }
 
+    /**
+     * Attach a telemetry sink: subsequent measure() calls account
+     * engine choice, bins/triggers/cycles, cache hit/miss deltas,
+     * health screen outcomes, and fired faults under `prefix` (e.g.
+     * "itdr.bus0w1") and emit one span per measurement stamped with
+     * the instrument's own trigger-cycle clock. Pass nullptr (or a
+     * disabled Telemetry) to detach; the detached cost is one branch
+     * per measurement. Not owned; must outlive the iTDR.
+     */
+    void attachTelemetry(Telemetry *telemetry, const std::string &prefix);
+
+    /** @return the attached telemetry sink (nullptr when none). */
+    Telemetry *telemetry() const { return telemetry_; }
+
   private:
     ItdrConfig config_;
     Rng rng_;
@@ -257,6 +272,37 @@ class ITdr
     std::vector<double> analyticLevels_;
     /** One-time fallback warning latch (per instrument). */
     bool analyticFallbackWarned_ = false;
+
+    /** @name Telemetry plumbing (inert until attachTelemetry). */
+    ///@{
+    Telemetry *telemetry_ = nullptr;
+    std::string tmPrefix_;
+    Counter tmMeasurements_;
+    Counter tmBins_;
+    Counter tmTriggers_;
+    Counter tmEngineAnalytic_;
+    Counter tmEngineBatch_;
+    Counter tmEngineScalar_;
+    Counter tmFallbacks_;
+    Counter tmCacheHits_;
+    Counter tmCacheMisses_;
+    Counter tmCacheEvictions_;
+    Counter tmCacheLookups_;
+    Counter tmHealthFail_;
+    Counter tmSaturatedBins_;
+    Counter tmNonFiniteBins_;
+    Counter tmBudgetOverruns_;
+    Counter tmFaultsFired_;
+    HistogramMetric tmCycles_;
+    /** Cache totals at the last telemetry flush, so per-measurement
+     *  deltas (not gauges) feed the shared counters and lanes sharing
+     *  a prefix still sum commutatively. */
+    uint64_t tmCacheHitsSeen_ = 0;
+    uint64_t tmCacheMissesSeen_ = 0;
+    uint64_t tmCacheEvictionsSeen_ = 0;
+    /** Per-instrument measurement ordinal for span records. */
+    uint64_t tmOrdinal_ = 0;
+    ///@}
 
     void prepareBins(const TransmissionLine &line);
     double reconstructionSigma() const;

@@ -45,6 +45,27 @@ DivotGate::DivotGate(ChannelScheduler &fleet,
 DivotGate::~DivotGate() = default;
 
 void
+DivotGate::attachTelemetry(Telemetry *telemetry)
+{
+    if (telemetry == nullptr || !telemetry->enabled()) {
+        telemetry_ = nullptr;
+        tmRounds_ = Counter();
+        tmBusEvents_ = Counter();
+        tmDetections_ = Counter();
+        tmTrustFlips_ = Counter();
+        controller_.attachTelemetry(nullptr);
+        return;
+    }
+    telemetry_ = telemetry;
+    Registry &reg = telemetry_->registry();
+    tmRounds_ = reg.counter("gate.rounds");
+    tmBusEvents_ = reg.counter("gate.bus_events");
+    tmDetections_ = reg.counter("gate.detections");
+    tmTrustFlips_ = reg.counter("gate.trust_flips");
+    controller_.attachTelemetry(telemetry_);
+}
+
+void
 DivotGate::scheduleEvent(BusEvent event)
 {
     if (fleet_ && event.wire >= fleet_->channelCount())
@@ -71,10 +92,33 @@ DivotGate::applyVerdict(bool trusted, bool block_access, uint64_t cycle)
         rec.latencySeconds =
             static_cast<double>(rec.latencyCycles) / clockHz_;
         rec.attack = outstandingAttack_;
+        if (telemetry_ != nullptr) {
+            tmDetections_.add();
+            TelemetryEvent event;
+            event.time = static_cast<double>(cycle) / clockHz_;
+            event.ordinal = cycle;
+            event.kind = "gate.detection";
+            event.tag = "gate";
+            event.detail = rec.attack;
+            telemetry_->events().record(std::move(event));
+        }
         detections_.push_back(rec);
         outstandingAttackCycle_.reset();
         outstandingAttack_.clear();
     }
+
+    if (telemetry_ != nullptr && trusted != lastTrusted_) {
+        tmTrustFlips_.add();
+        TelemetryEvent event;
+        event.time = static_cast<double>(cycle) / clockHz_;
+        event.ordinal = cycle;
+        event.kind = "gate.trust";
+        event.tag = "gate";
+        event.detail = trusted
+            ? "untrusted->trusted" : "trusted->untrusted";
+        telemetry_->events().record(std::move(event));
+    }
+    lastTrusted_ = trusted;
 }
 
 void
@@ -95,6 +139,16 @@ DivotGate::tick(uint64_t cycle)
             outstandingAttackCycle_ = event.cycle;
             outstandingAttack_ = event.description;
         }
+        if (telemetry_ != nullptr) {
+            tmBusEvents_.add();
+            TelemetryEvent log;
+            log.time = static_cast<double>(event.cycle) / clockHz_;
+            log.ordinal = event.cycle;
+            log.kind = "bus.event";
+            log.tag = "gate";
+            log.detail = event.description;
+            telemetry_->events().record(std::move(log));
+        }
         divot_inform("cycle %llu: bus change: %s",
                      static_cast<unsigned long long>(event.cycle),
                      event.description.c_str());
@@ -108,6 +162,7 @@ DivotGate::tick(uint64_t cycle)
     // now exists.
     nextRoundEnd_ += roundCycles_;
     ++rounds_;
+    tmRounds_.add();
 
     if (fleet_) {
         const FleetRound round = fleet_->tick();

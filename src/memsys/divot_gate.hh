@@ -39,6 +39,7 @@
 #include "fleet/fleet_auth.hh"
 #include "memsys/controller.hh"
 #include "memsys/sdram.hh"
+#include "telemetry/telemetry.hh"
 #include "txline/txline.hh"
 
 namespace divot {
@@ -136,6 +137,16 @@ class DivotGate
         return haveFleetVerdict_ ? &lastFleet_ : nullptr;
     }
 
+    /**
+     * Attach a telemetry sink: monitoring rounds, applied bus events,
+     * detections, and trust flips are counted under "gate.*", and bus
+     * changes / detections / trust transitions land in the event log
+     * timestamped at the bus clock. Also instruments the attached
+     * MemoryController under "memctl". Pass nullptr to detach. Not
+     * owned; must outlive the gate.
+     */
+    void attachTelemetry(Telemetry *telemetry);
+
   private:
     void applyVerdict(bool trusted, bool block_access, uint64_t cycle);
 
@@ -155,6 +166,16 @@ class DivotGate
     bool haveFleetVerdict_ = false;
     std::optional<uint64_t> outstandingAttackCycle_;
     std::string outstandingAttack_;
+
+    /** @name Telemetry plumbing (inert until attachTelemetry). */
+    ///@{
+    Telemetry *telemetry_ = nullptr;
+    bool lastTrusted_ = true;
+    Counter tmRounds_;
+    Counter tmBusEvents_;
+    Counter tmDetections_;
+    Counter tmTrustFlips_;
+    ///@}
 };
 
 } // namespace divot

@@ -1,0 +1,49 @@
+#include "telemetry/event_log.hh"
+
+#include <algorithm>
+#include <tuple>
+
+namespace divot {
+
+void
+EventLog::record(TelemetryEvent event)
+{
+    if (!enabled_)
+        return;
+    recorded_.fetch_add(1, std::memory_order_relaxed);
+    if (capacity_ == 0) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.push_back(std::move(event));
+    if (ring_.size() > capacity_) {
+        ring_.pop_front();
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+std::size_t
+EventLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+std::vector<TelemetryEvent>
+EventLog::sorted() const
+{
+    std::vector<TelemetryEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.assign(ring_.begin(), ring_.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TelemetryEvent &a, const TelemetryEvent &b) {
+                  return std::tie(a.time, a.tag, a.ordinal, a.kind) <
+                         std::tie(b.time, b.tag, b.ordinal, b.kind);
+              });
+    return out;
+}
+
+} // namespace divot

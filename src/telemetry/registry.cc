@@ -1,0 +1,172 @@
+#include "telemetry/registry.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace divot {
+
+namespace {
+
+// The telemetry library sits below divot_util (ThreadPool itself is
+// instrumented), so it cannot use divot_fatal without a dependency
+// cycle; misregistration is a programming error worth the same
+// abort-with-context treatment.
+[[noreturn]] void
+registryFatal(const char *what, const std::string &name)
+{
+    std::fprintf(stderr, "divot telemetry: fatal: histogram '%s' %s\n",
+                 name.c_str(), what);
+    std::abort();
+}
+
+} // namespace
+
+void
+HistogramMetric::record(uint64_t v)
+{
+    if (cell_ == nullptr)
+        return;
+    const auto it = std::lower_bound(cell_->bounds.begin(),
+                                     cell_->bounds.end(), v);
+    const std::size_t bucket =
+        static_cast<std::size_t>(it - cell_->bounds.begin());
+    cell_->counts[bucket].fetch_add(1, std::memory_order_relaxed);
+    cell_->total.fetch_add(1, std::memory_order_relaxed);
+    cell_->sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+Counter
+Registry::counter(const std::string &name, MetricStability stability)
+{
+    if (!enabled_)
+        return Counter();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &cell = counters_[name];
+    if (!cell) {
+        cell = std::make_unique<telemetry_detail::CounterCell>();
+        cell->stability = stability;
+    }
+    return Counter(cell.get());
+}
+
+Gauge
+Registry::gauge(const std::string &name, MetricStability stability)
+{
+    if (!enabled_)
+        return Gauge();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &cell = gauges_[name];
+    if (!cell) {
+        cell = std::make_unique<telemetry_detail::GaugeCell>();
+        cell->stability = stability;
+    }
+    return Gauge(cell.get());
+}
+
+HistogramMetric
+Registry::histogram(const std::string &name,
+                    std::vector<uint64_t> bounds,
+                    MetricStability stability)
+{
+    if (!enabled_)
+        return HistogramMetric();
+    if (bounds.empty())
+        registryFatal("needs at least one bucket bound", name);
+    if (!std::is_sorted(bounds.begin(), bounds.end()))
+        registryFatal("bounds must be ascending", name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &cell = histograms_[name];
+    if (!cell) {
+        cell = std::make_unique<telemetry_detail::HistogramCell>();
+        cell->bounds = std::move(bounds);
+        // counts gets bounds.size() + 1 zero-initialized atomics; the
+        // vector never reallocates afterwards, so handle pointers into
+        // the cell stay valid for the registry's lifetime.
+        cell->counts = std::vector<std::atomic<uint64_t>>(
+            cell->bounds.size() + 1);
+        cell->stability = stability;
+    } else if (cell->bounds != bounds) {
+        registryFatal("re-registered with different bucket bounds",
+                      name);
+    }
+    return HistogramMetric(cell.get());
+}
+
+uint64_t
+Registry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end()
+        ? 0 : it->second->value.load(std::memory_order_relaxed);
+}
+
+int64_t
+Registry::gaugeValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end()
+        ? 0 : it->second->value.load(std::memory_order_relaxed);
+}
+
+std::vector<CounterSnapshot>
+Registry::counters(bool include_unstable) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<CounterSnapshot> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, cell] : counters_) {
+        if (!include_unstable &&
+            cell->stability == MetricStability::Unstable)
+            continue;
+        out.push_back({name,
+                       cell->value.load(std::memory_order_relaxed),
+                       cell->stability});
+    }
+    return out;
+}
+
+std::vector<GaugeSnapshot>
+Registry::gauges(bool include_unstable) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<GaugeSnapshot> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, cell] : gauges_) {
+        if (!include_unstable &&
+            cell->stability == MetricStability::Unstable)
+            continue;
+        out.push_back({name,
+                       cell->value.load(std::memory_order_relaxed),
+                       cell->stability});
+    }
+    return out;
+}
+
+std::vector<HistogramSnapshot>
+Registry::histograms(bool include_unstable) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<HistogramSnapshot> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, cell] : histograms_) {
+        if (!include_unstable &&
+            cell->stability == MetricStability::Unstable)
+            continue;
+        HistogramSnapshot snap;
+        snap.name = name;
+        snap.bounds = cell->bounds;
+        snap.counts.reserve(cell->counts.size());
+        for (const auto &c : cell->counts)
+            snap.counts.push_back(c.load(std::memory_order_relaxed));
+        snap.total = cell->total.load(std::memory_order_relaxed);
+        snap.sum = cell->sum.load(std::memory_order_relaxed);
+        snap.stability = cell->stability;
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+} // namespace divot

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Metric registry — thread-safe counters, gauges, and fixed-bucket
+ * histograms behind hierarchical dotted names ("itdr.bus0.measure.
+ * cycles").
+ *
+ * Determinism contract (DESIGN.md §12): counters and histogram cells
+ * are unsigned-integer atomics whose updates commute, so totals are
+ * bit-identical at any thread count as long as the *set* of updates
+ * is (which the simulator's forkStable/disjoint-write discipline
+ * guarantees). Gauges do not commute — they must only be set from
+ * serial (or per-owner) contexts. Metrics that are inherently
+ * thread-count-dependent (worker counts, queue depths) register as
+ * MetricStability::Unstable and are excluded from deterministic
+ * snapshots by default.
+ *
+ * Handles are the hot-path currency: registering a name returns a
+ * small value object holding a pointer to the heap cell. When the
+ * registry is disabled the pointer is null and every operation is a
+ * branch-predicted no-op, so instrumented code needs no `if
+ * (telemetry)` guards of its own.
+ */
+
+#ifndef DIVOT_TELEMETRY_REGISTRY_HH
+#define DIVOT_TELEMETRY_REGISTRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace divot {
+
+/** Whether a metric is part of the deterministic snapshot. */
+enum class MetricStability
+{
+    Stable,   //!< bit-identical at any thread count (default)
+    Unstable  //!< depends on scheduling (pool tasks, queue depths);
+              //!< excluded from deterministic exports
+};
+
+namespace telemetry_detail {
+
+struct CounterCell
+{
+    std::atomic<uint64_t> value{0};
+    MetricStability stability = MetricStability::Stable;
+};
+
+struct GaugeCell
+{
+    std::atomic<int64_t> value{0};
+    MetricStability stability = MetricStability::Stable;
+};
+
+struct HistogramCell
+{
+    std::vector<uint64_t> bounds;  //!< ascending inclusive upper edges
+    std::vector<std::atomic<uint64_t>> counts; //!< bounds.size() + 1
+                                               //!< (last = overflow)
+    std::atomic<uint64_t> total{0};
+    std::atomic<uint64_t> sum{0};
+    MetricStability stability = MetricStability::Stable;
+};
+
+} // namespace telemetry_detail
+
+/** Monotonic counter handle. Default-constructed (or disabled)
+ *  handles are inert. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add `n` (relaxed; sums commute across threads). */
+    void add(uint64_t n = 1)
+    {
+        if (cell_ != nullptr)
+            cell_->value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** @return current value (0 for an inert handle). */
+    uint64_t value() const
+    {
+        return cell_ != nullptr
+            ? cell_->value.load(std::memory_order_relaxed) : 0;
+    }
+
+    /** @return whether the handle is wired to a live cell. */
+    bool live() const { return cell_ != nullptr; }
+
+  private:
+    friend class Registry;
+    explicit Counter(telemetry_detail::CounterCell *cell) : cell_(cell) {}
+    telemetry_detail::CounterCell *cell_ = nullptr;
+};
+
+/** Last-writer-wins gauge handle. Set only from serial contexts when
+ *  the metric must stay deterministic. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    void set(int64_t v)
+    {
+        if (cell_ != nullptr)
+            cell_->value.store(v, std::memory_order_relaxed);
+    }
+
+    /** Raise to `v` if larger (high-water marks). */
+    void max(int64_t v)
+    {
+        if (cell_ == nullptr)
+            return;
+        int64_t cur = cell_->value.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !cell_->value.compare_exchange_weak(
+                   cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    int64_t value() const
+    {
+        return cell_ != nullptr
+            ? cell_->value.load(std::memory_order_relaxed) : 0;
+    }
+
+    bool live() const { return cell_ != nullptr; }
+
+  private:
+    friend class Registry;
+    explicit Gauge(telemetry_detail::GaugeCell *cell) : cell_(cell) {}
+    telemetry_detail::GaugeCell *cell_ = nullptr;
+};
+
+/** Fixed-bucket histogram handle (unsigned integer samples only, so
+ *  cross-thread accumulation stays exact and deterministic). */
+class HistogramMetric
+{
+  public:
+    HistogramMetric() = default;
+
+    void record(uint64_t v);
+
+    uint64_t total() const
+    {
+        return cell_ != nullptr
+            ? cell_->total.load(std::memory_order_relaxed) : 0;
+    }
+
+    uint64_t sum() const
+    {
+        return cell_ != nullptr
+            ? cell_->sum.load(std::memory_order_relaxed) : 0;
+    }
+
+    bool live() const { return cell_ != nullptr; }
+
+  private:
+    friend class Registry;
+    explicit HistogramMetric(telemetry_detail::HistogramCell *cell)
+        : cell_(cell) {}
+    telemetry_detail::HistogramCell *cell_ = nullptr;
+};
+
+/** Read-only snapshot rows used by the exporters and tests. */
+struct CounterSnapshot
+{
+    std::string name;
+    uint64_t value = 0;
+    MetricStability stability = MetricStability::Stable;
+};
+
+struct GaugeSnapshot
+{
+    std::string name;
+    int64_t value = 0;
+    MetricStability stability = MetricStability::Stable;
+};
+
+struct HistogramSnapshot
+{
+    std::string name;
+    std::vector<uint64_t> bounds;
+    std::vector<uint64_t> counts;  //!< bounds.size() + 1 (overflow last)
+    uint64_t total = 0;
+    uint64_t sum = 0;
+    MetricStability stability = MetricStability::Stable;
+};
+
+/**
+ * Owns the metric cells. Registration is idempotent: asking for an
+ * existing name returns a handle to the same cell (histograms must
+ * re-declare identical bounds). Disabled registries hand out inert
+ * handles and store nothing.
+ */
+class Registry
+{
+  public:
+    explicit Registry(bool enabled = true) : enabled_(enabled) {}
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** @return whether handles are live. */
+    bool enabled() const { return enabled_; }
+
+    Counter counter(const std::string &name,
+                    MetricStability stability = MetricStability::Stable);
+
+    Gauge gauge(const std::string &name,
+                MetricStability stability = MetricStability::Stable);
+
+    /**
+     * @param bounds ascending inclusive upper bucket edges; a sample v
+     *               lands in the first bucket with v <= bounds[i],
+     *               else in the trailing overflow bucket
+     */
+    HistogramMetric histogram(
+        const std::string &name, std::vector<uint64_t> bounds,
+        MetricStability stability = MetricStability::Stable);
+
+    /** @return a counter's value, 0 when never registered. */
+    uint64_t counterValue(const std::string &name) const;
+
+    /** @return a gauge's value, 0 when never registered. */
+    int64_t gaugeValue(const std::string &name) const;
+
+    /** @name Sorted-by-name snapshots (Stable metrics only unless
+     *  include_unstable). */
+    ///@{
+    std::vector<CounterSnapshot>
+    counters(bool include_unstable = false) const;
+
+    std::vector<GaugeSnapshot>
+    gauges(bool include_unstable = false) const;
+
+    std::vector<HistogramSnapshot>
+    histograms(bool include_unstable = false) const;
+    ///@}
+
+  private:
+    bool enabled_;
+    mutable std::mutex mutex_;
+    std::map<std::string,
+             std::unique_ptr<telemetry_detail::CounterCell>> counters_;
+    std::map<std::string,
+             std::unique_ptr<telemetry_detail::GaugeCell>> gauges_;
+    std::map<std::string,
+             std::unique_ptr<telemetry_detail::HistogramCell>> histograms_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_TELEMETRY_REGISTRY_HH

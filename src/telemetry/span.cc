@@ -1,0 +1,98 @@
+#include "telemetry/span.hh"
+
+#include <algorithm>
+#include <tuple>
+
+namespace divot {
+
+SpanScope::~SpanScope()
+{
+    finish();
+}
+
+void
+SpanScope::close(double end, uint64_t cycles)
+{
+    if (tracer_ == nullptr)
+        return;
+    record_.duration = end - record_.start;
+    record_.cycles = cycles;
+    SpanTracer *tracer = tracer_;
+    tracer_ = nullptr;
+    tracer->closed_.fetch_add(1, std::memory_order_relaxed);
+    tracer->push(std::move(record_));
+}
+
+void
+SpanScope::finish()
+{
+    // Abandoned scope: close as a zero-length span at the open stamp
+    // so the opened/closed balance invariant survives early exits.
+    if (tracer_ != nullptr)
+        close(record_.start, 0);
+}
+
+void
+SpanTracer::record(SpanRecord record)
+{
+    if (!enabled_)
+        return;
+    opened_.fetch_add(1, std::memory_order_relaxed);
+    closed_.fetch_add(1, std::memory_order_relaxed);
+    push(std::move(record));
+}
+
+SpanScope
+SpanTracer::open(std::string name, std::string tag, double start,
+                 uint64_t ordinal)
+{
+    if (!enabled_)
+        return SpanScope();
+    opened_.fetch_add(1, std::memory_order_relaxed);
+    SpanRecord record;
+    record.name = std::move(name);
+    record.tag = std::move(tag);
+    record.start = start;
+    record.ordinal = ordinal;
+    return SpanScope(this, std::move(record));
+}
+
+void
+SpanTracer::push(SpanRecord record)
+{
+    if (capacity_ == 0) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.push_back(std::move(record));
+    if (ring_.size() > capacity_) {
+        ring_.pop_front();
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+std::size_t
+SpanTracer::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+std::vector<SpanRecord>
+SpanTracer::sorted() const
+{
+    std::vector<SpanRecord> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.assign(ring_.begin(), ring_.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  return std::tie(a.start, a.tag, a.name, a.ordinal) <
+                         std::tie(b.start, b.tag, b.name, b.ordinal);
+              });
+    return out;
+}
+
+} // namespace divot

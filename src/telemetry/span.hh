@@ -1,0 +1,156 @@
+/**
+ * @file
+ * SpanTracer — scoped timing spans over the measure → fingerprint →
+ * authenticate → react pipeline.
+ *
+ * The clock source is NOT real time: producers stamp spans with the
+ * simulator's own deterministic schedule (an instrument's elapsed
+ * trigger cycles, the fleet's precomputed slot * tick wall clock), so
+ * traces are bit-identical across thread counts exactly like the rest
+ * of the system. Records carry a producer-chosen ordinal (round or
+ * measurement index) so the export sort key (start, tag, name,
+ * ordinal) is a total order even when stamps collide.
+ *
+ * The record buffer is a bounded ring: when it overflows, the oldest
+ * records are dropped (counted). Which records survive a wrap depends
+ * on arrival order, so deterministic exports include the record array
+ * only while nothing was dropped — see Telemetry::exportJson.
+ */
+
+#ifndef DIVOT_TELEMETRY_SPAN_HH
+#define DIVOT_TELEMETRY_SPAN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace divot {
+
+/** One completed span. */
+struct SpanRecord
+{
+    std::string name;      //!< stage label ("itdr.measure", ...)
+    std::string tag;       //!< channel / component tag
+    double start = 0.0;    //!< simulated seconds at open
+    double duration = 0.0; //!< simulated seconds spanned
+    uint64_t cycles = 0;   //!< bus cycles consumed inside the span
+    uint64_t ordinal = 0;  //!< producer sequence (round index etc.)
+};
+
+class SpanTracer;
+
+/**
+ * RAII span: opened by SpanTracer::open, closed explicitly with the
+ * end stamp. A scope abandoned without close() records a zero-length
+ * span at its start stamp so opened == closed always holds.
+ */
+class SpanScope
+{
+  public:
+    SpanScope() = default;
+    ~SpanScope();
+
+    SpanScope(SpanScope &&other) noexcept { *this = std::move(other); }
+
+    SpanScope &operator=(SpanScope &&other) noexcept
+    {
+        if (this != &other) {
+            finish();
+            tracer_ = other.tracer_;
+            record_ = std::move(other.record_);
+            other.tracer_ = nullptr;
+        }
+        return *this;
+    }
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    /** Close the span at `end` (simulated seconds). */
+    void close(double end, uint64_t cycles = 0);
+
+    /** @return whether the scope still holds an open span. */
+    bool open() const { return tracer_ != nullptr; }
+
+  private:
+    friend class SpanTracer;
+    SpanScope(SpanTracer *tracer, SpanRecord record)
+        : tracer_(tracer), record_(std::move(record)) {}
+
+    void finish();
+
+    SpanTracer *tracer_ = nullptr;
+    SpanRecord record_;
+};
+
+/**
+ * Collects spans into a bounded ring.
+ */
+class SpanTracer
+{
+  public:
+    /**
+     * @param capacity retained records (ring; 0 keeps counts only)
+     * @param enabled  disabled tracers drop everything for free
+     */
+    SpanTracer(std::size_t capacity, bool enabled)
+        : capacity_(capacity), enabled_(enabled) {}
+
+    /** @return whether spans are being collected. */
+    bool enabled() const { return enabled_; }
+
+    /** Record an already-finished span (opened + closed in one go). */
+    void record(SpanRecord record);
+
+    /** Open a scoped span; close it with SpanScope::close. */
+    SpanScope open(std::string name, std::string tag, double start,
+                   uint64_t ordinal = 0);
+
+    /** @return spans opened (scoped or direct). */
+    uint64_t opened() const
+    {
+        return opened_.load(std::memory_order_relaxed);
+    }
+
+    /** @return spans closed (== opened once all scopes resolved). */
+    uint64_t closed() const
+    {
+        return closed_.load(std::memory_order_relaxed);
+    }
+
+    /** @return records evicted by ring overflow. */
+    uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** @return retained record count. */
+    std::size_t size() const;
+
+    /** @return ring capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** @return retained records sorted by (start, tag, name, ordinal)
+     *  — a deterministic order whenever the retained *set* is. */
+    std::vector<SpanRecord> sorted() const;
+
+  private:
+    friend class SpanScope;
+
+    void push(SpanRecord record);
+
+    std::size_t capacity_;
+    bool enabled_;
+    mutable std::mutex mutex_;
+    std::deque<SpanRecord> ring_;
+    std::atomic<uint64_t> opened_{0};
+    std::atomic<uint64_t> closed_{0};
+    std::atomic<uint64_t> dropped_{0};
+};
+
+} // namespace divot
+
+#endif // DIVOT_TELEMETRY_SPAN_HH

@@ -1,0 +1,203 @@
+#include "telemetry/telemetry.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace divot {
+
+namespace {
+
+/**
+ * Format a double with %.17g — round-trippable, and every value the
+ * exporters see is derived from IEEE arithmetic on exact inputs (slot
+ * * tick, cycle / f_clk), never libm transcendentals, so the text is
+ * platform-stable.
+ */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+fmtU64(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+fmtI64(int64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+u64Array(const std::vector<uint64_t> &values)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += fmtU64(values[i]);
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace
+
+std::string
+Telemetry::exportJson(bool include_unstable) const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"enabled\": " << (enabled() ? "true" : "false") << ",\n";
+
+    // Counters: flat sorted name -> value object.
+    os << "  \"counters\": {";
+    const auto counters = registry_.counters(include_unstable);
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    \"" << jsonEscape(counters[i].name) << "\": "
+           << fmtU64(counters[i].value);
+    }
+    os << (counters.empty() ? "},\n" : "\n  },\n");
+
+    os << "  \"gauges\": {";
+    const auto gauges = registry_.gauges(include_unstable);
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    \"" << jsonEscape(gauges[i].name) << "\": "
+           << fmtI64(gauges[i].value);
+    }
+    os << (gauges.empty() ? "},\n" : "\n  },\n");
+
+    os << "  \"histograms\": {";
+    const auto histograms = registry_.histograms(include_unstable);
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const auto &h = histograms[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    \"" << jsonEscape(h.name) << "\": {"
+           << "\"bounds\": " << u64Array(h.bounds)
+           << ", \"counts\": " << u64Array(h.counts)
+           << ", \"count\": " << fmtU64(h.total)
+           << ", \"sum\": " << fmtU64(h.sum) << "}";
+    }
+    os << (histograms.empty() ? "},\n" : "\n  },\n");
+
+    // Spans: aggregate counts always; the record array only while the
+    // ring never wrapped (which records survive a wrap depends on
+    // arrival order and would break byte-stability).
+    os << "  \"spans\": {\n";
+    os << "    \"opened\": " << fmtU64(tracer_.opened()) << ",\n";
+    os << "    \"closed\": " << fmtU64(tracer_.closed()) << ",\n";
+    os << "    \"dropped\": " << fmtU64(tracer_.dropped());
+    if (tracer_.dropped() == 0) {
+        os << ",\n    \"records\": [";
+        const auto spans = tracer_.sorted();
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            const auto &s = spans[i];
+            os << (i == 0 ? "\n" : ",\n");
+            os << "      {\"name\": \"" << jsonEscape(s.name)
+               << "\", \"tag\": \"" << jsonEscape(s.tag)
+               << "\", \"start\": " << fmtDouble(s.start)
+               << ", \"duration\": " << fmtDouble(s.duration)
+               << ", \"cycles\": " << fmtU64(s.cycles)
+               << ", \"ordinal\": " << fmtU64(s.ordinal) << "}";
+        }
+        os << (spans.empty() ? "]\n" : "\n    ]\n");
+    } else {
+        os << "\n";
+    }
+    os << "  },\n";
+
+    os << "  \"events\": {\n";
+    os << "    \"recorded\": " << fmtU64(events_.recorded()) << ",\n";
+    os << "    \"dropped\": " << fmtU64(events_.dropped());
+    if (events_.dropped() == 0) {
+        os << ",\n    \"records\": [";
+        const auto events = events_.sorted();
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const auto &e = events[i];
+            os << (i == 0 ? "\n" : ",\n");
+            os << "      {\"time\": " << fmtDouble(e.time)
+               << ", \"ordinal\": " << fmtU64(e.ordinal)
+               << ", \"kind\": \"" << jsonEscape(e.kind)
+               << "\", \"tag\": \"" << jsonEscape(e.tag)
+               << "\", \"detail\": \"" << jsonEscape(e.detail) << "\"}";
+        }
+        os << (events.empty() ? "]\n" : "\n    ]\n");
+    } else {
+        os << "\n";
+    }
+    os << "  }\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+Telemetry::exportCsv(bool include_unstable) const
+{
+    std::ostringstream os;
+    os << "metric,kind,value,sum\n";
+    for (const auto &c : registry_.counters(include_unstable))
+        os << c.name << ",counter," << fmtU64(c.value) << ",\n";
+    for (const auto &g : registry_.gauges(include_unstable))
+        os << g.name << ",gauge," << fmtI64(g.value) << ",\n";
+    for (const auto &h : registry_.histograms(include_unstable)) {
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            os << h.name << "[le=";
+            if (i < h.bounds.size())
+                os << fmtU64(h.bounds[i]);
+            else
+                os << "inf";
+            os << "],histogram," << fmtU64(h.counts[i]) << ",\n";
+        }
+        os << h.name << ",histogram," << fmtU64(h.total) << ","
+           << fmtU64(h.sum) << "\n";
+    }
+    os << "spans.opened,counter," << fmtU64(tracer_.opened()) << ",\n";
+    os << "spans.closed,counter," << fmtU64(tracer_.closed()) << ",\n";
+    os << "spans.dropped,counter," << fmtU64(tracer_.dropped()) << ",\n";
+    os << "events.recorded,counter," << fmtU64(events_.recorded())
+       << ",\n";
+    os << "events.dropped,counter," << fmtU64(events_.dropped())
+       << ",\n";
+    return os.str();
+}
+
+} // namespace divot

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Telemetry facade — one object bundling the metric Registry, the
+ * SpanTracer, and the EventLog, plus deterministic JSON/CSV exporters.
+ *
+ * Construction cost when disabled is negligible and every handle the
+ * facade hands out is inert, so subsystems can instrument
+ * unconditionally and let the null-pointer check in each handle pay
+ * the (branch-predicted) cost.
+ *
+ * Determinism contract: exportJson(false) — the default — emits only
+ * MetricStability::Stable metrics and includes span/event record
+ * arrays only when their rings never dropped anything. Under those
+ * rules the exported string is byte-identical across thread counts
+ * for any workload honoring the repo's forkStable/disjoint-write
+ * discipline (asserted by test_property_pipeline and the bench
+ * gates).
+ */
+
+#ifndef DIVOT_TELEMETRY_TELEMETRY_HH
+#define DIVOT_TELEMETRY_TELEMETRY_HH
+
+#include <cstddef>
+#include <string>
+
+#include "telemetry/event_log.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/span.hh"
+
+namespace divot {
+
+/** Configuration for a Telemetry instance. */
+struct TelemetryConfig
+{
+    bool enabled = true;          //!< master switch (off = all no-ops)
+    std::size_t spanCapacity = 4096;  //!< span ring size (0 = counts only)
+    std::size_t eventCapacity = 4096; //!< event ring size (0 = counts only)
+};
+
+/**
+ * Facade owning the three collectors.
+ */
+class Telemetry
+{
+  public:
+    explicit Telemetry(const TelemetryConfig &config = TelemetryConfig())
+        : config_(config),
+          registry_(config.enabled),
+          tracer_(config.spanCapacity, config.enabled),
+          events_(config.eventCapacity, config.enabled)
+    {}
+
+    Telemetry(const Telemetry &) = delete;
+    Telemetry &operator=(const Telemetry &) = delete;
+
+    /** @return whether collection is on. */
+    bool enabled() const { return config_.enabled; }
+
+    const TelemetryConfig &config() const { return config_; }
+
+    Registry &registry() { return registry_; }
+    const Registry &registry() const { return registry_; }
+
+    SpanTracer &tracer() { return tracer_; }
+    const SpanTracer &tracer() const { return tracer_; }
+
+    EventLog &events() { return events_; }
+    const EventLog &events() const { return events_; }
+
+    /**
+     * Serialize the full snapshot as pretty-printed JSON (sorted
+     * keys, 2-space indent, %.17g doubles).
+     *
+     * @param include_unstable also emit MetricStability::Unstable
+     *        metrics (thread-count-dependent; never byte-stable)
+     */
+    std::string exportJson(bool include_unstable = false) const;
+
+    /**
+     * Serialize counters/gauges/histograms as CSV rows
+     * (`metric,kind,value[,sum]` with histogram buckets flattened to
+     * `name[le=BOUND]` rows).
+     */
+    std::string exportCsv(bool include_unstable = false) const;
+
+  private:
+    TelemetryConfig config_;
+    Registry registry_;
+    SpanTracer tracer_;
+    EventLog events_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_TELEMETRY_TELEMETRY_HH

@@ -85,8 +85,35 @@ ThreadPool::submit(std::function<void()> task)
             divot_panic("submit on a stopping ThreadPool");
         queue_.push_back(std::move(task));
         ++pending_;
+        tmTasks_.add();
+        tmQueueDepthMax_.max(static_cast<int64_t>(queue_.size()));
     }
     taskReady_.notify_one();
+}
+
+void
+ThreadPool::attachTelemetry(Telemetry *telemetry,
+                            const std::string &prefix)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (telemetry == nullptr || !telemetry->enabled()) {
+        tmTasks_ = Counter();
+        tmParallelFors_ = Counter();
+        tmParallelItems_ = Counter();
+        tmQueueDepthMax_ = Gauge();
+        tmWorkers_ = Gauge();
+        return;
+    }
+    Registry &reg = telemetry->registry();
+    tmTasks_ = reg.counter(prefix + ".tasks",
+                           MetricStability::Unstable);
+    tmParallelFors_ = reg.counter(prefix + ".parallel_for.calls");
+    tmParallelItems_ = reg.counter(prefix + ".parallel_for.items");
+    tmQueueDepthMax_ = reg.gauge(prefix + ".queue_depth.max",
+                                 MetricStability::Unstable);
+    tmWorkers_ = reg.gauge(prefix + ".workers",
+                           MetricStability::Unstable);
+    tmWorkers_.set(threadCount_);
 }
 
 void
@@ -123,6 +150,8 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
+    tmParallelFors_.add();
+    tmParallelItems_.add(n);
     if (threadCount_ <= 1 || n == 1) {
         // Serial reference path: same bodies, same order, no pool.
         for (std::size_t i = 0; i < n; ++i)

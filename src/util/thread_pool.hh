@@ -21,8 +21,11 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "telemetry/telemetry.hh"
 
 namespace divot {
 
@@ -85,6 +88,17 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
 
+    /**
+     * Attach a telemetry sink under `prefix`. parallelFor call/item
+     * counts are Stable (thread-count-invariant); submitted-task
+     * counts, queue-depth high-water, and the worker count depend on
+     * scheduling and register as Unstable, so they never enter the
+     * deterministic export. Pass nullptr to detach. Not owned; must
+     * outlive the pool.
+     */
+    void attachTelemetry(Telemetry *telemetry,
+                         const std::string &prefix = "pool");
+
   private:
     unsigned threadCount_;
     std::vector<std::thread> workers_;
@@ -96,6 +110,16 @@ class ThreadPool
     bool stopping_ = false;
     std::exception_ptr firstError_;  //!< first task exception since
                                      //!< the last drain()
+
+    /** @name Telemetry plumbing (inert until attachTelemetry). */
+    ///@{
+    Counter tmTasks_;          //!< Unstable: runner tasks scale with
+                               //!< the worker count
+    Counter tmParallelFors_;   //!< Stable call count
+    Counter tmParallelItems_;  //!< Stable total indices dispatched
+    Gauge tmQueueDepthMax_;    //!< Unstable high-water mark
+    Gauge tmWorkers_;          //!< Unstable worker count
+    ///@}
 
     void workerLoop();
     void recordError(std::exception_ptr error);

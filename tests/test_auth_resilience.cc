@@ -15,6 +15,7 @@
 #include "auth/authenticator.hh"
 #include "auth/reaction.hh"
 #include "fault/fault.hh"
+#include "telemetry/telemetry.hh"
 #include "txline/manufacturing.hh"
 #include "txline/tamper.hh"
 
@@ -206,6 +207,79 @@ TEST(AuthResilience, QuarantineFencesAccessWithoutAlarm)
     ok.stateAfter = AuthState::Monitoring;
     EXPECT_EQ(cpu.decide(ok), ReactionAction::Proceed);
     EXPECT_EQ(cpu.suppressedCount(), 1u);
+}
+
+TEST(AuthResilience, RecoveryExpungesStaleVotesFromWindow)
+{
+    // Regression: a transient spike that slides into the averaging
+    // window while the ladder sits below Monitoring used to survive
+    // the climb back to full trust — the recovery path never scrubbed
+    // the FIFO, so the stale entry kept poisoning Monitoring-grade
+    // averages until it aged out. The climb must expunge it.
+    AuthConfig cfg;
+    cfg.averageWindow = 4;
+    cfg.maxRetries = 0;             // one measurement per round
+    cfg.degradeAfterUnhealthy = 1;
+    cfg.quarantineAfterUnhealthy = 2;
+    cfg.recoveryCleanRounds = 2;
+
+    // Round 1-2: stuck comparator (indices 0-1) drops the ladder to
+    // Quarantine. Round 5 (first Degraded round after the quarantine
+    // probes at indices 2-3): an offset spike at index 4 lands in the
+    // freshly cleared window. It is too small to trip the Degraded
+    // candidate bar, so voting never examines it — only the recovery
+    // scrub can remove it.
+    FaultPlan plan;
+    plan.comparatorStuck(0, 2, true);
+    plan.offsetDrift(4, 1, 1.1e-3);
+
+    Authenticator auth(cfg, ItdrConfig{}, Rng(31), "expunge");
+    const auto line = fabLine(31);
+    auth.enroll(line, 8);
+
+    Telemetry telemetry{TelemetryConfig{}};
+    auth.attachTelemetry(&telemetry);
+    FaultInjector inj(plan, Rng(9));
+    auth.attachFaultInjector(&inj);
+
+    std::vector<AuthVerdict> verdicts;
+    for (int r = 0; r < 8; ++r)
+        verdicts.push_back(auth.checkRound(line));
+
+    // Descent and recovery shape.
+    EXPECT_EQ(verdicts[0].stateAfter, AuthState::Degraded);
+    EXPECT_EQ(verdicts[1].stateAfter, AuthState::Quarantine);
+    EXPECT_EQ(verdicts[3].stateAfter, AuthState::Degraded);
+    EXPECT_EQ(verdicts[5].stateAfter, AuthState::Monitoring);
+
+    // The spiked round itself passes quietly in Degraded: the raised
+    // bar ignores it, no alarm and no vote.
+    EXPECT_FALSE(verdicts[4].tamperAlarm) << verdicts[4].peakError;
+    EXPECT_FALSE(verdicts[4].alarmSuppressed);
+    EXPECT_EQ(verdicts[4].votesCast, 0u);
+
+    // The climb back to Monitoring scrubbed the stale spike.
+    EXPECT_GE(auth.expungedVotes(), 1u);
+
+    // With the window clean, full-trust rounds stay quiet.
+    for (int r = 6; r < 8; ++r) {
+        EXPECT_TRUE(verdicts[r].authenticated) << "round " << r;
+        EXPECT_FALSE(verdicts[r].tamperAlarm) << "round " << r;
+        EXPECT_FALSE(verdicts[r].alarmSuppressed) << "round " << r;
+    }
+    EXPECT_EQ(auth.state(), AuthState::Monitoring);
+    EXPECT_EQ(auth.suppressedAlarms(), 0u);
+
+    // The ladder and the scrub are observable through telemetry.
+    const Registry &reg = telemetry.registry();
+    EXPECT_EQ(reg.counterValue("auth.expunge.expunged"),
+              auth.expungedVotes());
+    EXPECT_EQ(reg.counterValue("auth.expunge.state.to.quarantine"), 1u);
+    EXPECT_EQ(reg.counterValue("auth.expunge.state.to.degraded"), 2u);
+    EXPECT_EQ(reg.counterValue("auth.expunge.state.to.monitoring"), 1u);
+    EXPECT_EQ(reg.counterValue("auth.expunge.rounds"), 8u);
+    EXPECT_EQ(reg.counterValue("auth.expunge.recalibrations"), 2u);
+    EXPECT_EQ(reg.counterValue("auth.expunge.unhealthy_rounds"), 2u);
 }
 
 TEST(AuthResilience, ResilienceConfigValidation)

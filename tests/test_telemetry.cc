@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests for the telemetry subsystem: registry handles, histogram
+ * bucket-edge semantics, ring wraparound in the span/event buffers,
+ * exact concurrent accumulation, and the disabled-is-free contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/telemetry.hh"
+
+namespace divot {
+namespace {
+
+TEST(TelemetryRegistry, CounterHandlesShareOneCell)
+{
+    Registry reg;
+    Counter a = reg.counter("x.count");
+    Counter b = reg.counter("x.count");
+    a.add(3);
+    b.add(4);
+    EXPECT_EQ(a.value(), 7u);
+    EXPECT_EQ(reg.counterValue("x.count"), 7u);
+    EXPECT_EQ(reg.counterValue("never.registered"), 0u);
+}
+
+TEST(TelemetryRegistry, DefaultConstructedHandlesAreInert)
+{
+    Counter c;
+    Gauge g;
+    HistogramMetric h;
+    c.add(5);
+    g.set(9);
+    g.max(11);
+    h.record(3);
+    EXPECT_FALSE(c.live());
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(TelemetryRegistry, GaugeMaxIsHighWaterMark)
+{
+    Registry reg;
+    Gauge g = reg.gauge("depth");
+    g.max(4);
+    g.max(2);
+    EXPECT_EQ(g.value(), 4);
+    g.set(1);
+    EXPECT_EQ(reg.gaugeValue("depth"), 1);
+}
+
+TEST(TelemetryRegistry, HistogramBucketEdgesAreInclusive)
+{
+    Registry reg;
+    HistogramMetric h = reg.histogram("lat", {10, 20, 40});
+    // A sample equal to a bound lands in that bound's bucket; anything
+    // above the last bound lands in the trailing overflow bucket.
+    h.record(0);
+    h.record(10);   // still bucket 0 (v <= 10)
+    h.record(11);   // bucket 1
+    h.record(20);   // bucket 1
+    h.record(40);   // bucket 2
+    h.record(41);   // overflow
+    const auto snaps = reg.histograms();
+    ASSERT_EQ(snaps.size(), 1u);
+    const HistogramSnapshot &s = snaps[0];
+    ASSERT_EQ(s.counts.size(), 4u);
+    EXPECT_EQ(s.counts[0], 2u);
+    EXPECT_EQ(s.counts[1], 2u);
+    EXPECT_EQ(s.counts[2], 1u);
+    EXPECT_EQ(s.counts[3], 1u);
+    EXPECT_EQ(s.total, 6u);
+    EXPECT_EQ(s.sum, 0u + 10 + 11 + 20 + 40 + 41);
+}
+
+TEST(TelemetryRegistry, ConcurrentIncrementsSumExactly)
+{
+    Registry reg;
+    Counter c = reg.counter("hot");
+    HistogramMetric h = reg.histogram("hist", {100});
+    constexpr unsigned kThreads = 8;
+    constexpr uint64_t kPerThread = 10000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&]() {
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                c.add();
+                h.record(1);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+    EXPECT_EQ(h.total(), kThreads * kPerThread);
+    EXPECT_EQ(h.sum(), kThreads * kPerThread);
+}
+
+TEST(TelemetryRegistry, UnstableMetricsExcludedFromStableSnapshot)
+{
+    Registry reg;
+    reg.counter("stable.one").add();
+    reg.counter("wobbly", MetricStability::Unstable).add(9);
+    EXPECT_EQ(reg.counters(false).size(), 1u);
+    EXPECT_EQ(reg.counters(true).size(), 2u);
+}
+
+TEST(TelemetrySpan, RingWrapsAndCountsDrops)
+{
+    SpanTracer tracer(3, true);
+    for (int i = 0; i < 5; ++i) {
+        SpanRecord r;
+        r.name = "stage";
+        r.start = static_cast<double>(i);
+        r.ordinal = static_cast<uint64_t>(i);
+        tracer.record(std::move(r));
+    }
+    EXPECT_EQ(tracer.size(), 3u);
+    EXPECT_EQ(tracer.opened(), 5u);
+    EXPECT_EQ(tracer.closed(), 5u);
+    EXPECT_EQ(tracer.dropped(), 2u);
+    // The oldest two were evicted.
+    const auto records = tracer.sorted();
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records.front().ordinal, 2u);
+    EXPECT_EQ(records.back().ordinal, 4u);
+}
+
+TEST(TelemetrySpan, AbandonedScopeStillCloses)
+{
+    SpanTracer tracer(16, true);
+    {
+        SpanScope scope = tracer.open("orphan", "t", 1.5, 7);
+        EXPECT_TRUE(scope.open());
+        // Dropped without close(): destructor records a zero-length
+        // span at the start stamp so opened == closed stays balanced.
+    }
+    EXPECT_EQ(tracer.opened(), 1u);
+    EXPECT_EQ(tracer.closed(), 1u);
+    const auto records = tracer.sorted();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].duration, 0.0);
+    EXPECT_EQ(records[0].start, 1.5);
+}
+
+TEST(TelemetrySpan, ZeroCapacityCountsOnly)
+{
+    SpanTracer tracer(0, true);
+    SpanScope scope = tracer.open("s", "t", 0.0);
+    scope.close(1.0);
+    EXPECT_EQ(tracer.opened(), 1u);
+    EXPECT_EQ(tracer.closed(), 1u);
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_EQ(tracer.dropped(), 1u);
+}
+
+TEST(TelemetryEvents, ZeroCapacityCountsOnly)
+{
+    EventLog log(0, true);
+    TelemetryEvent e;
+    e.kind = "k";
+    log.record(std::move(e));
+    EXPECT_EQ(log.recorded(), 1u);
+    EXPECT_EQ(log.dropped(), 1u);
+    EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TelemetryEvents, RingWrapsAndSortsDeterministically)
+{
+    EventLog log(2, true);
+    for (int i = 0; i < 4; ++i) {
+        TelemetryEvent e;
+        e.time = static_cast<double>(3 - i);  // reverse stamps
+        e.ordinal = static_cast<uint64_t>(i);
+        e.kind = "k";
+        log.record(std::move(e));
+    }
+    EXPECT_EQ(log.recorded(), 4u);
+    EXPECT_EQ(log.dropped(), 2u);
+    const auto events = log.sorted();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_LE(events[0].time, events[1].time);
+}
+
+TEST(TelemetryFacade, DisabledIsInertEverywhere)
+{
+    TelemetryConfig config;
+    config.enabled = false;
+    Telemetry telemetry(config);
+    Counter c = telemetry.registry().counter("a");
+    Gauge g = telemetry.registry().gauge("g");
+    HistogramMetric h = telemetry.registry().histogram("h", {1});
+    c.add(42);
+    g.set(7);
+    h.record(3);
+    EXPECT_FALSE(c.live());
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(h.total(), 0u);
+    SpanScope scope = telemetry.tracer().open("s", "t", 0.0);
+    scope.close(1.0);
+    TelemetryEvent e;
+    telemetry.events().record(std::move(e));
+    EXPECT_EQ(telemetry.registry().counters(true).size(), 0u);
+    EXPECT_EQ(telemetry.tracer().opened(), 0u);
+    EXPECT_EQ(telemetry.events().recorded(), 0u);
+    EXPECT_NE(telemetry.exportJson().find("\"enabled\": false"),
+              std::string::npos);
+}
+
+TEST(TelemetryRegistryDeathTest, HistogramValidationIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    Registry reg;
+    EXPECT_DEATH(reg.histogram("empty", {}), "at least one bucket");
+    EXPECT_DEATH(reg.histogram("unsorted", {5, 2}), "ascending");
+    reg.histogram("dup", {1, 2});
+    EXPECT_DEATH(reg.histogram("dup", {1, 3}),
+                 "different bucket bounds");
+}
+
+TEST(TelemetryFacade, ExportJsonShape)
+{
+    Telemetry telemetry;
+    telemetry.registry().counter("b.count").add(2);
+    telemetry.registry().counter("a.count").add(1);
+    telemetry.registry().gauge("g").set(-3);
+    telemetry.registry().histogram("h", {1, 2}).record(2);
+    SpanScope scope = telemetry.tracer().open("span", "tag", 0.5, 1);
+    scope.close(0.75, 64);
+    TelemetryEvent e;
+    e.time = 0.25;
+    e.kind = "k";
+    e.tag = "t";
+    e.detail = "with \"quotes\" and\nnewline";
+    telemetry.events().record(std::move(e));
+
+    const std::string json = telemetry.exportJson();
+    // Keys sorted: a.count before b.count.
+    EXPECT_LT(json.find("\"a.count\": 1"), json.find("\"b.count\": 2"));
+    EXPECT_NE(json.find("\"g\": -3"), std::string::npos);
+    EXPECT_NE(json.find("\"bounds\": [1, 2]"), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\": 64"), std::string::npos);
+    // Escapes survive.
+    EXPECT_NE(json.find("with \\\"quotes\\\" and\\nnewline"),
+              std::string::npos);
+    // Nothing dropped, so both record arrays are present.
+    EXPECT_NE(json.find("\"records\""), std::string::npos);
+    EXPECT_EQ(json.back(), '\n');
+
+    const std::string csv = telemetry.exportCsv();
+    EXPECT_NE(csv.find("metric,kind,value,sum"), std::string::npos);
+    EXPECT_NE(csv.find("a.count,counter,1,"), std::string::npos);
+    EXPECT_NE(csv.find("h[le=inf],"), std::string::npos);
+}
+
+TEST(TelemetryFacade, DroppedRecordsSuppressArraysOnly)
+{
+    TelemetryConfig config;
+    config.spanCapacity = 1;
+    config.eventCapacity = 1;
+    Telemetry telemetry(config);
+    for (int i = 0; i < 3; ++i) {
+        SpanRecord r;
+        r.name = "s";
+        telemetry.tracer().record(std::move(r));
+        TelemetryEvent e;
+        e.kind = "k";
+        telemetry.events().record(std::move(e));
+    }
+    const std::string json = telemetry.exportJson();
+    // Counts stay (deterministic); the retained sets are not, so the
+    // record arrays vanish from the deterministic export.
+    EXPECT_NE(json.find("\"dropped\": 2"), std::string::npos);
+    EXPECT_EQ(json.find("\"records\""), std::string::npos);
+}
+
+} // namespace
+} // namespace divot

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Golden-snapshot test: a canonical seeded fleet scenario — tamper on
+ * one wire included — must export byte-for-byte the JSON checked in
+ * at tests/golden/telemetry_snapshot.json.
+ *
+ * Regeneration: run the binary with `--update-golden` (or set
+ * DIVOT_UPDATE_GOLDEN=1) after an intentional change to the telemetry
+ * schema or the underlying physics, then review the golden diff like
+ * any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fleet/channel_scheduler.hh"
+#include "txline/tamper.hh"
+
+#ifndef DIVOT_GOLDEN_DIR
+#error "DIVOT_GOLDEN_DIR must point at the checked-in golden directory"
+#endif
+
+namespace divot {
+namespace {
+
+bool g_update_golden = false;
+
+std::string
+goldenPath()
+{
+    return std::string(DIVOT_GOLDEN_DIR) + "/telemetry_snapshot.json";
+}
+
+/** The canonical scenario: every knob fixed, one wire tampered. */
+std::string
+canonicalSnapshot(unsigned threads)
+{
+    FleetConfig cfg;
+    cfg.instruments = 2;
+    cfg.policy = SchedulerPolicy::RiskWeighted;
+    cfg.threads = threads;
+    ChannelScheduler fleet(cfg, Rng(20260806));
+    for (std::size_t c = 0; c < 3; ++c) {
+        BusChannelConfig channel;
+        channel.lineLength = 0.1;
+        channel.enrollReps = 8;
+        channel.name = "wire" + std::to_string(c);
+        fleet.addChannel(channel);
+    }
+    fleet.calibrateAll();
+
+    for (int t = 0; t < 3; ++t)
+        fleet.tick();
+    // Probe attached to wire 1 mid-run: the remaining ticks see the
+    // tampered line, producing verdict flips and state-ladder events.
+    fleet.channel(1).stageAttack(MagneticProbe(0.5, 0.4));
+    for (int t = 0; t < 6; ++t)
+        fleet.tick();
+
+    return fleet.telemetry().exportJson();
+}
+
+TEST(TelemetryGolden, CanonicalFleetSnapshotMatchesGolden)
+{
+    const std::string snapshot = canonicalSnapshot(1);
+
+    if (g_update_golden) {
+        std::ofstream out(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << goldenPath();
+        out << snapshot;
+        GTEST_SKIP() << "golden regenerated at " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << goldenPath()
+        << " — regenerate with --update-golden";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string golden = buf.str();
+
+    EXPECT_EQ(snapshot, golden)
+        << "telemetry snapshot drifted from the golden; if the change "
+           "is intentional, regenerate with --update-golden and review "
+           "the diff";
+}
+
+TEST(TelemetryGolden, SnapshotIdenticalAcrossThreadCounts)
+{
+    // The golden contract only holds if the export itself is
+    // scheduling-independent: the same scenario at 1 and 4 workers
+    // must serialize to the same bytes.
+    EXPECT_EQ(canonicalSnapshot(1), canonicalSnapshot(4));
+}
+
+} // namespace
+} // namespace divot
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden")
+            divot::g_update_golden = true;
+    }
+    if (const char *env = std::getenv("DIVOT_UPDATE_GOLDEN")) {
+        if (env[0] != '\0' && env[0] != '0')
+            divot::g_update_golden = true;
+    }
+    return RUN_ALL_TESTS();
+}
