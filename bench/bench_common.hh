@@ -33,6 +33,9 @@ struct Options
     bool json = false;     //!< also write a machine-readable
                            //!< BENCH_<name>.json (benches that
                            //!< support it)
+    bool gate = false;     //!< compare against the last committed
+                           //!< BENCH_<name>.json record and fail on
+                           //!< regression (benches that support it)
     uint64_t seed = 2020;  //!< master seed (ISCA 2020 vintage)
 };
 
@@ -52,13 +55,15 @@ parseOptions(int argc, char **argv)
             opt.csv = true;
         } else if (std::strcmp(argv[i], "--json") == 0) {
             opt.json = true;
+        } else if (std::strcmp(argv[i], "--gate") == 0) {
+            opt.gate = true;
         } else if (std::strcmp(argv[i], "--seed") == 0 &&
                    i + 1 < argc) {
             opt.seed = std::strtoull(argv[++i], nullptr, 10);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--full] [--smoke] [--quick] "
-                         "[--csv] [--json] [--seed N]\n",
+                         "[--csv] [--json] [--gate] [--seed N]\n",
                          argv[0]);
             std::exit(2);
         }

@@ -13,17 +13,28 @@
  *
  * DIVOT_THREADS (or hardware concurrency) sets the parallel worker
  * count; --full runs the paper-scale Fig. 7 population; --quick the
- * smallest meaningful sizes (CI perf smoke); --json additionally
- * writes BENCH_study_throughput.json for cross-PR perf tracking.
+ * smallest meaningful sizes (CI perf smoke).
+ *
+ * Cross-PR perf tracking: BENCH_study_throughput.json (relative to
+ * the working directory — CI runs from the repo root where it is
+ * checked in) holds a top-level ARRAY of run records, one per PR.
+ * --json APPENDS this run as a new record (label from
+ * DIVOT_BENCH_LABEL, else "local"); --gate compares this run's
+ * throughput rows against the LAST committed record and fails the
+ * bench when any tracked row drops below 85% of it.
  */
 
+#include <cctype>
 #include <chrono>
+#include <cstdarg>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "bench_common.hh"
 #include "fingerprint/study.hh"
+#include "itdr/kernels/kernels.hh"
 #include "telemetry/telemetry.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -105,74 +116,157 @@ strobeModelName(StrobeModel model)
 }
 
 void
-writeJson(const char *path, const Options &opt, unsigned workers,
-          const std::vector<const Timed *> &rows, double legacy_rate,
-          double eer_delta_serial, double eer_delta_multiwire,
-          double eer_tolerance, bool equivalence_pass,
-          bool determinism_pass, const std::string &telemetry_snapshot)
+appendf(std::string &out, const char *fmt, ...)
 {
-    std::FILE *f = std::fopen(path, "w");
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+std::string
+readWholeFile(const char *path)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (f == nullptr)
+        return {};
+    std::string content;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        content.append(buf, got);
+    std::fclose(f);
+    return content;
+}
+
+/**
+ * One run record, deliberately timestamp-free so re-running at the
+ * same commit produces a reviewable (textually stable apart from the
+ * timings) diff. The record carries the resolved dispatch target so
+ * the perf trajectory distinguishes AVX2 hosts from scalar ones.
+ */
+std::string
+buildRecord(const Options &opt, unsigned workers,
+            const std::vector<const Timed *> &rows, double legacy_rate,
+            double eer_delta_serial, double eer_delta_multiwire,
+            double eer_tolerance, bool equivalence_pass,
+            bool determinism_pass)
+{
+    const char *label = std::getenv("DIVOT_BENCH_LABEL");
+    std::string r;
+    appendf(r, "  {\n");
+    appendf(r, "    \"label\": \"%s\",\n",
+            label != nullptr && *label != '\0' ? label : "local");
+    appendf(r, "    \"bench\": \"study_throughput\",\n");
+    appendf(r, "    \"seed\": %llu,\n",
+            static_cast<unsigned long long>(opt.seed));
+    appendf(r, "    \"scale\": \"%s\",\n",
+            opt.full ? "full" : opt.quick ? "quick" : "default");
+    appendf(r, "    \"workers\": %u,\n", workers);
+    appendf(r, "    \"hostSimd\": \"%s\",\n",
+            simdTargetName(resolveSimdTarget(SimdTarget::Auto)));
+    appendf(r, "    \"engines\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Timed &t = *rows[i];
+        appendf(r, "      {\n");
+        appendf(r, "        \"name\": \"%s\",\n", t.name.c_str());
+        appendf(r, "        \"strobeModel\": \"%s\",\n",
+                strobeModelName(t.cfg.itdr.strobeModel));
+        appendf(r, "        \"simd\": \"%s\",\n",
+                simdTargetName(resolveSimdTarget(t.cfg.itdr.simd)));
+        appendf(r, "        \"threads\": %u,\n", t.cfg.threads);
+        appendf(r, "        \"wires\": %zu,\n", t.cfg.wires);
+        appendf(r, "        \"batchedStrobes\": %s,\n",
+                t.cfg.itdr.batchedStrobes ? "true" : "false");
+        appendf(r, "        \"traceCacheCapacity\": %zu,\n",
+                t.cfg.itdr.traceCacheCapacity);
+        appendf(r, "        \"measurements\": %zu,\n", t.measurements);
+        appendf(r, "        \"seconds\": %.6f,\n", t.seconds);
+        appendf(r, "        \"measPerSec\": %.3f,\n", rate(t));
+        appendf(r, "        \"speedupVsLegacy\": %.3f,\n",
+                rate(t) / legacy_rate);
+        appendf(r, "        \"cacheHitRate\": %.4f,\n",
+                cacheHitRate(t.result));
+        appendf(r, "        \"eer\": %.6f\n", t.result.roc.eer);
+        appendf(r, "      }%s\n", i + 1 < rows.size() ? "," : "");
+    }
+    appendf(r, "    ],\n");
+    appendf(r, "    \"eerDeltaSerial\": %.6f,\n", eer_delta_serial);
+    appendf(r, "    \"eerDeltaMultiwire\": %.6f,\n",
+            eer_delta_multiwire);
+    appendf(r, "    \"eerTolerance\": %.6f,\n", eer_tolerance);
+    appendf(r, "    \"equivalencePass\": %s,\n",
+            equivalence_pass ? "true" : "false");
+    appendf(r, "    \"determinismPass\": %s\n",
+            determinism_pass ? "true" : "false");
+    appendf(r, "  }");
+    return r;
+}
+
+/** Append `record` to the top-level array in `path` (creating the
+ *  file as a one-record array when absent or unparseable). */
+void
+appendRecord(const char *path, const std::string &record)
+{
+    const std::string existing = readWholeFile(path);
+    std::string out;
+    const std::size_t close = existing.find_last_of(']');
+    if (close == std::string::npos) {
+        out = "[\n" + record + "\n]\n";
+    } else {
+        std::size_t end = close;
+        while (end > 0 && std::isspace(
+                              static_cast<unsigned char>(
+                                  existing[end - 1])))
+            --end;
+        const bool empty_array = end > 0 && existing[end - 1] == '[';
+        out = existing.substr(0, end) +
+            (empty_array ? "\n" : ",\n") + record + "\n]\n";
+    }
+    std::FILE *f = std::fopen(path, "wb");
     if (f == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", path);
         return;
     }
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"study_throughput\",\n");
-    std::fprintf(f, "  \"seed\": %llu,\n",
-                 static_cast<unsigned long long>(opt.seed));
-    std::fprintf(f, "  \"scale\": \"%s\",\n",
-                 opt.full ? "full" : opt.quick ? "quick" : "default");
-    std::fprintf(f, "  \"workers\": %u,\n", workers);
-    std::fprintf(f, "  \"engines\": [\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const Timed &t = *rows[i];
-        std::fprintf(f, "    {\n");
-        std::fprintf(f, "      \"name\": \"%s\",\n", t.name.c_str());
-        std::fprintf(f, "      \"strobeModel\": \"%s\",\n",
-                     strobeModelName(t.cfg.itdr.strobeModel));
-        std::fprintf(f, "      \"threads\": %u,\n", t.cfg.threads);
-        std::fprintf(f, "      \"wires\": %zu,\n", t.cfg.wires);
-        std::fprintf(f, "      \"batchedStrobes\": %s,\n",
-                     t.cfg.itdr.batchedStrobes ? "true" : "false");
-        std::fprintf(f, "      \"traceCacheCapacity\": %zu,\n",
-                     t.cfg.itdr.traceCacheCapacity);
-        std::fprintf(f, "      \"measurements\": %zu,\n",
-                     t.measurements);
-        std::fprintf(f, "      \"seconds\": %.6f,\n", t.seconds);
-        std::fprintf(f, "      \"measPerSec\": %.3f,\n", rate(t));
-        std::fprintf(f, "      \"speedupVsLegacy\": %.3f,\n",
-                     rate(t) / legacy_rate);
-        std::fprintf(f, "      \"cacheHits\": %llu,\n",
-                     static_cast<unsigned long long>(
-                         t.result.cacheHits));
-        std::fprintf(f, "      \"cacheMisses\": %llu,\n",
-                     static_cast<unsigned long long>(
-                         t.result.cacheMisses));
-        std::fprintf(f, "      \"cacheEvictions\": %llu,\n",
-                     static_cast<unsigned long long>(
-                         t.result.cacheEvictions));
-        std::fprintf(f, "      \"cacheHitRate\": %.4f,\n",
-                     cacheHitRate(t.result));
-        std::fprintf(f, "      \"eer\": %.6f\n", t.result.roc.eer);
-        std::fprintf(f, "    }%s\n",
-                     i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"eerDeltaSerial\": %.6f,\n", eer_delta_serial);
-    std::fprintf(f, "  \"eerDeltaMultiwire\": %.6f,\n",
-                 eer_delta_multiwire);
-    std::fprintf(f, "  \"eerTolerance\": %.6f,\n", eer_tolerance);
-    std::fprintf(f, "  \"equivalencePass\": %s,\n",
-                 equivalence_pass ? "true" : "false");
-    std::fprintf(f, "  \"determinismPass\": %s,\n",
-                 determinism_pass ? "true" : "false");
-    // The serial sampled run's structural metrics, so the perf
-    // trajectory carries counters/spans alongside the timings.
-    std::fprintf(f, "  \"telemetry\":\n");
-    writeEmbeddedJson(f, telemetry_snapshot, "    ");
-    std::fprintf(f, "}\n");
+    std::fwrite(out.data(), 1, out.size(), f);
     std::fclose(f);
-    std::printf("wrote %s\n", path);
+    std::printf("appended record to %s\n", path);
+}
+
+/**
+ * Throughput rows of the LAST record in the committed trajectory —
+ * the regression-gate baseline. A plain scan for ("name",
+ * "measPerSec") pairs from the final "label" key onward; engine
+ * names are unique within a record, so no full JSON parse is needed.
+ */
+std::map<std::string, double>
+lastCommittedRates(const char *path)
+{
+    const std::string content = readWholeFile(path);
+    std::map<std::string, double> rates;
+    std::size_t pos = content.rfind("\"label\"");
+    if (pos == std::string::npos)
+        return rates;
+    while (true) {
+        pos = content.find("\"name\": \"", pos);
+        if (pos == std::string::npos)
+            break;
+        pos += 9;
+        const std::size_t name_end = content.find('"', pos);
+        if (name_end == std::string::npos)
+            break;
+        const std::string name = content.substr(pos, name_end - pos);
+        const std::size_t rate_key =
+            content.find("\"measPerSec\": ", name_end);
+        if (rate_key == std::string::npos)
+            break;
+        rates[name] =
+            std::strtod(content.c_str() + rate_key + 14, nullptr);
+        pos = rate_key;
+    }
+    return rates;
 }
 
 int
@@ -221,6 +315,13 @@ benchMain(int argc, char **argv)
     StudyConfig parallel_bin = parallel;
     parallel_bin.itdr.strobeModel = StrobeModel::Binomial;
 
+    // The same analytic campaign pinned to the scalar kernel set: the
+    // reference the SIMD speedup is measured against, and the row
+    // that keeps the trajectory meaningful on hosts with no vector
+    // unit (where it coincides with "serial binomial").
+    StudyConfig serial_bin_scalar = serial_bin;
+    serial_bin_scalar.itdr.simd = SimdTarget::Scalar;
+
     // Multi-wire end-to-end: both engines through the fusion path.
     StudyConfig multi = serial;
     multi.wires = 2;
@@ -241,6 +342,8 @@ benchMain(int argc, char **argv)
         timedRun("pooled sampled", parallel, opt.seed, &tel_parallel);
     const Timed t_serial_bin =
         timedRun("serial binomial", serial_bin, opt.seed);
+    const Timed t_serial_bin_scalar = timedRun(
+        "serial binomial scalar-kernel", serial_bin_scalar, opt.seed);
     const Timed t_parallel_bin =
         timedRun("pooled binomial", parallel_bin, opt.seed);
     const Timed t_multi =
@@ -250,6 +353,7 @@ benchMain(int argc, char **argv)
 
     const std::vector<const Timed *> rows = {
         &t_legacy,     &t_serial,    &t_parallel, &t_serial_bin,
+        &t_serial_bin_scalar,
         &t_parallel_bin, &t_multi,   &t_multi_bin};
 
     Table table("study throughput (" +
@@ -328,6 +432,9 @@ benchMain(int argc, char **argv)
     std::printf("binomial engine speedup (serial, vs sampled): "
                 "%.2fx\n",
                 rate(t_serial_bin) / rate(t_serial));
+    std::printf("SIMD kernel speedup (serial binomial, vs scalar "
+                "kernel): %.2fx\n",
+                rate(t_serial_bin) / rate(t_serial_bin_scalar));
     std::printf("binomial engine speedup (multiwire, vs sampled): "
                 "%.2fx\n",
                 rate(t_multi_bin) / rate(t_multi));
@@ -335,13 +442,45 @@ benchMain(int argc, char **argv)
                 t_serial.seconds / std::max(t_parallel.seconds, 1e-12),
                 workers);
 
-    if (opt.json) {
-        writeJson("BENCH_study_throughput.json", opt, workers, rows,
-                  rate(t_legacy), eer_delta_serial, eer_delta_multi,
-                  eer_tolerance, equivalence_pass, determinism_pass,
-                  snap_serial);
+    const char *record_path = "BENCH_study_throughput.json";
+
+    // Gate 3 (--gate) — throughput regression against the last
+    // committed trajectory record. Compared BEFORE appending, so the
+    // baseline is always the previous PR's record. 15% headroom
+    // absorbs host jitter; real regressions (a kernel falling off its
+    // vector path) are far larger.
+    bool gate_pass = true;
+    if (opt.gate) {
+        const std::map<std::string, double> prev =
+            lastCommittedRates(record_path);
+        const std::vector<const Timed *> tracked = {
+            &t_serial, &t_serial_bin, &t_serial_bin_scalar};
+        std::printf("\nperf gate (>= 85%% of last committed record):\n");
+        if (prev.empty()) {
+            std::printf("  no committed baseline in %s — skipping\n",
+                        record_path);
+        }
+        for (const Timed *t : tracked) {
+            const auto it = prev.find(t->name);
+            if (it == prev.end() || it->second <= 0.0)
+                continue;
+            const double frac = rate(*t) / it->second;
+            const bool ok = frac >= 0.85;
+            std::printf("  %-32s %6.1f%% of %.1f meas/s: %s\n",
+                        t->name.c_str(), 100.0 * frac, it->second,
+                        ok ? "PASS" : "FAIL");
+            gate_pass = gate_pass && ok;
+        }
     }
-    return determinism_pass && equivalence_pass ? 0 : 1;
+
+    if (opt.json) {
+        appendRecord(record_path,
+                     buildRecord(opt, workers, rows, rate(t_legacy),
+                                 eer_delta_serial, eer_delta_multi,
+                                 eer_tolerance, equivalence_pass,
+                                 determinism_pass));
+    }
+    return determinism_pass && equivalence_pass && gate_pass ? 0 : 1;
 }
 
 } // namespace

@@ -80,13 +80,40 @@ Comparator::strobeAnalytic(double v_sig, const double *ref_levels,
             // Saturate past +-8 sigma: the tail mass (< 1e-15) is
             // unobservable at any realistic trial count and skipping
             // the CDF keeps flat trace regions nearly free.
-            const double z = dv * inv_sigma;
-            p = z <= -8.0 ? 0.0 : z >= 8.0 ? 1.0 : normalCdf(z);
+            p = normalCdfSaturated(dv * inv_sigma);
         }
         hits += static_cast<unsigned>(
             rng_.binomial(per_level_trials, p));
     }
     return hits;
+}
+
+void
+Comparator::strobeAnalyticSoA(const StrobeKernels &kernels,
+                              const double *ref_levels,
+                              std::size_t bins, std::size_t levels,
+                              unsigned per_level_trials, StrobeSoA &soa)
+{
+    if (params_.metastableBand > 0.0)
+        divot_fatal("strobeAnalyticSoA requires a zero metastable band "
+                    "(got %g); use per-bin strobeAnalytic",
+                    params_.metastableBand);
+    const double sigma = params_.noiseSigma;
+    const double inv_sigma = sigma > 0.0 ? 1.0 / sigma : 0.0;
+    soa.resize(bins, levels);
+    kernels.apcProbabilityGrid(soa.vSig.data(), params_.inputOffset,
+                               inv_sigma, ref_levels, soa.prob.data(),
+                               bins, levels);
+    kernels.binomialLane(rng_, soa.prob.data(), per_level_trials,
+                         soa.laneHits.data(), bins * levels);
+    const unsigned *lane = soa.laneHits.data();
+    for (std::size_t i = 0; i < bins; ++i) {
+        unsigned sum = 0;
+        for (std::size_t j = 0; j < levels; ++j)
+            sum += lane[j];
+        soa.hits[i] = sum;
+        lane += levels;
+    }
 }
 
 double

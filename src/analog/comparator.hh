@@ -21,6 +21,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "itdr/kernels/kernels.hh"
+#include "itdr/kernels/soa.hh"
 #include "util/rng.hh"
 
 namespace divot {
@@ -94,6 +96,31 @@ class Comparator
     unsigned strobeAnalytic(double v_sig, const double *ref_levels,
                             std::size_t levels,
                             unsigned per_level_trials);
+
+    /**
+     * Whole-sweep analytic strobe in structure-of-arrays form: one
+     * kernel call per stage instead of one strobeAnalytic call per
+     * bin. `soa.vSig` carries the per-bin signal voltages on entry;
+     * `ref_levels` is the bins x levels reference grid (row-major);
+     * `soa.hits` carries the per-bin hit counts on return (the other
+     * arenas are scratch, fully overwritten).
+     *
+     * With the scalar kernel set this performs exactly the libm calls
+     * and Rng draws of `bins` sequential strobeAnalytic calls, in the
+     * same order — bit-identical results and final comparator state.
+     * Vector kernel sets keep the draw *schedule* (which lanes
+     * consume a uniform, in what order) but may round interior
+     * probabilities differently; see DESIGN.md §13.
+     *
+     * Requires a zero metastable band: the analytic band fold
+     * (p_j = 1/2 inside the band) is a per-lane branch the grid
+     * kernels do not model, so callers with a band keep the per-bin
+     * strobeAnalytic loop.
+     */
+    void strobeAnalyticSoA(const StrobeKernels &kernels,
+                           const double *ref_levels, std::size_t bins,
+                           std::size_t levels,
+                           unsigned per_level_trials, StrobeSoA &soa);
 
     /**
      * Exact analytic probability of output 1 for given inputs — the

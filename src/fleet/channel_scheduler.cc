@@ -68,6 +68,10 @@ ChannelScheduler::ChannelScheduler(FleetConfig config, Rng rng)
     tmUntrusted_ = reg.counter("fleet.verdicts.untrusted");
     tmAlarms_ = reg.counter("fleet.alarms");
     tmTrustFlips_ = reg.counter("fleet.trust_flips");
+    tmKernelBatches_ = reg.counter("fleet.kernel.batches",
+                                   MetricStability::Unstable);
+    tmKernelBatchedProbes_ = reg.counter("fleet.kernel.batched_probes",
+                                         MetricStability::Unstable);
     tmStaleness_ = reg.histogram("fleet.staleness",
                                  {1, 2, 4, 8, 16, 32});
     tmRiskWeight_ = reg.histogram("fleet.risk_weight", {1, 4, 8});
@@ -178,11 +182,42 @@ ChannelScheduler::tick()
     round.probes.resize(selected.size());
     // Disjoint channels, disjoint result slots: bit-identical at any
     // thread count.
-    pool_->parallelFor(selected.size(), [&](std::size_t i) {
-        const std::size_t c = selected[i];
-        round.probes[i].channel = c;
-        round.probes[i].verdict = channels_[c]->monitorAt(wall);
-    });
+    const std::size_t batch =
+        config_.measureBatch > 1 ? config_.measureBatch : 1;
+    if (batch > 1) {
+        // Batched mode: item i is a no-op unless it leads a group of
+        // `batch` consecutive selected channels, which the leader
+        // probes serially against one shared SoA arena. Submitting
+        // every index (leaders and no-ops) keeps the pool's stable
+        // parallel_for metrics identical to per-channel mode, so the
+        // two modes export the same telemetry bytes.
+        const std::size_t groups =
+            (selected.size() + batch - 1) / batch;
+        if (kernelArenas_.size() < groups)
+            kernelArenas_.resize(groups);
+        pool_->parallelFor(selected.size(), [&](std::size_t i) {
+            if (i % batch != 0)
+                return;
+            const std::size_t g = i / batch;
+            const std::size_t hi =
+                std::min(i + batch, selected.size());
+            for (std::size_t j = i; j < hi; ++j) {
+                const std::size_t c = selected[j];
+                channels_[c]->attachKernelArena(&kernelArenas_[g]);
+                round.probes[j].channel = c;
+                round.probes[j].verdict = channels_[c]->monitorAt(wall);
+                channels_[c]->attachKernelArena(nullptr);
+            }
+        });
+        tmKernelBatches_.add(groups);
+        tmKernelBatchedProbes_.add(selected.size());
+    } else {
+        pool_->parallelFor(selected.size(), [&](std::size_t i) {
+            const std::size_t c = selected[i];
+            round.probes[i].channel = c;
+            round.probes[i].verdict = channels_[c]->monitorAt(wall);
+        });
+    }
 
     for (const ChannelProbe &probe : round.probes) {
         lastProbeTick_[probe.channel] = static_cast<int64_t>(tick_);

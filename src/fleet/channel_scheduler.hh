@@ -32,6 +32,7 @@
 
 #include "fleet/bus_channel.hh"
 #include "fleet/fleet_auth.hh"
+#include "itdr/kernels/soa.hh"
 #include "telemetry/telemetry.hh"
 #include "util/rng.hh"
 
@@ -59,6 +60,18 @@ struct FleetConfig
     TelemetryConfig telemetry;   //!< fleet-owned observability (on by
                                  //!< default; enabled=false for the
                                  //!< zero-overhead ablation path)
+    std::size_t measureBatch = 0; //!< cross-channel kernel batching:
+                                 //!< 0 or 1 probes each selected
+                                 //!< channel as its own pool item;
+                                 //!< N > 1 lets one worker probe N
+                                 //!< consecutive selected channels
+                                 //!< serially, sharing one SoA kernel
+                                 //!< arena (fewer hot allocations,
+                                 //!< better cache reuse when channels
+                                 //!< outnumber workers). Results are
+                                 //!< byte-identical either way: the
+                                 //!< arena is fully overwritten per
+                                 //!< measurement (see StrobeSoA)
 };
 
 /** One channel probe performed during a tick. */
@@ -179,6 +192,10 @@ class ChannelScheduler
     FleetVerdict lastVerdict_{};
     bool lastTrusted_ = true; //!< previous tick's busTrusted (for
                               //!< trust-flip events)
+    /** Shared SoA kernel arenas, one per probe group of a batched
+     *  tick (grow-only; groups of one tick run serially on their
+     *  leader's worker, so one arena per group suffices). */
+    std::vector<StrobeSoA> kernelArenas_;
 
     /** @name Fleet-level metric handles. */
     ///@{
@@ -190,6 +207,12 @@ class ChannelScheduler
     Counter tmUntrusted_;
     Counter tmAlarms_;
     Counter tmTrustFlips_;
+    Counter tmKernelBatches_;      //!< Unstable: batching is a purely
+                                   //!< operational knob, so its
+                                   //!< accounting must stay out of the
+                                   //!< stable export the batched-vs-
+                                   //!< per-channel identity compares
+    Counter tmKernelBatchedProbes_; //!< Unstable (same reason)
     HistogramMetric tmStaleness_;
     HistogramMetric tmRiskWeight_;
     std::vector<Counter> tmChannelProbes_; //!< indexed like channels_

@@ -86,7 +86,20 @@ class ApcInverseTable
 
   private:
     double vLo_, vHi_, dv_;
+    /** cdf_.front() / cdf_.back(), duplicated inline so the saturated
+     *  early-outs in reconstruct() never touch the (large, usually
+     *  cache-cold) grid: a sweep holds one table per bin and most
+     *  bins reconstruct a saturated probability. */
+    double cdfFront_ = 0.0, cdfBack_ = 0.0;
     std::vector<double> cdf_;  //!< CDF at vLo_ + i * dv_
+    /** Two-level search: dir_[b] = cdf_[b * dirStep_]. An interior
+     *  reconstruct first brackets p in this ~32-entry directory, then
+     *  binary-searches one dirStep_-wide window of cdf_ — same index
+     *  as a whole-table lower_bound (the CDF is monotone), but ~2
+     *  cache lines touched instead of ~10 across a table that is
+     *  usually cold (a sweep holds one 8 KiB table per bin). */
+    std::vector<double> dir_;
+    std::size_t dirStep_ = 1;
 };
 
 /**

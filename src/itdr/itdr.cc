@@ -34,7 +34,8 @@ ITdr::ITdr(ItdrConfig config, Rng rng)
       edge_(config.edgeAmplitude, config.edgeRiseTime, EdgeKind::Rising),
       trials_(roundUpToMultiple(std::max(config.trialsPerPhase, 1u),
                                 pdm_.levelCount())),
-      traceCache_(config.traceCacheCapacity)
+      traceCache_(config.traceCacheCapacity),
+      kernels_(&strobeKernels(config.simd))
 {
     if (config.trialsPerPhase == 0)
         divot_fatal("iTDR trialsPerPhase must be >= 1");
@@ -92,6 +93,9 @@ ITdr::attachTelemetry(Telemetry *telemetry, const std::string &prefix)
     tmEngineBatch_ = reg.counter(prefix + ".engine.batch");
     tmEngineScalar_ = reg.counter(prefix + ".engine.scalar");
     tmFallbacks_ = reg.counter(prefix + ".engine.fallbacks");
+    tmKernelScalar_ = reg.counter(prefix + ".kernel.scalar");
+    tmKernelAvx2_ = reg.counter(prefix + ".kernel.avx2");
+    tmKernelNeon_ = reg.counter(prefix + ".kernel.neon");
     tmCacheHits_ = reg.counter(prefix + ".cache.hits");
     tmCacheMisses_ = reg.counter(prefix + ".cache.misses");
     tmCacheEvictions_ = reg.counter(prefix + ".cache.evictions");
@@ -162,6 +166,7 @@ ITdr::prepareBins(const TransmissionLine &line)
                                      t0);
             }
         }
+        rebuildIipLut();
     }
 
     // Budget baseline for the health screen: expected cycles follow
@@ -195,8 +200,30 @@ ITdr::recalibrate()
             inverse_[m] = ApcInverseTable(pdm_.levelsAt(t0),
                                           calibratedSigma_);
         }
+        if (config_.strobeModel == StrobeModel::Binomial)
+            rebuildIipLut();
     }
     return true;
+}
+
+void
+ITdr::rebuildIipLut()
+{
+    // One row per bin, one entry per possible hit count. The counter
+    // round-trip reproduces finishBin's probability computation
+    // exactly (including any width clamping), so a LUT lookup is
+    // bit-identical to calling reconstruct in the bin loop.
+    const std::size_t stride = static_cast<std::size_t>(trials_) + 1;
+    iipLut_.resize(static_cast<std::size_t>(bins_) * stride);
+    HitCounter counter(config_.counterWidthBits);
+    for (unsigned m = 0; m < bins_; ++m) {
+        for (unsigned h = 0; h <= trials_; ++h) {
+            counter.reset();
+            counter.recordBatch(h, trials_);
+            iipLut_[static_cast<std::size_t>(m) * stride + h] =
+                inverse_[m].reconstruct(counter.probability());
+        }
+    }
 }
 
 double
@@ -414,18 +441,78 @@ ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
         // and fault frames are identical to the sampled engine.
         const unsigned levels = pdm_.levelCount();
         const unsigned per_level = trials_ / levels;
-        for (unsigned m = 0; m < bins_; ++m) {
-            const double t0 = static_cast<double>(m) * tau;
-            triggerGen_.advanceClockTriggers(trials_);
-            const double v_sig =
-                trace.valueAt(faultSampleTime(t0)) + faultBias(t0);
-            const unsigned hits = faultHits(comparator_.strobeAnalytic(
-                v_sig,
-                analyticLevels_.data() +
-                    static_cast<std::size_t>(m) * levels,
-                levels, per_level));
-            finishBin(m, hits);
-            pll_.stepPhase();
+        // The SoA sweep runs whole-measurement stages (gather signal
+        // levels, one probability-grid kernel, one binomial-lane
+        // kernel, reduce) instead of a per-bin loop. That reorders
+        // nothing the comparator stream can see — but a fault frame
+        // drawing from binRng in *both* the sample-time and hit hooks
+        // would interleave those draws per bin in the legacy loop and
+        // stage-by-stage here, so such frames keep the per-bin loop.
+        const bool soa_ok = fault.pllDropoutRate <= 0.0 &&
+            fault.counterFlipRate <= 0.0;
+        if (soa_ok) {
+            StrobeSoA &soa = *soa_;
+            soa.resize(bins_, levels);
+            for (unsigned m = 0; m < bins_; ++m) {
+                const double t0 = static_cast<double>(m) * tau;
+                triggerGen_.advanceClockTriggers(trials_);
+                soa.vSig[m] =
+                    trace.valueAt(faultSampleTime(t0)) + faultBias(t0);
+                pll_.stepPhase();
+            }
+            comparator_.strobeAnalyticSoA(*kernels_,
+                                          analyticLevels_.data(),
+                                          bins_, levels, per_level,
+                                          soa);
+            // finishBin via iipLut_: same saturation/finiteness
+            // accounting, same reconstruct value (precomputed), but
+            // independent loads instead of per-bin CDF searches — the
+            // prefetch keeps the sweep from serializing on the 0.5 MB
+            // table's cache misses.
+            const std::size_t stride =
+                static_cast<std::size_t>(trials_) + 1;
+            for (unsigned m = 0; m < bins_; ++m) {
+                if (m + 8 < bins_) {
+                    __builtin_prefetch(
+                        &iipLut_[static_cast<std::size_t>(m + 8) *
+                                     stride +
+                                 soa.hits[m + 8]]);
+                }
+                const unsigned hits = faultHits(soa.hits[m]);
+                if (hits == 0 || hits >= trials_)
+                    ++saturated_bins;
+                double v =
+                    iipLut_[static_cast<std::size_t>(m) * stride +
+                            hits] -
+                    offsetCorrection_;
+                if (!std::isfinite(v)) {
+                    ++non_finite_bins;
+                    v = 0.0;
+                }
+                iip[m] = v;
+            }
+            if (telemetry_ != nullptr) {
+                (kernels_->target == SimdTarget::Avx2 ? tmKernelAvx2_
+                 : kernels_->target == SimdTarget::Neon
+                     ? tmKernelNeon_
+                     : tmKernelScalar_)
+                    .add();
+            }
+        } else {
+            for (unsigned m = 0; m < bins_; ++m) {
+                const double t0 = static_cast<double>(m) * tau;
+                triggerGen_.advanceClockTriggers(trials_);
+                const double v_sig =
+                    trace.valueAt(faultSampleTime(t0)) + faultBias(t0);
+                const unsigned hits =
+                    faultHits(comparator_.strobeAnalytic(
+                        v_sig,
+                        analyticLevels_.data() +
+                            static_cast<std::size_t>(m) * levels,
+                        levels, per_level));
+                finishBin(m, hits);
+                pll_.stepPhase();
+            }
         }
     } else if (batch) {
         const unsigned levels = pdm_.levelCount();
@@ -443,8 +530,10 @@ ITdr::measure(const TransmissionLine &line, NoiseSource *extra_noise)
                 periodScratch_[j] = pdm_.referenceAt(
                     static_cast<double>(cycle0 + j) * t_clk + t0);
             }
-            for (unsigned k = 0; k < trials_; ++k)
-                refScratch_[k] = periodScratch_[k % levels];
+            // Bit-exact copies, so the sampled engine's byte-identity
+            // contract survives any dispatch target.
+            kernels_->tilePeriodic(periodScratch_.data(), levels,
+                                   refScratch_.data(), trials_);
             const double v_sig =
                 trace.valueAt(faultSampleTime(t0)) + faultBias(t0);
             const unsigned hits = faultHits(comparator_.strobeBatch(

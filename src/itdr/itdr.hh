@@ -32,6 +32,8 @@
 #include "fault/fault.hh"
 #include "itdr/apc.hh"
 #include "itdr/health.hh"
+#include "itdr/kernels/kernels.hh"
+#include "itdr/kernels/soa.hh"
 #include "itdr/pdm.hh"
 #include "itdr/trace_cache.hh"
 #include "itdr/trigger.hh"
@@ -100,6 +102,13 @@ struct ItdrConfig
                                     //!< ineligible configurations fall
                                     //!< back to Sampled with a one-time
                                     //!< per-instance warning
+    SimdTarget simd = SimdTarget::Auto; //!< strobe-kernel dispatch for
+                                    //!< the analytic engine's SoA
+                                    //!< sweep (DESIGN.md §13):
+                                    //!< resolved once at construction
+                                    //!< (DIVOT_SIMD overrides; Auto =>
+                                    //!< best supported; unsupported =>
+                                    //!< scalar with a warning)
     std::size_t traceCacheCapacity = 8; //!< retained clean detector
                                     //!< traces, content-keyed + LRU
                                     //!< (see itdr/trace_cache.hh);
@@ -237,6 +246,24 @@ class ITdr
     /** @return the attached telemetry sink (nullptr when none). */
     Telemetry *telemetry() const { return telemetry_; }
 
+    /** @return the resolved strobe-kernel set this instrument runs
+     *  (fixed at construction; see ItdrConfig::simd). */
+    const StrobeKernels &kernels() const { return *kernels_; }
+
+    /**
+     * Point the analytic engine's SoA sweep at an external scratch
+     * arena instead of the instrument-owned one. Every arena lane is
+     * fully overwritten per measurement (see StrobeSoA), so sharing
+     * one arena across instruments measured *serially* — the fleet
+     * scheduler's batched mode — changes allocation behaviour, never
+     * results. Pass nullptr to return to the owned arena. Not owned;
+     * must outlive the attachment.
+     */
+    void attachKernelArena(StrobeSoA *arena)
+    {
+        soa_ = arena != nullptr ? arena : &soaOwn_;
+    }
+
   private:
     ItdrConfig config_;
     Rng rng_;
@@ -270,8 +297,24 @@ class ITdr
      *  frozen bin grid (bins_ x levelCount(), row-major). Built by
      *  prepareBins only when strobeModel == Binomial. */
     std::vector<double> analyticLevels_;
+    /** Analytic engine: precomputed reconstruction per (bin, hit
+     *  count) — bins_ x (trials_ + 1), row-major, pre offset
+     *  correction. A hit count only takes trials_ + 1 values, so the
+     *  whole reconstruct sweep collapses to independent table loads
+     *  (no data-dependent binary-search chains over the cold CDF
+     *  grids); each entry is the verbatim output of
+     *  inverse_[m].reconstruct on the HitCounter's probability, so
+     *  results are bit-identical to the per-bin path. Built by
+     *  prepareBins (Binomial only) and rebuilt by recalibrate. */
+    std::vector<double> iipLut_;
     /** One-time fallback warning latch (per instrument). */
     bool analyticFallbackWarned_ = false;
+    /** Resolved strobe kernels (never null; set in the ctor). */
+    const StrobeKernels *kernels_ = nullptr;
+    /** Instrument-owned SoA arena for the analytic sweep. */
+    StrobeSoA soaOwn_;
+    /** Active arena: soaOwn_ unless attachKernelArena overrode it. */
+    StrobeSoA *soa_ = &soaOwn_;
 
     /** @name Telemetry plumbing (inert until attachTelemetry). */
     ///@{
@@ -284,6 +327,9 @@ class ITdr
     Counter tmEngineBatch_;
     Counter tmEngineScalar_;
     Counter tmFallbacks_;
+    Counter tmKernelScalar_;
+    Counter tmKernelAvx2_;
+    Counter tmKernelNeon_;
     Counter tmCacheHits_;
     Counter tmCacheMisses_;
     Counter tmCacheEvictions_;
@@ -306,6 +352,9 @@ class ITdr
 
     void prepareBins(const TransmissionLine &line);
     double reconstructionSigma() const;
+
+    /** (Re)build iipLut_ from the current inverse_ tables. */
+    void rebuildIipLut();
 
     /** Render the clean trace (no cache). */
     Waveform renderDetectorTrace(const TransmissionLine &line,

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Runtime kernel dispatch: environment override, CPU capability
+ * detection, and the Auto -> best-supported resolution.
+ */
+
+#include "itdr/kernels/kernels.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace divot {
+
+namespace {
+
+/** Parse a DIVOT_SIMD value; nullptr return = unrecognized. */
+const SimdTarget *
+parseSimdTarget(const char *text)
+{
+    static const SimdTarget kAuto = SimdTarget::Auto;
+    static const SimdTarget kScalar = SimdTarget::Scalar;
+    static const SimdTarget kAvx2 = SimdTarget::Avx2;
+    static const SimdTarget kNeon = SimdTarget::Neon;
+    if (std::strcmp(text, "auto") == 0)
+        return &kAuto;
+    if (std::strcmp(text, "scalar") == 0)
+        return &kScalar;
+    if (std::strcmp(text, "avx2") == 0)
+        return &kAvx2;
+    if (std::strcmp(text, "neon") == 0)
+        return &kNeon;
+    return nullptr;
+}
+
+SimdTarget
+bestSupportedTarget()
+{
+    if (simdTargetSupported(SimdTarget::Avx2))
+        return SimdTarget::Avx2;
+    if (simdTargetSupported(SimdTarget::Neon))
+        return SimdTarget::Neon;
+    return SimdTarget::Scalar;
+}
+
+} // namespace
+
+const char *
+simdTargetName(SimdTarget target)
+{
+    switch (target) {
+    case SimdTarget::Auto:
+        return "auto";
+    case SimdTarget::Scalar:
+        return "scalar";
+    case SimdTarget::Avx2:
+        return "avx2";
+    case SimdTarget::Neon:
+        return "neon";
+    }
+    return "?";
+}
+
+bool
+simdTargetSupported(SimdTarget target)
+{
+    switch (target) {
+    case SimdTarget::Auto:
+    case SimdTarget::Scalar:
+        return true;
+    case SimdTarget::Avx2:
+        if (avx2StrobeKernels() == nullptr)
+            return false;  // not compiled in
+#if defined(__x86_64__) || defined(__i386__)
+        // __builtin_cpu_supports folds in the OS XSAVE check, so a
+        // "yes" means the ymm registers are actually usable.
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    case SimdTarget::Neon:
+        // NEON doubles are baseline on aarch64: compiled in == runs.
+        return neonStrobeKernels() != nullptr;
+    }
+    return false;
+}
+
+SimdTarget
+resolveSimdTarget(SimdTarget requested)
+{
+    // The environment wins over per-instrument configuration so a
+    // whole run (tests, benches, CI legs) can be forced onto one
+    // code path without touching configs. Read on every call: the
+    // dispatch-forcing tests setenv between instrument constructions.
+    if (const char *env = std::getenv("DIVOT_SIMD")) {
+        if (const SimdTarget *parsed = parseSimdTarget(env)) {
+            requested = *parsed;
+        } else {
+            static bool warned_env = false;
+            if (!warned_env) {
+                warned_env = true;
+                divot_warn("DIVOT_SIMD='%s' not recognized (want "
+                           "auto|scalar|avx2|neon); ignoring",
+                           env);
+            }
+        }
+    }
+    if (requested == SimdTarget::Auto)
+        return bestSupportedTarget();
+    if (!simdTargetSupported(requested)) {
+        static bool warned_unsupported = false;
+        if (!warned_unsupported) {
+            warned_unsupported = true;
+            divot_warn("SIMD target '%s' is not available on this "
+                       "build/machine; falling back to scalar "
+                       "strobe kernels",
+                       simdTargetName(requested));
+        }
+        return SimdTarget::Scalar;
+    }
+    return requested;
+}
+
+const StrobeKernels &
+strobeKernels(SimdTarget requested)
+{
+    switch (resolveSimdTarget(requested)) {
+    case SimdTarget::Avx2:
+        if (const StrobeKernels *k = avx2StrobeKernels())
+            return *k;
+        break;
+    case SimdTarget::Neon:
+        if (const StrobeKernels *k = neonStrobeKernels())
+            return *k;
+        break;
+    default:
+        break;
+    }
+    return *scalarStrobeKernels();
+}
+
+} // namespace divot

@@ -20,6 +20,28 @@ namespace divot {
 /** Standard normal cumulative distribution function Phi(x). */
 double normalCdf(double x);
 
+/**
+ * Phi(z) with the APC's exact +-8 sigma saturation: past 8 sigma the
+ * tail mass (< 1e-15) is unobservable at any realistic trial count,
+ * and the saturated value must be an *exact* 0.0 / 1.0 — a binomial
+ * draw at a saturated probability consumes no random draw, so an
+ * almost-0 would silently desynchronize the stream. This is the
+ * single definition both the scalar strobe path and the scalar SIMD
+ * kernel share.
+ */
+inline double
+normalCdfSaturated(double z)
+{
+    return z <= -8.0 ? 0.0 : z >= 8.0 ? 1.0 : normalCdf(z);
+}
+
+/**
+ * Batched Phi-with-saturation over a lane of z-scores: p[i] =
+ * normalCdfSaturated(z[i]). The scalar reference the vectorized
+ * strobe kernels are ULP-tested against.
+ */
+void normalCdfSaturatedLane(const double *z, double *p, std::size_t n);
+
 /** Standard normal probability density function phi(x). */
 double normalPdf(double x);
 

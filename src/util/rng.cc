@@ -18,12 +18,6 @@ splitmix64(uint64_t &state)
     return z ^ (z >> 31);
 }
 
-uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(uint64_t seed)
@@ -31,27 +25,6 @@ Rng::Rng(uint64_t seed)
     uint64_t sm = seed;
     for (auto &word : s_)
         word = splitmix64(sm);
-}
-
-uint64_t
-Rng::next()
-{
-    const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-    const uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 high bits -> double in [0,1)
-    return (next() >> 11) * 0x1.0p-53;
 }
 
 double
@@ -126,32 +99,9 @@ Rng::binomial(uint64_t n, double p)
         return n - binomial(n, 1.0 - p);
 
     if (n <= binomialInversionCutoff) {
-        // Exact CDF inversion: walk the pmf via the recurrence
-        //   pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p)
-        // until the cumulative mass passes one uniform draw.
-        const double u = uniform();
-        const double odds = p / (1.0 - p);
-        // pmf(0) = (1-p)^n by exponentiation-by-squaring: pure IEEE
-        // multiplies, so the value (and hence the stream) cannot
-        // drift with libm versions. p <= 1/2 here, so q >= 1/2 and
-        // q^n underflows only at astronomically unlikely inputs (the
-        // walk then returns a tail value, still in range).
-        double pmf = 1.0;
-        double q_pow = 1.0 - p;
-        for (uint64_t e = n; e != 0; e >>= 1) {
-            if (e & 1)
-                pmf *= q_pow;
-            q_pow *= q_pow;
-        }
-        double cum = pmf;
-        uint64_t k = 0;
-        while (cum <= u && k < n) {
-            pmf *= odds * static_cast<double>(n - k) /
-                static_cast<double>(k + 1);
-            cum += pmf;
-            ++k;
-        }
-        return k;
+        // Exact CDF inversion against one uniform draw (the walk
+        // itself is the shared, draw-free binomialInvert).
+        return binomialInvert(uniform(), n, p);
     }
 
     // Large n: normal cutoff — round the matched-moment Gaussian and
@@ -166,6 +116,36 @@ Rng::binomial(uint64_t n, double p)
     if (draw >= static_cast<double>(n))
         return n;
     return static_cast<uint64_t>(draw);
+}
+
+uint64_t
+Rng::binomialInvert(double u, uint64_t n, double p)
+{
+    // Walk the pmf via the recurrence
+    //   pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p)
+    // until the cumulative mass passes the uniform draw.
+    const double odds = p / (1.0 - p);
+    // pmf(0) = (1-p)^n by exponentiation-by-squaring: pure IEEE
+    // multiplies, so the value (and hence the stream) cannot
+    // drift with libm versions. p <= 1/2 here, so q >= 1/2 and
+    // q^n underflows only at astronomically unlikely inputs (the
+    // walk then returns a tail value, still in range).
+    double pmf = 1.0;
+    double q_pow = 1.0 - p;
+    for (uint64_t e = n; e != 0; e >>= 1) {
+        if (e & 1)
+            pmf *= q_pow;
+        q_pow *= q_pow;
+    }
+    double cum = pmf;
+    uint64_t k = 0;
+    while (cum <= u && k < n) {
+        pmf *= odds * static_cast<double>(n - k) /
+            static_cast<double>(k + 1);
+        cum += pmf;
+        ++k;
+    }
+    return k;
 }
 
 Rng

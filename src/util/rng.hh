@@ -29,11 +29,28 @@ class Rng
     /** Construct from a 64-bit seed (expanded via splitmix64). */
     explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-    /** @return next raw 64-bit value. */
-    uint64_t next();
+    /** @return next raw 64-bit value. Defined inline (with uniform())
+     *  so hot draw loops — the SIMD strobe kernels consume one
+     *  uniform per non-degenerate lane — pay no call overhead. */
+    uint64_t next()
+    {
+        const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** @return uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        // 53 high bits -> double in [0,1)
+        return (next() >> 11) * 0x1.0p-53;
+    }
 
     /** @return uniform double in [lo, hi). */
     double uniform(double lo, double hi);
@@ -76,6 +93,19 @@ class Rng
     static constexpr uint64_t binomialInversionCutoff = 64;
 
     /**
+     * The exact CDF-inversion walk of binomial() given a pre-drawn
+     * uniform: pmf(0) = (1-p)^n by exponentiation-by-squaring, then
+     * the recurrence pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p) until
+     * the cumulative mass passes u. Pure IEEE multiplies/divides in a
+     * fixed order, so the result cannot drift with libm versions —
+     * the vectorized strobe kernels mirror these operations lane-wise
+     * and therefore reproduce this function bit for bit.
+     *
+     * Preconditions: 0 < p <= 1/2, 1 <= n <= binomialInversionCutoff.
+     */
+    static uint64_t binomialInvert(double u, uint64_t n, double p);
+
+    /**
      * Fork a child generator whose stream is independent of this one.
      * Used to give every Tx-line / iTDR its own stream so adding a
      * component never perturbs another component's draws.
@@ -109,6 +139,11 @@ class Rng
     void gaussianVector(double *out, std::size_t n);
 
   private:
+    static uint64_t rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     uint64_t s_[4];
     double cachedNormal_ = 0.0;
     bool hasCachedNormal_ = false;

@@ -128,13 +128,18 @@ generateCase(std::size_t index)
  * Build and run the case's fleet at the given thread count and return
  * the scheduler (whose Telemetry holds the run's full accounting).
  * A fresh FaultInjector is created per run so the injected schedule
- * restarts from measurement 0.
+ * restarts from measurement 0. `measure_batch` overrides the fleet's
+ * cross-channel kernel batching width (0 keeps per-channel probing)
+ * so the batched-vs-per-channel invariant can rerun the same case
+ * both ways.
  */
 inline ChannelScheduler
-runCase(const PropertyCase &pc, unsigned threads)
+runCase(const PropertyCase &pc, unsigned threads,
+        std::size_t measure_batch = 0)
 {
     FleetConfig cfg = pc.fleet;
     cfg.threads = threads;
+    cfg.measureBatch = measure_batch;
     ChannelScheduler fleet(cfg, Rng(pc.seed));
     for (std::size_t c = 0; c < pc.channels; ++c) {
         BusChannelConfig channel = pc.channel;

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 
 #include "property_harness.hh"
@@ -110,6 +111,32 @@ TEST(PropertyPipeline, ExportByteIdenticalAcrossThreadCounts)
         EXPECT_EQ(serial.telemetry().exportJson(),
                   pooled.telemetry().exportJson());
     }
+}
+
+TEST(PropertyPipeline, ExportByteIdenticalBatchedVsPerChannel)
+{
+    // Cross-channel kernel batching must be observationally invisible:
+    // under the forced scalar kernel (so every dispatch target
+    // resolves identically regardless of host CPU) a batched fleet
+    // must export byte-for-byte the telemetry of a per-channel one —
+    // same measurements, same stable counters, same verdicts.
+    const char *prev = std::getenv("DIVOT_SIMD");
+    const std::string saved = prev != nullptr ? prev : "";
+    setenv("DIVOT_SIMD", "scalar", 1);
+    const std::size_t cases = std::min<std::size_t>(
+        property::caseCount(), 12);
+    for (std::size_t i = 0; i < cases; ++i) {
+        SCOPED_TRACE("property case " + std::to_string(i));
+        const PropertyCase pc = property::generateCase(i);
+        ChannelScheduler per_channel = property::runCase(pc, 1, 0);
+        ChannelScheduler batched = property::runCase(pc, 2, 2);
+        EXPECT_EQ(per_channel.telemetry().exportJson(),
+                  batched.telemetry().exportJson());
+    }
+    if (prev != nullptr)
+        setenv("DIVOT_SIMD", saved.c_str(), 1);
+    else
+        unsetenv("DIVOT_SIMD");
 }
 
 TEST(PropertyPipeline, CaseGenerationIsAPureFunctionOfIndex)
