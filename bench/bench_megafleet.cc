@@ -1,0 +1,413 @@
+/**
+ * @file
+ * PERF/ROBUSTNESS — fleet-scale persistence: enroll 10^5 channels
+ * into the sharded EnrollmentDb and monitor them with bounded-memory
+ * lazy hydration (each tick touches only its probe batch; every shard
+ * file is read at most once per tick).
+ *
+ * Gates:
+ *  1. capacity — the configured channel count enrolls durably and the
+ *     peak resident enrollment footprint stays under the fixed budget;
+ *  2. determinism — the fused-verdict digest of a 1-thread run equals
+ *     the pooled run bit for bit, with and without an active storage
+ *     FaultPlan;
+ *  3. zero junk — under a campaign of torn writes, power cuts, bit
+ *     rot, and shard truncation, every damaged record either recovers
+ *     through a surviving bank or lands in PendingReenroll; no tick
+ *     fuses a corrupted fingerprint into the bus verdict.
+ *
+ * Cross-PR tracking: --json appends a {"bench": "megafleet"} record
+ * to BENCH_study_throughput.json (the committed perf trajectory;
+ * label from DIVOT_BENCH_LABEL, else "local"); --gate compares
+ * enroll/probe throughput against the last committed megafleet record
+ * and fails below 85%.
+ */
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "fault/fault.hh"
+#include "fleet/megafleet.hh"
+#include "store/io.hh"
+#include "util/rng.hh"
+
+namespace divot {
+namespace bench {
+namespace {
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Start every run from an empty database directory. */
+void
+resetDir(const std::string &dir, unsigned shards)
+{
+    store::ensureDir(dir);
+    for (unsigned s = 0; s < shards; ++s) {
+        const std::string shard =
+            dir + "/shard-" + std::to_string(s) + ".bin";
+        store::removeFile(shard);
+        store::removeFile(shard + ".tmp");
+    }
+    store::removeFile(dir + "/journal.wal");
+}
+
+struct RunResult
+{
+    MegaFleetReport report;
+    double enrollSeconds = 0.0;
+    double tickSeconds = 0.0;
+    uint64_t cleanTicks = 0; //!< ticks whose bus verdict was trusted
+    uint64_t junkTicks = 0;  //!< ticks authenticated below the bar or
+                             //!< alarmed by an undamaged fleet
+};
+
+RunResult
+runFleet(const MegaFleetConfig &base, const std::string &dir,
+         unsigned threads, uint64_t ticks, uint64_t seed,
+         const FaultInjector *injector)
+{
+    MegaFleetConfig cfg = base;
+    cfg.store.directory = dir;
+    cfg.threads = threads;
+    resetDir(dir, cfg.store.shards);
+
+    MegaFleet fleet(cfg, Rng(seed));
+    if (injector != nullptr)
+        fleet.attachFaultInjector(injector);
+
+    RunResult r;
+    double t0 = now();
+    fleet.enrollAll();
+    r.enrollSeconds = now() - t0;
+
+    t0 = now();
+    for (uint64_t t = 0; t < ticks; ++t) {
+        const MegaFleetVerdict v = fleet.tick();
+        if (v.busTrusted)
+            ++r.cleanTicks;
+        // A corrupted fingerprint that slipped through the CRC banks
+        // would crater the fused score (its residual decorrelates):
+        // any contributing tick below the accept bar counts as junk.
+        if (v.contributingWires > 0 && !v.busAuthenticated)
+            ++r.junkTicks;
+    }
+    r.tickSeconds = now() - t0;
+    r.report = fleet.report();
+    return r;
+}
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+std::string
+readWholeFile(const char *path)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (f == nullptr)
+        return {};
+    std::string content;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        content.append(buf, got);
+    std::fclose(f);
+    return content;
+}
+
+/** Append `record` to the top-level array in `path` (creating the
+ *  file as a one-record array when absent or unparseable). */
+void
+appendRecord(const char *path, const std::string &record)
+{
+    const std::string existing = readWholeFile(path);
+    std::string out;
+    const std::size_t close = existing.find_last_of(']');
+    if (close == std::string::npos) {
+        out = "[\n" + record + "\n]\n";
+    } else {
+        std::size_t end = close;
+        while (end > 0 &&
+               std::isspace(static_cast<unsigned char>(
+                   existing[end - 1])))
+            --end;
+        const bool empty_array = end > 0 && existing[end - 1] == '[';
+        out = existing.substr(0, end) +
+            (empty_array ? "\n" : ",\n") + record + "\n]\n";
+    }
+    std::FILE *f = std::fopen(path, "wb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("appended record to %s\n", path);
+}
+
+/** Throughput fields of the last committed megafleet record. */
+std::map<std::string, double>
+lastMegafleetRates(const char *path)
+{
+    const std::string content = readWholeFile(path);
+    std::map<std::string, double> rates;
+    std::size_t pos = content.rfind("\"bench\": \"megafleet\"");
+    if (pos == std::string::npos)
+        return rates;
+    for (const char *key : {"enrollPerSec", "probesPerSec"}) {
+        const std::string needle = std::string("\"") + key + "\": ";
+        const std::size_t at = content.find(needle, pos);
+        if (at != std::string::npos)
+            rates[key] =
+                std::strtod(content.c_str() + at + needle.size(),
+                            nullptr);
+    }
+    return rates;
+}
+
+} // namespace
+} // namespace bench
+} // namespace divot
+
+int
+main(int argc, char **argv)
+{
+    using namespace divot;
+    using namespace divot::bench;
+
+    const Options opt = parseOptions(argc, argv);
+
+    MegaFleetConfig base;
+    uint64_t ticks = 6;
+    std::size_t campaignChannels = 20000;
+    if (opt.full) {
+        base.channels = 200000;
+        base.store.shards = 512;
+        base.probesPerTick = 4096;
+        ticks = 10;
+    } else if (opt.quick || opt.smoke) {
+        base.channels = 20000;
+        base.store.shards = 128;
+        base.probesPerTick = 1024;
+        ticks = 4;
+        campaignChannels = 8000;
+    } else {
+        base.channels = 100000;
+        base.store.shards = 512;
+        base.probesPerTick = 4096;
+    }
+    base.fingerprintBins = 32;
+    base.noiseSigma = 1e-4;
+    base.similarityThreshold = 0.35;
+    base.tamperThreshold = 1e-6;
+    base.tamperWireVotes = 3;
+    base.residentBudgetBytes = 8u << 20;
+    base.store.overlayFlushRecords = 64;
+    base.store.journalCheckpointBytes = 64u << 20;
+    base.telemetry.enabled = false;
+
+    std::printf("MegaFleet persistence bench: %zu channels, "
+                "%u shards, %zu probes/tick, %llu ticks\n",
+                base.channels, base.store.shards, base.probesPerTick,
+                static_cast<unsigned long long>(ticks));
+
+    const std::string root = "/tmp/divot_megafleet";
+    store::ensureDir(root);
+
+    // --- Clean capacity + determinism runs. -------------------------
+    const RunResult serial = runFleet(base, root + "/clean-serial", 1,
+                                      ticks, opt.seed, nullptr);
+    const RunResult pooled = runFleet(base, root + "/clean-pooled", 0,
+                                      ticks, opt.seed, nullptr);
+
+    const double enrollPerSec =
+        serial.report.enrolled /
+        (serial.enrollSeconds > 0 ? serial.enrollSeconds : 1e-9);
+    const double probesPerSec =
+        serial.report.probes /
+        (serial.tickSeconds > 0 ? serial.tickSeconds : 1e-9);
+
+    std::printf("\nclean run (serial): enrolled %llu, "
+                "%.0f enroll/s, %.0f probes/s, peak resident "
+                "%.2f MiB (budget %.2f MiB)\n",
+                static_cast<unsigned long long>(
+                    serial.report.enrolled),
+                enrollPerSec, probesPerSec,
+                serial.report.peakResidentBytes / 1048576.0,
+                base.residentBudgetBytes / 1048576.0);
+
+    bool capacity_pass =
+        serial.report.enrolled == base.channels &&
+        serial.report.peakResidentBytes <= base.residentBudgetBytes &&
+        serial.report.pendingReenroll == 0 &&
+        serial.junkTicks == 0 &&
+        serial.cleanTicks == ticks;
+    bool determinism_pass =
+        serial.report.verdictDigest == pooled.report.verdictDigest;
+    std::printf("capacity gate: %s\n",
+                capacity_pass ? "PASS" : "FAIL");
+    std::printf("determinism gate (clean, 1 vs N threads): %s "
+                "(digest %016llx)\n",
+                determinism_pass ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(
+                    serial.report.verdictDigest));
+
+    // --- Storage fault campaign: torn write, power cuts at every
+    // commit point, bit rot, shard truncation. -----------------------
+    MegaFleetConfig campaign = base;
+    campaign.channels = campaignChannels;
+    FaultPlan plan;
+    plan.storageTornWrite(campaignChannels / 8)
+        .storageCrash(campaignChannels / 4,
+                      StorageCrashPoint::AfterJournal)
+        .storageCrash(campaignChannels / 3,
+                      StorageCrashPoint::BeforeCommit)
+        .storageBitRot(campaignChannels / 2, 1, 12.0)
+        .storageTruncation((campaignChannels * 2) / 3, 0.55);
+    const FaultInjector injector(plan, Rng(opt.seed ^ 0xFau));
+
+    const RunResult faultSerial =
+        runFleet(campaign, root + "/fault-serial", 1, ticks, opt.seed,
+                 &injector);
+    const RunResult faultPooled =
+        runFleet(campaign, root + "/fault-pooled", 0, ticks, opt.seed,
+                 &injector);
+
+    std::printf("\nfault campaign (%zu channels): enrolled %llu, "
+                "%llu crash recoveries, %llu pending-reenroll, "
+                "junk ticks %llu\n",
+                campaign.channels,
+                static_cast<unsigned long long>(
+                    faultSerial.report.enrolled),
+                static_cast<unsigned long long>(
+                    faultSerial.report.crashRecoveries),
+                static_cast<unsigned long long>(
+                    faultSerial.report.pendingReenroll),
+                static_cast<unsigned long long>(
+                    faultSerial.junkTicks));
+
+    const bool fault_determinism_pass =
+        faultSerial.report.verdictDigest ==
+        faultPooled.report.verdictDigest;
+    // Zero junk: damaged records must recover through a surviving
+    // bank or drop out as PendingReenroll — never score as genuine-
+    // looking garbage. Surviving wires keep the bus authenticated.
+    const bool junk_pass = faultSerial.junkTicks == 0 &&
+        faultPooled.junkTicks == 0;
+    const bool recovery_pass =
+        faultSerial.report.crashRecoveries >= 2 &&
+        faultSerial.report.enrolled +
+                faultSerial.report.pendingReenroll ==
+            campaign.channels;
+    std::printf("determinism gate (faulted, 1 vs N threads): %s "
+                "(digest %016llx)\n",
+                fault_determinism_pass ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(
+                    faultSerial.report.verdictDigest));
+    std::printf("zero-junk gate: %s\n", junk_pass ? "PASS" : "FAIL");
+    std::printf("crash-recovery gate: %s\n",
+                recovery_pass ? "PASS" : "FAIL");
+
+    const char *record_path = "BENCH_study_throughput.json";
+
+    bool gate_pass = true;
+    if (opt.gate) {
+        const std::map<std::string, double> last =
+            lastMegafleetRates(record_path);
+        std::printf("\nperf gate (>= 85%% of last committed "
+                    "megafleet record):\n");
+        if (last.empty()) {
+            std::printf("  no committed megafleet record; gate "
+                        "passes vacuously\n");
+        } else {
+            const struct
+            {
+                const char *key;
+                double value;
+            } rows[] = {{"enrollPerSec", enrollPerSec},
+                        {"probesPerSec", probesPerSec}};
+            for (const auto &row : rows) {
+                const auto it = last.find(row.key);
+                if (it == last.end())
+                    continue;
+                const bool ok = row.value >= 0.85 * it->second;
+                std::printf("  %-13s %10.0f vs %10.0f  %s\n",
+                            row.key, row.value, it->second,
+                            ok ? "ok" : "REGRESSED");
+                gate_pass = gate_pass && ok;
+            }
+        }
+    }
+
+    if (opt.json) {
+        const char *label = std::getenv("DIVOT_BENCH_LABEL");
+        std::string r;
+        appendf(r, "  {\n");
+        appendf(r, "    \"label\": \"%s\",\n",
+                label != nullptr && *label != '\0' ? label : "local");
+        appendf(r, "    \"bench\": \"megafleet\",\n");
+        appendf(r, "    \"seed\": %llu,\n",
+                static_cast<unsigned long long>(opt.seed));
+        appendf(r, "    \"scale\": \"%s\",\n",
+                opt.full ? "full"
+                         : (opt.quick || opt.smoke) ? "quick"
+                                                    : "default");
+        appendf(r, "    \"channels\": %zu,\n", base.channels);
+        appendf(r, "    \"shards\": %u,\n", base.store.shards);
+        appendf(r, "    \"probesPerTick\": %zu,\n",
+                base.probesPerTick);
+        appendf(r, "    \"ticks\": %llu,\n",
+                static_cast<unsigned long long>(ticks));
+        appendf(r, "    \"enrollSeconds\": %.6f,\n",
+                serial.enrollSeconds);
+        appendf(r, "    \"enrollPerSec\": %.3f,\n", enrollPerSec);
+        appendf(r, "    \"probesPerSec\": %.3f,\n", probesPerSec);
+        appendf(r, "    \"peakResidentBytes\": %zu,\n",
+                serial.report.peakResidentBytes);
+        appendf(r, "    \"residentBudgetBytes\": %zu,\n",
+                base.residentBudgetBytes);
+        appendf(r, "    \"verdictDigest\": \"%016llx\",\n",
+                static_cast<unsigned long long>(
+                    serial.report.verdictDigest));
+        appendf(r, "    \"faultCrashRecoveries\": %llu,\n",
+                static_cast<unsigned long long>(
+                    faultSerial.report.crashRecoveries));
+        appendf(r, "    \"faultPendingReenroll\": %llu,\n",
+                static_cast<unsigned long long>(
+                    faultSerial.report.pendingReenroll));
+        appendf(r, "    \"capacityPass\": %s,\n",
+                capacity_pass ? "true" : "false");
+        appendf(r, "    \"determinismPass\": %s,\n",
+                determinism_pass && fault_determinism_pass
+                    ? "true" : "false");
+        appendf(r, "    \"zeroJunkPass\": %s\n",
+                junk_pass ? "true" : "false");
+        appendf(r, "  }");
+        appendRecord(record_path, r);
+    }
+
+    const bool pass = capacity_pass && determinism_pass &&
+        fault_determinism_pass && junk_pass && recovery_pass &&
+        gate_pass;
+    std::printf("\n%s\n", pass ? "ALL GATES PASS" : "GATE FAILURE");
+    return pass ? 0 : 1;
+}

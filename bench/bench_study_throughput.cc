@@ -246,7 +246,12 @@ lastCommittedRates(const char *path)
 {
     const std::string content = readWholeFile(path);
     std::map<std::string, double> rates;
-    std::size_t pos = content.rfind("\"label\"");
+    // Anchor on the last record of THIS bench: the trajectory file is
+    // shared with other benches (e.g. megafleet), whose records carry
+    // no "name" rows and would otherwise blank the baseline.
+    std::size_t pos = content.rfind("\"bench\": \"study_throughput\"");
+    if (pos == std::string::npos)
+        pos = content.rfind("\"label\"");
     if (pos == std::string::npos)
         return rates;
     while (true) {

@@ -14,6 +14,7 @@ authStateName(AuthState state)
       case AuthState::TamperAlert: return "tamper-alert";
       case AuthState::Degraded: return "degraded";
       case AuthState::Quarantine: return "quarantine";
+      case AuthState::PendingReenroll: return "pending-reenroll";
     }
     return "unknown";
 }
@@ -92,6 +93,58 @@ Authenticator::adoptEnrollment(Fingerprint fp, Waveform nominal)
     nominal_ = std::move(nominal);
     window_.clear();
     setState(AuthState::Monitoring);
+}
+
+void
+Authenticator::restoreEnrollment(Fingerprint fp, Waveform nominal)
+{
+    if (!fp.valid())
+        divot_fatal("restoring invalid enrollment for channel '%s'",
+                    channel_.c_str());
+    enrolled_ = std::move(fp);
+    nominal_ = std::move(nominal);
+    // Deliberately no window/state reset: a hydrate after eviction
+    // must be invisible to the verdict stream.
+}
+
+void
+Authenticator::releaseEnrollment()
+{
+    enrolled_ = Fingerprint();
+    nominal_ = Waveform();
+}
+
+std::size_t
+Authenticator::enrollmentBytes() const
+{
+    return enrolled_.label().size() +
+           8 * (enrolled_.raw().size() + enrolled_.residual().size() +
+                nominal_.size());
+}
+
+AuthVerdict
+Authenticator::markPendingReenroll()
+{
+    if (state_ != AuthState::PendingReenroll) {
+        divot_warn("channel '%s': enrollment record lost; channel "
+                   "fenced until re-enrolled", channel_.c_str());
+        // Whatever the window held was averaged against a calibration
+        // we can no longer trust or reproduce.
+        window_.clear();
+    }
+    releaseEnrollment();
+    setState(AuthState::PendingReenroll);
+
+    AuthVerdict verdict;
+    verdict.round = ++round_;
+    verdict.authenticated = false;
+    verdict.instrumentHealthy = false; // no evidence, not sickness —
+                                       // but fusion must not reuse the
+                                       // stale pre-loss score
+    verdict.stateAfter = state_;
+    tmRounds_.add();
+    tmAuthFail_.add();
+    return verdict;
 }
 
 void
@@ -271,6 +324,18 @@ Authenticator::checkRound(const TransmissionLine &current_line,
             tmSuppressed_.add();
     };
 
+    if (state_ == AuthState::PendingReenroll) {
+        // Calibration lost: there is nothing to authenticate against,
+        // and spending a measurement would be pure waste. The fleet
+        // scheduler normally excludes these channels from selection;
+        // this guard keeps a direct caller safe too.
+        verdict.authenticated = false;
+        verdict.instrumentHealthy = false;
+        verdict.stateAfter = state_;
+        account(verdict);
+        return verdict;
+    }
+
     if (state_ == AuthState::Quarantine) {
         // The instrument is distrusted: re-baseline it and probe for
         // health, but serve no trust decisions from its output.
@@ -299,6 +364,11 @@ Authenticator::checkRound(const TransmissionLine &current_line,
         account(verdict);
         return verdict;
     }
+
+    if (!enrolled_.valid())
+        divot_fatal("channel '%s': monitoring round without a resident "
+                    "enrollment (hydrate before probing)",
+                    channel_.c_str());
 
     IipMeasurement m =
         measureWithRetry(current_line, extra_noise, verdict.retries);

@@ -112,6 +112,38 @@ class Authenticator
     void adoptEnrollment(Fingerprint fp, Waveform nominal);
 
     /**
+     * Rehydrate a previously released enrollment without disturbing
+     * the monitoring state: unlike adoptEnrollment, the averaging
+     * window, lifecycle state, and streak counters are left exactly as
+     * they were, so an evict/restore cycle is invisible to every
+     * subsequent verdict. The caller owes us the same fingerprint that
+     * releaseEnrollment() dropped (the store's job).
+     */
+    void restoreEnrollment(Fingerprint fp, Waveform nominal);
+
+    /**
+     * Drop the enrollment fingerprint and nominal response from
+     * memory (fleet LRU eviction). Monitoring state is untouched;
+     * checkRound must not run again until restoreEnrollment.
+     */
+    void releaseEnrollment();
+
+    /** @return true while the enrollment is held in memory. */
+    bool enrollmentResident() const { return enrolled_.valid(); }
+
+    /** @return resident footprint of the enrollment data, bytes. */
+    std::size_t enrollmentBytes() const;
+
+    /**
+     * Demote the channel to PendingReenroll: its durable enrollment
+     * record is damaged beyond repair, so no verdict can be served
+     * until an operator re-enrolls. Clears the window and the resident
+     * enrollment, and returns the synthetic round verdict the fleet
+     * layer feeds into fusion (unauthenticated, no evidence).
+     */
+    AuthVerdict markPendingReenroll();
+
+    /**
      * One monitoring round against the line as it currently exists.
      *
      * @param current_line  line snapshot (possibly tampered/swapped)

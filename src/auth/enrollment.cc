@@ -300,6 +300,65 @@ readLegacyV1(const std::vector<char> &bytes,
     return true;
 }
 
+/**
+ * Lenient bank-A walk run only after the strict read failed: locate
+ * the first record frame that no longer verifies so the operator
+ * learns *which* calibration burned, not just "bank A damaged".
+ * Offsets are payload-relative (frame start); the id is best-effort —
+ * it leads the record body and usually survives a corruption that
+ * landed elsewhere in the frame.
+ */
+void
+diagnoseBankA(const std::vector<char> &bytes, EpromLoadReport &report)
+{
+    if (bytes.size() < bankHeaderSize)
+        return;
+    std::vector<char> header(bytes.begin(),
+                             bytes.begin() + bankHeaderSize);
+    Reader hr(header);
+    uint64_t magic_ver, len, crc;
+    if (!hr.u64(magic_ver) || !hr.u64(len) || !hr.u64(crc))
+        return;
+    if ((magic_ver & 0xffffffffu) != storeMagic ||
+        (magic_ver >> 32) != storeVersion ||
+        len > bytes.size() - bankHeaderSize) {
+        report.detail += " (bank A header/framing damaged)";
+        return;
+    }
+    std::vector<char> payload(
+        bytes.begin() + bankHeaderSize,
+        bytes.begin() + static_cast<long>(bankHeaderSize + len));
+    Reader pr(payload);
+    uint64_t count;
+    if (!pr.u64(count))
+        return;
+    std::size_t offset = 8;
+    for (uint64_t index = 0; index < count; ++index) {
+        uint64_t body_len = 0, body_crc = 0;
+        std::vector<char> body;
+        const bool framed = pr.u64(body_len) &&
+                            pr.raw(body, body_len) && pr.u64(body_crc);
+        if (framed && fnv1a(body) == body_crc) {
+            offset += 16 + body_len;
+            continue;
+        }
+        report.failedRecordIndex = static_cast<int64_t>(index);
+        report.failedRecordOffset = static_cast<int64_t>(offset);
+        Reader br(body);
+        std::string id;
+        if (br.str(id))
+            report.failedRecordId = id;
+        report.detail += " (bank A record " + std::to_string(index) +
+                         " at offset " + std::to_string(offset);
+        if (!report.failedRecordId.empty())
+            report.detail += ", id '" + report.failedRecordId + "'";
+        report.detail += framed ? " failed its CRC)"
+                                : " lost its framing)";
+        return;
+    }
+    report.detail += " (bank A whole-bank checksum failed)";
+}
+
 } // namespace
 
 bool
@@ -354,11 +413,13 @@ EnrollmentStore::saveToFile(const std::string &path) const
     putU64(image, payload.size());
     putU64(image, magic_ver);
 
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        return false;
-    out.write(image.data(), static_cast<long>(image.size()));
-    return static_cast<bool>(out);
+    // Atomic replace (temp sibling + flush + rename): a power cut
+    // mid-save — including mid-*scrub*, where the file being replaced
+    // is the only copy of the fleet's calibrations — leaves either the
+    // previous image or the new one, never a torn hybrid.
+    const store::WriteFault *fault =
+        saveFault_.has_value() ? &*saveFault_ : nullptr;
+    return store::atomicWriteFile(path, image, fault);
 }
 
 bool
@@ -411,8 +472,9 @@ EnrollmentStore::loadWithReport(const std::string &path,
         report.fellBack = true;
         report.records = loaded.size();
         report.detail = "bank A damaged; recovered from bank B";
-        divot_warn("enrollment file '%s': bank A damaged; recovered "
-                   "from bank B", path.c_str());
+        diagnoseBankA(bytes, report);
+        divot_warn("enrollment file '%s': %s", path.c_str(),
+                   report.detail.c_str());
         store_ = std::move(loaded);
         if (scrub_on_fallback) {
             // Scrub: rewrite a pristine dual-bank image so the next
@@ -427,6 +489,7 @@ EnrollmentStore::loadWithReport(const std::string &path,
     }
 
     report.detail = "both banks damaged (or bad magic/version)";
+    diagnoseBankA(bytes, report);
     divot_warn("enrollment file '%s' failed integrity check in both "
                "banks", path.c_str());
     return report;

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "fingerprint/fingerprint.hh"
+#include "store/io.hh"
 
 namespace divot {
 
@@ -40,7 +41,17 @@ struct EpromLoadReport
     bool fellBack = false;  //!< bank A was damaged; bank B served
     bool scrubbed = false;  //!< image was rewritten after fallback
     uint64_t records = 0;   //!< records loaded
-    std::string detail;     //!< human-readable failure/fallback cause
+    std::string detail;     //!< human-readable failure/fallback cause;
+                            //!< on bank fallback includes which bank-A
+                            //!< record frame failed (index, payload
+                            //!< byte offset, and channel id when the
+                            //!< record body was still parseable)
+    int64_t failedRecordIndex = -1;  //!< bank A record that broke the
+                                     //!< strict read (-1 = header/
+                                     //!< whole-bank damage)
+    int64_t failedRecordOffset = -1; //!< payload byte offset of that
+                                     //!< frame (-1 = unknown)
+    std::string failedRecordId;      //!< its channel id when readable
 };
 
 /**
@@ -102,8 +113,21 @@ class EnrollmentStore
     EpromLoadReport loadWithReport(const std::string &path,
                                    bool scrub_on_fallback = true);
 
+    /**
+     * Test seam: apply a simulated storage fault to every subsequent
+     * saveToFile (including the scrub rewrite inside loadWithReport).
+     * Pass std::nullopt to clear. Crash-point regression tests use
+     * this to cut the power mid-scrub and prove the original image
+     * survives.
+     */
+    void setSaveFault(std::optional<store::WriteFault> fault)
+    {
+        saveFault_ = fault;
+    }
+
   private:
     std::map<std::string, Fingerprint> store_;
+    std::optional<store::WriteFault> saveFault_;
 };
 
 } // namespace divot

@@ -34,6 +34,10 @@ enum class AuthState
                   //!< stale trust extended while it recovers
     Quarantine,   //!< instrument distrusted: access fenced off,
                   //!< recalibration in progress
+    PendingReenroll, //!< enrollment record lost beyond repair (storage
+                     //!< damage): the channel is fenced off and takes
+                     //!< no instrument slots until an operator
+                     //!< re-enrolls it — the instrument itself is fine
 };
 
 /** @return printable state name. */

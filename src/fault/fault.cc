@@ -21,6 +21,10 @@ faultKindName(FaultKind kind)
       case FaultKind::EmiBurst: return "emi-burst";
       case FaultKind::BudgetOverrun: return "budget-overrun";
       case FaultKind::EpromCorruption: return "eprom-corruption";
+      case FaultKind::StorageTornWrite: return "storage-torn-write";
+      case FaultKind::StorageCrash: return "storage-crash";
+      case FaultKind::StorageBitRot: return "storage-bit-rot";
+      case FaultKind::StorageTruncation: return "storage-truncation";
     }
     return "unknown";
 }
@@ -74,6 +78,32 @@ FaultPlan &
 FaultPlan::epromCorruption(uint64_t event, double bytes)
 {
     return add({FaultKind::EpromCorruption, event, 1, bytes, 0.0});
+}
+
+FaultPlan &
+FaultPlan::storageTornWrite(uint64_t event, double fraction)
+{
+    return add({FaultKind::StorageTornWrite, event, 1, fraction, 0.0});
+}
+
+FaultPlan &
+FaultPlan::storageCrash(uint64_t event, StorageCrashPoint point)
+{
+    return add({FaultKind::StorageCrash, event, 1,
+                static_cast<double>(point), 0.0});
+}
+
+FaultPlan &
+FaultPlan::storageBitRot(uint64_t event, uint64_t n, double bits)
+{
+    return add({FaultKind::StorageBitRot, event, n, bits, 0.0});
+}
+
+FaultPlan &
+FaultPlan::storageTruncation(uint64_t event, double keep_fraction)
+{
+    return add({FaultKind::StorageTruncation, event, 1, keep_fraction,
+                0.0});
 }
 
 uint64_t
@@ -159,10 +189,75 @@ FaultInjector::frameFor(uint64_t measurement_index) const
                 ? spec.magnitude : 1.0;
             break;
           case FaultKind::EpromCorruption:
-            break; // storage faults are applied by corruptFile()
+          case FaultKind::StorageTornWrite:
+          case FaultKind::StorageCrash:
+          case FaultKind::StorageBitRot:
+          case FaultKind::StorageTruncation:
+            break; // storage faults are applied by corruptFile() /
+                   // storageFrameFor(), not per measurement
         }
     }
     return frame;
+}
+
+StorageFault
+FaultInjector::storageFrameFor(uint64_t event_index) const
+{
+    // Domain-separated from the measurement frames (odd/even tags of
+    // frameFor): storage events use their own tag arithmetic so a
+    // plan mixing instrument and storage cells keeps both streams
+    // pure functions of their respective indices.
+    StorageFault fault;
+    fault.rotRng = base_.forkStable(0x570A6E00ULL + event_index * 2);
+    Rng draw = base_.forkStable(0x570A6E01ULL + event_index * 2);
+    for (const FaultSpec &spec : plan_.specs()) {
+        if (!active(spec, event_index))
+            continue;
+        switch (spec.kind) {
+          case FaultKind::StorageTornWrite:
+            fault.torn = true;
+            fault.tornFraction = spec.magnitude > 0.0 &&
+                                 spec.magnitude < 1.0
+                ? spec.magnitude : draw.uniform(0.0, 1.0);
+            break;
+          case FaultKind::StorageCrash:
+            fault.crash = true;
+            fault.crashPoint = static_cast<StorageCrashPoint>(
+                std::min<int>(3, std::max<int>(
+                    0, static_cast<int>(spec.magnitude))));
+            break;
+          case FaultKind::StorageBitRot:
+            fault.bitRotBits += spec.magnitude >= 1.0
+                ? static_cast<uint64_t>(spec.magnitude) : 1u;
+            break;
+          case FaultKind::StorageTruncation:
+            fault.truncate = true;
+            fault.truncateKeep = spec.magnitude >= 0.0 &&
+                                 spec.magnitude <= 1.0
+                ? spec.magnitude : 0.5;
+            break;
+          default:
+            break; // instrument cells are resolved by frameFor()
+        }
+    }
+    return fault;
+}
+
+bool
+FaultInjector::hasStorageFaults() const
+{
+    for (const FaultSpec &spec : plan_.specs()) {
+        switch (spec.kind) {
+          case FaultKind::StorageTornWrite:
+          case FaultKind::StorageCrash:
+          case FaultKind::StorageBitRot:
+          case FaultKind::StorageTruncation:
+            return true;
+          default:
+            break;
+        }
+    }
+    return false;
 }
 
 bool

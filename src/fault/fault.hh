@@ -42,6 +42,26 @@ enum class FaultKind
     EmiBurst,             //!< transient sinusoidal interference burst
     BudgetOverrun,        //!< measurement consumes extra bus cycles
     EpromCorruption,      //!< calibration-store byte corruption
+
+    /** @name Storage fault cells (enrollment-database IO events). */
+    ///@{
+    StorageTornWrite,     //!< power cut mid-write: only a prefix lands
+    StorageCrash,         //!< power cut at a chosen commit point
+    StorageBitRot,        //!< stuck-at bit rot in a written file
+    StorageTruncation,    //!< shard/journal file loses its tail
+    ///@}
+};
+
+/**
+ * Where a StorageCrash power cut lands relative to one store IO
+ * operation (see DESIGN.md §14.4 for the crash matrix).
+ */
+enum class StorageCrashPoint
+{
+    BeforeWrite = 0,  //!< nothing of this operation reaches the medium
+    AfterJournal = 1, //!< journal entry durable, commit never ran
+    BeforeCommit = 2, //!< temp image written, rename never ran
+    AfterCommit = 3,  //!< operation durable; process dies right after
 };
 
 /** @return printable fault-kind name. */
@@ -85,6 +105,23 @@ class FaultPlan
                         double hz = 25e6);
     FaultPlan &budgetOverrun(uint64_t first, uint64_t n, double factor);
     FaultPlan &epromCorruption(uint64_t event, double bytes = 1.0);
+
+    /** @name Storage cells, indexed by the store's IO-event counter. */
+    ///@{
+    /** Power cut mid-write at IO event `event`: only `fraction` of the
+     *  payload reaches the medium. */
+    FaultPlan &storageTornWrite(uint64_t event, double fraction = 0.5);
+    /** Power cut at `point` of IO event `event`. */
+    FaultPlan &storageCrash(uint64_t event,
+                            StorageCrashPoint point =
+                                StorageCrashPoint::AfterJournal);
+    /** Stuck-at bit rot: force `bits` deterministic bits of the file
+     *  written at IO event `event` (n events from `event` on). */
+    FaultPlan &storageBitRot(uint64_t event, uint64_t n, double bits);
+    /** Truncate the file written at IO event `event` to keep the
+     *  leading `keepFraction` of its bytes. */
+    FaultPlan &storageTruncation(uint64_t event,
+                                 double keepFraction = 0.5);
     ///@}
 
     /** @return all scheduled specs. */
@@ -126,6 +163,31 @@ struct FaultFrame
 };
 
 /**
+ * The storage-fault effects resolved for one enrollment-database IO
+ * event (journal append, shard commit, checkpoint). Like FaultFrame,
+ * a pure function of (injector seed, event index): campaigns hit the
+ * same byte of the same file no matter the thread count or how many
+ * unrelated draws happened in between.
+ */
+struct StorageFault
+{
+    bool torn = false;        //!< write only a prefix, then power cut
+    double tornFraction = 1.0; //!< fraction of bytes that land
+    bool crash = false;       //!< power cut at `crashPoint`
+    StorageCrashPoint crashPoint = StorageCrashPoint::AfterJournal;
+    uint64_t bitRotBits = 0;  //!< stuck-at bits to force post-write
+    bool truncate = false;    //!< chop the written file's tail
+    double truncateKeep = 1.0; //!< fraction of bytes kept
+    Rng rotRng{0};            //!< stream for bit positions / levels
+
+    /** @return true when any storage fault applies to this event. */
+    bool any() const
+    {
+        return torn || crash || bitRotBits > 0 || truncate;
+    }
+};
+
+/**
  * Samples a FaultPlan deterministically per measurement.
  */
 class FaultInjector
@@ -155,6 +217,16 @@ class FaultInjector
 
     /** @return true when an EPROM fault is scheduled at this event. */
     bool epromFaultAt(uint64_t event_index) const;
+
+    /**
+     * Resolve the storage-fault effects for one enrollment-database IO
+     * event (the store's own event counter, not the measurement
+     * index). Deterministic per (seed, event index).
+     */
+    StorageFault storageFrameFor(uint64_t event_index) const;
+
+    /** @return true when any storage cell is scheduled at all. */
+    bool hasStorageFaults() const;
 
     /**
      * Apply any EPROM corruption scheduled at `event_index` to a

@@ -99,6 +99,38 @@ class BusChannel
     /** @return current authenticator lifecycle state. */
     AuthState state() const { return auth_->state(); }
 
+    /** @name Enrollment hydrate/evict hooks (fleet store layer). */
+    ///@{
+    /** @return true while the enrollment fingerprint is in memory. */
+    bool enrollmentResident() const
+    {
+        return auth_->enrollmentResident();
+    }
+
+    /** @return resident footprint of the enrollment data, bytes. */
+    std::size_t enrollmentBytes() const
+    {
+        return auth_->enrollmentBytes();
+    }
+
+    /** Evict the enrollment from memory (verdict-invisible). */
+    void releaseEnrollment() { auth_->releaseEnrollment(); }
+
+    /** Rehydrate a previously evicted enrollment (verdict-invisible:
+     *  no window/state reset — see Authenticator::restoreEnrollment). */
+    void restoreEnrollment(Fingerprint fp, Waveform nominal)
+    {
+        auth_->restoreEnrollment(std::move(fp), std::move(nominal));
+    }
+
+    /** Demote to PendingReenroll after unrecoverable storage damage;
+     *  @return the synthetic verdict to feed into fleet fusion. */
+    AuthVerdict markPendingReenroll()
+    {
+        return auth_->markPendingReenroll();
+    }
+    ///@}
+
     /** @return measurement wall-clock accumulated so far, seconds. */
     double elapsed() const { return wall_; }
 

@@ -31,6 +31,8 @@ riskWeight(AuthState state)
     case AuthState::TamperAlert:
     case AuthState::Quarantine:
         return 8;
+    case AuthState::PendingReenroll:
+        return 0; // nothing to authenticate against: never selected
     }
     return 1;
 }
@@ -96,8 +98,165 @@ ChannelScheduler::addChannel(BusChannelConfig config)
         "fleet.channel." + channels_.back()->name() + ".probes"));
     lastProbeTick_.push_back(-1);
     probeCounts_.push_back(0);
+    generations_.push_back(0);
     fleetAuth_.setChannelCount(channels_.size());
     return index;
+}
+
+void
+ChannelScheduler::attachStore(store::EnrollmentDb *db,
+                              std::size_t resident_budget_bytes)
+{
+    db_ = db;
+    residentBudget_ = resident_budget_bytes;
+    resident_ = 0;
+    if (db_ == nullptr)
+        return;
+    Registry &reg = telemetry_->registry();
+    tmHydrates_ = reg.counter("store.hydrates");
+    tmEvictions_ = reg.counter("store.evictions");
+    tmPendingReenroll_ = reg.counter("store.pending_reenroll");
+    tmScrubTicks_ = reg.counter("store.scrub.idle_ticks");
+    if (calibrated_) {
+        persistAll();
+        enforceResidentBudget(-1);
+    }
+}
+
+bool
+ChannelScheduler::persistChannel(std::size_t index)
+{
+    if (db_ == nullptr)
+        return false;
+    const BusChannel &ch = *channels_[index];
+    if (!ch.enrollmentResident())
+        return true; // evicted: the durable copy is already current
+    store::EnrollmentRecord record;
+    record.id = ch.name();
+    record.fp = ch.authenticator().enrolled();
+    record.nominal = ch.authenticator().nominal();
+    if (ch.state() == AuthState::Quarantine)
+        record.flags |= store::kRecordQuarantined;
+    record.generation = generations_[index];
+    if (!db_->put(record))
+        return false;
+    ++generations_[index];
+    return true;
+}
+
+void
+ChannelScheduler::persistAll()
+{
+    resident_ = 0;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        if (!persistChannel(i))
+            divot_warn("fleet: failed to persist enrollment for "
+                       "channel '%s'", channels_[i]->name().c_str());
+        if (channels_[i]->enrollmentResident())
+            resident_ += channels_[i]->enrollmentBytes();
+    }
+}
+
+void
+ChannelScheduler::demoteToPendingReenroll(std::size_t index,
+                                          double wall)
+{
+    BusChannel &ch = *channels_[index];
+    const std::size_t bytes =
+        ch.enrollmentResident() ? ch.enrollmentBytes() : 0;
+    const AuthVerdict verdict = ch.markPendingReenroll();
+    resident_ -= std::min(resident_, bytes);
+    tmPendingReenroll_.add();
+    // The fused verdict must stop reusing this wire's stale score the
+    // moment the loss is known, so the demotion is observed like a
+    // probe even though no instrument ran.
+    fleetAuth_.observe(index, verdict);
+    TelemetryEvent event;
+    event.time = wall;
+    event.ordinal = tick_;
+    event.kind = "store.lost";
+    event.tag = ch.name();
+    event.detail = "enrollment unrecoverable; pending re-enroll";
+    telemetry_->events().record(std::move(event));
+}
+
+bool
+ChannelScheduler::hydrateChannel(std::size_t index, double wall)
+{
+    BusChannel &ch = *channels_[index];
+    if (ch.state() == AuthState::PendingReenroll)
+        return false;
+    if (db_ == nullptr || ch.enrollmentResident())
+        return true;
+    store::EnrollmentRecord record;
+    if (db_->get(ch.name(), record) == store::DbGetStatus::Ok) {
+        ch.restoreEnrollment(std::move(record.fp),
+                             std::move(record.nominal));
+        resident_ += ch.enrollmentBytes();
+        tmHydrates_.add();
+        return true;
+    }
+    // Missing or damaged in every bank: for an enrolled channel both
+    // mean the calibration is gone. Fence the channel, keep the fleet.
+    demoteToPendingReenroll(index, wall);
+    return false;
+}
+
+void
+ChannelScheduler::enforceResidentBudget(int64_t current_tick)
+{
+    if (db_ == nullptr || residentBudget_ == 0 ||
+        resident_ <= residentBudget_) {
+        return;
+    }
+    // LRU over (last probe tick, index): deterministic, and channels
+    // probed this tick are pinned — the tick working set is the floor
+    // below which the budget cannot squeeze.
+    struct Candidate
+    {
+        int64_t lastProbe;
+        std::size_t index;
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        if (!channels_[i]->enrollmentResident())
+            continue;
+        if (generations_[i] == 0)
+            continue; // never persisted: eviction would lose it
+        if (lastProbeTick_[i] == current_tick)
+            continue;
+        candidates.push_back({lastProbeTick_[i], i});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.lastProbe != b.lastProbe)
+                      return a.lastProbe < b.lastProbe;
+                  return a.index < b.index;
+              });
+    for (const Candidate &cand : candidates) {
+        if (resident_ <= residentBudget_)
+            break;
+        BusChannel &ch = *channels_[cand.index];
+        const std::size_t bytes = ch.enrollmentBytes();
+        ch.releaseEnrollment();
+        resident_ -= std::min(resident_, bytes);
+        tmEvictions_.add();
+    }
+}
+
+bool
+ChannelScheduler::reenrollChannel(std::size_t index)
+{
+    BusChannel &ch = channel(index);
+    const bool was_resident = ch.enrollmentResident();
+    const std::size_t before = was_resident ? ch.enrollmentBytes() : 0;
+    ch.calibrate();
+    if (db_ != nullptr) {
+        resident_ -= std::min(resident_, before);
+        resident_ += ch.enrollmentBytes();
+        return persistChannel(index);
+    }
+    return true;
 }
 
 void
@@ -114,6 +273,10 @@ ChannelScheduler::calibrateAll()
     for (const auto &channel : channels_)
         slot_ = std::max(slot_, channel->roundDuration());
     calibrated_ = true;
+    if (db_ != nullptr) {
+        persistAll();
+        enforceResidentBudget(-1);
+    }
     divot_inform("fleet calibrated: %zu channels, %zu instruments, "
                  "%s policy, tick %.3g s",
                  channels_.size(), config_.instruments,
@@ -134,6 +297,11 @@ ChannelScheduler::selectChannels() const
     std::vector<Ranked> ranked;
     ranked.reserve(channels_.size());
     for (std::size_t i = 0; i < channels_.size(); ++i) {
+        // A PendingReenroll channel has no enrollment to probe
+        // against; spending an instrument slot on it is pure waste
+        // under either policy.
+        if (channels_[i]->state() == AuthState::PendingReenroll)
+            continue;
         const uint64_t staleness = static_cast<uint64_t>(
             static_cast<int64_t>(tick_) - lastProbeTick_[i]);
         uint64_t priority = staleness;
@@ -162,14 +330,31 @@ ChannelScheduler::tick()
     if (!calibrated_)
         divot_fatal("fleet tick() before calibrateAll()");
 
-    const std::vector<std::size_t> selected = selectChannels();
+    std::vector<std::size_t> selected = selectChannels();
     const double wall = slot_ * static_cast<double>(tick_);
+
+    SpanScope span = telemetry_->tracer().open("fleet.tick", "fleet",
+                                               wall, tick_);
+
+    if (db_ != nullptr) {
+        // Serial hydration phase, ascending channel order: evicted
+        // enrollments are restored from the store before the parallel
+        // probes, and channels whose records are gone are demoted in
+        // place of probing. Serial + index-ordered keeps the store's
+        // IO-event sequence (and any injected storage fault) a pure
+        // function of the tick, not the thread count.
+        std::vector<std::size_t> ready;
+        ready.reserve(selected.size());
+        for (const std::size_t c : selected) {
+            if (hydrateChannel(c, wall))
+                ready.push_back(c);
+        }
+        selected = std::move(ready);
+    }
 
     // Scheduling metrics captured before the probes run: staleness and
     // risk weight are exactly the quantities selectChannels() ranked
     // on, and the probe updates them.
-    SpanScope span = telemetry_->tracer().open("fleet.tick", "fleet",
-                                               wall, tick_);
     for (const std::size_t c : selected) {
         tmStaleness_.record(static_cast<uint64_t>(
             static_cast<int64_t>(tick_) - lastProbeTick_[c]));
@@ -226,6 +411,29 @@ ChannelScheduler::tick()
     }
     round.fused = fleetAuth_.evaluate(tick_);
     lastVerdict_ = round.fused;
+
+    if (db_ != nullptr) {
+        enforceResidentBudget(static_cast<int64_t>(tick_));
+        if (selected.size() < config_.instruments) {
+            // Idle instrument slots pay for background maintenance:
+            // one shard gets a scrub pass, repairing any single-bank
+            // damage while the siblings are still healthy. Channels
+            // whose records turn out damaged in both banks are fenced
+            // off right here rather than at their next probe.
+            const store::ScrubResult scrub = db_->scrubStep();
+            tmScrubTicks_.add();
+            for (const std::string &id : scrub.lostIds) {
+                for (std::size_t i = 0; i < channels_.size(); ++i) {
+                    if (channels_[i]->name() == id &&
+                        channels_[i]->state() !=
+                            AuthState::PendingReenroll) {
+                        demoteToPendingReenroll(i, wall);
+                        break;
+                    }
+                }
+            }
+        }
+    }
 
     tmTicks_.add();
     tmProbes_.add(selected.size());

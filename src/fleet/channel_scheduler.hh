@@ -33,6 +33,7 @@
 #include "fleet/bus_channel.hh"
 #include "fleet/fleet_auth.hh"
 #include "itdr/kernels/soa.hh"
+#include "store/enrollment_db.hh"
 #include "telemetry/telemetry.hh"
 #include "util/rng.hh"
 
@@ -174,8 +175,46 @@ class ChannelScheduler
     Telemetry &telemetry() { return *telemetry_; }
     const Telemetry &telemetry() const { return *telemetry_; }
 
+    /**
+     * Back the fleet with a durable enrollment database and switch to
+     * lazy hydration: enrollments are persisted to `db`, fingerprints
+     * are loaded on first probe and evicted LRU whenever the resident
+     * total exceeds `resident_budget_bytes` (0 = unlimited; the
+     * channels selected for the current tick are always kept, so the
+     * tick working set is the effective floor). Channels whose records
+     * come back unrecoverable are demoted to PendingReenroll instead
+     * of aborting the fleet. `db` is borrowed and must outlive the
+     * scheduler (and be open()ed).
+     *
+     * Hydration and eviction run in the serial sections of a tick, in
+     * ascending channel order, so fused verdicts stay bit-identical at
+     * any thread count — with or without a store attached.
+     */
+    void attachStore(store::EnrollmentDb *db,
+                     std::size_t resident_budget_bytes = 0);
+
+    /** @return bytes of enrollment data currently resident. */
+    std::size_t residentEnrollmentBytes() const { return resident_; }
+
+    /**
+     * Operator path out of PendingReenroll: re-calibrate the channel
+     * against its current line and persist the fresh enrollment.
+     *
+     * @return false when no store is attached or the persist failed
+     */
+    bool reenrollChannel(std::size_t index);
+
   private:
     std::vector<std::size_t> selectChannels() const;
+    bool persistChannel(std::size_t index);
+    void persistAll();
+    /** Hydrate `index` from the store; demotes to PendingReenroll on
+     *  unrecoverable/missing records. @return probe-ready */
+    bool hydrateChannel(std::size_t index, double wall);
+    /** Evict LRU enrollments until the resident budget holds;
+     *  channels probed at `current_tick` are pinned. */
+    void enforceResidentBudget(int64_t current_tick);
+    void demoteToPendingReenroll(std::size_t index, double wall);
 
     FleetConfig config_;
     Rng rng_;
@@ -197,6 +236,14 @@ class ChannelScheduler
      *  leader's worker, so one arena per group suffices). */
     std::vector<StrobeSoA> kernelArenas_;
 
+    /** @name Durable-store backing (lazy hydrate / LRU evict). */
+    ///@{
+    store::EnrollmentDb *db_ = nullptr; //!< borrowed, may be null
+    std::size_t residentBudget_ = 0;    //!< bytes; 0 = unlimited
+    std::size_t resident_ = 0;          //!< resident enrollment bytes
+    std::vector<uint64_t> generations_; //!< persists per channel
+    ///@}
+
     /** @name Fleet-level metric handles. */
     ///@{
     Counter tmTicks_;
@@ -216,6 +263,10 @@ class ChannelScheduler
     HistogramMetric tmStaleness_;
     HistogramMetric tmRiskWeight_;
     std::vector<Counter> tmChannelProbes_; //!< indexed like channels_
+    Counter tmHydrates_;        //!< store.hydrates
+    Counter tmEvictions_;       //!< store.evictions
+    Counter tmPendingReenroll_; //!< store.pending_reenroll
+    Counter tmScrubTicks_;      //!< store.scrub.idle_ticks
     ///@}
 };
 

@@ -60,6 +60,11 @@ FleetAuthenticator::evaluate(uint64_t tick) const
             ++out.quarantinedWires;
             continue; // distrusted instrument: no score contribution
         }
+        if (state == AuthState::PendingReenroll) {
+            ++out.pendingReenrollWires;
+            continue; // no calibration to authenticate against: the
+                      // wire counts in the posture, never the fusion
+        }
         if (track.last.tamperAlarm)
             ++tampered;
         if (track.last.authenticated)

@@ -49,6 +49,9 @@ struct FleetVerdict
     std::size_t tamperedWires = 0; //!< latest verdict alarming
     std::size_t degradedWires = 0; //!< channels in Degraded
     std::size_t quarantinedWires = 0; //!< channels in Quarantine
+    std::size_t pendingReenrollWires = 0; //!< channels whose durable
+                                          //!< enrollment was lost
+                                          //!< (PendingReenroll)
     std::vector<double> wireScores; //!< scores fused, canonical
                                     //!< channel order
 };

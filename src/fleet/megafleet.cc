@@ -1,0 +1,314 @@
+#include "fleet/megafleet.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "fingerprint/fingerprint.hh"
+#include "store/io.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace divot {
+
+namespace {
+
+/** Domain-separation tags for the synthetic channel model. */
+constexpr uint64_t kTagMegaChannel = 0x4D454741000000ULL; // "MEGA"
+constexpr uint64_t kTagMegaProbe = 0x4D4550524F4245ULL;   // "MEPROBE"
+
+/** Mix (channel, tick) into one forkStable tag. Multiplicative
+ *  spreading keeps distinct pairs on distinct tags for any fleet and
+ *  horizon this simulator can reach. */
+uint64_t
+probeTag(std::size_t channel, uint64_t tick)
+{
+    uint64_t h = kTagMegaProbe;
+    h ^= (tick + 1) * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<uint64_t>(channel) + 1) * 0xc2b2ae3d27d4eb4fULL;
+    return h;
+}
+
+/** Mean-removed, unit-L2 residual of a raw trace — the same
+ *  normalization Fingerprint::fromMeasurement applies, reproduced
+ *  here because synthetic channels have no iTDR measurement. */
+Waveform
+makeResidual(const std::vector<double> &raw)
+{
+    double mean = 0.0;
+    for (double v : raw)
+        mean += v;
+    mean /= raw.empty() ? 1.0 : static_cast<double>(raw.size());
+    std::vector<double> res(raw.size());
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        res[i] = raw[i] - mean;
+        norm2 += res[i] * res[i];
+    }
+    const double norm = std::sqrt(norm2);
+    if (norm > 0.0)
+        for (double &v : res)
+            v /= norm;
+    return Waveform(1.0, std::move(res));
+}
+
+Fingerprint
+makeFingerprint(std::vector<double> raw, std::string label)
+{
+    Waveform residual = makeResidual(raw);
+    return Fingerprint::fromParts(Waveform(1.0, std::move(raw)),
+                                  std::move(residual),
+                                  std::move(label));
+}
+
+} // namespace
+
+std::string
+MegaFleet::channelId(std::size_t index)
+{
+    return "ch" + std::to_string(index);
+}
+
+MegaFleet::MegaFleet(MegaFleetConfig config, Rng rng)
+    : config_(std::move(config)),
+      rng_(rng),
+      telemetry_(new Telemetry(config_.telemetry)),
+      pool_(new ThreadPool(config_.threads))
+{
+    if (config_.channels == 0)
+        config_.channels = 1;
+    if (config_.fingerprintBins == 0)
+        config_.fingerprintBins = 8;
+    if (config_.probesPerTick == 0)
+        config_.probesPerTick = 1;
+    slots_.resize(config_.channels);
+
+    store::ensureDir(config_.store.directory);
+    db_.reset(new store::EnrollmentDb(config_.store));
+    db_->attachTelemetry(telemetry_.get());
+    if (!db_->open())
+        divot_fatal("megafleet: cannot open enrollment db at '%s'",
+                    config_.store.directory.c_str());
+
+    Registry &reg = telemetry_->registry();
+    tmTicks_ = reg.counter("megafleet.ticks");
+    tmProbes_ = reg.counter("megafleet.probes");
+    tmHydrates_ = reg.counter("megafleet.hydrates");
+    tmPending_ = reg.counter("megafleet.pending_reenroll");
+    tmCrashRecoveries_ = reg.counter("megafleet.crash_recoveries");
+}
+
+MegaFleet::~MegaFleet() = default;
+
+void
+MegaFleet::attachFaultInjector(const FaultInjector *injector)
+{
+    injector_ = injector;
+    db_->attachFaultInjector(injector_);
+}
+
+std::vector<double>
+MegaFleet::syntheticEnrollment(std::size_t index) const
+{
+    Rng chan = rng_.forkStable(kTagMegaChannel + index);
+    std::vector<double> raw(config_.fingerprintBins);
+    for (double &v : raw)
+        v = chan.uniform(0.25, 1.0);
+    return raw;
+}
+
+void
+MegaFleet::reopenDb()
+{
+    db_.reset(new store::EnrollmentDb(config_.store));
+    db_->attachTelemetry(telemetry_.get());
+    db_->attachFaultInjector(injector_);
+    if (!db_->open())
+        divot_fatal("megafleet: recovery open failed at '%s'",
+                    config_.store.directory.c_str());
+    ++report_.crashRecoveries;
+    tmCrashRecoveries_.add();
+}
+
+uint64_t
+MegaFleet::enrollAll()
+{
+    // Serial, ascending index: the db's IO-event sequence — and with
+    // it every injected storage fault — is a pure function of the
+    // fleet composition.
+    for (std::size_t i = 0; i < config_.channels; ++i) {
+        store::EnrollmentRecord rec;
+        rec.id = channelId(i);
+        rec.fp = makeFingerprint(syntheticEnrollment(i), rec.id);
+        rec.generation = 1;
+        bool durable = false;
+        // A simulated power cut kills the handle mid-put; reopening
+        // replays the journal, after which the interrupted record is
+        // simply re-put. Bounded attempts guard against a fault plan
+        // that crashes the very first IO event of every recovery.
+        for (int attempt = 0; attempt < 4 && !durable; ++attempt) {
+            if (db_->alive() && db_->put(rec)) {
+                durable = true;
+                break;
+            }
+            if (!db_->alive())
+                reopenDb();
+        }
+        if (durable) {
+            ++report_.enrolled;
+        } else {
+            slots_[i].state = 1;
+            ++report_.pendingReenroll;
+            tmPending_.add();
+        }
+    }
+    // Land every overlay in its shard image so monitoring ticks read
+    // pure shard files (hydration never consults overlays).
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        if (db_->alive() && db_->checkpoint())
+            break;
+        if (!db_->alive())
+            reopenDb();
+    }
+    return report_.enrolled;
+}
+
+MegaFleetVerdict
+MegaFleet::tick()
+{
+    // --- Select: round-robin over channels still monitoring. -------
+    std::vector<std::size_t> batch;
+    batch.reserve(config_.probesPerTick);
+    for (std::size_t scanned = 0;
+         scanned < config_.channels &&
+         batch.size() < config_.probesPerTick;
+         ++scanned) {
+        const std::size_t i = cursor_;
+        cursor_ = (cursor_ + 1) % config_.channels;
+        if (slots_[i].state == 0)
+            batch.push_back(i);
+    }
+
+    // --- Hydrate: group by shard so each shard file is read at most
+    // once per tick; records are released when the tick ends. Serial,
+    // ascending shard order (determinism contract). ------------------
+    std::map<unsigned, std::vector<std::size_t>> byShard;
+    for (std::size_t i : batch)
+        byShard[db_->shardOf(channelId(i))].push_back(i);
+
+    struct Hydrated
+    {
+        std::size_t channel;
+        store::EnrollmentRecord rec;
+    };
+    std::vector<Hydrated> live;
+    live.reserve(batch.size());
+    std::size_t residentBytes = 0;
+    std::size_t pendingThisTick = 0;
+    for (auto &entry : byShard) {
+        std::vector<char> image;
+        const bool haveImage =
+            store::readFile(db_->shardPath(entry.first), image);
+        for (std::size_t i : entry.second) {
+            store::EnrollmentRecord rec;
+            const int found = haveImage
+                ? store::findShardRecord(image, channelId(i), rec)
+                : 0;
+            if (found == 1 &&
+                (rec.flags & store::kRecordPendingReenroll) == 0) {
+                residentBytes += rec.residentBytes();
+                live.push_back(Hydrated{i, std::move(rec)});
+                ++report_.hydrates;
+                tmHydrates_.add();
+            } else {
+                // Missing or damaged in every bank: fence the channel
+                // instead of authenticating junk.
+                slots_[i].state = 1;
+                ++report_.pendingReenroll;
+                ++pendingThisTick;
+                tmPending_.add();
+            }
+        }
+        report_.peakResidentBytes =
+            std::max(report_.peakResidentBytes,
+                     residentBytes + image.size());
+    }
+    report_.peakResidentBytes =
+        std::max(report_.peakResidentBytes, residentBytes);
+
+    // --- Probe: parallel, disjoint slots, forkStable noise keyed by
+    // (channel, tick) — bit-identical at any thread count. -----------
+    std::vector<double> scores(live.size(), 0.0);
+    std::vector<uint8_t> tampered(live.size(), 0);
+    const uint64_t now = tick_;
+    pool_->parallelFor(live.size(), [&](std::size_t j) {
+        const Hydrated &h = live[j];
+        Rng noise = rng_.forkStable(probeTag(h.channel, now));
+        std::vector<double> raw(h.rec.fp.raw().samples());
+        for (double &v : raw)
+            v *= 1.0 + config_.noiseSigma * noise.gaussian();
+        const Fingerprint probe =
+            makeFingerprint(std::move(raw), channelId(h.channel));
+        scores[j] = similarity(h.rec.fp, probe);
+        tampered[j] =
+            peakError(h.rec.fp, probe) > config_.tamperThreshold
+            ? 1 : 0;
+    });
+    for (std::size_t j = 0; j < live.size(); ++j) {
+        slots_[live[j].channel].lastScore =
+            static_cast<float>(scores[j]);
+        slots_[live[j].channel].tampered = tampered[j] != 0;
+    }
+
+    // --- Fuse (serial). ---------------------------------------------
+    MegaFleetVerdict v;
+    v.tick = tick_;
+    v.contributingWires = live.size();
+    v.pendingReenrollWires = pendingThisTick;
+    for (uint8_t t : tampered)
+        v.tamperedWires += t;
+    if (!live.empty()) {
+        v.fusedSimilarity = fuseScores(config_.fusion, scores);
+        v.busAuthenticated =
+            v.fusedSimilarity >= config_.similarityThreshold;
+    }
+    const unsigned quorum =
+        config_.tamperWireVotes == 0 ? 1 : config_.tamperWireVotes;
+    v.tamperAlarm = v.tamperedWires >= quorum;
+    v.busTrusted = v.busAuthenticated && !v.tamperAlarm;
+
+    // Fold the verdict into the running FNV digest — the quantity the
+    // 1-vs-N-thread and fault/no-fault identity checks compare.
+    std::vector<char> buf;
+    store::putU64(buf, report_.verdictDigest);
+    store::putU64(buf, v.tick);
+    store::putU64(buf, (v.busAuthenticated ? 1u : 0u) |
+                           (v.tamperAlarm ? 2u : 0u) |
+                           (v.busTrusted ? 4u : 0u));
+    store::putF64(buf, v.fusedSimilarity);
+    store::putU64(buf, v.contributingWires);
+    store::putU64(buf, v.tamperedWires);
+    store::putU64(buf, v.pendingReenrollWires);
+    report_.verdictDigest = store::fnv1a(buf);
+
+    ++tick_;
+    ++report_.ticks;
+    report_.probes += live.size();
+    report_.lastTrusted = v.busTrusted;
+    report_.lastFusedSimilarity = v.fusedSimilarity;
+    tmTicks_.add();
+    tmProbes_.add(live.size());
+    return v;
+}
+
+MegaFleetReport
+MegaFleet::run(uint64_t ticks)
+{
+    for (uint64_t t = 0; t < ticks; ++t)
+        tick();
+    return report_;
+}
+
+} // namespace divot

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * MegaFleet — a bounded-memory fleet service for very large channel
+ * counts (10^5+), built directly on the sharded EnrollmentDb.
+ *
+ * The full BusChannel stack fabricates a transmission line, an
+ * environment model, and an instrument per channel — megabytes and
+ * milliseconds each, fine for dozens of wires, impossible for a
+ * hundred thousand. MegaFleet keeps the *persistence and fusion*
+ * semantics of the fleet layer while replacing the physics with a
+ * deterministic synthetic channel model:
+ *
+ *  - enrollment fingerprint of channel i = a waveform drawn from
+ *    `rng.forkStable(kTagMegaChannel + i)` — a pure function of the
+ *    fleet seed and the index, never materialized fleet-wide;
+ *  - a probe of channel i at tick t = that enrollment plus noise from
+ *    `forkStable(mix(i, t))`, so any probe can be recomputed from
+ *    scratch without holding anything resident.
+ *
+ * Memory contract: the per-channel registry holds only lifecycle
+ * state and the latest fused score (O(10 bytes) per channel). All
+ * fingerprints live in the EnrollmentDb; each tick hydrates exactly
+ * the probed batch — grouped by shard so every shard file is read at
+ * most once per tick — and releases it when the tick ends. Peak
+ * resident enrollment bytes are reported so benches can assert the
+ * budget held.
+ *
+ * Determinism contract: probes of one tick write disjoint slots and
+ * draw only from forkStable streams; hydration, fusion, and every
+ * EnrollmentDb mutation run in serial sections in ascending channel
+ * order. Fused verdicts are therefore bit-identical at any thread
+ * count, with or without an active storage FaultPlan (the db's
+ * IO-event sequence is thread-independent either way).
+ *
+ * Crash behavior: a simulated power cut (StorageCrash cell) kills the
+ * db handle mid-enrollment; MegaFleet reopens the directory — which
+ * replays the journal — and continues, re-putting the interrupted
+ * record. Channels whose records are damaged beyond every recovery
+ * path land in PendingReenroll and stop contributing evidence; they
+ * never authenticate junk.
+ */
+
+#ifndef DIVOT_FLEET_MEGAFLEET_HH
+#define DIVOT_FLEET_MEGAFLEET_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fingerprint/fusion.hh"
+#include "store/enrollment_db.hh"
+#include "telemetry/telemetry.hh"
+#include "util/rng.hh"
+
+namespace divot {
+
+/** MegaFleet tuning. */
+struct MegaFleetConfig
+{
+    std::size_t channels = 100000;  //!< fleet size
+    std::size_t fingerprintBins = 32; //!< samples per synthetic IIP
+    double noiseSigma = 1e-4;       //!< probe noise, relative
+    double similarityThreshold = 0.35; //!< fused-score accept bar
+    double tamperThreshold = 1e-6;  //!< per-wire peak-error alarm bar
+    unsigned tamperWireVotes = 3;   //!< M-of-N bus alarm quorum
+    FusionConfig fusion;            //!< similarity fusion rule
+    unsigned threads = 0;           //!< worker threads (0 = hardware)
+    std::size_t probesPerTick = 4096; //!< wires probed per tick
+    store::EnrollmentDbConfig store;  //!< shard directory + tunables
+    std::size_t residentBudgetBytes = 32u << 20; //!< hydration budget
+    TelemetryConfig telemetry;      //!< observability (on by default)
+};
+
+/** Summary of a MegaFleet run. */
+struct MegaFleetReport
+{
+    uint64_t enrolled = 0;       //!< records durably enrolled
+    uint64_t crashRecoveries = 0; //!< db reopen+replay cycles survived
+    uint64_t ticks = 0;          //!< monitoring ticks executed
+    uint64_t probes = 0;         //!< per-wire probes performed
+    uint64_t hydrates = 0;       //!< records hydrated from shards
+    uint64_t pendingReenroll = 0; //!< channels fenced (records lost)
+    bool lastTrusted = false;    //!< busTrusted after the final tick
+    double lastFusedSimilarity = 0.0; //!< fused score, final tick
+    uint64_t verdictDigest = 0;  //!< FNV-1a over every fused verdict
+                                 //!< (bit-identity comparisons)
+    std::size_t peakResidentBytes = 0; //!< max hydrated bytes held at
+                                       //!< any instant
+};
+
+/** One fused bus verdict from a MegaFleet tick. */
+struct MegaFleetVerdict
+{
+    uint64_t tick = 0;
+    bool busAuthenticated = false;
+    bool tamperAlarm = false;
+    bool busTrusted = false;
+    double fusedSimilarity = 0.0;
+    std::size_t contributingWires = 0;
+    std::size_t tamperedWires = 0;
+    std::size_t pendingReenrollWires = 0;
+};
+
+/**
+ * The bounded-memory fleet service.
+ */
+class MegaFleet
+{
+  public:
+    MegaFleet(MegaFleetConfig config, Rng rng);
+    ~MegaFleet();
+
+    MegaFleet(const MegaFleet &) = delete;
+    MegaFleet &operator=(const MegaFleet &) = delete;
+
+    /**
+     * Enroll every channel into the EnrollmentDb (serial, ascending
+     * index; survives simulated power cuts by reopening + replaying).
+     * Finishes with a checkpoint so every record sits in a shard
+     * image.
+     *
+     * @return channels durably enrolled
+     */
+    uint64_t enrollAll();
+
+    /** One monitoring tick over the next probe batch. */
+    MegaFleetVerdict tick();
+
+    /** Run `ticks` monitoring ticks. */
+    MegaFleetReport run(uint64_t ticks);
+
+    /** @return the running report (valid any time). */
+    const MegaFleetReport &report() const { return report_; }
+
+    /** @return the backing database (open; may have been reopened). */
+    store::EnrollmentDb &db() { return *db_; }
+
+    /** @return the fleet-owned telemetry sink. */
+    Telemetry &telemetry() { return *telemetry_; }
+
+    /** Attach a fault injector to the db (campaign hook). */
+    void attachFaultInjector(const FaultInjector *injector);
+
+    /** @return the synthetic enrollment waveform of channel `index`
+     *  (pure function of the fleet seed; test/verification hook). */
+    std::vector<double> syntheticEnrollment(std::size_t index) const;
+
+    /** @return derived id of channel `index` ("ch<index>"). */
+    static std::string channelId(std::size_t index);
+
+  private:
+    /** Per-channel registry entry — deliberately tiny. */
+    struct ChannelSlot
+    {
+        float lastScore = -1.0f; //!< latest similarity (< 0 = none)
+        uint8_t state = 0;       //!< 0 monitoring, 1 pending-reenroll
+        bool tampered = false;   //!< latest probe tripped the wire bar
+    };
+
+    void reopenDb();
+    MegaFleetVerdict fuse();
+
+    MegaFleetConfig config_;
+    Rng rng_;
+    std::unique_ptr<Telemetry> telemetry_;
+    std::unique_ptr<store::EnrollmentDb> db_;
+    std::unique_ptr<class ThreadPool> pool_;
+    const FaultInjector *injector_ = nullptr;
+    std::vector<ChannelSlot> slots_;
+    std::size_t cursor_ = 0; //!< round-robin probe cursor
+    uint64_t tick_ = 0;
+    MegaFleetReport report_;
+    Counter tmTicks_;
+    Counter tmProbes_;
+    Counter tmHydrates_;
+    Counter tmPending_;
+    Counter tmCrashRecoveries_;
+};
+
+} // namespace divot
+
+#endif // DIVOT_FLEET_MEGAFLEET_HH

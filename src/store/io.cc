@@ -1,0 +1,162 @@
+#include "store/io.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace divot::store {
+
+bool
+readFile(const std::string &path, std::vector<char> &out)
+{
+    out.clear();
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return true;
+}
+
+namespace {
+
+/** Write `count` bytes to a fresh file and flush them to the medium. */
+bool
+writeWhole(const std::string &path, const char *data, std::size_t count)
+{
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(data, static_cast<std::streamsize>(count));
+        out.flush();
+        if (!out)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+atomicWriteFile(const std::string &path, const std::vector<char> &bytes,
+                const WriteFault *fault)
+{
+    if (fault != nullptr && fault->crashBeforeWrite)
+        return false;
+
+    const std::string tmp = path + ".tmp";
+    std::size_t count = bytes.size();
+    bool torn = false;
+    if (fault != nullptr && fault->tornAfterBytes >= 0 &&
+        static_cast<uint64_t>(fault->tornAfterBytes) < count) {
+        count = static_cast<std::size_t>(fault->tornAfterBytes);
+        torn = true;
+    }
+    if (!writeWhole(tmp, bytes.data(), count))
+        return false;
+    if (torn || (fault != nullptr && fault->crashBeforeRename))
+        return false; // power cut: temp file abandoned, target intact
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return false;
+    return true;
+}
+
+bool
+appendFile(const std::string &path, const std::vector<char> &bytes,
+           const WriteFault *fault)
+{
+    if (fault != nullptr && fault->crashBeforeWrite)
+        return false;
+
+    std::size_t count = bytes.size();
+    bool torn = false;
+    if (fault != nullptr && fault->tornAfterBytes >= 0 &&
+        static_cast<uint64_t>(fault->tornAfterBytes) < count) {
+        count = static_cast<std::size_t>(fault->tornAfterBytes);
+        torn = true;
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out)
+        return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(count));
+    out.flush();
+    return static_cast<bool>(out) && !torn;
+}
+
+int64_t
+fileSize(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return -1;
+    return static_cast<int64_t>(st.st_size);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return fileSize(path) >= 0;
+}
+
+bool
+removeFile(const std::string &path)
+{
+    if (!fileExists(path))
+        return true;
+    return std::remove(path.c_str()) == 0;
+}
+
+bool
+truncateFile(const std::string &path, uint64_t keep)
+{
+    return ::truncate(path.c_str(), static_cast<off_t>(keep)) == 0;
+}
+
+unsigned
+applyStuckBits(const std::string &path, const std::vector<StuckBit> &bits)
+{
+    std::vector<char> data;
+    if (!readFile(path, data) || data.empty())
+        return 0;
+    unsigned changed = 0;
+    for (const StuckBit &sb : bits) {
+        const uint64_t pos = sb.offset % data.size();
+        const unsigned char mask =
+            static_cast<unsigned char>(1u << (sb.bit & 7));
+        unsigned char byte = static_cast<unsigned char>(data[pos]);
+        const unsigned char forced = sb.level != 0
+            ? static_cast<unsigned char>(byte | mask)
+            : static_cast<unsigned char>(byte & ~mask);
+        if (forced != byte) {
+            data[pos] = static_cast<char>(forced);
+            ++changed;
+        }
+    }
+    if (changed == 0)
+        return 0;
+    if (!writeWhole(path, data.data(), data.size()))
+        return 0;
+    return changed;
+}
+
+bool
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0755) == 0)
+        return true;
+    return dirExists(path);
+}
+
+bool
+dirExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+} // namespace divot::store

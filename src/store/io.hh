@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Crash-safe file primitives for the enrollment persistence layer.
+ *
+ * Every durable artifact of the store — shard images, the write-ahead
+ * journal, the legacy single-image EPROM — goes through these three
+ * operations, which concentrate the crash-consistency reasoning in
+ * one place:
+ *
+ *  - atomicWriteFile: write a temp sibling, flush it, rename over the
+ *    target. A power cut at any instant leaves either the old file or
+ *    the new file, never a torn mixture.
+ *  - appendFile: plain append (the journal's framing, not the file
+ *    system, provides torn-tail detection).
+ *  - readFile: whole-file slurp.
+ *
+ * Each write-side primitive takes an optional WriteFault describing a
+ * simulated storage failure (torn write at a byte offset, power cut
+ * before/after the rename). The campaign layer schedules these
+ * deterministically from Rng::forkStable; production callers pass
+ * nullptr and the checks fold away.
+ */
+
+#ifndef DIVOT_STORE_IO_HH
+#define DIVOT_STORE_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace divot::store {
+
+/** A simulated storage failure applied to one write operation. */
+struct WriteFault
+{
+    /** Write only this many bytes of the payload, then act as if the
+     *  power failed (-1 = write everything). */
+    int64_t tornAfterBytes = -1;
+
+    /** Power cut after the temp file is written but before the rename
+     *  commits it (atomicWriteFile only). */
+    bool crashBeforeRename = false;
+
+    /** Power cut before any byte reaches the medium. */
+    bool crashBeforeWrite = false;
+
+    /** @return true when the fault interrupts the operation. */
+    bool interrupts() const
+    {
+        return tornAfterBytes >= 0 || crashBeforeRename ||
+               crashBeforeWrite;
+    }
+};
+
+/**
+ * Slurp a file.
+ *
+ * @return false when the file cannot be opened (out is cleared)
+ */
+bool readFile(const std::string &path, std::vector<char> &out);
+
+/**
+ * Atomically replace `path` with `bytes`: writes `path + ".tmp"`,
+ * flushes it, then renames over `path`. With a fault, the on-disk
+ * state mimics the corresponding power cut (partial temp file left
+ * behind, or a complete temp never renamed) and false is returned.
+ *
+ * @return true when the rename committed
+ */
+bool atomicWriteFile(const std::string &path,
+                     const std::vector<char> &bytes,
+                     const WriteFault *fault = nullptr);
+
+/**
+ * Append `bytes` to `path` (creating it if missing). A torn-write
+ * fault appends only the prefix, modeling a power cut mid-append.
+ *
+ * @return true when every byte was appended
+ */
+bool appendFile(const std::string &path,
+                const std::vector<char> &bytes,
+                const WriteFault *fault = nullptr);
+
+/** @return size of the file in bytes, or -1 when unreadable. */
+int64_t fileSize(const std::string &path);
+
+/** @return true when the path exists. */
+bool fileExists(const std::string &path);
+
+/** Delete a file; missing files count as success. */
+bool removeFile(const std::string &path);
+
+/**
+ * Truncate a file to `keep` bytes (shard-truncation fault cell and
+ * journal tail repair).
+ *
+ * @return true on success
+ */
+bool truncateFile(const std::string &path, uint64_t keep);
+
+/**
+ * Flip bits in-place at deterministic positions (stuck-at bit-rot
+ * fault cell): for each (offset, bit, level) tuple the addressed bit
+ * is forced to `level`.
+ *
+ * @return bits actually changed (already-at-level bits don't count)
+ */
+struct StuckBit
+{
+    uint64_t offset = 0; //!< byte offset into the file
+    unsigned bit = 0;    //!< bit index 0..7
+    int level = 0;       //!< forced value, 0 or 1
+};
+
+unsigned applyStuckBits(const std::string &path,
+                        const std::vector<StuckBit> &bits);
+
+/**
+ * Create a directory (one level; parents must exist). An existing
+ * directory counts as success.
+ */
+bool ensureDir(const std::string &path);
+
+/** @return true when `path` exists and is a directory. */
+bool dirExists(const std::string &path);
+
+} // namespace divot::store
+
+#endif // DIVOT_STORE_IO_HH

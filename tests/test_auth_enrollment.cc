@@ -8,6 +8,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
+#include <iterator>
 #include <string>
 
 #include "auth/enrollment.hh"
@@ -282,6 +284,130 @@ TEST(EnrollmentStore, EnrollInvalidFingerprintFatal)
     EnrollmentStore store;
     Fingerprint invalid;
     EXPECT_DEATH(store.enroll("ch", invalid), "invalid");
+}
+
+namespace {
+
+/** Read the whole image, apply `mutate`, write it back. */
+void
+editImage(const std::string &path,
+          const std::function<void(std::string &)> &mutate)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    mutate(bytes);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace
+
+TEST(EnrollmentStore, ScrubCrashMidRewriteLeavesImageLoadable)
+{
+    const std::string path = tmpPath("store_scrub_crash.bin");
+    EnrollmentStore store;
+    store.enroll("a", dummyFingerprint(1.0));
+    ASSERT_TRUE(store.saveToFile(path));
+    editImage(path, [](std::string &bytes) {
+        bytes[40] = static_cast<char>(bytes[40] ^ 0x5a);
+    });
+
+    // Power cut between writing the scrub temp file and the rename:
+    // the original (bank-B-recoverable) image must survive intact.
+    store::WriteFault cut;
+    cut.crashBeforeRename = true;
+    EnrollmentStore loaded;
+    loaded.setSaveFault(cut);
+    const EpromLoadReport rep = loaded.loadWithReport(path, true);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_TRUE(rep.fellBack);
+    EXPECT_FALSE(rep.scrubbed); // the rewrite did not commit
+    EXPECT_TRUE(loaded.contains("a"));
+
+    // A fresh reader still recovers everything from the old image.
+    EnrollmentStore after;
+    const EpromLoadReport rep2 = after.loadWithReport(path, false);
+    EXPECT_TRUE(rep2.ok);
+    EXPECT_TRUE(rep2.fellBack); // bank A damage is still there
+    ASSERT_TRUE(after.contains("a"));
+    EXPECT_DOUBLE_EQ(after.lookup("a")->raw()[2], 3.0);
+
+    // Torn scrub write: same guarantee.
+    store::WriteFault torn;
+    torn.tornAfterBytes = 16;
+    EnrollmentStore tornLoad;
+    tornLoad.setSaveFault(torn);
+    const EpromLoadReport rep3 = tornLoad.loadWithReport(path, true);
+    EXPECT_TRUE(rep3.ok);
+    EXPECT_FALSE(rep3.scrubbed);
+    EnrollmentStore after3;
+    EXPECT_TRUE(after3.loadWithReport(path, false).ok);
+
+    // Without the fault the scrub commits and bank A heals.
+    EnrollmentStore healer;
+    const EpromLoadReport rep4 = healer.loadWithReport(path, true);
+    EXPECT_TRUE(rep4.ok);
+    EXPECT_TRUE(rep4.scrubbed);
+    EnrollmentStore clean;
+    const EpromLoadReport rep5 = clean.loadWithReport(path, false);
+    EXPECT_TRUE(rep5.ok);
+    EXPECT_FALSE(rep5.fellBack);
+    EXPECT_EQ(rep5.bankUsed, 0);
+    std::remove(path.c_str());
+}
+
+TEST(EnrollmentStore, FallbackReportsTheFailingRecord)
+{
+    const std::string path = tmpPath("store_diag.bin");
+    EnrollmentStore store;
+    store.enroll("a.ch", dummyFingerprint(1.0));
+    store.enroll("b.ch", dummyFingerprint(2.0));
+    ASSERT_TRUE(store.saveToFile(path));
+
+    // Corrupt a byte inside record 1's body in bank A (the first
+    // occurrence of its id lives in bank A's payload; +30 lands well
+    // inside the record body, past the id bytes).
+    editImage(path, [](std::string &bytes) {
+        const std::size_t pos = bytes.find("b.ch");
+        ASSERT_NE(pos, std::string::npos);
+        bytes[pos + 30] = static_cast<char>(bytes[pos + 30] ^ 0x11);
+    });
+
+    EnrollmentStore loaded;
+    const EpromLoadReport rep = loaded.loadWithReport(path, false);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_TRUE(rep.fellBack);
+    EXPECT_EQ(rep.failedRecordIndex, 1);
+    EXPECT_GT(rep.failedRecordOffset, 0);
+    EXPECT_EQ(rep.failedRecordId, "b.ch");
+    EXPECT_NE(rep.detail.find("bank A record 1"), std::string::npos)
+        << rep.detail;
+    std::remove(path.c_str());
+}
+
+TEST(EnrollmentStore, HeaderDamageReportsBankLevelDetail)
+{
+    const std::string path = tmpPath("store_diag_hdr.bin");
+    EnrollmentStore store;
+    store.enroll("a", dummyFingerprint(1.0));
+    ASSERT_TRUE(store.saveToFile(path));
+
+    // Flip the whole-bank CRC field: no single record is at fault.
+    editImage(path, [](std::string &bytes) {
+        bytes[16] = static_cast<char>(bytes[16] ^ 0x01);
+    });
+
+    EnrollmentStore loaded;
+    const EpromLoadReport rep = loaded.loadWithReport(path, false);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_TRUE(rep.fellBack);
+    EXPECT_EQ(rep.failedRecordIndex, -1);
+    EXPECT_NE(rep.detail.find("bank A"), std::string::npos)
+        << rep.detail;
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -18,6 +18,8 @@
 #include <string>
 
 #include "fleet/channel_scheduler.hh"
+#include "store/enrollment_db.hh"
+#include "store/io.hh"
 #include "txline/tamper.hh"
 
 #ifndef DIVOT_GOLDEN_DIR
@@ -52,6 +54,31 @@ canonicalSnapshot(unsigned threads)
         fleet.addChannel(channel);
     }
     fleet.calibrateAll();
+
+    // Store-backed persistence: the golden locks the store.* counter
+    // schema too. A fresh directory per call keeps every count
+    // reproducible; the tight resident budget forces hydrate/evict
+    // churn so those counters are exercised, not just registered.
+    static int invocation = 0;
+    const std::string dir = std::string(::testing::TempDir()) +
+        "golden_store_" + std::to_string(invocation++);
+    store::ensureDir(dir);
+    for (unsigned s = 0; s < 4; ++s) {
+        const std::string shard =
+            dir + "/shard-" + std::to_string(s) + ".bin";
+        store::removeFile(shard);
+        store::removeFile(shard + ".tmp");
+    }
+    store::removeFile(dir + "/journal.wal");
+    store::EnrollmentDbConfig dbCfg;
+    dbCfg.directory = dir;
+    dbCfg.shards = 4;
+    dbCfg.overlayFlushRecords = 2;
+    store::EnrollmentDb db(dbCfg);
+    db.attachTelemetry(&fleet.telemetry());
+    if (!db.open())
+        return "enrollment db failed to open";
+    fleet.attachStore(&db, fleet.channel(0).enrollmentBytes() * 2);
 
     for (int t = 0; t < 3; ++t)
         fleet.tick();
