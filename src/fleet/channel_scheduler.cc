@@ -432,6 +432,26 @@ ChannelScheduler::tick()
                     }
                 }
             }
+            if (scrub.unreadable) {
+                // The whole shard image yielded nothing recoverable,
+                // so channels routed to it have lost their stored
+                // enrollment; fence them now rather than letting each
+                // discover the damage at its next probe. A record
+                // still pending in the journal-backed overlay is not
+                // lost, so only channels the db can no longer serve
+                // are demoted.
+                for (std::size_t i = 0; i < channels_.size(); ++i) {
+                    const std::string &name = channels_[i]->name();
+                    if (db_->shardOf(name) != scrub.shard ||
+                        channels_[i]->state() ==
+                            AuthState::PendingReenroll) {
+                        continue;
+                    }
+                    store::EnrollmentRecord rec;
+                    if (db_->get(name, rec) != store::DbGetStatus::Ok)
+                        demoteToPendingReenroll(i, wall);
+                }
+            }
         }
     }
 

@@ -221,7 +221,11 @@ walkPayload(const char *data, std::size_t n)
             break;
         const uint64_t offset = pr.pos();
         uint64_t body_len = 0;
-        if (!pr.u64(body_len) || body_len + 8 > pr.remaining()) {
+        // Overflow-safe frame guard: body_len comes straight from the
+        // medium, so a rotted length near 2^64 must not wrap the sum
+        // past the real bound.
+        if (!pr.u64(body_len) || pr.remaining() < 8 ||
+            body_len > pr.remaining() - 8) {
             RecordDamage dmg;
             dmg.index = index;
             dmg.offset = offset;
@@ -471,12 +475,19 @@ findShardRecord(const std::vector<char> &bytes, const std::string &id,
         bool walked_all = true;
         while (!pr.done()) {
             uint64_t body_len = 0;
-            if (!pr.u64(body_len) || body_len + 8 > pr.remaining()) {
+            // Overflow-safe: a rotted length field near 2^64 would
+            // wrap `body_len + 8` past the bound and let the reader
+            // below run off the shard buffer.
+            if (!pr.u64(body_len) || pr.remaining() < 8 ||
+                body_len > pr.remaining() - 8) {
                 walked_all = false;
                 break;
             }
             const char *body = bytes.data() + span.offset + pr.pos();
-            pr.skip(body_len);
+            if (!pr.skip(body_len)) {
+                walked_all = false;
+                break;
+            }
             uint64_t crc = 0;
             pr.u64(crc);
 

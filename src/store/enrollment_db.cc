@@ -1,6 +1,7 @@
 #include "store/enrollment_db.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 
 #include "store/io.hh"
@@ -37,6 +38,29 @@ writeFaultFor(const StorageFault &fault, std::size_t bytes,
             wf.crashBeforeRename = true;
     }
     return wf;
+}
+
+/** @return true when the parse saw any damage at all. */
+bool
+imageDamaged(const ShardParseReport &report)
+{
+    return !report.ok || report.fellBack || report.salvaged ||
+           !report.damagedA.empty() || !report.damagedB.empty() ||
+           !report.bankAHealthy || !report.bankBHealthy;
+}
+
+/**
+ * @return true when a damaged image yielded no records AND no
+ * accounting of what was lost — either the parse failed outright or
+ * the framing is so mangled the record count is unknowable. Rewriting
+ * such an image would silently destroy every record it held while
+ * reporting zero losses.
+ */
+bool
+imageUnreadable(const ShardParseReport &report, std::size_t recovered)
+{
+    return imageDamaged(report) && recovered == 0 &&
+           report.unrecoverable.empty();
 }
 
 } // namespace
@@ -166,13 +190,15 @@ EnrollmentDb::replayJournal()
         if (op != kOpPut && op != kOpErase)
             break;
         if (!pr.u64(seq) || !pr.u64(body_len) ||
-            body_len + 8 > pr.remaining()) {
-            break; // entry runs off the end of the file: torn tail
+            pr.remaining() < 8 || body_len > pr.remaining() - 8) {
+            // Entry runs off the end of the file (overflow-safe: a
+            // rotted length near 2^64 must not wrap past the bound).
+            break; // torn tail
         }
         std::vector<char> body;
         uint64_t crc = 0;
-        pr.raw(body, body_len);
-        pr.u64(crc);
+        if (!pr.raw(body, body_len) || !pr.u64(crc))
+            break; // short read despite the guard: treat as torn tail
         good_end = pr.pos();
         journalSeq_ = seq + 1;
         if (fnv1a(body) != crc)
@@ -213,8 +239,21 @@ EnrollmentDb::flushShard(unsigned shard, const StorageFault &fault)
     Overlay &overlay = overlays_[shard];
     std::map<std::string, EnrollmentRecord> records;
     std::vector<char> bytes;
-    if (readFile(shardPath(shard), bytes) && !bytes.empty())
-        parseShardImage(bytes, records); // lenient: keep what verifies
+    if (readFile(shardPath(shard), bytes) && !bytes.empty()) {
+        // Lenient parse: keep whatever verifies in either bank.
+        const ShardParseReport report = parseShardImage(bytes, records);
+        if (imageUnreadable(report, records.size())) {
+            // The overlay must still flush, but overwriting an image
+            // that yielded nothing would silently destroy whatever it
+            // held. Move the bytes aside for forensics first; their
+            // channels surface as Missing/Unrecoverable and re-enroll.
+            std::rename(shardPath(shard).c_str(),
+                        (shardPath(shard) + ".corrupt").c_str());
+            divot_warn("shard %u image unreadable; preserved as "
+                       "'%s.corrupt' before rewrite",
+                       shard, shardPath(shard).c_str());
+        }
+    }
 
     for (const auto &[id, pending] : overlay) {
         if (pending.has_value())
@@ -331,6 +370,11 @@ EnrollmentDb::mutate(uint8_t op, const std::string &id,
         }
     }
 
+    // Count the put before the AfterCommit cut below: the mutation is
+    // durable at this point, so it belongs in store.puts even when the
+    // process doesn't survive the tick.
+    if (op == kOpPut)
+        tmPuts_.add();
     if (fault.crash &&
         fault.crashPoint == StorageCrashPoint::AfterCommit) {
         dead_ = true;
@@ -339,8 +383,6 @@ EnrollmentDb::mutate(uint8_t op, const std::string &id,
         // process just doesn't survive to do anything else.
         return true;
     }
-    if (op == kOpPut)
-        tmPuts_.add();
     return true;
 }
 
@@ -442,6 +484,7 @@ ScrubResult
 EnrollmentDb::scrubShard(unsigned shard)
 {
     ScrubResult result;
+    result.shard = shard;
     if (shard >= config_.shards || dead_ || !opened_)
         return result;
     tmScrubPasses_.add();
@@ -459,12 +502,22 @@ EnrollmentDb::scrubShard(unsigned shard)
         else
             ++result.lostUnnamed;
     }
-    const bool damaged = report.fellBack || report.salvaged ||
-                         !report.damagedA.empty() ||
-                         !report.damagedB.empty() || !report.ok ||
-                         !report.bankAHealthy || !report.bankBHealthy;
-    if (!damaged)
+    if (!imageDamaged(report))
         return result; // pristine image: nothing to repair
+    if (imageUnreadable(report, records.size())) {
+        // Nothing in the image could be recovered and nothing could
+        // even be counted as lost (parse failed outright, or the
+        // framing is mangled beyond accounting). Rewriting from the
+        // empty recovered map would destroy every record in the shard
+        // while reporting zero losses — exactly the silent wipe this
+        // layer must never do. Leave the file untouched (point lookups
+        // keep returning Unrecoverable, and the bytes stay available
+        // for forensics) and surface the wholesale loss so the fleet
+        // can demote the shard's channels immediately instead of at
+        // their next probe.
+        result.unreadable = true;
+        return result;
+    }
 
     // Rewrite a pristine dual-bank image from everything recoverable
     // (salvaged records plus this shard's pending overlay), so the

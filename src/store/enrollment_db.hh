@@ -74,8 +74,14 @@ enum class DbGetStatus
 /** Outcome of scrubbing one shard. */
 struct ScrubResult
 {
+    unsigned shard = 0;    //!< shard index that was examined
     bool scanned = false;  //!< shard file existed and was examined
     bool repaired = false; //!< image was rewritten from recovered records
+    bool unreadable = false; //!< image yielded nothing recoverable; the
+                             //!< file is left untouched for forensics
+                             //!< and every record in the shard must be
+                             //!< presumed lost (owner should fence all
+                             //!< channels routed to this shard)
     std::vector<std::string> lostIds; //!< records damaged beyond repair
                                       //!< (ids only when parseable)
     uint64_t lostUnnamed = 0; //!< unrecoverable records with no
@@ -110,7 +116,8 @@ class EnrollmentDb
      * trigger a shard flush and a checkpoint).
      *
      * @return true when the mutation is durable (journaled or
-     *         flushed); false on a crash/torn fault or dead handle
+     *         flushed; see io.hh for the journal's power-cut sync
+     *         model); false on a crash/torn fault or dead handle
      */
     bool put(const EnrollmentRecord &record);
 
@@ -140,7 +147,9 @@ class EnrollmentDb
      * bank A read was needed (bank-B fallback, per-record salvage).
      * Records damaged in both banks are dropped from the rewrite and
      * reported in the result so the fleet can demote those channels
-     * to PendingReenroll.
+     * to PendingReenroll. An image that yields *nothing* recoverable
+     * is never rewritten (that would silently wipe the shard): it is
+     * left in place and flagged `ScrubResult::unreadable`.
      */
     ScrubResult scrubShard(unsigned shard);
 

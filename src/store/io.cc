@@ -1,9 +1,11 @@
 #include "store/io.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -23,20 +25,54 @@ readFile(const std::string &path, std::vector<char> &out)
 
 namespace {
 
-/** Write `count` bytes to a fresh file and flush them to the medium. */
+/** Write every byte through a raw fd, retrying short/EINTR writes. */
+bool
+writeAllFd(int fd, const char *data, std::size_t count)
+{
+    std::size_t done = 0;
+    while (done < count) {
+        const ssize_t n = ::write(fd, data + done, count - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Write `count` bytes to a fresh file and fsync them to the medium. */
 bool
 writeWhole(const std::string &path, const char *data, std::size_t count)
 {
-    {
-        std::ofstream out(path, std::ios::binary | std::ios::trunc);
-        if (!out)
-            return false;
-        out.write(data, static_cast<std::streamsize>(count));
-        out.flush();
-        if (!out)
-            return false;
-    }
-    return true;
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    bool ok = writeAllFd(fd, data, count);
+    ok = ::fsync(fd) == 0 && ok;
+    ok = ::close(fd) == 0 && ok;
+    return ok;
+}
+
+/**
+ * fsync the directory holding `path` so a completed rename survives a
+ * power cut (the data already reached the medium via the temp-file
+ * fsync; this pins the directory entry). Best-effort: some file
+ * systems refuse directory fds, and the rename itself has committed.
+ */
+void
+syncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
 }
 
 } // namespace
@@ -63,6 +99,7 @@ atomicWriteFile(const std::string &path, const std::vector<char> &bytes,
 
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         return false;
+    syncParentDir(path);
     return true;
 }
 

@@ -7,11 +7,15 @@
  * operations, which concentrate the crash-consistency reasoning in
  * one place:
  *
- *  - atomicWriteFile: write a temp sibling, flush it, rename over the
- *    target. A power cut at any instant leaves either the old file or
- *    the new file, never a torn mixture.
- *  - appendFile: plain append (the journal's framing, not the file
- *    system, provides torn-tail detection).
+ *  - atomicWriteFile: write a temp sibling, fsync it, rename over the
+ *    target, fsync the directory. A power cut at any instant leaves
+ *    either the old file or the new file, never a torn mixture.
+ *  - appendFile: buffered append, flushed to the OS but not fsynced
+ *    (per-entry fsync would dominate mutation cost). A real power cut
+ *    can therefore drop the tail appended since the last image
+ *    checkpoint — but the journal's CRC framing makes that loss look
+ *    exactly like a torn append, which replay discards as "op never
+ *    happened"; corruption is never loaded either way.
  *  - readFile: whole-file slurp.
  *
  * Each write-side primitive takes an optional WriteFault describing a
@@ -61,9 +65,11 @@ bool readFile(const std::string &path, std::vector<char> &out);
 
 /**
  * Atomically replace `path` with `bytes`: writes `path + ".tmp"`,
- * flushes it, then renames over `path`. With a fault, the on-disk
- * state mimics the corresponding power cut (partial temp file left
- * behind, or a complete temp never renamed) and false is returned.
+ * fsyncs it to the medium, renames over `path`, then fsyncs the
+ * directory so the new entry itself survives a power cut. With a
+ * fault, the on-disk state mimics the corresponding power cut
+ * (partial temp file left behind, or a complete temp never renamed)
+ * and false is returned.
  *
  * @return true when the rename committed
  */
@@ -74,6 +80,7 @@ bool atomicWriteFile(const std::string &path,
 /**
  * Append `bytes` to `path` (creating it if missing). A torn-write
  * fault appends only the prefix, modeling a power cut mid-append.
+ * Not fsynced — see the file header for the power-cut model.
  *
  * @return true when every byte was appended
  */

@@ -55,6 +55,7 @@ freshDir(const char *name)
             dir + "/shard-" + std::to_string(s) + ".bin";
         removeFile(shard);
         removeFile(shard + ".tmp");
+        removeFile(shard + ".corrupt");
     }
     removeFile(dir + "/journal.wal");
     return dir;
@@ -511,6 +512,142 @@ TEST(EnrollmentDb, ImportLegacyImage)
     EXPECT_TRUE(sameRecord(records["imp0"], out));
 
     EXPECT_EQ(db.importImage(std::vector<char>(16, 'x')), 0u);
+}
+
+TEST(StoreCodec, RottedLengthFieldNeverOverflows)
+{
+    std::map<std::string, EnrollmentRecord> records;
+    records["aa"] = testRecord("aa", 1);
+    records["bb"] = testRecord("bb", 2);
+    std::vector<char> image = buildShardImage(records);
+    const std::size_t payloadLen =
+        (image.size() - 2 * kBankHeaderSize) / 2;
+
+    // Stuck-at-1 rot across bank A's first bodyLen field: the value
+    // reads back near 2^64, where `body_len + 8` would wrap past the
+    // frame bound. Bank B still serves every record.
+    for (int i = 0; i < 8; ++i)
+        image[kBankHeaderSize + 8 + i] = static_cast<char>(0xff);
+    EnrollmentRecord out;
+    EXPECT_EQ(findShardRecord(image, "aa", out), 1);
+    EXPECT_TRUE(sameRecord(records["aa"], out));
+    std::map<std::string, EnrollmentRecord> back;
+    EXPECT_TRUE(parseShardImage(image, back).ok);
+    EXPECT_EQ(back.size(), 2u);
+
+    // Same rot in bank B's copy too: the lookup must fail cleanly as
+    // damage (never walk past the buffer, never return junk).
+    for (int i = 0; i < 8; ++i)
+        image[kBankHeaderSize + payloadLen + 8 + i] =
+            static_cast<char>(0xff);
+    EXPECT_EQ(findShardRecord(image, "aa", out), -1);
+    back.clear();
+    const ShardParseReport report = parseShardImage(image, back);
+    EXPECT_TRUE(back.empty());
+    EXPECT_FALSE(report.unrecoverable.empty() && report.ok &&
+                 report.records > 0);
+}
+
+TEST(EnrollmentDbFaults, RottedJournalLengthIsTornTail)
+{
+    const std::string dir = freshDir("db_rotlen");
+    {
+        EnrollmentDb db(smallConfig(dir));
+        ASSERT_TRUE(db.open());
+        ASSERT_TRUE(db.put(testRecord("keep.ch", 1.0)));
+    }
+
+    // Hand-append an entry whose length field rotted to all-ones
+    // (0x4C414A44 is the journal frame magic). The huge length must
+    // read as a torn tail, not wrap the bounds check and misalign the
+    // rest of the walk.
+    std::vector<char> evil;
+    putU64(evil, (static_cast<uint64_t>(1) << 32) | 0x4C414A44u);
+    putU64(evil, 1);     // seq
+    putU64(evil, ~0ull); // rotted bodyLen
+    evil.insert(evil.end(), 32, 'z');
+    ASSERT_TRUE(appendFile(dir + "/journal.wal", evil));
+
+    EnrollmentDb db(smallConfig(dir));
+    ASSERT_TRUE(db.open());
+    EXPECT_EQ(db.replayedEntries(), 1u);
+    EnrollmentRecord out;
+    EXPECT_EQ(db.get("keep.ch", out), DbGetStatus::Ok);
+    // The rotted tail was truncated: appends frame cleanly again.
+    EXPECT_TRUE(db.put(testRecord("new.ch", 2.0)));
+    EnrollmentDb db2(smallConfig(dir));
+    ASSERT_TRUE(db2.open());
+    EXPECT_EQ(db2.get("keep.ch", out), DbGetStatus::Ok);
+    EXPECT_EQ(db2.get("new.ch", out), DbGetStatus::Ok);
+}
+
+TEST(EnrollmentDb, ScrubNeverWipesUnreadableShard)
+{
+    const std::string dir = freshDir("db_unreadable");
+    EnrollmentDbConfig cfg = smallConfig(dir);
+    cfg.shards = 1;
+    EnrollmentDb db(cfg);
+    ASSERT_TRUE(db.open());
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(db.put(testRecord("u" + std::to_string(i), i)));
+    ASSERT_TRUE(db.checkpoint());
+
+    // Wreck the whole image: nothing recoverable, and no way to even
+    // count what was lost.
+    std::vector<char> bytes;
+    ASSERT_TRUE(readFile(db.shardPath(0), bytes));
+    const std::vector<char> garbage(bytes.size(), 'x');
+    ASSERT_TRUE(atomicWriteFile(db.shardPath(0), garbage));
+
+    // Scrub must refuse the rewrite (it would silently wipe the
+    // shard), flag the wholesale loss, and leave the bytes in place.
+    const ScrubResult scrub = db.scrubShard(0);
+    EXPECT_TRUE(scrub.scanned);
+    EXPECT_TRUE(scrub.unreadable);
+    EXPECT_FALSE(scrub.repaired);
+    EXPECT_EQ(scrub.shard, 0u);
+    std::vector<char> after;
+    ASSERT_TRUE(readFile(db.shardPath(0), after));
+    EXPECT_EQ(after, garbage);
+    // Lookups report damage — never junk, never "provably absent".
+    EnrollmentRecord out;
+    EXPECT_EQ(db.get("u0", out), DbGetStatus::Unrecoverable);
+
+    // An overlay flush over the unreadable image preserves the bytes
+    // aside as .corrupt instead of destroying them.
+    ASSERT_TRUE(db.put(testRecord("fresh", 9.0)));
+    ASSERT_TRUE(db.checkpoint());
+    std::vector<char> kept;
+    ASSERT_TRUE(readFile(db.shardPath(0) + ".corrupt", kept));
+    EXPECT_EQ(kept, garbage);
+    EXPECT_EQ(db.get("fresh", out), DbGetStatus::Ok);
+}
+
+TEST(EnrollmentDbFaults, AfterCommitCrashStillCountsThePut)
+{
+    const std::string dir = freshDir("db_acct");
+    Telemetry telemetry;
+    FaultPlan plan;
+    plan.storageCrash(0, StorageCrashPoint::AfterCommit);
+    const FaultInjector injector(plan, Rng(3));
+    EnrollmentDb db(smallConfig(dir));
+    db.attachTelemetry(&telemetry);
+    db.attachFaultInjector(&injector);
+    ASSERT_TRUE(db.open());
+    // The put is durable — it must land in store.puts even though the
+    // handle dies at AfterCommit.
+    EXPECT_TRUE(db.put(testRecord("acct.ch", 1.0)));
+    EXPECT_FALSE(db.alive());
+
+    const auto counters = telemetry.registry().counters();
+    auto value = [&](const std::string &name) -> int64_t {
+        for (const auto &c : counters)
+            if (c.name == name)
+                return static_cast<int64_t>(c.value);
+        return -1;
+    };
+    EXPECT_EQ(value("store.puts"), 1);
+    EXPECT_EQ(value("store.crashes"), 1);
 }
 
 TEST(EnrollmentDb, TelemetryCountersAreStable)
