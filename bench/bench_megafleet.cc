@@ -14,7 +14,11 @@
  *  3. zero junk — under a campaign of torn writes, power cuts, bit
  *     rot, and shard truncation, every damaged record either recovers
  *     through a surviving bank or lands in PendingReenroll; no tick
- *     fuses a corrupted fingerprint into the bus verdict.
+ *     fuses a corrupted fingerprint into the bus verdict;
+ *  4. schedule — the reactor's Pipelined instrument schedule
+ *     out-utilizes the Barrier schedule on the same fleet while
+ *     leaving the verdict digest bit-identical (the schedule is pure
+ *     accounting, DESIGN.md §15).
  *
  * Cross-PR tracking: --json appends a {"bench": "megafleet"} record
  * to BENCH_study_throughput.json (the committed perf trajectory;
@@ -271,6 +275,31 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     serial.report.verdictDigest));
 
+    // --- Instrument-schedule accounting: the reactor's Pipelined
+    // mode must out-utilize the Barrier pool on the same fleet
+    // without touching a single verdict bit (the schedule is pure
+    // accounting; probe math is identical). --------------------------
+    MegaFleetConfig pipelinedCfg = base;
+    pipelinedCfg.schedule = ReactorMode::Pipelined;
+    const RunResult pipelined =
+        runFleet(pipelinedCfg, root + "/clean-pipelined", 0, ticks,
+                 opt.seed, nullptr);
+    const bool schedule_digest_pass =
+        pipelined.report.verdictDigest == serial.report.verdictDigest;
+    const bool schedule_util_pass =
+        pipelined.report.instrumentUtilization >
+        serial.report.instrumentUtilization;
+    std::printf("\ninstrument pool (%zu iTDRs): utilization barrier "
+                "%.3f, pipelined %.3f\n",
+                base.instruments,
+                serial.report.instrumentUtilization,
+                pipelined.report.instrumentUtilization);
+    std::printf("schedule-invariance gate (digest barrier == "
+                "pipelined): %s\n",
+                schedule_digest_pass ? "PASS" : "FAIL");
+    std::printf("utilization gate (pipelined > barrier): %s\n",
+                schedule_util_pass ? "PASS" : "FAIL");
+
     // --- Storage fault campaign: torn write, power cuts at every
     // commit point, bit rot, shard truncation. -----------------------
     MegaFleetConfig campaign = base;
@@ -385,6 +414,11 @@ main(int argc, char **argv)
                 serial.report.peakResidentBytes);
         appendf(r, "    \"residentBudgetBytes\": %zu,\n",
                 base.residentBudgetBytes);
+        appendf(r, "    \"instruments\": %zu,\n", base.instruments);
+        appendf(r, "    \"fleet.instrument.utilization\": "
+                "{\"barrier\": %.4f, \"pipelined\": %.4f},\n",
+                serial.report.instrumentUtilization,
+                pipelined.report.instrumentUtilization);
         appendf(r, "    \"verdictDigest\": \"%016llx\",\n",
                 static_cast<unsigned long long>(
                     serial.report.verdictDigest));
@@ -399,15 +433,18 @@ main(int argc, char **argv)
         appendf(r, "    \"determinismPass\": %s,\n",
                 determinism_pass && fault_determinism_pass
                     ? "true" : "false");
-        appendf(r, "    \"zeroJunkPass\": %s\n",
+        appendf(r, "    \"zeroJunkPass\": %s,\n",
                 junk_pass ? "true" : "false");
+        appendf(r, "    \"schedulePass\": %s\n",
+                schedule_digest_pass && schedule_util_pass
+                    ? "true" : "false");
         appendf(r, "  }");
         appendRecord(record_path, r);
     }
 
     const bool pass = capacity_pass && determinism_pass &&
         fault_determinism_pass && junk_pass && recovery_pass &&
-        gate_pass;
+        schedule_digest_pass && schedule_util_pass && gate_pass;
     std::printf("\n%s\n", pass ? "ALL GATES PASS" : "GATE FAILURE");
     return pass ? 0 : 1;
 }

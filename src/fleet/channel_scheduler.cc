@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/completion_queue.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -13,6 +14,11 @@ namespace {
 // a pure function of the fleet seed and i, so the thread count and
 // probe history cannot perturb fabrication or measurement draws.
 constexpr uint64_t kTagFleetChannel = 0x7000ULL;
+
+// Slack for "does this round still fit in the epoch" comparisons:
+// epoch boundaries are sums of per-round durations, so a fitting
+// round can miss the boundary by an ulp of accumulated FP error.
+constexpr double kEpochSlack = 1e-12;
 
 // Risk weight of an authenticator state: how urgently the scheduler
 // should spend a shared instrument on a channel in that state.
@@ -56,11 +62,16 @@ ChannelScheduler::ChannelScheduler(FleetConfig config, Rng rng)
       telemetry_(std::make_unique<Telemetry>(config.telemetry)),
       fleetAuth_(config.fusion, config.similarityThreshold,
                  config.tamperWireVotes),
-      pool_(std::make_unique<ThreadPool>(config.threads))
+      pool_(std::make_unique<ThreadPool>(config.threads)),
+      cq_(std::make_unique<CompletionQueue>(*pool_)),
+      reactor_(std::make_unique<Reactor>(config.reactor,
+                                         config.instruments))
 {
     if (config_.instruments == 0)
         divot_fatal("fleet needs at least one iTDR instrument");
     pool_->attachTelemetry(telemetry_.get(), "fleet.pool");
+    cq_->attachTelemetry(telemetry_.get(), "fleet.cq");
+    reactor_->attachTelemetry(telemetry_.get());
     Registry &reg = telemetry_->registry();
     tmTicks_ = reg.counter("fleet.ticks");
     tmProbes_ = reg.counter("fleet.probes");
@@ -77,6 +88,8 @@ ChannelScheduler::ChannelScheduler(FleetConfig config, Rng rng)
     tmStaleness_ = reg.histogram("fleet.staleness",
                                  {1, 2, 4, 8, 16, 32});
     tmRiskWeight_ = reg.histogram("fleet.risk_weight", {1, 4, 8});
+    tmUtilization_ = reg.gauge("fleet.instrument.utilization");
+    tmIdleSlotPermille_ = reg.gauge("fleet.reactor.idle_slot.permille");
 }
 
 ChannelScheduler::~ChannelScheduler() = default;
@@ -99,8 +112,26 @@ ChannelScheduler::addChannel(BusChannelConfig config)
     lastProbeTick_.push_back(-1);
     probeCounts_.push_back(0);
     generations_.push_back(0);
+    phase_.push_back(ChannelPhase::Idle);
+    lastDispatchTick_.push_back(-1);
+    channelSlot_.push_back(0);
+    nameIndex_.emplace(channels_.back()->name(), index);
+    if (db_ != nullptr) {
+        shardChannels_[db_->shardOf(channels_.back()->name())]
+            .push_back(index);
+    }
     fleetAuth_.setChannelCount(channels_.size());
     return index;
+}
+
+void
+ChannelScheduler::rebuildShardRouting()
+{
+    shardChannels_.clear();
+    if (db_ == nullptr)
+        return;
+    for (std::size_t i = 0; i < channels_.size(); ++i)
+        shardChannels_[db_->shardOf(channels_[i]->name())].push_back(i);
 }
 
 void
@@ -110,6 +141,7 @@ ChannelScheduler::attachStore(store::EnrollmentDb *db,
     db_ = db;
     residentBudget_ = resident_budget_bytes;
     resident_ = 0;
+    rebuildShardRouting();
     if (db_ == nullptr)
         return;
     Registry &reg = telemetry_->registry();
@@ -166,6 +198,7 @@ ChannelScheduler::demoteToPendingReenroll(std::size_t index,
         ch.enrollmentResident() ? ch.enrollmentBytes() : 0;
     const AuthVerdict verdict = ch.markPendingReenroll();
     resident_ -= std::min(resident_, bytes);
+    phase_[index] = ChannelPhase::Fenced;
     tmPendingReenroll_.add();
     // The fused verdict must stop reusing this wire's stale score the
     // moment the loss is known, so the demotion is observed like a
@@ -248,13 +281,24 @@ bool
 ChannelScheduler::reenrollChannel(std::size_t index)
 {
     BusChannel &ch = channel(index);
+    // Operator-initiated: consumed immediately (between epochs), but
+    // still sequenced and counted so the event order stays a complete
+    // record of everything that happened to the fleet.
+    reactor_->dispatchImmediate(ReactorEventType::RecalibrateRequest,
+                                elapsed_, index);
     const bool was_resident = ch.enrollmentResident();
     const std::size_t before = was_resident ? ch.enrollmentBytes() : 0;
     ch.calibrate();
+    phase_[index] = ChannelPhase::Idle;
     if (db_ != nullptr) {
         resident_ -= std::min(resident_, before);
         resident_ += ch.enrollmentBytes();
-        return persistChannel(index);
+        if (!persistChannel(index)) {
+            reactor_->dispatchImmediate(ReactorEventType::FaultEvent,
+                                        elapsed_, index);
+            return false;
+        }
+        return true;
     }
     return true;
 }
@@ -267,8 +311,9 @@ ChannelScheduler::calibrateAll()
     pool_->parallelFor(channels_.size(), [&](std::size_t idx) {
         channels_[idx]->calibrate();
     });
-    // One tick spans the slowest channel's round so every probe of a
-    // tick fits inside it regardless of which channels are selected.
+    // One barrier slot spans the slowest channel's round so every
+    // probe of a tick fits inside it regardless of which channels are
+    // selected.
     slot_ = 0.0;
     for (const auto &channel : channels_)
         slot_ = std::max(slot_, channel->roundDuration());
@@ -278,9 +323,33 @@ ChannelScheduler::calibrateAll()
         enforceResidentBudget(-1);
     }
     divot_inform("fleet calibrated: %zu channels, %zu instruments, "
-                 "%s policy, tick %.3g s",
+                 "%s policy, %s reactor, tick %.3g s",
                  channels_.size(), config_.instruments,
-                 schedulerPolicyName(config_.policy), slot_);
+                 schedulerPolicyName(config_.policy),
+                 reactorModeName(config_.reactor.mode), tickDuration());
+}
+
+double
+ChannelScheduler::tickDuration() const
+{
+    if (config_.reactor.mode == ReactorMode::Pipelined)
+        return slot_ * static_cast<double>(config_.reactor.epochSlots);
+    return slot_;
+}
+
+ChannelPhase
+ChannelScheduler::channelPhase(std::size_t index) const
+{
+    if (index >= phase_.size())
+        divot_fatal("fleet channel index %zu out of range (%zu)",
+                    index, phase_.size());
+    return phase_[index];
+}
+
+double
+ChannelScheduler::instrumentUtilization() const
+{
+    return reactor_->utilization(elapsed_);
 }
 
 std::vector<std::size_t>
@@ -324,160 +393,404 @@ ChannelScheduler::selectChannels() const
     return selected;
 }
 
-FleetRound
-ChannelScheduler::tick()
+bool
+ChannelScheduler::tryDispatch(double vtime)
 {
-    if (!calibrated_)
-        divot_fatal("fleet tick() before calibrateAll()");
-
-    std::vector<std::size_t> selected = selectChannels();
-    const double wall = slot_ * static_cast<double>(tick_);
-
-    SpanScope span = telemetry_->tracer().open("fleet.tick", "fleet",
-                                               wall, tick_);
-
-    if (db_ != nullptr) {
-        // Serial hydration phase, ascending channel order: evicted
-        // enrollments are restored from the store before the parallel
-        // probes, and channels whose records are gone are demoted in
-        // place of probing. Serial + index-ordered keeps the store's
-        // IO-event sequence (and any injected storage fault) a pure
-        // function of the tick, not the thread count.
-        std::vector<std::size_t> ready;
-        ready.reserve(selected.size());
-        for (const std::size_t c : selected) {
-            if (hydrateChannel(c, wall))
-                ready.push_back(c);
+    // Pipelined ranking mirrors selectChannels(), restricted to
+    // channels that are idle, not fenced, not yet dispatched this
+    // epoch, and whose round still finishes inside the epoch. The
+    // best fitting candidate wins (tie-break: lower index), so a
+    // too-long round near the boundary doesn't idle an instrument a
+    // shorter round could use.
+    bool found = false;
+    uint64_t bestPriority = 0;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        if (phase_[i] != ChannelPhase::Idle)
+            continue;
+        const AuthState state = channels_[i]->state();
+        if (state == AuthState::PendingReenroll)
+            continue;
+        if (lastDispatchTick_[i] == static_cast<int64_t>(tick_))
+            continue;
+        if (vtime + channels_[i]->roundDuration() >
+            epochEnd_ + kEpochSlack) {
+            continue;
         }
-        selected = std::move(ready);
+        const uint64_t staleness = static_cast<uint64_t>(
+            static_cast<int64_t>(tick_) - lastProbeTick_[i]);
+        uint64_t priority = staleness;
+        if (config_.policy == SchedulerPolicy::RiskWeighted)
+            priority *= riskWeight(state);
+        if (!found || priority > bestPriority) {
+            found = true;
+            bestPriority = priority;
+            best = i;
+        }
     }
+    if (!found)
+        return false;
+    lastDispatchTick_[best] = static_cast<int64_t>(tick_);
+    phase_[best] = ChannelPhase::Hydrating;
+    reactor_->schedule(ReactorEventType::HydrateRequest, vtime, best);
+    return true;
+}
+
+void
+ChannelScheduler::handleEvent(const ReactorEvent &event)
+{
+    switch (event.type) {
+    case ReactorEventType::HydrateRequest:
+        onHydrateRequest(event);
+        return;
+    case ReactorEventType::ProbeComplete:
+        onProbeComplete(event);
+        return;
+    case ReactorEventType::FuseEpoch:
+        onFuseEpoch(event);
+        return;
+    case ReactorEventType::EvictPressure:
+        onEvictPressure(event);
+        return;
+    case ReactorEventType::ScrubStep:
+        onScrubStep(event);
+        return;
+    case ReactorEventType::RecalibrateRequest:
+        // Operator path: consumed immediately in reenrollChannel(),
+        // never queued.
+        return;
+    case ReactorEventType::FaultEvent:
+        // Recovery already ran when the fault was detected (demotion
+        // or failed persist); the event exists so fault manifestation
+        // has a deterministic place in the order and in the
+        // fleet.reactor.events.fault account.
+        return;
+    }
+}
+
+void
+ChannelScheduler::onHydrateRequest(const ReactorEvent &event)
+{
+    const std::size_t c = event.channel;
+    const bool pipelined =
+        config_.reactor.mode == ReactorMode::Pipelined;
+    if (!hydrateChannel(c, event.vtime)) {
+        // Channel fenced (demotion already observed into the fused
+        // verdict); record the manifestation and, pipelined, hand the
+        // freed dispatch slot to the next ranked candidate.
+        reactor_->schedule(ReactorEventType::FaultEvent, event.vtime,
+                           c);
+        if (pipelined)
+            tryDispatch(event.vtime);
+        return;
+    }
+    phase_[c] = ChannelPhase::Probing;
+    if (!pipelined) {
+        epochReady_.push_back(c);
+        return;
+    }
+    // Scheduling metrics at dispatch: staleness and risk weight are
+    // exactly the quantities the ranking used, and the probe will
+    // update them.
+    tmStaleness_.record(static_cast<uint64_t>(
+        static_cast<int64_t>(tick_) - lastProbeTick_[c]));
+    tmRiskWeight_.record(riskWeight(channels_[c]->state()));
+    tmChannelProbes_[c].add();
+    const double vtime = event.vtime;
+    const std::size_t slot = pipeProbes_.size();
+    ChannelProbe seed;
+    seed.channel = c;
+    pipeProbes_.push_back(seed);
+    channelSlot_[c] = slot;
+    ChannelProbe *out = &pipeProbes_.back();
+    BusChannel *ch = channels_[c].get();
+    // Physical computation on the pool; logical completion at the
+    // ProbeComplete event, in deterministic (vtime, seq) order.
+    const CompletionQueue::Ticket ticket = cq_->submit(
+        [ch, out, vtime] { out->verdict = ch->monitorAt(vtime); });
+    reactor_->acquireInstrument();
+    reactor_->schedule(ReactorEventType::ProbeComplete,
+                       vtime + ch->roundDuration(), c, ticket);
+}
+
+void
+ChannelScheduler::launchBarrierProbes()
+{
+    probesLaunched_ = true;
+    const double wall = epochWall_;
 
     // Scheduling metrics captured before the probes run: staleness and
     // risk weight are exactly the quantities selectChannels() ranked
     // on, and the probe updates them.
-    for (const std::size_t c : selected) {
+    for (const std::size_t c : epochReady_) {
         tmStaleness_.record(static_cast<uint64_t>(
             static_cast<int64_t>(tick_) - lastProbeTick_[c]));
         tmRiskWeight_.record(riskWeight(channels_[c]->state()));
         tmChannelProbes_[c].add();
     }
 
-    FleetRound round;
-    round.tick = tick_;
-    round.probes.resize(selected.size());
+    round_.probes.resize(epochReady_.size());
     // Disjoint channels, disjoint result slots: bit-identical at any
     // thread count.
     const std::size_t batch =
         config_.measureBatch > 1 ? config_.measureBatch : 1;
     if (batch > 1) {
         // Batched mode: item i is a no-op unless it leads a group of
-        // `batch` consecutive selected channels, which the leader
-        // probes serially against one shared SoA arena. Submitting
-        // every index (leaders and no-ops) keeps the pool's stable
+        // `batch` consecutive ready channels, which the leader probes
+        // serially against one shared SoA arena. Submitting every
+        // index (leaders and no-ops) keeps the pool's stable
         // parallel_for metrics identical to per-channel mode, so the
         // two modes export the same telemetry bytes.
         const std::size_t groups =
-            (selected.size() + batch - 1) / batch;
+            (epochReady_.size() + batch - 1) / batch;
         if (kernelArenas_.size() < groups)
             kernelArenas_.resize(groups);
-        pool_->parallelFor(selected.size(), [&](std::size_t i) {
+        pool_->parallelFor(epochReady_.size(), [&](std::size_t i) {
             if (i % batch != 0)
                 return;
             const std::size_t g = i / batch;
             const std::size_t hi =
-                std::min(i + batch, selected.size());
+                std::min(i + batch, epochReady_.size());
             for (std::size_t j = i; j < hi; ++j) {
-                const std::size_t c = selected[j];
+                const std::size_t c = epochReady_[j];
                 channels_[c]->attachKernelArena(&kernelArenas_[g]);
-                round.probes[j].channel = c;
-                round.probes[j].verdict = channels_[c]->monitorAt(wall);
+                round_.probes[j].channel = c;
+                round_.probes[j].verdict = channels_[c]->monitorAt(wall);
                 channels_[c]->attachKernelArena(nullptr);
             }
         });
         tmKernelBatches_.add(groups);
-        tmKernelBatchedProbes_.add(selected.size());
+        tmKernelBatchedProbes_.add(epochReady_.size());
     } else {
-        pool_->parallelFor(selected.size(), [&](std::size_t i) {
-            const std::size_t c = selected[i];
-            round.probes[i].channel = c;
-            round.probes[i].verdict = channels_[c]->monitorAt(wall);
+        pool_->parallelFor(epochReady_.size(), [&](std::size_t i) {
+            const std::size_t c = epochReady_[i];
+            round_.probes[i].channel = c;
+            round_.probes[i].verdict = channels_[c]->monitorAt(wall);
         });
     }
 
-    for (const ChannelProbe &probe : round.probes) {
-        lastProbeTick_[probe.channel] = static_cast<int64_t>(tick_);
-        ++probeCounts_[probe.channel];
-        fleetAuth_.observe(probe.channel, probe.verdict);
+    // Completions land on the tick boundary, ascending channel order
+    // (epochReady_ is ascending), followed by fusion and — with a
+    // store attached — eviction pressure and, when slots idled, one
+    // scrub step: exactly the pre-reactor operation order.
+    for (std::size_t i = 0; i < epochReady_.size(); ++i) {
+        reactor_->acquireInstrument();
+        reactor_->schedule(ReactorEventType::ProbeComplete, epochEnd_,
+                           epochReady_[i], /*ticket=*/i);
     }
-    round.fused = fleetAuth_.evaluate(tick_);
-    lastVerdict_ = round.fused;
-
+    reactor_->schedule(ReactorEventType::FuseEpoch, epochEnd_);
     if (db_ != nullptr) {
-        enforceResidentBudget(static_cast<int64_t>(tick_));
-        if (selected.size() < config_.instruments) {
-            // Idle instrument slots pay for background maintenance:
-            // one shard gets a scrub pass, repairing any single-bank
-            // damage while the siblings are still healthy. Channels
-            // whose records turn out damaged in both banks are fenced
-            // off right here rather than at their next probe.
-            const store::ScrubResult scrub = db_->scrubStep();
-            tmScrubTicks_.add();
-            for (const std::string &id : scrub.lostIds) {
-                for (std::size_t i = 0; i < channels_.size(); ++i) {
-                    if (channels_[i]->name() == id &&
-                        channels_[i]->state() !=
-                            AuthState::PendingReenroll) {
-                        demoteToPendingReenroll(i, wall);
-                        break;
-                    }
-                }
+        reactor_->schedule(ReactorEventType::EvictPressure, epochEnd_);
+        if (epochReady_.size() < config_.instruments)
+            reactor_->schedule(ReactorEventType::ScrubStep, epochEnd_);
+    }
+}
+
+void
+ChannelScheduler::scheduleEpochTail()
+{
+    reactor_->schedule(ReactorEventType::FuseEpoch, epochEnd_);
+    if (db_ != nullptr) {
+        reactor_->schedule(ReactorEventType::EvictPressure, epochEnd_);
+        // Idle instrument time funds background maintenance, as idle
+        // slots did under the barrier scheduler.
+        const double capacity =
+            static_cast<double>(config_.instruments) *
+            (epochEnd_ - epochWall_);
+        const double busy = reactor_->busySeconds() - epochBusyStart_;
+        if (busy + kEpochSlack < capacity)
+            reactor_->schedule(ReactorEventType::ScrubStep, epochEnd_);
+    }
+}
+
+void
+ChannelScheduler::onProbeComplete(const ReactorEvent &event)
+{
+    const std::size_t c = event.channel;
+    const double dur = channels_[c]->roundDuration();
+    if (config_.reactor.mode == ReactorMode::Pipelined) {
+        // Block until this probe's computation finished; every other
+        // ordering decision was already fixed at dispatch.
+        cq_->wait(event.ticket);
+        const ChannelProbe &probe = pipeProbes_[channelSlot_[c]];
+        lastProbeTick_[c] = static_cast<int64_t>(tick_);
+        ++probeCounts_[c];
+        fleetAuth_.observe(c, probe.verdict);
+        round_.probes.push_back(probe);
+        reactor_->releaseInstrument(dur);
+        phase_[c] = ChannelPhase::Idle;
+        // The freed instrument goes straight to the next ranked
+        // channel whose round still fits — the saturation win over
+        // the barrier scheduler.
+        tryDispatch(event.vtime);
+        return;
+    }
+    const ChannelProbe &probe = round_.probes[event.ticket];
+    lastProbeTick_[c] = static_cast<int64_t>(tick_);
+    ++probeCounts_[c];
+    fleetAuth_.observe(c, probe.verdict);
+    reactor_->releaseInstrument(dur);
+    phase_[c] = ChannelPhase::Idle;
+}
+
+void
+ChannelScheduler::onFuseEpoch(const ReactorEvent &event)
+{
+    (void)event;
+    round_.fused = fleetAuth_.evaluate(tick_);
+    lastVerdict_ = round_.fused;
+    epochFused_ = true;
+}
+
+void
+ChannelScheduler::onEvictPressure(const ReactorEvent &event)
+{
+    (void)event;
+    enforceResidentBudget(static_cast<int64_t>(tick_));
+}
+
+void
+ChannelScheduler::onScrubStep(const ReactorEvent &event)
+{
+    // One shard gets a scrub pass, repairing any single-bank damage
+    // while the siblings are still healthy. Channels whose records
+    // turn out damaged in both banks are fenced off right here rather
+    // than at their next probe.
+    const store::ScrubResult scrub = db_->scrubStep();
+    tmScrubTicks_.add();
+    for (const std::string &id : scrub.lostIds) {
+        const auto it = nameIndex_.find(id);
+        if (it == nameIndex_.end())
+            continue;
+        const std::size_t i = it->second;
+        if (channels_[i]->state() == AuthState::PendingReenroll)
+            continue;
+        demoteToPendingReenroll(i, event.vtime);
+        reactor_->schedule(ReactorEventType::FaultEvent, event.vtime,
+                           i);
+    }
+    if (scrub.unreadable) {
+        // The whole shard image yielded nothing recoverable, so
+        // channels routed to it have lost their stored enrollment;
+        // fence them now rather than letting each discover the damage
+        // at its next probe. A record still pending in the
+        // journal-backed overlay is not lost, so only channels the db
+        // can no longer serve are demoted.
+        const auto sit = shardChannels_.find(scrub.shard);
+        if (sit == shardChannels_.end())
+            return;
+        for (const std::size_t i : sit->second) {
+            if (channels_[i]->state() == AuthState::PendingReenroll)
+                continue;
+            store::EnrollmentRecord rec;
+            if (db_->get(channels_[i]->name(), rec) !=
+                store::DbGetStatus::Ok) {
+                demoteToPendingReenroll(i, event.vtime);
+                reactor_->schedule(ReactorEventType::FaultEvent,
+                                   event.vtime, i);
             }
-            if (scrub.unreadable) {
-                // The whole shard image yielded nothing recoverable,
-                // so channels routed to it have lost their stored
-                // enrollment; fence them now rather than letting each
-                // discover the damage at its next probe. A record
-                // still pending in the journal-backed overlay is not
-                // lost, so only channels the db can no longer serve
-                // are demoted.
-                for (std::size_t i = 0; i < channels_.size(); ++i) {
-                    const std::string &name = channels_[i]->name();
-                    if (db_->shardOf(name) != scrub.shard ||
-                        channels_[i]->state() ==
-                            AuthState::PendingReenroll) {
-                        continue;
-                    }
-                    store::EnrollmentRecord rec;
-                    if (db_->get(name, rec) != store::DbGetStatus::Ok)
-                        demoteToPendingReenroll(i, wall);
-                }
+        }
+    }
+}
+
+FleetRound
+ChannelScheduler::tick()
+{
+    if (!calibrated_)
+        divot_fatal("fleet tick() before calibrateAll()");
+
+    const bool pipelined =
+        config_.reactor.mode == ReactorMode::Pipelined;
+    const double epochLen = tickDuration();
+    epochWall_ = epochLen * static_cast<double>(tick_);
+    epochEnd_ = epochWall_ + epochLen;
+    epochBusyStart_ = reactor_->busySeconds();
+    round_ = FleetRound();
+    round_.tick = tick_;
+    epochFused_ = false;
+    probesLaunched_ = false;
+    epochReady_.clear();
+    pipeProbes_.clear();
+    epochSeeded_ = 0;
+
+    SpanScope span = telemetry_->tracer().open("fleet.tick", "fleet",
+                                               epochWall_, tick_);
+
+    if (pipelined) {
+        SpanScope epochSpan = telemetry_->tracer().open(
+            "fleet.reactor.epoch", "reactor", epochWall_, tick_);
+        // Seed one dispatch chain per instrument; each chain keeps
+        // its instrument busy until no ranked candidate fits in the
+        // epoch anymore.
+        for (std::size_t k = 0; k < config_.instruments; ++k) {
+            if (!tryDispatch(epochWall_))
+                break;
+            ++epochSeeded_;
+        }
+        for (;;) {
+            if (reactor_->empty()) {
+                if (epochFused_)
+                    break;
+                scheduleEpochTail();
             }
+            handleEvent(reactor_->pop());
+        }
+        epochSpan.close(epochEnd_, 0);
+    } else {
+        const std::vector<std::size_t> selected = selectChannels();
+        epochSeeded_ = selected.size();
+        for (const std::size_t c : selected) {
+            phase_[c] = ChannelPhase::Hydrating;
+            reactor_->schedule(ReactorEventType::HydrateRequest,
+                               epochWall_, c);
+        }
+        // Hydrations consume in ascending channel order (equal vtime,
+        // ascending seq); the queue then runs dry and the probe batch
+        // + epoch tail launch in the pre-reactor operation order.
+        for (;;) {
+            if (reactor_->empty()) {
+                if (epochFused_)
+                    break;
+                if (!probesLaunched_)
+                    launchBarrierProbes();
+                else
+                    scheduleEpochTail();
+            }
+            handleEvent(reactor_->pop());
         }
     }
 
     tmTicks_.add();
-    tmProbes_.add(selected.size());
+    tmProbes_.add(round_.probes.size());
     tmInstrumentSlots_.add(config_.instruments);
-    tmIdleSlots_.add(config_.instruments - selected.size());
-    (round.fused.busTrusted ? tmTrusted_ : tmUntrusted_).add();
-    if (round.fused.tamperAlarm)
+    const std::size_t used =
+        pipelined ? std::min(config_.instruments, epochSeeded_)
+                  : round_.probes.size();
+    tmIdleSlots_.add(config_.instruments - used);
+    (round_.fused.busTrusted ? tmTrusted_ : tmUntrusted_).add();
+    if (round_.fused.tamperAlarm)
         tmAlarms_.add();
-    if (round.fused.busTrusted != lastTrusted_) {
+    if (round_.fused.busTrusted != lastTrusted_) {
         tmTrustFlips_.add();
         TelemetryEvent event;
-        event.time = wall;
+        event.time = epochWall_;
         event.ordinal = tick_;
         event.kind = "fleet.trust";
         event.tag = "fleet";
-        event.detail = round.fused.busTrusted
+        event.detail = round_.fused.busTrusted
             ? "untrusted->trusted" : "trusted->untrusted";
         telemetry_->events().record(std::move(event));
     }
-    lastTrusted_ = round.fused.busTrusted;
-    span.close(wall + slot_, 0);
+    lastTrusted_ = round_.fused.busTrusted;
+    elapsed_ = epochEnd_;
+    const int64_t util = reactor_->utilizationPerMille(elapsed_);
+    tmUtilization_.set(util);
+    tmIdleSlotPermille_.set(1000 - util);
+    span.close(epochEnd_, 0);
 
     ++tick_;
-    return round;
+    FleetRound result = std::move(round_);
+    return result;
 }
 
 FleetRound

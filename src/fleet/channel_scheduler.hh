@@ -5,8 +5,8 @@
  * FleetAuthenticator for a fused bus verdict.
  *
  * The instrument pool models shared measurement hardware: with
- * `instruments = k`, at most k channels are probed per scheduler
- * tick. Which k is a deterministic function of fleet state:
+ * `instruments = k`, at most k probes are in flight at once. Which
+ * channels get them is a deterministic function of fleet state:
  *
  *  - RoundRobin: channels in fixed rotation, oldest-probed first.
  *  - RiskWeighted: priority = staleness x risk weight of the
@@ -14,30 +14,55 @@
  *    alarmed channels are re-probed more often than healthy ones
  *    (tie-break: lower channel index).
  *
- * Determinism contract (see DESIGN.md §4 and §10): probes of one tick
- * run in parallel on the shared ThreadPool but touch disjoint
- * channels and write disjoint result slots; measurement wall-clock is
- * the precomputed `slot_ * tick`, never real time; channel selection
- * uses no RNG. Fleet rounds are therefore bit-identical at any thread
- * count.
+ * Since the reactor refactor (DESIGN.md §15) a tick is not a
+ * monolithic pipeline but an epoch of the fleet Reactor: hydration,
+ * probe completion, fusion, eviction pressure, scrub, and faults are
+ * queue events consumed in (virtual wall-clock, sequence) order, and
+ * each channel steps through the ChannelPhase state machine as its
+ * events arrive. Two scheduling modes share the machinery
+ * (FleetConfig::reactor):
+ *
+ *  - ReactorMode::Barrier (default): every probe of a tick measures
+ *    at the tick's wall-clock and completes on its boundary —
+ *    bit-identical rounds and stable telemetry to the pre-reactor
+ *    scheduler.
+ *  - ReactorMode::Pipelined: a completing probe releases its
+ *    instrument to the next ranked channel immediately, so short
+ *    rounds are not stretched to the slowest channel's; fusion runs
+ *    on epoch boundaries (`epochSlots` x the barrier tick length).
+ *
+ * Determinism contract (see DESIGN.md §4, §10 and §15): probe
+ * computations run in parallel on the shared ThreadPool but touch
+ * disjoint channels and write disjoint result slots; their *effects*
+ * (FleetAuthenticator observation, store IO, telemetry events) happen
+ * only while the single-threaded event loop consumes the
+ * corresponding event, in an order that is a pure function of
+ * (seed, config). Fleet rounds are therefore bit-identical at any
+ * thread count, in both modes, with and without a store or fault
+ * plans attached.
  */
 
 #ifndef DIVOT_FLEET_CHANNEL_SCHEDULER_HH
 #define DIVOT_FLEET_CHANNEL_SCHEDULER_HH
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fleet/bus_channel.hh"
 #include "fleet/fleet_auth.hh"
+#include "fleet/reactor.hh"
 #include "itdr/kernels/soa.hh"
 #include "store/enrollment_db.hh"
 #include "telemetry/telemetry.hh"
 #include "util/rng.hh"
 
 namespace divot {
+
+class CompletionQueue;
 
 /** Channel-selection policy for the shared instrument pool. */
 enum class SchedulerPolicy
@@ -52,7 +77,7 @@ const char *schedulerPolicyName(SchedulerPolicy policy);
 /** Fleet-wide scheduler configuration. */
 struct FleetConfig
 {
-    std::size_t instruments = 2; //!< iTDR pool size: probes per tick
+    std::size_t instruments = 2; //!< iTDR pool size: probes in flight
     SchedulerPolicy policy = SchedulerPolicy::RoundRobin;
     unsigned threads = 0;        //!< worker threads (0 = hardware)
     FusionConfig fusion;         //!< similarity fusion rule
@@ -61,7 +86,9 @@ struct FleetConfig
     TelemetryConfig telemetry;   //!< fleet-owned observability (on by
                                  //!< default; enabled=false for the
                                  //!< zero-overhead ablation path)
-    std::size_t measureBatch = 0; //!< cross-channel kernel batching:
+    std::size_t measureBatch = 0; //!< cross-channel kernel batching
+                                 //!< (Barrier mode only; Pipelined
+                                 //!< probes dispatch one at a time):
                                  //!< 0 or 1 probes each selected
                                  //!< channel as its own pool item;
                                  //!< N > 1 lets one worker probe N
@@ -73,6 +100,8 @@ struct FleetConfig
                                  //!< byte-identical either way: the
                                  //!< arena is fully overwritten per
                                  //!< measurement (see StrobeSoA)
+    ReactorConfig reactor;       //!< event-core knobs: scheduling
+                                 //!< mode, epoch length, queue bound
 };
 
 /** One channel probe performed during a tick. */
@@ -82,11 +111,13 @@ struct ChannelProbe
     AuthVerdict verdict{};   //!< that channel's round verdict
 };
 
-/** Everything that happened in one scheduler tick. */
+/** Everything that happened in one scheduler tick (= reactor epoch). */
 struct FleetRound
 {
     uint64_t tick = 0;                //!< tick index (0-based)
-    std::vector<ChannelProbe> probes; //!< ascending channel order
+    std::vector<ChannelProbe> probes; //!< Barrier: ascending channel
+                                      //!< order; Pipelined: probe
+                                      //!< completion order
     FleetVerdict fused{};             //!< bus verdict after the tick
 };
 
@@ -107,7 +138,7 @@ struct FleetCacheStats
 };
 
 /**
- * Owns the channels and the probe schedule.
+ * Owns the channels, the reactor, and the probe schedule.
  */
 class ChannelScheduler
 {
@@ -133,9 +164,9 @@ class ChannelScheduler
     void calibrateAll();
 
     /**
-     * One scheduler tick: select up to `instruments` channels, probe
-     * them in parallel at the precomputed wall-clock, fold the
-     * verdicts into the FleetAuthenticator, and return the round.
+     * One scheduler tick = one reactor epoch: seed the event queue
+     * with probe dispatches, drain it in deterministic order, fuse on
+     * the epoch boundary, and return the round.
      */
     FleetRound tick();
 
@@ -167,28 +198,41 @@ class ChannelScheduler
     const FleetConfig &config() const { return config_; }
 
     /** @return wall-clock length of one tick, seconds (valid after
-     *  calibrateAll()). */
-    double tickDuration() const { return slot_; }
+     *  calibrateAll(); in Pipelined mode a tick spans
+     *  `reactor.epochSlots` barrier slots). */
+    double tickDuration() const;
 
     /** @return the fleet-owned telemetry sink (never null; disabled
      *  when FleetConfig::telemetry.enabled is false). */
     Telemetry &telemetry() { return *telemetry_; }
     const Telemetry &telemetry() const { return *telemetry_; }
 
+    /** @return the deterministic event core (queue stats, per-type
+     *  consumption counts, instrument accounting). */
+    const Reactor &reactor() const { return *reactor_; }
+
+    /** @return lifecycle phase of channel `index`. */
+    ChannelPhase channelPhase(std::size_t index) const;
+
+    /** @return instrument utilization over all virtual time elapsed
+     *  so far, in [0, 1]. */
+    double instrumentUtilization() const;
+
     /**
      * Back the fleet with a durable enrollment database and switch to
      * lazy hydration: enrollments are persisted to `db`, fingerprints
      * are loaded on first probe and evicted LRU whenever the resident
      * total exceeds `resident_budget_bytes` (0 = unlimited; the
-     * channels selected for the current tick are always kept, so the
+     * channels probed in the current tick are always kept, so the
      * tick working set is the effective floor). Channels whose records
      * come back unrecoverable are demoted to PendingReenroll instead
      * of aborting the fleet. `db` is borrowed and must outlive the
      * scheduler (and be open()ed).
      *
-     * Hydration and eviction run in the serial sections of a tick, in
-     * ascending channel order, so fused verdicts stay bit-identical at
-     * any thread count — with or without a store attached.
+     * Hydration, eviction, and scrub are reactor events consumed from
+     * the serial event loop in deterministic order, so the store's
+     * IO-event sequence — and any injected storage fault — stays a
+     * pure function of (seed, config) at any thread count.
      */
     void attachStore(store::EnrollmentDb *db,
                      std::size_t resident_budget_bytes = 0);
@@ -199,6 +243,8 @@ class ChannelScheduler
     /**
      * Operator path out of PendingReenroll: re-calibrate the channel
      * against its current line and persist the fresh enrollment.
+     * Consumed as an immediate RecalibrateRequest event (a failed
+     * persist additionally consumes a FaultEvent).
      *
      * @return false when no store is attached or the persist failed
      */
@@ -215,6 +261,28 @@ class ChannelScheduler
      *  channels probed at `current_tick` are pinned. */
     void enforceResidentBudget(int64_t current_tick);
     void demoteToPendingReenroll(std::size_t index, double wall);
+    /** Rebuild the shard → channel-indices routing table. */
+    void rebuildShardRouting();
+
+    /** @name Reactor event handlers (single-threaded event loop). */
+    ///@{
+    void handleEvent(const ReactorEvent &event);
+    void onHydrateRequest(const ReactorEvent &event);
+    void onProbeComplete(const ReactorEvent &event);
+    void onFuseEpoch(const ReactorEvent &event);
+    void onEvictPressure(const ReactorEvent &event);
+    void onScrubStep(const ReactorEvent &event);
+    /** Barrier mode: run the epoch's probe batch (one parallelFor,
+     *  exactly the pre-reactor submission shape) and schedule the
+     *  completion + epoch-tail events. */
+    void launchBarrierProbes();
+    /** Schedule FuseEpoch / EvictPressure / ScrubStep on the epoch
+     *  boundary (Pipelined mode). */
+    void scheduleEpochTail();
+    /** Pipelined mode: dispatch the highest-priority idle channel
+     *  whose round still fits in the epoch. @return dispatched */
+    bool tryDispatch(double vtime);
+    ///@}
 
     FleetConfig config_;
     Rng rng_;
@@ -225,6 +293,9 @@ class ChannelScheduler
     std::vector<uint64_t> probeCounts_;
     FleetAuthenticator fleetAuth_;
     std::unique_ptr<class ThreadPool> pool_;
+    std::unique_ptr<CompletionQueue> cq_; //!< probe completions
+                                          //!< (Pipelined mode)
+    std::unique_ptr<Reactor> reactor_;
     double slot_ = 0.0; //!< max channel roundDuration()
     uint64_t tick_ = 0;
     bool calibrated_ = false;
@@ -235,6 +306,40 @@ class ChannelScheduler
      *  tick (grow-only; groups of one tick run serially on their
      *  leader's worker, so one arena per group suffices). */
     std::vector<StrobeSoA> kernelArenas_;
+
+    /** @name Per-channel state machine + routing indexes. */
+    ///@{
+    std::vector<ChannelPhase> phase_;
+    std::vector<int64_t> lastDispatchTick_; //!< double-probe guard
+                                            //!< within an epoch
+    /** name → channel index; first-added wins on duplicate names
+     *  (mirrors the old first-match linear scan). */
+    std::unordered_map<std::string, std::size_t> nameIndex_;
+    /** store shard → channel indices routed to it, ascending. */
+    std::unordered_map<std::size_t, std::vector<std::size_t>>
+        shardChannels_;
+    ///@}
+
+    /** @name Per-epoch (per-tick) reactor state. */
+    ///@{
+    FleetRound round_{};          //!< round under construction
+    double epochWall_ = 0.0;      //!< epoch start, virtual seconds
+    double epochEnd_ = 0.0;       //!< epoch boundary, virtual seconds
+    double elapsed_ = 0.0;        //!< total virtual time ticked
+    bool epochFused_ = false;
+    bool probesLaunched_ = false; //!< Barrier: batch already ran
+    std::vector<std::size_t> epochReady_; //!< Barrier: hydrated set
+    std::deque<ChannelProbe> pipeProbes_; //!< Pipelined result slots
+                                          //!< (deque: stable addrs
+                                          //!< for worker writes)
+    std::vector<std::size_t> channelSlot_; //!< channel → pipeProbes_
+                                           //!< slot of its in-flight
+                                           //!< probe
+    std::size_t epochSeeded_ = 0; //!< dispatch chains started at the
+                                  //!< epoch seed (idle-slot metric)
+    double epochBusyStart_ = 0.0; //!< reactor busySeconds() at epoch
+                                  //!< start (idle-time → scrub)
+    ///@}
 
     /** @name Durable-store backing (lazy hydrate / LRU evict). */
     ///@{
@@ -262,6 +367,8 @@ class ChannelScheduler
     Counter tmKernelBatchedProbes_; //!< Unstable (same reason)
     HistogramMetric tmStaleness_;
     HistogramMetric tmRiskWeight_;
+    Gauge tmUtilization_;     //!< fleet.instrument.utilization, ‰
+    Gauge tmIdleSlotPermille_; //!< fleet.reactor.idle_slot.permille
     std::vector<Counter> tmChannelProbes_; //!< indexed like channels_
     Counter tmHydrates_;        //!< store.hydrates
     Counter tmEvictions_;       //!< store.evictions

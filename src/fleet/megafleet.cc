@@ -18,6 +18,7 @@ namespace {
 /** Domain-separation tags for the synthetic channel model. */
 constexpr uint64_t kTagMegaChannel = 0x4D454741000000ULL; // "MEGA"
 constexpr uint64_t kTagMegaProbe = 0x4D4550524F4245ULL;   // "MEPROBE"
+constexpr uint64_t kTagMegaDuration = 0x4D454744555200ULL; // "MEGDUR"
 
 /** Mix (channel, tick) into one forkStable tag. Multiplicative
  *  spreading keeps distinct pairs on distinct tags for any fleet and
@@ -83,6 +84,8 @@ MegaFleet::MegaFleet(MegaFleetConfig config, Rng rng)
         config_.fingerprintBins = 8;
     if (config_.probesPerTick == 0)
         config_.probesPerTick = 1;
+    if (config_.instruments == 0)
+        config_.instruments = 1;
     slots_.resize(config_.channels);
 
     store::ensureDir(config_.store.directory);
@@ -98,6 +101,7 @@ MegaFleet::MegaFleet(MegaFleetConfig config, Rng rng)
     tmHydrates_ = reg.counter("megafleet.hydrates");
     tmPending_ = reg.counter("megafleet.pending_reenroll");
     tmCrashRecoveries_ = reg.counter("megafleet.crash_recoveries");
+    tmUtilization_ = reg.gauge("megafleet.instrument.utilization");
 }
 
 MegaFleet::~MegaFleet() = default;
@@ -117,6 +121,63 @@ MegaFleet::syntheticEnrollment(std::size_t index) const
     for (double &v : raw)
         v = chan.uniform(0.25, 1.0);
     return raw;
+}
+
+double
+MegaFleet::probeDuration(std::size_t index) const
+{
+    // Heterogeneous rounds (6x spread) keyed only by (seed, index):
+    // short wires finish early, so the Pipelined schedule has real
+    // slack to reclaim where Barrier waits for the wave's slowest.
+    Rng lane = rng_.forkStable(kTagMegaDuration + index);
+    return lane.uniform(0.2e-3, 1.2e-3);
+}
+
+void
+MegaFleet::accountInstrumentSchedule(
+    const std::vector<std::size_t> &channels)
+{
+    if (channels.empty())
+        return;
+    const std::size_t k = config_.instruments;
+    double busy = 0.0;
+    for (const std::size_t c : channels)
+        busy += probeDuration(c);
+    double span = 0.0;
+    if (config_.schedule == ReactorMode::Barrier) {
+        // Waves of k probes; each wave lasts as long as its slowest
+        // member and every instrument is held for the full wave.
+        for (std::size_t i = 0; i < channels.size(); i += k) {
+            double waveMax = 0.0;
+            const std::size_t hi = std::min(i + k, channels.size());
+            for (std::size_t j = i; j < hi; ++j)
+                waveMax = std::max(waveMax, probeDuration(channels[j]));
+            span += waveMax;
+        }
+    } else {
+        // Pipelined: a freed instrument immediately takes the next
+        // probe in batch order; the tick lasts until the last one
+        // finishes (greedy list schedule, earliest-free instrument,
+        // tie-break lower index — deterministic).
+        std::vector<double> freeAt(k, 0.0);
+        for (const std::size_t c : channels) {
+            std::size_t arg = 0;
+            for (std::size_t i = 1; i < k; ++i)
+                if (freeAt[i] < freeAt[arg])
+                    arg = i;
+            freeAt[arg] += probeDuration(c);
+        }
+        for (const double f : freeAt)
+            span = std::max(span, f);
+    }
+    busySeconds_ += busy;
+    capacitySeconds_ += static_cast<double>(k) * span;
+    report_.instrumentUtilization =
+        capacitySeconds_ > 0.0
+            ? std::min(1.0, busySeconds_ / capacitySeconds_)
+            : 0.0;
+    tmUtilization_.set(static_cast<int64_t>(
+        std::llround(report_.instrumentUtilization * 1000.0)));
 }
 
 void
@@ -261,6 +322,13 @@ MegaFleet::tick()
             static_cast<float>(scores[j]);
         slots_[live[j].channel].tampered = tampered[j] != 0;
     }
+
+    // --- Instrument-pool accounting (busy vs capacity under the
+    // configured scheduling model; never touches the verdict). ------
+    std::vector<std::size_t> probed(live.size());
+    for (std::size_t j = 0; j < live.size(); ++j)
+        probed[j] = live[j].channel;
+    accountInstrumentSchedule(probed);
 
     // --- Fuse (serial). ---------------------------------------------
     MegaFleetVerdict v;

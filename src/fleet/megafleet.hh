@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "fingerprint/fusion.hh"
+#include "fleet/reactor.hh"
 #include "store/enrollment_db.hh"
 #include "telemetry/telemetry.hh"
 #include "util/rng.hh"
@@ -70,6 +71,18 @@ struct MegaFleetConfig
     store::EnrollmentDbConfig store;  //!< shard directory + tunables
     std::size_t residentBudgetBytes = 32u << 20; //!< hydration budget
     TelemetryConfig telemetry;      //!< observability (on by default)
+    std::size_t instruments = 8;    //!< modeled iTDR pool size for the
+                                    //!< instrument-schedule accounting
+    ReactorMode schedule = ReactorMode::Barrier; //!< instrument-pool
+                                    //!< scheduling model: Barrier
+                                    //!< stretches each wave of
+                                    //!< `instruments` probes to its
+                                    //!< slowest member; Pipelined
+                                    //!< hands a freed instrument to
+                                    //!< the next probe immediately.
+                                    //!< Pure accounting — probe math
+                                    //!< and verdict digests are
+                                    //!< identical in both modes
 };
 
 /** Summary of a MegaFleet run. */
@@ -87,6 +100,9 @@ struct MegaFleetReport
                                  //!< (bit-identity comparisons)
     std::size_t peakResidentBytes = 0; //!< max hydrated bytes held at
                                        //!< any instant
+    double instrumentUtilization = 0.0; //!< busy / capacity of the
+                                        //!< modeled instrument pool
+                                        //!< under `config.schedule`
 };
 
 /** One fused bus verdict from a MegaFleet tick. */
@@ -149,6 +165,11 @@ class MegaFleet
     /** @return derived id of channel `index` ("ch<index>"). */
     static std::string channelId(std::size_t index);
 
+    /** @return modeled probe round duration of channel `index`,
+     *  seconds — a pure function of the fleet seed and the index
+     *  (heterogeneous, so scheduling modes actually differ). */
+    double probeDuration(std::size_t index) const;
+
   private:
     /** Per-channel registry entry — deliberately tiny. */
     struct ChannelSlot
@@ -160,6 +181,10 @@ class MegaFleet
 
     void reopenDb();
     MegaFleetVerdict fuse();
+    /** Fold one tick's probe batch into the instrument-pool busy /
+     *  capacity account under the configured scheduling model. */
+    void accountInstrumentSchedule(
+        const std::vector<std::size_t> &channels);
 
     MegaFleetConfig config_;
     Rng rng_;
@@ -171,11 +196,14 @@ class MegaFleet
     std::size_t cursor_ = 0; //!< round-robin probe cursor
     uint64_t tick_ = 0;
     MegaFleetReport report_;
+    double busySeconds_ = 0.0;     //!< Σ probe durations scheduled
+    double capacitySeconds_ = 0.0; //!< Σ instruments x wave makespan
     Counter tmTicks_;
     Counter tmProbes_;
     Counter tmHydrates_;
     Counter tmPending_;
     Counter tmCrashRecoveries_;
+    Gauge tmUtilization_; //!< megafleet.instrument.utilization, ‰
 };
 
 } // namespace divot

@@ -1,0 +1,148 @@
+#include "util/completion_queue.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace divot {
+
+CompletionQueue::CompletionQueue(ThreadPool &pool) : pool_(pool) {}
+
+CompletionQueue::~CompletionQueue()
+{
+    // Tasks capture `this`; letting the queue die with work in flight
+    // would hand workers a dangling pointer.
+    drainAll();
+}
+
+void
+CompletionQueue::finish(Ticket ticket, std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot &slot = slots_[ticket];
+    slot.done = true;
+    slot.error = std::move(error);
+    --inFlight_;
+    // Notify while still holding the lock: the destructor's drainAll
+    // may be waiting on completed_, and an unlocked notify could touch
+    // the condition variable after drainAll observed inFlight_ == 0
+    // and let the queue die.
+    completed_.notify_all();
+}
+
+CompletionQueue::Ticket
+CompletionQueue::submit(std::function<void()> task)
+{
+    Ticket ticket = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ticket = nextTicket_++;
+        slots_.emplace(ticket, Slot{});
+        ++inFlight_;
+        tmSubmitted_.add();
+        tmInFlightMax_.max(static_cast<int64_t>(inFlight_));
+    }
+    pool_.submit([this, ticket, task = std::move(task)] {
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        finish(ticket, std::move(error));
+    });
+    return ticket;
+}
+
+CompletionQueue::Ticket
+CompletionQueue::submitSerial(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return 0;
+    Ticket first = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        first = nextTicket_;
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            slots_.emplace(nextTicket_++, Slot{});
+            ++inFlight_;
+        }
+        tmSubmitted_.add(tasks.size());
+        tmInFlightMax_.max(static_cast<int64_t>(inFlight_));
+    }
+    pool_.submit([this, first, tasks = std::move(tasks)] {
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            std::exception_ptr error;
+            try {
+                tasks[i]();
+            } catch (...) {
+                error = std::current_exception();
+            }
+            finish(first + i, std::move(error));
+        }
+    });
+    return first;
+}
+
+void
+CompletionQueue::wait(Ticket ticket)
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        auto it = slots_.find(ticket);
+        if (it == slots_.end()) {
+            divot_fatal("CompletionQueue::wait on unknown ticket %llu "
+                        "(never issued, or waited twice)",
+                        static_cast<unsigned long long>(ticket));
+        }
+        completed_.wait(lock, [&] { return it->second.done; });
+        error = std::move(it->second.error);
+        slots_.erase(it);
+        tmWaits_.add();
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+CompletionQueue::drainAll()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    completed_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+uint64_t
+CompletionQueue::issued() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nextTicket_ - 1;
+}
+
+std::size_t
+CompletionQueue::outstanding() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+}
+
+void
+CompletionQueue::attachTelemetry(Telemetry *telemetry,
+                                 const std::string &prefix)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (telemetry == nullptr || !telemetry->enabled()) {
+        tmSubmitted_ = Counter();
+        tmWaits_ = Counter();
+        tmInFlightMax_ = Gauge();
+        return;
+    }
+    Registry &reg = telemetry->registry();
+    tmSubmitted_ = reg.counter(prefix + ".submitted");
+    tmWaits_ = reg.counter(prefix + ".waits");
+    tmInFlightMax_ = reg.gauge(prefix + ".inflight.max",
+                               MetricStability::Unstable);
+}
+
+} // namespace divot

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * CompletionQueue — deterministic completion ordering on top of the
+ * ThreadPool.
+ *
+ * parallelFor's barrier contract ("everything finished") is too
+ * coarse for an event-driven consumer: the fleet reactor needs to
+ * consume *individual* probe completions in an order that is a pure
+ * function of (seed, config), never of which worker finished first.
+ * The queue provides exactly that seam: submission hands back a
+ * monotonically increasing Ticket, the pool executes tasks in
+ * whatever order scheduling allows, and wait(ticket) blocks until
+ * that one task is done — so the caller, not the scheduler, chooses
+ * the consumption order, and any exception a task raised is rethrown
+ * at its own wait() instead of racing for a shared first-error slot.
+ *
+ * Determinism contract: Ticket values depend only on the submission
+ * sequence (serial, caller-side). A consumer that waits tickets in a
+ * deterministic order therefore observes results, side effects it
+ * reads after the wait, and exceptions in a deterministic order at
+ * any worker count. Tasks themselves must still follow the repo's
+ * disjoint-write / forkStable discipline.
+ *
+ * submitSerial() covers the fleet's cross-channel kernel batching:
+ * the supplied tasks run back-to-back in one pool task (sharing
+ * caches and SoA arenas), yet each gets its own Ticket that completes
+ * as its slice finishes — so batched and per-task submission are
+ * indistinguishable to the consumer and to stable telemetry.
+ */
+
+#ifndef DIVOT_UTIL_COMPLETION_QUEUE_HH
+#define DIVOT_UTIL_COMPLETION_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/telemetry.hh"
+
+namespace divot {
+
+class ThreadPool;
+
+/**
+ * Ordered-completion facade over a borrowed ThreadPool.
+ */
+class CompletionQueue
+{
+  public:
+    /** Identifies one submitted task; assigned serially from 1. */
+    using Ticket = uint64_t;
+
+    /** @param pool borrowed; must outlive the queue. */
+    explicit CompletionQueue(ThreadPool &pool);
+
+    ~CompletionQueue();
+
+    CompletionQueue(const CompletionQueue &) = delete;
+    CompletionQueue &operator=(const CompletionQueue &) = delete;
+
+    /**
+     * Run `task` on the pool.
+     *
+     * @return the task's ticket, strictly greater than every ticket
+     *         returned before it
+     */
+    Ticket submit(std::function<void()> task);
+
+    /**
+     * Run `tasks` back-to-back inside one pool task (one worker, in
+     * order — the batched-execution path). Every task still gets its
+     * own consecutive ticket, marked done as its slice completes.
+     *
+     * @return the first task's ticket (task i holds ticket
+     *         return + i); 0 when `tasks` is empty
+     */
+    Ticket submitSerial(std::vector<std::function<void()>> tasks);
+
+    /**
+     * Block until `ticket`'s task has finished, then forget it. If
+     * the task threw, its exception is rethrown here (exactly once).
+     * Waiting on a never-issued or already-waited ticket is fatal —
+     * it would deadlock, and a deterministic consumer never does it.
+     */
+    void wait(Ticket ticket);
+
+    /** Block until every outstanding ticket's task has finished.
+     *  Exceptions stay parked on their tickets (fetch with wait()). */
+    void drainAll();
+
+    /** @return tickets issued so far. */
+    uint64_t issued() const;
+
+    /** @return tickets not yet waited on. */
+    std::size_t outstanding() const;
+
+    /**
+     * Attach a telemetry sink under `prefix`. Submitted/waited counts
+     * are Stable (pure functions of the caller's submission
+     * sequence); the in-flight high-water mark depends on scheduling
+     * and registers as Unstable. Pass nullptr to detach. Not owned;
+     * must outlive the queue.
+     */
+    void attachTelemetry(Telemetry *telemetry,
+                         const std::string &prefix = "cq");
+
+  private:
+    struct Slot
+    {
+        bool done = false;
+        std::exception_ptr error;
+    };
+
+    ThreadPool &pool_;
+    mutable std::mutex mutex_;
+    std::condition_variable completed_;
+    std::unordered_map<Ticket, Slot> slots_;
+    Ticket nextTicket_ = 1;
+    std::size_t inFlight_ = 0; //!< submitted, not yet finished
+
+    Counter tmSubmitted_;   //!< Stable: caller-side submission count
+    Counter tmWaits_;       //!< Stable: completed waits
+    Gauge tmInFlightMax_;   //!< Unstable high-water mark
+
+    void finish(Ticket ticket, std::exception_ptr error);
+};
+
+} // namespace divot
+
+#endif // DIVOT_UTIL_COMPLETION_QUEUE_HH

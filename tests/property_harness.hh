@@ -121,6 +121,17 @@ generateCase(std::size_t index)
         }
         pc.faultWire = rng.uniformInt(pc.channels);
     }
+
+    // Reactor scheduling mode rides on the tail of the draw stream so
+    // every field above keeps the value it had before the reactor
+    // existed (cases stay reproducible across harness revisions). A
+    // third of the cases run the Pipelined mode, with a 1-3 slot
+    // fusion epoch; batching stays per-channel there (measureBatch is
+    // a Barrier-only knob and is ignored by Pipelined dispatch).
+    if (rng.bernoulli(1.0 / 3.0)) {
+        pc.fleet.reactor.mode = ReactorMode::Pipelined;
+        pc.fleet.reactor.epochSlots = 1 + rng.uniformInt(3);
+    }
     return pc;
 }
 

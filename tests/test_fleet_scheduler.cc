@@ -127,6 +127,63 @@ TEST(FleetScheduler, BitIdenticalAcrossThreadCounts)
     }
 }
 
+TEST(FleetScheduler, BarrierReactorMatchesDefaultScheduler)
+{
+    // ReactorMode::Barrier is the default; spelling it out must
+    // change nothing — the event-driven core replays the pre-reactor
+    // operation order exactly (DESIGN.md §15).
+    for (const SchedulerPolicy policy :
+         {SchedulerPolicy::RoundRobin, SchedulerPolicy::RiskWeighted}) {
+        ChannelScheduler implicit = makeFleet(5, 2, policy, 3);
+        FleetConfig cfg;
+        cfg.instruments = 3;
+        cfg.policy = policy;
+        cfg.threads = 2;
+        cfg.reactor.mode = ReactorMode::Barrier;
+        ChannelScheduler explicit_barrier(cfg, Rng(42));
+        for (std::size_t c = 0; c < 5; ++c)
+            explicit_barrier.addChannel(quickChannel(c));
+        explicit_barrier.calibrateAll();
+        const FleetTrace a = runFleet(implicit, 8);
+        const FleetTrace b = runFleet(explicit_barrier, 8);
+        EXPECT_EQ(a, b) << schedulerPolicyName(policy);
+    }
+}
+
+TEST(FleetScheduler, PipelinedBitIdenticalAcrossThreadCounts)
+{
+    // The thread x policy determinism matrix, pipelined column: probe
+    // completions are consumed at queue positions fixed at dispatch,
+    // so the trace is a pure function of (seed, config) here too.
+    auto makePipelined = [](unsigned threads, SchedulerPolicy policy) {
+        FleetConfig cfg;
+        cfg.instruments = 3;
+        cfg.policy = policy;
+        cfg.threads = threads;
+        cfg.reactor.mode = ReactorMode::Pipelined;
+        cfg.reactor.epochSlots = 2;
+        ChannelScheduler fleet(cfg, Rng(42));
+        for (std::size_t c = 0; c < 6; ++c) {
+            BusChannelConfig ch = quickChannel(c);
+            ch.lineLength = 0.06 + 0.012 * static_cast<double>(c);
+            fleet.addChannel(ch);
+        }
+        fleet.calibrateAll();
+        return fleet;
+    };
+    for (const SchedulerPolicy policy :
+         {SchedulerPolicy::RoundRobin, SchedulerPolicy::RiskWeighted}) {
+        ChannelScheduler f1 = makePipelined(1, policy);
+        ChannelScheduler f2 = makePipelined(2, policy);
+        ChannelScheduler f8 = makePipelined(8, policy);
+        const FleetTrace t1 = runFleet(f1, 10);
+        const FleetTrace t2 = runFleet(f2, 10);
+        const FleetTrace t8 = runFleet(f8, 10);
+        EXPECT_EQ(t1, t2) << schedulerPolicyName(policy);
+        EXPECT_EQ(t1, t8) << schedulerPolicyName(policy);
+    }
+}
+
 TEST(FleetScheduler, BinomialStrobeModelRunsFleetEndToEnd)
 {
     // The analytic strobe engine plumbs through BusChannel and the

@@ -1,0 +1,535 @@
+/**
+ * @file
+ * Tests for the event-driven fleet core (DESIGN.md §15): the
+ * CompletionQueue ordering seam, the Reactor's deterministic
+ * (vtime, seq) event order and instrument accounting, the Pipelined
+ * scheduling mode's thread-count bit-identity (with and without fault
+ * plans and a backing store), its utilization win over the Barrier
+ * mode on a heterogeneous fleet, and the operator re-enrollment path
+ * out of PendingReenroll under both policies — including a persist
+ * that dies on an injected storage fault.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "fleet/channel_scheduler.hh"
+#include "fleet/reactor.hh"
+#include "store/enrollment_db.hh"
+#include "store/io.hh"
+#include "util/completion_queue.hh"
+#include "util/thread_pool.hh"
+
+namespace divot {
+namespace {
+
+// ---------------------------------------------------------------------
+// CompletionQueue
+// ---------------------------------------------------------------------
+
+TEST(CompletionQueue, TicketsAreSeriallyAssignedFromOne)
+{
+    ThreadPool pool(2);
+    CompletionQueue cq(pool);
+    std::vector<CompletionQueue::Ticket> tickets;
+    for (int i = 0; i < 4; ++i)
+        tickets.push_back(cq.submit([] {}));
+    for (std::size_t i = 0; i < tickets.size(); ++i)
+        EXPECT_EQ(tickets[i], i + 1);
+    EXPECT_EQ(cq.issued(), 4u);
+    cq.drainAll();
+    for (const CompletionQueue::Ticket t : tickets)
+        cq.wait(t);
+    EXPECT_EQ(cq.outstanding(), 0u);
+}
+
+TEST(CompletionQueue, CallerChoosesConsumptionOrder)
+{
+    // Tasks finish in scheduler order, but the consumer waits them in
+    // reverse: every wait must still return after exactly its own
+    // task, with its side effect visible.
+    ThreadPool pool(4);
+    CompletionQueue cq(pool);
+    std::vector<int> results(4, 0);
+    std::vector<CompletionQueue::Ticket> tickets;
+    for (int i = 0; i < 4; ++i) {
+        tickets.push_back(cq.submit([&results, i] {
+            // Earlier tickets sleep longer, so raw completion order
+            // inverts submission order.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(3 * (4 - i)));
+            results[static_cast<std::size_t>(i)] = i + 1;
+        }));
+    }
+    for (std::size_t i = tickets.size(); i-- > 0;) {
+        cq.wait(tickets[i]);
+        EXPECT_EQ(results[i], static_cast<int>(i) + 1);
+    }
+}
+
+TEST(CompletionQueue, ExceptionRethrownAtItsOwnWait)
+{
+    ThreadPool pool(2);
+    CompletionQueue cq(pool);
+    const CompletionQueue::Ticket ok = cq.submit([] {});
+    const CompletionQueue::Ticket bad = cq.submit(
+        [] { throw std::runtime_error("probe exploded"); });
+    EXPECT_NO_THROW(cq.wait(ok));
+    EXPECT_THROW(cq.wait(bad), std::runtime_error);
+}
+
+TEST(CompletionQueue, SubmitSerialRunsInOrderWithConsecutiveTickets)
+{
+    ThreadPool pool(4);
+    CompletionQueue cq(pool);
+    std::vector<int> order;
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 3; ++i)
+        tasks.push_back([&order, i] { order.push_back(i); });
+    const CompletionQueue::Ticket first = cq.submitSerial(
+        std::move(tasks));
+    EXPECT_EQ(first, 1u);
+    for (int i = 0; i < 3; ++i)
+        cq.wait(first + static_cast<CompletionQueue::Ticket>(i));
+    // One worker ran the batch back-to-back in submission order.
+    ASSERT_EQ(order.size(), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(cq.submitSerial({}), 0u);
+}
+
+TEST(CompletionQueueDeathTest, WaitingAnUnknownTicketIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ThreadPool pool(1);
+    CompletionQueue cq(pool);
+    const CompletionQueue::Ticket t = cq.submit([] {});
+    cq.wait(t);
+    EXPECT_DEATH(cq.wait(t), "unknown ticket");
+}
+
+// ---------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------
+
+TEST(Reactor, PopsInVirtualTimeOrder)
+{
+    Reactor reactor(ReactorConfig{}, 1);
+    reactor.schedule(ReactorEventType::FuseEpoch, 3.0);
+    reactor.schedule(ReactorEventType::ProbeComplete, 1.0);
+    reactor.schedule(ReactorEventType::HydrateRequest, 2.0);
+    EXPECT_EQ(reactor.depth(), 3u);
+    EXPECT_EQ(reactor.pop().type, ReactorEventType::ProbeComplete);
+    EXPECT_EQ(reactor.pop().type, ReactorEventType::HydrateRequest);
+    EXPECT_EQ(reactor.pop().type, ReactorEventType::FuseEpoch);
+    EXPECT_TRUE(reactor.empty());
+}
+
+TEST(Reactor, TiesBreakOnScheduleOrder)
+{
+    Reactor reactor(ReactorConfig{}, 1);
+    for (std::size_t c = 0; c < 5; ++c)
+        reactor.schedule(ReactorEventType::ProbeComplete, 1.0, c);
+    for (std::size_t c = 0; c < 5; ++c) {
+        const ReactorEvent event = reactor.pop();
+        EXPECT_EQ(event.channel, c);
+        EXPECT_EQ(event.seq, c);
+    }
+}
+
+TEST(Reactor, SequenceNumbersSpanQueuedAndImmediateEvents)
+{
+    Reactor reactor(ReactorConfig{}, 1);
+    const uint64_t first =
+        reactor.schedule(ReactorEventType::HydrateRequest, 0.0);
+    const ReactorEvent imm = reactor.dispatchImmediate(
+        ReactorEventType::RecalibrateRequest, 0.0, 3);
+    const uint64_t last =
+        reactor.schedule(ReactorEventType::FuseEpoch, 0.0);
+    EXPECT_EQ(imm.seq, first + 1);
+    EXPECT_EQ(last, imm.seq + 1);
+    EXPECT_EQ(imm.channel, 3u);
+    // Immediate events count as consumed without touching the queue.
+    EXPECT_EQ(reactor.depth(), 2u);
+    EXPECT_EQ(reactor.consumed(ReactorEventType::RecalibrateRequest),
+              1u);
+    reactor.pop();
+    reactor.pop();
+    EXPECT_EQ(reactor.consumedTotal(), 3u);
+    EXPECT_EQ(reactor.queueHighWater(), 2u);
+}
+
+TEST(Reactor, InstrumentAccountingDrivesUtilization)
+{
+    Reactor reactor(ReactorConfig{}, 2);
+    EXPECT_EQ(reactor.freeInstruments(), 2u);
+    reactor.acquireInstrument();
+    reactor.acquireInstrument();
+    EXPECT_EQ(reactor.freeInstruments(), 0u);
+    reactor.releaseInstrument(1.0);
+    reactor.releaseInstrument(0.5);
+    EXPECT_EQ(reactor.freeInstruments(), 2u);
+    EXPECT_DOUBLE_EQ(reactor.busySeconds(), 1.5);
+    // busy 1.5 s over 2 instruments x 1 s of virtual time = 0.75.
+    EXPECT_DOUBLE_EQ(reactor.utilization(1.0), 0.75);
+    EXPECT_EQ(reactor.utilizationPerMille(1.0), 750);
+    // Saturates at 1, and reads 0 before any time has elapsed.
+    EXPECT_DOUBLE_EQ(reactor.utilization(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(reactor.utilization(0.0), 0.0);
+}
+
+TEST(ReactorDeathTest, BoundedQueueOverflowIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ReactorConfig cfg;
+    cfg.maxQueue = 2;
+    Reactor reactor(cfg, 1);
+    reactor.schedule(ReactorEventType::ScrubStep, 0.0);
+    reactor.schedule(ReactorEventType::ScrubStep, 0.0);
+    EXPECT_DEATH(reactor.schedule(ReactorEventType::ScrubStep, 0.0),
+                 "queue overflow");
+}
+
+TEST(ReactorDeathTest, InstrumentOverDispatchIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    Reactor reactor(ReactorConfig{}, 1);
+    reactor.acquireInstrument();
+    EXPECT_DEATH(reactor.acquireInstrument(), "over-dispatch");
+}
+
+// ---------------------------------------------------------------------
+// Pipelined scheduling mode
+// ---------------------------------------------------------------------
+
+BusChannelConfig
+quickChannel(std::size_t index, double line_length = 0.1)
+{
+    BusChannelConfig cfg;
+    cfg.lineLength = line_length; // keep tests fast
+    cfg.enrollReps = 8;
+    cfg.name = "wire" + std::to_string(index);
+    return cfg;
+}
+
+ChannelScheduler
+makePipelinedFleet(std::size_t channels, unsigned threads,
+                   SchedulerPolicy policy, std::size_t instruments,
+                   std::size_t epoch_slots = 1, uint64_t seed = 42)
+{
+    FleetConfig cfg;
+    cfg.instruments = instruments;
+    cfg.policy = policy;
+    cfg.threads = threads;
+    cfg.reactor.mode = ReactorMode::Pipelined;
+    cfg.reactor.epochSlots = epoch_slots;
+    ChannelScheduler fleet(cfg, Rng(seed));
+    for (std::size_t c = 0; c < channels; ++c)
+        fleet.addChannel(quickChannel(c, 0.06 + 0.012 * c));
+    fleet.calibrateAll();
+    return fleet;
+}
+
+/** Everything observable about a run, for bit-exact comparison. */
+struct FleetTrace
+{
+    std::vector<std::size_t> probeChannels;
+    std::vector<double> probeSimilarities;
+    std::vector<double> probeErrors;
+    std::vector<double> fusedSimilarities;
+    std::vector<bool> trusted;
+
+    bool operator==(const FleetTrace &) const = default;
+};
+
+FleetTrace
+runFleet(ChannelScheduler &fleet, std::size_t ticks,
+         FaultInjector *injector = nullptr, std::size_t fault_wire = 0)
+{
+    if (injector != nullptr)
+        fleet.channel(fault_wire).attachFaultInjector(injector);
+    FleetTrace trace;
+    for (std::size_t t = 0; t < ticks; ++t) {
+        const FleetRound round = fleet.tick();
+        for (const ChannelProbe &probe : round.probes) {
+            trace.probeChannels.push_back(probe.channel);
+            trace.probeSimilarities.push_back(probe.verdict.similarity);
+            trace.probeErrors.push_back(probe.verdict.peakError);
+        }
+        trace.fusedSimilarities.push_back(round.fused.fusedSimilarity);
+        trace.trusted.push_back(round.fused.busTrusted);
+    }
+    return trace;
+}
+
+TEST(PipelinedFleet, FusesToTrustedBusAndKeepsInstrumentsBusy)
+{
+    ChannelScheduler fleet = makePipelinedFleet(
+        6, 1, SchedulerPolicy::RoundRobin, 2, 2);
+    const FleetRound last = fleet.run(6);
+    EXPECT_TRUE(last.fused.busTrusted);
+    EXPECT_GT(last.fused.fusedSimilarity,
+              fleet.config().similarityThreshold);
+    // A freed instrument is re-dispatched mid-epoch, so an epoch runs
+    // more probes than the pool could hold at once.
+    EXPECT_GT(last.probes.size(), fleet.config().instruments);
+    // Every probe was a real dispatch chain through the reactor.
+    EXPECT_EQ(fleet.reactor().consumed(ReactorEventType::ProbeComplete),
+              fleet.telemetry().registry().counterValue("fleet.probes"));
+    EXPECT_GT(fleet.instrumentUtilization(), 0.0);
+}
+
+TEST(PipelinedFleet, BitIdenticalAcrossThreadCounts)
+{
+    for (const SchedulerPolicy policy :
+         {SchedulerPolicy::RoundRobin, SchedulerPolicy::RiskWeighted}) {
+        ChannelScheduler f1 = makePipelinedFleet(6, 1, policy, 3, 2);
+        ChannelScheduler f2 = makePipelinedFleet(6, 2, policy, 3, 2);
+        ChannelScheduler f8 = makePipelinedFleet(6, 8, policy, 3, 2);
+        const FleetTrace t1 = runFleet(f1, 10);
+        const FleetTrace t2 = runFleet(f2, 10);
+        const FleetTrace t8 = runFleet(f8, 10);
+        EXPECT_EQ(t1, t2) << schedulerPolicyName(policy);
+        EXPECT_EQ(t1, t8) << schedulerPolicyName(policy);
+        // The stable telemetry export — which embeds the full event
+        // accounting — must also be byte-identical.
+        EXPECT_EQ(f1.telemetry().exportJson(),
+                  f8.telemetry().exportJson())
+            << schedulerPolicyName(policy);
+    }
+}
+
+TEST(PipelinedFleet, BitIdenticalWithFaultPlanActive)
+{
+    const FaultPlan plan =
+        FaultPlan{}.emiBurst(2, 2, 2.5e-3, 25e6).budgetOverrun(6, 3, 2.0);
+    for (const SchedulerPolicy policy :
+         {SchedulerPolicy::RoundRobin, SchedulerPolicy::RiskWeighted}) {
+        ChannelScheduler f1 = makePipelinedFleet(4, 1, policy, 2, 2);
+        ChannelScheduler f8 = makePipelinedFleet(4, 8, policy, 2, 2);
+        FaultInjector inj1(plan, Rng(7).forkStable(1));
+        FaultInjector inj8(plan, Rng(7).forkStable(1));
+        const FleetTrace t1 = runFleet(f1, 12, &inj1, 1);
+        const FleetTrace t8 = runFleet(f8, 12, &inj8, 1);
+        EXPECT_EQ(t1, t8) << schedulerPolicyName(policy);
+    }
+}
+
+std::string
+freshDbDir(const char *name)
+{
+    const std::string dir = std::string(::testing::TempDir()) + name;
+    store::ensureDir(dir);
+    for (unsigned s = 0; s < 8; ++s) {
+        const std::string shard =
+            dir + "/shard-" + std::to_string(s) + ".bin";
+        store::removeFile(shard);
+        store::removeFile(shard + ".tmp");
+    }
+    store::removeFile(dir + "/journal.wal");
+    return dir;
+}
+
+store::EnrollmentDbConfig
+dbConfig(const std::string &dir)
+{
+    store::EnrollmentDbConfig cfg;
+    cfg.directory = dir;
+    cfg.shards = 4;
+    cfg.overlayFlushRecords = 2;
+    return cfg;
+}
+
+TEST(PipelinedFleet, BitIdenticalAcrossThreadCountsWithStore)
+{
+    // Store IO (hydration, eviction, scrub) happens only while the
+    // single-threaded loop consumes events, so the IO-event sequence —
+    // and with it every verdict — is thread-count invariant even with
+    // an eviction-churning budget.
+    FleetTrace traces[2];
+    std::string exports[2];
+    const unsigned threads[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        ChannelScheduler fleet = makePipelinedFleet(
+            4, threads[i], SchedulerPolicy::RoundRobin, 2, 2);
+        const std::string dir = freshDbDir(
+            i == 0 ? "reactor_store_t1" : "reactor_store_t4");
+        store::EnrollmentDb db(dbConfig(dir));
+        ASSERT_TRUE(db.open());
+        fleet.attachStore(&db, 1); // evict everything unpinned
+        traces[i] = runFleet(fleet, 8);
+        exports[i] = fleet.telemetry().exportJson();
+    }
+    EXPECT_EQ(traces[0], traces[1]);
+    EXPECT_EQ(exports[0], exports[1]);
+}
+
+TEST(PipelinedFleet, OutUtilizesBarrierOnHeterogeneousFleet)
+{
+    // One slow wire (long line) among five fast ones, pool of two.
+    // The barrier slot spans the slowest channel's round, so every
+    // barrier tick strands most of both instruments' time; Pipelined
+    // back-fills a freed instrument with fast rounds, so its pool
+    // must be strictly busier.
+    auto build = [](ReactorMode mode) {
+        FleetConfig cfg;
+        cfg.instruments = 2;
+        cfg.policy = SchedulerPolicy::RoundRobin;
+        cfg.threads = 1;
+        cfg.reactor.mode = mode;
+        ChannelScheduler fleet(cfg, Rng(42));
+        for (std::size_t c = 0; c < 5; ++c)
+            fleet.addChannel(quickChannel(c, 0.05));
+        fleet.addChannel(quickChannel(5, 0.25));
+        fleet.calibrateAll();
+        return fleet;
+    };
+    ChannelScheduler barrier = build(ReactorMode::Barrier);
+    ChannelScheduler pipelined = build(ReactorMode::Pipelined);
+    barrier.run(8);
+    pipelined.run(8);
+    EXPECT_GT(pipelined.instrumentUtilization(),
+              barrier.instrumentUtilization());
+    // And it converts the extra capacity into real coverage.
+    uint64_t barrier_probes = 0, pipelined_probes = 0;
+    for (std::size_t c = 0; c < 6; ++c) {
+        barrier_probes += barrier.probeCount(c);
+        pipelined_probes += pipelined.probeCount(c);
+    }
+    EXPECT_GT(pipelined_probes, barrier_probes);
+}
+
+TEST(PipelinedFleet, ChannelPhasesReturnToIdleBetweenTicks)
+{
+    ChannelScheduler fleet = makePipelinedFleet(
+        3, 2, SchedulerPolicy::RoundRobin, 2);
+    for (int t = 0; t < 4; ++t) {
+        fleet.tick();
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(fleet.channelPhase(c), ChannelPhase::Idle);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operator re-enrollment (RecalibrateRequest path)
+// ---------------------------------------------------------------------
+
+class ReenrollTest : public ::testing::TestWithParam<SchedulerPolicy>
+{
+};
+
+TEST_P(ReenrollTest, FencedChannelRejoinsAfterReenroll)
+{
+    const SchedulerPolicy policy = GetParam();
+    FleetConfig cfg;
+    cfg.instruments = 1;
+    cfg.policy = policy;
+    cfg.threads = 1;
+    ChannelScheduler fleet(cfg, Rng(42));
+    for (std::size_t c = 0; c < 2; ++c)
+        fleet.addChannel(quickChannel(c));
+    fleet.calibrateAll();
+
+    const std::string dir = freshDbDir(
+        policy == SchedulerPolicy::RoundRobin ? "reenroll_rr"
+                                              : "reenroll_rw");
+    store::EnrollmentDb db(dbConfig(dir));
+    ASSERT_TRUE(db.open());
+    fleet.attachStore(&db, 1); // evict everything unpinned
+
+    // Tick 0 probes wire0 and evicts wire1; losing wire1's durable
+    // copy fences it on the next hydration attempt.
+    fleet.tick();
+    ASSERT_TRUE(db.erase("wire1"));
+    fleet.tick();
+    ASSERT_EQ(fleet.channel(1).state(), AuthState::PendingReenroll);
+    ASSERT_EQ(fleet.channelPhase(1), ChannelPhase::Fenced);
+
+    // PendingReenroll -> re-calibrate -> persist -> re-admission.
+    const uint64_t recalibrations_before =
+        fleet.reactor().consumed(ReactorEventType::RecalibrateRequest);
+    ASSERT_TRUE(fleet.reenrollChannel(1));
+    EXPECT_EQ(
+        fleet.reactor().consumed(ReactorEventType::RecalibrateRequest),
+        recalibrations_before + 1);
+    EXPECT_NE(fleet.channel(1).state(), AuthState::PendingReenroll);
+    EXPECT_EQ(fleet.channelPhase(1), ChannelPhase::Idle);
+    store::EnrollmentRecord rec;
+    EXPECT_EQ(db.get("wire1", rec), store::DbGetStatus::Ok);
+
+    bool probed1 = false;
+    for (int t = 0; t < 6; ++t) {
+        const FleetRound round = fleet.tick();
+        EXPECT_EQ(round.fused.pendingReenrollWires, 0u);
+        for (const ChannelProbe &probe : round.probes)
+            probed1 = probed1 || probe.channel == 1u;
+    }
+    EXPECT_TRUE(probed1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothPolicies, ReenrollTest,
+    ::testing::Values(SchedulerPolicy::RoundRobin,
+                      SchedulerPolicy::RiskWeighted));
+
+TEST(ReenrollTest2, NoStoreAttachedReenrollStillRecalibrates)
+{
+    FleetConfig cfg;
+    cfg.instruments = 2;
+    cfg.threads = 1;
+    ChannelScheduler fleet(cfg, Rng(42));
+    fleet.addChannel(quickChannel(0));
+    fleet.addChannel(quickChannel(1));
+    fleet.calibrateAll();
+    // Storeless fleets have no hydration failures, but the operator
+    // entry point still re-calibrates and counts the event.
+    EXPECT_TRUE(fleet.reenrollChannel(1));
+    EXPECT_EQ(
+        fleet.reactor().consumed(ReactorEventType::RecalibrateRequest),
+        1u);
+}
+
+TEST(ReenrollTest2, FaultedPersistReportsFailureAndCountsFaultEvent)
+{
+    FleetConfig cfg;
+    cfg.instruments = 1;
+    cfg.threads = 1;
+    ChannelScheduler fleet(cfg, Rng(42));
+    for (std::size_t c = 0; c < 2; ++c)
+        fleet.addChannel(quickChannel(c));
+    fleet.calibrateAll();
+
+    const std::string dir = freshDbDir("reenroll_faulted");
+    store::EnrollmentDb db(dbConfig(dir));
+    ASSERT_TRUE(db.open());
+    fleet.attachStore(&db, 1);
+
+    fleet.tick();
+    ASSERT_TRUE(db.erase("wire1"));
+    fleet.tick();
+    ASSERT_EQ(fleet.channel(1).state(), AuthState::PendingReenroll);
+
+    // The re-enrollment's own put crashes: a storage power cut at the
+    // db's next IO event kills the handle mid-persist.
+    FaultPlan plan;
+    plan.storageCrash(db.ioEvents(), StorageCrashPoint::BeforeCommit);
+    const FaultInjector injector(plan, Rng(99));
+    db.attachFaultInjector(&injector);
+
+    const uint64_t faults_before =
+        fleet.reactor().consumed(ReactorEventType::FaultEvent);
+    EXPECT_FALSE(fleet.reenrollChannel(1));
+    EXPECT_EQ(fleet.reactor().consumed(ReactorEventType::FaultEvent),
+              faults_before + 1);
+    EXPECT_FALSE(db.alive());
+}
+
+} // namespace
+} // namespace divot
