@@ -16,7 +16,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "util/logging.hh"
 
@@ -29,6 +31,8 @@ struct Options
     bool full = false;     //!< paper-scale population sizes
     bool smoke = false;    //!< CI-scale quick pass (subset + short)
     bool quick = false;    //!< smallest meaningful sizes (CI gates)
+    bool million = false;  //!< capacity leg: 10^6-channel mega-fleet
+                           //!< (benches that support it)
     bool csv = false;      //!< CSV instead of aligned tables
     bool json = false;     //!< also write a machine-readable
                            //!< BENCH_<name>.json (benches that
@@ -51,6 +55,8 @@ parseOptions(int argc, char **argv)
             opt.smoke = true;
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             opt.quick = true;
+        } else if (std::strcmp(argv[i], "--million") == 0) {
+            opt.million = true;
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             opt.csv = true;
         } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -63,7 +69,8 @@ parseOptions(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--full] [--smoke] [--quick] "
-                         "[--csv] [--json] [--gate] [--seed N]\n",
+                         "[--million] [--csv] [--json] [--gate] "
+                         "[--seed N]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -92,6 +99,76 @@ writeEmbeddedJson(std::FILE *f, const std::string &json,
         }
     }
     std::fputc('\n', f);
+}
+
+/**
+ * Last record in a committed BENCH_*.json trajectory whose text
+ * contains every `shape` needle — the bench name plus the scale and
+ * config fields that make two runs comparable. Records are the
+ * depth-1 `{...}` blocks of the top-level array, found with a
+ * string-aware brace scan (records embed nested objects and quoted
+ * JSON), so the gate baseline is the last record of the SAME bench
+ * at the SAME shape — not whatever record happens to sit last in the
+ * shared trajectory file.
+ *
+ * @return the matching record's text, or "" when none matches
+ */
+inline std::string
+lastMatchingRecord(const std::string &content,
+                   const std::vector<std::string> &shape)
+{
+    std::string last;
+    std::size_t depth = 0;
+    std::size_t start = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (std::size_t i = 0; i < content.size(); ++i) {
+        const char ch = content[i];
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (ch == '\\')
+                escaped = true;
+            else if (ch == '"')
+                in_string = false;
+            continue;
+        }
+        if (ch == '"') {
+            in_string = true;
+        } else if (ch == '{') {
+            if (depth++ == 0)
+                start = i;
+        } else if (ch == '}' && depth > 0 && --depth == 0) {
+            const std::string record =
+                content.substr(start, i + 1 - start);
+            bool match = true;
+            for (const std::string &needle : shape) {
+                if (record.find(needle) == std::string::npos) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match)
+                last = record;
+        }
+    }
+    return last;
+}
+
+/** Extract top-level `"key": <number>` fields from a record. */
+inline std::map<std::string, double>
+recordRates(const std::string &record,
+            const std::vector<const char *> &keys)
+{
+    std::map<std::string, double> rates;
+    for (const char *key : keys) {
+        const std::string needle = std::string("\"") + key + "\": ";
+        const std::size_t at = record.find(needle);
+        if (at != std::string::npos)
+            rates[key] = std::strtod(
+                record.c_str() + at + needle.size(), nullptr);
+    }
+    return rates;
 }
 
 /** Print the experiment banner. */

@@ -236,39 +236,42 @@ appendRecord(const char *path, const std::string &record)
 }
 
 /**
- * Throughput rows of the LAST record in the committed trajectory —
- * the regression-gate baseline. A plain scan for ("name",
- * "measPerSec") pairs from the final "label" key onward; engine
- * names are unique within a record, so no full JSON parse is needed.
+ * Throughput rows of the last committed record of THIS bench at THIS
+ * scale — the regression-gate baseline. The trajectory file is
+ * shared with other benches (e.g. megafleet) and other scales, so
+ * the baseline is the last shape-matched record, not whatever record
+ * sits last in the file; the ("name", "measPerSec") scan is bounded
+ * to that record's text so a later record of another bench can never
+ * contribute rows. Engine names are unique within a record, so no
+ * full JSON parse is needed.
  */
 std::map<std::string, double>
-lastCommittedRates(const char *path)
+lastCommittedRates(const char *path, const Options &opt)
 {
-    const std::string content = readWholeFile(path);
+    const std::vector<std::string> shape = {
+        "\"bench\": \"study_throughput\"",
+        std::string("\"scale\": \"") +
+            (opt.full ? "full" : opt.quick ? "quick" : "default") +
+            "\""};
+    const std::string record =
+        lastMatchingRecord(readWholeFile(path), shape);
     std::map<std::string, double> rates;
-    // Anchor on the last record of THIS bench: the trajectory file is
-    // shared with other benches (e.g. megafleet), whose records carry
-    // no "name" rows and would otherwise blank the baseline.
-    std::size_t pos = content.rfind("\"bench\": \"study_throughput\"");
-    if (pos == std::string::npos)
-        pos = content.rfind("\"label\"");
-    if (pos == std::string::npos)
-        return rates;
+    std::size_t pos = 0;
     while (true) {
-        pos = content.find("\"name\": \"", pos);
+        pos = record.find("\"name\": \"", pos);
         if (pos == std::string::npos)
             break;
         pos += 9;
-        const std::size_t name_end = content.find('"', pos);
+        const std::size_t name_end = record.find('"', pos);
         if (name_end == std::string::npos)
             break;
-        const std::string name = content.substr(pos, name_end - pos);
+        const std::string name = record.substr(pos, name_end - pos);
         const std::size_t rate_key =
-            content.find("\"measPerSec\": ", name_end);
+            record.find("\"measPerSec\": ", name_end);
         if (rate_key == std::string::npos)
             break;
         rates[name] =
-            std::strtod(content.c_str() + rate_key + 14, nullptr);
+            std::strtod(record.c_str() + rate_key + 14, nullptr);
         pos = rate_key;
     }
     return rates;
@@ -457,7 +460,7 @@ benchMain(int argc, char **argv)
     bool gate_pass = true;
     if (opt.gate) {
         const std::map<std::string, double> prev =
-            lastCommittedRates(record_path);
+            lastCommittedRates(record_path, opt);
         const std::vector<const Timed *> tracked = {
             &t_serial, &t_serial_bin, &t_serial_bin_scalar};
         std::printf("\nperf gate (>= 85%% of last committed record):\n");

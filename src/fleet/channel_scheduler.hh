@@ -102,6 +102,20 @@ struct FleetConfig
                                  //!< measurement (see StrobeSoA)
     ReactorConfig reactor;       //!< event-core knobs: scheduling
                                  //!< mode, epoch length, queue bound
+
+    /**
+     * Reactor hydration lanes (store-backed Barrier mode only): the
+     * epoch's hydration requests are partitioned by store shard —
+     * lane k owns channels whose shard s satisfies s % K == k — into
+     * K independent (vtime, seq) event queues drained in parallel,
+     * one thread per lane; the staged outcomes are merged serially in
+     * the ascending-channel order the single-lane loop would have
+     * consumed, so fused verdicts, stable telemetry, and event counts
+     * are bit-identical for K=1 vs any K at any thread count (see
+     * DESIGN.md §16). 0 = auto: min(store shards, 8). Pipelined mode
+     * and storeless fleets always run one lane.
+     */
+    unsigned reactorLanes = 0;
 };
 
 /** One channel probe performed during a tick. */
@@ -208,8 +222,18 @@ class ChannelScheduler
     const Telemetry &telemetry() const { return *telemetry_; }
 
     /** @return the deterministic event core (queue stats, per-type
-     *  consumption counts, instrument accounting). */
+     *  consumption counts, instrument accounting). Lane consumption
+     *  counts are folded in, so totals are lane-count-invariant. */
     const Reactor &reactor() const { return *reactor_; }
+
+    /** @return resolved reactor-lane count (1 until a store is
+     *  attached; Pipelined mode always runs one lane). */
+    unsigned reactorLaneCount() const { return laneCount_; }
+
+    /** @return lane-invariant peak of total queued events across the
+     *  primary reactor and every lane (the stable queue-shape
+     *  metric). */
+    std::size_t queuePeak() const { return queuePeak_; }
 
     /** @return lifecycle phase of channel `index`. */
     ChannelPhase channelPhase(std::size_t index) const;
@@ -263,6 +287,20 @@ class ChannelScheduler
     void demoteToPendingReenroll(std::size_t index, double wall);
     /** Rebuild the shard → channel-indices routing table. */
     void rebuildShardRouting();
+    /** @return K for the current mode/store (see
+     *  FleetConfig::reactorLanes). */
+    unsigned resolveLanes() const;
+    /** @return the lane owning channel `index` (shard % laneCount_). */
+    unsigned laneOf(std::size_t index) const;
+    /** Schedule onto `target` and fold the fleet-wide queued total
+     *  into the lane-invariant queue-peak gauge. */
+    void scheduleEvent(Reactor &target, ReactorEventType type,
+                       double vtime, std::size_t channel = 0,
+                       uint64_t ticket = 0);
+    /** Barrier + lanes: drain the epoch's hydration through the lane
+     *  reactors in parallel and merge the staged outcomes in
+     *  ascending-channel order. */
+    void hydrateLanes(const std::vector<std::size_t> &selected);
 
     /** @name Reactor event handlers (single-threaded event loop). */
     ///@{
@@ -296,6 +334,11 @@ class ChannelScheduler
     std::unique_ptr<CompletionQueue> cq_; //!< probe completions
                                           //!< (Pipelined mode)
     std::unique_ptr<Reactor> reactor_;
+    /** Lane reactors (store-backed Barrier mode, laneCount_ > 1);
+     *  lane k drains shards s ≡ k (mod laneCount_). */
+    std::vector<std::unique_ptr<Reactor>> laneReactors_;
+    unsigned laneCount_ = 1;
+    std::size_t queuePeak_ = 0; //!< lane-invariant queued-event peak
     double slot_ = 0.0; //!< max channel roundDuration()
     uint64_t tick_ = 0;
     bool calibrated_ = false;
@@ -369,6 +412,9 @@ class ChannelScheduler
     HistogramMetric tmRiskWeight_;
     Gauge tmUtilization_;     //!< fleet.instrument.utilization, ‰
     Gauge tmIdleSlotPermille_; //!< fleet.reactor.idle_slot.permille
+    Gauge tmQueuePeak_;       //!< fleet.reactor.queue.peak (Stable:
+                              //!< fleet-wide total at schedule points,
+                              //!< identical for 1 or K lanes)
     std::vector<Counter> tmChannelProbes_; //!< indexed like channels_
     Counter tmHydrates_;        //!< store.hydrates
     Counter tmEvictions_;       //!< store.evictions

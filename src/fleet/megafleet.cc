@@ -88,6 +88,18 @@ MegaFleet::MegaFleet(MegaFleetConfig config, Rng rng)
         config_.instruments = 1;
     slots_.resize(config_.channels);
 
+    // Resolve the hydration-lane count from the fleet *composition*
+    // only (never the thread count: the digest must not move when the
+    // pool size does) and give the store's decoded-image cache the
+    // same partition before the db is built.
+    lanes_ = config_.reactorLanes;
+    if (lanes_ == 0) {
+        const unsigned shards =
+            config_.store.shards == 0 ? 1 : config_.store.shards;
+        lanes_ = std::min(shards, 8u);
+    }
+    config_.store.shardCacheLanes = lanes_;
+
     store::ensureDir(config_.store.directory);
     db_.reset(new store::EnrollmentDb(config_.store));
     db_->attachTelemetry(telemetry_.get());
@@ -252,49 +264,86 @@ MegaFleet::tick()
             batch.push_back(i);
     }
 
-    // --- Hydrate: group by shard so each shard file is read at most
-    // once per tick; records are released when the tick ends. Serial,
-    // ascending shard order (determinism contract). ------------------
+    // --- Hydrate: group by shard so each shard image is decoded at
+    // most once per tick (and, with the store's decoded-image cache,
+    // usually zero times). Lane k walks shards s ≡ k (mod lanes) in
+    // ascending order on its own pool thread — each cache lane is
+    // touched by exactly one thread, so every admission and eviction
+    // decision is thread-count-independent — and stages its outcomes;
+    // the serial merge below applies them in ascending shard order,
+    // reproducing the K=1 effect order (and therefore the fuseScores
+    // operand order and the digest) exactly. ------------------------
     std::map<unsigned, std::vector<std::size_t>> byShard;
     for (std::size_t i : batch)
         byShard[db_->shardOf(channelId(i))].push_back(i);
+    std::vector<std::pair<unsigned, std::vector<std::size_t>>> shardsVec(
+        byShard.begin(), byShard.end());
 
     struct Hydrated
     {
         std::size_t channel;
         store::EnrollmentRecord rec;
     };
+    struct ShardStage
+    {
+        std::vector<Hydrated> live;       //!< batch order within shard
+        std::vector<std::size_t> fenced;  //!< channels to demote
+        std::size_t transientBytes = 0;   //!< decoded bytes NOT served
+                                          //!< from the resident cache
+    };
+    std::vector<ShardStage> stages(shardsVec.size());
+    pool_->parallelFor(lanes_, [&](std::size_t lane) {
+        for (std::size_t e = 0; e < shardsVec.size(); ++e) {
+            const unsigned shard = shardsVec[e].first;
+            if (shard % lanes_ != lane)
+                continue;
+            ShardStage &stage = stages[e];
+            bool fromCache = false;
+            const auto view = db_->shardView(shard, &fromCache);
+            if (view != nullptr && !fromCache)
+                stage.transientBytes = view->bytes;
+            for (std::size_t i : shardsVec[e].second) {
+                bool ok = false;
+                if (view != nullptr) {
+                    const auto it = view->records.find(channelId(i));
+                    if (it != view->records.end() &&
+                        (it->second.flags &
+                         store::kRecordPendingReenroll) == 0) {
+                        stage.live.push_back(Hydrated{i, it->second});
+                        ok = true;
+                    }
+                }
+                // Missing or damaged in every bank: fence the channel
+                // instead of authenticating junk.
+                if (!ok)
+                    stage.fenced.push_back(i);
+            }
+        }
+    });
+
     std::vector<Hydrated> live;
     live.reserve(batch.size());
     std::size_t residentBytes = 0;
     std::size_t pendingThisTick = 0;
-    for (auto &entry : byShard) {
-        std::vector<char> image;
-        const bool haveImage =
-            store::readFile(db_->shardPath(entry.first), image);
-        for (std::size_t i : entry.second) {
-            store::EnrollmentRecord rec;
-            const int found = haveImage
-                ? store::findShardRecord(image, channelId(i), rec)
-                : 0;
-            if (found == 1 &&
-                (rec.flags & store::kRecordPendingReenroll) == 0) {
-                residentBytes += rec.residentBytes();
-                live.push_back(Hydrated{i, std::move(rec)});
-                ++report_.hydrates;
-                tmHydrates_.add();
-            } else {
-                // Missing or damaged in every bank: fence the channel
-                // instead of authenticating junk.
-                slots_[i].state = 1;
-                ++report_.pendingReenroll;
-                ++pendingThisTick;
-                tmPending_.add();
-            }
+    for (ShardStage &stage : stages) {
+        for (Hydrated &h : stage.live) {
+            residentBytes += h.rec.residentBytes();
+            live.push_back(std::move(h));
+            ++report_.hydrates;
+            tmHydrates_.add();
         }
+        for (std::size_t i : stage.fenced) {
+            slots_[i].state = 1;
+            ++report_.pendingReenroll;
+            ++pendingThisTick;
+            tmPending_.add();
+        }
+        // Peak accounting charges only *transient* decode bytes: a
+        // cache-resident view is bounded by shardCacheBytes, which is
+        // budgeted separately from the hydration budget.
         report_.peakResidentBytes =
             std::max(report_.peakResidentBytes,
-                     residentBytes + image.size());
+                     residentBytes + stage.transientBytes);
     }
     report_.peakResidentBytes =
         std::max(report_.peakResidentBytes, residentBytes);

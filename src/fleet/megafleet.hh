@@ -68,6 +68,16 @@ struct MegaFleetConfig
     FusionConfig fusion;            //!< similarity fusion rule
     unsigned threads = 0;           //!< worker threads (0 = hardware)
     std::size_t probesPerTick = 4096; //!< wires probed per tick
+
+    /**
+     * Hydration lanes: shard s belongs to lane s % K, each lane walks
+     * its shards in ascending order on its own thread, and the staged
+     * results merge serially in ascending shard order — so fused
+     * verdicts and the digest are bit-identical for K=1 vs any K at
+     * any thread count. 0 = auto: min(store shards, 8). The store's
+     * decoded-image cache is re-partitioned to the same lane count.
+     */
+    unsigned reactorLanes = 0;
     store::EnrollmentDbConfig store;  //!< shard directory + tunables
     std::size_t residentBudgetBytes = 32u << 20; //!< hydration budget
     TelemetryConfig telemetry;      //!< observability (on by default)
@@ -187,6 +197,7 @@ class MegaFleet
         const std::vector<std::size_t> &channels);
 
     MegaFleetConfig config_;
+    unsigned lanes_ = 1; //!< resolved reactorLanes
     Rng rng_;
     std::unique_ptr<Telemetry> telemetry_;
     std::unique_ptr<store::EnrollmentDb> db_;

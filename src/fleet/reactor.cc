@@ -195,6 +195,22 @@ Reactor::consumedTotal() const
 }
 
 void
+Reactor::absorb(Reactor &lane)
+{
+    for (std::size_t i = 0; i < kReactorEventTypes; ++i) {
+        consumed_[i] += lane.consumed_[i];
+        lane.consumed_[i] = 0;
+    }
+}
+
+void
+Reactor::reserve(std::size_t events)
+{
+    if (events > heap_.capacity())
+        heap_.reserve(events);
+}
+
+void
 Reactor::attachTelemetry(Telemetry *telemetry)
 {
     if (telemetry == nullptr || !telemetry->enabled()) {
@@ -211,8 +227,10 @@ Reactor::attachTelemetry(Telemetry *telemetry)
             reactorEventName(static_cast<ReactorEventType>(i)));
     }
     tmQueueDepth_ = reg.histogram("fleet.reactor.queue.depth",
-                                  {1, 2, 4, 8, 16, 32, 64});
-    tmQueueHighWater_ = reg.gauge("fleet.reactor.queue.high_water");
+                                  {1, 2, 4, 8, 16, 32, 64},
+                                  MetricStability::Unstable);
+    tmQueueHighWater_ = reg.gauge("fleet.reactor.queue.high_water",
+                                  MetricStability::Unstable);
 }
 
 } // namespace divot

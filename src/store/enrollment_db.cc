@@ -71,6 +71,14 @@ EnrollmentDb::EnrollmentDb(EnrollmentDbConfig config)
     if (config_.shards == 0)
         config_.shards = 1;
     overlays_.resize(config_.shards);
+    deferredImageSync_.assign(config_.shards, false);
+    if (config_.shardCacheBytes > 0) {
+        ShardCacheConfig cc;
+        cc.budgetBytes = config_.shardCacheBytes;
+        cc.shards = config_.shards;
+        cc.lanes = config_.shardCacheLanes;
+        cache_ = std::make_unique<ShardImageCache>(cc);
+    }
 }
 
 std::string
@@ -102,6 +110,17 @@ EnrollmentDb::open()
         return false;
     }
     opened_ = true;
+    // Deferred image data syncs are legal only while the journal can
+    // rebuild every image from scratch — i.e. no image predates this
+    // journal. A fresh directory qualifies; reopening over existing
+    // images (normal restart or crash recovery) conservatively does
+    // not.
+    journalCoversImages_ = true;
+    for (unsigned s = 0; s < config_.shards && journalCoversImages_;
+         ++s) {
+        if (fileExists(shardPath(s)))
+            journalCoversImages_ = false;
+    }
     replayJournal();
     return true;
 }
@@ -133,6 +152,67 @@ EnrollmentDb::attachTelemetry(Telemetry *telemetry)
     tmScrubRepairs_ = reg.counter("store.scrub.repairs");
     tmScrubLost_ = reg.counter("store.scrub.lost_records");
     tmCrashes_ = reg.counter("store.crashes");
+    if (cache_ != nullptr)
+        cache_->attachTelemetry(telemetry);
+}
+
+bool
+EnrollmentDb::loadShardView(unsigned shard, ShardView &view)
+{
+    std::vector<char> bytes;
+    if (!readFile(shardPath(shard), bytes) || bytes.empty())
+        return false;
+    const ShardParseReport report = parseShardImage(bytes, view.records);
+    view.clean = !imageDamaged(report);
+    return true;
+}
+
+std::shared_ptr<const ShardView>
+EnrollmentDb::shardView(unsigned shard, bool *from_cache)
+{
+    if (shard >= config_.shards)
+        return nullptr;
+    const auto loader = [this, shard](ShardView &view) {
+        return loadShardView(shard, view);
+    };
+    if (cache_ != nullptr)
+        return cache_->acquire(shard, loader, from_cache);
+    if (from_cache != nullptr)
+        *from_cache = false;
+    auto view = std::make_shared<ShardView>();
+    if (!loader(*view))
+        return nullptr;
+    view->accountBytes();
+    return view;
+}
+
+void
+EnrollmentDb::setShardCacheLanes(unsigned lanes)
+{
+    config_.shardCacheLanes = lanes == 0 ? 1 : lanes;
+    if (cache_ != nullptr)
+        cache_->configureLanes(config_.shardCacheLanes);
+}
+
+ShardCacheStats
+EnrollmentDb::cacheStats() const
+{
+    return cache_ != nullptr ? cache_->stats() : ShardCacheStats{};
+}
+
+void
+EnrollmentDb::settleDurability()
+{
+    for (unsigned s = 0; s < config_.shards; ++s) {
+        if (deferredImageSync_[s]) {
+            syncFileData(shardPath(s));
+            deferredImageSync_[s] = false;
+        }
+    }
+    if (!pendingDirSync_)
+        return;
+    syncDir(config_.directory);
+    pendingDirSync_ = false;
 }
 
 StorageFault
@@ -156,7 +236,13 @@ EnrollmentDb::appendJournal(uint8_t op, const std::vector<char> &body,
     putU64(entry, fnv1a(body));
 
     const WriteFault wf = writeFaultFor(fault, entry.size(), false);
-    const bool ok = appendFile(journalPath(), entry, &wf);
+    // Group commit keeps the journal handle open across appends —
+    // one open()/close() per epoch instead of one per record; the
+    // durability model (flushed, never fsynced, torn tails detected
+    // on replay) is byte-identical either way.
+    const bool ok = config_.journalGroupCommit
+        ? journalStream_.append(journalPath(), entry, &wf)
+        : appendFile(journalPath(), entry, &wf);
     if (fault.torn || wf.crashBeforeWrite) {
         // Power cut mid-append: whatever prefix landed is a torn tail
         // the next open() will detect and discard.
@@ -221,6 +307,7 @@ EnrollmentDb::replayJournal()
 
     if (good_end < bytes.size()) {
         // Drop the torn tail so later appends frame cleanly again.
+        journalStream_.close();
         truncateFile(journalPath(), good_end);
         divot_warn("enrollment journal '%s': discarded %zu torn tail "
                    "bytes", journalPath().c_str(),
@@ -238,20 +325,35 @@ EnrollmentDb::flushShard(unsigned shard, const StorageFault &fault)
 {
     Overlay &overlay = overlays_[shard];
     std::map<std::string, EnrollmentRecord> records;
-    std::vector<char> bytes;
-    if (readFile(shardPath(shard), bytes) && !bytes.empty()) {
-        // Lenient parse: keep whatever verifies in either bank.
-        const ShardParseReport report = parseShardImage(bytes, records);
-        if (imageUnreadable(report, records.size())) {
-            // The overlay must still flush, but overwriting an image
-            // that yielded nothing would silently destroy whatever it
-            // held. Move the bytes aside for forensics first; their
-            // channels surface as Missing/Unrecoverable and re-enroll.
-            std::rename(shardPath(shard).c_str(),
-                        (shardPath(shard) + ".corrupt").c_str());
-            divot_warn("shard %u image unreadable; preserved as "
-                       "'%s.corrupt' before rewrite",
-                       shard, shardPath(shard).c_str());
+    const std::shared_ptr<const ShardView> cached =
+        cache_ != nullptr ? cache_->peek(shard) : nullptr;
+    if (cached != nullptr && cached->clean) {
+        // Fast path: a clean cached view is byte-coherent with the
+        // on-disk image (every rewrite write-through-updates it, every
+        // injected damage invalidates it), so the read + lenient parse
+        // of a growing image — the dominant cost of enrollment at
+        // fleet scale — is skipped entirely.
+        records = cached->records;
+    } else {
+        std::vector<char> bytes;
+        if (readFile(shardPath(shard), bytes) && !bytes.empty()) {
+            // Lenient parse: keep whatever verifies in either bank.
+            const ShardParseReport report =
+                parseShardImage(bytes, records);
+            if (imageUnreadable(report, records.size())) {
+                // The overlay must still flush, but overwriting an
+                // image that yielded nothing would silently destroy
+                // whatever it held. Move the bytes aside for forensics
+                // first; their channels surface as
+                // Missing/Unrecoverable and re-enroll.
+                if (cache_ != nullptr)
+                    cache_->invalidate(shard);
+                std::rename(shardPath(shard).c_str(),
+                            (shardPath(shard) + ".corrupt").c_str());
+                divot_warn("shard %u image unreadable; preserved as "
+                           "'%s.corrupt' before rewrite",
+                           shard, shardPath(shard).c_str());
+            }
         }
     }
 
@@ -263,8 +365,27 @@ EnrollmentDb::flushShard(unsigned shard, const StorageFault &fault)
     }
     const std::vector<char> image = buildShardImage(records);
     const WriteFault wf = writeFaultFor(fault, image.size(), true);
-    if (!atomicWriteFile(shardPath(shard), image, &wf))
+    // Group commit batches the directory sync per epoch; while the
+    // journal still covers every image record (cold enroll into a
+    // fresh directory) the data sync defers to the checkpoint too —
+    // a crash in between replays the full journal over whatever
+    // prefix of the images survived.
+    const bool defer_data =
+        config_.journalGroupCommit && journalCoversImages_;
+    if (!atomicWriteFile(shardPath(shard), image, &wf,
+                         /*sync_dir=*/!config_.journalGroupCommit,
+                         /*sync_data=*/!defer_data))
         return false;
+    if (config_.journalGroupCommit)
+        pendingDirSync_ = true;
+    if (defer_data)
+        deferredImageSync_[shard] = true;
+    if (cache_ != nullptr) {
+        ShardView fresh;
+        fresh.records = std::move(records);
+        fresh.clean = true;
+        cache_->update(shard, std::move(fresh));
+    }
     overlay.clear();
     tmFlushes_.add();
     return true;
@@ -276,8 +397,15 @@ EnrollmentDb::applyPostWriteDamage(const StorageFault &fault,
 {
     // Medium damage lands on the shard image when one exists (that is
     // where scrub repair earns its keep), else on the journal.
-    const std::string target = fileExists(shardPath(shard))
-        ? shardPath(shard) : journalPath();
+    const bool on_image = fileExists(shardPath(shard));
+    const std::string target = on_image ? shardPath(shard)
+                                        : journalPath();
+    if (on_image && cache_ != nullptr &&
+        (fault.bitRotBits > 0 || fault.truncate)) {
+        // The cached decoded view no longer matches the medium; the
+        // next reader must re-decode the rotted bytes.
+        cache_->invalidate(shard);
+    }
     if (fault.bitRotBits > 0) {
         Rng rot = fault.rotRng;
         std::vector<StuckBit> bits;
@@ -364,8 +492,16 @@ EnrollmentDb::mutate(uint8_t op, const std::string &id,
                 durable = flushShard(s, StorageFault{});
         }
         if (durable) {
+            // Group commit: every rename this epoch deferred its
+            // directory sync (and, while the journal covered the
+            // images, its data sync); pin them all now, while the
+            // journal can still replay anything a lost entry would
+            // resurface over.
+            settleDurability();
+            journalStream_.close();
             truncateFile(journalPath(), 0);
             journalBytes_ = 0;
+            journalCoversImages_ = false;
             tmCheckpoints_.add();
         }
     }
@@ -429,6 +565,26 @@ EnrollmentDb::get(const std::string &id, EnrollmentRecord &out)
         return DbGetStatus::Ok;
     }
 
+    if (cache_ != nullptr) {
+        const auto view = cache_->acquire(
+            shard,
+            [this, shard](ShardView &v) {
+                return loadShardView(shard, v);
+            });
+        if (view == nullptr)
+            return DbGetStatus::Missing; // no image on disk
+        const auto vit = view->records.find(id);
+        if (vit != view->records.end()) {
+            out = vit->second;
+            return DbGetStatus::Ok;
+        }
+        if (view->clean)
+            return DbGetStatus::Missing; // provable: whole image read
+        // Damaged image and the id isn't among the salvaged records:
+        // only the targeted frame scan can distinguish "never written"
+        // from "written but damaged in every bank". Fall through.
+    }
+
     std::vector<char> bytes;
     if (!readFile(shardPath(shard), bytes) || bytes.empty())
         return DbGetStatus::Missing;
@@ -469,7 +625,10 @@ EnrollmentDb::checkpoint()
         }
         first = false;
     }
+    settleDurability();
+    journalStream_.close();
     truncateFile(journalPath(), 0);
+    journalCoversImages_ = false;
     journalBytes_ = 0;
     tmCheckpoints_.add();
     if (fault.crash &&
@@ -539,6 +698,14 @@ EnrollmentDb::scrubShard(unsigned shard)
             tmCrashes_.add();
         }
         return result;
+    }
+    if (cache_ != nullptr) {
+        // The rewrite is the shard's new pristine image; write it
+        // through so no reader ever sees pre-scrub salvage state.
+        ShardView fresh;
+        fresh.records = std::move(records);
+        fresh.clean = true;
+        cache_->update(shard, std::move(fresh));
     }
     overlays_[shard].clear();
     applyPostWriteDamage(fault, shard);

@@ -41,12 +41,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "fault/fault.hh"
 #include "store/codec.hh"
+#include "store/io.hh"
+#include "store/shard_cache.hh"
 #include "telemetry/telemetry.hh"
 
 namespace divot::store {
@@ -60,6 +63,24 @@ struct EnrollmentDbConfig
                                        //!< triggering a shard flush
     uint64_t journalCheckpointBytes = 1u << 20; //!< journal size
                                                 //!< triggering checkpoint
+
+    /** Decoded-image cache budget, bytes; 0 keeps the classic
+     *  read-per-lookup path (see shard_cache.hh). */
+    std::size_t shardCacheBytes = 0;
+
+    /** Cache lane partition; the fleet reconfigures this to its
+     *  reactor-lane count via setShardCacheLanes(). */
+    unsigned shardCacheLanes = 1;
+
+    /**
+     * Group commit: defer the directory fsync of shard-image renames
+     * to one `syncDir` per flush epoch, issued before the journal
+     * truncates at a checkpoint. The temp-file fsync still runs on
+     * every rewrite, so each image is old-or-new; a power cut that
+     * loses a deferred directory entry merely resurfaces the old
+     * image, and the still-intact journal replays the difference.
+     */
+    bool journalGroupCommit = false;
 };
 
 /** Outcome of a point lookup. */
@@ -133,10 +154,39 @@ class EnrollmentDb
     bool setFlags(const std::string &id, uint64_t flags);
 
     /**
-     * Point lookup: overlay first, then a targeted frame scan of the
-     * shard image (no full-shard materialization).
+     * Point lookup: overlay first, then the decoded-image cache when
+     * one is configured (a miss in a *clean* cached view is a provable
+     * Missing; a miss in a damaged view falls back to the targeted
+     * frame scan so Missing vs Unrecoverable stays exact), else a
+     * targeted frame scan of the shard image (no full-shard
+     * materialization).
      */
     DbGetStatus get(const std::string &id, EnrollmentRecord &out);
+
+    /**
+     * Whole-shard read of the *image layer* (pending overlays are not
+     * consulted — the mega-fleet hydrates from durable state only,
+     * matching its original per-record image scan). Served from the
+     * cache when one is configured, decoded transiently otherwise.
+     *
+     * @param from_cache optionally reports whether the view was
+     *        resident (callers charge transient decode bytes against
+     *        their memory budget only when it was not)
+     * @return null when the shard has no image on disk
+     */
+    std::shared_ptr<const ShardView> shardView(unsigned shard,
+                                               bool *from_cache = nullptr);
+
+    /**
+     * Re-partition the decoded-image cache into `lanes` lanes (shard s
+     * belongs to lane s % lanes; see shard_cache.hh for the lane
+     * threading discipline). Drops all cached views. No-op without a
+     * cache.
+     */
+    void setShardCacheLanes(unsigned lanes);
+
+    /** @return cache counters (zeroes when no cache is configured). */
+    ShardCacheStats cacheStats() const;
 
     /** Flush every overlay and truncate the journal. */
     bool checkpoint();
@@ -201,6 +251,16 @@ class EnrollmentDb
     bool appendJournal(uint8_t op, const std::vector<char> &body,
                        const StorageFault &fault);
     bool flushShard(unsigned shard, const StorageFault &fault);
+    /** Decode `shard`'s image into `view`; false when no file. */
+    bool loadShardView(unsigned shard, ShardView &view);
+    /**
+     * Settle every deferred sync of the group-commit epoch: fdatasync
+     * each shard image written with a deferred data sync, then the
+     * deferred directory sync. Must run before the journal truncates
+     * — afterwards the journal no longer covers the images and
+     * deferral stops (journalCoversImages_ goes false).
+     */
+    void settleDurability();
     void applyPostWriteDamage(const StorageFault &fault,
                               unsigned shard);
     bool replayJournal();
@@ -217,6 +277,21 @@ class EnrollmentDb
     uint64_t journalSeq_ = 0;
     uint64_t replayed_ = 0;
     unsigned scrubCursor_ = 0;
+    bool pendingDirSync_ = false;
+    /**
+     * True while the live journal can reconstruct every record held
+     * by every shard image — exactly the window (from a fresh
+     * directory until the first checkpoint truncation) in which image
+     * data syncs may be deferred to the checkpoint. Conservative:
+     * reopening over existing images clears it.
+     */
+    bool journalCoversImages_ = false;
+    std::vector<bool> deferredImageSync_; //!< per shard: image was
+                                          //!< written sync_data=false
+    std::unique_ptr<ShardImageCache> cache_;
+    AppendStream journalStream_; //!< group-commit: journal handle
+                                 //!< held open across appends; closed
+                                 //!< before every truncation
     const FaultInjector *injector_ = nullptr;
     Telemetry *telemetry_ = nullptr;
     Counter tmPuts_;

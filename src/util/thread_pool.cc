@@ -107,8 +107,14 @@ ThreadPool::attachTelemetry(Telemetry *telemetry,
     Registry &reg = telemetry->registry();
     tmTasks_ = reg.counter(prefix + ".tasks",
                            MetricStability::Unstable);
-    tmParallelFors_ = reg.counter(prefix + ".parallel_for.calls");
-    tmParallelItems_ = reg.counter(prefix + ".parallel_for.items");
+    // Execution-shape accounting, like queue depth: the number of
+    // parallelFor fan-outs depends on how work is partitioned (e.g.
+    // the reactor lane count), not on what the fleet computed, so the
+    // counts stay out of the stable deterministic export.
+    tmParallelFors_ = reg.counter(prefix + ".parallel_for.calls",
+                                  MetricStability::Unstable);
+    tmParallelItems_ = reg.counter(prefix + ".parallel_for.items",
+                                   MetricStability::Unstable);
     tmQueueDepthMax_ = reg.gauge(prefix + ".queue_depth.max",
                                  MetricStability::Unstable);
     tmWorkers_ = reg.gauge(prefix + ".workers",
