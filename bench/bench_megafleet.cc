@@ -77,6 +77,134 @@ struct RunResult
                              //!< alarmed by an undamaged fleet
 };
 
+/** Outcome of a request-service run (the PR10 front-end leg). */
+struct ServiceRun
+{
+    uint64_t digest = 0;       //!< chained response-frame digest
+    uint64_t submitted = 0;    //!< requests submitted
+    uint64_t responses = 0;    //!< responses emitted (incl. rejects)
+    uint64_t busy = 0;         //!< Busy rejections observed
+    uint64_t unknown = 0;      //!< Unknown rejections observed
+    uint64_t junk = 0;         //!< responses violating the contract
+    double seconds = 0.0;      //!< submit+tick+drain wall time
+};
+
+/**
+ * Drive a deterministic mixed request stream through the MegaFleet
+ * front end: per tick a burst of Verifies across the fleet, a
+ * QuarantineStatus, a FleetSummary, a periodic Reenroll, an unknown
+ * name, and one per-channel flood that must trip the Busy bound. The
+ * stream is a pure function of `seed`, so a serial and a pooled run
+ * serve byte-identical traffic and must emit bit-identical response
+ * digests.
+ *
+ * A junk response is one that violates the payload contract: a Verify
+ * answered Ok whose authenticated flag disagrees with its similarity
+ * vs the accept bar, or an Ok Verify on a channel the store had
+ * already fenced.
+ */
+ServiceRun
+runService(const MegaFleetConfig &base, const std::string &dir,
+           unsigned threads, unsigned lanes, uint64_t ticks,
+           uint64_t seed, const FaultInjector *injector)
+{
+    MegaFleetConfig cfg = base;
+    cfg.store.directory = dir;
+    cfg.threads = threads;
+    cfg.reactorLanes = lanes;
+    resetDir(dir, cfg.store.shards);
+
+    MegaFleet fleet(cfg, Rng(seed));
+    if (injector != nullptr)
+        fleet.attachFaultInjector(injector);
+    fleet.enrollAll();
+
+    ServiceRun r;
+    uint64_t id = 1;
+    Rng stream(seed ^ 0x5EF1CEULL);
+    const auto checkDrained = [&](MegaFleet &f) {
+        for (const service::ServiceResponse &resp :
+             f.drainResponses()) {
+            ++r.responses;
+            if (resp.status == service::ResponseStatus::Busy)
+                ++r.busy;
+            if (resp.status == service::ResponseStatus::Unknown)
+                ++r.unknown;
+            if (resp.kind == service::RequestKind::Verify &&
+                resp.status == service::ResponseStatus::Ok) {
+                const bool flagged =
+                    (resp.flags & service::kResponseAuthenticated)
+                    != 0;
+                const bool above =
+                    resp.similarity >= cfg.similarityThreshold;
+                if (flagged != above)
+                    ++r.junk;
+            }
+        }
+    };
+
+    const double t0 = now();
+    for (uint64_t t = 0; t < ticks; ++t) {
+        service::ServiceRequest rq;
+        for (int k = 0; k < 8; ++k) {
+            rq.id = id++;
+            rq.kind = service::RequestKind::Verify;
+            rq.channel = MegaFleet::channelId(
+                stream.uniformInt(cfg.channels));
+            fleet.submit(rq);
+        }
+        rq.id = id++;
+        rq.kind = service::RequestKind::QuarantineStatus;
+        rq.channel =
+            MegaFleet::channelId(stream.uniformInt(cfg.channels));
+        fleet.submit(rq);
+        rq.id = id++;
+        rq.kind = service::RequestKind::FleetSummary;
+        rq.channel.clear();
+        fleet.submit(rq);
+        if (t % 3 == 1) {
+            rq.id = id++;
+            rq.kind = service::RequestKind::Reenroll;
+            rq.channel =
+                MegaFleet::channelId(stream.uniformInt(cfg.channels));
+            fleet.submit(rq);
+        }
+        rq.id = id++;
+        rq.kind = service::RequestKind::Verify;
+        rq.channel = "not-a-channel";
+        fleet.submit(rq);
+        if (t == 1) {
+            // Per-channel flood: depth + 2 Verifies on one channel in
+            // one burst — the overflow must reject Busy, never queue
+            // unboundedly.
+            for (std::size_t k = 0;
+                 k < cfg.requestChannelDepth + 2; ++k) {
+                rq.id = id++;
+                rq.kind = service::RequestKind::Verify;
+                rq.channel = MegaFleet::channelId(0);
+                fleet.submit(rq);
+            }
+        }
+        fleet.tick();
+        checkDrained(fleet);
+    }
+    // Parked requests (verifies racing a fence, summaries) answer
+    // within a bounded number of extra ticks; anything left after
+    // that is a stuck request and counts as junk.
+    for (int extra = 0; extra < 64 && fleet.pendingRequests() > 0;
+         ++extra) {
+        fleet.tick();
+        checkDrained(fleet);
+    }
+    r.seconds = now() - t0;
+    r.junk += fleet.pendingRequests();
+    r.submitted = fleet.serviceStats().submitted;
+    if (r.responses != r.submitted)
+        ++r.junk; // every submit must answer exactly once
+    r.digest = fleet.responseDigest();
+    return r;
+}
+
 RunResult
 runFleet(const MegaFleetConfig &base, const std::string &dir,
          unsigned threads, unsigned lanes, uint64_t ticks,
@@ -192,7 +320,8 @@ lastMegafleetRates(const char *path, const char *scale,
         lastMatchingRecord(readWholeFile(path), shape);
     if (record.empty())
         return {};
-    return recordRates(record, {"enrollPerSec", "probesPerSec"});
+    return recordRates(
+        record, {"enrollPerSec", "probesPerSec", "requestsPerSec"});
 }
 
 } // namespace
@@ -405,6 +534,63 @@ main(int argc, char **argv)
     std::printf("crash-recovery gate: %s\n",
                 recovery_pass ? "PASS" : "FAIL");
 
+    // --- Request-service leg: the same fleet driven through the
+    // typed request front end (PR10). A deterministic mixed stream —
+    // verifies, status snapshots, summaries, re-enrollments, unknown
+    // names, one per-channel flood — must produce bit-identical
+    // response digests serial vs pooled, clean AND under the fault
+    // campaign, with zero junk responses and every admission bound
+    // honored. ------------------------------------------------------
+    MegaFleetConfig svcCfg = base;
+    svcCfg.channels = campaignChannels;
+    const uint64_t svcTicks = ticks + 2;
+    const ServiceRun svcSerial =
+        runService(svcCfg, root + "/svc-serial", 1, /*lanes=*/1,
+                   svcTicks, opt.seed, nullptr);
+    const ServiceRun svcPooled =
+        runService(svcCfg, root + "/svc-pooled", 0, /*lanes=*/0,
+                   svcTicks, opt.seed, nullptr);
+    const ServiceRun svcFaultSerial =
+        runService(svcCfg, root + "/svc-fault-serial", 1, /*lanes=*/1,
+                   svcTicks, opt.seed, &injector);
+    const ServiceRun svcFaultPooled =
+        runService(svcCfg, root + "/svc-fault-pooled", 0, /*lanes=*/0,
+                   svcTicks, opt.seed, &injector);
+
+    const double requestsPerSec = svcSerial.responses /
+        (svcSerial.seconds > 0 ? svcSerial.seconds : 1e-9);
+    std::printf("\nrequest service (%zu channels): %llu requests, "
+                "%llu responses (%llu busy, %llu unknown), "
+                "%.0f requests/s\n",
+                svcCfg.channels,
+                static_cast<unsigned long long>(svcSerial.submitted),
+                static_cast<unsigned long long>(svcSerial.responses),
+                static_cast<unsigned long long>(svcSerial.busy),
+                static_cast<unsigned long long>(svcSerial.unknown),
+                requestsPerSec);
+
+    const bool service_determinism_pass =
+        svcSerial.digest == svcPooled.digest &&
+        svcFaultSerial.digest == svcFaultPooled.digest;
+    const bool service_junk_pass = svcSerial.junk == 0 &&
+        svcPooled.junk == 0 && svcFaultSerial.junk == 0 &&
+        svcFaultPooled.junk == 0;
+    // The stream floods one channel past its depth and names a
+    // channel the fleet never enrolled — both rejections must appear.
+    const bool service_admission_pass =
+        svcSerial.busy >= 2 && svcSerial.unknown >= svcTicks;
+    std::printf("service determinism gate (digest serial == pooled, "
+                "clean + faulted): %s (digest %016llx / %016llx)\n",
+                service_determinism_pass ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(svcSerial.digest),
+                static_cast<unsigned long long>(svcFaultSerial.digest));
+    std::printf("service zero-junk gate: %s\n",
+                service_junk_pass ? "PASS" : "FAIL");
+    std::printf("service admission gate (busy >= 2, unknown >= "
+                "%llu): %s\n",
+                static_cast<unsigned long long>(svcTicks),
+                service_admission_pass ? "PASS" : "FAIL");
+
     const char *record_path = "BENCH_study_throughput.json";
 
     bool gate_pass = true;
@@ -423,7 +609,8 @@ main(int argc, char **argv)
                 const char *key;
                 double value;
             } rows[] = {{"enrollPerSec", enrollPerSec},
-                        {"probesPerSec", probesPerSec}};
+                        {"probesPerSec", probesPerSec},
+                        {"requestsPerSec", requestsPerSec}};
             for (const auto &row : rows) {
                 const auto it = last.find(row.key);
                 if (it == last.end())
@@ -480,6 +667,15 @@ main(int argc, char **argv)
         appendf(r, "    \"faultPendingReenroll\": %llu,\n",
                 static_cast<unsigned long long>(
                     faultSerial.report.pendingReenroll));
+        appendf(r, "    \"requestsPerSec\": %.3f,\n", requestsPerSec);
+        appendf(r, "    \"serviceRequests\": %llu,\n",
+                static_cast<unsigned long long>(svcSerial.submitted));
+        appendf(r, "    \"serviceDigest\": \"%016llx\",\n",
+                static_cast<unsigned long long>(svcSerial.digest));
+        appendf(r, "    \"servicePass\": %s,\n",
+                service_determinism_pass && service_junk_pass &&
+                        service_admission_pass
+                    ? "true" : "false");
         appendf(r, "    \"capacityPass\": %s,\n",
                 capacity_pass ? "true" : "false");
         appendf(r, "    \"determinismPass\": %s,\n",
@@ -496,7 +692,9 @@ main(int argc, char **argv)
 
     const bool pass = capacity_pass && determinism_pass &&
         fault_determinism_pass && junk_pass && recovery_pass &&
-        schedule_digest_pass && schedule_util_pass && gate_pass;
+        schedule_digest_pass && schedule_util_pass &&
+        service_determinism_pass && service_junk_pass &&
+        service_admission_pass && gate_pass;
     std::printf("\n%s\n", pass ? "ALL GATES PASS" : "GATE FAILURE");
     return pass ? 0 : 1;
 }

@@ -15,6 +15,12 @@ namespace {
 // probe history cannot perturb fabrication or measurement draws.
 constexpr uint64_t kTagFleetChannel = 0x7000ULL;
 
+// Request-pressure boost: added to a channel's staleness x risk
+// priority when a service request names it. Large enough to dominate
+// any organic priority (staleness is bounded by the tick count of a
+// run, risk by 8), so a requested channel wins the next dispatch.
+constexpr uint64_t kRequestBoost = 1ull << 32;
+
 // Slack for "does this round still fit in the epoch" comparisons:
 // epoch boundaries are sums of per-round durations, so a fitting
 // round can miss the boundary by an ulp of accumulated FP error.
@@ -119,6 +125,7 @@ ChannelScheduler::addChannel(BusChannelConfig config)
     phase_.push_back(ChannelPhase::Idle);
     lastDispatchTick_.push_back(-1);
     channelSlot_.push_back(0);
+    requestBoost_.push_back(0);
     nameIndex_.emplace(channels_.back()->name(), index);
     if (db_ != nullptr) {
         shardChannels_[db_->shardOf(channels_.back()->name())]
@@ -232,7 +239,10 @@ ChannelScheduler::persistChannel(std::size_t index)
     record.nominal = ch.authenticator().nominal();
     if (ch.state() == AuthState::Quarantine)
         record.flags |= store::kRecordQuarantined;
-    record.generation = generations_[index];
+    // The durable record carries the post-bump generation, so what
+    // the service reports after an Enroll is exactly what a later
+    // hydration (or audit) reads back.
+    record.generation = generations_[index] + 1;
     if (!db_->put(record))
         return false;
     ++generations_[index];
@@ -267,6 +277,9 @@ ChannelScheduler::demoteToPendingReenroll(std::size_t index,
     // moment the loss is known, so the demotion is observed like a
     // probe even though no instrument ran.
     fleetAuth_.observe(index, verdict);
+    requestBoost_[index] = 0;
+    if (hook_ != nullptr)
+        hook_->onProbeObserved(index, verdict, wall);
     TelemetryEvent event;
     event.time = wall;
     event.ordinal = tick_;
@@ -439,6 +452,10 @@ ChannelScheduler::selectChannels() const
         uint64_t priority = staleness;
         if (config_.policy == SchedulerPolicy::RiskWeighted)
             priority *= riskWeight(channels_[i]->state());
+        // Request pressure rides on top of the organic priority, so
+        // requested channels outrank everything but each other (among
+        // themselves: more requests, then staleness, then index).
+        priority += requestBoost_[i];
         ranked.push_back({priority, i});
     }
     const std::size_t k =
@@ -485,6 +502,7 @@ ChannelScheduler::tryDispatch(double vtime)
         uint64_t priority = staleness;
         if (config_.policy == SchedulerPolicy::RiskWeighted)
             priority *= riskWeight(state);
+        priority += requestBoost_[i];
         if (!found || priority > bestPriority) {
             found = true;
             bestPriority = priority;
@@ -528,6 +546,14 @@ ChannelScheduler::handleEvent(const ReactorEvent &event)
         // or failed persist); the event exists so fault manifestation
         // has a deterministic place in the order and in the
         // fleet.reactor.events.fault account.
+        return;
+    case ReactorEventType::RequestArrival:
+        if (hook_ != nullptr)
+            hook_->onRequestArrival(event);
+        return;
+    case ReactorEventType::RequestComplete:
+        if (hook_ != nullptr)
+            hook_->onRequestComplete(event);
         return;
     }
 }
@@ -770,6 +796,9 @@ ChannelScheduler::onProbeComplete(const ReactorEvent &event)
         round_.probes.push_back(probe);
         reactor_->releaseInstrument(dur);
         phase_[c] = ChannelPhase::Idle;
+        requestBoost_[c] = 0;
+        if (hook_ != nullptr)
+            hook_->onProbeObserved(c, probe.verdict, event.vtime);
         // The freed instrument goes straight to the next ranked
         // channel whose round still fits — the saturation win over
         // the barrier scheduler.
@@ -782,15 +811,19 @@ ChannelScheduler::onProbeComplete(const ReactorEvent &event)
     fleetAuth_.observe(c, probe.verdict);
     reactor_->releaseInstrument(dur);
     phase_[c] = ChannelPhase::Idle;
+    requestBoost_[c] = 0;
+    if (hook_ != nullptr)
+        hook_->onProbeObserved(c, probe.verdict, event.vtime);
 }
 
 void
 ChannelScheduler::onFuseEpoch(const ReactorEvent &event)
 {
-    (void)event;
     round_.fused = fleetAuth_.evaluate(tick_);
     lastVerdict_ = round_.fused;
     epochFused_ = true;
+    if (hook_ != nullptr)
+        hook_->onEpochFused(round_.fused, event.vtime);
 }
 
 void
@@ -866,6 +899,14 @@ ChannelScheduler::tick()
 
     SpanScope span = telemetry_->tracer().open("fleet.tick", "fleet",
                                                epochWall_, tick_);
+
+    // Service requests admitted since the last epoch wait at the head
+    // of the queue (the previous epoch drained everything else).
+    // Consume them before ranking so their boosts steer this epoch's
+    // dispatch; immediate kinds complete right here, because arrival
+    // handlers schedule RequestComplete events this same loop drains.
+    while (!reactor_->empty())
+        handleEvent(reactor_->pop());
 
     if (pipelined) {
         SpanScope epochSpan = telemetry_->tracer().open(
@@ -951,6 +992,60 @@ ChannelScheduler::tick()
     ++tick_;
     FleetRound result = std::move(round_);
     return result;
+}
+
+std::size_t
+ChannelScheduler::findChannel(const std::string &name) const
+{
+    const auto it = nameIndex_.find(name);
+    return it == nameIndex_.end() ? kNoChannel : it->second;
+}
+
+void
+ChannelScheduler::scheduleRequestArrival(std::size_t channel,
+                                         uint64_t ticket)
+{
+    scheduleEvent(*reactor_, ReactorEventType::RequestArrival,
+                  elapsed_, channel, ticket);
+}
+
+void
+ChannelScheduler::scheduleRequestComplete(std::size_t channel,
+                                          uint64_t ticket, double vtime)
+{
+    scheduleEvent(*reactor_, ReactorEventType::RequestComplete, vtime,
+                  channel, ticket);
+}
+
+void
+ChannelScheduler::boostChannel(std::size_t index)
+{
+    if (index >= requestBoost_.size())
+        divot_fatal("fleet channel index %zu out of range (%zu)",
+                    index, requestBoost_.size());
+    requestBoost_[index] += kRequestBoost;
+}
+
+bool
+ChannelScheduler::persistEnrollment(std::size_t index)
+{
+    if (db_ == nullptr)
+        return false;
+    if (!persistChannel(index)) {
+        reactor_->dispatchImmediate(ReactorEventType::FaultEvent,
+                                    elapsed_, index);
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+ChannelScheduler::enrollmentGeneration(std::size_t index) const
+{
+    if (index >= generations_.size())
+        divot_fatal("fleet channel index %zu out of range (%zu)",
+                    index, generations_.size());
+    return generations_[index];
 }
 
 FleetRound

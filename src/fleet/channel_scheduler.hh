@@ -104,6 +104,18 @@ struct FleetConfig
                                  //!< mode, epoch length, queue bound
 
     /**
+     * Global admission bound of the request service (FleetService):
+     * requests admitted but not yet answered. A submit past the bound
+     * is rejected Busy instead of growing an unbounded queue — the
+     * backpressure half of the service contract (DESIGN.md §17).
+     */
+    std::size_t requestQueueDepth = 64;
+
+    /** Per-channel admission bound: in-flight requests naming the
+     *  same channel beyond this are rejected Busy. */
+    std::size_t requestChannelDepth = 4;
+
+    /**
      * Reactor hydration lanes (store-backed Barrier mode only): the
      * epoch's hydration requests are partitioned by store shard —
      * lane k owns channels whose shard s satisfies s % K == k — into
@@ -149,6 +161,33 @@ struct FleetCacheStats
 {
     std::vector<ChannelCacheStats> perChannel;
     ChannelCacheStats totals; //!< name = "fleet"
+};
+
+/**
+ * Service-side observer of the reactor's request events. The fleet
+ * service implements this; the scheduler calls it only from the
+ * single-threaded event-consumption loop, so hook implementations may
+ * mutate service state and schedule RequestComplete events without
+ * breaking the determinism contract.
+ */
+struct ServiceHook
+{
+    virtual ~ServiceHook() = default;
+    /** An admitted request's RequestArrival event is being consumed. */
+    virtual void onRequestArrival(const ReactorEvent &event) = 0;
+    /** A RequestComplete event is being consumed: emit the response. */
+    virtual void onRequestComplete(const ReactorEvent &event) = 0;
+    /**
+     * A channel verdict was observed into the fused authenticator —
+     * either a real probe completion or a fence demotion (verdict
+     * state PendingReenroll, no instrument ran).
+     */
+    virtual void onProbeObserved(std::size_t channel,
+                                 const AuthVerdict &verdict,
+                                 double vtime) = 0;
+    /** The epoch fused; `fused` is the fleet verdict. */
+    virtual void onEpochFused(const FleetVerdict &fused,
+                              double vtime) = 0;
 };
 
 /**
@@ -274,6 +313,52 @@ class ChannelScheduler
      */
     bool reenrollChannel(std::size_t index);
 
+    /** @name Request-service seam (used by service::FleetService). */
+    ///@{
+    /** Sentinel returned by findChannel() for unknown names. */
+    static constexpr std::size_t kNoChannel =
+        static_cast<std::size_t>(-1);
+
+    /** @return index of the channel named `name` (first-added wins on
+     *  duplicates), or kNoChannel. */
+    std::size_t findChannel(const std::string &name) const;
+
+    /** Attach (or detach with nullptr) the request-service hook.
+     *  Borrowed; must outlive the scheduler or detach first. */
+    void attachService(ServiceHook *hook) { hook_ = hook; }
+
+    /**
+     * Queue a RequestArrival event for the next epoch. Entry-point
+     * scheduling (like reenrollChannel): legal between ticks, never
+     * from worker threads. The event is consumed at the head of the
+     * next tick, before channel ranking, in admission order.
+     */
+    void scheduleRequestArrival(std::size_t channel, uint64_t ticket);
+
+    /** Queue a RequestComplete event at `vtime`. Called by the hook
+     *  from within the consumption loop. */
+    void scheduleRequestComplete(std::size_t channel, uint64_t ticket,
+                                 double vtime);
+
+    /**
+     * Add request pressure to a channel's scheduling priority: the
+     * boost dominates staleness x risk, so a requested channel is
+     * probed at the next dispatch opportunity. Cleared when the
+     * channel's next verdict is observed (probe or fence).
+     */
+    void boostChannel(std::size_t index);
+
+    /** Persist channel `index`'s current enrollment (the service
+     *  Enroll verb). @return false when storeless or the put failed */
+    bool persistEnrollment(std::size_t index);
+
+    /** @return persisted enrollment generation of channel `index`. */
+    uint64_t enrollmentGeneration(std::size_t index) const;
+
+    /** @return total virtual seconds ticked so far. */
+    double elapsedSeconds() const { return elapsed_; }
+    ///@}
+
   private:
     std::vector<std::size_t> selectChannels() const;
     bool persistChannel(std::size_t index);
@@ -390,6 +475,14 @@ class ChannelScheduler
     std::size_t residentBudget_ = 0;    //!< bytes; 0 = unlimited
     std::size_t resident_ = 0;          //!< resident enrollment bytes
     std::vector<uint64_t> generations_; //!< persists per channel
+    ///@}
+
+    /** @name Request-service state. */
+    ///@{
+    ServiceHook *hook_ = nullptr;        //!< borrowed, may be null
+    std::vector<uint64_t> requestBoost_; //!< per-channel priority
+                                         //!< boost; cleared at the
+                                         //!< next observed verdict
     ///@}
 
     /** @name Fleet-level metric handles. */

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <unordered_set>
 #include <utility>
 
 #include "fingerprint/fingerprint.hh"
@@ -64,6 +65,19 @@ makeFingerprint(std::vector<double> raw, std::string label)
                                   std::move(label));
 }
 
+/** Drop one unit of per-channel admission load. */
+void
+releaseLoad(std::map<std::size_t, std::size_t> &load, std::size_t c)
+{
+    const auto it = load.find(c);
+    if (it == load.end())
+        return;
+    if (it->second > 1)
+        --it->second;
+    else
+        load.erase(it);
+}
+
 } // namespace
 
 std::string
@@ -113,6 +127,8 @@ MegaFleet::MegaFleet(MegaFleetConfig config, Rng rng)
     tmHydrates_ = reg.counter("megafleet.hydrates");
     tmPending_ = reg.counter("megafleet.pending_reenroll");
     tmCrashRecoveries_ = reg.counter("megafleet.crash_recoveries");
+    tmRequests_ = reg.counter("megafleet.requests");
+    tmResponses_ = reg.counter("megafleet.responses");
     tmUtilization_ = reg.gauge("megafleet.instrument.utilization");
 }
 
@@ -248,19 +264,260 @@ MegaFleet::enrollAll()
     return report_.enrolled;
 }
 
+std::size_t
+MegaFleet::parseChannel(const std::string &name) const
+{
+    if (name.size() < 3 || name[0] != 'c' || name[1] != 'h')
+        return kNoChannel;
+    std::size_t value = 0;
+    for (std::size_t i = 2; i < name.size(); ++i) {
+        const char c = name[i];
+        if (c < '0' || c > '9')
+            return kNoChannel;
+        if (value > (config_.channels / 10) + 1)
+            return kNoChannel; // overflow guard: already out of range
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    // Reject non-canonical spellings ("ch007"): every valid id is
+    // exactly what channelId() prints, so the name space stays 1:1.
+    if (name != channelId(value))
+        return kNoChannel;
+    return value < config_.channels ? value : kNoChannel;
+}
+
+void
+MegaFleet::emitResponse(service::ServiceResponse response)
+{
+    responseDigest_ =
+        service::foldResponseDigest(responseDigest_, response);
+    ++serviceStats_.responses;
+    tmResponses_.add();
+    responses_.push_back(std::move(response));
+}
+
+void
+MegaFleet::rejectRequest(const service::ServiceRequest &request,
+                         service::ResponseStatus status)
+{
+    service::ServiceResponse response;
+    response.id = request.id;
+    response.kind = request.kind;
+    response.channel = request.channel;
+    response.status = status;
+    response.tick = tick_;
+    emitResponse(std::move(response));
+}
+
+bool
+MegaFleet::submit(const service::ServiceRequest &request)
+{
+    ++serviceStats_.submitted;
+    tmRequests_.add();
+    std::size_t channel = kNoChannel;
+    if (request.kind != service::RequestKind::FleetSummary) {
+        channel = parseChannel(request.channel);
+        if (channel == kNoChannel) {
+            ++serviceStats_.rejectedUnknown;
+            rejectRequest(request, service::ResponseStatus::Unknown);
+            return false;
+        }
+    }
+    const std::size_t inflight = admitted_.size() + parked_;
+    bool channelFull = false;
+    if (channel != kNoChannel) {
+        const auto it = channelLoad_.find(channel);
+        channelFull = it != channelLoad_.end() &&
+                      it->second >= config_.requestChannelDepth;
+    }
+    if (inflight >= config_.requestQueueDepth || channelFull) {
+        ++serviceStats_.rejectedBusy;
+        rejectRequest(request, service::ResponseStatus::Busy);
+        return false;
+    }
+    if (channel != kNoChannel)
+        ++channelLoad_[channel];
+    admitted_.push_back(Admitted{request, channel});
+    ++serviceStats_.admitted;
+    return true;
+}
+
+std::vector<service::ServiceResponse>
+MegaFleet::drainResponses()
+{
+    std::vector<service::ServiceResponse> out = std::move(responses_);
+    responses_.clear();
+    return out;
+}
+
+std::size_t
+MegaFleet::pendingRequests() const
+{
+    return admitted_.size() + parked_;
+}
+
+bool
+MegaFleet::putWithRecovery(const store::EnrollmentRecord &record)
+{
+    // Same bounded crash-reopen-replay loop as enrollAll: a simulated
+    // power cut kills the handle, reopening replays the journal, and
+    // the interrupted record is simply re-put.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        if (db_->alive() && db_->put(record))
+            return true;
+        if (!db_->alive())
+            reopenDb();
+    }
+    return false;
+}
+
+void
+MegaFleet::answerFenced(std::size_t channel)
+{
+    const auto it = verifyWaiting_.find(channel);
+    if (it == verifyWaiting_.end())
+        return;
+    for (const service::ServiceRequest &request : it->second) {
+        service::ServiceResponse response;
+        response.id = request.id;
+        response.kind = request.kind;
+        response.channel = request.channel;
+        response.status = service::ResponseStatus::Fenced;
+        response.state =
+            static_cast<uint64_t>(AuthState::PendingReenroll);
+        response.phase = static_cast<uint64_t>(ChannelPhase::Fenced);
+        response.tick = tick_;
+        releaseLoad(channelLoad_, channel);
+        --parked_;
+        emitResponse(std::move(response));
+    }
+    verifyWaiting_.erase(it);
+    hot_.erase(channel);
+}
+
+void
+MegaFleet::processArrivals()
+{
+    while (!admitted_.empty()) {
+        const Admitted arrival = std::move(admitted_.front());
+        admitted_.pop_front();
+        const service::ServiceRequest &request = arrival.request;
+        const std::size_t c = arrival.channel;
+        service::ServiceResponse response;
+        response.id = request.id;
+        response.kind = request.kind;
+        response.channel = request.channel;
+        response.tick = tick_;
+        switch (request.kind) {
+        case service::RequestKind::QuarantineStatus: {
+            const ChannelSlot &slot = slots_[c];
+            response.status = service::ResponseStatus::Ok;
+            response.state = static_cast<uint64_t>(
+                slot.state == 0 ? AuthState::Monitoring
+                                : AuthState::PendingReenroll);
+            response.phase = static_cast<uint64_t>(
+                slot.state == 0 ? ChannelPhase::Idle
+                                : ChannelPhase::Fenced);
+            if (slot.tampered)
+                response.flags |= service::kResponseTamper;
+            if (slot.lastScore >= 0.0f)
+                response.similarity =
+                    static_cast<double>(slot.lastScore);
+            releaseLoad(channelLoad_, c);
+            emitResponse(std::move(response));
+            break;
+        }
+        case service::RequestKind::Enroll:
+        case service::RequestKind::Reenroll: {
+            store::EnrollmentRecord rec;
+            rec.id = channelId(c);
+            rec.fp = makeFingerprint(syntheticEnrollment(c), rec.id);
+            rec.generation = 1;
+            if (db_->alive()) {
+                store::EnrollmentRecord old;
+                if (db_->get(rec.id, old) == store::DbGetStatus::Ok)
+                    rec.generation = old.generation + 1;
+            }
+            const bool durable = putWithRecovery(rec);
+            response.status = durable
+                                  ? service::ResponseStatus::Ok
+                                  : service::ResponseStatus::Rejected;
+            response.generation = rec.generation;
+            if (durable) {
+                // A fresh durable enrollment lifts any fence; the
+                // channel joins the hot tier so its next probe — the
+                // evidence the requester is really after — lands in
+                // the very next tick.
+                slots_[c].state = 0;
+                slots_[c].lastScore = -1.0f;
+                slots_[c].tampered = false;
+                if (config_.policy == SchedulerPolicy::RiskWeighted)
+                    hot_.insert(c);
+            }
+            response.state = static_cast<uint64_t>(
+                slots_[c].state == 0 ? AuthState::Monitoring
+                                     : AuthState::PendingReenroll);
+            releaseLoad(channelLoad_, c);
+            emitResponse(std::move(response));
+            break;
+        }
+        case service::RequestKind::Verify:
+            if (slots_[c].state != 0) {
+                response.status = service::ResponseStatus::Fenced;
+                response.state = static_cast<uint64_t>(
+                    AuthState::PendingReenroll);
+                response.phase =
+                    static_cast<uint64_t>(ChannelPhase::Fenced);
+                releaseLoad(channelLoad_, c);
+                emitResponse(std::move(response));
+                break;
+            }
+            verifyWaiting_[c].push_back(request);
+            ++parked_;
+            if (config_.policy == SchedulerPolicy::RiskWeighted)
+                hot_.insert(c);
+            break;
+        case service::RequestKind::FleetSummary:
+            summaryWaiting_.push_back(request);
+            ++parked_;
+            break;
+        }
+    }
+}
+
 MegaFleetVerdict
 MegaFleet::tick()
 {
-    // --- Select: round-robin over channels still monitoring. -------
+    // --- Requests enter the tick first: immediate kinds answer now,
+    // Verify parks on its channel and pulls it into the hot tier. ----
+    processArrivals();
+
+    // --- Select: hierarchical. The hot tier (risky + requested
+    // channels, ascending) is probed first; the remaining budget
+    // backfills round-robin from the cursor — O(hot + batch), never a
+    // fleet-wide sort. ----------------------------------------------
     std::vector<std::size_t> batch;
     batch.reserve(config_.probesPerTick);
+    std::unordered_set<std::size_t> chosen;
+    if (config_.policy == SchedulerPolicy::RiskWeighted) {
+        for (auto it = hot_.begin();
+             it != hot_.end() && batch.size() < config_.probesPerTick;) {
+            const std::size_t i = *it;
+            if (slots_[i].state != 0) {
+                it = hot_.erase(it);
+                continue;
+            }
+            batch.push_back(i);
+            chosen.insert(i);
+            ++it;
+        }
+    }
     for (std::size_t scanned = 0;
          scanned < config_.channels &&
          batch.size() < config_.probesPerTick;
          ++scanned) {
         const std::size_t i = cursor_;
         cursor_ = (cursor_ + 1) % config_.channels;
-        if (slots_[i].state == 0)
+        if (slots_[i].state == 0 && chosen.find(i) == chosen.end())
             batch.push_back(i);
     }
 
@@ -337,6 +594,10 @@ MegaFleet::tick()
             ++report_.pendingReenroll;
             ++pendingThisTick;
             tmPending_.add();
+            // Verifies parked on a channel that just lost its
+            // enrollment answer Fenced — never an authenticated
+            // verdict against a damaged record.
+            answerFenced(i);
         }
         // Peak accounting charges only *transient* decode bytes: a
         // cache-resident view is bounded by shardCacheBytes, which is
@@ -367,9 +628,49 @@ MegaFleet::tick()
             ? 1 : 0;
     });
     for (std::size_t j = 0; j < live.size(); ++j) {
-        slots_[live[j].channel].lastScore =
-            static_cast<float>(scores[j]);
-        slots_[live[j].channel].tampered = tampered[j] != 0;
+        const std::size_t c = live[j].channel;
+        slots_[c].lastScore = static_cast<float>(scores[j]);
+        slots_[c].tampered = tampered[j] != 0;
+
+        // Hot-tier maintenance: channels that look risky (tamper trip
+        // or a below-threshold score) stay hot and get probed again
+        // next tick; clean ones fall back to the round-robin tail.
+        if (config_.policy == SchedulerPolicy::RiskWeighted) {
+            const bool risky =
+                tampered[j] != 0 ||
+                scores[j] < config_.similarityThreshold;
+            if (risky)
+                hot_.insert(c);
+            else
+                hot_.erase(c);
+        }
+
+        // Answer every Verify parked on this channel with the fresh
+        // verdict (serial, batch order — deterministic).
+        const auto wit = verifyWaiting_.find(c);
+        if (wit != verifyWaiting_.end()) {
+            for (const service::ServiceRequest &request : wit->second) {
+                service::ServiceResponse response;
+                response.id = request.id;
+                response.kind = request.kind;
+                response.channel = request.channel;
+                response.status = service::ResponseStatus::Ok;
+                response.tick = tick_;
+                response.state =
+                    static_cast<uint64_t>(AuthState::Monitoring);
+                response.phase =
+                    static_cast<uint64_t>(ChannelPhase::Idle);
+                response.similarity = scores[j];
+                if (scores[j] >= config_.similarityThreshold)
+                    response.flags |= service::kResponseAuthenticated;
+                if (tampered[j] != 0)
+                    response.flags |= service::kResponseTamper;
+                releaseLoad(channelLoad_, c);
+                --parked_;
+                emitResponse(std::move(response));
+            }
+            verifyWaiting_.erase(wit);
+        }
     }
 
     // --- Instrument-pool accounting (busy vs capacity under the
@@ -395,6 +696,29 @@ MegaFleet::tick()
         config_.tamperWireVotes == 0 ? 1 : config_.tamperWireVotes;
     v.tamperAlarm = v.tamperedWires >= quorum;
     v.busTrusted = v.busAuthenticated && !v.tamperAlarm;
+
+    // Answer every FleetSummary parked on this epoch's fusion.
+    if (!summaryWaiting_.empty()) {
+        for (const service::ServiceRequest &request : summaryWaiting_) {
+            service::ServiceResponse response;
+            response.id = request.id;
+            response.kind = request.kind;
+            response.status = service::ResponseStatus::Ok;
+            response.tick = tick_;
+            response.similarity = v.fusedSimilarity;
+            response.channels = config_.channels;
+            response.fenced = report_.pendingReenroll;
+            if (v.busAuthenticated)
+                response.flags |= service::kResponseAuthenticated;
+            if (v.tamperAlarm)
+                response.flags |= service::kResponseTamper;
+            if (v.busTrusted)
+                response.flags |= service::kResponseTrusted;
+            --parked_;
+            emitResponse(std::move(response));
+        }
+        summaryWaiting_.clear();
+    }
 
     // Fold the verdict into the running FNV digest — the quantity the
     // 1-vs-N-thread and fault/no-fault identity checks compare.

@@ -44,12 +44,17 @@
 #define DIVOT_FLEET_MEGAFLEET_HH
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "fingerprint/fusion.hh"
+#include "fleet/channel_scheduler.hh"
 #include "fleet/reactor.hh"
+#include "service/request.hh"
 #include "store/enrollment_db.hh"
 #include "telemetry/telemetry.hh"
 #include "util/rng.hh"
@@ -93,6 +98,26 @@ struct MegaFleetConfig
                                     //!< Pure accounting — probe math
                                     //!< and verdict digests are
                                     //!< identical in both modes
+
+    /**
+     * Probe-batch selection. RiskWeighted (default) is hierarchical:
+     * a deterministic hot set — channels whose last probe tripped the
+     * tamper bar or scored below the similarity threshold, plus every
+     * channel named by a pending service request — is probed first in
+     * ascending index order, and the remaining budget backfills
+     * round-robin from the cursor. O(hot + batch) per tick, so the
+     * risk tier never costs an O(N log N) fleet-wide sort. RoundRobin
+     * is the legacy pure-rotation schedule. With an empty hot set the
+     * two are identical, batch for batch.
+     */
+    SchedulerPolicy policy = SchedulerPolicy::RiskWeighted;
+
+    /** Global admission bound of the request front end (in-flight
+     *  requests; beyond it submits reject Busy). */
+    std::size_t requestQueueDepth = 1024;
+
+    /** Per-channel admission bound (see FleetConfig). */
+    std::size_t requestChannelDepth = 4;
 };
 
 /** Summary of a MegaFleet run. */
@@ -180,6 +205,39 @@ class MegaFleet
      *  (heterogeneous, so scheduling modes actually differ). */
     double probeDuration(std::size_t index) const;
 
+    /** @name Request front end (the same protocol FleetService
+     *  answers — service/request.hh). */
+    ///@{
+    /**
+     * Submit one request. Bounded admission, decided synchronously:
+     * Busy/Unknown rejections emit their response immediately;
+     * admitted requests answer during the next tick()s — immediately
+     * for QuarantineStatus/Enroll/Reenroll, at the channel's next
+     * probe for Verify (the request pulls the channel into the hot
+     * set, ahead of the round-robin rotation), after fusion for
+     * FleetSummary.
+     *
+     * @return true when admitted
+     */
+    bool submit(const service::ServiceRequest &request);
+
+    /** Move out responses emitted so far, in emission order. */
+    std::vector<service::ServiceResponse> drainResponses();
+
+    /** @return chained FNV digest over every emitted response frame
+     *  (the request-leg bit-identity currency). */
+    uint64_t responseDigest() const { return responseDigest_; }
+
+    /** @return admission/emission totals of the front end. */
+    const service::ServiceStats &serviceStats() const
+    {
+        return serviceStats_;
+    }
+
+    /** @return requests admitted but not yet answered. */
+    std::size_t pendingRequests() const;
+    ///@}
+
   private:
     /** Per-channel registry entry — deliberately tiny. */
     struct ChannelSlot
@@ -189,12 +247,40 @@ class MegaFleet
         bool tampered = false;   //!< latest probe tripped the wire bar
     };
 
+    /** One admitted request (channel resolved at admission). */
+    struct Admitted
+    {
+        service::ServiceRequest request;
+        std::size_t channel = kNoChannel;
+    };
+
+    /** Sentinel channel for FleetSummary / unknown names. */
+    static constexpr std::size_t kNoChannel =
+        static_cast<std::size_t>(-1);
+
     void reopenDb();
     MegaFleetVerdict fuse();
     /** Fold one tick's probe batch into the instrument-pool busy /
      *  capacity account under the configured scheduling model. */
     void accountInstrumentSchedule(
         const std::vector<std::size_t> &channels);
+    /** Parse "ch<i>" into an index; kNoChannel when malformed or out
+     *  of range. */
+    std::size_t parseChannel(const std::string &name) const;
+    /** Fold + record one emitted response. */
+    void emitResponse(service::ServiceResponse response);
+    /** Emit an immediate rejection at submit time. */
+    void rejectRequest(const service::ServiceRequest &request,
+                       service::ResponseStatus status);
+    /** Answer every verify ticket parked on `channel` as Fenced. */
+    void answerFenced(std::size_t channel);
+    /** Drain admitted requests into the tick: immediate kinds answer
+     *  now, Verify parks on its (hot-set-boosted) channel, summaries
+     *  wait for fusion. */
+    void processArrivals();
+    /** Durable put with the bounded crash-reopen-replay loop.
+     *  @return durable */
+    bool putWithRecovery(const store::EnrollmentRecord &record);
 
     MegaFleetConfig config_;
     unsigned lanes_ = 1; //!< resolved reactorLanes
@@ -209,11 +295,33 @@ class MegaFleet
     MegaFleetReport report_;
     double busySeconds_ = 0.0;     //!< Σ probe durations scheduled
     double capacitySeconds_ = 0.0; //!< Σ instruments x wave makespan
+
+    /** @name Request front end + hot-set tier. */
+    ///@{
+    /** Risk tier: channels probed ahead of the rotation (ascending
+     *  order — std::set keeps selection deterministic). Members are
+     *  re-evaluated when probed. */
+    std::set<std::size_t> hot_;
+    std::deque<Admitted> admitted_;  //!< not yet entered a tick
+    /** channel → verify requests waiting for its next probe. */
+    std::map<std::size_t, std::vector<service::ServiceRequest>>
+        verifyWaiting_;
+    std::vector<service::ServiceRequest> summaryWaiting_;
+    std::map<std::size_t, std::size_t> channelLoad_; //!< in-flight
+    std::size_t parked_ = 0; //!< verify/summary requests carried
+                             //!< across ticks (admission accounting)
+    std::vector<service::ServiceResponse> responses_;
+    uint64_t responseDigest_ = 0;
+    service::ServiceStats serviceStats_;
+    ///@}
+
     Counter tmTicks_;
     Counter tmProbes_;
     Counter tmHydrates_;
     Counter tmPending_;
     Counter tmCrashRecoveries_;
+    Counter tmRequests_;  //!< megafleet.requests
+    Counter tmResponses_; //!< megafleet.responses
     Gauge tmUtilization_; //!< megafleet.instrument.utilization, ‰
 };
 

@@ -25,6 +25,10 @@ reactorEventName(ReactorEventType type)
         return "recalibrate";
     case ReactorEventType::FaultEvent:
         return "fault";
+    case ReactorEventType::RequestArrival:
+        return "request_arrival";
+    case ReactorEventType::RequestComplete:
+        return "request_complete";
     }
     return "?";
 }

@@ -50,13 +50,17 @@ enum class ReactorEventType : uint8_t
     ScrubStep,          //!< an idle instrument slot pays for one
                         //!< background store scrub pass
     RecalibrateRequest, //!< operator re-enrolls a fenced channel
-    FaultEvent          //!< a fault manifested (unrecoverable record,
+    FaultEvent,         //!< a fault manifested (unrecoverable record,
                         //!< failed persist); consumed for recovery
                         //!< accounting
+    RequestArrival,     //!< an admitted service request enters the
+                        //!< epoch (ticket = service request slot)
+    RequestComplete     //!< a service response is due for emission
+                        //!< (ticket = service request slot)
 };
 
 /** Number of ReactorEventType values (telemetry table size). */
-constexpr std::size_t kReactorEventTypes = 7;
+constexpr std::size_t kReactorEventTypes = 9;
 
 /** @return stable lower-case event-type name ("hydrate", ...). */
 const char *reactorEventName(ReactorEventType type);

@@ -27,6 +27,16 @@
 namespace divot {
 namespace property {
 
+/** One scheduled service request of a property case. `channel` may
+ *  name a wire that exists, a duplicate of another step's wire, or
+ *  nothing at all (admission must answer Unknown, never crash). */
+struct RequestStep
+{
+    std::size_t tick = 0;  //!< scheduler round it is submitted before
+    unsigned kind = 1;     //!< service::RequestKind ordinal
+    std::string channel;   //!< target wire name (empty for summary)
+};
+
 /** One generated scenario. */
 struct PropertyCase
 {
@@ -40,6 +50,11 @@ struct PropertyCase
     std::size_t faultWire = 0;   //!< channel carrying the plan
     bool binomialEligible = false; //!< analytic engine serves every
                                    //!< measurement of this case
+    std::vector<RequestStep> requests; //!< service request schedule
+    bool storeBacked = false;    //!< run against an EnrollmentDb with
+                                 //!< an eviction-churning budget
+    FaultPlan storageFaults;     //!< storage plan for the db (empty
+                                 //!< for most cases)
 };
 
 /** @return case count: DIVOT_PROPERTY_CASES or 64. */
@@ -131,6 +146,50 @@ generateCase(std::size_t index)
     if (rng.bernoulli(1.0 / 3.0)) {
         pc.fleet.reactor.mode = ReactorMode::Pipelined;
         pc.fleet.reactor.epochSlots = 1 + rng.uniformInt(3);
+    }
+
+    // Service request schedule (PR10), riding further down the tail:
+    // every draw above keeps its pre-service value. Mixed kinds,
+    // deliberate duplicate targets, and unknown names; half the cases
+    // run store-backed with an eviction-churning budget so requests
+    // race hydration/eviction/scrub, and a quarter of those carry a
+    // storage fault plan (handle-preserving faults only — torn
+    // writes, bit rot, truncation — so the scheduler's no-reopen
+    // store contract holds).
+    pc.storeBacked = rng.bernoulli(0.5);
+    const std::size_t bursts = 1 + rng.uniformInt(3); // per tick
+    for (std::size_t t = 0; t < pc.ticks; ++t) {
+        for (std::size_t b = 0; b < bursts; ++b) {
+            if (rng.bernoulli(0.4))
+                continue; // quiet slot
+            RequestStep step;
+            step.tick = t;
+            step.kind = static_cast<unsigned>(rng.uniformInt(5));
+            if (step.kind != 4) { // not FleetSummary
+                if (rng.bernoulli(0.15))
+                    step.channel =
+                        "ghost" + std::to_string(rng.uniformInt(3));
+                else
+                    step.channel =
+                        "w" + std::to_string(
+                                  rng.uniformInt(pc.channels));
+            }
+            pc.requests.push_back(step);
+        }
+    }
+    if (pc.storeBacked && rng.bernoulli(0.25)) {
+        const uint64_t at = rng.uniformInt(6);
+        switch (rng.uniformInt(3)) {
+          case 0:
+            pc.storageFaults.storageTornWrite(at);
+            break;
+          case 1:
+            pc.storageFaults.storageBitRot(at, 1, 12.0);
+            break;
+          default:
+            pc.storageFaults.storageTruncation(at, 0.55);
+            break;
+        }
     }
     return pc;
 }

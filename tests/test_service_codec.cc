@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Conformance + fuzz suite for the service request/response codec
+ * (service/request.hh), mirroring the store-migration discipline:
+ * every frame kind round-trips bit-exactly, and no byte flip or
+ * truncation anywhere in a stream may crash the decoder, junk-accept
+ * a frame that was never encoded, or fail without a diagnosable
+ * parse status.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/request.hh"
+#include "store/codec.hh"
+#include "util/rng.hh"
+
+namespace divot {
+namespace {
+
+using service::FrameParse;
+using service::ParseStatus;
+using service::RequestKind;
+using service::ResponseStatus;
+using service::ServiceRequest;
+using service::ServiceResponse;
+using service::StreamDecode;
+
+bool
+sameRequest(const ServiceRequest &a, const ServiceRequest &b)
+{
+    return a.id == b.id && a.kind == b.kind && a.channel == b.channel;
+}
+
+bool
+sameResponse(const ServiceResponse &a, const ServiceResponse &b)
+{
+    return a.id == b.id && a.kind == b.kind && a.status == b.status &&
+        a.tick == b.tick && a.channel == b.channel &&
+        a.state == b.state && a.phase == b.phase &&
+        a.flags == b.flags && a.similarity == b.similarity &&
+        a.generation == b.generation && a.channels == b.channels &&
+        a.fenced == b.fenced && a.quarantined == b.quarantined;
+}
+
+/** Deterministic request with every field exercised. */
+ServiceRequest
+makeRequest(std::size_t i)
+{
+    ServiceRequest rq;
+    rq.id = 0x1000 + i;
+    rq.kind = static_cast<RequestKind>(i % service::kRequestKinds);
+    rq.channel = rq.kind == RequestKind::FleetSummary
+        ? std::string()
+        : "ch" + std::to_string(i * 37 % 1000);
+    return rq;
+}
+
+/** Deterministic response with every field non-trivial. */
+ServiceResponse
+makeResponse(std::size_t i)
+{
+    ServiceResponse rs;
+    rs.id = 0x2000 + i;
+    rs.kind = static_cast<RequestKind>(i % service::kRequestKinds);
+    rs.status =
+        static_cast<ResponseStatus>(i % service::kResponseStatuses);
+    rs.tick = 7 * i;
+    rs.channel = "ch" + std::to_string(i);
+    rs.state = i % 7;
+    rs.phase = i % 4;
+    rs.flags = i % 8;
+    rs.similarity = 0.25 + 0.0625 * static_cast<double>(i % 12);
+    rs.generation = 1 + i % 3;
+    rs.channels = 100 + i;
+    rs.fenced = i % 5;
+    rs.quarantined = i % 2;
+    return rs;
+}
+
+/** Hand-build a frame so the header can be deliberately damaged. */
+std::vector<char>
+craftFrame(uint32_t magic, uint32_t version,
+           uint64_t bodyLen, uint64_t checksum,
+           const std::vector<char> &body)
+{
+    std::vector<char> out;
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((magic >> (8 * i)) & 0xffu));
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((version >> (8 * i)) & 0xffu));
+    store::putU64(out, bodyLen);
+    store::putU64(out, checksum);
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+TEST(ServiceCodec, EveryRequestKindRoundTrips)
+{
+    for (std::size_t i = 0; i < 2 * service::kRequestKinds; ++i) {
+        const ServiceRequest rq = makeRequest(i);
+        std::vector<char> stream;
+        service::appendRequestFrame(stream, rq);
+        ServiceRequest back;
+        const FrameParse parse = service::decodeRequestFrame(
+            stream.data(), stream.size(), back);
+        ASSERT_TRUE(parse.ok()) << parse.detail;
+        EXPECT_EQ(parse.consumed, stream.size());
+        EXPECT_TRUE(sameRequest(rq, back));
+    }
+}
+
+TEST(ServiceCodec, EveryResponseShapeRoundTrips)
+{
+    // kinds x statuses: 25 combinations, every payload field live.
+    for (std::size_t i = 0;
+         i < service::kRequestKinds * service::kResponseStatuses;
+         ++i) {
+        const ServiceResponse rs = makeResponse(i);
+        std::vector<char> stream;
+        service::appendResponseFrame(stream, rs);
+        ServiceResponse back;
+        const FrameParse parse = service::decodeResponseFrame(
+            stream.data(), stream.size(), back);
+        ASSERT_TRUE(parse.ok()) << parse.detail;
+        EXPECT_EQ(parse.consumed, stream.size());
+        EXPECT_TRUE(sameResponse(rs, back));
+    }
+}
+
+TEST(ServiceCodec, StreamOfMixedFramesRoundTrips)
+{
+    std::vector<ServiceRequest> sent;
+    std::vector<char> stream;
+    for (std::size_t i = 0; i < 16; ++i) {
+        sent.push_back(makeRequest(i));
+        service::appendRequestFrame(stream, sent.back());
+    }
+    std::vector<ServiceRequest> got;
+    const StreamDecode dec = service::decodeRequestStream(stream, got);
+    ASSERT_TRUE(dec.ok()) << dec.last.detail;
+    EXPECT_EQ(dec.frames, sent.size());
+    EXPECT_EQ(dec.offset, stream.size());
+    ASSERT_EQ(got.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i)
+        EXPECT_TRUE(sameRequest(sent[i], got[i])) << "frame " << i;
+}
+
+TEST(ServiceCodec, ByteFlipsNeverCrashOrJunkAccept)
+{
+    // Flip every single byte of a 8-frame request stream, one at a
+    // time. The decoder must never crash, and every frame it does
+    // accept must be byte-identical to a frame that was encoded — a
+    // flipped stream can only shorten the decoded prefix, never
+    // invent traffic.
+    std::vector<ServiceRequest> sent;
+    std::vector<char> stream;
+    for (std::size_t i = 0; i < 8; ++i) {
+        sent.push_back(makeRequest(i));
+        service::appendRequestFrame(stream, sent.back());
+    }
+    for (std::size_t pos = 0; pos < stream.size(); ++pos) {
+        for (const unsigned char flip :
+             {0x01u, 0x80u, 0xffu}) {
+            std::vector<char> mutated = stream;
+            mutated[pos] = static_cast<char>(
+                static_cast<unsigned char>(mutated[pos]) ^ flip);
+            std::vector<ServiceRequest> got;
+            const StreamDecode dec =
+                service::decodeRequestStream(mutated, got);
+            // Prefix property: accepted frames match the originals.
+            ASSERT_LE(got.size(), sent.size())
+                << "flip at " << pos << " invented frames";
+            for (std::size_t i = 0; i < got.size(); ++i)
+                ASSERT_TRUE(sameRequest(sent[i], got[i]))
+                    << "flip at byte " << pos
+                    << " junk-accepted frame " << i;
+            if (!dec.ok()) {
+                // Diagnosable: a real status and a located detail.
+                EXPECT_NE(dec.last.status, ParseStatus::Ok);
+                EXPECT_FALSE(dec.last.detail.empty())
+                    << "flip at " << pos << " gave a bare failure";
+            }
+        }
+    }
+}
+
+TEST(ServiceCodec, TruncationAtEveryLengthIsDiagnosable)
+{
+    std::vector<ServiceResponse> sent;
+    std::vector<char> stream;
+    std::vector<std::size_t> boundaries; // clean frame ends
+    for (std::size_t i = 0; i < 6; ++i) {
+        sent.push_back(makeResponse(i));
+        service::appendResponseFrame(stream, sent.back());
+        boundaries.push_back(stream.size());
+    }
+    for (std::size_t n = 0; n < stream.size(); ++n) {
+        std::vector<char> cut(stream.begin(), stream.begin() + n);
+        std::vector<ServiceResponse> got;
+        const StreamDecode dec =
+            service::decodeResponseStream(cut, got);
+        const bool atBoundary = n == 0 ||
+            std::find(boundaries.begin(), boundaries.end(), n) !=
+                boundaries.end();
+        if (atBoundary) {
+            EXPECT_TRUE(dec.ok()) << "clean cut at " << n
+                                  << " flagged: " << dec.last.detail;
+        } else {
+            EXPECT_FALSE(dec.ok())
+                << "mid-frame cut at " << n << " accepted";
+            EXPECT_EQ(dec.last.status, ParseStatus::Truncated);
+            EXPECT_FALSE(dec.last.detail.empty());
+        }
+        ASSERT_LE(got.size(), sent.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_TRUE(sameResponse(sent[i], got[i]))
+                << "cut at " << n << " junk-accepted frame " << i;
+    }
+}
+
+TEST(ServiceCodec, BadMagicVersionLengthChecksumBody)
+{
+    const ServiceRequest rq = makeRequest(1);
+    std::vector<char> good;
+    service::appendRequestFrame(good, rq);
+    const std::vector<char> body(good.begin() +
+                                     service::kServiceFrameHeader,
+                                 good.end());
+    const uint64_t sum = store::fnv1a(body);
+    ServiceRequest out;
+
+    const std::vector<char> badMagic = craftFrame(
+        0xDEADBEEFu, service::kServiceVersion, body.size(), sum, body);
+    EXPECT_EQ(service::decodeRequestFrame(badMagic.data(),
+                                          badMagic.size(), out)
+                  .status,
+              ParseStatus::BadMagic);
+
+    const std::vector<char> badVersion = craftFrame(
+        service::kServiceMagic, 99, body.size(), sum, body);
+    EXPECT_EQ(service::decodeRequestFrame(badVersion.data(),
+                                          badVersion.size(), out)
+                  .status,
+              ParseStatus::BadVersion);
+
+    // A huge bodyLen must trip the absurd-length guard, not overflow
+    // the `header + bodyLen` arithmetic into a junk accept.
+    const std::vector<char> badLength =
+        craftFrame(service::kServiceMagic, service::kServiceVersion,
+                   ~0ull, sum, body);
+    EXPECT_EQ(service::decodeRequestFrame(badLength.data(),
+                                          badLength.size(), out)
+                  .status,
+              ParseStatus::BadLength);
+
+    const std::vector<char> badSum =
+        craftFrame(service::kServiceMagic, service::kServiceVersion,
+                   body.size(), sum ^ 1, body);
+    EXPECT_EQ(service::decodeRequestFrame(badSum.data(),
+                                          badSum.size(), out)
+                  .status,
+              ParseStatus::BadChecksum);
+
+    // Checksum-valid but semantically broken bodies: out-of-range
+    // kind ordinal, and a trailing byte the schema never wrote.
+    std::vector<char> badKind;
+    store::putU64(badKind, 77); // kind ordinal out of range
+    store::putU64(badKind, 1);
+    store::putString(badKind, "ch0");
+    const std::vector<char> badKindFrame =
+        craftFrame(service::kServiceMagic, service::kServiceVersion,
+                   badKind.size(), store::fnv1a(badKind), badKind);
+    EXPECT_EQ(service::decodeRequestFrame(badKindFrame.data(),
+                                          badKindFrame.size(), out)
+                  .status,
+              ParseStatus::BadBody);
+
+    std::vector<char> overlong = body;
+    overlong.push_back('\0');
+    const std::vector<char> overlongFrame =
+        craftFrame(service::kServiceMagic, service::kServiceVersion,
+                   overlong.size(), store::fnv1a(overlong), overlong);
+    EXPECT_EQ(service::decodeRequestFrame(overlongFrame.data(),
+                                          overlongFrame.size(), out)
+                  .status,
+              ParseStatus::BadBody);
+}
+
+TEST(ServiceCodec, DamagedFrameStopsStreamWithLocatedDetail)
+{
+    std::vector<char> stream;
+    std::vector<std::size_t> starts; // frame start offsets
+    for (std::size_t i = 0; i < 4; ++i) {
+        starts.push_back(stream.size());
+        service::appendRequestFrame(stream, makeRequest(i));
+    }
+    // Damage frame 2's body.
+    stream[starts[2] + service::kServiceFrameHeader + 3] ^= 0x40;
+    std::vector<ServiceRequest> got;
+    const StreamDecode dec = service::decodeRequestStream(stream, got);
+    EXPECT_FALSE(dec.ok());
+    EXPECT_EQ(dec.frames, 2u);
+    EXPECT_EQ(got.size(), 2u);
+    EXPECT_EQ(dec.offset, starts[2]);
+    EXPECT_EQ(dec.last.status, ParseStatus::BadChecksum);
+    // The detail names the frame ordinal and the byte offset.
+    EXPECT_NE(dec.last.detail.find("frame 2"), std::string::npos)
+        << dec.last.detail;
+}
+
+TEST(ServiceCodec, RandomGarbageNeverDecodes)
+{
+    // Random bytes (no crafted header) must never produce a frame.
+    Rng rng(0xC0DECULL);
+    for (int trial = 0; trial < 64; ++trial) {
+        std::vector<char> junk(8 + rng.uniformInt(256));
+        for (char &b : junk)
+            b = static_cast<char>(rng.uniformInt(256));
+        // Avoid the astronomically unlikely valid-magic prefix.
+        if (junk.size() >= 4)
+            junk[0] = static_cast<char>(~junk[0]);
+        std::vector<ServiceRequest> got;
+        const StreamDecode dec =
+            service::decodeRequestStream(junk, got);
+        EXPECT_TRUE(got.empty());
+        EXPECT_FALSE(dec.ok());
+        EXPECT_FALSE(dec.last.detail.empty());
+    }
+}
+
+TEST(ServiceCodec, ResponseDigestIsOrderAndContentSensitive)
+{
+    const ServiceResponse a = makeResponse(1);
+    const ServiceResponse b = makeResponse(2);
+    const uint64_t ab = service::foldResponseDigest(
+        service::foldResponseDigest(0, a), b);
+    const uint64_t ba = service::foldResponseDigest(
+        service::foldResponseDigest(0, b), a);
+    EXPECT_NE(ab, ba);
+    ServiceResponse c = a;
+    c.similarity += 1e-9;
+    EXPECT_NE(service::foldResponseDigest(0, a),
+              service::foldResponseDigest(0, c));
+}
+
+TEST(ServiceCodec, NamesAreStable)
+{
+    EXPECT_STREQ(service::requestKindName(RequestKind::Enroll),
+                 "enroll");
+    EXPECT_STREQ(service::requestKindName(RequestKind::FleetSummary),
+                 "fleet_summary");
+    EXPECT_STREQ(service::responseStatusName(ResponseStatus::Busy),
+                 "busy");
+    EXPECT_STREQ(service::parseStatusName(ParseStatus::BadChecksum),
+                 "bad_checksum");
+}
+
+} // namespace
+} // namespace divot

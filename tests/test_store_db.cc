@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "fault/fault.hh"
 #include "store/codec.hh"
 #include "store/enrollment_db.hh"
@@ -44,11 +46,16 @@ testRecord(const std::string &id, double seed)
     return rec;
 }
 
-/** Fresh empty db directory under the test temp dir. */
+/**
+ * Fresh empty db directory under the test temp dir. Suffixed with the
+ * pid: parameterized instances run as concurrent ctest entries, and a
+ * shared path would let one instance's cleanup race another's replay.
+ */
 std::string
 freshDir(const char *name)
 {
-    const std::string dir = std::string(::testing::TempDir()) + name;
+    const std::string dir = std::string(::testing::TempDir()) + name +
+        "_" + std::to_string(static_cast<long>(::getpid()));
     ensureDir(dir);
     for (unsigned s = 0; s < 64; ++s) {
         const std::string shard =

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "fleet/channel_scheduler.hh"
+#include "service/fleet_service.hh"
 #include "store/enrollment_db.hh"
 #include "store/io.hh"
 #include "txline/tamper.hh"
@@ -80,12 +81,55 @@ canonicalSnapshot(unsigned threads)
         return "enrollment db failed to open";
     fleet.attachStore(&db, fleet.channel(0).enrollmentBytes() * 2);
 
+    // Request front end: the golden also locks the service.* counter
+    // schema and the request spans' placement in the span ring.
+    service::FleetService svc(fleet);
+
     for (int t = 0; t < 3; ++t)
         fleet.tick();
     // Probe attached to wire 1 mid-run: the remaining ticks see the
     // tampered line, producing verdict flips and state-ladder events.
     fleet.channel(1).stageAttack(MagneticProbe(0.5, 0.4));
     for (int t = 0; t < 6; ++t)
+        fleet.tick();
+
+    // A store-backed request burst: every kind, one unknown name, and
+    // a per-channel overflow — stable service.* counters for the
+    // golden. Extra ticks drain every parked request so no span is
+    // left open in the exported ring.
+    service::ServiceRequest rq;
+    uint64_t id = 900;
+    rq.id = id++;
+    rq.kind = service::RequestKind::QuarantineStatus;
+    rq.channel = "wire1";
+    svc.submit(rq);
+    rq.id = id++;
+    rq.kind = service::RequestKind::Verify;
+    rq.channel = "wire0";
+    svc.submit(rq);
+    rq.id = id++;
+    rq.kind = service::RequestKind::Verify;
+    rq.channel = "wire2";
+    svc.submit(rq);
+    rq.id = id++;
+    rq.kind = service::RequestKind::FleetSummary;
+    rq.channel.clear();
+    svc.submit(rq);
+    rq.id = id++;
+    rq.kind = service::RequestKind::Enroll;
+    rq.channel = "wire0";
+    svc.submit(rq);
+    rq.id = id++;
+    rq.kind = service::RequestKind::Verify;
+    rq.channel = "ghost";
+    svc.submit(rq); // Unknown — rejected at admission
+    for (int k = 0; k < 5; ++k) {
+        rq.id = id++;
+        rq.kind = service::RequestKind::Verify;
+        rq.channel = "wire1";
+        svc.submit(rq); // overflows requestChannelDepth — Busy
+    }
+    for (int t = 0; t < 4 && svc.pendingRequests() > 0; ++t)
         fleet.tick();
 
     return fleet.telemetry().exportJson();
